@@ -1,0 +1,68 @@
+// Ablation of the Sec. 6 optimizations and of active GC itself
+// (the design choices called out in DESIGN.md).
+//
+// Rows: engine variants with exactly one technique disabled.
+//   full        — everything on (= Table 1's GCX column)
+//   -gc         — signOffs not executed, no purging
+//   -aggregate  — per-node dos roles instead of aggregate roles
+//   -redundant  — redundant binding roles kept
+//   -early      — no early-update rewriting of output paths
+// Reported per query (factor fixed): time, peak bytes, peak nodes, role
+// instances assigned, GC runs.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace gcx;
+  using namespace gcx::bench;
+
+  double factor = 4 * BenchScale();
+  std::string doc = GenerateXMark(XMarkOptions{factor, 42});
+
+  struct Variant {
+    const char* name;
+    EngineOptions options;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"full", {}});
+  {
+    EngineOptions o;
+    o.enable_gc = false;
+    variants.push_back({"-gc", o});
+  }
+  {
+    EngineOptions o;
+    o.aggregate_roles = false;
+    variants.push_back({"-aggregate", o});
+  }
+  {
+    EngineOptions o;
+    o.eliminate_redundant_roles = false;
+    variants.push_back({"-redundant", o});
+  }
+  {
+    EngineOptions o;
+    o.early_updates = false;
+    variants.push_back({"-early", o});
+  }
+
+  std::printf("Ablation on %s XMark document\n",
+              HumanBytes(doc.size()).c_str());
+  std::printf("%-6s %-11s %9s %10s %10s %12s %10s\n", "Query", "Variant",
+              "time", "peak", "peakNodes", "rolesAssign", "gcRuns");
+  for (const NamedQuery& query : AllXMarkQueries()) {
+    for (const Variant& variant : variants) {
+      ExecStats stats = RunCell(query.text, doc, variant.options);
+      std::printf("%-6s %-11s %9s %10s %10llu %12llu %10llu\n", query.name,
+                  variant.name, HumanSeconds(stats.wall_seconds).c_str(),
+                  HumanBytes(stats.peak_bytes).c_str(),
+                  static_cast<unsigned long long>(stats.buffer.nodes_peak),
+                  static_cast<unsigned long long>(stats.buffer.roles_assigned),
+                  static_cast<unsigned long long>(stats.buffer.gc_runs));
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Table 1, Q1 block: time and peak buffer memory across engines and
+// document sizes (see bench_table1.cc for the column mapping).
+
+#include "bench_query.h"
+
+int main(int argc, char** argv) {
+  gcx::bench::RegisterQueryBenchmarks("Q1", gcx::XMarkQ1());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// google-benchmark registration shared by the per-query binaries
+// bench_q{1,6,8,13,20} (one binary per Table 1 block).
+
+#ifndef GCX_BENCH_BENCH_QUERY_H_
+#define GCX_BENCH_BENCH_QUERY_H_
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+#include "bench_util.h"
+
+namespace gcx::bench {
+
+/// Documents are generated once per factor and shared across benchmarks.
+inline const std::string& DocumentForFactor(int factor) {
+  static std::map<int, std::string>* cache = new std::map<int, std::string>();
+  auto it = cache->find(factor);
+  if (it == cache->end()) {
+    it = cache
+             ->emplace(factor, GenerateXMark(XMarkOptions{
+                                   factor * BenchScale(), 42}))
+             .first;
+  }
+  return it->second;
+}
+
+/// Registers <query>/<engine>/<factor> benchmarks. Counters: PeakBytes
+/// (buffer high watermark), InputMB/s (scan throughput).
+inline void RegisterQueryBenchmarks(const char* query_name,
+                                    std::string_view query_text) {
+  for (const EngineConfig& engine : Table1Engines()) {
+    for (int factor : {1, 2, 4}) {
+      std::string name = std::string(query_name) + "/" + engine.name + "/x" +
+                         std::to_string(factor);
+      EngineOptions options = engine.options;
+      std::string text(query_text);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [options, text, factor](benchmark::State& state) {
+            const std::string& doc = DocumentForFactor(factor);
+            uint64_t peak = 0;
+            for (auto _ : state) {
+              ExecStats stats = RunCell(text, doc, options);
+              peak = stats.peak_bytes;
+            }
+            state.counters["PeakBytes"] = static_cast<double>(peak);
+            state.SetBytesProcessed(
+                static_cast<int64_t>(state.iterations() * doc.size()));
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace gcx::bench
+
+#endif  // GCX_BENCH_BENCH_QUERY_H_

@@ -1,0 +1,59 @@
+// Regenerates the paper's Table 1 (Sec. 7): evaluation time and peak
+// buffer memory for the adapted XMark queries Q1, Q6, Q8, Q13, Q20 over a
+// sweep of document sizes, for GCX and the re-implemented baselines.
+//
+// Columns map to the paper as follows (see DESIGN.md, substitutions):
+//   GCX         — this reproduction, all techniques on      (paper: GCX)
+//   GCX-noGC    — incremental projection, no purging        (isolates the
+//                 dynamic contribution; no direct paper column)
+//   Projection  — full static projection, then evaluate     (paper's static-
+//                 analysis-alone class: Galax projection / FluXQuery-like)
+//   NaiveDom    — buffer the whole document                 (paper: Galax/
+//                 Saxon/QizX-like in-memory engines)
+//
+// Expected shape (paper): GCX memory is flat across document sizes for
+// Q1/Q6/Q13/Q20 and grows only for the join Q8; the baselines grow linearly
+// everywhere. Absolute numbers differ from the paper (different hardware,
+// C++ vs JVM, synthetic XMark); the ordering and the growth shapes are the
+// reproduced result.
+//
+// GCX_BENCH_SCALE=N multiplies the document sizes.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace gcx;
+  using namespace gcx::bench;
+
+  std::vector<double> factors = {1, 2, 4, 8};
+  for (double& f : factors) f *= BenchScale();
+
+  std::vector<EngineConfig> engines = Table1Engines();
+
+  std::printf("Table 1 — time / peak buffer memory (shape reproduction)\n");
+  std::printf("%-6s %-9s", "Query", "Size");
+  for (const EngineConfig& engine : engines) {
+    std::printf(" | %-20s", engine.name);
+  }
+  std::printf("\n");
+
+  for (const NamedQuery& query : AllXMarkQueries()) {
+    // Pre-generate documents once per size.
+    for (double factor : factors) {
+      std::string doc = GenerateXMark(XMarkOptions{factor, 42});
+      std::printf("%-6s %-9s", query.name,
+                  HumanBytes(doc.size()).c_str());
+      for (const EngineConfig& engine : engines) {
+        ExecStats stats = RunCell(query.text, doc, engine.options);
+        std::printf(" | %8s / %-9s", HumanSeconds(stats.wall_seconds).c_str(),
+                    HumanBytes(stats.peak_bytes).c_str());
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

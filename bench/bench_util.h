@@ -1,0 +1,107 @@
+// Shared helpers for the benchmark harness.
+
+#ifndef GCX_BENCH_BENCH_UTIL_H_
+#define GCX_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "core/engine.h"
+#include "xmark/generator.h"
+#include "xmark/queries.h"
+
+namespace gcx::bench {
+
+/// A sink that counts bytes and discards them (query output is not the
+/// object of measurement).
+class NullBuffer : public std::streambuf {
+ public:
+  int overflow(int c) override { return c; }
+  std::streamsize xsputn(const char*, std::streamsize n) override { return n; }
+};
+
+/// Global scale multiplier: GCX_BENCH_SCALE=4 runs 4× larger documents.
+inline double BenchScale() {
+  const char* env = std::getenv("GCX_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+/// Engine configurations benchmarked against each other (the paper's
+/// Table 1 column set, re-expressed with our re-implemented baselines).
+struct EngineConfig {
+  const char* name;
+  EngineOptions options;
+};
+
+inline std::vector<EngineConfig> Table1Engines() {
+  std::vector<EngineConfig> out;
+  out.push_back({"GCX", {}});
+  EngineOptions no_gc;
+  no_gc.enable_gc = false;
+  out.push_back({"GCX-noGC", no_gc});
+  EngineOptions projection;
+  projection.mode = EngineMode::kMaterializedProjection;
+  out.push_back({"Projection", projection});
+  EngineOptions naive;
+  naive.mode = EngineMode::kNaiveDom;
+  out.push_back({"NaiveDom", naive});
+  return out;
+}
+
+/// Runs one (query, document, config) cell; aborts on error (benchmarks
+/// must not silently measure failures).
+inline ExecStats RunCell(std::string_view query, const std::string& doc,
+                         const EngineOptions& options) {
+  auto compiled = CompiledQuery::Compile(query, options);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n",
+                 compiled.status().ToString().c_str());
+    std::abort();
+  }
+  NullBuffer null_buffer;
+  std::ostream null_stream(&null_buffer);
+  Engine engine;
+  auto stats = engine.Execute(*compiled, doc, &null_stream);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "execute failed: %s\n",
+                 stats.status().ToString().c_str());
+    std::abort();
+  }
+  return *stats;
+}
+
+/// "1.2MB" style rendering.
+inline std::string HumanBytes(uint64_t bytes) {
+  char buf[32];
+  if (bytes >= 10ull * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.0fMB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else if (bytes >= 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fMB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fKB",
+                  static_cast<double>(bytes) / 1024.0);
+  }
+  return buf;
+}
+
+inline std::string HumanSeconds(double s) {
+  char buf[32];
+  if (s >= 60) {
+    std::snprintf(buf, sizeof(buf), "%d:%05.2f", static_cast<int>(s) / 60,
+                  s - 60 * (static_cast<int>(s) / 60));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", s);
+  }
+  return buf;
+}
+
+}  // namespace gcx::bench
+
+#endif  // GCX_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,85 @@
+// Reproduces Figure 2 of the paper: a step-by-step trace of active garbage
+// collection while evaluating the introduction query over the stream
+//   <bib><book><title/><author/></book>…
+//
+// For fidelity with the figure, the Sec. 6 optimizations (aggregate roles,
+// redundant-role elimination) are turned off — Fig. 2 shows the base
+// scheme where every node in a dos-subtree carries its own role instance
+// (title{r5,r7}, author{r5}) and binding roles r3/r6 are assigned.
+//
+// Role *numbers* differ from the figure (the paper numbers roles by
+// projection-tree node; we number them in allocation order), but the role
+// sets, the buffer contents per step, and the purge of the author node
+// after the signOff batch are the paper's.
+
+#include <iostream>
+#include <sstream>
+
+#include "core/engine.h"
+
+int main() {
+  constexpr std::string_view query_text = R"q(
+    <r>{
+      for $bib in /bib return
+        ((for $x in $bib/* return
+            if (not(exists($x/price))) then $x else ()),
+         (for $b in $bib/book return $b/title))
+    }</r>)q";
+
+  constexpr std::string_view input =
+      "<bib>"
+      "<book><title/><author/></book>"
+      "<book><title/><price>1</price></book>"
+      "</bib>";
+
+  gcx::EngineOptions options;
+  options.aggregate_roles = false;
+  options.eliminate_redundant_roles = false;
+  options.early_updates = false;
+
+  auto compiled = gcx::CompiledQuery::Compile(query_text, options);
+  if (!compiled.ok()) {
+    std::cerr << compiled.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "=== static analysis (cf. Fig. 1, Sec. 4) ===\n"
+            << compiled->Explain() << "\n";
+
+  std::cout << "=== execution trace (cf. Fig. 2) ===\n";
+  int step = 0;
+  gcx::Engine engine;
+  engine.set_trace([&step](const gcx::XmlEvent& event,
+                           const gcx::BufferTree& buffer,
+                           const gcx::SymbolTable& tags) {
+    ++step;
+    std::cout << "step " << step << ": read ";
+    switch (event.kind) {
+      case gcx::XmlEvent::Kind::kStartElement:
+        std::cout << "<" << event.name << ">";
+        break;
+      case gcx::XmlEvent::Kind::kEndElement:
+        std::cout << "</" << event.name << ">";
+        break;
+      case gcx::XmlEvent::Kind::kText:
+        std::cout << "text \"" << event.text << "\"";
+        break;
+      case gcx::XmlEvent::Kind::kEndOfDocument:
+        std::cout << "end-of-document";
+        break;
+    }
+    std::cout << "\nbuffer:\n" << buffer.Dump(tags) << "\n";
+  });
+
+  std::ostringstream out;
+  auto stats = engine.Execute(*compiled, input, &out);
+  if (!stats.ok()) {
+    std::cerr << stats.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "=== output ===\n" << out.str() << "\n";
+  std::cout << "\npeak nodes: " << stats->buffer.nodes_peak
+            << ", purged: " << stats->buffer.nodes_purged
+            << ", roles assigned = removed = "
+            << stats->buffer.roles_assigned << "\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// XMark demo: generate a scaled XMark document, run one of the paper's
+// benchmark queries on every engine configuration, and compare memory.
+//
+//   $ ./xmark_demo [factor] [query]
+//   $ ./xmark_demo 4 Q6
+
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <string>
+
+#include "core/engine.h"
+#include "xmark/generator.h"
+#include "xmark/queries.h"
+
+namespace {
+
+class NullBuffer : public std::streambuf {
+ public:
+  int overflow(int c) override { return c; }
+  std::streamsize xsputn(const char*, std::streamsize n) override { return n; }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double factor = argc > 1 ? std::atof(argv[1]) : 2.0;
+  std::string query_name = argc > 2 ? argv[2] : "Q1";
+
+  std::string_view query_text;
+  for (const gcx::NamedQuery& query : gcx::AllXMarkQueries()) {
+    if (query.name == query_name) query_text = query.text;
+  }
+  if (query_text.empty()) {
+    std::fprintf(stderr, "unknown query %s (use Q1, Q6, Q8, Q13, Q20)\n",
+                 query_name.c_str());
+    return 1;
+  }
+
+  std::printf("generating XMark document (factor %.2f)...\n", factor);
+  std::string doc = gcx::GenerateXMark(gcx::XMarkOptions{factor, 42});
+  std::printf("document: %zu bytes\n\n", doc.size());
+  std::printf("%-28s %10s %14s %12s %12s\n", "engine", "time", "peak bytes",
+              "peak nodes", "gc runs");
+
+  struct Config {
+    const char* name;
+    gcx::EngineOptions options;
+  };
+  Config configs[4];
+  configs[0] = {"GCX (full)", {}};
+  configs[1].name = "GCX without GC";
+  configs[1].options.enable_gc = false;
+  configs[2].name = "static projection only";
+  configs[2].options.mode = gcx::EngineMode::kMaterializedProjection;
+  configs[3].name = "naive DOM";
+  configs[3].options.mode = gcx::EngineMode::kNaiveDom;
+
+  for (const Config& config : configs) {
+    auto compiled = gcx::CompiledQuery::Compile(query_text, config.options);
+    if (!compiled.ok()) {
+      std::fprintf(stderr, "%s\n", compiled.status().ToString().c_str());
+      return 1;
+    }
+    NullBuffer null_buffer;
+    std::ostream null_stream(&null_buffer);
+    gcx::Engine engine;
+    auto stats = engine.Execute(*compiled, doc, &null_stream);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-28s %9.3fs %14llu %12llu %12llu\n", config.name,
+                stats->wall_seconds,
+                static_cast<unsigned long long>(stats->peak_bytes),
+                static_cast<unsigned long long>(stats->buffer.nodes_peak),
+                static_cast<unsigned long long>(stats->buffer.gc_runs));
+  }
+  return 0;
+}

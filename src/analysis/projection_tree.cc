@@ -1,0 +1,47 @@
+#include "analysis/projection_tree.h"
+
+namespace gcx {
+
+ProjectionTree::ProjectionTree() {
+  auto root = std::make_unique<ProjNode>();
+  root->id = 0;
+  root->is_root = true;
+  nodes_.push_back(std::move(root));
+}
+
+ProjNode* ProjectionTree::AddChild(ProjNode* parent, Step step) {
+  auto child = std::make_unique<ProjNode>();
+  child->id = static_cast<ProjNodeId>(nodes_.size());
+  child->step = std::move(step);
+  child->parent = parent;
+  parent->children.push_back(child.get());
+  nodes_.push_back(std::move(child));
+  return nodes_.back().get();
+}
+
+namespace {
+void Render(const ProjNode* node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  if (node->is_root) {
+    *out += "/";
+  } else {
+    *out += node->step.ToString();
+  }
+  if (node->role != kInvalidRole) {
+    *out += " {r" + std::to_string(node->role);
+    if (node->aggregate) *out += "*";
+    *out += "}";
+  }
+  if (node->var >= 0) *out += " [$" + std::to_string(node->var) + "]";
+  *out += "\n";
+  for (const ProjNode* child : node->children) Render(child, depth + 1, out);
+}
+}  // namespace
+
+std::string ProjectionTree::ToString() const {
+  std::string out;
+  Render(root(), 0, &out);
+  return out;
+}
+
+}  // namespace gcx

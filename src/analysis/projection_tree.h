@@ -1,0 +1,63 @@
+// Projection trees (Sec. 2, Sec. 4 "Deriving Projection Trees").
+//
+// A projection tree summarizes all projection paths of a query: the root is
+// labeled "/", inner nodes carry location steps, and nodes may define a role
+// (rpi). Variable nodes additionally remember which for-variable they bind.
+// Dependency paths are chains of (role-less) step nodes whose last node
+// carries the dependency's role.
+
+#ifndef GCX_ANALYSIS_PROJECTION_TREE_H_
+#define GCX_ANALYSIS_PROJECTION_TREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/roles.h"
+#include "xpath/path.h"
+#include "xq/ast.h"
+
+namespace gcx {
+
+/// Dense projection-tree node id.
+using ProjNodeId = int32_t;
+
+/// One node of the projection tree.
+struct ProjNode {
+  ProjNodeId id = 0;
+  bool is_root = false;       ///< the "/" node
+  Step step;                  ///< label (unused for the root)
+  RoleId role = kInvalidRole; ///< rpi(node), if any
+  bool aggregate = false;     ///< role is assigned in aggregate mode (Sec. 6)
+  VarId var = -1;             ///< binding variable for variable nodes, else -1
+  ProjNode* parent = nullptr;
+  std::vector<ProjNode*> children;
+};
+
+/// An owned projection tree with dense node ids.
+class ProjectionTree {
+ public:
+  ProjectionTree();
+
+  ProjNode* root() { return nodes_.front().get(); }
+  const ProjNode* root() const { return nodes_.front().get(); }
+
+  /// Creates a child of `parent` labeled `step`.
+  ProjNode* AddChild(ProjNode* parent, Step step);
+
+  const ProjNode* node(ProjNodeId id) const {
+    return nodes_[static_cast<size_t>(id)].get();
+  }
+  size_t size() const { return nodes_.size(); }
+
+  /// Renders the tree with one node per line, children indented, roles as
+  /// {rN} suffixes — the shape of Fig. 1 / Fig. 12.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::unique_ptr<ProjNode>> nodes_;
+};
+
+}  // namespace gcx
+
+#endif  // GCX_ANALYSIS_PROJECTION_TREE_H_

@@ -1,0 +1,29 @@
+#include "analysis/roles.h"
+
+namespace gcx {
+
+std::string RoleCatalog::ToString(
+    const std::vector<std::string>& var_names) const {
+  std::string out;
+  for (const RoleInfo& info : roles_) {
+    out += "r" + std::to_string(info.id) + ": ";
+    switch (info.kind) {
+      case RoleKind::kPin:
+        out += "(cursor pin)";
+        break;
+      case RoleKind::kBinding:
+        out += "binding of " + var_names[static_cast<size_t>(info.var)];
+        break;
+      case RoleKind::kDep:
+        out += "dep of " + var_names[static_cast<size_t>(info.var)] + " <" +
+               info.path.ToString() + ">";
+        break;
+    }
+    if (info.aggregate) out += " [aggregate]";
+    if (info.eliminated) out += " [eliminated]";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace gcx

@@ -1,0 +1,78 @@
+// Role catalog (Sec. 2 "roles", Sec. 4 r_Q).
+//
+// Static analysis assigns one role to each for-loop (the *binding* role of
+// its variable) and one to each dependency (Def. 2). Role 0 is reserved for
+// the buffer manager's cursor pins.
+
+#ifndef GCX_ANALYSIS_ROLES_H_
+#define GCX_ANALYSIS_ROLES_H_
+
+#include <string>
+#include <vector>
+
+#include "xpath/path.h"
+#include "xq/ast.h"
+
+namespace gcx {
+
+/// Why a role exists.
+enum class RoleKind {
+  kPin,      ///< role 0: evaluator cursor pin (runtime-only)
+  kBinding,  ///< for-loop binding role rQ(β), β = "for $x in …"
+  kDep,      ///< dependency role from dep($x) (Def. 2)
+};
+
+/// Static description of one role.
+struct RoleInfo {
+  RoleId id = kInvalidRole;
+  RoleKind kind = RoleKind::kDep;
+  /// The variable this role belongs to ($x for binding roles, the dep($x)
+  /// owner for dependency roles).
+  VarId var = kRootVar;
+  /// For dependency roles: the path π of the dependency 〈π, r〉 relative to
+  /// `var`'s binding. Empty for binding roles.
+  RelativePath path;
+  /// True when the dependency path ends in dos::node() and the engine runs
+  /// with aggregate roles (Sec. 6): one role instance on the subtree root
+  /// stands for the whole subtree.
+  bool aggregate = false;
+  /// True when redundant-role elimination (Sec. 6) removed this role: it is
+  /// neither assigned during projection nor signed off.
+  bool eliminated = false;
+};
+
+/// The set of roles of a compiled query.
+class RoleCatalog {
+ public:
+  RoleCatalog() {
+    RoleInfo pin;
+    pin.id = kPinRole;
+    pin.kind = RoleKind::kPin;
+    roles_.push_back(pin);
+  }
+
+  /// Registers a new role and returns its id.
+  RoleId Add(RoleKind kind, VarId var, RelativePath path) {
+    RoleInfo info;
+    info.id = static_cast<RoleId>(roles_.size());
+    info.kind = kind;
+    info.var = var;
+    info.path = std::move(path);
+    roles_.push_back(std::move(info));
+    return roles_.back().id;
+  }
+
+  RoleInfo& at(RoleId id) { return roles_[static_cast<size_t>(id)]; }
+  const RoleInfo& at(RoleId id) const { return roles_[static_cast<size_t>(id)]; }
+  size_t size() const { return roles_.size(); }
+
+  /// Human-readable listing ("r3: binding of $x", …).
+  std::string ToString(const std::vector<std::string>& var_names) const;
+
+ private:
+  std::vector<RoleInfo> roles_;
+};
+
+}  // namespace gcx
+
+#endif  // GCX_ANALYSIS_ROLES_H_

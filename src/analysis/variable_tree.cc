@@ -1,0 +1,272 @@
+#include "analysis/variable_tree.h"
+
+#include <functional>
+
+namespace gcx {
+
+namespace {
+
+/// Appends `[1]` to the last step of an existence-check path (Def. 2: only
+/// the first witness matters).
+///
+/// The predicate is only sound on *child*-axis final steps: there, the
+/// projector's per-parent-context suppression and the signOff-time
+/// first-child removal see the same witness set, so assignments and
+/// removals balance. For a descendant final step the projector would mark
+/// one witness per parent element (many), while the signOff removes only
+/// the subtree-first one — so descendant existence checks keep all matches
+/// instead (they are buffered as subtree-less stubs, still far cheaper
+/// than a full projection).
+RelativePath WithFirstWitness(RelativePath path) {
+  GCX_CHECK(!path.empty());
+  if (path.steps.back().axis == Axis::kChild) {
+    path.steps.back().predicate = StepPredicate::kFirst;
+  }
+  return path;
+}
+
+/// Appends `/dos::node()` (Def. 2: outputs and comparisons need complete
+/// subtrees).
+RelativePath WithSubtree(RelativePath path) {
+  Step dos;
+  dos.axis = Axis::kDescendantOrSelf;
+  dos.test = NodeTest::AnyNode();
+  path.steps.push_back(std::move(dos));
+  return path;
+}
+
+/// User-written paths may only use the fragment's axes (child, descendant)
+/// and no predicates — `[1]` and dos::node() are introduced by the
+/// analysis itself (Def. 2) and by signOff rewriting.
+Status ValidateUserPath(const RelativePath& path) {
+  for (const Step& step : path.steps) {
+    if (step.axis == Axis::kDescendantOrSelf) {
+      return AnalysisError(
+          "the descendant-or-self axis is outside the XQ fragment: " +
+          path.ToString());
+    }
+    if (step.predicate != StepPredicate::kNone) {
+      return AnalysisError("positional predicates are outside the XQ "
+                           "fragment: " + path.ToString());
+    }
+  }
+  return Status::Ok();
+}
+
+class Builder {
+ public:
+  Builder(const Query& query, RoleCatalog* catalog)
+      : query_(query), catalog_(catalog) {
+    vars_.resize(query.var_names.size());
+    for (size_t i = 0; i < vars_.size(); ++i) {
+      vars_[i].id = static_cast<VarId>(i);
+    }
+    vars_[kRootVar].straight = true;
+    vars_[kRootVar].fsa = kRootVar;
+    seen_.assign(vars_.size(), false);
+    seen_[kRootVar] = true;
+  }
+
+  Result<VariableTree> Build() {
+    GCX_RETURN_IF_ERROR(WalkExpr(*query_.body));
+    // fsa (Def. 4) — vars_ entries are complete once the walk finishes.
+    for (VarInfo& info : vars_) {
+      VarId v = info.id;
+      while (!vars_[static_cast<size_t>(v)].straight) {
+        v = vars_[static_cast<size_t>(v)].parent;
+      }
+      info.fsa = v;
+    }
+    return VariableTree(std::move(vars_));
+  }
+
+ private:
+  void AddDep(VarId var, RelativePath path) {
+    RoleId role = catalog_->Add(RoleKind::kDep, var, path);
+    vars_[static_cast<size_t>(var)].deps.push_back(
+        Dependency{std::move(path), role});
+  }
+
+  Status WalkOperand(const Operand& operand, bool exists_check) {
+    if (operand.is_literal) return Status::Ok();
+    GCX_RETURN_IF_ERROR(ValidateUserPath(operand.path));
+    if (operand.path.empty()) {
+      if (exists_check) return Status::Ok();  // exists($x) is always true
+      AddDep(operand.var, WithSubtree(RelativePath{}));
+      return Status::Ok();
+    }
+    if (exists_check) {
+      AddDep(operand.var, WithFirstWitness(operand.path));
+    } else {
+      AddDep(operand.var, WithSubtree(operand.path));
+    }
+    return Status::Ok();
+  }
+
+  Status WalkCond(const Cond& cond) {
+    switch (cond.kind) {
+      case CondKind::kTrue:
+        return Status::Ok();
+      case CondKind::kExists:
+        return WalkOperand(cond.lhs, /*exists_check=*/true);
+      case CondKind::kCompare:
+        GCX_RETURN_IF_ERROR(WalkOperand(cond.lhs, /*exists_check=*/false));
+        return WalkOperand(cond.rhs, /*exists_check=*/false);
+      case CondKind::kAnd:
+      case CondKind::kOr:
+        GCX_RETURN_IF_ERROR(WalkCond(*cond.left));
+        return WalkCond(*cond.right);
+      case CondKind::kNot:
+        return WalkCond(*cond.left);
+    }
+    return Status::Ok();
+  }
+
+  Status WalkExpr(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::kEmpty:
+      case ExprKind::kOpenTag:
+      case ExprKind::kCloseTag:
+      case ExprKind::kTextLiteral:
+        return Status::Ok();
+      case ExprKind::kSequence:
+        for (const auto& item : expr.items) GCX_RETURN_IF_ERROR(WalkExpr(*item));
+        return Status::Ok();
+      case ExprKind::kElement:
+        return WalkExpr(*expr.child);
+      case ExprKind::kVarRef:
+        AddDep(expr.var, WithSubtree(RelativePath{}));
+        return Status::Ok();
+      case ExprKind::kPathOutput:
+        GCX_RETURN_IF_ERROR(ValidateUserPath(expr.path));
+        AddDep(expr.var, WithSubtree(expr.path));
+        return Status::Ok();
+      case ExprKind::kAggregate:
+        GCX_RETURN_IF_ERROR(ValidateUserPath(expr.path));
+        if (expr.path.empty()) return Status::Ok();  // count($x) is constant
+        if (expr.agg == AggKind::kCount) {
+          // count needs the matched nodes themselves, not their subtrees:
+          // the dependency is the bare path (extension of Def. 2).
+          AddDep(expr.var, expr.path);
+        } else {
+          AddDep(expr.var, WithSubtree(expr.path));
+        }
+        return Status::Ok();
+      case ExprKind::kIf:
+        GCX_RETURN_IF_ERROR(WalkCond(*expr.cond));
+        GCX_RETURN_IF_ERROR(WalkExpr(*expr.then_branch));
+        return WalkExpr(*expr.else_branch);
+      case ExprKind::kSignOff:
+        return AnalysisError("signOff in un-analyzed query");
+      case ExprKind::kFor: {
+        VarId z = expr.loop_var;
+        VarInfo& info = vars_[static_cast<size_t>(z)];
+        if (seen_[static_cast<size_t>(z)]) {
+          return AnalysisError("variable " +
+                               query_.var_names[static_cast<size_t>(z)] +
+                               " bound by two for-loops");
+        }
+        seen_[static_cast<size_t>(z)] = true;
+        if (expr.path.steps.size() != 1) {
+          return AnalysisError(
+              "for-loop sources must be single-step after normalization");
+        }
+        GCX_RETURN_IF_ERROR(ValidateUserPath(expr.path));
+        info.parent = expr.var;
+        info.step = expr.path.steps[0];
+        info.body = expr.body.get();
+        info.binding_role = catalog_->Add(RoleKind::kBinding, z, RelativePath{});
+        // Straightness (Def. 3): the parent variable must be straight and
+        // every for-loop properly enclosing this one must bind an ancestor
+        // variable of $z.
+        bool straight = vars_[static_cast<size_t>(expr.var)].straight;
+        for (VarId enclosing : loop_stack_) {
+          if (!IsAncestor(enclosing, z)) {
+            straight = false;
+            break;
+          }
+        }
+        info.straight = straight;
+
+        loop_stack_.push_back(z);
+        Status status = WalkExpr(*expr.body);
+        loop_stack_.pop_back();
+        return status;
+      }
+    }
+    return Status::Ok();
+  }
+
+  /// Strict ancestor test via parent pointers (valid for already-seen vars).
+  bool IsAncestor(VarId ancestor, VarId v) const {
+    while (v != kRootVar) {
+      v = vars_[static_cast<size_t>(v)].parent;
+      if (v == ancestor) return true;
+    }
+    return ancestor == kRootVar && false;
+  }
+
+  const Query& query_;
+  RoleCatalog* catalog_;
+  std::vector<VarInfo> vars_;
+  std::vector<bool> seen_;
+  std::vector<VarId> loop_stack_;
+};
+
+}  // namespace
+
+Result<VariableTree> VariableTree::Build(const Query& query,
+                                         RoleCatalog* catalog) {
+  return Builder(query, catalog).Build();
+}
+
+bool VariableTree::IsAncestorOrSelf(VarId ancestor, VarId v) const {
+  while (true) {
+    if (v == ancestor) return true;
+    if (v == kRootVar) return false;
+    v = vars_[static_cast<size_t>(v)].parent;
+  }
+}
+
+RelativePath VariableTree::VarPath(VarId from, VarId to) const {
+  GCX_CHECK(IsAncestorOrSelf(from, to));
+  std::vector<Step> reversed;
+  VarId v = to;
+  while (v != from) {
+    reversed.push_back(vars_[static_cast<size_t>(v)].step);
+    v = vars_[static_cast<size_t>(v)].parent;
+  }
+  RelativePath path;
+  path.steps.assign(reversed.rbegin(), reversed.rend());
+  return path;
+}
+
+std::vector<VarId> VariableTree::AllVars() const {
+  std::vector<VarId> out;
+  out.reserve(vars_.size());
+  for (const VarInfo& info : vars_) out.push_back(info.id);
+  return out;
+}
+
+std::string VariableTree::ToString(
+    const std::vector<std::string>& var_names) const {
+  std::string out;
+  for (const VarInfo& info : vars_) {
+    const std::string& name = var_names[static_cast<size_t>(info.id)];
+    out += name;
+    if (info.id != kRootVar) {
+      out += " (parent " + var_names[static_cast<size_t>(info.parent)] +
+             ", step " + info.step.ToString() + ")";
+    }
+    out += info.straight ? " straight" : " not-straight";
+    out += ", fsa " + var_names[static_cast<size_t>(info.fsa)];
+    for (const Dependency& dep : info.deps) {
+      out += "\n  dep <" + dep.path.ToString() + ", r" +
+             std::to_string(dep.role) + ">";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace gcx

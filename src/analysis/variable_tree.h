@@ -1,0 +1,77 @@
+// Variable tree, dependencies, straightness (Sec. 3).
+//
+// The variable tree records parVarQ (the parent-variable relation induced by
+// for-loop nesting over *sources*, not syntax): $y = parVar($x) when the
+// query contains "for $x in $y/axis::ν". Dependencies dep($x) (Def. 2)
+// collect the paths whose matches the evaluation of $x-rooted expressions
+// will need. Straightness (Def. 3) and fsa (Def. 4) decide where
+// signOff-statements may be placed.
+
+#ifndef GCX_ANALYSIS_VARIABLE_TREE_H_
+#define GCX_ANALYSIS_VARIABLE_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xpath/path.h"
+#include "xq/ast.h"
+#include "analysis/roles.h"
+
+namespace gcx {
+
+/// One dependency 〈π, r〉 ∈ dep($x) (Def. 2, generalized to multi-step π).
+struct Dependency {
+  RelativePath path;         ///< π, relative to $x's binding
+  RoleId role = kInvalidRole;
+};
+
+/// Everything static analysis knows about one variable.
+struct VarInfo {
+  VarId id = kRootVar;
+  VarId parent = kRootVar;       ///< parVarQ; == id only for $root
+  Step step;                     ///< the for-loop step (unused for $root)
+  RoleId binding_role = kInvalidRole;  ///< rQ(β) of the defining for-loop
+  bool straight = false;         ///< Def. 3
+  VarId fsa = kRootVar;          ///< Def. 4 (first straight ancestor)
+  std::vector<Dependency> deps;  ///< dep($x)
+  /// Loop body of the defining for-expression (borrowed pointer into the
+  /// query; null for $root). Used by redundant-role elimination.
+  const Expr* body = nullptr;
+};
+
+/// The variable tree plus per-variable analysis results.
+class VariableTree {
+ public:
+  VariableTree() = default;
+  /// Wraps already-computed per-variable info (used by Build and tests).
+  explicit VariableTree(std::vector<VarInfo> vars) : vars_(std::move(vars)) {}
+
+  /// Builds the tree from a *normalized* query (single-step for sources),
+  /// allocating binding and dependency roles in `catalog`.
+  static Result<VariableTree> Build(const Query& query, RoleCatalog* catalog);
+
+  const VarInfo& info(VarId v) const { return vars_[static_cast<size_t>(v)]; }
+  VarInfo& info(VarId v) { return vars_[static_cast<size_t>(v)]; }
+  size_t size() const { return vars_.size(); }
+
+  /// True if `ancestor` ≤Q `v` (reflexive ancestor in the variable tree).
+  bool IsAncestorOrSelf(VarId ancestor, VarId v) const;
+
+  /// varpathQ(from, to): the step chain from `from` down to `to` in the
+  /// variable tree. Requires IsAncestorOrSelf(from, to).
+  RelativePath VarPath(VarId from, VarId to) const;
+
+  /// Variables in definition (document) order, $root first.
+  std::vector<VarId> AllVars() const;
+
+  /// Renders the tree and dep sets (for explain / tests).
+  std::string ToString(const std::vector<std::string>& var_names) const;
+
+ private:
+  std::vector<VarInfo> vars_;
+};
+
+}  // namespace gcx
+
+#endif  // GCX_ANALYSIS_VARIABLE_TREE_H_

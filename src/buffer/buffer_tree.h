@@ -1,0 +1,156 @@
+// The GCX buffer: the projected document tree with role multisets and
+// active garbage collection (Sec. 5, Sec. 6 "Buffer Representation").
+//
+// Design notes (mirroring the paper):
+//  * Nodes form a tree with parent / first-child / sibling pointers; tag
+//    names are interned integers.
+//  * Every node carries a role *multiset* (a role can be assigned to the
+//    same node several times, e.g. through descendant-axis multiplicity).
+//  * Evaluator cursors hold *pins*, implemented as instances of the
+//    reserved role 0, so the same relevance machinery protects them.
+//  * Each node maintains `subtree_weight`, the number of role+pin instances
+//    in its subtree (including itself); the Fig. 10 irrelevance test
+//    ("neither the node itself nor any of its descendants carry a role")
+//    is then O(1) per node plus an ancestor walk for aggregate covers.
+//  * Aggregate roles (Sec. 6) sit on a subtree root and implicitly cover
+//    all descendants; the cover test walks the ancestor chain.
+//  * Unfinished nodes (open elements) are never freed: they are marked
+//    deleted and purged when their closing tag arrives (Sec. 5).
+
+#ifndef GCX_BUFFER_BUFFER_TREE_H_
+#define GCX_BUFFER_BUFFER_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/pool.h"
+#include "common/status.h"
+#include "common/symbol_table.h"
+#include "xq/ast.h"
+
+namespace gcx {
+
+/// One (role, multiplicity) entry of a node's role multiset.
+struct RoleInstance {
+  RoleId role = kInvalidRole;
+  uint32_t count = 0;
+  bool aggregate = false;
+};
+
+/// A node of the buffered, projected document.
+struct BufferNode {
+  TagId tag = kInvalidTag;  ///< kInvalidTag for text nodes and the root
+  bool is_text = false;
+  bool finished = false;        ///< closing tag seen (text: always true)
+  bool marked_deleted = false;  ///< Fig. 10: purge when finished
+  std::string text;             ///< character data for text nodes
+
+  BufferNode* parent = nullptr;
+  BufferNode* first_child = nullptr;
+  BufferNode* last_child = nullptr;
+  BufferNode* prev_sibling = nullptr;
+  BufferNode* next_sibling = nullptr;
+
+  std::vector<RoleInstance> roles;
+  uint32_t self_weight = 0;    ///< Σ counts in `roles`
+  uint64_t subtree_weight = 0; ///< Σ self_weight over the subtree
+
+  /// Multiplicity of `role` on this node.
+  uint32_t RoleCount(RoleId role) const;
+  /// True if the node holds at least one aggregate role instance.
+  bool HasAggregateRole() const;
+};
+
+/// Buffer statistics. Byte figures count the live tree: node structs, text
+/// payloads and role entries (the memory the paper's technique manages;
+/// allocator overhead is excluded deliberately — see DESIGN.md).
+struct BufferStats {
+  uint64_t nodes_current = 0;
+  uint64_t nodes_peak = 0;
+  uint64_t bytes_current = 0;
+  uint64_t bytes_peak = 0;
+  uint64_t nodes_created = 0;
+  uint64_t nodes_purged = 0;
+  uint64_t roles_assigned = 0;   ///< role instances (excluding pins)
+  uint64_t roles_removed = 0;
+  uint64_t gc_runs = 0;          ///< LocalGc invocations
+  uint64_t gc_nodes_visited = 0; ///< irrelevance checks performed
+};
+
+/// The buffer tree. Single-threaded; owned by one execution.
+class BufferTree {
+ public:
+  BufferTree();
+  ~BufferTree();
+
+  BufferTree(const BufferTree&) = delete;
+  BufferTree& operator=(const BufferTree&) = delete;
+
+  /// The virtual document root (always present, freed only on destruction).
+  BufferNode* root() { return root_; }
+
+  // --- structure (driven by the stream projector) ------------------------
+
+  /// Appends a new unfinished element under `parent`.
+  BufferNode* AppendElement(BufferNode* parent, TagId tag);
+  /// Appends a (finished) text node under `parent`.
+  BufferNode* AppendText(BufferNode* parent, std::string text);
+  /// Marks `node` finished; if it was marked deleted and is irrelevant, it
+  /// is purged now and garbage collection cascades upward (Sec. 5).
+  void Finish(BufferNode* node);
+
+  // --- roles --------------------------------------------------------------
+
+  /// Adds `count` instances of `role` to `node`.
+  void AddRole(BufferNode* node, RoleId role, uint32_t count, bool aggregate);
+  /// Removes `count` instances; it is a checked error (paper requirement 1)
+  /// if fewer instances are present. Runs localized GC from `node`.
+  void RemoveRole(BufferNode* node, RoleId role, uint32_t count);
+
+  /// Cursor pins (role 0). Unpin runs localized GC.
+  void Pin(BufferNode* node);
+  void Unpin(BufferNode* node);
+
+  // --- garbage collection --------------------------------------------------
+
+  /// Localized bottom-up purge starting at `node` (Fig. 10). No-op when
+  /// garbage collection is disabled (ablation baselines).
+  void LocalGc(BufferNode* node);
+
+  /// Disables all purging (the "static analysis alone" baselines).
+  void set_gc_enabled(bool enabled) { gc_enabled_ = enabled; }
+
+  /// True if the node may be reclaimed: no roles or pins in its subtree and
+  /// no covering ancestor aggregate role.
+  bool Irrelevant(const BufferNode* node) const;
+
+  // --- inspection -----------------------------------------------------------
+
+  const BufferStats& stats() const { return stats_; }
+
+  /// Total role instances currently assigned (excluding pins); zero after a
+  /// complete evaluation (paper requirement 2).
+  uint64_t live_role_instances() const {
+    return stats_.roles_assigned - stats_.roles_removed;
+  }
+
+  /// Renders the buffer in the style of Fig. 2: one node per line,
+  /// children indented, role multisets as {r2,r3,r3}; pins shown as "pin".
+  std::string Dump(const SymbolTable& tags) const;
+
+ private:
+  void AddWeight(BufferNode* node, int64_t delta);
+  void FreeSubtree(BufferNode* node);
+  void Detach(BufferNode* node);
+  void UpdateBytesPeak();
+
+  Pool<BufferNode, 1024> pool_;
+  BufferNode* root_;
+  BufferStats stats_;
+  bool gc_enabled_ = true;
+};
+
+}  // namespace gcx
+
+#endif  // GCX_BUFFER_BUFFER_TREE_H_

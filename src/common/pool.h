@@ -1,0 +1,83 @@
+// Free-list object pool.
+//
+// The buffer manager allocates and frees tree nodes at a very high rate
+// (every purged node goes back to the allocator). A chunked free-list pool
+// keeps that traffic away from the general-purpose allocator and gives
+// stable, countable memory behaviour.
+
+#ifndef GCX_COMMON_POOL_H_
+#define GCX_COMMON_POOL_H_
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gcx {
+
+/// Fixed-type pool with O(1) Allocate/Free and chunked backing storage.
+///
+/// Objects are constructed on Allocate and destroyed on Free. The pool
+/// itself releases all backing memory on destruction; outstanding objects
+/// must have been freed by then (checked).
+template <typename T, size_t kChunkObjects = 256>
+class Pool {
+ public:
+  Pool() = default;
+  ~Pool() { GCX_CHECK(live_ == 0); }
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// Constructs a T from `args` in pooled storage.
+  template <typename... Args>
+  T* Allocate(Args&&... args) {
+    Slot* slot = free_list_;
+    if (slot != nullptr) {
+      free_list_ = slot->next;
+    } else {
+      if (next_in_chunk_ >= kChunkObjects || chunks_.empty()) {
+        chunks_.push_back(std::make_unique<Slot[]>(kChunkObjects));
+        next_in_chunk_ = 0;
+      }
+      slot = &chunks_.back()[next_in_chunk_++];
+    }
+    ++live_;
+    return new (slot->storage) T(std::forward<Args>(args)...);
+  }
+
+  /// Destroys `obj` and recycles its slot. `obj` must come from this pool.
+  void Free(T* obj) {
+    GCX_CHECK(obj != nullptr && live_ > 0);
+    obj->~T();
+    Slot* slot = reinterpret_cast<Slot*>(obj);
+    slot->next = free_list_;
+    free_list_ = slot;
+    --live_;
+  }
+
+  /// Number of currently allocated (not yet freed) objects.
+  size_t live() const { return live_; }
+
+  /// Total bytes of backing storage currently reserved.
+  size_t reserved_bytes() const { return chunks_.size() * kChunkObjects * sizeof(Slot); }
+
+ private:
+  union Slot {
+    Slot() {}
+    ~Slot() {}
+    alignas(T) char storage[sizeof(T)];
+    Slot* next;
+  };
+
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  size_t next_in_chunk_ = 0;
+  Slot* free_list_ = nullptr;
+  size_t live_ = 0;
+};
+
+}  // namespace gcx
+
+#endif  // GCX_COMMON_POOL_H_

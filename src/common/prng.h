@@ -1,0 +1,44 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// The XMark-style generator and the property-test fuzzers must be exactly
+// reproducible across platforms, so we pin the algorithm (splitmix64)
+// instead of relying on std::mt19937 distributions.
+
+#ifndef GCX_COMMON_PRNG_H_
+#define GCX_COMMON_PRNG_H_
+
+#include <cstdint>
+
+namespace gcx {
+
+/// splitmix64: tiny, fast, well-distributed, and stable across platforms.
+class Prng {
+ public:
+  explicit Prng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). `bound` must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Between(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli draw with probability `permille`/1000.
+  bool Chance(uint32_t permille) { return Below(1000) < permille; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace gcx
+
+#endif  // GCX_COMMON_PRNG_H_

@@ -1,0 +1,159 @@
+// Error handling primitives for the GCX library.
+//
+// The public API does not use exceptions (Google style). Fallible operations
+// return `Status`, or `Result<T>` when they produce a value. Programming
+// errors (violated invariants) abort via GCX_CHECK.
+
+#ifndef GCX_COMMON_STATUS_H_
+#define GCX_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gcx {
+
+/// Broad classification of an error, loosely mirroring the pipeline stage
+/// that produced it.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  ///< caller-supplied value out of contract
+  kParseError,       ///< malformed XML / XPath / XQ input
+  kUnsupported,      ///< outside the implemented XQ fragment
+  kAnalysisError,    ///< static analysis rejected the query
+  kEvalError,        ///< runtime evaluation failure
+  kIoError,          ///< stream / file failure
+};
+
+/// Returns a short human-readable name for `code` (e.g. "ParseError").
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, value-semantic success-or-error type.
+///
+/// An OK status carries no message; error statuses carry a message that is
+/// expected to be shown to a developer or query author.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with `code` and developer-facing `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructor for the OK status.
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Convenience factories, one per error code.
+Status InvalidArgumentError(std::string message);
+Status ParseError(std::string message);
+Status UnsupportedError(std::string message);
+Status AnalysisError(std::string message);
+Status EvalError(std::string message);
+Status IoError(std::string message);
+
+/// A value-or-Status union, the no-exceptions analogue of `expected`.
+///
+/// `Result` is cheap to move and asserts on wrong-side access, so callers
+/// must test `ok()` (or use GCX_ASSIGN_OR_RETURN) before dereferencing.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT
+  /// Implicit construction from an error status.
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(payload_).ok()) {
+      std::fprintf(stderr, "Result constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Returns the error (OK if this Result holds a value).
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(payload_);
+  }
+
+  /// Returns the contained value; aborts if this Result holds an error.
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result accessed with error: %s\n",
+                   std::get<Status>(payload_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> payload_;
+};
+
+/// Aborts the process with a message when `cond` is false. Used for internal
+/// invariants that indicate a bug in GCX itself, never for user input.
+#define GCX_CHECK(cond)                                                 \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "GCX_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #cond);                                    \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+/// Propagates a non-OK Status from the current function.
+#define GCX_RETURN_IF_ERROR(expr)          \
+  do {                                     \
+    ::gcx::Status gcx_status_ = (expr);    \
+    if (!gcx_status_.ok()) return gcx_status_; \
+  } while (0)
+
+/// Evaluates `rexpr` (a Result<T>), propagating the error or assigning the
+/// value to `lhs`.
+#define GCX_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  auto GCX_CONCAT_(gcx_result_, __LINE__) = (rexpr);  \
+  if (!GCX_CONCAT_(gcx_result_, __LINE__).ok())       \
+    return GCX_CONCAT_(gcx_result_, __LINE__).status(); \
+  lhs = std::move(GCX_CONCAT_(gcx_result_, __LINE__)).value()
+
+#define GCX_CONCAT_IMPL_(a, b) a##b
+#define GCX_CONCAT_(a, b) GCX_CONCAT_IMPL_(a, b)
+
+}  // namespace gcx
+
+#endif  // GCX_COMMON_STATUS_H_

@@ -1,0 +1,59 @@
+#include "common/strings.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gcx {
+
+namespace {
+bool IsXmlSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+}  // namespace
+
+std::string_view TrimWhitespace(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && IsXmlSpace(text[begin])) ++begin;
+  while (end > begin && IsXmlSpace(text[end - 1])) --end;
+  return text.substr(begin, end - begin);
+}
+
+bool IsAllWhitespace(std::string_view text) {
+  for (char c : text) {
+    if (!IsXmlSpace(c)) return false;
+  }
+  return true;
+}
+
+std::optional<double> ParseNumber(std::string_view text) {
+  std::string_view trimmed = TrimWhitespace(text);
+  if (trimmed.empty()) return std::nullopt;
+  std::string owned(trimmed);
+  const char* begin = owned.c_str();
+  char* end = nullptr;
+  double value = std::strtod(begin, &end);
+  if (end != begin + owned.size()) return std::nullopt;
+  return value;
+}
+
+std::string FormatNumber(double value) {
+  long long integral = static_cast<long long>(value);
+  if (static_cast<double>(integral) == value) {
+    return std::to_string(integral);
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+}  // namespace gcx

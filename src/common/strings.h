@@ -1,0 +1,32 @@
+// Small string utilities shared across modules.
+
+#ifndef GCX_COMMON_STRINGS_H_
+#define GCX_COMMON_STRINGS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gcx {
+
+/// Parses `text` (after trimming XML whitespace) as a double.
+/// Returns nullopt when the trimmed text is not exactly one number.
+std::optional<double> ParseNumber(std::string_view text);
+
+/// Removes leading/trailing XML whitespace (space, tab, CR, LF).
+std::string_view TrimWhitespace(std::string_view text);
+
+/// True if `text` consists solely of XML whitespace (or is empty).
+bool IsAllWhitespace(std::string_view text);
+
+/// Formats a double the way query output needs it: integral values print
+/// without a decimal point ("42"), others with up to 6 significant digits.
+std::string FormatNumber(double value);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace gcx
+
+#endif  // GCX_COMMON_STRINGS_H_

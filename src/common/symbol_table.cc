@@ -1,0 +1,26 @@
+#include "common/symbol_table.h"
+
+namespace gcx {
+
+TagId SymbolTable::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  TagId id = static_cast<TagId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+TagId SymbolTable::Lookup(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) return kInvalidTag;
+  return it->second;
+}
+
+const std::string& SymbolTable::Name(TagId id) const {
+  if (id == kInvalidTag) return none_name_;
+  GCX_CHECK(id >= 0 && static_cast<size_t>(id) < names_.size());
+  return names_[static_cast<size_t>(id)];
+}
+
+}  // namespace gcx

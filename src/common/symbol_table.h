@@ -1,0 +1,62 @@
+// Tag-name interning.
+//
+// The buffer stores element names as small integers ("Moreover, we use a
+// symbol table to replace tagnames by integers", Sec. 6 of the paper). One
+// SymbolTable is shared by the projection tree, the DFA and the buffer of a
+// single execution.
+
+#ifndef GCX_COMMON_SYMBOL_TABLE_H_
+#define GCX_COMMON_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gcx {
+
+/// Dense identifier for an interned tag name. Valid ids are >= 0.
+using TagId = int32_t;
+
+/// Sentinel for "no tag" (e.g. text nodes, the virtual document root).
+inline constexpr TagId kInvalidTag = -1;
+
+/// Bidirectional map between tag names and dense TagIds.
+///
+/// Not thread-safe; each engine execution owns one instance (or shares the
+/// compile-time instance single-threadedly, which is how the engine uses it).
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  // Movable but not copyable: ids must stay unique to one table.
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+  SymbolTable(SymbolTable&&) = default;
+  SymbolTable& operator=(SymbolTable&&) = default;
+
+  /// Returns the id for `name`, interning it on first sight.
+  TagId Intern(std::string_view name);
+
+  /// Returns the id for `name` or kInvalidTag if it was never interned.
+  TagId Lookup(std::string_view name) const;
+
+  /// Returns the name for `id`. `id` must be a valid id from this table;
+  /// kInvalidTag maps to "#none".
+  const std::string& Name(TagId id) const;
+
+  /// Number of distinct interned names.
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, TagId> ids_;
+  std::vector<std::string> names_;
+  std::string none_name_ = "#none";
+};
+
+}  // namespace gcx
+
+#endif  // GCX_COMMON_SYMBOL_TABLE_H_

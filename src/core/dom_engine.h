@@ -1,0 +1,32 @@
+// Reference in-memory evaluation of parsed XQ queries over DOM trees.
+//
+// This is (a) the kNaiveDom baseline — a Galax-like engine that buffers the
+// entire input before evaluating — and (b) the differential-testing oracle:
+// by Theorem 1, GCX streaming evaluation must produce byte-identical
+// output.
+//
+// Semantics note: multi-step paths are evaluated by nested per-step
+// iteration *without* node-set deduplication, matching the normalizer's
+// rewriting of multi-step paths into nested single-step for-loops.
+
+#ifndef GCX_CORE_DOM_ENGINE_H_
+#define GCX_CORE_DOM_ENGINE_H_
+
+#include "common/status.h"
+#include "xml/dom.h"
+#include "xml/writer.h"
+#include "xq/ast.h"
+
+namespace gcx {
+
+/// Evaluates `query` (as parsed; no signOffs) with $root bound to
+/// `doc`'s virtual root, writing the result through `writer`.
+Status EvalQueryOnDom(const Query& query, DomDocument* doc, XmlWriter* writer);
+
+/// Approximate heap footprint of a DOM subtree (node structs + strings +
+/// child vectors) — the kNaiveDom baseline's "buffer size".
+uint64_t DomSubtreeBytes(const DomNode* node);
+
+}  // namespace gcx
+
+#endif  // GCX_CORE_DOM_ENGINE_H_

@@ -1,0 +1,169 @@
+#include "core/engine.h"
+
+#include <chrono>
+
+#include "core/dom_engine.h"
+#include "eval/evaluator.h"
+#include "eval/exec_context.h"
+#include "xml/writer.h"
+#include "xq/normalize.h"
+#include "xq/parser.h"
+
+namespace gcx {
+
+Result<CompiledQuery> CompiledQuery::Compile(std::string_view text,
+                                             const EngineOptions& options) {
+  CompiledQuery out;
+  out.options_ = options;
+  GCX_ASSIGN_OR_RETURN(Query parsed, ParseQuery(text));
+  out.parsed_ = parsed.Clone();
+  NormalizeOptions norm;
+  norm.early_updates = options.early_updates;
+  GCX_RETURN_IF_ERROR(Normalize(&parsed, norm));
+  AnalysisOptions analysis;
+  analysis.aggregate_roles = options.aggregate_roles;
+  analysis.eliminate_redundant_roles = options.eliminate_redundant_roles;
+  GCX_ASSIGN_OR_RETURN(out.analyzed_, Analyze(std::move(parsed), analysis));
+  return out;
+}
+
+Result<ExecStats> Engine::Execute(const CompiledQuery& query,
+                                  std::string_view input,
+                                  std::ostream* out) const {
+  return Execute(query, std::make_unique<StringSource>(input), out);
+}
+
+Result<ExecStats> Engine::Execute(const CompiledQuery& query,
+                                  std::unique_ptr<ByteSource> input,
+                                  std::ostream* out) const {
+  if (query.options().mode == EngineMode::kNaiveDom) {
+    return ExecuteNaiveDom(query, std::move(input), out);
+  }
+  return ExecuteStreaming(query, std::move(input), out);
+}
+
+Result<ExecStats> Engine::ExecuteStreaming(const CompiledQuery& query,
+                                           std::unique_ptr<ByteSource> input,
+                                           std::ostream* out) const {
+  auto start = std::chrono::steady_clock::now();
+  const EngineOptions& options = query.options();
+
+  ExecContext ctx(&query.analyzed().projection, &query.analyzed().roles,
+                  std::move(input), options.scanner);
+  if (!options.enable_gc ||
+      options.mode == EngineMode::kMaterializedProjection) {
+    ctx.buffer().set_gc_enabled(false);
+  }
+  if (trace_) {
+    ctx.projector().set_trace([this, &ctx](const XmlEvent& event) {
+      trace_(event, ctx.buffer(), ctx.tags());
+    });
+  }
+
+  if (options.mode == EngineMode::kMaterializedProjection) {
+    // Static projection à la Marian & Siméon: materialize the projected
+    // document completely, then evaluate on it.
+    while (true) {
+      GCX_ASSIGN_OR_RETURN(bool more, ctx.Pull());
+      if (!more) break;
+    }
+  }
+
+  XmlWriter writer(out);
+  EvalOptions eval_options;
+  eval_options.execute_signoffs =
+      options.enable_gc && options.mode == EngineMode::kStreaming;
+  Evaluator evaluator(&query.analyzed(), &ctx, &writer, eval_options);
+  GCX_RETURN_IF_ERROR(evaluator.Run());
+
+  ExecStats stats;
+  stats.buffer = ctx.buffer().stats();
+  stats.projector = ctx.projector().stats();
+  stats.peak_bytes = stats.buffer.bytes_peak;
+  stats.input_bytes = ctx.scanner().bytes_consumed();
+  stats.output_bytes = writer.bytes_written();
+  stats.dfa_states = ctx.projector().dfa().num_states();
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  if (eval_options.execute_signoffs) {
+    // Paper requirement (2): every assigned role was removed again.
+    GCX_CHECK(ctx.buffer().live_role_instances() == 0);
+  }
+  return stats;
+}
+
+namespace {
+void SerializeBufferNode(const BufferNode* node, const SymbolTable& tags,
+                         XmlWriter* writer) {
+  if (node->is_text) {
+    writer->Text(node->text);
+    return;
+  }
+  bool is_root = node->parent == nullptr;
+  if (!is_root) writer->StartElement(tags.Name(node->tag));
+  for (const BufferNode* c = node->first_child; c != nullptr;
+       c = c->next_sibling) {
+    SerializeBufferNode(c, tags, writer);
+  }
+  if (!is_root) writer->EndElement(tags.Name(node->tag));
+}
+}  // namespace
+
+Result<ExecStats> Engine::Project(const CompiledQuery& query,
+                                  std::string_view input,
+                                  std::ostream* out) const {
+  auto start = std::chrono::steady_clock::now();
+  ExecContext ctx(&query.analyzed().projection, &query.analyzed().roles,
+                  std::make_unique<StringSource>(input),
+                  query.options().scanner);
+  ctx.buffer().set_gc_enabled(false);
+  while (true) {
+    GCX_ASSIGN_OR_RETURN(bool more, ctx.Pull());
+    if (!more) break;
+  }
+  XmlWriter writer(out);
+  SerializeBufferNode(ctx.buffer().root(), ctx.tags(), &writer);
+
+  ExecStats stats;
+  stats.buffer = ctx.buffer().stats();
+  stats.projector = ctx.projector().stats();
+  stats.peak_bytes = stats.buffer.bytes_peak;
+  stats.input_bytes = ctx.scanner().bytes_consumed();
+  stats.output_bytes = writer.bytes_written();
+  stats.dfa_states = ctx.projector().dfa().num_states();
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return stats;
+}
+
+Result<ExecStats> Engine::ExecuteNaiveDom(const CompiledQuery& query,
+                                          std::unique_ptr<ByteSource> input,
+                                          std::ostream* out) const {
+  auto start = std::chrono::steady_clock::now();
+  // Read the entire input (Galax-like engines buffer everything).
+  std::string document;
+  char chunk[1 << 16];
+  uint64_t input_bytes = 0;
+  while (size_t n = input->Read(chunk, sizeof(chunk))) {
+    document.append(chunk, n);
+    input_bytes += n;
+  }
+  GCX_ASSIGN_OR_RETURN(std::unique_ptr<DomDocument> doc,
+                       ParseDom(document, query.options().scanner));
+  XmlWriter writer(out);
+  GCX_RETURN_IF_ERROR(EvalQueryOnDom(query.parsed(), doc.get(), &writer));
+
+  ExecStats stats;
+  stats.peak_bytes = DomSubtreeBytes(doc->root());
+  stats.input_bytes = input_bytes;
+  stats.output_bytes = writer.bytes_written();
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return stats;
+}
+
+}  // namespace gcx

@@ -1,0 +1,135 @@
+// Public API of the GCX reproduction.
+//
+// Typical use:
+//   auto compiled = gcx::CompiledQuery::Compile(query_text);
+//   if (!compiled.ok()) { … }
+//   gcx::Engine engine;                       // default: full GCX
+//   std::ostringstream out;
+//   auto stats = engine.Execute(*compiled, input_xml, &out);
+//
+// EngineOptions exposes every technique from the paper as a toggle, which
+// is how the benchmark harness builds its baselines:
+//   * mode kStreaming + enable_gc        → GCX (the paper's system)
+//   * mode kStreaming + !enable_gc       → incremental projection, no purge
+//   * mode kMaterializedProjection       → Marian&Siméon-style static
+//                                          projection (project all, then run)
+//   * mode kNaiveDom                     → buffer-everything in-memory engine
+//                                          (Galax-like reference)
+
+#ifndef GCX_CORE_ENGINE_H_
+#define GCX_CORE_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "analysis/analyzer.h"
+#include "buffer/buffer_tree.h"
+#include "common/status.h"
+#include "projection/projector.h"
+#include "xml/scanner.h"
+#include "xq/ast.h"
+
+namespace gcx {
+
+/// Execution strategy.
+enum class EngineMode {
+  kStreaming,              ///< pull-based streaming evaluation (GCX)
+  kMaterializedProjection, ///< project the full stream, then evaluate
+  kNaiveDom,               ///< load the full document, then evaluate
+};
+
+/// All engine knobs (paper techniques are individually switchable).
+struct EngineOptions {
+  EngineMode mode = EngineMode::kStreaming;
+  /// Execute signOff-statements and purge buffers (Sec. 5). Off = "static
+  /// analysis alone".
+  bool enable_gc = true;
+  /// Sec. 6 optimizations.
+  bool aggregate_roles = true;
+  bool eliminate_redundant_roles = true;
+  bool early_updates = true;
+  ScannerOptions scanner;
+};
+
+/// Execution statistics (one Execute call).
+struct ExecStats {
+  BufferStats buffer;        ///< streaming modes
+  ProjectorStats projector;  ///< streaming modes
+  uint64_t peak_bytes = 0;   ///< headline memory: buffer peak (streaming) or
+                             ///< DOM size (kNaiveDom)
+  uint64_t input_bytes = 0;
+  uint64_t output_bytes = 0;
+  uint64_t dfa_states = 0;
+  double wall_seconds = 0;
+};
+
+/// A query compiled against a fixed set of EngineOptions (the options
+/// affect normalization and static analysis, so they bind at compile time).
+class CompiledQuery {
+ public:
+  /// Parses, normalizes and statically analyzes `text`.
+  static Result<CompiledQuery> Compile(std::string_view text,
+                                       const EngineOptions& options = {});
+
+  const AnalyzedQuery& analyzed() const { return analyzed_; }
+  /// The query as parsed (pre-normalization) — the baseline engines
+  /// evaluate this form.
+  const Query& parsed() const { return parsed_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Human-readable compilation dump (variable tree, roles, projection
+  /// tree, rewritten query).
+  std::string Explain() const { return analyzed_.Explain(); }
+
+ private:
+  CompiledQuery() = default;
+  AnalyzedQuery analyzed_;
+  Query parsed_;
+  EngineOptions options_;
+};
+
+/// Per-token trace callback: (event, buffer, tags). Used by examples/tests
+/// to reproduce the paper's Fig. 2 execution trace.
+using TraceFn =
+    std::function<void(const XmlEvent&, const BufferTree&, const SymbolTable&)>;
+
+/// Stateless execution façade.
+class Engine {
+ public:
+  /// Runs `query` over `input`, writing the result to `out`.
+  Result<ExecStats> Execute(const CompiledQuery& query, std::string_view input,
+                            std::ostream* out) const;
+
+  /// Stream variant: consumes an arbitrary byte source.
+  Result<ExecStats> Execute(const CompiledQuery& query,
+                            std::unique_ptr<ByteSource> input,
+                            std::ostream* out) const;
+
+  /// Standalone document projection: materializes Π_{P[t](T)}(T) — the
+  /// projection of the input w.r.t. the query's projection tree (Sec. 2) —
+  /// and serializes it to `out` instead of evaluating the query. By
+  /// Theorem 1, evaluating the query over this projected document yields
+  /// the same result as over the original.
+  Result<ExecStats> Project(const CompiledQuery& query, std::string_view input,
+                            std::ostream* out) const;
+
+  /// Installs a per-input-token trace (streaming modes only).
+  void set_trace(TraceFn trace) { trace_ = std::move(trace); }
+
+ private:
+  Result<ExecStats> ExecuteStreaming(const CompiledQuery& query,
+                                     std::unique_ptr<ByteSource> input,
+                                     std::ostream* out) const;
+  Result<ExecStats> ExecuteNaiveDom(const CompiledQuery& query,
+                                    std::unique_ptr<ByteSource> input,
+                                    std::ostream* out) const;
+
+  TraceFn trace_;
+};
+
+}  // namespace gcx
+
+#endif  // GCX_CORE_ENGINE_H_

@@ -1,0 +1,108 @@
+#include "eval/cursor.h"
+
+namespace gcx {
+
+StepCursor::StepCursor(ExecContext* ctx, BufferNode* scope, const Step& step)
+    : ctx_(ctx), scope_(scope), step_(step) {
+  // The scope itself is the caller's responsibility (bindings are pinned by
+  // the cursor that produced them, the root is permanent).
+  GCX_CHECK(step_.axis == Axis::kChild || step_.axis == Axis::kDescendant);
+}
+
+StepCursor::~StepCursor() { ClearAnchor(); }
+
+void StepCursor::MoveAnchor(BufferNode* node) {
+  ctx_->buffer().Pin(node);
+  if (anchor_ != nullptr) ctx_->buffer().Unpin(anchor_);
+  anchor_ = node;
+}
+
+void StepCursor::ClearAnchor() {
+  if (anchor_ != nullptr) {
+    ctx_->buffer().Unpin(anchor_);
+    anchor_ = nullptr;
+  }
+}
+
+bool StepCursor::Matches(const BufferNode* node) const {
+  if (node->marked_deleted) return false;  // condemned ⇒ irrelevant ⇒ skip
+  if (node->is_text) return step_.test.MatchesText();
+  return step_.test.MatchesElement(ctx_->tags().Name(node->tag));
+}
+
+Result<BufferNode*> StepCursor::Next() {
+  if (exhausted_) return static_cast<BufferNode*>(nullptr);
+  if (step_.predicate == StepPredicate::kFirst && returned_ > 0) {
+    exhausted_ = true;
+    ClearAnchor();
+    return static_cast<BufferNode*>(nullptr);
+  }
+  Result<BufferNode*> result = step_.axis == Axis::kChild ? NextChild()
+                                                          : NextDescendant();
+  if (result.ok() && *result == nullptr) {
+    exhausted_ = true;
+    ClearAnchor();
+  } else if (result.ok()) {
+    ++returned_;
+  }
+  return result;
+}
+
+Result<BufferNode*> StepCursor::NextChild() {
+  while (true) {
+    BufferNode* cand =
+        anchor_ == nullptr ? scope_->first_child : anchor_->next_sibling;
+    if (cand != nullptr) {
+      MoveAnchor(cand);
+      if (Matches(cand)) return cand;
+      continue;
+    }
+    if (scope_->finished) return static_cast<BufferNode*>(nullptr);
+    GCX_ASSIGN_OR_RETURN(bool more, ctx_->Pull());
+    if (!more) GCX_CHECK(scope_->finished);
+  }
+}
+
+Result<BufferNode*> StepCursor::NextDescendant() {
+  while (true) {
+    BufferNode* cand = nullptr;
+    if (anchor_ == nullptr) {
+      if (scope_->first_child != nullptr) {
+        cand = scope_->first_child;
+      } else if (scope_->finished) {
+        return static_cast<BufferNode*>(nullptr);
+      }
+    } else if (anchor_->first_child != nullptr) {
+      cand = anchor_->first_child;
+    } else if (!anchor_->finished) {
+      // Children may still arrive.
+    } else {
+      // Climb: find the next pre-order node within the scope.
+      BufferNode* at = anchor_;
+      while (true) {
+        if (at == scope_) {
+          if (scope_->finished) return static_cast<BufferNode*>(nullptr);
+          break;  // more children of some ancestor may arrive — pull
+        }
+        if (at->next_sibling != nullptr) {
+          cand = at->next_sibling;
+          break;
+        }
+        if (!at->parent->finished) break;  // sibling may still arrive — pull
+        at = at->parent;
+      }
+    }
+    if (cand != nullptr) {
+      MoveAnchor(cand);
+      if (Matches(cand)) return cand;
+      continue;
+    }
+    GCX_ASSIGN_OR_RETURN(bool more, ctx_->Pull());
+    if (!more && scope_->finished && anchor_ == nullptr &&
+        scope_->first_child == nullptr) {
+      return static_cast<BufferNode*>(nullptr);
+    }
+  }
+}
+
+}  // namespace gcx

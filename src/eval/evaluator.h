@@ -1,0 +1,86 @@
+// The pull-based XQ evaluator (Sec. 3 semantics + Sec. 5 runtime).
+//
+// Evaluates the rewritten query strictly sequentially. Whenever data is
+// missing from the buffer the evaluator pulls input through the projector
+// ("blocks", in the paper's architecture). signOff-statements remove roles
+// and trigger active garbage collection.
+
+#ifndef GCX_EVAL_EVALUATOR_H_
+#define GCX_EVAL_EVALUATOR_H_
+
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "common/status.h"
+#include "eval/exec_context.h"
+#include "xml/writer.h"
+
+namespace gcx {
+
+/// Runtime toggles.
+struct EvalOptions {
+  /// Execute signOff-statements (active GC). Off = the "static analysis
+  /// alone" ablation: projection still limits what enters the buffer, but
+  /// nothing is ever purged.
+  bool execute_signoffs = true;
+};
+
+/// One evaluation of one query over one input stream.
+class Evaluator {
+ public:
+  Evaluator(const AnalyzedQuery* query, ExecContext* ctx, XmlWriter* writer,
+            EvalOptions options = {});
+
+  /// Runs the query to completion, producing output through the writer.
+  Status Run();
+
+ private:
+  Status EvalExpr(const Expr& expr);
+  Result<bool> EvalCond(const Cond& cond);
+
+  Status EvalFor(const Expr& expr);
+  Status EvalAggregate(const Expr& expr);
+
+  /// Counts matches of path steps [step_index..) from `base`,
+  /// nested-iteration semantics, pulling input as needed.
+  Result<uint64_t> CountMatches(BufferNode* base, const RelativePath& path,
+                                size_t step_index);
+  Status EvalSignOff(const Expr& expr);
+  Status EvalPathOutput(BufferNode* base, const RelativePath& path,
+                        size_t step_index);
+
+  /// Serializes the (finished) subtree of `node`; pulls to finish it first.
+  Status EmitSubtree(BufferNode* node);
+
+  /// Existence probe with pulls: is some node reachable from `base` via
+  /// path steps [step_index..)?
+  Result<bool> ExistsPath(BufferNode* base, const RelativePath& path,
+                          size_t step_index);
+
+  /// Collects the string values of an operand (pulls until the operand's
+  /// base binding is finished so the match set is complete).
+  Status OperandValues(const Operand& operand, std::vector<std::string>* out);
+  Status PathValues(VarId var, const RelativePath& path,
+                    std::vector<std::string>* out);
+
+  /// Buffer-only path evaluation with match multiplicities (signOff
+  /// semantics, Sec. 3): multiplicities mirror the DFA's role-assignment
+  /// multiplicities so removals balance assignments exactly.
+  void CollectWithMultiplicity(BufferNode* base, const RelativePath& path,
+                               size_t step_index, uint32_t mult,
+                               std::vector<std::pair<BufferNode*, uint32_t>>* out);
+
+  const AnalyzedQuery* query_;
+  ExecContext* ctx_;
+  XmlWriter* writer_;
+  EvalOptions options_;
+  std::vector<BufferNode*> env_;  ///< VarId → current binding
+};
+
+/// Compares two untyped values with XQuery-style general-comparison
+/// pragmatics: numerically when both parse as numbers, else bytewise.
+bool CompareValues(const std::string& lhs, RelOp op, const std::string& rhs);
+
+}  // namespace gcx
+
+#endif  // GCX_EVAL_EVALUATOR_H_

@@ -1,0 +1,57 @@
+// Execution context: wires scanner → projector → buffer for one run
+// (Fig. 11's component architecture, realized as a synchronous pull chain).
+//
+// "The query evaluator blocks and requests further input" (Sec. 1) is
+// implemented as the evaluator calling Pull() — process one input event —
+// in a loop until the datum it needs appears in the buffer.
+
+#ifndef GCX_EVAL_EXEC_CONTEXT_H_
+#define GCX_EVAL_EXEC_CONTEXT_H_
+
+#include <memory>
+
+#include "buffer/buffer_tree.h"
+#include "common/status.h"
+#include "common/symbol_table.h"
+#include "projection/projector.h"
+#include "xml/scanner.h"
+
+namespace gcx {
+
+/// Owns the runtime state of one streaming execution.
+class ExecContext {
+ public:
+  ExecContext(const ProjectionTree* tree, const RoleCatalog* roles,
+              std::unique_ptr<ByteSource> input, ScannerOptions scanner_options)
+      : scanner_(std::move(input), scanner_options),
+        projector_(tree, roles, &tags_, &scanner_, &buffer_) {}
+
+  BufferTree& buffer() { return buffer_; }
+  SymbolTable& tags() { return tags_; }
+  StreamProjector& projector() { return projector_; }
+  XmlScanner& scanner() { return scanner_; }
+
+  /// Processes one input event. Returns false once the input is exhausted.
+  Result<bool> Pull() { return projector_.Advance(); }
+
+  /// Pulls until `node`'s closing tag has been processed (or EOS, which by
+  /// scanner well-formedness implies every open element was closed).
+  Status EnsureFinished(BufferNode* node) {
+    while (!node->finished) {
+      GCX_ASSIGN_OR_RETURN(bool more, Pull());
+      if (!more) break;
+    }
+    GCX_CHECK(node->finished);
+    return Status::Ok();
+  }
+
+ private:
+  SymbolTable tags_;
+  BufferTree buffer_;
+  XmlScanner scanner_;
+  StreamProjector projector_;
+};
+
+}  // namespace gcx
+
+#endif  // GCX_EVAL_EXEC_CONTEXT_H_

@@ -1,0 +1,235 @@
+#include "projection/dfa.h"
+
+#include <algorithm>
+#include <map>
+
+namespace gcx {
+
+std::string DfaState::ToString() const {
+  std::string matched;
+  std::string searching;
+  for (const Item& item : items) {
+    std::string* out = item.searching ? &searching : &matched;
+    for (uint32_t i = 0; i < item.count; ++i) {
+      if (!out->empty()) *out += ", ";
+      *out += "v" + std::to_string(item.node);
+    }
+  }
+  std::string out = "{" + matched + "}";
+  if (!searching.empty()) out += " + searching{" + searching + "}";
+  return out;
+}
+
+size_t LazyDfa::ItemKeyHash::operator()(
+    const std::vector<DfaState::Item>& items) const {
+  size_t h = 0xcbf29ce484222325ULL;
+  for (const auto& item : items) {
+    h = (h ^ static_cast<size_t>(item.node)) * 0x100000001b3ULL;
+    h = (h ^ static_cast<size_t>(item.searching ? 1 : 2)) * 0x100000001b3ULL;
+    h = (h ^ static_cast<size_t>(item.count)) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+LazyDfa::LazyDfa(const ProjectionTree* tree, const RoleCatalog* roles,
+                 SymbolTable* tags)
+    : tree_(tree), roles_(roles), tags_(tags) {
+  node_tag_.resize(tree_->size(), kInvalidTag);
+  for (size_t i = 0; i < tree_->size(); ++i) {
+    const ProjNode* node = tree_->node(static_cast<ProjNodeId>(i));
+    if (!node->is_root && node->step.test.kind == NodeTestKind::kTag) {
+      node_tag_[i] = tags_->Intern(node->step.test.tag);
+    }
+  }
+  std::vector<DfaState::Item> items;
+  items.push_back(DfaState::Item{tree_->root()->id, /*searching=*/false, 1});
+  initial_ = Intern(std::move(items));
+}
+
+bool LazyDfa::TestMatchesTag(const NodeTest& test, TagId tag) const {
+  switch (test.kind) {
+    case NodeTestKind::kTag:
+      // Compare interned ids; the test tag was interned in the constructor.
+      return tags_->Lookup(test.tag) == tag;
+    case NodeTestKind::kStar:
+      return true;
+    case NodeTestKind::kText:
+      return false;
+    case NodeTestKind::kAnyNode:
+      return true;
+  }
+  return false;
+}
+
+DfaState* LazyDfa::Intern(std::vector<DfaState::Item> items) {
+  std::sort(items.begin(), items.end(),
+            [](const DfaState::Item& a, const DfaState::Item& b) {
+              if (a.node != b.node) return a.node < b.node;
+              return a.searching < b.searching;
+            });
+  auto it = states_.find(items);
+  if (it != states_.end()) return it->second.get();
+  auto state = std::make_unique<DfaState>();
+  state->items = items;
+  Precompute(state.get());
+  DfaState* ptr = state.get();
+  states_.emplace(std::move(items), std::move(state));
+  return ptr;
+}
+
+void LazyDfa::Precompute(DfaState* state) {
+  state->empty = state->items.empty();
+
+  // --- element actions: the state's own matches (applied on entry) --------
+  for (const auto& item : state->items) {
+    if (item.searching) continue;
+    const ProjNode* v = tree_->node(item.node);
+    MatchAction action;
+    action.src = v->id;
+    action.first_only = !v->is_root &&
+                        v->step.predicate == StepPredicate::kFirst;
+    if (v->role != kInvalidRole) {
+      action.roles.push_back(RoleAssign{v->role, item.count, v->aggregate});
+    }
+    // Self-assignments of dos children (Fig. 1: a book node matched by
+    // n3 "/∗" also receives n5's role, the dos::node() self match).
+    for (const ProjNode* child : v->children) {
+      if (child->step.axis != Axis::kDescendantOrSelf) continue;
+      // dos steps only arise as dep-generated dos::node() leaves (user
+      // queries cannot contain the dos axis; see path validation). node()
+      // matches the element itself.
+      if (child->step.test.kind != NodeTestKind::kAnyNode &&
+          child->step.test.kind != NodeTestKind::kStar) {
+        continue;
+      }
+      if (child->role != kInvalidRole) {
+        action.roles.push_back(
+            RoleAssign{child->role, item.count, child->aggregate});
+      }
+    }
+    state->element_actions.push_back(std::move(action));
+  }
+
+  // --- text actions ---------------------------------------------------------
+  // A text child of this state's element is matched by (a) child- or
+  // descendant-axis children of Matched items whose test accepts text and
+  // (b) Searching items whose test accepts text.
+  std::map<ProjNodeId, std::pair<uint32_t, bool>> text_matches;  // id → (count, first_only)
+  for (const auto& item : state->items) {
+    const ProjNode* v = tree_->node(item.node);
+    if (item.searching) {
+      if (v->step.test.MatchesText()) {
+        text_matches[v->id].first += item.count;
+      }
+      continue;
+    }
+    for (const ProjNode* child : v->children) {
+      if (!child->step.test.MatchesText()) continue;
+      // Aggregate dos children already covered v's own match; the subtree
+      // (including text) is kept via the projector's aggregate depth.
+      if (child->aggregate) continue;
+      // Any axis reaches a direct text child (child: depth 1; descendant /
+      // dos: depth ≥ 1).
+      text_matches[child->id].first += item.count;
+    }
+  }
+  for (const auto& [id, info] : text_matches) {
+    const ProjNode* w = tree_->node(id);
+    MatchAction action;
+    action.src = id;
+    action.first_only = w->step.predicate == StepPredicate::kFirst;
+    if (w->role != kInvalidRole) {
+      action.roles.push_back(RoleAssign{w->role, info.first, w->aggregate});
+    }
+    for (const ProjNode* child : w->children) {
+      if (child->step.axis == Axis::kDescendantOrSelf &&
+          child->step.test.MatchesText() && child->role != kInvalidRole) {
+        action.roles.push_back(
+            RoleAssign{child->role, info.first, child->aggregate});
+      }
+    }
+    if (!action.roles.empty()) state->text_actions.push_back(std::move(action));
+  }
+
+  // --- preservation case (2) -------------------------------------------------
+  // Keep a child element (even unmatched) when a child-axis step is active
+  // here and a descendant-capable step could keep a node strictly below it
+  // with an overlapping test (anti-promotion, Example 2).
+  std::vector<const NodeTest*> child_tests;
+  std::vector<const NodeTest*> descendant_tests;
+  for (const auto& item : state->items) {
+    const ProjNode* v = tree_->node(item.node);
+    if (item.searching) {
+      descendant_tests.push_back(&v->step.test);
+      continue;
+    }
+    for (const ProjNode* child : v->children) {
+      if (child->step.axis == Axis::kChild) {
+        child_tests.push_back(&child->step.test);
+      } else if (!child->aggregate) {
+        // Aggregate dos subtrees are kept wholesale via the projector's
+        // aggregate depth; they cannot promote nodes.
+        descendant_tests.push_back(&child->step.test);
+      }
+    }
+  }
+  for (const NodeTest* ct : child_tests) {
+    for (const NodeTest* dt : descendant_tests) {
+      if (TestsOverlap(*ct, *dt)) {
+        state->child_sensitive = true;
+        break;
+      }
+    }
+    if (state->child_sensitive) break;
+  }
+}
+
+DfaState* LazyDfa::Transition(DfaState* state, TagId tag) {
+  auto it = state->transitions.find(tag);
+  if (it != state->transitions.end()) return it->second;
+
+  std::map<std::pair<ProjNodeId, bool>, uint32_t> accum;
+  auto add = [&accum](ProjNodeId node, bool searching, uint32_t count) {
+    accum[{node, searching}] += count;
+  };
+  for (const auto& item : state->items) {
+    if (item.searching) {
+      const ProjNode* w = tree_->node(item.node);
+      if (TestMatchesTag(w->step.test, tag)) add(w->id, false, item.count);
+      add(w->id, true, item.count);  // keep searching deeper
+      continue;
+    }
+    const ProjNode* v = tree_->node(item.node);
+    for (const ProjNode* child : v->children) {
+      switch (child->step.axis) {
+        case Axis::kChild:
+          if (TestMatchesTag(child->step.test, tag)) {
+            add(child->id, false, item.count);
+          }
+          break;
+        case Axis::kDescendant:
+        case Axis::kDescendantOrSelf:
+          // dos self-matching was handled when v itself matched; below v it
+          // behaves like descendant. Aggregate dos children are not
+          // expanded: the aggregate instance on v's match covers the
+          // subtree and the projector keeps it wholesale.
+          if (child->aggregate) break;
+          if (TestMatchesTag(child->step.test, tag)) {
+            add(child->id, false, item.count);
+          }
+          add(child->id, true, item.count);
+          break;
+      }
+    }
+  }
+  std::vector<DfaState::Item> items;
+  items.reserve(accum.size());
+  for (const auto& [key, count] : accum) {
+    items.push_back(DfaState::Item{key.first, key.second, count});
+  }
+  DfaState* next = Intern(std::move(items));
+  state->transitions.emplace(tag, next);
+  return next;
+}
+
+}  // namespace gcx

@@ -1,0 +1,125 @@
+// Lazily constructed DFA over the projection tree (Sec. 2, Fig. 5).
+//
+// A DFA state describes the multiset of projection-tree nodes matched by
+// the current document path (Example 1) plus the set of descendant steps
+// still "searching" below it. States are built on demand while reading the
+// input (lazy DFA, as in Green et al. and the paper) and memoized, so each
+// distinct (state, tag) pair is computed once.
+//
+// Item semantics for the state entered when element e is opened:
+//   Matched(v)   — e matches projection node v,
+//   Searching(w) — descendant-axis step w is active for strict descendants
+//                  of e (it self-loops: //a//b matches /a/a/b twice,
+//                  Example 1's multiplicity).
+//
+// Per-state precomputations:
+//   element/text actions — which roles to assign on a matching child
+//     element / text node, including the *self-assignments* of dos::node()
+//     leaves (a dos child of v marks v's own match, Fig. 1's n5/n7), with
+//     the `[1]` first-witness flag for runtime per-context suppression;
+//   child_sensitive — preservation case (2): keep a child element even
+//     without matches when discarding it could promote a deeper kept node
+//     into a child-axis match (Example 2);
+//   empty — no items at all: the whole subtree can be skipped.
+
+#ifndef GCX_PROJECTION_DFA_H_
+#define GCX_PROJECTION_DFA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/projection_tree.h"
+#include "analysis/roles.h"
+#include "common/symbol_table.h"
+
+namespace gcx {
+
+/// One role assignment triggered by a match.
+struct RoleAssign {
+  RoleId role = kInvalidRole;
+  uint32_t count = 0;   ///< match multiplicity
+  bool aggregate = false;
+};
+
+/// Everything that happens when a node matches projection node `src`.
+struct MatchAction {
+  ProjNodeId src = 0;        ///< the matched projection node
+  bool first_only = false;   ///< `[1]`: apply only to the first match per
+                             ///< parent context
+  std::vector<RoleAssign> roles;  ///< may be empty (structural match only)
+};
+
+/// A memoized DFA state.
+struct DfaState {
+  /// Canonical item multiset: (projection node, searching?, count), sorted.
+  struct Item {
+    ProjNodeId node = 0;
+    bool searching = false;
+    uint32_t count = 0;
+    bool operator==(const Item& o) const {
+      return node == o.node && searching == o.searching && count == o.count;
+    }
+  };
+  std::vector<Item> items;
+
+  bool empty = false;            ///< no items: subtree irrelevant
+  bool child_sensitive = false;  ///< preservation case (2) for children
+  std::vector<MatchAction> element_actions;  ///< actions for this state's
+                                             ///< *own* match (applied on entry)
+  std::vector<MatchAction> text_actions;     ///< actions for text children
+
+  std::unordered_map<TagId, DfaState*> transitions;
+
+  /// Debug rendering, e.g. "{v2, v5} + searching{v6}".
+  std::string ToString() const;
+};
+
+/// The lazy DFA. Owns its states; borrows the projection tree, role catalog
+/// and symbol table (tag interning is shared with the scanner feed).
+class LazyDfa {
+ public:
+  LazyDfa(const ProjectionTree* tree, const RoleCatalog* roles,
+          SymbolTable* tags);
+
+  /// The state of the virtual document root (Matched(projection root)).
+  DfaState* initial() { return initial_; }
+
+  /// δ(state, tag), computed and memoized on demand.
+  DfaState* Transition(DfaState* state, TagId tag);
+
+  /// Number of materialized states (monitoring / tests).
+  size_t num_states() const { return states_.size(); }
+
+ private:
+  struct ItemKeyHash {
+    size_t operator()(const std::vector<DfaState::Item>& items) const;
+  };
+  struct ItemKeyEq {
+    bool operator()(const std::vector<DfaState::Item>& a,
+                    const std::vector<DfaState::Item>& b) const {
+      return a == b;
+    }
+  };
+
+  DfaState* Intern(std::vector<DfaState::Item> items);
+  void Precompute(DfaState* state);
+  bool TestMatchesTag(const NodeTest& test, TagId tag) const;
+
+  const ProjectionTree* tree_;
+  const RoleCatalog* roles_;
+  SymbolTable* tags_;
+  /// Interned tag id per projection node with a kTag test (else kInvalidTag).
+  std::vector<TagId> node_tag_;
+
+  std::unordered_map<std::vector<DfaState::Item>, std::unique_ptr<DfaState>,
+                     ItemKeyHash, ItemKeyEq>
+      states_;
+  DfaState* initial_ = nullptr;
+};
+
+}  // namespace gcx
+
+#endif  // GCX_PROJECTION_DFA_H_

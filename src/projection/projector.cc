@@ -1,0 +1,158 @@
+#include "projection/projector.h"
+
+#include <algorithm>
+
+namespace gcx {
+
+StreamProjector::StreamProjector(const ProjectionTree* tree,
+                                 const RoleCatalog* roles, SymbolTable* tags,
+                                 XmlScanner* scanner, BufferTree* buffer)
+    : dfa_(tree, roles, tags),
+      tags_(tags),
+      scanner_(scanner),
+      buffer_(buffer) {
+  Frame root;
+  root.state = dfa_.initial();
+  root.node = buffer_->root();
+  root.attach = root.node;
+  frames_.push_back(std::move(root));
+  // The virtual root "matches" the projection-tree root: apply its
+  // self-actions (e.g. the aggregate dos::node() role of a whole-document
+  // output `{$root}`).
+  bool any_match = false;
+  std::vector<RoleAssign> assigns =
+      ApplyActions(dfa_.initial()->element_actions, &frames_[0], &any_match);
+  for (const RoleAssign& assign : assigns) {
+    buffer_->AddRole(buffer_->root(), assign.role, assign.count,
+                     assign.aggregate);
+  }
+  if (buffer_->root()->HasAggregateRole()) {
+    frames_[0].aggregate_inc = 1;
+    aggregate_depth_ = 1;
+  }
+}
+
+Result<bool> StreamProjector::Advance() {
+  if (done_) return false;
+  XmlEvent event;
+  GCX_RETURN_IF_ERROR(scanner_->Next(&event));
+  ++stats_.events_read;
+  switch (event.kind) {
+    case XmlEvent::Kind::kStartElement:
+      HandleStart(event.name);
+      break;
+    case XmlEvent::Kind::kEndElement:
+      HandleEnd();
+      break;
+    case XmlEvent::Kind::kText:
+      HandleText(std::move(event.text));
+      break;
+    case XmlEvent::Kind::kEndOfDocument:
+      done_ = true;
+      GCX_CHECK(frames_.size() == 1 && skip_depth_ == 0);
+      buffer_->Finish(buffer_->root());
+      break;
+  }
+  if (trace_) trace_(event);
+  return !done_;
+}
+
+std::vector<RoleAssign> StreamProjector::ApplyActions(
+    const std::vector<MatchAction>& actions, Frame* parent_frame,
+    bool* any_match) {
+  std::vector<RoleAssign> assigns;
+  *any_match = false;
+  for (const MatchAction& action : actions) {
+    if (action.first_only) {
+      auto& seen = parent_frame->first_matched;
+      if (std::find(seen.begin(), seen.end(), action.src) != seen.end()) {
+        continue;  // `[1]`: witness already recorded in this context
+      }
+      seen.push_back(action.src);
+    }
+    *any_match = true;
+    for (const RoleAssign& assign : action.roles) assigns.push_back(assign);
+  }
+  return assigns;
+}
+
+void StreamProjector::HandleStart(const std::string& name) {
+  ++stats_.elements_read;
+  if (skip_depth_ > 0) {
+    ++skip_depth_;
+    ++stats_.elements_skipped;
+    return;
+  }
+  Frame& parent = frames_.back();
+  TagId tag = tags_->Intern(name);
+  DfaState* state = dfa_.Transition(parent.state, tag);
+
+  bool any_match = false;
+  std::vector<RoleAssign> assigns =
+      ApplyActions(state->element_actions, &parent, &any_match);
+
+  bool keep = any_match || parent.state->child_sensitive || aggregate_depth_ > 0;
+  if (!keep && state->empty) {
+    // Nothing below this element can ever match: fast-skip the subtree.
+    skip_depth_ = 1;
+    ++stats_.elements_skipped;
+    return;
+  }
+
+  Frame frame;
+  frame.state = state;
+  frame.attach = parent.attach;
+  if (keep) {
+    BufferNode* node = buffer_->AppendElement(parent.attach, tag);
+    for (const RoleAssign& assign : assigns) {
+      buffer_->AddRole(node, assign.role, assign.count, assign.aggregate);
+    }
+    if (node->HasAggregateRole()) {
+      frame.aggregate_inc = 1;
+      ++aggregate_depth_;
+    }
+    frame.node = node;
+    frame.attach = node;
+    ++stats_.elements_kept;
+  } else {
+    ++stats_.elements_skipped;
+  }
+  frames_.push_back(std::move(frame));
+}
+
+void StreamProjector::HandleEnd() {
+  if (skip_depth_ > 0) {
+    --skip_depth_;
+    return;
+  }
+  Frame frame = std::move(frames_.back());
+  frames_.pop_back();
+  GCX_CHECK(!frames_.empty());
+  aggregate_depth_ -= frame.aggregate_inc;
+  if (frame.node != nullptr) buffer_->Finish(frame.node);
+}
+
+void StreamProjector::HandleText(std::string text) {
+  if (skip_depth_ > 0) {
+    ++stats_.text_skipped;
+    return;
+  }
+  Frame& frame = frames_.back();
+  bool any_match = false;
+  std::vector<RoleAssign> assigns =
+      ApplyActions(frame.state->text_actions, &frame, &any_match);
+  // Text is only useful with roles (it has no descendants to anchor).
+  (void)any_match;
+  bool keep = !assigns.empty() || aggregate_depth_ > 0;
+  if (!keep) {
+    ++stats_.text_skipped;
+    return;
+  }
+  BufferNode* node = buffer_->AppendText(frame.attach, std::move(text));
+  for (const RoleAssign& assign : assigns) {
+    buffer_->AddRole(node, assign.role, assign.count, assign.aggregate);
+  }
+  ++stats_.text_kept;
+}
+
+}  // namespace gcx

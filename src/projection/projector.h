@@ -1,0 +1,96 @@
+// Stream pre-projector (Sec. 2, Fig. 11 "stream preprojector").
+//
+// Consumes scanner events one at a time and copies the *projected* document
+// into the buffer, assigning roles on the fly. Skipped subtrees whose DFA
+// state is empty are fast-forwarded without any per-node work. Preservation
+// rules (Sec. 2):
+//   (1) a node is kept when it matches at least one projection-tree node
+//       (after `[1]` first-witness suppression), and
+//   (2) a node is kept role-less when its parent's state is
+//       "child-sensitive" (discarding it could promote a deeper kept node
+//       into a child-axis match), and
+//   (3) everything inside an aggregate-role subtree is kept (Sec. 6).
+
+#ifndef GCX_PROJECTION_PROJECTOR_H_
+#define GCX_PROJECTION_PROJECTOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "buffer/buffer_tree.h"
+#include "common/status.h"
+#include "projection/dfa.h"
+#include "xml/scanner.h"
+
+namespace gcx {
+
+/// Projector statistics (per execution).
+struct ProjectorStats {
+  uint64_t events_read = 0;       ///< scanner events processed
+  uint64_t elements_read = 0;     ///< start-element events
+  uint64_t elements_kept = 0;     ///< copied into the buffer
+  uint64_t elements_skipped = 0;  ///< discarded (incl. fast-skipped)
+  uint64_t text_kept = 0;
+  uint64_t text_skipped = 0;
+};
+
+/// Pull-based projector: `Advance()` processes exactly one scanner event.
+class StreamProjector {
+ public:
+  StreamProjector(const ProjectionTree* tree, const RoleCatalog* roles,
+                  SymbolTable* tags, XmlScanner* scanner, BufferTree* buffer);
+
+  /// Processes one event. Returns false once the document is exhausted
+  /// (the virtual root is then finished). Safe to call again after that.
+  Result<bool> Advance();
+
+  bool done() const { return done_; }
+  const ProjectorStats& stats() const { return stats_; }
+  LazyDfa& dfa() { return dfa_; }
+
+  /// Optional observer called after every processed event (gc_trace uses
+  /// this to reproduce Fig. 2).
+  void set_trace(std::function<void(const XmlEvent&)> trace) {
+    trace_ = std::move(trace);
+  }
+
+ private:
+  struct Frame {
+    DfaState* state = nullptr;
+    /// Buffer node when this element was kept, else nullptr.
+    BufferNode* node = nullptr;
+    /// Nearest kept ancestor's buffer node (== node when kept).
+    BufferNode* attach = nullptr;
+    /// Projection nodes with `[1]` already matched in this context.
+    std::vector<ProjNodeId> first_matched;
+    /// 1 when entering this element increased the aggregate depth.
+    uint32_t aggregate_inc = 0;
+  };
+
+  void HandleStart(const std::string& name);
+  void HandleEnd();
+  void HandleText(std::string text);
+
+  /// Applies `actions` for a fresh node in the context of `parent_frame`.
+  /// Returns the role assignments to perform (empty roles with matched=true
+  /// means "keep structurally"). Sets *any_match when at least one
+  /// non-suppressed match exists.
+  std::vector<RoleAssign> ApplyActions(const std::vector<MatchAction>& actions,
+                                       Frame* parent_frame, bool* any_match);
+
+  LazyDfa dfa_;
+  SymbolTable* tags_;
+  XmlScanner* scanner_;
+  BufferTree* buffer_;
+
+  std::vector<Frame> frames_;
+  uint64_t skip_depth_ = 0;      ///< >0: inside a fast-skipped subtree
+  uint64_t aggregate_depth_ = 0; ///< >0: inside an aggregate-kept subtree
+  bool done_ = false;
+  ProjectorStats stats_;
+  std::function<void(const XmlEvent&)> trace_;
+};
+
+}  // namespace gcx
+
+#endif  // GCX_PROJECTION_PROJECTOR_H_

@@ -1,0 +1,235 @@
+#include "xmark/generator.h"
+
+#include <cmath>
+
+#include "common/prng.h"
+
+namespace gcx {
+
+namespace {
+
+const char* const kWords[] = {
+    "auction", "vintage",  "rare",    "collector", "antique", "mint",
+    "signed",  "original", "limited", "classic",   "deluxe",  "premium",
+    "estate",  "imported", "crafted", "heritage",  "superb",  "pristine",
+    "curious", "obscure",  "golden",  "silver",    "bronze",  "ivory",
+};
+constexpr size_t kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+
+const char* const kRegions[] = {"africa",   "asia",     "australia",
+                                "europe",   "namerica", "samerica"};
+
+const char* const kFirstNames[] = {"Ada",  "Brit", "Chen", "Dara", "Egon",
+                                   "Fumi", "Gita", "Hugo", "Ines", "Jale"};
+const char* const kLastNames[] = {"Baker", "Chang", "Dubois", "Ekwe", "Fog",
+                                  "Gupta", "Hart",  "Iqbal",  "Jan",  "Koch"};
+
+class Writer {
+ public:
+  explicit Writer(std::string* out, Prng* rng) : out_(out), rng_(rng) {}
+
+  void Open(const char* tag) {
+    *out_ += '<';
+    *out_ += tag;
+    *out_ += '>';
+  }
+  void Close(const char* tag) {
+    *out_ += "</";
+    *out_ += tag;
+    *out_ += '>';
+  }
+  void Leaf(const char* tag, const std::string& text) {
+    Open(tag);
+    *out_ += text;
+    Close(tag);
+  }
+  void Words(const char* tag, int min_words, int max_words) {
+    Open(tag);
+    int n = static_cast<int>(rng_->Between(min_words, max_words));
+    for (int i = 0; i < n; ++i) {
+      if (i > 0) *out_ += ' ';
+      *out_ += kWords[rng_->Below(kNumWords)];
+    }
+    Close(tag);
+  }
+
+  std::string* out_;
+  Prng* rng_;
+};
+
+std::string PersonName(Prng* rng) {
+  std::string name = kFirstNames[rng->Below(10)];
+  name += ' ';
+  name += kLastNames[rng->Below(10)];
+  return name;
+}
+
+void EmitItem(Writer& w, Prng* rng, uint64_t id) {
+  w.Open("item");
+  w.Leaf("id", "item" + std::to_string(id));
+  w.Words("location", 1, 2);
+  w.Leaf("quantity", std::to_string(rng->Between(1, 9)));
+  w.Words("name", 2, 4);
+  w.Open("payment");
+  w.Words("method", 1, 2);
+  w.Close("payment");
+  w.Open("description");
+  w.Open("text");
+  w.Words("keyword", 3, 8);
+  w.Words("emph", 2, 5);
+  int paragraphs = static_cast<int>(rng->Between(1, 3));
+  for (int i = 0; i < paragraphs; ++i) w.Words("parlist", 8, 24);
+  w.Close("text");
+  w.Close("description");
+  w.Open("shipping");
+  w.Words("method", 1, 3);
+  w.Close("shipping");
+  w.Close("item");
+}
+
+void EmitPerson(Writer& w, Prng* rng, uint64_t id) {
+  w.Open("person");
+  w.Leaf("id", "person" + std::to_string(id));
+  w.Leaf("name", PersonName(rng));
+  w.Leaf("emailaddress",
+         "mailto:person" + std::to_string(id) + "@example.org");
+  if (rng->Chance(700)) {
+    w.Leaf("phone", "+" + std::to_string(rng->Between(10000000, 99999999)));
+  }
+  if (rng->Chance(600)) {
+    w.Open("address");
+    w.Words("street", 2, 3);
+    w.Words("city", 1, 1);
+    w.Words("country", 1, 1);
+    w.Close("address");
+  }
+  w.Open("profile");
+  int interests = static_cast<int>(rng->Between(0, 3));
+  for (int i = 0; i < interests; ++i) {
+    w.Leaf("interest", "category" + std::to_string(rng->Below(16)));
+  }
+  if (rng->Chance(500)) w.Words("education", 1, 2);
+  if (rng->Chance(850)) {
+    // Incomes span the paper's Q20-style brackets; ~15% of people have none.
+    double income = 12000.0 + static_cast<double>(rng->Below(188000));
+    w.Leaf("income", std::to_string(income));
+  }
+  w.Words("business", 1, 1);
+  w.Close("profile");
+  w.Close("person");
+}
+
+void EmitOpenAuction(Writer& w, Prng* rng, uint64_t id, const XMarkShape& s) {
+  w.Open("open_auction");
+  w.Leaf("id", "open_auction" + std::to_string(id));
+  w.Leaf("initial", std::to_string(rng->Between(1, 300)) + "." +
+                        std::to_string(rng->Below(100)));
+  int bidders = static_cast<int>(rng->Between(0, 4));
+  for (int i = 0; i < bidders; ++i) {
+    w.Open("bidder");
+    w.Leaf("date", std::to_string(rng->Between(1, 28)) + "/" +
+                       std::to_string(rng->Between(1, 12)) + "/2006");
+    w.Leaf("personref", "person" + std::to_string(rng->Below(s.people)));
+    w.Leaf("increase", std::to_string(rng->Between(1, 50)) + ".00");
+    w.Close("bidder");
+  }
+  w.Leaf("current", std::to_string(rng->Between(10, 4000)));
+  w.Leaf("itemref",
+         "item" + std::to_string(rng->Below(s.items_per_region * 6)));
+  w.Leaf("seller", "person" + std::to_string(rng->Below(s.people)));
+  w.Open("annotation");
+  w.Words("description", 4, 12);
+  w.Close("annotation");
+  w.Close("open_auction");
+}
+
+void EmitClosedAuction(Writer& w, Prng* rng, uint64_t id, const XMarkShape& s) {
+  (void)id;
+  w.Open("closed_auction");
+  w.Leaf("seller", "person" + std::to_string(rng->Below(s.people)));
+  w.Open("buyer");
+  w.Leaf("person", "person" + std::to_string(rng->Below(s.people)));
+  w.Close("buyer");
+  w.Open("itemref");
+  w.Leaf("item", "item" + std::to_string(rng->Below(s.items_per_region * 6)));
+  w.Close("itemref");
+  w.Leaf("price", std::to_string(rng->Between(5, 2000)) + "." +
+                      std::to_string(rng->Below(100)));
+  w.Leaf("date", std::to_string(rng->Between(1, 28)) + "/" +
+                     std::to_string(rng->Between(1, 12)) + "/2006");
+  w.Leaf("quantity", std::to_string(rng->Between(1, 5)));
+  w.Open("annotation");
+  w.Words("description", 4, 12);
+  w.Close("annotation");
+  w.Close("closed_auction");
+}
+
+}  // namespace
+
+XMarkShape ShapeForFactor(double factor) {
+  auto scaled = [factor](double base) {
+    long long n = std::llround(base * factor);
+    return static_cast<uint64_t>(n < 1 ? 1 : n);
+  };
+  XMarkShape shape;
+  shape.people = scaled(480);
+  shape.items_per_region = scaled(180);
+  shape.open_auctions = scaled(210);
+  shape.closed_auctions = scaled(180);
+  shape.categories = scaled(48);
+  return shape;
+}
+
+std::string GenerateXMark(const XMarkOptions& options) {
+  XMarkShape s = ShapeForFactor(options.factor);
+  Prng rng(options.seed);
+  std::string out;
+  out.reserve(static_cast<size_t>(options.factor * 1100000));
+  Writer w(&out, &rng);
+
+  w.Open("site");
+
+  w.Open("regions");
+  uint64_t item_id = 0;
+  for (const char* region : kRegions) {
+    w.Open(region);
+    for (uint64_t i = 0; i < s.items_per_region; ++i) {
+      EmitItem(w, &rng, item_id++);
+    }
+    w.Close(region);
+  }
+  w.Close("regions");
+
+  w.Open("categories");
+  for (uint64_t i = 0; i < s.categories; ++i) {
+    w.Open("category");
+    w.Leaf("id", "category" + std::to_string(i));
+    w.Words("name", 1, 2);
+    w.Open("description");
+    w.Words("text", 6, 20);
+    w.Close("description");
+    w.Close("category");
+  }
+  w.Close("categories");
+
+  w.Open("people");
+  for (uint64_t i = 0; i < s.people; ++i) EmitPerson(w, &rng, i);
+  w.Close("people");
+
+  w.Open("open_auctions");
+  for (uint64_t i = 0; i < s.open_auctions; ++i) {
+    EmitOpenAuction(w, &rng, i, s);
+  }
+  w.Close("open_auctions");
+
+  w.Open("closed_auctions");
+  for (uint64_t i = 0; i < s.closed_auctions; ++i) {
+    EmitClosedAuction(w, &rng, i, s);
+  }
+  w.Close("closed_auctions");
+
+  w.Close("site");
+  return out;
+}
+
+}  // namespace gcx

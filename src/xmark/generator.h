@@ -1,0 +1,43 @@
+// Deterministic XMark-style workload generator.
+//
+// Emits auction-site documents with the structure of the XMark benchmark
+// (Schmidt et al., VLDB'02) restricted to the parts the paper's evaluation
+// queries touch, with attributes already converted to subelements — the
+// same adaptation the paper applied to the benchmark streams ("we
+// converted XML attributes into subelements", Sec. 7).
+//
+// The `factor` scales entity counts roughly linearly in output bytes
+// (factor 1.0 ≈ 1 MB). Generation is deterministic in (factor, seed).
+
+#ifndef GCX_XMARK_GENERATOR_H_
+#define GCX_XMARK_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gcx {
+
+/// Generator knobs.
+struct XMarkOptions {
+  double factor = 1.0;   ///< size scale; 1.0 ≈ 1 MB
+  uint64_t seed = 42;    ///< PRNG seed (content only; structure is factor-driven)
+};
+
+/// Entity counts derived from the factor (exposed for tests/benches).
+struct XMarkShape {
+  uint64_t people = 0;
+  uint64_t items_per_region = 0;  ///< six regions
+  uint64_t open_auctions = 0;
+  uint64_t closed_auctions = 0;
+  uint64_t categories = 0;
+};
+
+/// Computes the shape for a factor.
+XMarkShape ShapeForFactor(double factor);
+
+/// Generates a complete document.
+std::string GenerateXMark(const XMarkOptions& options = {});
+
+}  // namespace gcx
+
+#endif  // GCX_XMARK_GENERATOR_H_

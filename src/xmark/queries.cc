@@ -1,0 +1,69 @@
+#include "xmark/queries.h"
+
+namespace gcx {
+
+std::string_view XMarkQ1() {
+  return R"q(
+<q1>{
+  for $p in /site/people/person return
+    if ($p/id = "person0") then $p/name else ()
+}</q1>)q";
+}
+
+std::string_view XMarkQ6() {
+  return R"q(
+<q6>{
+  for $b in /site/regions return
+    for $i in $b//item return $i
+}</q6>)q";
+}
+
+std::string_view XMarkQ8() {
+  return R"q(
+<q8>{
+  for $p in /site/people/person return
+    <item>{
+      ($p/name,
+       for $t in /site/closed_auctions/closed_auction return
+         if ($t/buyer/person = $p/id) then $t/itemref else ())
+    }</item>
+}</q8>)q";
+}
+
+std::string_view XMarkQ13() {
+  return R"q(
+<q13>{
+  for $i in /site/regions/australia/item return
+    <item>{ ($i/name, $i/description) }</item>
+}</q13>)q";
+}
+
+std::string_view XMarkQ20() {
+  // Single-pass form: one iteration over people classifying each person
+  // into an income bracket. (A four-loop form would force the whole people
+  // subtree to stay buffered between passes — the paper's adapted Q20 runs
+  // in constant memory, so it was necessarily single-pass.)
+  return R"q(
+<q20>{
+ <result>{
+   for $p in /site/people/person return
+     (if ($p/profile/income >= 100000)
+        then <preferred>{ $p/name }</preferred> else (),
+      if ($p/profile/income < 100000 and $p/profile/income >= 30000)
+        then <standard>{ $p/name }</standard> else (),
+      if ($p/profile/income < 30000)
+        then <challenge>{ $p/name }</challenge> else (),
+      if (not(exists($p/profile/income)))
+        then <na>{ $p/name }</na> else ())
+ }</result>
+}</q20>)q";
+}
+
+std::vector<NamedQuery> AllXMarkQueries() {
+  return {
+      {"Q1", XMarkQ1()},   {"Q6", XMarkQ6()},   {"Q8", XMarkQ8()},
+      {"Q13", XMarkQ13()}, {"Q20", XMarkQ20()},
+  };
+}
+
+}  // namespace gcx

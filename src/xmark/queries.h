@@ -1,0 +1,40 @@
+// The paper's benchmark queries (Sec. 7): XMark Q1, Q6, Q8, Q13, Q20,
+// adapted to the XQ fragment exactly as the paper describes:
+//   * attributes are subelements (the generator already emits them so),
+//   * aggregations (count) are replaced by outputting the value,
+//   * attribute-predicate filters become if-conditions,
+//   * multi-step for-paths are allowed (the normalizer splits them).
+
+#ifndef GCX_XMARK_QUERIES_H_
+#define GCX_XMARK_QUERIES_H_
+
+#include <string_view>
+#include <vector>
+
+namespace gcx {
+
+/// Q1: the name of the person with id "person0" (exact-match filter).
+std::string_view XMarkQ1();
+
+/// Q6: all items in all regions (descendant axis; count → output).
+std::string_view XMarkQ6();
+
+/// Q8: for each person, the items they bought (value join person/buyer).
+std::string_view XMarkQ8();
+
+/// Q13: names and descriptions of Australian items (simple paths).
+std::string_view XMarkQ13();
+
+/// Q20: people grouped into income brackets (RelOp conditions + exists).
+std::string_view XMarkQ20();
+
+/// All five, with labels, for harness iteration.
+struct NamedQuery {
+  const char* name;
+  std::string_view text;
+};
+std::vector<NamedQuery> AllXMarkQueries();
+
+}  // namespace gcx
+
+#endif  // GCX_XMARK_QUERIES_H_

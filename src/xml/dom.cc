@@ -1,0 +1,94 @@
+#include "xml/dom.h"
+
+#include "xml/writer.h"
+
+namespace gcx {
+
+std::unique_ptr<DomNode> DomNode::Element(std::string tag) {
+  auto node = std::unique_ptr<DomNode>(new DomNode());
+  node->tag_ = std::move(tag);
+  return node;
+}
+
+std::unique_ptr<DomNode> DomNode::TextNode(std::string text) {
+  auto node = std::unique_ptr<DomNode>(new DomNode());
+  node->is_text_ = true;
+  node->text_ = std::move(text);
+  return node;
+}
+
+DomNode* DomNode::AppendChild(std::unique_ptr<DomNode> child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+std::string DomNode::StringValue() const {
+  if (is_text_) return text_;
+  std::string out;
+  for (const auto& child : children_) out += child->StringValue();
+  return out;
+}
+
+namespace {
+void SerializeInto(const DomNode* node, std::string* out) {
+  if (node->is_text()) {
+    *out += EscapeText(node->text());
+    return;
+  }
+  bool virtual_root = node->tag() == "#root";
+  if (!virtual_root) {
+    *out += "<";
+    *out += node->tag();
+    *out += ">";
+  }
+  for (const auto& child : node->children()) SerializeInto(child.get(), out);
+  if (!virtual_root) {
+    *out += "</";
+    *out += node->tag();
+    *out += ">";
+  }
+}
+}  // namespace
+
+std::string DomNode::Serialize() const {
+  std::string out;
+  SerializeInto(this, &out);
+  return out;
+}
+
+size_t DomNode::SubtreeSize() const {
+  size_t n = 1;
+  for (const auto& child : children_) n += child->SubtreeSize();
+  return n;
+}
+
+DomDocument::DomDocument() : root_(DomNode::Element("#root")) {}
+
+Result<std::unique_ptr<DomDocument>> ParseDom(std::string_view xml,
+                                              ScannerOptions options) {
+  auto doc = std::make_unique<DomDocument>();
+  XmlScanner scanner(std::make_unique<StringSource>(xml), options);
+  DomNode* current = doc->root();
+  while (true) {
+    XmlEvent event;
+    GCX_RETURN_IF_ERROR(scanner.Next(&event));
+    switch (event.kind) {
+      case XmlEvent::Kind::kStartElement:
+        current = current->AppendChild(DomNode::Element(std::move(event.name)));
+        break;
+      case XmlEvent::Kind::kEndElement:
+        current = current->parent();
+        GCX_CHECK(current != nullptr);
+        break;
+      case XmlEvent::Kind::kText:
+        current->AppendChild(DomNode::TextNode(std::move(event.text)));
+        break;
+      case XmlEvent::Kind::kEndOfDocument:
+        GCX_CHECK(current == doc->root());
+        return doc;
+    }
+  }
+}
+
+}  // namespace gcx

@@ -1,0 +1,93 @@
+// In-memory XML document trees.
+//
+// The DOM is a *substrate*, not the GCX buffer: it backs the baseline
+// engines (NaiveDom buffers the whole input, as Galax-like systems do), the
+// XPath reference evaluator, document projection Π_S(T) (Def. 1), and the
+// test suite's expected-output computations.
+
+#ifndef GCX_XML_DOM_H_
+#define GCX_XML_DOM_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/scanner.h"
+
+namespace gcx {
+
+/// A node of an in-memory document tree: either an element (with `tag`) or
+/// a text node (with `text`). The root of a document is a virtual element
+/// with tag "#root" so that absolute paths have an origin (the paper's
+/// distinguished `root` node).
+class DomNode {
+ public:
+  /// Creates an element node.
+  static std::unique_ptr<DomNode> Element(std::string tag);
+  /// Creates a text node.
+  static std::unique_ptr<DomNode> TextNode(std::string text);
+
+  bool is_text() const { return is_text_; }
+  const std::string& tag() const { return tag_; }
+  const std::string& text() const { return text_; }
+  DomNode* parent() const { return parent_; }
+  const std::vector<std::unique_ptr<DomNode>>& children() const {
+    return children_;
+  }
+
+  /// Appends `child` and wires its parent pointer.
+  DomNode* AppendChild(std::unique_ptr<DomNode> child);
+
+  /// XPath string value: concatenation of all descendant text.
+  std::string StringValue() const;
+
+  /// Serializes this subtree (element tags + escaped text). The virtual
+  /// "#root" element serializes its children only.
+  std::string Serialize() const;
+
+  /// Number of nodes in this subtree, including this node.
+  size_t SubtreeSize() const;
+
+  /// Pre-order (document-order) visit of this subtree.
+  template <typename Fn>
+  void Visit(Fn&& fn) {
+    fn(this);
+    for (auto& child : children_) child->Visit(fn);
+  }
+
+ private:
+  DomNode() = default;
+
+  bool is_text_ = false;
+  std::string tag_;
+  std::string text_;
+  DomNode* parent_ = nullptr;
+  std::vector<std::unique_ptr<DomNode>> children_;
+};
+
+/// An owned document: a virtual root element wrapping the document element.
+class DomDocument {
+ public:
+  DomDocument();
+
+  /// The virtual root (tag "#root").
+  DomNode* root() { return root_.get(); }
+  const DomNode* root() const { return root_.get(); }
+
+  /// Serializes the document content (children of the virtual root).
+  std::string Serialize() const { return root_->Serialize(); }
+
+ private:
+  std::unique_ptr<DomNode> root_;
+};
+
+/// Parses `xml` into a document using the streaming scanner (so DOM parsing
+/// and streaming see byte-identical token streams).
+Result<std::unique_ptr<DomDocument>> ParseDom(std::string_view xml,
+                                              ScannerOptions options = {});
+
+}  // namespace gcx
+
+#endif  // GCX_XML_DOM_H_

@@ -1,0 +1,32 @@
+// XML stream events.
+//
+// The paper (Sec. 2) treats an XML document interchangeably as a tree and as
+// a stream of opening/closing tags and character data. XmlEvent is that
+// stream alphabet; the scanner produces it, the projector consumes it.
+
+#ifndef GCX_XML_EVENT_H_
+#define GCX_XML_EVENT_H_
+
+#include <string>
+
+namespace gcx {
+
+/// One token of an XML stream.
+struct XmlEvent {
+  enum class Kind {
+    kStartElement,    ///< `<name>` (self-closing tags emit start then end)
+    kEndElement,      ///< `</name>`
+    kText,            ///< character data (entities resolved, CDATA unwrapped)
+    kEndOfDocument,   ///< stream exhausted
+  };
+
+  Kind kind = Kind::kEndOfDocument;
+  /// Element name for kStartElement / kEndElement.
+  std::string name;
+  /// Character data for kText.
+  std::string text;
+};
+
+}  // namespace gcx
+
+#endif  // GCX_XML_EVENT_H_

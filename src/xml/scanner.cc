@@ -1,0 +1,406 @@
+#include "xml/scanner.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace gcx {
+
+namespace {
+constexpr size_t kBufferSize = 1 << 16;
+
+bool IsNameStart(int c) {
+  return std::isalpha(c) || c == '_' || c == ':';
+}
+bool IsNameChar(int c) {
+  return std::isalnum(c) || c == '_' || c == ':' || c == '-' || c == '.';
+}
+}  // namespace
+
+size_t StringSource::Read(char* buffer, size_t capacity) {
+  size_t n = std::min(capacity, data_.size() - pos_);
+  std::memcpy(buffer, data_.data() + pos_, n);
+  pos_ += n;
+  return n;
+}
+
+size_t IstreamSource::Read(char* buffer, size_t capacity) {
+  stream_->read(buffer, static_cast<std::streamsize>(capacity));
+  return static_cast<size_t>(stream_->gcount());
+}
+
+XmlScanner::XmlScanner(std::unique_ptr<ByteSource> source,
+                       ScannerOptions options)
+    : source_(std::move(source)), options_(options), buffer_(kBufferSize) {}
+
+bool XmlScanner::Refill() {
+  if (source_eof_) return false;
+  buf_pos_ = 0;
+  buf_end_ = source_->Read(buffer_.data(), buffer_.size());
+  if (buf_end_ == 0) {
+    source_eof_ = true;
+    return false;
+  }
+  return true;
+}
+
+int XmlScanner::Peek() {
+  if (buf_pos_ >= buf_end_ && !Refill()) return -1;
+  return static_cast<unsigned char>(buffer_[buf_pos_]);
+}
+
+int XmlScanner::Get() {
+  int c = Peek();
+  if (c >= 0) {
+    ++buf_pos_;
+    ++bytes_consumed_;
+    if (c == '\n') ++line_;
+  }
+  return c;
+}
+
+Status XmlScanner::Fail(const std::string& message) {
+  failed_ = true;
+  return ParseError("line " + std::to_string(line_) + ": " + message);
+}
+
+void XmlScanner::SkipSpace() {
+  while (true) {
+    int c = Peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      Get();
+    } else {
+      return;
+    }
+  }
+}
+
+Status XmlScanner::Next(XmlEvent* event) {
+  GCX_CHECK(!failed_);
+  while (pending_.empty()) {
+    if (finished_) {
+      event->kind = XmlEvent::Kind::kEndOfDocument;
+      return Status::Ok();
+    }
+    int c = Peek();
+    if (c < 0) {
+      if (!open_tags_.empty()) {
+        return Fail("unexpected end of input; unclosed element <" +
+                    open_tags_.back() + ">");
+      }
+      if (!seen_root_) return Fail("empty document");
+      finished_ = true;
+      continue;
+    }
+    if (c == '<') {
+      Get();
+      GCX_RETURN_IF_ERROR(ScanMarkup());
+    } else {
+      GCX_RETURN_IF_ERROR(ScanText());
+    }
+  }
+  *event = std::move(pending_.front());
+  pending_.pop_front();
+  return Status::Ok();
+}
+
+Status XmlScanner::ScanMarkup() {
+  int c = Peek();
+  if (c == '/') {
+    Get();
+    return ScanEndTag();
+  }
+  if (c == '?') {
+    Get();
+    return ScanProcessingInstruction();
+  }
+  if (c == '!') {
+    Get();
+    c = Peek();
+    if (c == '-') return ScanComment();
+    if (c == '[') return ScanCdata();
+    return ScanDoctype();
+  }
+  return ScanStartTag();
+}
+
+Status XmlScanner::ScanName(std::string* name) {
+  name->clear();
+  int c = Peek();
+  if (!IsNameStart(c)) return Fail("expected name");
+  while (IsNameChar(Peek())) {
+    name->push_back(static_cast<char>(Get()));
+  }
+  return Status::Ok();
+}
+
+Status XmlScanner::AppendEntity(std::string* out) {
+  // Caller consumed '&'.
+  std::string entity;
+  while (true) {
+    int c = Get();
+    if (c < 0) return Fail("unterminated entity reference");
+    if (c == ';') break;
+    entity.push_back(static_cast<char>(c));
+    if (entity.size() > 10) return Fail("entity reference too long");
+  }
+  if (entity == "lt") {
+    out->push_back('<');
+  } else if (entity == "gt") {
+    out->push_back('>');
+  } else if (entity == "amp") {
+    out->push_back('&');
+  } else if (entity == "apos") {
+    out->push_back('\'');
+  } else if (entity == "quot") {
+    out->push_back('"');
+  } else if (!entity.empty() && entity[0] == '#') {
+    int base = 10;
+    size_t start = 1;
+    if (entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X')) {
+      base = 16;
+      start = 2;
+    }
+    if (start >= entity.size()) return Fail("bad character reference");
+    long code = 0;
+    for (size_t i = start; i < entity.size(); ++i) {
+      int digit;
+      char d = entity[i];
+      if (d >= '0' && d <= '9') {
+        digit = d - '0';
+      } else if (base == 16 && d >= 'a' && d <= 'f') {
+        digit = d - 'a' + 10;
+      } else if (base == 16 && d >= 'A' && d <= 'F') {
+        digit = d - 'A' + 10;
+      } else {
+        return Fail("bad character reference &" + entity + ";");
+      }
+      code = code * base + digit;
+      if (code > 0x10FFFF) return Fail("character reference out of range");
+    }
+    // Encode as UTF-8.
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  } else {
+    return Fail("unknown entity &" + entity + ";");
+  }
+  return Status::Ok();
+}
+
+Status XmlScanner::ScanAttributeValue(std::string* value) {
+  value->clear();
+  int quote = Get();
+  if (quote != '"' && quote != '\'') return Fail("expected quoted value");
+  while (true) {
+    int c = Get();
+    if (c < 0) return Fail("unterminated attribute value");
+    if (c == quote) return Status::Ok();
+    if (c == '&') {
+      GCX_RETURN_IF_ERROR(AppendEntity(value));
+    } else {
+      value->push_back(static_cast<char>(c));
+    }
+  }
+}
+
+Status XmlScanner::ScanStartTag() {
+  if (seen_root_ && open_tags_.empty()) {
+    return Fail("content after document element");
+  }
+  std::string name;
+  GCX_RETURN_IF_ERROR(ScanName(&name));
+  seen_root_ = true;
+
+  XmlEvent start;
+  start.kind = XmlEvent::Kind::kStartElement;
+  start.name = name;
+  pending_.push_back(std::move(start));
+
+  // Attributes.
+  std::vector<std::pair<std::string, std::string>> attrs;
+  while (true) {
+    SkipSpace();
+    int c = Peek();
+    if (c == '>' || c == '/') break;
+    std::string attr_name;
+    GCX_RETURN_IF_ERROR(ScanName(&attr_name));
+    SkipSpace();
+    if (Get() != '=') return Fail("expected '=' after attribute name");
+    SkipSpace();
+    std::string attr_value;
+    GCX_RETURN_IF_ERROR(ScanAttributeValue(&attr_value));
+    if (options_.attribute_mode == ScannerOptions::AttributeMode::kAsElements) {
+      attrs.emplace_back(std::move(attr_name), std::move(attr_value));
+    }
+  }
+
+  for (auto& [attr_name, attr_value] : attrs) {
+    XmlEvent open;
+    open.kind = XmlEvent::Kind::kStartElement;
+    open.name = attr_name;
+    pending_.push_back(std::move(open));
+    if (!attr_value.empty()) {
+      XmlEvent text;
+      text.kind = XmlEvent::Kind::kText;
+      text.text = std::move(attr_value);
+      pending_.push_back(std::move(text));
+    }
+    XmlEvent close;
+    close.kind = XmlEvent::Kind::kEndElement;
+    close.name = attr_name;
+    pending_.push_back(std::move(close));
+  }
+
+  int c = Get();
+  if (c == '/') {
+    if (Get() != '>') return Fail("expected '>' after '/'");
+    XmlEvent close;
+    close.kind = XmlEvent::Kind::kEndElement;
+    close.name = std::move(name);
+    pending_.push_back(std::move(close));
+    return Status::Ok();
+  }
+  if (c != '>') return Fail("expected '>' in start tag");
+  open_tags_.push_back(std::move(name));
+  return Status::Ok();
+}
+
+Status XmlScanner::ScanEndTag() {
+  std::string name;
+  GCX_RETURN_IF_ERROR(ScanName(&name));
+  SkipSpace();
+  if (Get() != '>') return Fail("expected '>' in end tag");
+  if (open_tags_.empty()) return Fail("closing tag </" + name + "> with no open element");
+  if (open_tags_.back() != name) {
+    return Fail("mismatched closing tag </" + name + ">, expected </" +
+                open_tags_.back() + ">");
+  }
+  open_tags_.pop_back();
+  XmlEvent close;
+  close.kind = XmlEvent::Kind::kEndElement;
+  close.name = std::move(name);
+  pending_.push_back(std::move(close));
+  return Status::Ok();
+}
+
+Status XmlScanner::ScanComment() {
+  // Caller consumed "<!", next is '-'.
+  if (Get() != '-' || Get() != '-') return Fail("malformed comment");
+  int dashes = 0;
+  while (true) {
+    int c = Get();
+    if (c < 0) return Fail("unterminated comment");
+    if (c == '-') {
+      ++dashes;
+    } else if (c == '>' && dashes >= 2) {
+      return Status::Ok();
+    } else {
+      dashes = 0;
+    }
+  }
+}
+
+Status XmlScanner::ScanCdata() {
+  // Caller consumed "<!", next is '['.
+  const char* expect = "[CDATA[";
+  for (const char* p = expect; *p; ++p) {
+    if (Get() != *p) return Fail("malformed CDATA section");
+  }
+  XmlEvent text;
+  text.kind = XmlEvent::Kind::kText;
+  int brackets = 0;
+  while (true) {
+    int c = Get();
+    if (c < 0) return Fail("unterminated CDATA section");
+    if (c == ']') {
+      ++brackets;
+    } else if (c == '>' && brackets >= 2) {
+      // Drop the two trailing ']' we buffered.
+      text.text.resize(text.text.size() - 2);
+      if (!text.text.empty()) pending_.push_back(std::move(text));
+      return Status::Ok();
+    } else {
+      brackets = 0;
+    }
+    if (c != '>' || brackets == 0) text.text.push_back(static_cast<char>(c));
+  }
+}
+
+Status XmlScanner::ScanProcessingInstruction() {
+  // Caller consumed "<?".
+  int question = 0;
+  while (true) {
+    int c = Get();
+    if (c < 0) return Fail("unterminated processing instruction");
+    if (c == '?') {
+      question = 1;
+    } else if (c == '>' && question) {
+      return Status::Ok();
+    } else {
+      question = 0;
+    }
+  }
+}
+
+Status XmlScanner::ScanDoctype() {
+  // Caller consumed "<!". Skip to matching '>' tracking nested brackets.
+  int depth = 0;
+  while (true) {
+    int c = Get();
+    if (c < 0) return Fail("unterminated DOCTYPE");
+    if (c == '[' || c == '<') ++depth;
+    if (c == ']') --depth;
+    if (c == '>') {
+      if (depth <= 0) return Status::Ok();
+      --depth;
+    }
+  }
+}
+
+Status XmlScanner::ScanText() {
+  if (open_tags_.empty()) {
+    // Whitespace between prolog/epilog and the root element is fine.
+    XmlEvent scratch;
+    std::string text;
+    while (Peek() >= 0 && Peek() != '<') {
+      text.push_back(static_cast<char>(Get()));
+    }
+    if (!IsAllWhitespace(text)) return Fail("character data outside root element");
+    return Status::Ok();
+  }
+  XmlEvent text;
+  text.kind = XmlEvent::Kind::kText;
+  while (true) {
+    int c = Peek();
+    if (c < 0 || c == '<') break;
+    Get();
+    if (c == '&') {
+      GCX_RETURN_IF_ERROR(AppendEntity(&text.text));
+    } else {
+      text.text.push_back(static_cast<char>(c));
+    }
+  }
+  if (text.text.empty()) return Status::Ok();
+  if (options_.skip_whitespace_text && IsAllWhitespace(text.text)) {
+    return Status::Ok();
+  }
+  pending_.push_back(std::move(text));
+  return Status::Ok();
+}
+
+}  // namespace gcx

@@ -1,0 +1,53 @@
+#include "xml/writer.h"
+
+namespace gcx {
+
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void XmlWriter::Write(std::string_view bytes) {
+  out_->write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  bytes_written_ += bytes.size();
+}
+
+void XmlWriter::StartElement(std::string_view name) {
+  Write("<");
+  Write(name);
+  Write(">");
+  open_.emplace_back(name);
+}
+
+void XmlWriter::EndElement(std::string_view name) {
+  GCX_CHECK(!open_.empty() && open_.back() == name);
+  open_.pop_back();
+  Write("</");
+  Write(name);
+  Write(">");
+}
+
+void XmlWriter::Text(std::string_view text) {
+  std::string escaped = EscapeText(text);
+  Write(escaped);
+}
+
+void XmlWriter::Raw(std::string_view bytes) { Write(bytes); }
+
+}  // namespace gcx

@@ -1,0 +1,52 @@
+// XML serialization.
+
+#ifndef GCX_XML_WRITER_H_
+#define GCX_XML_WRITER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gcx {
+
+/// Escapes `text` for use as XML character data (&, <, >).
+std::string EscapeText(std::string_view text);
+
+/// Streaming XML writer with well-formedness tracking.
+///
+/// The evaluator uses this to produce the query result; it checks that
+/// every StartElement is matched by an EndElement with the same name.
+class XmlWriter {
+ public:
+  explicit XmlWriter(std::ostream* out) : out_(out) {}
+
+  /// Emits `<name>`.
+  void StartElement(std::string_view name);
+  /// Emits `</name>`; `name` must match the innermost open element.
+  void EndElement(std::string_view name);
+  /// Emits escaped character data.
+  void Text(std::string_view text);
+  /// Emits pre-escaped raw bytes (used when copying buffered text that was
+  /// already unescaped; it is re-escaped by Text instead — Raw is for tests).
+  void Raw(std::string_view bytes);
+
+  /// Number of elements currently open.
+  size_t depth() const { return open_.size(); }
+  /// Total bytes written.
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  void Write(std::string_view bytes);
+
+  std::ostream* out_;
+  std::vector<std::string> open_;
+  uint64_t bytes_written_ = 0;
+};
+
+}  // namespace gcx
+
+#endif  // GCX_XML_WRITER_H_

@@ -1,0 +1,102 @@
+#include "xpath/dom_eval.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace gcx {
+
+namespace {
+
+bool StepMatches(const DomNode* node, const NodeTest& test) {
+  if (node->is_text()) return test.MatchesText();
+  return test.MatchesElement(node->tag());
+}
+
+void CollectDescendants(DomNode* node, const NodeTest& test, bool include_self,
+                        std::vector<DomNode*>* out) {
+  if (include_self && StepMatches(node, test)) out->push_back(node);
+  for (const auto& child : node->children()) {
+    CollectDescendants(child.get(), test, /*include_self=*/true, out);
+  }
+}
+
+}  // namespace
+
+std::vector<DomNode*> EvalStep(DomNode* context, const Step& step) {
+  std::vector<DomNode*> out;
+  switch (step.axis) {
+    case Axis::kChild:
+      for (const auto& child : context->children()) {
+        if (StepMatches(child.get(), step.test)) out.push_back(child.get());
+      }
+      break;
+    case Axis::kDescendant:
+      CollectDescendants(context, step.test, /*include_self=*/false, &out);
+      break;
+    case Axis::kDescendantOrSelf:
+      CollectDescendants(context, step.test, /*include_self=*/true, &out);
+      break;
+  }
+  if (step.predicate == StepPredicate::kFirst && out.size() > 1) {
+    out.resize(1);
+  }
+  return out;
+}
+
+std::vector<DomNode*> EvalPath(DomNode* context, const RelativePath& path) {
+  std::vector<DomNode*> current;
+  current.push_back(context);
+  for (const Step& step : path.steps) {
+    std::vector<DomNode*> next;
+    std::unordered_set<DomNode*> seen;
+    for (DomNode* node : current) {
+      for (DomNode* match : EvalStep(node, step)) {
+        if (seen.insert(match).second) next.push_back(match);
+      }
+    }
+    // Re-establish document order: matches were collected per context node;
+    // contexts are in document order, but descendant results of distinct
+    // contexts can interleave. A stable document-order sort via pre-order
+    // indices keeps the specification exact.
+    current = std::move(next);
+    if (step.axis != Axis::kChild && current.size() > 1) {
+      // Compute pre-order ranks from the document root.
+      DomNode* root = context;
+      while (root->parent() != nullptr) root = root->parent();
+      std::unordered_map<const DomNode*, size_t> rank;
+      size_t counter = 0;
+      root->Visit([&](DomNode* n) { rank[n] = counter++; });
+      std::sort(current.begin(), current.end(),
+                [&](DomNode* a, DomNode* b) { return rank[a] < rank[b]; });
+    }
+  }
+  return current;
+}
+
+std::unique_ptr<DomDocument> ProjectDocument(
+    const DomDocument& doc, const std::unordered_set<const DomNode*>& keep) {
+  auto projected = std::make_unique<DomDocument>();
+  // Recursive document-order walk; `attach` is the copy of the nearest kept
+  // ancestor, so discarding a node promotes its kept descendants (Def. 1
+  // preserves ancestor-descendant and following relationships).
+  struct Walker {
+    const std::unordered_set<const DomNode*>& keep;
+    void Walk(const DomNode* original, DomNode* attach) {
+      for (const auto& child : original->children()) {
+        DomNode* child_attach = attach;
+        if (keep.count(child.get()) > 0) {
+          std::unique_ptr<DomNode> copy =
+              child->is_text() ? DomNode::TextNode(child->text())
+                               : DomNode::Element(child->tag());
+          child_attach = attach->AppendChild(std::move(copy));
+        }
+        Walk(child.get(), child_attach);
+      }
+    }
+  };
+  Walker{keep}.Walk(doc.root(), projected->root());
+  return projected;
+}
+
+}  // namespace gcx

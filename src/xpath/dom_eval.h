@@ -1,0 +1,36 @@
+// Reference evaluation of the XPath fragment over DOM trees, plus document
+// projection Π_S(T) (Def. 1 of the paper).
+//
+// This is the *specification* implementation: the streaming projector and
+// the buffer-side path evaluation are tested against it.
+
+#ifndef GCX_XPATH_DOM_EVAL_H_
+#define GCX_XPATH_DOM_EVAL_H_
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "xml/dom.h"
+#include "xpath/path.h"
+
+namespace gcx {
+
+/// Returns the nodes reachable from `context` via `path`, in document order
+/// and without duplicates. An empty path yields {context}.
+std::vector<DomNode*> EvalPath(DomNode* context, const RelativePath& path);
+
+/// Returns the nodes matched by one `step` from `context`, in document
+/// order. The `[1]` predicate keeps only the first match.
+std::vector<DomNode*> EvalStep(DomNode* context, const Step& step);
+
+/// Document projection Π_S(T): copies the document keeping exactly the
+/// nodes in `keep` (the virtual root is always kept), re-attaching each kept
+/// node to its nearest kept ancestor so that ancestor-descendant and
+/// following relationships are preserved (Def. 1).
+std::unique_ptr<DomDocument> ProjectDocument(
+    const DomDocument& doc, const std::unordered_set<const DomNode*>& keep);
+
+}  // namespace gcx
+
+#endif  // GCX_XPATH_DOM_EVAL_H_

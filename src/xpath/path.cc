@@ -1,0 +1,186 @@
+#include "xpath/path.h"
+
+#include <cctype>
+
+namespace gcx {
+
+std::string NodeTest::ToString() const {
+  switch (kind) {
+    case NodeTestKind::kTag:
+      return tag;
+    case NodeTestKind::kStar:
+      return "*";
+    case NodeTestKind::kText:
+      return "text()";
+    case NodeTestKind::kAnyNode:
+      return "node()";
+  }
+  return "?";
+}
+
+bool TestsOverlap(const NodeTest& a, const NodeTest& b) {
+  // text() overlaps text() and node(); element tests overlap unless both are
+  // distinct concrete tags.
+  if (a.kind == NodeTestKind::kText || b.kind == NodeTestKind::kText) {
+    return a.MatchesText() && b.MatchesText();
+  }
+  if (a.kind == NodeTestKind::kTag && b.kind == NodeTestKind::kTag) {
+    return a.tag == b.tag;
+  }
+  return true;  // *, node() overlap any element test
+}
+
+std::string Step::ToString() const {
+  std::string out;
+  switch (axis) {
+    case Axis::kChild:
+      break;  // child is the default axis, rendered bare
+    case Axis::kDescendant:
+      out += "descendant::";
+      break;
+    case Axis::kDescendantOrSelf:
+      out += "dos::";
+      break;
+  }
+  out += test.ToString();
+  if (predicate == StepPredicate::kFirst) out += "[1]";
+  return out;
+}
+
+std::string RelativePath::ToString() const {
+  if (steps.empty()) return "\xCE\xB5";  // ε
+  std::string out;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (i > 0) out += "/";
+    out += steps[i].ToString();
+  }
+  return out;
+}
+
+RelativePath RelativePath::Plus(Step step) const {
+  RelativePath out = *this;
+  out.steps.push_back(std::move(step));
+  return out;
+}
+
+namespace {
+
+class PathParser {
+ public:
+  explicit PathParser(std::string_view text) : text_(text) {}
+
+  Result<RelativePath> Parse() {
+    RelativePath path;
+    // Leading "." (self) or "/" (handled by caller as absoluteness).
+    if (Peek() == '.') {
+      ++pos_;
+      if (pos_ < text_.size() && Peek() == '/') {
+        // ".//" means descendant step follows; "./": child step follows.
+      } else if (pos_ == text_.size()) {
+        return path;  // "." alone: empty path
+      }
+    }
+    while (pos_ < text_.size()) {
+      Axis axis = Axis::kChild;
+      if (Peek() == '/') {
+        ++pos_;
+        if (pos_ < text_.size() && Peek() == '/') {
+          ++pos_;
+          axis = Axis::kDescendant;
+        }
+      }
+      if (pos_ >= text_.size()) {
+        return gcx::ParseError("path ends with '/': '" + std::string(text_) +
+                               "'");
+      }
+      GCX_ASSIGN_OR_RETURN(Step step, ParseStep(axis));
+      path.steps.push_back(std::move(step));
+    }
+    if (path.steps.empty()) {
+      return gcx::ParseError("empty path: '" + std::string(text_) + "'");
+    }
+    return path;
+  }
+
+ private:
+  char Peek() const { return text_[pos_]; }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Step> ParseStep(Axis axis_from_slashes) {
+    Step step;
+    step.axis = axis_from_slashes;
+    // Explicit axis specifier overrides.
+    if (ConsumeWord("descendant-or-self::") || ConsumeWord("dos::")) {
+      step.axis = Axis::kDescendantOrSelf;
+    } else if (ConsumeWord("descendant::")) {
+      step.axis = Axis::kDescendant;
+    } else if (ConsumeWord("child::")) {
+      if (step.axis == Axis::kDescendant) {
+        return gcx::ParseError("'//child::' is not supported; use '//'");
+      }
+      step.axis = Axis::kChild;
+    }
+    // Node test.
+    if (ConsumeWord("text()")) {
+      step.test = NodeTest::Text();
+    } else if (ConsumeWord("node()")) {
+      step.test = NodeTest::AnyNode();
+    } else if (pos_ < text_.size() && Peek() == '*') {
+      ++pos_;
+      step.test = NodeTest::Star();
+    } else {
+      std::string name;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(Peek())) ||
+              Peek() == '_' || Peek() == '-' || Peek() == '.' ||
+              Peek() == ':')) {
+        // Stop before an axis separator "::" (should have been consumed).
+        if (Peek() == ':') break;
+        name.push_back(Peek());
+        ++pos_;
+      }
+      if (name.empty()) {
+        return gcx::ParseError("expected node test at offset " +
+                               std::to_string(pos_) + " in '" +
+                               std::string(text_) + "'");
+      }
+      step.test = NodeTest::Tag(std::move(name));
+    }
+    // Predicate.
+    if (ConsumeWord("[1]") || ConsumeWord("[position()=1]") ||
+        ConsumeWord("[position() = 1]")) {
+      step.predicate = StepPredicate::kFirst;
+    }
+    if (pos_ < text_.size() && Peek() != '/') {
+      return gcx::ParseError("unexpected character '" +
+                             std::string(1, Peek()) + "' in path '" +
+                             std::string(text_) + "'");
+    }
+    return step;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<RelativePath> ParsePath(std::string_view text) {
+  // Strip a single leading '/' (absoluteness is the caller's concern); keep
+  // "//" which encodes a descendant first step.
+  if (!text.empty() && text[0] == '/' &&
+      (text.size() < 2 || text[1] != '/')) {
+    text = text.substr(1);
+  }
+  if (text.empty() || text == ".") return RelativePath{};
+  return PathParser(text).Parse();
+}
+
+}  // namespace gcx

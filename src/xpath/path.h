@@ -1,0 +1,128 @@
+// The forward-XPath fragment of the paper (Sec. 2).
+//
+// Location steps are `axis::test[pred]` with
+//   axis ∈ { child, descendant, descendant-or-self }
+//   test ∈ { tagname, * (any element), text(), node() }
+//   pred ∈ { true (omitted), position()=1 (written "[1]") }
+// Paths are sequences of steps; absolute paths are relative paths anchored
+// at the document root.
+
+#ifndef GCX_XPATH_PATH_H_
+#define GCX_XPATH_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gcx {
+
+/// XPath axis (forward axes only; Olteanu et al.'s "XPath: Looking Forward"
+/// fragment restricted to what XQ needs).
+enum class Axis {
+  kChild,
+  kDescendant,
+  kDescendantOrSelf,  ///< written "dos" in the paper
+};
+
+/// Node test.
+enum class NodeTestKind {
+  kTag,      ///< a concrete element tag name
+  kStar,     ///< `*`: any element
+  kText,     ///< `text()`: text nodes
+  kAnyNode,  ///< `node()`: any node (element or text)
+};
+
+/// Step predicate: either none or the first-witness filter `[1]`
+/// (position() = 1), used by existence checks (Def. 2).
+enum class StepPredicate {
+  kNone,
+  kFirst,
+};
+
+/// A node test: kind plus tag name when kind == kTag.
+struct NodeTest {
+  NodeTestKind kind = NodeTestKind::kStar;
+  std::string tag;
+
+  static NodeTest Tag(std::string name) {
+    return NodeTest{NodeTestKind::kTag, std::move(name)};
+  }
+  static NodeTest Star() { return NodeTest{NodeTestKind::kStar, {}}; }
+  static NodeTest Text() { return NodeTest{NodeTestKind::kText, {}}; }
+  static NodeTest AnyNode() { return NodeTest{NodeTestKind::kAnyNode, {}}; }
+
+  bool operator==(const NodeTest& other) const {
+    return kind == other.kind && tag == other.tag;
+  }
+
+  /// True if this test can match an element named `tag_name`.
+  bool MatchesElement(std::string_view tag_name) const {
+    switch (kind) {
+      case NodeTestKind::kTag:
+        return tag == tag_name;
+      case NodeTestKind::kStar:
+        return true;
+      case NodeTestKind::kText:
+        return false;
+      case NodeTestKind::kAnyNode:
+        return true;
+    }
+    return false;
+  }
+
+  /// True if this test can match a text node.
+  bool MatchesText() const {
+    return kind == NodeTestKind::kText || kind == NodeTestKind::kAnyNode;
+  }
+
+  std::string ToString() const;
+};
+
+/// True if some node could satisfy both tests (used by the projector's
+/// anti-promotion rule, preservation case (2)).
+bool TestsOverlap(const NodeTest& a, const NodeTest& b);
+
+/// One location step.
+struct Step {
+  Axis axis = Axis::kChild;
+  NodeTest test;
+  StepPredicate predicate = StepPredicate::kNone;
+
+  bool operator==(const Step& other) const {
+    return axis == other.axis && test == other.test &&
+           predicate == other.predicate;
+  }
+
+  /// Renders as `axis::test[pred]` with the paper's "dos" abbreviation.
+  std::string ToString() const;
+};
+
+/// A relative path: a (possibly empty, = ε) sequence of steps.
+struct RelativePath {
+  std::vector<Step> steps;
+
+  bool empty() const { return steps.empty(); }
+
+  bool operator==(const RelativePath& other) const {
+    return steps == other.steps;
+  }
+
+  /// Renders as `step/step/...`, or "ε" when empty.
+  std::string ToString() const;
+
+  /// Returns this path extended by `step`.
+  RelativePath Plus(Step step) const;
+};
+
+/// Parses a path written with the common abbreviations, e.g.
+/// `a/b`, `//a`, `.//b`, `*`, `price[1]`, `dos::node()`,
+/// `descendant::x`, `text()`. Leading `/` or `./` is ignored (paths are
+/// interpreted relative to their context; absoluteness is decided by the
+/// XQ parser). An empty or "." input yields the empty path.
+Result<RelativePath> ParsePath(std::string_view text);
+
+}  // namespace gcx
+
+#endif  // GCX_XPATH_PATH_H_

@@ -1,0 +1,225 @@
+#include "xq/ast.h"
+
+namespace gcx {
+
+const char* RelOpName(RelOp op) {
+  switch (op) {
+    case RelOp::kEq:
+      return "=";
+    case RelOp::kNe:
+      return "!=";
+    case RelOp::kLt:
+      return "<";
+    case RelOp::kLe:
+      return "<=";
+    case RelOp::kGt:
+      return ">";
+    case RelOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::unique_ptr<Cond> Cond::Clone() const {
+  auto out = std::make_unique<Cond>();
+  out->kind = kind;
+  out->lhs = lhs;
+  out->rhs = rhs;
+  out->op = op;
+  if (left != nullptr) out->left = left->Clone();
+  if (right != nullptr) out->right = right->Clone();
+  return out;
+}
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  for (const auto& item : items) out->items.push_back(item->Clone());
+  out->tag = tag;
+  out->text = text;
+  if (child != nullptr) out->child = child->Clone();
+  out->var = var;
+  out->path = path;
+  out->loop_var = loop_var;
+  if (body != nullptr) out->body = body->Clone();
+  if (cond != nullptr) out->cond = cond->Clone();
+  if (then_branch != nullptr) out->then_branch = then_branch->Clone();
+  if (else_branch != nullptr) out->else_branch = else_branch->Clone();
+  out->role = role;
+  out->agg = agg;
+  return out;
+}
+
+std::unique_ptr<Expr> MakeEmpty() {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kEmpty;
+  return e;
+}
+
+std::unique_ptr<Expr> MakeSequence(std::vector<std::unique_ptr<Expr>> items) {
+  if (items.empty()) return MakeEmpty();
+  if (items.size() == 1) return std::move(items[0]);
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kSequence;
+  e->items = std::move(items);
+  return e;
+}
+
+std::unique_ptr<Expr> MakeElement(std::string tag,
+                                  std::unique_ptr<Expr> child) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kElement;
+  e->tag = std::move(tag);
+  e->child = child != nullptr ? std::move(child) : MakeEmpty();
+  return e;
+}
+
+std::unique_ptr<Expr> MakeOpenTag(std::string tag) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kOpenTag;
+  e->tag = std::move(tag);
+  return e;
+}
+
+std::unique_ptr<Expr> MakeCloseTag(std::string tag) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCloseTag;
+  e->tag = std::move(tag);
+  return e;
+}
+
+std::unique_ptr<Expr> MakeTextLiteral(std::string text) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kTextLiteral;
+  e->text = std::move(text);
+  return e;
+}
+
+std::unique_ptr<Expr> MakeVarRef(VarId var) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kVarRef;
+  e->var = var;
+  return e;
+}
+
+std::unique_ptr<Expr> MakePathOutput(VarId var, RelativePath path) {
+  if (path.empty()) return MakeVarRef(var);
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kPathOutput;
+  e->var = var;
+  e->path = std::move(path);
+  return e;
+}
+
+std::unique_ptr<Expr> MakeFor(VarId loop_var, VarId source_var,
+                              RelativePath path, std::unique_ptr<Expr> body) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFor;
+  e->loop_var = loop_var;
+  e->var = source_var;
+  e->path = std::move(path);
+  e->body = std::move(body);
+  return e;
+}
+
+std::unique_ptr<Expr> MakeIf(std::unique_ptr<Cond> cond,
+                             std::unique_ptr<Expr> then_branch,
+                             std::unique_ptr<Expr> else_branch) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kIf;
+  e->cond = std::move(cond);
+  e->then_branch =
+      then_branch != nullptr ? std::move(then_branch) : MakeEmpty();
+  e->else_branch =
+      else_branch != nullptr ? std::move(else_branch) : MakeEmpty();
+  return e;
+}
+
+std::unique_ptr<Expr> MakeSignOff(VarId var, RelativePath path, RoleId role) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kSignOff;
+  e->var = var;
+  e->path = std::move(path);
+  e->role = role;
+  return e;
+}
+
+std::unique_ptr<Expr> MakeAggregate(AggKind agg, VarId var,
+                                    RelativePath path) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kAggregate;
+  e->agg = agg;
+  e->var = var;
+  e->path = std::move(path);
+  return e;
+}
+
+std::unique_ptr<Cond> MakeTrue() { return std::make_unique<Cond>(); }
+
+std::unique_ptr<Cond> MakeExists(VarId var, RelativePath path) {
+  auto c = std::make_unique<Cond>();
+  c->kind = CondKind::kExists;
+  c->lhs = Operand::VarPath(var, std::move(path));
+  return c;
+}
+
+std::unique_ptr<Cond> MakeCompare(Operand lhs, RelOp op, Operand rhs) {
+  auto c = std::make_unique<Cond>();
+  c->kind = CondKind::kCompare;
+  c->lhs = std::move(lhs);
+  c->rhs = std::move(rhs);
+  c->op = op;
+  return c;
+}
+
+std::unique_ptr<Cond> MakeAnd(std::unique_ptr<Cond> l,
+                              std::unique_ptr<Cond> r) {
+  auto c = std::make_unique<Cond>();
+  c->kind = CondKind::kAnd;
+  c->left = std::move(l);
+  c->right = std::move(r);
+  return c;
+}
+
+std::unique_ptr<Cond> MakeOr(std::unique_ptr<Cond> l,
+                             std::unique_ptr<Cond> r) {
+  auto c = std::make_unique<Cond>();
+  c->kind = CondKind::kOr;
+  c->left = std::move(l);
+  c->right = std::move(r);
+  return c;
+}
+
+std::unique_ptr<Cond> MakeNot(std::unique_ptr<Cond> inner) {
+  auto c = std::make_unique<Cond>();
+  c->kind = CondKind::kNot;
+  c->left = std::move(inner);
+  return c;
+}
+
+VarId Query::FreshVar(const std::string& hint) {
+  VarId id = static_cast<VarId>(var_names.size());
+  var_names.push_back("$#" + hint + std::to_string(id));
+  return id;
+}
+
+Query Query::Clone() const {
+  Query out;
+  out.body = body->Clone();
+  out.var_names = var_names;
+  return out;
+}
+
+bool ContainsFor(const Expr& expr) {
+  if (expr.kind == ExprKind::kFor) return true;
+  for (const auto& item : expr.items) {
+    if (ContainsFor(*item)) return true;
+  }
+  if (expr.child != nullptr && ContainsFor(*expr.child)) return true;
+  if (expr.body != nullptr && ContainsFor(*expr.body)) return true;
+  if (expr.then_branch != nullptr && ContainsFor(*expr.then_branch)) return true;
+  if (expr.else_branch != nullptr && ContainsFor(*expr.else_branch)) return true;
+  return false;
+}
+
+}  // namespace gcx

@@ -1,0 +1,232 @@
+#include "xq/normalize.h"
+
+#include <utility>
+#include <vector>
+
+namespace gcx {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Pass 1: Early updates (Sec. 6).
+// ---------------------------------------------------------------------------
+
+void EarlyUpdatesExpr(Query* query, std::unique_ptr<Expr>* slot) {
+  Expr* expr = slot->get();
+  switch (expr->kind) {
+    case ExprKind::kPathOutput: {
+      // "$x/σ" ⇒ "for $y in $x/σ return $y". The fresh loop then gets its
+      // own binding role signed off immediately after each output.
+      VarId fresh = query->FreshVar("out");
+      *slot = MakeFor(fresh, expr->var, std::move(expr->path),
+                      MakeVarRef(fresh));
+      return;
+    }
+    case ExprKind::kSequence:
+      for (auto& item : expr->items) EarlyUpdatesExpr(query, &item);
+      return;
+    case ExprKind::kElement:
+      EarlyUpdatesExpr(query, &expr->child);
+      return;
+    case ExprKind::kFor:
+      EarlyUpdatesExpr(query, &expr->body);
+      return;
+    case ExprKind::kIf:
+      EarlyUpdatesExpr(query, &expr->then_branch);
+      EarlyUpdatesExpr(query, &expr->else_branch);
+      return;
+    default:
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: multi-step for-loop sources → nested single-step loops.
+// ---------------------------------------------------------------------------
+
+void SplitForExpr(Query* query, std::unique_ptr<Expr>* slot) {
+  Expr* expr = slot->get();
+  switch (expr->kind) {
+    case ExprKind::kSequence:
+      for (auto& item : expr->items) SplitForExpr(query, &item);
+      return;
+    case ExprKind::kElement:
+      SplitForExpr(query, &expr->child);
+      return;
+    case ExprKind::kIf:
+      SplitForExpr(query, &expr->then_branch);
+      SplitForExpr(query, &expr->else_branch);
+      return;
+    case ExprKind::kFor: {
+      SplitForExpr(query, &expr->body);
+      if (expr->path.steps.size() <= 1) return;
+      // for $x in $y/s1/…/sn return β
+      //   ⇒ for $g1 in $y/s1 return … for $x in $g_{n-1}/sn return β
+      std::vector<Step> steps = std::move(expr->path.steps);
+      const size_t n = steps.size();
+      std::vector<VarId> mids;
+      for (size_t i = 0; i + 1 < n; ++i) mids.push_back(query->FreshVar("step"));
+      auto single = [](Step step) {
+        RelativePath path;
+        path.steps.push_back(std::move(step));
+        return path;
+      };
+      std::unique_ptr<Expr> result =
+          MakeFor(expr->loop_var, mids.back(), single(std::move(steps.back())),
+                  std::move(expr->body));
+      for (size_t i = n - 2; i >= 1; --i) {
+        result = MakeFor(mids[i], mids[i - 1], single(std::move(steps[i])),
+                         std::move(result));
+      }
+      result = MakeFor(mids[0], expr->var, single(std::move(steps[0])),
+                       std::move(result));
+      *slot = std::move(result);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: if push-down (Fig. 7), restricted to if-expressions that contain
+// for-loops (the paper's practical note) — those are exactly the ones whose
+// bodies will receive signOff-statements.
+// ---------------------------------------------------------------------------
+
+// Pushes the *simple* if (cond `cond`, empty else) into `expr` using rules
+// SEQ, NC, FOR until the guarded subexpressions contain no for-loops.
+std::unique_ptr<Expr> PushSimpleIf(std::unique_ptr<Cond> cond,
+                                   std::unique_ptr<Expr> expr) {
+  if (!ContainsFor(*expr)) {
+    if (expr->kind == ExprKind::kEmpty) return expr;  // if X then () ≡ ()
+    return MakeIf(std::move(cond), std::move(expr), MakeEmpty());
+  }
+  switch (expr->kind) {
+    case ExprKind::kSequence: {  // rule SEQ
+      std::vector<std::unique_ptr<Expr>> items;
+      items.reserve(expr->items.size());
+      for (auto& item : expr->items) {
+        items.push_back(PushSimpleIf(cond->Clone(), std::move(item)));
+      }
+      return MakeSequence(std::move(items));
+    }
+    case ExprKind::kElement: {  // rule NC
+      std::vector<std::unique_ptr<Expr>> items;
+      items.push_back(MakeIf(cond->Clone(), MakeOpenTag(expr->tag), MakeEmpty()));
+      items.push_back(PushSimpleIf(cond->Clone(), std::move(expr->child)));
+      items.push_back(MakeIf(std::move(cond), MakeCloseTag(expr->tag), MakeEmpty()));
+      return MakeSequence(std::move(items));
+    }
+    case ExprKind::kFor: {  // rule FOR
+      expr->body = PushSimpleIf(std::move(cond), std::move(expr->body));
+      return expr;
+    }
+    case ExprKind::kIf: {
+      // Nested if: decompose (DECOMP) and push conjoined conditions.
+      std::unique_ptr<Cond> inner = expr->cond->Clone();
+      auto then_guard = MakeAnd(cond->Clone(), inner->Clone());
+      auto else_guard = MakeAnd(std::move(cond), MakeNot(std::move(inner)));
+      std::vector<std::unique_ptr<Expr>> items;
+      items.push_back(
+          PushSimpleIf(std::move(then_guard), std::move(expr->then_branch)));
+      items.push_back(
+          PushSimpleIf(std::move(else_guard), std::move(expr->else_branch)));
+      return MakeSequence(std::move(items));
+    }
+    default:
+      // A for cannot hide in the remaining kinds.
+      return MakeIf(std::move(cond), std::move(expr), MakeEmpty());
+  }
+}
+
+void PushIfDownExpr(std::unique_ptr<Expr>* slot) {
+  Expr* expr = slot->get();
+  switch (expr->kind) {
+    case ExprKind::kSequence:
+      for (auto& item : expr->items) PushIfDownExpr(&item);
+      return;
+    case ExprKind::kElement:
+      PushIfDownExpr(&expr->child);
+      return;
+    case ExprKind::kFor:
+      PushIfDownExpr(&expr->body);
+      return;
+    case ExprKind::kIf: {
+      PushIfDownExpr(&expr->then_branch);
+      PushIfDownExpr(&expr->else_branch);
+      if (!ContainsFor(*expr->then_branch) && !ContainsFor(*expr->else_branch)) {
+        return;  // nothing to protect; leave the if intact
+      }
+      // Rule DECOMP, then push both halves.
+      std::unique_ptr<Cond> cond = std::move(expr->cond);
+      std::vector<std::unique_ptr<Expr>> items;
+      items.push_back(
+          PushSimpleIf(cond->Clone(), std::move(expr->then_branch)));
+      items.push_back(
+          PushSimpleIf(MakeNot(std::move(cond)), std::move(expr->else_branch)));
+      *slot = MakeSequence(std::move(items));
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 4: sequence flattening.
+// ---------------------------------------------------------------------------
+
+void Flatten(std::unique_ptr<Expr>* slot) {
+  Expr* expr = slot->get();
+  switch (expr->kind) {
+    case ExprKind::kSequence: {
+      std::vector<std::unique_ptr<Expr>> flat;
+      for (auto& item : expr->items) {
+        Flatten(&item);
+        if (item->kind == ExprKind::kEmpty) continue;
+        if (item->kind == ExprKind::kSequence) {
+          for (auto& inner : item->items) flat.push_back(std::move(inner));
+        } else {
+          flat.push_back(std::move(item));
+        }
+      }
+      *slot = MakeSequence(std::move(flat));
+      return;
+    }
+    case ExprKind::kElement:
+      Flatten(&expr->child);
+      return;
+    case ExprKind::kFor:
+      Flatten(&expr->body);
+      return;
+    case ExprKind::kIf:
+      Flatten(&expr->then_branch);
+      Flatten(&expr->else_branch);
+      return;
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
+void EarlyUpdates(Query* query) { EarlyUpdatesExpr(query, &query->body); }
+
+void SplitForPaths(Query* query) { SplitForExpr(query, &query->body); }
+
+void PushIfDown(Query* query) { PushIfDownExpr(&query->body); }
+
+void SimplifySequences(Query* query) { Flatten(&query->body); }
+
+Status Normalize(Query* query, const NormalizeOptions& options) {
+  GCX_CHECK(query->body != nullptr &&
+            query->body->kind == ExprKind::kElement);
+  if (options.early_updates) EarlyUpdates(query);
+  SplitForPaths(query);
+  PushIfDown(query);
+  SimplifySequences(query);
+  return Status::Ok();
+}
+
+}  // namespace gcx

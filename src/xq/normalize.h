@@ -1,0 +1,46 @@
+// Query normalization (Sec. 3 "Pushing if-Statements" + Sec. 6 "Early
+// Updates").
+//
+// Pipeline (in this order):
+//   1. EarlyUpdates      — rewrite every output `$x/σ` into
+//                          `for $y in $x/σ return $y` so that garbage
+//                          collection can fire per output node (Sec. 6).
+//   2. SplitForPaths     — rewrite multi-step for-loop sources into nested
+//                          single-step for-loops (Sec. 3: "replacing
+//                          for-loops with multi-steps by nested single-step
+//                          for-loops").
+//   3. PushIfDown        — apply rules DECOMP, SEQ, NC, FOR (Fig. 7) to all
+//                          if-expressions that contain for-loops, so that
+//                          signOff-statements are never created inside an
+//                          if-expression (guaranteeing they execute).
+//   4. SimplifySequences — flatten nested sequences, drop ()s.
+//
+// `where` clauses were already desugared to if-expressions by the parser.
+
+#ifndef GCX_XQ_NORMALIZE_H_
+#define GCX_XQ_NORMALIZE_H_
+
+#include "common/status.h"
+#include "xq/ast.h"
+
+namespace gcx {
+
+/// Normalization toggles (exposed through EngineOptions for ablations).
+struct NormalizeOptions {
+  /// Sec. 6 "Early Updates": off means output expressions keep their
+  /// coarse-grained signOff at the end of the surrounding scope.
+  bool early_updates = true;
+};
+
+/// Runs the full pipeline in place.
+Status Normalize(Query* query, const NormalizeOptions& options = {});
+
+// Individual passes, exposed for testing.
+void EarlyUpdates(Query* query);
+void SplitForPaths(Query* query);
+void PushIfDown(Query* query);
+void SimplifySequences(Query* query);
+
+}  // namespace gcx
+
+#endif  // GCX_XQ_NORMALIZE_H_

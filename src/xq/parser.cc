@@ -1,0 +1,446 @@
+#include "xq/parser.h"
+
+#include <cctype>
+#include <unordered_map>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace gcx {
+
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {
+    query_.var_names.push_back("$root");
+    scopes_.push_back({{"$root", kRootVar}});
+  }
+
+  Result<Query> Parse() {
+    SkipSpace();
+    if (Peek() != '<') return Error("query must start with an element constructor");
+    GCX_ASSIGN_OR_RETURN(query_.body, ParseElement());
+    SkipSpace();
+    if (pos_ != text_.size()) return Error("trailing input after query");
+    return std::move(query_);
+  }
+
+ private:
+  using Scope = std::unordered_map<std::string, VarId>;
+
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+  void Advance(size_t n = 1) { pos_ += n; }
+
+  Status Error(const std::string& message) const {
+    int line = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    return ParseError("line " + std::to_string(line) + ": " + message);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        ++pos_;
+      } else if (c == '(' && Peek(1) == ':') {
+        // XQuery comment (: ... :), non-nesting.
+        size_t end = text_.find(":)", pos_ + 2);
+        pos_ = end == std::string_view::npos ? text_.size() : end + 2;
+      } else {
+        return;
+      }
+    }
+  }
+
+  bool ConsumeChar(char c) {
+    SkipSpace();
+    if (Peek() == c) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  /// Consumes `word` only when followed by a non-name character.
+  bool ConsumeKeyword(std::string_view word) {
+    SkipSpace();
+    if (text_.substr(pos_, word.size()) != word) return false;
+    char next = pos_ + word.size() < text_.size() ? text_[pos_ + word.size()] : '\0';
+    if (IsNameChar(next)) return false;
+    Advance(word.size());
+    return true;
+  }
+
+  bool PeekKeyword(std::string_view word) {
+    size_t saved = pos_;
+    bool ok = ConsumeKeyword(word);
+    pos_ = saved;
+    return ok;
+  }
+
+  Result<std::string> ParseName() {
+    SkipSpace();
+    std::string name;
+    while (IsNameChar(Peek())) {
+      name.push_back(Peek());
+      Advance();
+    }
+    if (name.empty()) return Error("expected a name");
+    return name;
+  }
+
+  /// Parses "$x" and resolves it against the scope stack.
+  Result<VarId> ParseVarRef() {
+    SkipSpace();
+    if (Peek() != '$') return Error("expected a variable ($name)");
+    Advance();
+    GCX_ASSIGN_OR_RETURN(std::string name, ParseName());
+    std::string full = "$" + name;
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(full);
+      if (found != it->end()) return found->second;
+    }
+    return Error("unbound variable " + full);
+  }
+
+  /// Parses the raw characters of a path (after '/' or at a '/') and hands
+  /// them to the XPath parser.
+  Result<RelativePath> ParseRawPath() {
+    SkipSpace();
+    size_t start = pos_;
+    // Gather path characters. Parentheses belong to a path only in the
+    // node tests text()/node()/position(); '=' only inside a predicate
+    // bracket ("[position()=1]").
+    int bracket_depth = 0;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (IsNameChar(c) || c == '/' || c == ':' || c == '*') {
+        ++pos_;
+        continue;
+      }
+      if (c == '[') {
+        ++bracket_depth;
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        if (bracket_depth == 0) break;
+        --bracket_depth;
+        ++pos_;
+        continue;
+      }
+      if (c == '=' && bracket_depth > 0) {
+        ++pos_;
+        continue;
+      }
+      if (c == '(' && Peek(1) == ')') {
+        size_t word_end = pos_;
+        size_t word_begin = word_end;
+        while (word_begin > start && IsNameChar(text_[word_begin - 1])) {
+          --word_begin;
+        }
+        std::string_view word = text_.substr(word_begin, word_end - word_begin);
+        if (word == "text" || word == "node" || word == "position") {
+          pos_ += 2;
+          continue;
+        }
+      }
+      break;
+    }
+    std::string_view raw = text_.substr(start, pos_ - start);
+    if (raw.empty()) return Error("expected a path");
+    auto parsed = gcx::ParsePath(raw);
+    if (!parsed.ok()) return Error(parsed.status().message());
+    return std::move(parsed).value();
+  }
+
+  /// Parses `$x[/path]` or an absolute `/path` (rooted at $root).
+  Result<Operand> ParseVarPath() {
+    SkipSpace();
+    if (Peek() == '/') {
+      GCX_ASSIGN_OR_RETURN(RelativePath path, ParseRawPath());
+      return Operand::VarPath(kRootVar, std::move(path));
+    }
+    GCX_ASSIGN_OR_RETURN(VarId var, ParseVarRef());
+    RelativePath path;
+    if (Peek() == '/') {
+      GCX_ASSIGN_OR_RETURN(path, ParseRawPath());
+    }
+    return Operand::VarPath(var, std::move(path));
+  }
+
+  Result<std::string> ParseStringLiteral() {
+    SkipSpace();
+    char quote = Peek();
+    GCX_CHECK(quote == '"' || quote == '\'');
+    Advance();
+    std::string value;
+    while (Peek() != quote) {
+      if (Peek() == '\0') return Error("unterminated string literal");
+      value.push_back(Peek());
+      Advance();
+    }
+    Advance();
+    return value;
+  }
+
+  Result<Operand> ParseOperand() {
+    SkipSpace();
+    char c = Peek();
+    if (c == '"' || c == '\'') {
+      GCX_ASSIGN_OR_RETURN(std::string value, ParseStringLiteral());
+      return Operand::Literal(std::move(value));
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+      std::string number;
+      if (c == '-') {
+        number.push_back(c);
+        Advance();
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek())) ||
+             Peek() == '.') {
+        number.push_back(Peek());
+        Advance();
+      }
+      return Operand::Literal(std::move(number));
+    }
+    return ParseVarPath();
+  }
+
+  Result<std::unique_ptr<Cond>> ParseCond() { return ParseOrCond(); }
+
+  Result<std::unique_ptr<Cond>> ParseOrCond() {
+    GCX_ASSIGN_OR_RETURN(std::unique_ptr<Cond> left, ParseAndCond());
+    while (ConsumeKeyword("or")) {
+      GCX_ASSIGN_OR_RETURN(std::unique_ptr<Cond> right, ParseAndCond());
+      left = MakeOr(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Cond>> ParseAndCond() {
+    GCX_ASSIGN_OR_RETURN(std::unique_ptr<Cond> left, ParseUnaryCond());
+    while (ConsumeKeyword("and")) {
+      GCX_ASSIGN_OR_RETURN(std::unique_ptr<Cond> right, ParseUnaryCond());
+      left = MakeAnd(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Cond>> ParseUnaryCond() {
+    SkipSpace();
+    if (ConsumeKeyword("true()")) return MakeTrue();
+    if (ConsumeKeyword("true")) {
+      if (ConsumeChar('(') && ConsumeChar(')')) return MakeTrue();
+      return Error("expected () after true");
+    }
+    if (ConsumeKeyword("not")) {
+      bool parens = ConsumeChar('(');
+      GCX_ASSIGN_OR_RETURN(std::unique_ptr<Cond> inner, ParseCond());
+      if (parens && !ConsumeChar(')')) return Error("expected ')' after not(...)");
+      return MakeNot(std::move(inner));
+    }
+    if (ConsumeKeyword("exists")) {
+      bool parens = ConsumeChar('(');
+      GCX_ASSIGN_OR_RETURN(Operand operand, ParseVarPath());
+      if (parens && !ConsumeChar(')')) return Error("expected ')' after exists(...)");
+      auto cond = std::make_unique<Cond>();
+      cond->kind = CondKind::kExists;
+      cond->lhs = std::move(operand);
+      return cond;
+    }
+    SkipSpace();
+    if (Peek() == '(') {
+      Advance();
+      GCX_ASSIGN_OR_RETURN(std::unique_ptr<Cond> inner, ParseCond());
+      if (!ConsumeChar(')')) return Error("expected ')' in condition");
+      return inner;
+    }
+    // Comparison.
+    GCX_ASSIGN_OR_RETURN(Operand lhs, ParseOperand());
+    SkipSpace();
+    RelOp op;
+    if (ConsumeChar('=')) {
+      op = RelOp::kEq;
+    } else if (Peek() == '!' && Peek(1) == '=') {
+      Advance(2);
+      op = RelOp::kNe;
+    } else if (Peek() == '<') {
+      Advance();
+      op = ConsumeChar('=') ? RelOp::kLe : RelOp::kLt;
+    } else if (Peek() == '>') {
+      Advance();
+      op = ConsumeChar('=') ? RelOp::kGe : RelOp::kGt;
+    } else {
+      return Error("expected a comparison operator");
+    }
+    GCX_ASSIGN_OR_RETURN(Operand rhs, ParseOperand());
+    return MakeCompare(std::move(lhs), op, std::move(rhs));
+  }
+
+  Result<std::unique_ptr<Expr>> ParseFor() {
+    // "for" already consumed.
+    SkipSpace();
+    if (Peek() != '$') return Error("expected variable after 'for'");
+    Advance();
+    GCX_ASSIGN_OR_RETURN(std::string name, ParseName());
+    std::string full = "$" + name;
+    if (!ConsumeKeyword("in")) return Error("expected 'in' in for-loop");
+    GCX_ASSIGN_OR_RETURN(Operand source, ParseVarPath());
+    if (source.path.empty()) {
+      return Error("for-loop source must contain at least one path step");
+    }
+    VarId loop_var = static_cast<VarId>(query_.var_names.size());
+    query_.var_names.push_back(full);
+    scopes_.push_back({{full, loop_var}});
+
+    std::unique_ptr<Cond> where;
+    if (ConsumeKeyword("where")) {
+      GCX_ASSIGN_OR_RETURN(where, ParseCond());
+    }
+    if (!ConsumeKeyword("return")) return Error("expected 'return' in for-loop");
+    GCX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> body, ParseExpr());
+    scopes_.pop_back();
+
+    if (where != nullptr) {
+      body = MakeIf(std::move(where), std::move(body), MakeEmpty());
+    }
+    return MakeFor(loop_var, source.var, std::move(source.path),
+                   std::move(body));
+  }
+
+  Result<std::unique_ptr<Expr>> ParseIf() {
+    // "if" already consumed.
+    if (!ConsumeChar('(')) return Error("expected '(' after 'if'");
+    GCX_ASSIGN_OR_RETURN(std::unique_ptr<Cond> cond, ParseCond());
+    if (!ConsumeChar(')')) return Error("expected ')' after if-condition");
+    if (!ConsumeKeyword("then")) return Error("expected 'then'");
+    GCX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> then_branch, ParseExpr());
+    std::unique_ptr<Expr> else_branch = MakeEmpty();
+    if (ConsumeKeyword("else")) {
+      GCX_ASSIGN_OR_RETURN(else_branch, ParseExpr());
+    }
+    return MakeIf(std::move(cond), std::move(then_branch),
+                  std::move(else_branch));
+  }
+
+  Result<std::unique_ptr<Expr>> ParseElement() {
+    // At '<'.
+    GCX_CHECK(Peek() == '<');
+    Advance();
+    GCX_ASSIGN_OR_RETURN(std::string tag, ParseName());
+    SkipSpace();
+    if (Peek() == '/' && Peek(1) == '>') {
+      Advance(2);
+      return MakeElement(std::move(tag), MakeEmpty());
+    }
+    if (Peek() != '>') return Error("expected '>' in constructor <" + tag);
+    Advance();
+    // Content: braces, nested elements, literal text; until "</".
+    std::vector<std::unique_ptr<Expr>> items;
+    while (true) {
+      // Literal text run (not skipping whitespace inside, but trimming).
+      size_t start = pos_;
+      while (pos_ < text_.size() && Peek() != '<' && Peek() != '{') Advance();
+      std::string_view raw = text_.substr(start, pos_ - start);
+      std::string_view trimmed = TrimWhitespace(raw);
+      if (!trimmed.empty()) items.push_back(MakeTextLiteral(std::string(trimmed)));
+      if (pos_ >= text_.size()) return Error("unterminated constructor <" + tag + ">");
+      if (Peek() == '{') {
+        Advance();
+        GCX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseExpr());
+        if (!ConsumeChar('}')) return Error("expected '}' in constructor");
+        items.push_back(std::move(inner));
+        continue;
+      }
+      // '<': close tag or nested element.
+      if (Peek(1) == '/') {
+        Advance(2);
+        GCX_ASSIGN_OR_RETURN(std::string close, ParseName());
+        if (close != tag) {
+          return Error("mismatched </" + close + ">, expected </" + tag + ">");
+        }
+        SkipSpace();
+        if (Peek() != '>') return Error("expected '>' in closing tag");
+        Advance();
+        return MakeElement(std::move(tag), MakeSequence(std::move(items)));
+      }
+      GCX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> nested, ParseElement());
+      items.push_back(std::move(nested));
+    }
+  }
+
+  Result<std::unique_ptr<Expr>> ParseExpr() {
+    SkipSpace();
+    char c = Peek();
+    if (c == '(') {
+      // Empty sequence or parenthesized sequence.
+      Advance();
+      SkipSpace();
+      if (Peek() == ')') {
+        Advance();
+        return MakeEmpty();
+      }
+      std::vector<std::unique_ptr<Expr>> items;
+      while (true) {
+        GCX_ASSIGN_OR_RETURN(std::unique_ptr<Expr> item, ParseExpr());
+        items.push_back(std::move(item));
+        SkipSpace();
+        if (ConsumeChar(',')) continue;
+        if (ConsumeChar(')')) break;
+        return Error("expected ',' or ')' in sequence");
+      }
+      return MakeSequence(std::move(items));
+    }
+    if (c == '<') return ParseElement();
+    if (c == '"' || c == '\'') {
+      GCX_ASSIGN_OR_RETURN(std::string value, ParseStringLiteral());
+      return MakeTextLiteral(std::move(value));
+    }
+    if (ConsumeKeyword("count") || ConsumeKeyword("sum")) {
+      // Aggregates (extension; see ast.h). The keyword was consumed; decide
+      // which by looking back.
+      AggKind agg = text_[pos_ - 1] == 't' ? AggKind::kCount : AggKind::kSum;
+      if (!ConsumeChar('(')) return Error("expected '(' after aggregate");
+      GCX_ASSIGN_OR_RETURN(Operand operand, ParseVarPath());
+      if (!ConsumeChar(')')) return Error("expected ')' after aggregate");
+      return MakeAggregate(agg, operand.var, std::move(operand.path));
+    }
+    if (ConsumeKeyword("for")) return ParseFor();
+    if (ConsumeKeyword("if")) return ParseIf();
+    if (ConsumeKeyword("let")) {
+      return gcx::UnsupportedError(
+          "let-expressions are outside the XQ fragment (the paper removes "
+          "them by rewriting, Sec. 3); inline the binding");
+    }
+    if (c == '$' || c == '/') {
+      GCX_ASSIGN_OR_RETURN(Operand operand, ParseVarPath());
+      return MakePathOutput(operand.var, std::move(operand.path));
+    }
+    return Error(std::string("unexpected character '") + c + "' in expression");
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  Query query_;
+  std::vector<Scope> scopes_;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace gcx

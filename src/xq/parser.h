@@ -1,0 +1,39 @@
+// Recursive-descent parser for the XQ fragment (Fig. 6).
+//
+// Accepted surface syntax (a pragmatic superset of the paper's abstract
+// syntax; everything parses into the Fig. 6 AST):
+//   <r> { EXPR } </r>                          top-level constructor
+//   ()  (e1, e2, ...)                          sequences
+//   <a>{e}</a>  <a/>  <a>text</a>              nested constructors
+//   $x   $x/path                               node / path output
+//   for $x in $y/path [where COND] return e    (where desugars to if)
+//   if (COND) then e [else e]
+//   COND: true() | exists($x/path) | not(C) | C and C | C or C
+//         | operand RelOp operand   with RelOp ∈ {=, !=, <, <=, >, >=}
+//         | (C)
+//   operand: $x[/path] | "string" | 'string' | bare number
+//   paths: child steps `a`, `*`, `text()`; descendant steps `//a`,
+//          `descendant::a`; `dos::node()`; predicate `[1]`.
+//   comments: (: ... :)
+//
+// Multi-step paths are accepted everywhere and split into nested for-loops
+// (for loop sources) by the normalizer, exactly as the paper prescribes for
+// its XMark adaptation.
+
+#ifndef GCX_XQ_PARSER_H_
+#define GCX_XQ_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xq/ast.h"
+
+namespace gcx {
+
+/// Parses `text` into a Query. The query must be a single element
+/// constructor (`Q ::= <a>q</a>`, Fig. 6).
+Result<Query> ParseQuery(std::string_view text);
+
+}  // namespace gcx
+
+#endif  // GCX_XQ_PARSER_H_

@@ -1,0 +1,142 @@
+#include "xq/printer.h"
+
+namespace gcx {
+
+namespace {
+
+std::string VarName(const std::vector<std::string>& vars, VarId id) {
+  if (id >= 0 && static_cast<size_t>(id) < vars.size()) return vars[id];
+  return "$?" + std::to_string(id);
+}
+
+std::string OperandText(const Operand& op,
+                        const std::vector<std::string>& vars) {
+  if (op.is_literal) return "\"" + op.literal + "\"";
+  std::string out = VarName(vars, op.var);
+  if (!op.path.empty()) out += "/" + op.path.ToString();
+  return out;
+}
+
+void PrintExprInto(const Expr& expr, const std::vector<std::string>& vars,
+                   std::string* out);
+
+void PrintCondInto(const Cond& cond, const std::vector<std::string>& vars,
+                   std::string* out) {
+  switch (cond.kind) {
+    case CondKind::kTrue:
+      *out += "true()";
+      return;
+    case CondKind::kExists:
+      *out += "exists(" + OperandText(cond.lhs, vars) + ")";
+      return;
+    case CondKind::kCompare:
+      *out += OperandText(cond.lhs, vars);
+      *out += " ";
+      *out += RelOpName(cond.op);
+      *out += " ";
+      *out += OperandText(cond.rhs, vars);
+      return;
+    case CondKind::kAnd:
+    case CondKind::kOr: {
+      *out += "(";
+      PrintCondInto(*cond.left, vars, out);
+      *out += cond.kind == CondKind::kAnd ? " and " : " or ";
+      PrintCondInto(*cond.right, vars, out);
+      *out += ")";
+      return;
+    }
+    case CondKind::kNot:
+      *out += "not(";
+      PrintCondInto(*cond.left, vars, out);
+      *out += ")";
+      return;
+  }
+}
+
+void PrintExprInto(const Expr& expr, const std::vector<std::string>& vars,
+                   std::string* out) {
+  switch (expr.kind) {
+    case ExprKind::kEmpty:
+      *out += "()";
+      return;
+    case ExprKind::kSequence: {
+      *out += "(";
+      for (size_t i = 0; i < expr.items.size(); ++i) {
+        if (i > 0) *out += ", ";
+        PrintExprInto(*expr.items[i], vars, out);
+      }
+      *out += ")";
+      return;
+    }
+    case ExprKind::kElement:
+      *out += "<" + expr.tag + ">{";
+      PrintExprInto(*expr.child, vars, out);
+      *out += "}</" + expr.tag + ">";
+      return;
+    case ExprKind::kOpenTag:
+      *out += "<" + expr.tag + ">";
+      return;
+    case ExprKind::kCloseTag:
+      *out += "</" + expr.tag + ">";
+      return;
+    case ExprKind::kTextLiteral:
+      *out += "\"" + expr.text + "\"";
+      return;
+    case ExprKind::kVarRef:
+      *out += VarName(vars, expr.var);
+      return;
+    case ExprKind::kPathOutput:
+      *out += VarName(vars, expr.var) + "/" + expr.path.ToString();
+      return;
+    case ExprKind::kFor: {
+      *out += "for " + VarName(vars, expr.loop_var) + " in " +
+              VarName(vars, expr.var);
+      if (!expr.path.empty()) *out += "/" + expr.path.ToString();
+      *out += " return ";
+      PrintExprInto(*expr.body, vars, out);
+      return;
+    }
+    case ExprKind::kIf: {
+      *out += "if (";
+      PrintCondInto(*expr.cond, vars, out);
+      *out += ") then ";
+      PrintExprInto(*expr.then_branch, vars, out);
+      *out += " else ";
+      PrintExprInto(*expr.else_branch, vars, out);
+      return;
+    }
+    case ExprKind::kAggregate: {
+      *out += expr.agg == AggKind::kCount ? "count(" : "sum(";
+      *out += VarName(vars, expr.var);
+      if (!expr.path.empty()) *out += "/" + expr.path.ToString();
+      *out += ")";
+      return;
+    }
+    case ExprKind::kSignOff: {
+      *out += "signOff(" + VarName(vars, expr.var);
+      if (!expr.path.empty()) *out += "/" + expr.path.ToString();
+      *out += ", r" + std::to_string(expr.role) + ")";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string PrintExpr(const Expr& expr, const std::vector<std::string>& vars) {
+  std::string out;
+  PrintExprInto(expr, vars, &out);
+  return out;
+}
+
+std::string PrintCond(const Cond& cond, const std::vector<std::string>& vars) {
+  std::string out;
+  PrintCondInto(cond, vars, &out);
+  return out;
+}
+
+std::string PrintQuery(const Query& query) {
+  return PrintExpr(*query.body, query.var_names);
+}
+
+}  // namespace gcx

@@ -1,0 +1,25 @@
+// Rendering XQ ASTs back to query text (for `explain`, error messages and
+// round-trip tests).
+
+#ifndef GCX_XQ_PRINTER_H_
+#define GCX_XQ_PRINTER_H_
+
+#include <string>
+
+#include "xq/ast.h"
+
+namespace gcx {
+
+/// Pretty-prints `query` with indentation. signOff-statements render as
+/// `signOff($x/π, rN)` exactly as in the paper.
+std::string PrintQuery(const Query& query);
+
+/// Prints a single expression (flat, no trailing newline).
+std::string PrintExpr(const Expr& expr, const std::vector<std::string>& vars);
+
+/// Prints a condition.
+std::string PrintCond(const Cond& cond, const std::vector<std::string>& vars);
+
+}  // namespace gcx
+
+#endif  // GCX_XQ_PRINTER_H_

@@ -1,0 +1,154 @@
+// Integration tests for the `gcx` command-line tool: drives the real
+// binary through a shell, covering the query/input plumbing, the option
+// surface and the exit-code contract.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace gcx {
+namespace {
+
+/// Runs `command`, captures stdout(+stderr if merged by the caller) and the
+/// exit code.
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult Shell(const std::string& command) {
+  RunResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> chunk;
+  while (size_t n = fread(chunk.data(), 1, chunk.size(), pipe)) {
+    result.output.append(chunk.data(), n);
+  }
+  int status = pclose(pipe);
+  result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+std::string BinaryPath() {
+  // ctest runs test binaries from the build tree; the tool sits next to it.
+  const char* env = std::getenv("GCX_CLI_PATH");
+  if (env != nullptr) return env;
+  for (const char* candidate :
+       {"./tools/gcx", "../tools/gcx", "build/tools/gcx"}) {
+    std::ifstream probe(candidate);
+    if (probe.good()) return candidate;
+  }
+  return "./tools/gcx";
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Skip the whole suite when the binary is not where we expect it
+    // (e.g. when the test is run manually from another directory).
+    std::ifstream probe(BinaryPath());
+    if (!probe.good()) {
+      GTEST_SKIP() << "gcx binary not found at " << BinaryPath();
+    }
+  }
+};
+
+TEST_F(CliTest, InlineQueryOverStdin) {
+  RunResult r = Shell("echo '<a><b>hi</b><c/></a>' | " + BinaryPath() +
+                      " -q '<r>{ for $x in /a/b return $x }</r>' -");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, "<r><b>hi</b></r>\n");
+}
+
+TEST_F(CliTest, QueryAndInputFiles) {
+  std::string dir = ::testing::TempDir();
+  {
+    std::ofstream q(dir + "/q.xq");
+    q << "<r>{ count(/a/b) }</r>";
+    std::ofstream d(dir + "/d.xml");
+    d << "<a><b/><b/><b/></a>";
+  }
+  RunResult r = Shell(BinaryPath() + " " + dir + "/q.xq " + dir + "/d.xml");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, "<r>3</r>\n");
+}
+
+TEST_F(CliTest, OutputFileFlag) {
+  std::string dir = ::testing::TempDir();
+  RunResult r = Shell("echo '<a><b>x</b></a>' | " + BinaryPath() +
+                      " -q '<r>{ for $x in /a/b return $x }</r>' -o " + dir +
+                      "/out.xml -");
+  EXPECT_EQ(r.exit_code, 0);
+  std::ifstream out(dir + "/out.xml");
+  std::string content((std::istreambuf_iterator<char>(out)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "<r><b>x</b></r>\n");
+}
+
+TEST_F(CliTest, ExplainPrintsAnalysis) {
+  RunResult r = Shell(BinaryPath() +
+                      " -q '<r>{ for $x in /a/b return $x }</r>' --explain");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("projection tree"), std::string::npos);
+  EXPECT_NE(r.output.find("signOff"), std::string::npos);
+}
+
+TEST_F(CliTest, ProjectOnlyEmitsProjectedDocument) {
+  RunResult r = Shell("echo '<a><b><v>1</v><w/></b><z/></a>' | " +
+                      BinaryPath() +
+                      " -q '<r>{ for $x in /a/b return $x/v }</r>' "
+                      "--project-only -");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, "<a><b><v>1</v></b></a>\n");
+}
+
+TEST_F(CliTest, StatsGoToStderr) {
+  RunResult r = Shell("echo '<a><b/></a>' | " + BinaryPath() +
+                      " -q '<r>{ for $x in /a/b return $x }</r>' --stats - "
+                      "2>&1");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("peak buffer bytes:"), std::string::npos);
+  EXPECT_NE(r.output.find("GC runs:"), std::string::npos);
+}
+
+TEST_F(CliTest, ModeFlagsProduceSameResult) {
+  for (const char* mode : {"streaming", "project", "dom"}) {
+    RunResult r = Shell("echo '<a><b>k</b></a>' | " + BinaryPath() +
+                        " -q '<r>{ for $x in /a/b return $x }</r>' --mode=" +
+                        mode + " -");
+    EXPECT_EQ(r.exit_code, 0) << mode;
+    EXPECT_EQ(r.output, "<r><b>k</b></r>\n") << mode;
+  }
+}
+
+TEST_F(CliTest, CompileErrorExitsNonZero) {
+  RunResult r = Shell("echo '<a/>' | " + BinaryPath() +
+                      " -q 'not a query' - 2>/dev/null");
+  EXPECT_NE(r.exit_code, 0);
+}
+
+TEST_F(CliTest, MalformedInputExitsNonZero) {
+  RunResult r = Shell("echo '<a><b></a>' | " + BinaryPath() +
+                      " -q '<r>{ for $x in /a/b return $x }</r>' - "
+                      "2>/dev/null");
+  EXPECT_NE(r.exit_code, 0);
+}
+
+TEST_F(CliTest, MissingQueryShowsUsage) {
+  RunResult r = Shell(BinaryPath() + " 2>&1");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownOptionRejected) {
+  RunResult r = Shell(BinaryPath() + " --frobnicate -q '<r/>' 2>&1");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("unknown option"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gcx

@@ -1,0 +1,257 @@
+// Unit tests for src/common: Status/Result, SymbolTable, Pool, Prng,
+// string utilities.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/pool.h"
+#include "common/prng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/symbol_table.h"
+
+namespace gcx {
+namespace {
+
+// --- Status ---------------------------------------------------------------
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "Ok");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status status = ParseError("bad token");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_EQ(status.message(), "bad token");
+  EXPECT_EQ(status.ToString(), "ParseError: bad token");
+}
+
+TEST(Status, FactoriesProduceDistinctCodes) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(UnsupportedError("x").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(AnalysisError("x").code(), StatusCode::kAnalysisError);
+  EXPECT_EQ(EvalError("x").code(), StatusCode::kEvalError);
+  EXPECT_EQ(IoError("x").code(), StatusCode::kIoError);
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(ParseError("a"), ParseError("a"));
+  EXPECT_FALSE(ParseError("a") == ParseError("b"));
+  EXPECT_FALSE(ParseError("a") == EvalError("a"));
+}
+
+TEST(Status, CodeNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "Ok");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kEvalError), "EvalError");
+}
+
+// --- Result ----------------------------------------------------------------
+
+TEST(Result, HoldsValue) {
+  Result<int> result(41);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 41);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> result = EvalError("boom");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().message(), "boom");
+}
+
+TEST(Result, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> value = std::move(result).value();
+  EXPECT_EQ(*value, 7);
+}
+
+Result<int> Half(int n) {
+  if (n % 2 != 0) return InvalidArgumentError("odd");
+  return n / 2;
+}
+
+Result<int> Quarter(int n) {
+  GCX_ASSIGN_OR_RETURN(int half, Half(n));
+  GCX_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(Result, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());   // 3 is odd
+  EXPECT_FALSE(Quarter(7).ok());
+}
+
+Status FailWhenNegative(int n) {
+  GCX_RETURN_IF_ERROR(n < 0 ? EvalError("negative") : Status::Ok());
+  return Status::Ok();
+}
+
+TEST(Result, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(FailWhenNegative(1).ok());
+  EXPECT_FALSE(FailWhenNegative(-1).ok());
+}
+
+// --- SymbolTable -------------------------------------------------------------
+
+TEST(SymbolTable, InternIsIdempotent) {
+  SymbolTable table;
+  TagId a = table.Intern("bib");
+  TagId b = table.Intern("book");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.Intern("bib"), a);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(SymbolTable, LookupWithoutIntern) {
+  SymbolTable table;
+  EXPECT_EQ(table.Lookup("ghost"), kInvalidTag);
+  table.Intern("ghost");
+  EXPECT_NE(table.Lookup("ghost"), kInvalidTag);
+}
+
+TEST(SymbolTable, NameRoundTrip) {
+  SymbolTable table;
+  TagId id = table.Intern("title");
+  EXPECT_EQ(table.Name(id), "title");
+  EXPECT_EQ(table.Name(kInvalidTag), "#none");
+}
+
+TEST(SymbolTable, DenseIds) {
+  SymbolTable table;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(table.Intern("t" + std::to_string(i)), i);
+  }
+}
+
+// --- Pool --------------------------------------------------------------------
+
+struct Tracked {
+  explicit Tracked(int* counter) : counter(counter) { ++*counter; }
+  ~Tracked() { --*counter; }
+  int* counter;
+  char payload[48];
+};
+
+TEST(Pool, AllocateConstructsAndFreeDestroys) {
+  int live = 0;
+  Pool<Tracked, 4> pool;
+  Tracked* a = pool.Allocate(&live);
+  Tracked* b = pool.Allocate(&live);
+  EXPECT_EQ(live, 2);
+  EXPECT_EQ(pool.live(), 2u);
+  pool.Free(a);
+  pool.Free(b);
+  EXPECT_EQ(live, 0);
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(Pool, RecyclesSlots) {
+  int live = 0;
+  Pool<Tracked, 2> pool;
+  Tracked* a = pool.Allocate(&live);
+  pool.Free(a);
+  Tracked* b = pool.Allocate(&live);
+  EXPECT_EQ(a, b);  // freelist reuse
+  pool.Free(b);
+}
+
+TEST(Pool, GrowsAcrossChunks) {
+  int live = 0;
+  Pool<Tracked, 2> pool;
+  std::vector<Tracked*> objs;
+  for (int i = 0; i < 100; ++i) objs.push_back(pool.Allocate(&live));
+  EXPECT_EQ(live, 100);
+  EXPECT_GE(pool.reserved_bytes(), 100 * sizeof(Tracked));
+  for (Tracked* obj : objs) pool.Free(obj);
+  EXPECT_EQ(live, 0);
+}
+
+// --- Prng --------------------------------------------------------------------
+
+TEST(Prng, DeterministicForSeed) {
+  Prng a(123);
+  Prng b(123);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Prng a(1);
+  Prng b(2);
+  int same = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Prng, BetweenIsInclusive) {
+  Prng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Between(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Prng, ChanceExtremes) {
+  Prng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0));
+    EXPECT_TRUE(rng.Chance(1000));
+  }
+}
+
+// --- strings ------------------------------------------------------------------
+
+TEST(Strings, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  a b \n"), "a b");
+  EXPECT_EQ(TrimWhitespace("\t\r\n "), "");
+  EXPECT_EQ(TrimWhitespace("x"), "x");
+  EXPECT_EQ(TrimWhitespace(""), "");
+}
+
+TEST(Strings, IsAllWhitespace) {
+  EXPECT_TRUE(IsAllWhitespace(""));
+  EXPECT_TRUE(IsAllWhitespace(" \t\r\n"));
+  EXPECT_FALSE(IsAllWhitespace(" x "));
+}
+
+TEST(Strings, ParseNumberAccepts) {
+  EXPECT_DOUBLE_EQ(*ParseNumber("42"), 42.0);
+  EXPECT_DOUBLE_EQ(*ParseNumber("  -3.5 "), -3.5);
+  EXPECT_DOUBLE_EQ(*ParseNumber("1e3"), 1000.0);
+  EXPECT_DOUBLE_EQ(*ParseNumber("0.0"), 0.0);
+}
+
+TEST(Strings, ParseNumberRejects) {
+  EXPECT_FALSE(ParseNumber("").has_value());
+  EXPECT_FALSE(ParseNumber("  ").has_value());
+  EXPECT_FALSE(ParseNumber("12abc").has_value());
+  EXPECT_FALSE(ParseNumber("1 2").has_value());
+  EXPECT_FALSE(ParseNumber("person0").has_value());
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+}  // namespace
+}  // namespace gcx

@@ -1,0 +1,200 @@
+// Unit tests for the lazy DFA (src/projection/dfa) against the paper's
+// Fig. 5 and Examples 1-3.
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "projection/dfa.h"
+#include "xq/normalize.h"
+#include "xq/parser.h"
+
+namespace gcx {
+namespace {
+
+/// Builds the analysis for a query with the Sec. 6 optimizations off (so
+/// the projection tree matches the paper's base construction).
+AnalyzedQuery Analyzed(std::string_view text) {
+  auto parsed = ParseQuery(text);
+  GCX_CHECK(parsed.ok());
+  Query query = std::move(parsed).value();
+  NormalizeOptions norm;
+  norm.early_updates = false;
+  GCX_CHECK(Normalize(&query, norm).ok());
+  AnalysisOptions options;
+  options.aggregate_roles = false;
+  options.eliminate_redundant_roles = false;
+  auto analyzed = Analyze(std::move(query), options);
+  GCX_CHECK(analyzed.ok());
+  return std::move(analyzed).value();
+}
+
+/// Counts Matched items (with multiplicity) in a state.
+int MatchedCount(const DfaState* state) {
+  int count = 0;
+  for (const auto& item : state->items) {
+    if (!item.searching) count += static_cast<int>(item.count);
+  }
+  return count;
+}
+
+// Fig. 5's projection tree comes from the two paths /a/b and /a//b, which
+// arise from:  for $x in /a ( $x/b output and $x//b output ).
+constexpr std::string_view kFig5Query =
+    "<r>{ for $x in /a return ($x/b, for $y in $x//b return <hit/>) }</r>";
+
+TEST(LazyDfa, Fig5StateMapping) {
+  AnalyzedQuery analyzed = Analyzed(kFig5Query);
+  SymbolTable tags;
+  LazyDfa dfa(&analyzed.projection, &analyzed.roles, &tags);
+  TagId a = tags.Intern("a");
+  TagId b = tags.Intern("b");
+
+  // q0 → {root}; q1 = δ(q0, a) maps to the two "a" variable nodes? In this
+  // query /a appears once, so q1 maps to one node; reading a again (q2)
+  // maps to nothing Matched (only the searching //b survives).
+  DfaState* q0 = dfa.initial();
+  EXPECT_EQ(MatchedCount(q0), 1);
+  DfaState* q1 = dfa.Transition(q0, a);
+  EXPECT_EQ(MatchedCount(q1), 1);  // the $x variable node
+  DfaState* q2 = dfa.Transition(q1, a);
+  EXPECT_EQ(MatchedCount(q2), 0);  // Example 1: q2 maps to the empty set
+  EXPECT_FALSE(q2->empty);         // …but //b is still searching
+  DfaState* q3 = dfa.Transition(q2, b);
+  EXPECT_EQ(MatchedCount(q3), 1);  // {v6}: //b matched at depth 2
+  DfaState* q4 = dfa.Transition(q1, b);
+  EXPECT_EQ(MatchedCount(q4), 2);  // {v3, v6}: /a/b and /a//b both match
+}
+
+TEST(LazyDfa, StatesAreMemoized) {
+  AnalyzedQuery analyzed = Analyzed(kFig5Query);
+  SymbolTable tags;
+  LazyDfa dfa(&analyzed.projection, &analyzed.roles, &tags);
+  TagId a = tags.Intern("a");
+  DfaState* q1 = dfa.Transition(dfa.initial(), a);
+  DfaState* q1_again = dfa.Transition(dfa.initial(), a);
+  EXPECT_EQ(q1, q1_again);
+  size_t states = dfa.num_states();
+  dfa.Transition(q1, a);
+  dfa.Transition(q1, a);
+  EXPECT_EQ(dfa.num_states(), states + 1);
+}
+
+TEST(LazyDfa, Example3Multiplicity) {
+  // Fig. 4(b): v2 = //a with child v3 = .//b. Path /a/a/b matches v3 with
+  // multiplicity 2 (Example 1's multiset {v3, v3}).
+  AnalyzedQuery analyzed = Analyzed(
+      "<q>{ for $a in //a return <a>{ for $b in $a//b return <b/> }</a> "
+      "}</q>");
+  SymbolTable tags;
+  LazyDfa dfa(&analyzed.projection, &analyzed.roles, &tags);
+  TagId a = tags.Intern("a");
+  TagId b = tags.Intern("b");
+  DfaState* s1 = dfa.Transition(dfa.initial(), a);
+  DfaState* s2 = dfa.Transition(s1, a);
+  EXPECT_EQ(MatchedCount(s2), 1);  // the deeper a matches //a once
+  DfaState* s3 = dfa.Transition(s2, b);
+  // b at /a/a/b: matched by .//b from both enclosing a's ⇒ multiplicity 2.
+  EXPECT_EQ(MatchedCount(s3), 2);
+  for (const auto& item : s3->items) {
+    if (!item.searching) {
+      EXPECT_EQ(item.count, 2u);
+    }
+  }
+}
+
+TEST(LazyDfa, UnknownTagsLeadToEmptyState) {
+  AnalyzedQuery analyzed = Analyzed(kFig5Query);
+  SymbolTable tags;
+  LazyDfa dfa(&analyzed.projection, &analyzed.roles, &tags);
+  TagId z = tags.Intern("zzz");
+  DfaState* dead = dfa.Transition(dfa.initial(), z);
+  EXPECT_TRUE(dead->empty);
+  // Dead states are absorbing.
+  EXPECT_TRUE(dfa.Transition(dead, z)->empty);
+}
+
+TEST(LazyDfa, ChildSensitivity) {
+  // Example 2: at the state after /a (which has both a child::b and a
+  // descendant::b active), any child must be preserved (anti-promotion).
+  AnalyzedQuery analyzed = Analyzed(kFig5Query);
+  SymbolTable tags;
+  LazyDfa dfa(&analyzed.projection, &analyzed.roles, &tags);
+  TagId a = tags.Intern("a");
+  DfaState* q1 = dfa.Transition(dfa.initial(), a);
+  EXPECT_TRUE(q1->child_sensitive);
+  // The initial state only has the child-axis /a step: not sensitive.
+  EXPECT_FALSE(dfa.initial()->child_sensitive);
+}
+
+TEST(LazyDfa, NoChildSensitivityWithoutOverlap) {
+  // child::b and descendant::c do not overlap: discarding a child cannot
+  // promote a kept c into a false b match.
+  AnalyzedQuery analyzed = Analyzed(
+      "<r>{ for $x in /a return ($x/b, for $y in $x//c return <hit/>) }</r>");
+  SymbolTable tags;
+  LazyDfa dfa(&analyzed.projection, &analyzed.roles, &tags);
+  DfaState* q1 = dfa.Transition(dfa.initial(), tags.Intern("a"));
+  EXPECT_FALSE(q1->child_sensitive);
+}
+
+TEST(LazyDfa, ElementActionsCarryBindingAndDosSelfRoles) {
+  // For the intro query (non-optimized), entering a bib/* element must
+  // assign the binding role of $x plus the dos::node() self role (Fig. 2's
+  // book{r3,r5,…}).
+  AnalyzedQuery analyzed = Analyzed(
+      "<r>{ for $bib in /bib return for $x in $bib/* return "
+      "if (not(exists($x/price))) then $x else () }</r>");
+  SymbolTable tags;
+  LazyDfa dfa(&analyzed.projection, &analyzed.roles, &tags);
+  DfaState* bib = dfa.Transition(dfa.initial(), tags.Intern("bib"));
+  DfaState* star = dfa.Transition(bib, tags.Intern("book"));
+  ASSERT_EQ(star->element_actions.size(), 1u);
+  // binding role + dos self role.
+  EXPECT_EQ(star->element_actions[0].roles.size(), 2u);
+}
+
+TEST(LazyDfa, FirstOnlyFlagOnPredicateNodes) {
+  AnalyzedQuery analyzed = Analyzed(
+      "<r>{ for $x in /a return if (exists($x/p)) then <y/> else () }</r>");
+  SymbolTable tags;
+  LazyDfa dfa(&analyzed.projection, &analyzed.roles, &tags);
+  DfaState* a = dfa.Transition(dfa.initial(), tags.Intern("a"));
+  DfaState* p = dfa.Transition(a, tags.Intern("p"));
+  ASSERT_EQ(p->element_actions.size(), 1u);
+  EXPECT_TRUE(p->element_actions[0].first_only);
+}
+
+TEST(LazyDfa, TextActionsFromDosSearch) {
+  // Output dep $x/dos::node() (non-aggregate): text below a is matched by
+  // the searching dos item and must carry the role.
+  AnalyzedQuery analyzed = Analyzed("<r>{ for $x in /a return $x }</r>");
+  SymbolTable tags;
+  LazyDfa dfa(&analyzed.projection, &analyzed.roles, &tags);
+  DfaState* a = dfa.Transition(dfa.initial(), tags.Intern("a"));
+  ASSERT_FALSE(a->text_actions.empty());
+  EXPECT_FALSE(a->text_actions[0].roles.empty());
+}
+
+TEST(LazyDfa, TextActionsFromExplicitTextStep) {
+  AnalyzedQuery analyzed =
+      Analyzed("<r>{ for $x in /a return $x/text() }</r>");
+  SymbolTable tags;
+  LazyDfa dfa(&analyzed.projection, &analyzed.roles, &tags);
+  DfaState* a = dfa.Transition(dfa.initial(), tags.Intern("a"));
+  ASSERT_FALSE(a->text_actions.empty());
+}
+
+TEST(LazyDfa, StateToStringShowsMultiset) {
+  AnalyzedQuery analyzed = Analyzed(kFig5Query);
+  SymbolTable tags;
+  LazyDfa dfa(&analyzed.projection, &analyzed.roles, &tags);
+  DfaState* q1 = dfa.Transition(dfa.initial(), tags.Intern("a"));
+  EXPECT_NE(q1->ToString().find("{"), std::string::npos);
+  // One level deeper, the //b step is searching.
+  DfaState* q2 = dfa.Transition(q1, tags.Intern("a"));
+  EXPECT_NE(q2->ToString().find("searching"), std::string::npos)
+      << q2->ToString();
+}
+
+}  // namespace
+}  // namespace gcx

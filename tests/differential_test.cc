@@ -1,0 +1,148 @@
+// Differential property tests: Theorem 1 (correctness) checked empirically.
+//
+// For random documents and a corpus of fragment queries, streaming GCX
+// evaluation — under every combination of the Sec. 5/6 techniques — must
+// produce byte-identical output to the NaiveDom reference evaluator, and
+// must satisfy the Sec. 3 safety requirements (role balance, drained
+// buffer) whenever GC is on.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/prng.h"
+#include "core/engine.h"
+
+namespace gcx {
+namespace {
+
+/// Random documents over a small tag alphabet so that query paths hit often.
+std::string RandomDocument(uint64_t seed) {
+  Prng rng(seed);
+  const char* tags[] = {"a", "b", "c", "d", "p", "v", "id"};
+  std::string out;
+  // Random tree, ~60-200 nodes, depth ≤ 6.
+  std::function<void(int)> emit = [&](int depth) {
+    const char* tag = tags[rng.Below(7)];
+    out += "<";
+    out += tag;
+    out += ">";
+    if (rng.Chance(400)) {
+      out += std::to_string(rng.Below(20));  // numeric-ish text
+    } else if (rng.Chance(300)) {
+      out += "w";
+      out += static_cast<char>('a' + rng.Below(4));
+    }
+    if (depth < 6) {
+      uint64_t children = rng.Below(depth == 0 ? 6 : 4);
+      for (uint64_t i = 0; i < children; ++i) emit(depth + 1);
+    }
+    out += "</";
+    out += tag;
+    out += ">";
+  };
+  out += "<root>";
+  uint64_t top = 2 + rng.Below(5);
+  for (uint64_t i = 0; i < top; ++i) emit(0);
+  out += "</root>";
+  return out;
+}
+
+/// The query corpus: every fragment feature, over the same tag alphabet.
+const char* const kCorpus[] = {
+    "<r>{ for $x in /root/a return $x }</r>",
+    "<r>{ for $x in /root/* return $x/b }</r>",
+    "<r>{ for $x in //b return <hit/> }</r>",
+    "<r>{ for $x in //a return for $y in $x//b return $y }</r>",
+    "<r>{ for $x in /root/a/b return $x/text() }</r>",
+    "<r>{ for $x in /root/* return "
+    "if (exists($x/p)) then $x/v else () }</r>",
+    "<r>{ for $x in //a return "
+    "if (not(exists($x/b))) then <leaf/> else () }</r>",
+    "<r>{ for $x in /root/* return "
+    "if ($x/id = \"3\") then $x else () }</r>",
+    "<r>{ for $x in //p return if ($x/v > 10) then $x/v else () }</r>",
+    "<r>{ for $x in /root/a return for $y in /root/b return "
+    "if ($y/id = $x/id) then <m/> else () }</r>",
+    "<r>{ for $x in //a where exists($x/v) return <k>{ $x/v }</k> }</r>",
+    "<r>{ (for $x in /root/a return $x, <sep/>, "
+    "for $y in /root/b return $y) }</r>",
+    "<r>{ for $x in /root/*/b return "
+    "if (exists($x/c) and not(exists($x/d))) then $x else () }</r>",
+    "<r>{ for $x in //c return <wrap><w>{ $x }</w></wrap> }</r>",
+    "<r>{ if (exists(/root/a/b)) then <has/> else <none/> }</r>",
+    "<r>{ for $x in /root/a return "
+    "if ($x/v = $x/id or $x/v < 5) then <y/> else <n/> }</r>",
+};
+
+std::string RunConfig(std::string_view query, const std::string& doc,
+                      const EngineOptions& options, ExecStats* stats_out) {
+  auto compiled = CompiledQuery::Compile(query, options);
+  if (!compiled.ok()) {
+    ADD_FAILURE() << compiled.status().ToString() << "\n" << query;
+    return "<compile error>";
+  }
+  Engine engine;
+  std::ostringstream out;
+  auto stats = engine.Execute(*compiled, doc, &out);
+  if (!stats.ok()) {
+    ADD_FAILURE() << stats.status().ToString() << "\n" << query;
+    return "<execute error>";
+  }
+  if (stats_out != nullptr) *stats_out = *stats;
+  return out.str();
+}
+
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialTest, AllConfigurationsMatchOracle) {
+  std::string doc = RandomDocument(GetParam());
+  EngineOptions naive;
+  naive.mode = EngineMode::kNaiveDom;
+  for (const char* query : kCorpus) {
+    std::string expected = RunConfig(query, doc, naive, nullptr);
+    // Streaming, every technique combination.
+    for (int mask = 0; mask < 16; ++mask) {
+      EngineOptions options;
+      options.enable_gc = (mask & 1) != 0;
+      options.aggregate_roles = (mask & 2) != 0;
+      options.eliminate_redundant_roles = (mask & 4) != 0;
+      options.early_updates = (mask & 8) != 0;
+      ExecStats stats;
+      std::string actual = RunConfig(query, doc, options, &stats);
+      ASSERT_EQ(actual, expected)
+          << "seed=" << GetParam() << " mask=" << mask << "\nquery: " << query
+          << "\ndoc: " << doc;
+      if (options.enable_gc) {
+        // Sec. 3 requirements: balance + drained buffer.
+        EXPECT_EQ(stats.buffer.roles_assigned, stats.buffer.roles_removed)
+            << query;
+      }
+    }
+    // Materialized projection mode.
+    EngineOptions materialized;
+    materialized.mode = EngineMode::kMaterializedProjection;
+    EXPECT_EQ(RunConfig(query, doc, materialized, nullptr), expected) << query;
+  }
+}
+
+TEST_P(DifferentialTest, GcNeverIncreasesPeak) {
+  std::string doc = RandomDocument(GetParam() + 1000);
+  for (const char* query : kCorpus) {
+    EngineOptions gc_on;
+    EngineOptions gc_off;
+    gc_off.enable_gc = false;
+    ExecStats on;
+    ExecStats off;
+    RunConfig(query, doc, gc_on, &on);
+    RunConfig(query, doc, gc_off, &off);
+    EXPECT_LE(on.buffer.bytes_peak, off.buffer.bytes_peak) << query;
+    EXPECT_LE(on.buffer.nodes_peak, off.buffer.nodes_peak) << query;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Range<uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace gcx

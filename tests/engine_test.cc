@@ -1,0 +1,305 @@
+// End-to-end engine tests: a feature matrix of (query, document, expected
+// output) cells run through the full GCX pipeline, plus execution-stats
+// invariants (the paper's safety requirements from Sec. 3).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/engine.h"
+
+namespace gcx {
+namespace {
+
+std::string RunQuery(std::string_view query, std::string_view doc,
+                const EngineOptions& options = {}) {
+  auto compiled = CompiledQuery::Compile(query, options);
+  if (!compiled.ok()) {
+    ADD_FAILURE() << compiled.status().ToString();
+    return "<compile error>";
+  }
+  Engine engine;
+  std::ostringstream out;
+  auto stats = engine.Execute(*compiled, doc, &out);
+  if (!stats.ok()) {
+    ADD_FAILURE() << stats.status().ToString();
+    return "<execute error>";
+  }
+  return out.str();
+}
+
+struct Cell {
+  const char* label;
+  const char* query;
+  const char* doc;
+  const char* expected;
+};
+
+class FeatureMatrixTest : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(FeatureMatrixTest, GcxProducesExpectedOutput) {
+  EXPECT_EQ(RunQuery(GetParam().query, GetParam().doc), GetParam().expected);
+}
+
+TEST_P(FeatureMatrixTest, AllEngineConfigurationsAgree) {
+  const Cell& cell = GetParam();
+  for (EngineMode mode : {EngineMode::kStreaming,
+                          EngineMode::kMaterializedProjection,
+                          EngineMode::kNaiveDom}) {
+    EngineOptions options;
+    options.mode = mode;
+    EXPECT_EQ(RunQuery(cell.query, cell.doc, options), cell.expected)
+        << "mode " << static_cast<int>(mode);
+  }
+  for (bool agg : {true, false}) {
+    for (bool rre : {true, false}) {
+      for (bool early : {true, false}) {
+        EngineOptions options;
+        options.aggregate_roles = agg;
+        options.eliminate_redundant_roles = rre;
+        options.early_updates = early;
+        EXPECT_EQ(RunQuery(cell.query, cell.doc, options), cell.expected)
+            << "agg=" << agg << " rre=" << rre << " early=" << early;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Features, FeatureMatrixTest,
+    ::testing::Values(
+        Cell{"empty_result", "<r>{ () }</r>", "<a/>", "<r></r>"},
+        Cell{"whole_document", "<r>{ $root }</r>", "<a><b>t</b></a>",
+             "<r><a><b>t</b></a></r>"},
+        Cell{"constant_content", "<r><k>hi</k></r>", "<a/>",
+             "<r><k>hi</k></r>"},
+        Cell{"simple_for", "<r>{ for $x in /a/b return $x }</r>",
+             "<a><b>1</b><c>x</c><b>2</b></a>", "<r><b>1</b><b>2</b></r>"},
+        Cell{"path_output", "<r>{ for $x in /a return $x/b }</r>",
+             "<a><b>1</b><b>2</b></a>", "<r><b>1</b><b>2</b></r>"},
+        Cell{"star_step", "<r>{ for $x in /a/* return <t/> }</r>",
+             "<a><b/><c/><d/></a>", "<r><t></t><t></t><t></t></r>"},
+        Cell{"descendant_axis", "<r>{ for $x in //b return $x }</r>",
+             "<a><b>1</b><c><b>2</b></c></a>", "<r><b>1</b><b>2</b></r>"},
+        Cell{"nested_descendants",
+             "<r>{ for $a in //a return for $b in $a//b return $b }</r>",
+             "<x><a><a><b>v</b></a></a></x>", "<r><b>v</b><b>v</b></r>"},
+        Cell{"text_step", "<r>{ for $x in /a/b return $x/text() }</r>",
+             "<a><b>one</b><b>two</b></a>", "<r>onetwo</r>"},
+        Cell{"exists_true",
+             "<r>{ for $x in /a/b return "
+             "if (exists($x/p)) then <yes/> else <no/> }</r>",
+             "<a><b><p/></b><b/></a>", "<r><yes></yes><no></no></r>"},
+        Cell{"exists_multi_step",
+             "<r>{ for $x in /a return "
+             "if (exists($x/b/c)) then <yes/> else <no/> }</r>",
+             "<a><b><c/></b></a>", "<r><yes></yes></r>"},
+        Cell{"not_exists",
+             "<r>{ for $x in /a/* return "
+             "if (not(exists($x/price))) then $x else () }</r>",
+             "<a><k>cheap</k><m><price>3</price></m></a>",
+             "<r><k>cheap</k></r>"},
+        Cell{"compare_eq_literal",
+             "<r>{ for $x in /a/b return "
+             "if ($x/id = \"two\") then $x else () }</r>",
+             "<a><b><id>one</id></b><b><id>two</id>hit</b></a>",
+             "<r><b><id>two</id>hit</b></r>"},
+        Cell{"compare_numeric",
+             "<r>{ for $x in /a/b return "
+             "if ($x/v > 10) then $x/v else () }</r>",
+             "<a><b><v>9</v></b><b><v>11</v></b><b><v>100</v></b></a>",
+             "<r><v>11</v><v>100</v></r>"},
+        Cell{"compare_numeric_vs_string",
+             // "9" < "11" numerically but not bytewise; numbers win when
+             // both sides parse.
+             "<r>{ for $x in /a/b return "
+             "if ($x/v < 11) then $x/v else () }</r>",
+             "<a><b><v>9</v></b></a>", "<r><v>9</v></r>"},
+        Cell{"compare_path_path_join",
+             "<r>{ for $p in /s/p return for $q in /s/q return "
+             "if ($q/ref = $p/id) then <m>{ $q/w }</m> else () }</r>",
+             "<s><p><id>1</id></p><p><id>2</id></p>"
+             "<q><ref>2</ref><w>a</w></q><q><ref>1</ref><w>b</w></q></s>",
+             "<r><m><w>b</w></m><m><w>a</w></m></r>"},
+        Cell{"compare_existential_semantics",
+             // General comparison: true if ANY pair matches.
+             "<r>{ for $x in /a return "
+             "if ($x/v = \"k\") then <hit/> else () }</r>",
+             "<a><v>i</v><v>k</v></a>", "<r><hit></hit></r>"},
+        Cell{"and_or_not",
+             "<r>{ for $x in /a/b return "
+             "if ((exists($x/p) or exists($x/q)) and not($x/id = \"skip\")) "
+             "then $x/id else () }</r>",
+             "<a><b><p/><id>one</id></b><b><q/><id>skip</id></b>"
+             "<b><id>two</id></b></a>",
+             "<r><id>one</id></r>"},
+        Cell{"true_condition",
+             "<r>{ for $x in /a/b return if (true()) then <t/> else <f/> "
+             "}</r>",
+             "<a><b/></a>", "<r><t></t></r>"},
+        Cell{"if_else_branch",
+             "<r>{ if (exists(/a/zz)) then <y/> else <n/> }</r>", "<a/>",
+             "<r><n></n></r>"},
+        Cell{"sequence_order",
+             "<r>{ (<one/>, for $x in /a/b return $x, <two/>) }</r>",
+             "<a><b>m</b></a>", "<r><one></one><b>m</b><two></two></r>"},
+        Cell{"nested_constructors",
+             "<r>{ for $x in /a/b return <w><inner>{ $x/text() }</inner></w> "
+             "}</r>",
+             "<a><b>t1</b><b>t2</b></a>",
+             "<r><w><inner>t1</inner></w><w><inner>t2</inner></w></r>"},
+        Cell{"where_clause",
+             "<r>{ for $x in /a/b where $x/v = \"y\" return $x/v }</r>",
+             "<a><b><v>x</v></b><b><v>y</v></b></a>", "<r><v>y</v></r>"},
+        Cell{"multi_step_for",
+             "<r>{ for $x in /s/people/person return $x/name }</r>",
+             "<s><people><person><name>N1</name></person>"
+             "<person><name>N2</name></person></people></s>",
+             "<r><name>N1</name><name>N2</name></r>"},
+        Cell{"mixed_axis_multi_step",
+             "<r>{ for $x in /s//b/c return $x }</r>",
+             "<s><x><b><c>1</c></b></x><b><c>2</c></b></s>",
+             "<r><c>1</c><c>2</c></r>"},
+        Cell{"escaped_text_roundtrip",
+             "<r>{ for $x in /a/b return $x }</r>",
+             "<a><b>x &amp; y &lt; z</b></a>",
+             "<r><b>x &amp; y &lt; z</b></r>"},
+        Cell{"empty_elements_preserved",
+             "<r>{ for $x in /a return $x }</r>", "<a><b/><c/></a>",
+             "<r><a><b></b><c></c></a></r>"},
+        Cell{"text_literal_output", "<r>{ (\"hello\", <b/>) }</r>", "<a/>",
+             "<r>hello<b></b></r>"},
+        Cell{"join_inner_absolute",
+             // The Fig. 9 pattern: inner loop over an absolute path is
+             // re-evaluated per outer binding (non-straight variable).
+             "<r>{ for $a in /s/a return <g>{ for $b in /s/b return "
+             "$b/text() }</g> }</r>",
+             "<s><a/><a/><b>1</b><b>2</b></s>",
+             "<r><g>12</g><g>12</g></r>"},
+        Cell{"deep_nesting",
+             "<r>{ for $a in /d/a return for $b in $a/b return "
+             "for $c in $b/c return $c/text() }</r>",
+             "<d><a><b><c>x</c><c>y</c></b></a><a><b><c>z</c></b></a></d>",
+             "<r>xyz</r>"},
+        Cell{"duplicate_tags_distinct_roles",
+             // The same element matched by two different query contexts.
+             "<r>{ for $bib in /bib return "
+             "((for $x in $bib/* return if (not(exists($x/price))) then $x "
+             "else ()), (for $b in $bib/book return $b/title)) }</r>",
+             "<bib><book><title>T1</title><author>A1</author></book>"
+             "<cd><title>T2</title><price>10</price></cd>"
+             "<book><title>T3</title><price>5</price></book></bib>",
+             "<r><book><title>T1</title><author>A1</author></book>"
+             "<title>T1</title><title>T3</title></r>"}),
+    [](const ::testing::TestParamInfo<Cell>& info) {
+      return info.param.label;
+    });
+
+// --- runtime invariants (Sec. 3 requirements) ------------------------------------
+
+TEST(EngineInvariants, RoleBalanceAndEmptyBuffer) {
+  constexpr std::string_view query =
+      "<r>{ for $x in /a/* return "
+      "if (exists($x/p)) then $x/v else () }</r>";
+  constexpr std::string_view doc =
+      "<a><k><p/><v>1</v></k><m><v>2</v></m><k><p/><v>3</v><junk/></k></a>";
+  auto compiled = CompiledQuery::Compile(query);
+  ASSERT_TRUE(compiled.ok());
+  Engine engine;
+  std::ostringstream out;
+  auto stats = engine.Execute(*compiled, doc, &out);
+  ASSERT_TRUE(stats.ok());
+  // Requirement (2): every role assigned was removed (checked internally
+  // too) and the buffer drained back to the root.
+  EXPECT_EQ(stats->buffer.roles_assigned, stats->buffer.roles_removed);
+  EXPECT_EQ(stats->buffer.nodes_current, 1u);
+  EXPECT_EQ(stats->buffer.nodes_purged, stats->buffer.nodes_created - 1);
+}
+
+TEST(EngineInvariants, GcPeakNeverExceedsNoGcPeak) {
+  constexpr std::string_view doc =
+      "<a>"
+      "<b><v>1</v><w>x</w></b><b><v>2</v><w>y</w></b>"
+      "<b><v>3</v><w>z</w></b><b><v>4</v><w>w</w></b>"
+      "</a>";
+  for (std::string_view query :
+       {std::string_view("<r>{ for $x in /a/b return $x }</r>"),
+        std::string_view("<r>{ for $x in /a/b return "
+                         "if ($x/v > 2) then $x/w else () }</r>")}) {
+    EngineOptions gc_on;
+    EngineOptions gc_off;
+    gc_off.enable_gc = false;
+    auto on = CompiledQuery::Compile(query, gc_on);
+    auto off = CompiledQuery::Compile(query, gc_off);
+    ASSERT_TRUE(on.ok() && off.ok());
+    Engine engine;
+    std::ostringstream out1, out2;
+    auto stats_on = engine.Execute(*on, doc, &out1);
+    auto stats_off = engine.Execute(*off, doc, &out2);
+    ASSERT_TRUE(stats_on.ok() && stats_off.ok());
+    EXPECT_LE(stats_on->buffer.bytes_peak, stats_off->buffer.bytes_peak);
+    EXPECT_EQ(out1.str(), out2.str());
+  }
+}
+
+TEST(EngineInvariants, StatsArePopulated) {
+  auto compiled =
+      CompiledQuery::Compile("<r>{ for $x in /a/b return $x }</r>");
+  ASSERT_TRUE(compiled.ok());
+  Engine engine;
+  std::ostringstream out;
+  auto stats = engine.Execute(*compiled, "<a><b>x</b></a>", &out);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->input_bytes, 0u);
+  EXPECT_EQ(stats->output_bytes, out.str().size());
+  EXPECT_GT(stats->dfa_states, 0u);
+  EXPECT_GT(stats->peak_bytes, 0u);
+  EXPECT_GE(stats->wall_seconds, 0.0);
+}
+
+TEST(EngineInvariants, MalformedInputReportsError) {
+  auto compiled =
+      CompiledQuery::Compile("<r>{ for $x in /a/b return $x }</r>");
+  ASSERT_TRUE(compiled.ok());
+  Engine engine;
+  std::ostringstream out;
+  auto stats = engine.Execute(*compiled, "<a><b></a>", &out);
+  EXPECT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kParseError);
+}
+
+TEST(EngineInvariants, LazyEvaluationStopsReadingEarly) {
+  // A query over /a/first ignores the giant tail: the projector fast-skips
+  // it, and if nothing is needed the evaluator needn't even reach EOS.
+  std::string doc = "<a><first>x</first>";
+  for (int i = 0; i < 1000; ++i) doc += "<junk><deep>y</deep></junk>";
+  doc += "</a>";
+  auto compiled =
+      CompiledQuery::Compile("<r>{ for $x in /a/first return $x }</r>");
+  ASSERT_TRUE(compiled.ok());
+  Engine engine;
+  std::ostringstream out;
+  auto stats = engine.Execute(*compiled, doc, &out);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(out.str(), "<r><first>x</first></r>");
+  // Only the first element was ever buffered.
+  EXPECT_LE(stats->buffer.nodes_peak, 4u);
+}
+
+TEST(EngineInvariants, TraceSeesEveryToken) {
+  auto compiled =
+      CompiledQuery::Compile("<r>{ for $x in /a/b return $x }</r>");
+  ASSERT_TRUE(compiled.ok());
+  Engine engine;
+  int events = 0;
+  engine.set_trace([&events](const XmlEvent&, const BufferTree&,
+                             const SymbolTable&) { ++events; });
+  std::ostringstream out;
+  auto stats = engine.Execute(*compiled, "<a><b>x</b><c/></a>", &out);
+  ASSERT_TRUE(stats.ok());
+  // <a> <b> 'x' </b> <c> </c> </a> EOD = 8
+  EXPECT_EQ(events, 8);
+}
+
+}  // namespace
+}  // namespace gcx

@@ -1,0 +1,161 @@
+// Unit tests for evaluator primitives: general-comparison value semantics
+// (CompareValues), number formatting, and streaming evaluation edge cases
+// that the end-to-end matrix does not isolate.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/strings.h"
+#include "core/engine.h"
+#include "eval/evaluator.h"
+
+namespace gcx {
+namespace {
+
+// --- CompareValues ---------------------------------------------------------------
+
+struct CompareCase {
+  const char* label;
+  const char* lhs;
+  RelOp op;
+  const char* rhs;
+  bool expected;
+};
+
+class CompareValuesTest : public ::testing::TestWithParam<CompareCase> {};
+
+TEST_P(CompareValuesTest, Evaluates) {
+  const CompareCase& c = GetParam();
+  EXPECT_EQ(CompareValues(c.lhs, c.op, c.rhs), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CompareValuesTest,
+    ::testing::Values(
+        CompareCase{"numeric_eq", "42", RelOp::kEq, "42.0", true},
+        CompareCase{"numeric_lt", "9", RelOp::kLt, "11", true},
+        CompareCase{"numeric_lt_false", "11", RelOp::kLt, "9", false},
+        CompareCase{"numeric_whitespace", " 5 ", RelOp::kEq, "5", true},
+        CompareCase{"string_eq", "abc", RelOp::kEq, "abc", true},
+        CompareCase{"string_ne", "abc", RelOp::kNe, "abd", true},
+        CompareCase{"string_lt_bytewise", "11", RelOp::kLt, "9x", true},
+        CompareCase{"mixed_falls_back_to_string", "9", RelOp::kGt, "10x",
+                    true},  // "9" > "10x" bytewise
+        CompareCase{"numeric_le_eq", "3", RelOp::kLe, "3", true},
+        CompareCase{"numeric_ge", "4", RelOp::kGe, "3.5", true},
+        CompareCase{"negative_numbers", "-2", RelOp::kLt, "-1", true},
+        CompareCase{"empty_vs_empty", "", RelOp::kEq, "", true},
+        CompareCase{"empty_lt_any", "", RelOp::kLt, "a", true}),
+    [](const ::testing::TestParamInfo<CompareCase>& info) {
+      return info.param.label;
+    });
+
+// --- FormatNumber -------------------------------------------------------------------
+
+TEST(FormatNumber, IntegralValuesHaveNoPoint) {
+  EXPECT_EQ(FormatNumber(42.0), "42");
+  EXPECT_EQ(FormatNumber(0.0), "0");
+  EXPECT_EQ(FormatNumber(-7.0), "-7");
+}
+
+TEST(FormatNumber, FractionsUseCompactForm) {
+  EXPECT_EQ(FormatNumber(6.5), "6.5");
+  EXPECT_EQ(FormatNumber(0.25), "0.25");
+}
+
+// --- streaming edge cases ---------------------------------------------------------------
+
+std::string RunQ(std::string_view query, std::string_view doc,
+                 ExecStats* stats = nullptr) {
+  auto compiled = CompiledQuery::Compile(query);
+  if (!compiled.ok()) {
+    ADD_FAILURE() << compiled.status().ToString();
+    return "";
+  }
+  Engine engine;
+  std::ostringstream out;
+  auto result = engine.Execute(*compiled, doc, &out);
+  if (!result.ok()) {
+    ADD_FAILURE() << result.status().ToString();
+    return "";
+  }
+  if (stats != nullptr) *stats = *result;
+  return out.str();
+}
+
+TEST(EvaluatorEdge, EmptyDocumentElement) {
+  EXPECT_EQ(RunQ("<r>{ for $x in /a/b return $x }</r>", "<a/>"), "<r></r>");
+}
+
+TEST(EvaluatorEdge, DeeplyNestedInput) {
+  std::string doc;
+  for (int i = 0; i < 300; ++i) doc += "<a>";
+  doc += "<hit>x</hit>";
+  for (int i = 0; i < 300; ++i) doc += "</a>";
+  EXPECT_EQ(RunQ("<r>{ for $x in //hit return $x }</r>", doc),
+            "<r><hit>x</hit></r>");
+}
+
+TEST(EvaluatorEdge, ManySiblingsStreamedInConstantMemory) {
+  std::string doc = "<a>";
+  for (int i = 0; i < 5000; ++i) doc += "<b><v>" + std::to_string(i) + "</v></b>";
+  doc += "</a>";
+  ExecStats stats;
+  std::string out =
+      RunQ("<r>{ for $x in /a/b return if ($x/v = 4999) then $x/v else () "
+           "}</r>",
+           doc, &stats);
+  EXPECT_EQ(out, "<r><v>4999</v></r>");
+  EXPECT_LT(stats.buffer.nodes_peak, 16u);
+}
+
+TEST(EvaluatorEdge, ConditionOnOuterVariableInsideInnerLoop) {
+  // The inner loop's condition references the outer binding: its dep role
+  // belongs to the outer variable and must survive until the outer scope's
+  // signOffs.
+  EXPECT_EQ(RunQ("<r>{ for $x in /s/a return for $y in $x/b return "
+                 "if ($x/k = \"go\") then $y else () }</r>",
+                 "<s><a><k>go</k><b>1</b><b>2</b></a>"
+                 "<a><k>no</k><b>3</b></a></s>"),
+            "<r><b>1</b><b>2</b></r>");
+}
+
+TEST(EvaluatorEdge, SameNodeOutputTwice) {
+  EXPECT_EQ(RunQ("<r>{ (for $x in /a/b return $x, "
+                 "for $y in /a/b return $y) }</r>",
+                 "<a><b>x</b></a>"),
+            "<r><b>x</b><b>x</b></r>");
+}
+
+TEST(EvaluatorEdge, ExistsOnEmptyAndWhitespaceContent) {
+  EXPECT_EQ(RunQ("<r>{ for $x in /a/b return "
+                 "if (exists($x/text())) then <t/> else <none/> }</r>",
+                 "<a><b>x</b><b></b></a>"),
+            "<r><t></t><none></none></r>");
+}
+
+TEST(EvaluatorEdge, ComparisonAgainstEmptyMatchSetIsFalse) {
+  // General comparison over an empty sequence is false, and so is its
+  // negation's inner.
+  EXPECT_EQ(RunQ("<r>{ for $x in /a/b return "
+                 "if ($x/ghost = \"1\") then <y/> else <n/> }</r>",
+                 "<a><b/></a>"),
+            "<r><n></n></r>");
+}
+
+TEST(EvaluatorEdge, StringValueConcatenatesNestedText) {
+  EXPECT_EQ(RunQ("<r>{ for $x in /a/b return "
+                 "if ($x = \"onetwo\") then <hit/> else () }</r>",
+                 "<a><b>one<i>two</i></b></a>"),
+            "<r><hit></hit></r>");
+}
+
+TEST(EvaluatorEdge, OutputPreservesMixedContentOrder) {
+  EXPECT_EQ(RunQ("<r>{ for $x in /a/b return $x }</r>",
+                 "<a><b>pre<i>mid</i>post</b></a>"),
+            "<r><b>pre<i>mid</i>post</b></r>");
+}
+
+}  // namespace
+}  // namespace gcx

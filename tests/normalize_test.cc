@@ -1,0 +1,225 @@
+// Unit tests for query normalization (src/xq/normalize): early updates
+// (Sec. 6), multi-step for splitting (Sec. 3), if push-down (Fig. 7 rules
+// DECOMP / SEQ / NC / FOR), sequence flattening.
+
+#include <gtest/gtest.h>
+
+#include "xq/ast.h"
+#include "xq/normalize.h"
+#include "xq/parser.h"
+#include "xq/printer.h"
+
+namespace gcx {
+namespace {
+
+Query Parse(std::string_view text) {
+  auto query = ParseQuery(text);
+  GCX_CHECK(query.ok());
+  return std::move(query).value();
+}
+
+std::string NormalizePrint(std::string_view text, bool early_updates = true) {
+  Query query = Parse(text);
+  NormalizeOptions options;
+  options.early_updates = early_updates;
+  GCX_CHECK(Normalize(&query, options).ok());
+  return PrintQuery(query);
+}
+
+// --- early updates (Sec. 6) ----------------------------------------------------
+
+TEST(EarlyUpdates, RewritesPathOutputToForLoop) {
+  Query query = Parse("<r>{ for $b in /book return $b/title }</r>");
+  EarlyUpdates(&query);
+  const Expr* f = query.body->child.get();
+  ASSERT_EQ(f->body->kind, ExprKind::kFor);
+  EXPECT_EQ(f->body->var, f->loop_var);
+  EXPECT_EQ(f->body->path.ToString(), "title");
+  EXPECT_EQ(f->body->body->kind, ExprKind::kVarRef);
+  EXPECT_EQ(f->body->body->var, f->body->loop_var);
+}
+
+TEST(EarlyUpdates, LeavesVarRefAlone) {
+  Query query = Parse("<r>{ for $b in /book return $b }</r>");
+  std::string before = PrintQuery(query);
+  EarlyUpdates(&query);
+  EXPECT_EQ(PrintQuery(query), before);
+}
+
+TEST(EarlyUpdates, RewritesInsideBranchesAndSequences) {
+  Query query = Parse(
+      "<r>{ for $b in /book return "
+      "if (true()) then ($b/title, $b/author) else $b/isbn }</r>");
+  EarlyUpdates(&query);
+  std::string printed = PrintQuery(query);
+  // All three outputs became for-loops (no bare output expression left).
+  EXPECT_EQ(printed.find("then ($b/title"), std::string::npos);
+  EXPECT_NE(printed.find("in $b/title"), std::string::npos);
+  EXPECT_NE(printed.find("in $b/author"), std::string::npos);
+  EXPECT_NE(printed.find("in $b/isbn"), std::string::npos);
+}
+
+TEST(EarlyUpdates, CanBeDisabled) {
+  std::string printed =
+      NormalizePrint("<r>{ for $b in /book return $b/title }</r>",
+                     /*early_updates=*/false);
+  EXPECT_NE(printed.find("return $b/title"), std::string::npos);
+}
+
+// --- multi-step for splitting -----------------------------------------------------
+
+TEST(SplitForPaths, TwoSteps) {
+  Query query = Parse("<r>{ for $x in /site/people return $x }</r>");
+  SplitForPaths(&query);
+  const Expr* outer = query.body->child.get();
+  ASSERT_EQ(outer->kind, ExprKind::kFor);
+  EXPECT_EQ(outer->path.steps.size(), 1u);
+  EXPECT_EQ(outer->path.ToString(), "site");
+  const Expr* inner = outer->body.get();
+  ASSERT_EQ(inner->kind, ExprKind::kFor);
+  EXPECT_EQ(inner->path.ToString(), "people");
+  EXPECT_EQ(inner->var, outer->loop_var);
+  // The original variable is bound by the innermost loop.
+  EXPECT_EQ(query.var_names[static_cast<size_t>(inner->loop_var)], "$x");
+}
+
+TEST(SplitForPaths, FourStepsNestFully) {
+  Query query =
+      Parse("<r>{ for $x in /a/b//c/d return $x }</r>");
+  SplitForPaths(&query);
+  const Expr* e = query.body->child.get();
+  int depth = 0;
+  while (e->kind == ExprKind::kFor) {
+    EXPECT_EQ(e->path.steps.size(), 1u);
+    ++depth;
+    e = e->body.get();
+  }
+  EXPECT_EQ(depth, 4);
+  EXPECT_EQ(e->kind, ExprKind::kVarRef);
+}
+
+TEST(SplitForPaths, SingleStepUntouched) {
+  Query query = Parse("<r>{ for $x in /a return $x }</r>");
+  std::string before = PrintQuery(query);
+  SplitForPaths(&query);
+  EXPECT_EQ(PrintQuery(query), before);
+}
+
+// --- if push-down (Fig. 7) ---------------------------------------------------------
+
+TEST(PushIfDown, LeavesForFreeIfsAlone) {
+  std::string printed = NormalizePrint(
+      "<r>{ for $x in /a return "
+      "if (exists($x/b)) then $x else <none/> }</r>");
+  EXPECT_NE(printed.find("if (exists($x/b)) then"), std::string::npos);
+  EXPECT_NE(printed.find("else <none>"), std::string::npos);
+}
+
+TEST(PushIfDown, RuleForPushesIntoLoop) {
+  // if X then (for …) — the loop must end up outside the if (rule FOR).
+  Query query = Parse(
+      "<r>{ for $a in /a return "
+      "if (exists($a/ok)) then (for $b in $a/b return <hit/>) else () }</r>");
+  PushIfDown(&query);
+  std::string printed = PrintQuery(query);
+  // for is now outer, if inner.
+  size_t for_pos = printed.find("for $b in $a/b return");
+  size_t if_pos = printed.find("if (exists($a/ok)) then <hit>");
+  ASSERT_NE(for_pos, std::string::npos) << printed;
+  ASSERT_NE(if_pos, std::string::npos) << printed;
+  EXPECT_LT(for_pos, if_pos);
+}
+
+TEST(PushIfDown, RuleNcSplitsConstructor) {
+  // if X then <a>{for…}</a> — rule NC splits the constructor into
+  // conditional open/close tag halves around the pushed body.
+  Query query = Parse(
+      "<r>{ for $a in /a return "
+      "if (exists($a/ok)) then <w>{ for $b in $a/b return $b }</w> else () "
+      "}</r>");
+  PushIfDown(&query);
+  std::string printed = PrintQuery(query);
+  EXPECT_NE(printed.find("then <w> else"), std::string::npos) << printed;
+  EXPECT_NE(printed.find("then </w> else"), std::string::npos) << printed;
+}
+
+TEST(PushIfDown, RuleDecompSplitsElse) {
+  // else-branches containing loops get the negated condition (DECOMP).
+  Query query = Parse(
+      "<r>{ for $a in /a return "
+      "if (exists($a/ok)) then (for $b in $a/b return $b) "
+      "else (for $c in $a/c return $c) }</r>");
+  PushIfDown(&query);
+  std::string printed = PrintQuery(query);
+  EXPECT_NE(printed.find("if (exists($a/ok)) then $b"), std::string::npos)
+      << printed;
+  EXPECT_NE(printed.find("if (not(exists($a/ok))) then $c"),
+            std::string::npos)
+      << printed;
+}
+
+TEST(PushIfDown, NestedIfsConjoinConditions) {
+  Query query = Parse(
+      "<r>{ for $a in /a return "
+      "if (exists($a/x)) then "
+      "  (if (exists($a/y)) then (for $b in $a/b return $b) else ()) "
+      "else () }</r>");
+  PushIfDown(&query);
+  std::string printed = PrintQuery(query);
+  // Both guards end up inside the loop (nested or conjoined), and the for
+  // must be outermost so its signOffs always execute.
+  EXPECT_NE(printed.find("exists($a/x)"), std::string::npos) << printed;
+  EXPECT_NE(printed.find("exists($a/y)"), std::string::npos) << printed;
+  EXPECT_LT(printed.find("for $b"), printed.find("exists($a/x)")) << printed;
+}
+
+TEST(PushIfDown, SeqRuleDistributesOverItems) {
+  Query query = Parse(
+      "<r>{ for $a in /a return "
+      "if (exists($a/ok)) then (<m/>, for $b in $a/b return $b, <n/>) "
+      "else () }</r>");
+  PushIfDown(&query);
+  std::string printed = PrintQuery(query);
+  // Three guarded items: constructors keep their whole if, loop is pushed.
+  EXPECT_NE(printed.find("then <m>{()}</m>"), std::string::npos) << printed;
+  EXPECT_NE(printed.find("for $b in $a/b return if"), std::string::npos)
+      << printed;
+  EXPECT_NE(printed.find("then <n>{()}</n>"), std::string::npos) << printed;
+}
+
+// --- semantics preservation: the normalized query must still be within the
+// fragment and parse/print round-trip.
+
+TEST(Normalize, FullPipelineProducesSingleStepLoops) {
+  Query query = Parse(
+      "<q8>{ for $p in /site/people/person return "
+      "<item>{ ($p/name, for $t in /site/closed_auctions/closed_auction "
+      "return if ($t/buyer/person = $p/id) then $t/itemref else ()) }</item> "
+      "}</q8>");
+  ASSERT_TRUE(Normalize(&query).ok());
+  // Verify: every for-loop in the result has a single-step path.
+  std::function<void(const Expr&)> check = [&](const Expr& expr) {
+    if (expr.kind == ExprKind::kFor) {
+      EXPECT_EQ(expr.path.steps.size(), 1u);
+    }
+    for (const auto& item : expr.items) check(*item);
+    if (expr.child) check(*expr.child);
+    if (expr.body) check(*expr.body);
+    if (expr.then_branch) check(*expr.then_branch);
+    if (expr.else_branch) check(*expr.else_branch);
+  };
+  check(*query.body);
+}
+
+TEST(Normalize, FlattenRemovesNestedSequencesAndEmpties) {
+  Query query = Parse("<r>{ ((), (<a/>, ((), <b/>)), ()) }</r>");
+  SimplifySequences(&query);
+  const Expr* seq = query.body->child.get();
+  ASSERT_EQ(seq->kind, ExprKind::kSequence);
+  EXPECT_EQ(seq->items.size(), 2u);
+  EXPECT_EQ(seq->items[0]->kind, ExprKind::kElement);
+  EXPECT_EQ(seq->items[1]->kind, ExprKind::kElement);
+}
+
+}  // namespace
+}  // namespace gcx

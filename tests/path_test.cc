@@ -1,0 +1,188 @@
+// Unit tests for the XPath fragment (src/xpath): parsing, printing,
+// matching, overlap, and reference DOM evaluation.
+
+#include <gtest/gtest.h>
+
+#include "xml/dom.h"
+#include "xpath/dom_eval.h"
+#include "xpath/path.h"
+
+namespace gcx {
+namespace {
+
+// --- parsing / printing -------------------------------------------------------
+
+struct PathCase {
+  const char* label;
+  const char* input;
+  const char* printed;  // canonical rendering
+  size_t steps;
+};
+
+class PathParseTest : public ::testing::TestWithParam<PathCase> {};
+
+TEST_P(PathParseTest, ParsesAndPrints) {
+  auto path = ParsePath(GetParam().input);
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  EXPECT_EQ(path->steps.size(), GetParam().steps);
+  EXPECT_EQ(path->ToString(), GetParam().printed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paths, PathParseTest,
+    ::testing::Values(
+        PathCase{"single_tag", "a", "a", 1},
+        PathCase{"two_steps", "a/b", "a/b", 2},
+        PathCase{"leading_slash", "/a/b", "a/b", 2},
+        PathCase{"descendant", "//a", "descendant::a", 1},
+        PathCase{"mixed", "a//b/c", "a/descendant::b/c", 3},
+        PathCase{"star", "*", "*", 1},
+        PathCase{"star_step", "a/*/b", "a/*/b", 3},
+        PathCase{"text", "a/text()", "a/text()", 2},
+        PathCase{"explicit_child", "child::a", "a", 1},
+        PathCase{"explicit_descendant", "descendant::a", "descendant::a", 1},
+        PathCase{"dos_node", "dos::node()", "dos::node()", 1},
+        PathCase{"dos_long", "descendant-or-self::node()", "dos::node()", 1},
+        PathCase{"first_pred", "price[1]", "price[1]", 1},
+        PathCase{"position_pred", "price[position()=1]", "price[1]", 1},
+        PathCase{"pred_mid", "a[1]/b", "a[1]/b", 2},
+        PathCase{"relative_dot", "./a", "a", 1},
+        PathCase{"relative_dot_desc", ".//a", "descendant::a", 1},
+        PathCase{"node_any", "a/node()", "a/node()", 1 + 1}),
+    [](const ::testing::TestParamInfo<PathCase>& info) {
+      return info.param.label;
+    });
+
+TEST(PathParse, EmptyAndDotAreEpsilon) {
+  EXPECT_TRUE(ParsePath("")->empty());
+  EXPECT_TRUE(ParsePath(".")->empty());
+  EXPECT_EQ(ParsePath(".")->ToString(), "\xCE\xB5");
+}
+
+TEST(PathParse, Rejects) {
+  EXPECT_FALSE(ParsePath("a/").ok());
+  EXPECT_FALSE(ParsePath("a//").ok());
+  EXPECT_FALSE(ParsePath("a b").ok());
+  EXPECT_FALSE(ParsePath("//child::a").ok());
+  EXPECT_FALSE(ParsePath("(a)").ok());
+}
+
+TEST(PathParse, RoundTripThroughToString) {
+  for (const char* text : {"a/b/c", "descendant::a/b", "a/dos::node()",
+                           "price[1]", "a/text()"}) {
+    auto first = ParsePath(text);
+    ASSERT_TRUE(first.ok());
+    auto second = ParsePath(first->ToString());
+    ASSERT_TRUE(second.ok()) << first->ToString();
+    EXPECT_EQ(*first, *second) << text;
+  }
+}
+
+// --- node tests ------------------------------------------------------------------
+
+TEST(NodeTest, Matching) {
+  EXPECT_TRUE(NodeTest::Tag("a").MatchesElement("a"));
+  EXPECT_FALSE(NodeTest::Tag("a").MatchesElement("b"));
+  EXPECT_FALSE(NodeTest::Tag("a").MatchesText());
+  EXPECT_TRUE(NodeTest::Star().MatchesElement("anything"));
+  EXPECT_FALSE(NodeTest::Star().MatchesText());
+  EXPECT_FALSE(NodeTest::Text().MatchesElement("a"));
+  EXPECT_TRUE(NodeTest::Text().MatchesText());
+  EXPECT_TRUE(NodeTest::AnyNode().MatchesElement("a"));
+  EXPECT_TRUE(NodeTest::AnyNode().MatchesText());
+}
+
+TEST(NodeTest, Overlap) {
+  EXPECT_TRUE(TestsOverlap(NodeTest::Tag("a"), NodeTest::Tag("a")));
+  EXPECT_FALSE(TestsOverlap(NodeTest::Tag("a"), NodeTest::Tag("b")));
+  EXPECT_TRUE(TestsOverlap(NodeTest::Tag("a"), NodeTest::Star()));
+  EXPECT_TRUE(TestsOverlap(NodeTest::Tag("a"), NodeTest::AnyNode()));
+  EXPECT_FALSE(TestsOverlap(NodeTest::Tag("a"), NodeTest::Text()));
+  EXPECT_TRUE(TestsOverlap(NodeTest::Text(), NodeTest::AnyNode()));
+  EXPECT_FALSE(TestsOverlap(NodeTest::Text(), NodeTest::Star()));
+  EXPECT_TRUE(TestsOverlap(NodeTest::Star(), NodeTest::AnyNode()));
+}
+
+// --- DOM evaluation -----------------------------------------------------------------
+
+std::string EvalToTags(DomNode* context, const char* path_text) {
+  auto path = ParsePath(path_text);
+  GCX_CHECK(path.ok());
+  std::string out;
+  for (DomNode* node : EvalPath(context, *path)) {
+    out += node->is_text() ? "'" + node->text() + "'" : node->tag();
+    out += " ";
+  }
+  return out;
+}
+
+class DomEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto doc = ParseDom(
+        "<a><b>one</b><c><b>two</b><d><b>three</b></d></c><b>four</b></a>");
+    ASSERT_TRUE(doc.ok());
+    doc_ = std::move(*doc);
+  }
+  std::unique_ptr<DomDocument> doc_;
+};
+
+TEST_F(DomEvalTest, ChildStep) {
+  EXPECT_EQ(EvalToTags(doc_->root(), "a"), "a ");
+  DomNode* a = doc_->root()->children()[0].get();
+  EXPECT_EQ(EvalToTags(a, "b"), "b b ");
+  EXPECT_EQ(EvalToTags(a, "c"), "c ");
+  EXPECT_EQ(EvalToTags(a, "nosuch"), "");
+}
+
+TEST_F(DomEvalTest, DescendantStepDocumentOrder) {
+  EXPECT_EQ(EvalToTags(doc_->root(), "//b"), "b b b b ");
+  DomNode* a = doc_->root()->children()[0].get();
+  EXPECT_EQ(EvalToTags(a, "//d"), "d ");
+}
+
+TEST_F(DomEvalTest, MultiStep) {
+  EXPECT_EQ(EvalToTags(doc_->root(), "a/c/b"), "b ");
+  EXPECT_EQ(EvalToTags(doc_->root(), "a//b"), "b b b b ");
+  EXPECT_EQ(EvalToTags(doc_->root(), "a/c//b"), "b b ");
+}
+
+TEST_F(DomEvalTest, StarAndText) {
+  DomNode* a = doc_->root()->children()[0].get();
+  EXPECT_EQ(EvalToTags(a, "*"), "b c b ");
+  EXPECT_EQ(EvalToTags(a, "b/text()"), "'one' 'four' ");
+  EXPECT_EQ(EvalToTags(a, "//text()"), "'one' 'two' 'three' 'four' ");
+}
+
+TEST_F(DomEvalTest, FirstPredicate) {
+  DomNode* a = doc_->root()->children()[0].get();
+  EXPECT_EQ(EvalToTags(a, "b[1]/text()"), "'one' ");
+  EXPECT_EQ(EvalToTags(doc_->root(), "//b[1]"), "b ");
+}
+
+TEST_F(DomEvalTest, DescendantDedupAcrossNestedContexts) {
+  // //c//b via nested descendant contexts must not duplicate (node-set
+  // semantics in the reference evaluator).
+  auto doc = ParseDom("<a><c><c><b/></c></c></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(EvalToTags((*doc)->root(), "//c//b"), "b ");
+}
+
+TEST_F(DomEvalTest, DosNodeSelfAndDescendants) {
+  auto doc = ParseDom("<a><b>t</b></a>");
+  ASSERT_TRUE(doc.ok());
+  DomNode* a = (*doc)->root()->children()[0].get();
+  // dos::node() from a: a itself, b, and the text node.
+  EXPECT_EQ(EvalToTags(a, "dos::node()"), "a b 't' ");
+}
+
+TEST_F(DomEvalTest, EmptyPathYieldsContext) {
+  DomNode* a = doc_->root()->children()[0].get();
+  RelativePath empty;
+  auto result = EvalPath(a, empty);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], a);
+}
+
+}  // namespace
+}  // namespace gcx

@@ -1,0 +1,223 @@
+// Unit tests for the stream projector (src/projection/projector): which
+// nodes enter the buffer, with which roles — the paper's Figs. 3-4 and the
+// preservation rules of Sec. 2.
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "buffer/buffer_tree.h"
+#include "projection/projector.h"
+#include "xml/scanner.h"
+#include "xq/normalize.h"
+#include "xq/parser.h"
+
+namespace gcx {
+namespace {
+
+struct Projected {
+  SymbolTable tags;
+  BufferTree buffer;
+  ProjectorStats stats;
+  AnalyzedQuery analyzed;
+};
+
+/// Runs the projector to end-of-stream (no evaluator, no GC triggers) and
+/// returns the resulting buffer.
+std::unique_ptr<Projected> Project(std::string_view query_text,
+                                   std::string_view xml, bool optimize) {
+  auto parsed = ParseQuery(query_text);
+  GCX_CHECK(parsed.ok());
+  Query query = std::move(parsed).value();
+  NormalizeOptions norm;
+  norm.early_updates = false;
+  GCX_CHECK(Normalize(&query, norm).ok());
+  AnalysisOptions options;
+  options.aggregate_roles = optimize;
+  options.eliminate_redundant_roles = optimize;
+  auto analyzed = Analyze(std::move(query), options);
+  GCX_CHECK(analyzed.ok());
+
+  auto out = std::make_unique<Projected>();
+  out->analyzed = std::move(analyzed).value();
+  XmlScanner scanner(std::make_unique<StringSource>(xml));
+  StreamProjector projector(&out->analyzed.projection, &out->analyzed.roles,
+                            &out->tags, &scanner, &out->buffer);
+  while (true) {
+    auto more = projector.Advance();
+    GCX_CHECK(more.ok());
+    if (!*more) break;
+  }
+  out->stats = projector.stats();
+  return out;
+}
+
+/// Renders the buffer as a flat structure string (tags only, pre-order,
+/// with depth markers), e.g. "(a(b)(c))".
+std::string Shape(const BufferNode* node, const SymbolTable& tags) {
+  std::string out = "(";
+  if (node->is_text) {
+    out += "'" + node->text + "'";
+  } else if (node->parent == nullptr) {
+    out += "/";
+  } else {
+    out += tags.Name(node->tag);
+  }
+  for (const BufferNode* c = node->first_child; c != nullptr;
+       c = c->next_sibling) {
+    out += Shape(c, tags);
+  }
+  out += ")";
+  return out;
+}
+
+TEST(Projector, KeepsOnlyMatchedPaths) {
+  auto p = Project("<r>{ for $x in /a/b return <hit/> }</r>",
+                   "<a><b/><c/><b><d/></b></a>", /*optimize=*/true);
+  // b's match (binding role); c skipped; d below b skipped (no dep).
+  EXPECT_EQ(Shape(p->buffer.root(), p->tags), "(/(a(b)(b)))");
+  EXPECT_EQ(p->stats.elements_kept, 3u);
+  EXPECT_EQ(p->stats.elements_skipped, 2u);
+}
+
+TEST(Projector, DescendantOnlyProjectionDropsAncestors) {
+  // Sec. 2: "when projecting for //b … we only preserve node n4" — unlike
+  // Galax-style projection, ancestors of matches are not kept.
+  auto p = Project("<r>{ for $x in //b return <hit/> }</r>",
+                   "<a><c/><d><b/></d><a/></a>", /*optimize=*/true);
+  EXPECT_EQ(Shape(p->buffer.root(), p->tags), "(/(b))");
+}
+
+TEST(Projector, AntiPromotionKeepsIntermediateNodes) {
+  // Fig. 4 / Example 2: projecting /a/b and /a//b simultaneously over
+  // <a><a><b/></a><b/></a> must keep the inner a (role-less), or the deep b
+  // would be promoted into a false /a/b match.
+  auto p = Project(
+      "<r>{ for $x in /a return ($x/b, for $y in $x//b return <h/>) }</r>",
+      "<a><a><b/></a><b/></a>", /*optimize=*/true);
+  EXPECT_EQ(Shape(p->buffer.root(), p->tags), "(/(a(a(b))(b)))");
+  // The inner a carries no roles.
+  const BufferNode* outer_a = p->buffer.root()->first_child;
+  const BufferNode* inner_a = outer_a->first_child;
+  EXPECT_TRUE(inner_a->roles.empty());
+}
+
+TEST(Projector, Fig4RoleAssignmentWithMultiplicity) {
+  // Fig. 4(a-c): paths .//a (as $a) and $a//b; document a/a/b/b… — the
+  // first b in document order receives the $b binding role twice.
+  auto p = Project(
+      "<q>{ for $a in //a return <a>{ for $b in $a//b return <b/> }</a> "
+      "}</q>",
+      "<a><a><b><b/></b></a></a>", /*optimize=*/false);
+  const BufferNode* a1 = p->buffer.root()->first_child;
+  const BufferNode* a2 = a1->first_child;
+  const BufferNode* b1 = a2->first_child;
+  const BufferNode* b2 = b1->first_child;
+  RoleId b_binding = 2;  // r1 = $a binding, r2 = $b binding
+  EXPECT_EQ(a1->RoleCount(1), 1u);
+  EXPECT_EQ(a2->RoleCount(1), 1u);
+  EXPECT_EQ(b1->RoleCount(b_binding), 2u);  // matched via both a's
+  EXPECT_EQ(b2->RoleCount(b_binding), 2u);
+}
+
+TEST(Projector, FirstWitnessSuppression) {
+  // exists($x/p): only the first p per context is buffered (Def. 2 / the
+  // paper's n4 "only the first price node … needs to be buffered").
+  auto p = Project(
+      "<r>{ for $x in /a return if (exists($x/p)) then <y/> else () }</r>",
+      "<a><p>1</p><p>2</p><p>3</p></a>", /*optimize=*/true);
+  EXPECT_EQ(Shape(p->buffer.root(), p->tags), "(/(a(p)))");
+}
+
+TEST(Projector, FirstWitnessIsPerContext) {
+  auto p = Project(
+      "<r>{ for $x in /a/b return if (exists($x/p)) then <y/> else () }</r>",
+      "<a><b><p/><p/></b><b><p/></b></a>", /*optimize=*/true);
+  // One p per b.
+  EXPECT_EQ(Shape(p->buffer.root(), p->tags), "(/(a(b(p))(b(p))))");
+}
+
+TEST(Projector, SubtreeDepKeepsEverythingBelow) {
+  auto p = Project("<r>{ for $x in /a/b return $x }</r>",
+                   "<a><b><c>deep</c><d/></b><e><f/></e></a>",
+                   /*optimize=*/true);
+  EXPECT_EQ(Shape(p->buffer.root(), p->tags), "(/(a(b(c('deep'))(d))))");
+}
+
+TEST(Projector, AggregateModeAssignsOneRoleInstance) {
+  auto agg = Project("<r>{ for $x in /a/b return $x }</r>",
+                     "<a><b><c>t</c></b></a>", /*optimize=*/true);
+  const BufferNode* b = agg->buffer.root()->first_child->first_child;
+  EXPECT_EQ(b->roles.size(), 1u);  // one aggregate instance on the root
+  EXPECT_TRUE(b->HasAggregateRole());
+  EXPECT_TRUE(b->first_child->roles.empty());  // covered, not tagged
+
+  auto base = Project("<r>{ for $x in /a/b return $x }</r>",
+                      "<a><b><c>t</c></b></a>", /*optimize=*/false);
+  const BufferNode* b2 = base->buffer.root()->first_child->first_child;
+  // Base scheme (Fig. 2): every node in the subtree carries the dep role;
+  // b itself carries binding + dos-self.
+  EXPECT_GE(b2->roles.size(), 2u);
+  EXPECT_FALSE(b2->first_child->roles.empty());
+}
+
+TEST(Projector, TextRolesForExplicitTextSteps) {
+  auto p = Project("<r>{ for $x in /a return $x/b/text() }</r>",
+                   "<a><b>keep</b><c>drop</c></a>", /*optimize=*/false);
+  EXPECT_EQ(Shape(p->buffer.root(), p->tags), "(/(a(b('keep'))))");
+}
+
+TEST(Projector, WholeDocumentOutputViaRootDep) {
+  auto p = Project("<r>{ $root }</r>", "<a><b>t</b><c/></a>",
+                   /*optimize=*/true);
+  EXPECT_EQ(Shape(p->buffer.root(), p->tags), "(/(a(b('t'))(c)))");
+  EXPECT_TRUE(p->buffer.root()->HasAggregateRole());
+}
+
+TEST(Projector, FastSkipCountsSkippedElements) {
+  auto p = Project("<r>{ for $x in /a/b return <h/> }</r>",
+                   "<a><z><deep><deeper/></deep></z><b/></a>",
+                   /*optimize=*/true);
+  EXPECT_EQ(p->stats.elements_read, 5u);
+  EXPECT_EQ(p->stats.elements_kept, 2u);   // a? a matches the chain node… b
+  EXPECT_EQ(p->stats.elements_skipped, 3u);
+}
+
+TEST(Projector, StatsCountTextNodes) {
+  auto p = Project("<r>{ for $x in /a/b return $x }</r>",
+                   "<a><b>kept</b><c>dropped</c></a>", /*optimize=*/true);
+  EXPECT_EQ(p->stats.text_kept, 1u);
+  EXPECT_EQ(p->stats.text_skipped, 1u);
+}
+
+TEST(Projector, RootIsFinishedAtEndOfDocument) {
+  auto p = Project("<r>{ for $x in /a return <h/> }</r>", "<a/>",
+                   /*optimize=*/true);
+  EXPECT_TRUE(p->buffer.root()->finished);
+}
+
+TEST(Projector, ScannerErrorsPropagate) {
+  auto parsed = ParseQuery("<r>{ for $x in /a return $x }</r>");
+  GCX_CHECK(parsed.ok());
+  Query query = std::move(parsed).value();
+  GCX_CHECK(Normalize(&query).ok());
+  auto analyzed = Analyze(std::move(query));
+  GCX_CHECK(analyzed.ok());
+  SymbolTable tags;
+  BufferTree buffer;
+  XmlScanner scanner(std::make_unique<StringSource>("<a><oops></a>"));
+  StreamProjector projector(&analyzed->projection, &analyzed->roles, &tags,
+                            &scanner, &buffer);
+  Status error = Status::Ok();
+  while (true) {
+    auto more = projector.Advance();
+    if (!more.ok()) {
+      error = more.status();
+      break;
+    }
+    if (!*more) break;
+  }
+  EXPECT_EQ(error.code(), StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace gcx

@@ -1,0 +1,209 @@
+// Unit tests for the streaming XML scanner (src/xml/scanner).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "xml/scanner.h"
+
+namespace gcx {
+namespace {
+
+/// Flattens the event stream into a compact string:
+///   <a …  start, >a  end, 'text'  text.
+Result<std::string> Scan(std::string_view xml, ScannerOptions options = {}) {
+  XmlScanner scanner(std::make_unique<StringSource>(xml), options);
+  std::string out;
+  while (true) {
+    XmlEvent event;
+    GCX_RETURN_IF_ERROR(scanner.Next(&event));
+    switch (event.kind) {
+      case XmlEvent::Kind::kStartElement:
+        out += "<" + event.name + " ";
+        break;
+      case XmlEvent::Kind::kEndElement:
+        out += ">" + event.name + " ";
+        break;
+      case XmlEvent::Kind::kText:
+        out += "'" + event.text + "' ";
+        break;
+      case XmlEvent::Kind::kEndOfDocument:
+        return out;
+    }
+  }
+}
+
+TEST(Scanner, SimpleElement) {
+  EXPECT_EQ(*Scan("<a></a>"), "<a >a ");
+}
+
+TEST(Scanner, SelfClosingEmitsStartAndEnd) {
+  EXPECT_EQ(*Scan("<a/>"), "<a >a ");
+  EXPECT_EQ(*Scan("<a><b/><c/></a>"), "<a <b >b <c >c >a ");
+}
+
+TEST(Scanner, NestedAndText) {
+  EXPECT_EQ(*Scan("<a><b>hi</b>there</a>"), "<a <b 'hi' >b 'there' >a ");
+}
+
+TEST(Scanner, WhitespaceTextSkippedByDefault) {
+  EXPECT_EQ(*Scan("<a>\n  <b/>\n</a>"), "<a <b >b >a ");
+}
+
+TEST(Scanner, WhitespaceTextKeptOnRequest) {
+  ScannerOptions options;
+  options.skip_whitespace_text = false;
+  EXPECT_EQ(*Scan("<a> <b/></a>", options), "<a ' ' <b >b >a ");
+}
+
+TEST(Scanner, AttributesBecomeLeadingSubelements) {
+  EXPECT_EQ(*Scan(R"(<p id="p0" role="x">t</p>)"),
+            "<p <id 'p0' >id <role 'x' >role 't' >p ");
+}
+
+TEST(Scanner, EmptyAttributeValue) {
+  EXPECT_EQ(*Scan(R"(<p id="">t</p>)"), "<p <id >id 't' >p ");
+}
+
+TEST(Scanner, AttributesDiscardedOnRequest) {
+  ScannerOptions options;
+  options.attribute_mode = ScannerOptions::AttributeMode::kDiscard;
+  EXPECT_EQ(*Scan(R"(<p id="p0">t</p>)", options), "<p 't' >p ");
+}
+
+TEST(Scanner, AttributesOnSelfClosingTag) {
+  EXPECT_EQ(*Scan(R"(<p id="p0"/>)"), "<p <id 'p0' >id >p ");
+}
+
+TEST(Scanner, SingleQuotedAttributes) {
+  EXPECT_EQ(*Scan("<p id='p0'/>"), "<p <id 'p0' >id >p ");
+}
+
+TEST(Scanner, PredefinedEntities) {
+  EXPECT_EQ(*Scan("<a>&lt;&gt;&amp;&apos;&quot;</a>"), "<a '<>&'\"' >a ");
+}
+
+TEST(Scanner, NumericCharacterReferences) {
+  EXPECT_EQ(*Scan("<a>&#65;&#x42;</a>"), "<a 'AB' >a ");
+}
+
+TEST(Scanner, Utf8CharacterReference) {
+  EXPECT_EQ(*Scan("<a>&#xE9;</a>"), "<a '\xC3\xA9' >a ");  // é
+}
+
+TEST(Scanner, EntityInAttributeValue) {
+  EXPECT_EQ(*Scan(R"(<a t="x&amp;y"/>)"), "<a <t 'x&y' >t >a ");
+}
+
+TEST(Scanner, CommentsSkipped) {
+  EXPECT_EQ(*Scan("<a><!-- hi --><b/><!----></a>"), "<a <b >b >a ");
+}
+
+TEST(Scanner, CommentWithDashes) {
+  EXPECT_EQ(*Scan("<a><!-- a - b -- ->x --><b/></a>"), "<a <b >b >a ");
+}
+
+TEST(Scanner, ProcessingInstructionSkipped) {
+  EXPECT_EQ(*Scan("<?xml version=\"1.0\"?><a/>"), "<a >a ");
+  EXPECT_EQ(*Scan("<a><?target data?></a>"), "<a >a ");
+}
+
+TEST(Scanner, DoctypeSkipped) {
+  EXPECT_EQ(*Scan("<!DOCTYPE a SYSTEM \"a.dtd\"><a/>"), "<a >a ");
+  EXPECT_EQ(*Scan("<!DOCTYPE a [<!ELEMENT a EMPTY>]><a/>"), "<a >a ");
+}
+
+TEST(Scanner, Cdata) {
+  EXPECT_EQ(*Scan("<a><![CDATA[<not> &markup;]]></a>"),
+            "<a '<not> &markup;' >a ");
+}
+
+TEST(Scanner, CdataWithBrackets) {
+  EXPECT_EQ(*Scan("<a><![CDATA[x]]]></a>"), "<a 'x]' >a ");
+}
+
+TEST(Scanner, EmptyCdataProducesNoEvent) {
+  EXPECT_EQ(*Scan("<a><![CDATA[]]></a>"), "<a >a ");
+}
+
+TEST(Scanner, LeadingAndTrailingWhitespaceOutsideRoot) {
+  EXPECT_EQ(*Scan("  \n<a/>\n  "), "<a >a ");
+}
+
+TEST(Scanner, BytesConsumedTracksInput) {
+  std::string xml = "<a><b>text</b></a>";
+  XmlScanner scanner(std::make_unique<StringSource>(xml));
+  XmlEvent event;
+  do {
+    ASSERT_TRUE(scanner.Next(&event).ok());
+  } while (event.kind != XmlEvent::Kind::kEndOfDocument);
+  EXPECT_EQ(scanner.bytes_consumed(), xml.size());
+}
+
+TEST(Scanner, IstreamSource) {
+  std::istringstream stream("<a><b/></a>");
+  XmlScanner scanner(std::make_unique<IstreamSource>(&stream));
+  XmlEvent event;
+  ASSERT_TRUE(scanner.Next(&event).ok());
+  EXPECT_EQ(event.kind, XmlEvent::Kind::kStartElement);
+  EXPECT_EQ(event.name, "a");
+}
+
+// --- malformed inputs (parameterized) -----------------------------------------
+
+struct BadInput {
+  const char* label;
+  const char* xml;
+};
+
+class ScannerErrorTest : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(ScannerErrorTest, Rejects) {
+  auto result = Scan(GetParam().xml);
+  EXPECT_FALSE(result.ok()) << GetParam().label;
+  if (!result.ok()) {
+    EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, ScannerErrorTest,
+    ::testing::Values(
+        BadInput{"empty", ""},
+        BadInput{"whitespace_only", "   "},
+        BadInput{"unclosed_root", "<a>"},
+        BadInput{"unclosed_nested", "<a><b></a>"},
+        BadInput{"mismatched", "<a></b>"},
+        BadInput{"stray_close", "</a>"},
+        BadInput{"two_roots", "<a/><b/>"},
+        BadInput{"text_outside_root", "<a/>junk"},
+        BadInput{"text_before_root", "junk<a/>"},
+        BadInput{"bad_entity", "<a>&nosuch;</a>"},
+        BadInput{"unterminated_entity", "<a>&amp"},
+        BadInput{"entity_too_long", "<a>&waytoolongentity;</a>"},
+        BadInput{"bad_char_ref", "<a>&#xZZ;</a>"},
+        BadInput{"char_ref_out_of_range", "<a>&#x110000;</a>"},
+        BadInput{"attr_missing_eq", "<a b\"v\"/>"},
+        BadInput{"attr_missing_quote", "<a b=v/>"},
+        BadInput{"attr_unterminated", "<a b=\"v/>"},
+        BadInput{"unterminated_comment", "<a><!-- x</a>"},
+        BadInput{"unterminated_cdata", "<a><![CDATA[x</a>"},
+        BadInput{"unterminated_pi", "<a><?pi x</a>"},
+        BadInput{"unterminated_doctype", "<!DOCTYPE a <a/>"},
+        BadInput{"bad_name", "<1a/>"},
+        BadInput{"lone_lt", "<a>< b</a>"}),
+    [](const ::testing::TestParamInfo<BadInput>& info) {
+      return info.param.label;
+    });
+
+TEST(Scanner, ErrorReportsLineNumber) {
+  auto result = Scan("<a>\n\n<b></c>\n</a>");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos)
+      << result.status().ToString();
+}
+
+}  // namespace
+}  // namespace gcx

@@ -1,0 +1,108 @@
+// End-to-end smoke tests: the paper's introduction query and the XMark
+// workload, differentially checked against the NaiveDom oracle across all
+// engine configurations.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/engine.h"
+#include "xmark/generator.h"
+#include "xmark/queries.h"
+
+namespace gcx {
+namespace {
+
+// The introduction's example query: children of bib without a price, then
+// all book titles.
+constexpr std::string_view kIntroQuery = R"q(
+<r>{
+  for $bib in /bib return
+    ((for $x in $bib/* return
+        if (not(exists($x/price))) then $x else ()),
+     (for $b in $bib/book return $b/title))
+}</r>)q";
+
+constexpr std::string_view kIntroDoc =
+    "<bib>"
+    "<book><title>T1</title><author>A1</author></book>"
+    "<cd><title>T2</title><price>10</price></cd>"
+    "<book><title>T3</title><price>5</price></book>"
+    "</bib>";
+
+std::string RunWith(const EngineOptions& options, std::string_view query,
+                    std::string_view doc, ExecStats* stats_out = nullptr) {
+  auto compiled = CompiledQuery::Compile(query, options);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  if (!compiled.ok()) return "<compile error>";
+  Engine engine;
+  std::ostringstream out;
+  auto stats = engine.Execute(*compiled, doc, &out);
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  if (stats.ok() && stats_out != nullptr) *stats_out = *stats;
+  return out.str();
+}
+
+TEST(Smoke, IntroQueryGcx) {
+  std::string out = RunWith(EngineOptions{}, kIntroQuery, kIntroDoc);
+  EXPECT_EQ(out,
+            "<r>"
+            "<book><title>T1</title><author>A1</author></book>"
+            "<title>T1</title><title>T3</title>"
+            "</r>");
+}
+
+TEST(Smoke, IntroQueryNaiveDomAgrees) {
+  EngineOptions naive;
+  naive.mode = EngineMode::kNaiveDom;
+  EXPECT_EQ(RunWith(naive, kIntroQuery, kIntroDoc),
+            RunWith(EngineOptions{}, kIntroQuery, kIntroDoc));
+}
+
+TEST(Smoke, AllConfigurationsAgreeOnIntro) {
+  EngineOptions naive;
+  naive.mode = EngineMode::kNaiveDom;
+  std::string expected = RunWith(naive, kIntroQuery, kIntroDoc);
+  for (bool gc : {true, false}) {
+    for (bool agg : {true, false}) {
+      for (bool rre : {true, false}) {
+        for (bool early : {true, false}) {
+          EngineOptions options;
+          options.enable_gc = gc;
+          options.aggregate_roles = agg;
+          options.eliminate_redundant_roles = rre;
+          options.early_updates = early;
+          EXPECT_EQ(RunWith(options, kIntroQuery, kIntroDoc), expected)
+              << "gc=" << gc << " agg=" << agg << " rre=" << rre
+              << " early=" << early;
+        }
+      }
+    }
+  }
+}
+
+TEST(Smoke, XMarkQueriesAgreeWithOracle) {
+  std::string doc = GenerateXMark(XMarkOptions{0.05, 7});
+  EngineOptions naive;
+  naive.mode = EngineMode::kNaiveDom;
+  for (const NamedQuery& query : AllXMarkQueries()) {
+    std::string expected = RunWith(naive, query.text, doc);
+    std::string actual = RunWith(EngineOptions{}, query.text, doc);
+    EXPECT_EQ(actual, expected) << query.name;
+  }
+}
+
+TEST(Smoke, GcReducesPeakMemory) {
+  std::string doc = GenerateXMark(XMarkOptions{0.2, 7});
+  ExecStats with_gc;
+  ExecStats without_gc;
+  EngineOptions on;
+  EngineOptions off;
+  off.enable_gc = false;
+  RunWith(on, XMarkQ1(), doc, &with_gc);
+  RunWith(off, XMarkQ1(), doc, &without_gc);
+  EXPECT_LT(with_gc.peak_bytes, without_gc.peak_bytes);
+}
+
+}  // namespace
+}  // namespace gcx

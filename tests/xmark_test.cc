@@ -1,0 +1,167 @@
+// Tests for the XMark workload substrate (src/xmark): generator
+// determinism, document well-formedness and shape, query compilation and
+// expected result structure.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/engine.h"
+#include "xml/dom.h"
+#include "xpath/dom_eval.h"
+#include "xmark/generator.h"
+#include "xmark/queries.h"
+
+namespace gcx {
+namespace {
+
+TEST(XMarkGenerator, DeterministicInSeedAndFactor) {
+  EXPECT_EQ(GenerateXMark(XMarkOptions{0.1, 1}),
+            GenerateXMark(XMarkOptions{0.1, 1}));
+  EXPECT_NE(GenerateXMark(XMarkOptions{0.1, 1}),
+            GenerateXMark(XMarkOptions{0.1, 2}));
+}
+
+TEST(XMarkGenerator, SizeScalesRoughlyLinearly) {
+  size_t s1 = GenerateXMark(XMarkOptions{0.5, 42}).size();
+  size_t s2 = GenerateXMark(XMarkOptions{1.0, 42}).size();
+  size_t s4 = GenerateXMark(XMarkOptions{2.0, 42}).size();
+  EXPECT_GT(s2, s1 * 17 / 10);
+  EXPECT_LT(s2, s1 * 23 / 10);
+  EXPECT_GT(s4, s2 * 17 / 10);
+  EXPECT_LT(s4, s2 * 23 / 10);
+  // Factor 1.0 ≈ 1 MB ± 50%.
+  EXPECT_GT(s2, 500u * 1024);
+  EXPECT_LT(s2, 1500u * 1024);
+}
+
+TEST(XMarkGenerator, ShapeForFactorMatchesDocument) {
+  XMarkShape shape = ShapeForFactor(0.2);
+  std::string doc_text = GenerateXMark(XMarkOptions{0.2, 42});
+  auto doc = ParseDom(doc_text);
+  ASSERT_TRUE(doc.ok());
+  auto count = [&](const char* path) {
+    auto parsed = ParsePath(path);
+    GCX_CHECK(parsed.ok());
+    return EvalPath((*doc)->root(), *parsed).size();
+  };
+  EXPECT_EQ(count("site/people/person"), shape.people);
+  EXPECT_EQ(count("site/regions/australia/item"), shape.items_per_region);
+  // Note: closed_auction itemrefs also contain <item> subelements (the
+  // attribute→subelement conversion), so the region scope matters.
+  EXPECT_EQ(count("site/regions//item"), shape.items_per_region * 6);
+  EXPECT_EQ(count("site/closed_auctions/closed_auction"),
+            shape.closed_auctions);
+  EXPECT_EQ(count("site/open_auctions/open_auction"), shape.open_auctions);
+  EXPECT_EQ(count("site/categories/category"), shape.categories);
+}
+
+TEST(XMarkGenerator, DocumentIsWellFormed) {
+  auto doc = ParseDom(GenerateXMark(XMarkOptions{0.3, 7}));
+  EXPECT_TRUE(doc.ok());
+}
+
+TEST(XMarkGenerator, PersonsHaveQ1AndQ20Fields) {
+  auto doc = ParseDom(GenerateXMark(XMarkOptions{0.3, 7}));
+  ASSERT_TRUE(doc.ok());
+  auto ids = EvalPath((*doc)->root(), *ParsePath("site/people/person/id"));
+  ASSERT_FALSE(ids.empty());
+  EXPECT_EQ(ids[0]->StringValue(), "person0");
+  auto incomes =
+      EvalPath((*doc)->root(), *ParsePath("site/people/person/profile/income"));
+  auto persons = EvalPath((*doc)->root(), *ParsePath("site/people/person"));
+  // ~85% of people have an income (Q20 needs a non-empty "na" bucket too).
+  EXPECT_GT(incomes.size(), persons.size() / 2);
+  EXPECT_LT(incomes.size(), persons.size());
+}
+
+TEST(XMarkQueries, AllCompileUnderEveryConfiguration) {
+  for (const NamedQuery& query : AllXMarkQueries()) {
+    for (int mask = 0; mask < 8; ++mask) {
+      EngineOptions options;
+      options.aggregate_roles = (mask & 1) != 0;
+      options.eliminate_redundant_roles = (mask & 2) != 0;
+      options.early_updates = (mask & 4) != 0;
+      auto compiled = CompiledQuery::Compile(query.text, options);
+      EXPECT_TRUE(compiled.ok())
+          << query.name << ": " << compiled.status().ToString();
+    }
+  }
+}
+
+std::string RunXMark(std::string_view query, const std::string& doc,
+                     ExecStats* stats = nullptr) {
+  auto compiled = CompiledQuery::Compile(query);
+  GCX_CHECK(compiled.ok());
+  Engine engine;
+  std::ostringstream out;
+  auto result = engine.Execute(*compiled, doc, &out);
+  GCX_CHECK(result.ok());
+  if (stats != nullptr) *stats = *result;
+  return out.str();
+}
+
+TEST(XMarkQueries, Q1FindsExactlyPerson0) {
+  std::string doc = GenerateXMark(XMarkOptions{0.1, 42});
+  std::string out = RunXMark(XMarkQ1(), doc);
+  // Exactly one <name> in the result.
+  size_t first = out.find("<name>");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(out.find("<name>", first + 1), std::string::npos);
+}
+
+TEST(XMarkQueries, Q6OutputsAllItems) {
+  std::string doc = GenerateXMark(XMarkOptions{0.1, 42});
+  XMarkShape shape = ShapeForFactor(0.1);
+  std::string out = RunXMark(XMarkQ6(), doc);
+  size_t items = 0;
+  for (size_t pos = out.find("<item>"); pos != std::string::npos;
+       pos = out.find("<item>", pos + 1)) {
+    ++items;
+  }
+  EXPECT_EQ(items, shape.items_per_region * 6);
+}
+
+TEST(XMarkQueries, Q13OutputsAustralianItems) {
+  std::string doc = GenerateXMark(XMarkOptions{0.1, 42});
+  XMarkShape shape = ShapeForFactor(0.1);
+  std::string out = RunXMark(XMarkQ13(), doc);
+  size_t names = 0;
+  for (size_t pos = out.find("<name>"); pos != std::string::npos;
+       pos = out.find("<name>", pos + 1)) {
+    ++names;
+  }
+  EXPECT_EQ(names, shape.items_per_region);
+}
+
+TEST(XMarkQueries, Q20ClassifiesEveryPersonOnce) {
+  std::string doc = GenerateXMark(XMarkOptions{0.1, 42});
+  XMarkShape shape = ShapeForFactor(0.1);
+  std::string out = RunXMark(XMarkQ20(), doc);
+  size_t buckets = 0;
+  for (const char* open : {"<preferred>", "<standard>", "<challenge>", "<na>"}) {
+    for (size_t pos = out.find(open); pos != std::string::npos;
+         pos = out.find(open, pos + 1)) {
+      ++buckets;
+    }
+  }
+  EXPECT_EQ(buckets, shape.people);
+}
+
+TEST(XMarkQueries, Q8JoinMemoryGrowsWithDocument) {
+  // The join buffers people + closed auctions: peak grows with size
+  // (Table 1's Q8 row), unlike Q1 (constant).
+  std::string small = GenerateXMark(XMarkOptions{0.2, 42});
+  std::string large = GenerateXMark(XMarkOptions{0.8, 42});
+  ExecStats q8_small, q8_large, q1_small, q1_large;
+  RunXMark(XMarkQ8(), small, &q8_small);
+  RunXMark(XMarkQ8(), large, &q8_large);
+  RunXMark(XMarkQ1(), small, &q1_small);
+  RunXMark(XMarkQ1(), large, &q1_large);
+  EXPECT_GT(q8_large.buffer.bytes_peak, 2 * q8_small.buffer.bytes_peak);
+  // Q1 peak is essentially flat (allow 50% slack for role-vector noise).
+  EXPECT_LT(q1_large.buffer.bytes_peak, q1_small.buffer.bytes_peak * 3 / 2);
+}
+
+}  // namespace
+}  // namespace gcx

@@ -1,0 +1,181 @@
+// Unit tests for the XML writer and DOM (src/xml/writer, src/xml/dom),
+// including document projection Π_S(T) from Def. 1 / Fig. 3 of the paper.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "xml/dom.h"
+#include "xml/writer.h"
+#include "xpath/dom_eval.h"
+
+namespace gcx {
+namespace {
+
+// --- writer -------------------------------------------------------------------
+
+TEST(Writer, BalancedElements) {
+  std::ostringstream out;
+  XmlWriter writer(&out);
+  writer.StartElement("a");
+  writer.StartElement("b");
+  writer.Text("x<y&z>");
+  writer.EndElement("b");
+  writer.EndElement("a");
+  EXPECT_EQ(out.str(), "<a><b>x&lt;y&amp;z&gt;</b></a>");
+  EXPECT_EQ(writer.depth(), 0u);
+}
+
+TEST(Writer, TracksDepthAndBytes) {
+  std::ostringstream out;
+  XmlWriter writer(&out);
+  writer.StartElement("a");
+  EXPECT_EQ(writer.depth(), 1u);
+  writer.EndElement("a");
+  EXPECT_EQ(writer.bytes_written(), out.str().size());
+}
+
+TEST(Writer, EscapeText) {
+  EXPECT_EQ(EscapeText("a&b<c>d"), "a&amp;b&lt;c&gt;d");
+  EXPECT_EQ(EscapeText(""), "");
+  EXPECT_EQ(EscapeText("plain"), "plain");
+}
+
+// --- DOM -----------------------------------------------------------------------
+
+TEST(Dom, ParseAndSerializeRoundTrip) {
+  const std::string xml = "<a><b>hi</b><c><d>x</d></c></a>";
+  auto doc = ParseDom(xml);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->Serialize(), xml);
+}
+
+TEST(Dom, EscapingSurvivesRoundTrip) {
+  auto doc = ParseDom("<a>x&amp;y&lt;z</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->Serialize(), "<a>x&amp;y&lt;z</a>");
+}
+
+TEST(Dom, VirtualRootWrapsDocument) {
+  auto doc = ParseDom("<a/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->root()->tag(), "#root");
+  ASSERT_EQ((*doc)->root()->children().size(), 1u);
+  EXPECT_EQ((*doc)->root()->children()[0]->tag(), "a");
+}
+
+TEST(Dom, StringValueConcatenatesDescendantText) {
+  auto doc = ParseDom("<a>1<b>2<c>3</c></b>4</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->root()->StringValue(), "1234");
+}
+
+TEST(Dom, SubtreeSizeCountsNodes) {
+  auto doc = ParseDom("<a><b>t</b><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  // #root, a, b, text, c
+  EXPECT_EQ((*doc)->root()->SubtreeSize(), 5u);
+}
+
+TEST(Dom, VisitIsPreOrder) {
+  auto doc = ParseDom("<a><b><c/></b><d/></a>");
+  ASSERT_TRUE(doc.ok());
+  std::string order;
+  (*doc)->root()->Visit([&](DomNode* n) {
+    if (!n->is_text()) order += n->tag() + " ";
+  });
+  EXPECT_EQ(order, "#root a b c d ");
+}
+
+TEST(Dom, ParseRejectsMalformed) {
+  EXPECT_FALSE(ParseDom("<a><b></a>").ok());
+}
+
+// --- document projection (Def. 1, Fig. 3) ----------------------------------------
+
+// Fig. 3's tree T: a(root n1) with children c(n2), d(n3); d has child b(n4);
+// then a(n5) following d.
+std::unique_ptr<DomDocument> Fig3Tree() {
+  auto doc = ParseDom("<a><c/><d><b/></d><a/></a>");
+  GCX_CHECK(doc.ok());
+  return std::move(*doc);
+}
+
+const DomNode* NthElement(const DomDocument& doc, int n) {
+  // Document-order element index (0 = document element).
+  const DomNode* found = nullptr;
+  int i = 0;
+  const_cast<DomDocument&>(doc).root()->Visit([&](DomNode* node) {
+    if (node->is_text() || node->tag() == "#root") return;
+    if (i++ == n) found = node;
+  });
+  return found;
+}
+
+TEST(Projection, Fig3KeepN1N4N5) {
+  auto doc = Fig3Tree();
+  // Π_{n1,n4,n5}(T): b is promoted to a child of the root a; the second a
+  // stays a following sibling of b.
+  std::unordered_set<const DomNode*> keep = {
+      NthElement(*doc, 0),  // n1: a
+      NthElement(*doc, 3),  // n4: b
+      NthElement(*doc, 4),  // n5: a
+  };
+  auto projected = ProjectDocument(*doc, keep);
+  EXPECT_EQ(projected->Serialize(), "<a><b></b><a></a></a>");
+}
+
+TEST(Projection, Fig3KeepN1N3N4) {
+  auto doc = Fig3Tree();
+  // Π_{n1,n3,n4}(T): d keeps its child b; c and the trailing a disappear.
+  std::unordered_set<const DomNode*> keep = {
+      NthElement(*doc, 0),  // n1: a
+      NthElement(*doc, 2),  // n3: d
+      NthElement(*doc, 3),  // n4: b
+  };
+  auto projected = ProjectDocument(*doc, keep);
+  EXPECT_EQ(projected->Serialize(), "<a><d><b></b></d></a>");
+}
+
+TEST(Projection, EmptyKeepSetYieldsEmptyDocument) {
+  auto doc = Fig3Tree();
+  auto projected = ProjectDocument(*doc, {});
+  EXPECT_EQ(projected->Serialize(), "");
+}
+
+TEST(Projection, KeepEverythingIsIdentity) {
+  auto doc = ParseDom("<a><b>t</b><c><d/></c></a>");
+  ASSERT_TRUE(doc.ok());
+  std::unordered_set<const DomNode*> keep;
+  (*doc)->root()->Visit([&](DomNode* n) { keep.insert(n); });
+  keep.erase((*doc)->root());
+  auto projected = ProjectDocument(**doc, keep);
+  EXPECT_EQ(projected->Serialize(), (*doc)->Serialize());
+}
+
+TEST(Projection, TextNodesCanBeProjected) {
+  auto doc = ParseDom("<a>one<b>two</b></a>");
+  ASSERT_TRUE(doc.ok());
+  // Keep a and b's text only: text promotes to child of a.
+  std::unordered_set<const DomNode*> keep;
+  (*doc)->root()->Visit([&](DomNode* n) {
+    if (n->tag() == "a" || (n->is_text() && n->text() == "two")) keep.insert(n);
+  });
+  auto projected = ProjectDocument(**doc, keep);
+  EXPECT_EQ(projected->Serialize(), "<a>two</a>");
+}
+
+TEST(Projection, PreservesDocumentOrderAcrossPromotions) {
+  auto doc = ParseDom("<r><x><k1/></x><y><k2/></y></r>");
+  ASSERT_TRUE(doc.ok());
+  std::unordered_set<const DomNode*> keep;
+  (*doc)->root()->Visit([&](DomNode* n) {
+    if (n->tag() == "r" || n->tag() == "k1" || n->tag() == "k2") keep.insert(n);
+  });
+  auto projected = ProjectDocument(**doc, keep);
+  EXPECT_EQ(projected->Serialize(), "<r><k1></k1><k2></k2></r>");
+}
+
+}  // namespace
+}  // namespace gcx

@@ -1,0 +1,251 @@
+// Unit tests for the XQ parser and printer (src/xq/parser, src/xq/printer).
+
+#include <gtest/gtest.h>
+
+#include "xq/ast.h"
+#include "xq/parser.h"
+#include "xq/printer.h"
+
+namespace gcx {
+namespace {
+
+Query MustParse(std::string_view text) {
+  auto query = ParseQuery(text);
+  GCX_CHECK(query.ok());
+  return std::move(query).value();
+}
+
+std::string Print(std::string_view text) {
+  return PrintQuery(MustParse(text));
+}
+
+TEST(XqParser, MinimalQuery) {
+  Query q = MustParse("<r>{ () }</r>");
+  ASSERT_EQ(q.body->kind, ExprKind::kElement);
+  EXPECT_EQ(q.body->tag, "r");
+  EXPECT_EQ(q.body->child->kind, ExprKind::kEmpty);
+  EXPECT_EQ(q.var_names.size(), 1u);  // only $root
+}
+
+TEST(XqParser, SelfClosingConstructor) {
+  Query q = MustParse("<r/>");
+  EXPECT_EQ(q.body->kind, ExprKind::kElement);
+  EXPECT_EQ(q.body->child->kind, ExprKind::kEmpty);
+}
+
+TEST(XqParser, NestedConstructorsAndText) {
+  EXPECT_EQ(Print("<r><a>hello</a><b/></r>"),
+            "<r>{(<a>{\"hello\"}</a>, <b>{()}</b>)}</r>");
+}
+
+TEST(XqParser, ForLoopAbsolutePath) {
+  Query q = MustParse("<r>{ for $x in /bib return $x }</r>");
+  const Expr* f = q.body->child.get();
+  ASSERT_EQ(f->kind, ExprKind::kFor);
+  EXPECT_EQ(f->var, kRootVar);
+  EXPECT_EQ(f->path.ToString(), "bib");
+  EXPECT_EQ(q.var_names[static_cast<size_t>(f->loop_var)], "$x");
+  EXPECT_EQ(f->body->kind, ExprKind::kVarRef);
+}
+
+TEST(XqParser, ForLoopRelativeAndMultiStep) {
+  Query q = MustParse(
+      "<r>{ for $x in /a return for $y in $x/b//c return $y/d }</r>");
+  const Expr* outer = q.body->child.get();
+  const Expr* inner = outer->body.get();
+  ASSERT_EQ(inner->kind, ExprKind::kFor);
+  EXPECT_EQ(inner->var, outer->loop_var);
+  EXPECT_EQ(inner->path.ToString(), "b/descendant::c");
+  EXPECT_EQ(inner->body->kind, ExprKind::kPathOutput);
+}
+
+TEST(XqParser, WhereDesugarsToIf) {
+  Query q = MustParse(
+      "<r>{ for $x in /a/b where $x/p = \"1\" return $x }</r>");
+  const Expr* f = q.body->child.get();
+  ASSERT_EQ(f->kind, ExprKind::kFor);
+  ASSERT_EQ(f->body->kind, ExprKind::kIf);
+  EXPECT_EQ(f->body->cond->kind, CondKind::kCompare);
+  EXPECT_EQ(f->body->then_branch->kind, ExprKind::kVarRef);
+  EXPECT_EQ(f->body->else_branch->kind, ExprKind::kEmpty);
+}
+
+TEST(XqParser, IfWithoutElse) {
+  Query q = MustParse("<r>{ if (true()) then <a/> }</r>");
+  const Expr* e = q.body->child.get();
+  ASSERT_EQ(e->kind, ExprKind::kIf);
+  EXPECT_EQ(e->else_branch->kind, ExprKind::kEmpty);
+}
+
+TEST(XqParser, ConditionPrecedenceAndOverOr) {
+  Query q = MustParse(
+      "<r>{ if (true() or true() and true()) then <a/> else () }</r>");
+  // or(true, and(true,true))
+  const Cond* cond = q.body->child->cond.get();
+  ASSERT_EQ(cond->kind, CondKind::kOr);
+  EXPECT_EQ(cond->left->kind, CondKind::kTrue);
+  EXPECT_EQ(cond->right->kind, CondKind::kAnd);
+}
+
+TEST(XqParser, ParenthesizedCondition) {
+  Query q = MustParse(
+      "<r>{ if ((true() or true()) and true()) then <a/> else () }</r>");
+  const Cond* cond = q.body->child->cond.get();
+  ASSERT_EQ(cond->kind, CondKind::kAnd);
+  EXPECT_EQ(cond->left->kind, CondKind::kOr);
+}
+
+TEST(XqParser, ExistsVariants) {
+  for (const char* text :
+       {"<r>{ for $x in /a return if (exists($x/b)) then <y/> else () }</r>",
+        "<r>{ for $x in /a return if (exists $x/b) then <y/> else () }</r>"}) {
+    Query q = MustParse(text);
+    const Cond* cond = q.body->child->body->cond.get();
+    ASSERT_EQ(cond->kind, CondKind::kExists) << text;
+    EXPECT_EQ(cond->lhs.path.ToString(), "b");
+  }
+}
+
+TEST(XqParser, NotCondition) {
+  Query q = MustParse(
+      "<r>{ for $x in /a return if (not(exists($x/b))) then <y/> else () "
+      "}</r>");
+  const Cond* cond = q.body->child->body->cond.get();
+  ASSERT_EQ(cond->kind, CondKind::kNot);
+  EXPECT_EQ(cond->left->kind, CondKind::kExists);
+}
+
+struct RelOpCase {
+  const char* text;
+  RelOp op;
+};
+
+class RelOpParseTest : public ::testing::TestWithParam<RelOpCase> {};
+
+TEST_P(RelOpParseTest, Parses) {
+  std::string query = "<r>{ for $x in /a return if ($x/v " +
+                      std::string(GetParam().text) +
+                      " \"5\") then <y/> else () }</r>";
+  Query q = MustParse(query);
+  const Cond* cond = q.body->child->body->cond.get();
+  ASSERT_EQ(cond->kind, CondKind::kCompare);
+  EXPECT_EQ(cond->op, GetParam().op);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, RelOpParseTest,
+                         ::testing::Values(RelOpCase{"=", RelOp::kEq},
+                                           RelOpCase{"!=", RelOp::kNe},
+                                           RelOpCase{"<", RelOp::kLt},
+                                           RelOpCase{"<=", RelOp::kLe},
+                                           RelOpCase{">", RelOp::kGt},
+                                           RelOpCase{">=", RelOp::kGe}),
+                         [](const auto& info) {
+                           switch (info.param.op) {
+                             case RelOp::kEq: return "eq";
+                             case RelOp::kNe: return "ne";
+                             case RelOp::kLt: return "lt";
+                             case RelOp::kLe: return "le";
+                             case RelOp::kGt: return "gt";
+                             case RelOp::kGe: return "ge";
+                           }
+                           return "x";
+                         });
+
+TEST(XqParser, NumericLiteralOperand) {
+  Query q = MustParse(
+      "<r>{ for $x in /a return if ($x/v >= 100.5) then <y/> else () }</r>");
+  const Cond* cond = q.body->child->body->cond.get();
+  ASSERT_EQ(cond->kind, CondKind::kCompare);
+  EXPECT_TRUE(cond->rhs.is_literal);
+  EXPECT_EQ(cond->rhs.literal, "100.5");
+}
+
+TEST(XqParser, PathToPathComparison) {
+  Query q = MustParse(
+      "<r>{ for $x in /a return for $y in /b return "
+      "if ($x/u = $y/v) then <hit/> else () }</r>");
+  const Cond* cond = q.body->child->body->body->cond.get();
+  ASSERT_EQ(cond->kind, CondKind::kCompare);
+  EXPECT_FALSE(cond->lhs.is_literal);
+  EXPECT_FALSE(cond->rhs.is_literal);
+  EXPECT_NE(cond->lhs.var, cond->rhs.var);
+}
+
+TEST(XqParser, SequencesFlattenSingletons) {
+  Query q = MustParse("<r>{ ($root) }</r>");
+  EXPECT_EQ(q.body->child->kind, ExprKind::kVarRef);
+}
+
+TEST(XqParser, VariableScopingInnermostWins) {
+  // A variable named $x in a nested loop shadows the outer $x.
+  Query q = MustParse(
+      "<r>{ for $x in /a return for $x in $x/b return $x }</r>");
+  const Expr* outer = q.body->child.get();
+  const Expr* inner = outer->body.get();
+  EXPECT_EQ(inner->var, outer->loop_var);       // source resolves to outer $x
+  EXPECT_NE(inner->loop_var, outer->loop_var);  // fresh binding
+  EXPECT_EQ(inner->body->var, inner->loop_var); // body sees the inner one
+}
+
+TEST(XqParser, CommentsAreSkipped) {
+  Query q = MustParse(
+      "<r>{ (: a comment :) for $x in /a (: another :) return $x }</r>");
+  EXPECT_EQ(q.body->child->kind, ExprKind::kFor);
+}
+
+TEST(XqParser, StringLiteralContent) {
+  Query q = MustParse("<r>{ \"hello world\" }</r>");
+  ASSERT_EQ(q.body->child->kind, ExprKind::kTextLiteral);
+  EXPECT_EQ(q.body->child->text, "hello world");
+}
+
+TEST(XqParser, PrinterRoundTrip) {
+  // print(parse(print(parse(q)))) == print(parse(q))
+  for (const char* text :
+       {"<r>{ for $x in /a/b return $x }</r>",
+        "<r>{ if (exists($root/a)) then <x/> else <y/> }</r>",
+        "<r>{ (for $x in /a return $x/b, \"lit\", <k/>) }</r>"}) {
+    std::string once = Print(text);
+    EXPECT_EQ(Print(once), once) << text;
+  }
+}
+
+// --- errors -------------------------------------------------------------------------
+
+struct BadQuery {
+  const char* label;
+  const char* text;
+};
+
+class XqParserErrorTest : public ::testing::TestWithParam<BadQuery> {};
+
+TEST_P(XqParserErrorTest, Rejects) {
+  auto result = ParseQuery(GetParam().text);
+  EXPECT_FALSE(result.ok()) << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, XqParserErrorTest,
+    ::testing::Values(
+        BadQuery{"empty", ""},
+        BadQuery{"no_constructor", "for $x in /a return $x"},
+        BadQuery{"unbound_variable", "<r>{ $nope }</r>"},
+        BadQuery{"for_missing_in", "<r>{ for $x /a return $x }</r>"},
+        BadQuery{"for_missing_return", "<r>{ for $x in /a $x }</r>"},
+        BadQuery{"for_no_step", "<r>{ for $x in $root return $x }</r>"},
+        BadQuery{"if_missing_then", "<r>{ if (true()) <a/> }</r>"},
+        BadQuery{"if_missing_parens", "<r>{ if true() then <a/> }</r>"},
+        BadQuery{"let_unsupported", "<r>{ let $x := /a return $x }</r>"},
+        BadQuery{"mismatched_tags", "<r>{ () }</x>"},
+        BadQuery{"unterminated_brace", "<r>{ ( }</r>"},
+        BadQuery{"trailing_garbage", "<r>{ () }</r> extra"},
+        BadQuery{"bad_operator", "<r>{ if ($root/a ~ \"x\") then <y/> }</r>"},
+        BadQuery{"unterminated_string", "<r>{ \"abc }</r>"},
+        BadQuery{"loop_var_out_of_scope",
+                 "<r>{ (for $x in /a return $x, $x) }</r>"}),
+    [](const ::testing::TestParamInfo<BadQuery>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace gcx

@@ -1,0 +1,245 @@
+// gcx — streaming XQuery processor (command-line front end).
+//
+// Usage:
+//   gcx [options] <query.xq|-q QUERY> [input.xml]
+//
+// Reads the query from a file (or inline via -q), evaluates it over the
+// input document (file or stdin) in streaming mode with active garbage
+// collection, and writes the result to stdout.
+//
+// Options:
+//   -q QUERY          inline query text instead of a query file
+//   -o FILE           write the result to FILE instead of stdout
+//   --explain         print the static analysis (variable tree, roles,
+//                     projection tree, rewritten query) and exit
+//   --stats           print execution statistics to stderr
+//   --trace           dump the buffer after every input token (Fig. 2 style)
+//   --mode=MODE       streaming (default) | project | dom
+//   --no-gc           disable signOff execution and purging
+//   --no-aggregate    disable aggregate roles (Sec. 6)
+//   --no-redundant    disable redundant-role elimination (Sec. 6)
+//   --no-early        disable early updates (Sec. 6)
+//   --keep-ws         keep whitespace-only text nodes
+//   --drop-attributes discard attributes instead of converting them to
+//                     subelements
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/engine.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [options] <query.xq|-q QUERY> [input.xml]\n"
+               "run '"
+            << argv0 << " --help' for options\n";
+  return 2;
+}
+
+void Help(const char* argv0) {
+  std::cout
+      << "gcx — streaming XQuery processor with active garbage collection\n"
+         "\n"
+         "usage: "
+      << argv0
+      << " [options] <query.xq|-q QUERY> [input.xml]\n"
+         "\n"
+         "With no input file (or '-'), the document is read from stdin.\n"
+         "\n"
+         "options:\n"
+         "  -q QUERY          inline query text\n"
+         "  -o FILE           write result to FILE\n"
+         "  --explain         print static analysis and exit\n"
+         "  --project-only    emit the projected document, don't evaluate\n"
+         "  --stats           print execution statistics to stderr\n"
+         "  --trace           dump the buffer after every input token\n"
+         "  --mode=MODE       streaming (default) | project | dom\n"
+         "  --no-gc           disable active garbage collection\n"
+         "  --no-aggregate    disable aggregate roles\n"
+         "  --no-redundant    disable redundant-role elimination\n"
+         "  --no-early        disable early updates\n"
+         "  --keep-ws         keep whitespace-only text\n"
+         "  --drop-attributes discard attributes\n";
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gcx::EngineOptions options;
+  std::string query_text;
+  std::string query_path;
+  std::string input_path;
+  std::string output_path;
+  bool explain = false;
+  bool project_only = false;
+  bool stats_flag = false;
+  bool trace = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      Help(argv[0]);
+      return 0;
+    } else if (arg == "-q") {
+      if (++i >= argc) return Usage(argv[0]);
+      query_text = argv[i];
+    } else if (arg == "-o") {
+      if (++i >= argc) return Usage(argv[0]);
+      output_path = argv[i];
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--project-only") {
+      project_only = true;
+    } else if (arg == "--stats") {
+      stats_flag = true;
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--no-gc") {
+      options.enable_gc = false;
+    } else if (arg == "--no-aggregate") {
+      options.aggregate_roles = false;
+    } else if (arg == "--no-redundant") {
+      options.eliminate_redundant_roles = false;
+    } else if (arg == "--no-early") {
+      options.early_updates = false;
+    } else if (arg == "--keep-ws") {
+      options.scanner.skip_whitespace_text = false;
+    } else if (arg == "--drop-attributes") {
+      options.scanner.attribute_mode =
+          gcx::ScannerOptions::AttributeMode::kDiscard;
+    } else if (arg.rfind("--mode=", 0) == 0) {
+      std::string mode = arg.substr(7);
+      if (mode == "streaming") {
+        options.mode = gcx::EngineMode::kStreaming;
+      } else if (mode == "project") {
+        options.mode = gcx::EngineMode::kMaterializedProjection;
+      } else if (mode == "dom") {
+        options.mode = gcx::EngineMode::kNaiveDom;
+      } else {
+        std::cerr << "unknown mode '" << mode << "'\n";
+        return 2;
+      }
+    } else if (arg.rfind("-", 0) == 0 && arg != "-") {
+      std::cerr << "unknown option '" << arg << "'\n";
+      return Usage(argv[0]);
+    } else if (query_text.empty() && query_path.empty()) {
+      query_path = arg;
+    } else if (input_path.empty()) {
+      input_path = arg;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  if (query_text.empty() && query_path.empty()) return Usage(argv[0]);
+  if (!query_path.empty() && !ReadFile(query_path, &query_text)) {
+    std::cerr << "cannot read query file '" << query_path << "'\n";
+    return 1;
+  }
+
+  auto compiled = gcx::CompiledQuery::Compile(query_text, options);
+  if (!compiled.ok()) {
+    std::cerr << "compile error: " << compiled.status().ToString() << "\n";
+    return 1;
+  }
+  if (explain) {
+    std::cout << compiled->Explain();
+    return 0;
+  }
+
+  // Input source: file (streamed) or stdin.
+  std::unique_ptr<gcx::ByteSource> source;
+  std::ifstream input_file;
+  if (input_path.empty() || input_path == "-") {
+    source = std::make_unique<gcx::IstreamSource>(&std::cin);
+  } else {
+    input_file.open(input_path, std::ios::binary);
+    if (!input_file) {
+      std::cerr << "cannot read input file '" << input_path << "'\n";
+      return 1;
+    }
+    source = std::make_unique<gcx::IstreamSource>(&input_file);
+  }
+
+  std::ofstream output_file;
+  std::ostream* out = &std::cout;
+  if (!output_path.empty()) {
+    output_file.open(output_path, std::ios::binary);
+    if (!output_file) {
+      std::cerr << "cannot write output file '" << output_path << "'\n";
+      return 1;
+    }
+    out = &output_file;
+  }
+
+  gcx::Engine engine;
+  if (trace) {
+    engine.set_trace([](const gcx::XmlEvent& event,
+                        const gcx::BufferTree& buffer,
+                        const gcx::SymbolTable& tags) {
+      std::cerr << "-- ";
+      switch (event.kind) {
+        case gcx::XmlEvent::Kind::kStartElement:
+          std::cerr << "<" << event.name << ">";
+          break;
+        case gcx::XmlEvent::Kind::kEndElement:
+          std::cerr << "</" << event.name << ">";
+          break;
+        case gcx::XmlEvent::Kind::kText:
+          std::cerr << "text(" << event.text.size() << " bytes)";
+          break;
+        case gcx::XmlEvent::Kind::kEndOfDocument:
+          std::cerr << "end-of-document";
+          break;
+      }
+      std::cerr << "\n" << buffer.Dump(tags);
+    });
+  }
+
+  gcx::Result<gcx::ExecStats> stats = gcx::EvalError("unreachable");
+  if (project_only) {
+    // Materialize the whole input (projection needs a string view here).
+    std::string document;
+    char chunk[1 << 16];
+    while (size_t n = source->Read(chunk, sizeof(chunk))) {
+      document.append(chunk, n);
+    }
+    stats = engine.Project(*compiled, document, out);
+  } else {
+    stats = engine.Execute(*compiled, std::move(source), out);
+  }
+  if (!stats.ok()) {
+    std::cerr << "error: " << stats.status().ToString() << "\n";
+    return 1;
+  }
+  *out << "\n";
+
+  if (stats_flag) {
+    std::cerr << "input bytes:       " << stats->input_bytes << "\n"
+              << "output bytes:      " << stats->output_bytes << "\n"
+              << "wall time:         " << stats->wall_seconds << " s\n"
+              << "peak buffer bytes: " << stats->peak_bytes << "\n"
+              << "peak buffer nodes: " << stats->buffer.nodes_peak << "\n"
+              << "nodes buffered:    " << stats->buffer.nodes_created << "\n"
+              << "nodes purged:      " << stats->buffer.nodes_purged << "\n"
+              << "roles assigned:    " << stats->buffer.roles_assigned << "\n"
+              << "roles removed:     " << stats->buffer.roles_removed << "\n"
+              << "GC runs:           " << stats->buffer.gc_runs << "\n"
+              << "DFA states:        " << stats->dfa_states << "\n";
+  }
+  return 0;
+}
