@@ -11,6 +11,8 @@
 // instances assigned, GC runs.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 

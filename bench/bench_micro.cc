@@ -13,6 +13,11 @@
 #include "xq/normalize.h"
 #include "xq/parser.h"
 
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
 namespace {
 
 using namespace gcx;

@@ -6,8 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 
 #include "bench_util.h"
 

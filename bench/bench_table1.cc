@@ -18,11 +18,68 @@
 // reproduced result.
 //
 // GCX_BENCH_SCALE=N multiplies the document sizes.
+// GCX_BENCH_JSON=path overrides where the machine-readable results land
+// (default: BENCH_table1.json in the working directory). The JSON is a flat
+// array of cells — one object per (query, size, engine) — so the perf
+// trajectory across PRs can be diffed and plotted without parsing the table.
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
+
+namespace {
+
+struct JsonCell {
+  std::string query;
+  uint64_t document_bytes = 0;
+  std::string engine;
+  gcx::ExecStats stats;
+};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void WriteJson(const std::string& path, const std::vector<JsonCell>& cells) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const JsonCell& c = cells[i];
+    std::fprintf(f,
+                 "  {\"query\": \"%s\", \"document_bytes\": %llu, "
+                 "\"engine\": \"%s\", \"wall_seconds\": %.6f, "
+                 "\"peak_bytes\": %llu, \"output_bytes\": %llu, "
+                 "\"buffer_nodes_peak\": %llu, \"nodes_purged\": %llu, "
+                 "\"gc_runs\": %llu}%s\n",
+                 JsonEscape(c.query).c_str(),
+                 static_cast<unsigned long long>(c.document_bytes),
+                 JsonEscape(c.engine).c_str(), c.stats.wall_seconds,
+                 static_cast<unsigned long long>(c.stats.peak_bytes),
+                 static_cast<unsigned long long>(c.stats.output_bytes),
+                 static_cast<unsigned long long>(c.stats.buffer.nodes_peak),
+                 static_cast<unsigned long long>(c.stats.buffer.nodes_purged),
+                 static_cast<unsigned long long>(c.stats.buffer.gc_runs),
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s (%zu cells)\n", path.c_str(), cells.size());
+}
+
+}  // namespace
 
 int main() {
   using namespace gcx;
@@ -32,6 +89,7 @@ int main() {
   for (double& f : factors) f *= BenchScale();
 
   std::vector<EngineConfig> engines = Table1Engines();
+  std::vector<JsonCell> cells;
 
   std::printf("Table 1 — time / peak buffer memory (shape reproduction)\n");
   std::printf("%-6s %-9s", "Query", "Size");
@@ -50,10 +108,14 @@ int main() {
         ExecStats stats = RunCell(query.text, doc, engine.options);
         std::printf(" | %8s / %-9s", HumanSeconds(stats.wall_seconds).c_str(),
                     HumanBytes(stats.peak_bytes).c_str());
+        cells.push_back({query.name, doc.size(), engine.name, stats});
       }
       std::printf("\n");
       std::fflush(stdout);
     }
   }
+
+  const char* json_path = std::getenv("GCX_BENCH_JSON");
+  WriteJson(json_path != nullptr ? json_path : "BENCH_table1.json", cells);
   return 0;
 }

@@ -3,11 +3,14 @@
 #ifndef GCX_BENCH_BENCH_UTIL_H_
 #define GCX_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/engine.h"
 #include "xmark/generator.h"
@@ -32,25 +35,12 @@ inline double BenchScale() {
 }
 
 /// Engine configurations benchmarked against each other (the paper's
-/// Table 1 column set, re-expressed with our re-implemented baselines).
-struct EngineConfig {
-  const char* name;
-  EngineOptions options;
-};
+/// Table 1 column set) — the standard set from the public API, shared with
+/// the conformance suite.
+using EngineConfig = NamedEngineConfig;
 
 inline std::vector<EngineConfig> Table1Engines() {
-  std::vector<EngineConfig> out;
-  out.push_back({"GCX", {}});
-  EngineOptions no_gc;
-  no_gc.enable_gc = false;
-  out.push_back({"GCX-noGC", no_gc});
-  EngineOptions projection;
-  projection.mode = EngineMode::kMaterializedProjection;
-  out.push_back({"Projection", projection});
-  EngineOptions naive;
-  naive.mode = EngineMode::kNaiveDom;
-  out.push_back({"NaiveDom", naive});
-  return out;
+  return StandardEngineConfigs();
 }
 
 /// Runs one (query, document, config) cell; aborts on error (benchmarks

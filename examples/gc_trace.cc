@@ -14,6 +14,7 @@
 
 #include <iostream>
 #include <sstream>
+#include <string_view>
 
 #include "core/engine.h"
 

@@ -7,6 +7,7 @@
 
 #include <iostream>
 #include <sstream>
+#include <string_view>
 
 #include "core/engine.h"
 

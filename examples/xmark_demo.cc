@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <ostream>
 #include <string>
+#include <string_view>
 
 #include "core/engine.h"
 #include "xmark/generator.h"

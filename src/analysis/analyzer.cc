@@ -1,7 +1,11 @@
 #include "analysis/analyzer.h"
 
 #include <algorithm>
+#include <memory>
+#include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "xq/printer.h"
 

@@ -1,5 +1,9 @@
 #include "analysis/projection_tree.h"
 
+#include <memory>
+#include <string>
+#include <utility>
+
 namespace gcx {
 
 ProjectionTree::ProjectionTree() {

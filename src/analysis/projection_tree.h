@@ -9,6 +9,7 @@
 #ifndef GCX_ANALYSIS_PROJECTION_TREE_H_
 #define GCX_ANALYSIS_PROJECTION_TREE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>

@@ -1,5 +1,8 @@
 #include "analysis/roles.h"
 
+#include <string>
+#include <vector>
+
 namespace gcx {
 
 std::string RoleCatalog::ToString(

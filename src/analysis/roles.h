@@ -8,6 +8,7 @@
 #define GCX_ANALYSIS_ROLES_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "xpath/path.h"

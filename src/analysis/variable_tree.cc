@@ -1,6 +1,9 @@
 #include "analysis/variable_tree.h"
 
 #include <functional>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace gcx {
 

@@ -11,6 +11,7 @@
 #define GCX_ANALYSIS_VARIABLE_TREE_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"

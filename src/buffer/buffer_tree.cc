@@ -1,5 +1,10 @@
 #include "buffer/buffer_tree.h"
 
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
 namespace gcx {
 
 namespace {

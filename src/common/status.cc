@@ -1,5 +1,8 @@
 #include "common/status.h"
 
+#include <string>
+#include <utility>
+
 namespace gcx {
 
 const char* StatusCodeName(StatusCode code) {

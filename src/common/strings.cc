@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
 
 namespace gcx {
 

@@ -1,5 +1,8 @@
 #include "common/symbol_table.h"
 
+#include <string>
+#include <string_view>
+
 namespace gcx {
 
 TagId SymbolTable::Intern(std::string_view name) {

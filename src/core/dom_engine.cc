@@ -1,5 +1,7 @@
 #include "core/dom_engine.h"
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/strings.h"

@@ -17,6 +17,8 @@
 #include "xml/writer.h"
 #include "xq/ast.h"
 
+#include <cstdint>
+
 namespace gcx {
 
 /// Evaluates `query` (as parsed; no signOffs) with $root bound to

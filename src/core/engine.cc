@@ -1,6 +1,13 @@
 #include "core/engine.h"
 
 #include <chrono>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "core/dom_engine.h"
 #include "eval/evaluator.h"
@@ -10,6 +17,21 @@
 #include "xq/parser.h"
 
 namespace gcx {
+
+std::vector<NamedEngineConfig> StandardEngineConfigs() {
+  std::vector<NamedEngineConfig> out;
+  out.push_back({"GCX", {}});
+  EngineOptions no_gc;
+  no_gc.enable_gc = false;
+  out.push_back({"GCX-noGC", no_gc});
+  EngineOptions projection;
+  projection.mode = EngineMode::kMaterializedProjection;
+  out.push_back({"Projection", projection});
+  EngineOptions naive;
+  naive.mode = EngineMode::kNaiveDom;
+  out.push_back({"NaiveDom", naive});
+  return out;
+}
 
 Result<CompiledQuery> CompiledQuery::Compile(std::string_view text,
                                              const EngineOptions& options) {
@@ -83,6 +105,8 @@ Result<ExecStats> Engine::ExecuteStreaming(const CompiledQuery& query,
   stats.input_bytes = ctx.scanner().bytes_consumed();
   stats.output_bytes = writer.bytes_written();
   stats.dfa_states = ctx.projector().dfa().num_states();
+  stats.live_roles_final = ctx.buffer().live_role_instances();
+  stats.buffer_nodes_final = stats.buffer.nodes_current;
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -133,6 +157,8 @@ Result<ExecStats> Engine::Project(const CompiledQuery& query,
   stats.input_bytes = ctx.scanner().bytes_consumed();
   stats.output_bytes = writer.bytes_written();
   stats.dfa_states = ctx.projector().dfa().num_states();
+  stats.live_roles_final = ctx.buffer().live_role_instances();
+  stats.buffer_nodes_final = stats.buffer.nodes_current;
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -19,11 +19,14 @@
 #ifndef GCX_CORE_ENGINE_H_
 #define GCX_CORE_ENGINE_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "analysis/analyzer.h"
 #include "buffer/buffer_tree.h"
@@ -64,7 +67,25 @@ struct ExecStats {
   uint64_t output_bytes = 0;
   uint64_t dfa_states = 0;
   double wall_seconds = 0;
+  // Final buffer state, for checking the Sec. 3 safety requirements after a
+  // complete run: with GC on, every assigned role must have been removed
+  // (live_roles_final == 0) and the buffer must be drained down to its
+  // virtual root (buffer_nodes_final == 1). Streaming modes only.
+  uint64_t live_roles_final = 0;
+  uint64_t buffer_nodes_final = 0;
 };
+
+/// One named engine configuration of the paper's Table 1 column set.
+struct NamedEngineConfig {
+  const char* name;
+  EngineOptions options;
+};
+
+/// The four standard configurations every cross-engine harness iterates:
+/// GCX (streaming + GC), GCX-noGC, static projection, naive DOM. Shared by
+/// the benchmarks and the conformance suite so their column sets cannot
+/// drift apart.
+std::vector<NamedEngineConfig> StandardEngineConfigs();
 
 /// A query compiled against a fixed set of EngineOptions (the options
 /// affect normalization and static analysis, so they bind at compile time).

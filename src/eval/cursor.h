@@ -15,6 +15,8 @@
 #include "eval/exec_context.h"
 #include "xpath/path.h"
 
+#include <cstdint>
+
 namespace gcx {
 
 /// Iterates matches of `step` from `scope`. Usage:

@@ -3,6 +3,11 @@
 #include "common/strings.h"
 #include "eval/cursor.h"
 
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
 namespace gcx {
 
 bool CompareValues(const std::string& lhs, RelOp op, const std::string& rhs) {

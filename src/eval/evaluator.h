@@ -8,6 +8,9 @@
 #ifndef GCX_EVAL_EVALUATOR_H_
 #define GCX_EVAL_EVALUATOR_H_
 
+#include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/analyzer.h"

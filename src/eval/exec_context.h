@@ -9,6 +9,7 @@
 #define GCX_EVAL_EXEC_CONTEXT_H_
 
 #include <memory>
+#include <utility>
 
 #include "buffer/buffer_tree.h"
 #include "common/status.h"

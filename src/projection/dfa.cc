@@ -1,7 +1,12 @@
 #include "projection/dfa.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace gcx {
 

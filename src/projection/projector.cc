@@ -1,6 +1,9 @@
 #include "projection/projector.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace gcx {
 

@@ -14,7 +14,10 @@
 #ifndef GCX_PROJECTION_PROJECTOR_H_
 #define GCX_PROJECTION_PROJECTOR_H_
 
+#include <cstdint>
 #include <functional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "buffer/buffer_tree.h"

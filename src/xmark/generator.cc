@@ -1,6 +1,8 @@
 #include "xmark/generator.h"
 
 #include <cmath>
+#include <cstdint>
+#include <string>
 
 #include "common/prng.h"
 

@@ -1,5 +1,8 @@
 #include "xmark/queries.h"
 
+#include <string_view>
+#include <vector>
+
 namespace gcx {
 
 std::string_view XMarkQ1() {

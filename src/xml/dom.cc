@@ -2,6 +2,11 @@
 
 #include "xml/writer.h"
 
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
 namespace gcx {
 
 std::unique_ptr<DomNode> DomNode::Element(std::string tag) {

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cctype>
 #include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/strings.h"
 

@@ -10,6 +10,7 @@
 #ifndef GCX_XML_SCANNER_H_
 #define GCX_XML_SCANNER_H_
 
+#include <cstdint>
 #include <deque>
 #include <istream>
 #include <memory>

@@ -1,5 +1,8 @@
 #include "xml/writer.h"
 
+#include <string>
+#include <string_view>
+
 namespace gcx {
 
 std::string EscapeText(std::string_view text) {

@@ -1,8 +1,11 @@
 #include "xpath/dom_eval.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 namespace gcx {
 

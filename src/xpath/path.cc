@@ -1,6 +1,9 @@
 #include "xpath/path.h"
 
 #include <cctype>
+#include <string>
+#include <string_view>
+#include <utility>
 
 namespace gcx {
 

@@ -1,5 +1,10 @@
 #include "xq/ast.h"
 
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
 namespace gcx {
 
 const char* RelOpName(RelOp op) {

@@ -1,5 +1,6 @@
 #include "xq/normalize.h"
 
+#include <memory>
 #include <utility>
 #include <vector>
 

@@ -1,7 +1,11 @@
 #include "xq/parser.h"
 
 #include <cctype>
+#include <memory>
+#include <string>
+#include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/strings.h"

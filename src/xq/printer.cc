@@ -1,5 +1,8 @@
 #include "xq/printer.h"
 
+#include <string>
+#include <vector>
+
 namespace gcx {
 
 namespace {

@@ -5,6 +5,7 @@
 #define GCX_XQ_PRINTER_H_
 
 #include <string>
+#include <vector>
 
 #include "xq/ast.h"
 

@@ -11,6 +11,12 @@
 #include "xq/parser.h"
 #include "xq/printer.h"
 
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
 namespace gcx {
 namespace {
 

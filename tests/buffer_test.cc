@@ -6,6 +6,10 @@
 
 #include "buffer/buffer_tree.h"
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 namespace gcx {
 namespace {
 

@@ -150,5 +150,86 @@ TEST_F(CliTest, UnknownOptionRejected) {
   EXPECT_NE(r.output.find("unknown option"), std::string::npos);
 }
 
+TEST_F(CliTest, HelpExitsZero) {
+  RunResult r = Shell(BinaryPath() + " --help");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("options:"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingValueForInlineQueryShowsUsage) {
+  RunResult r = Shell(BinaryPath() + " -q 2>&1");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingValueForOutputFileShowsUsage) {
+  RunResult r = Shell(BinaryPath() + " -q '<r/>' -o 2>&1");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownModeRejected) {
+  RunResult r = Shell("echo '<a/>' | " + BinaryPath() +
+                      " -q '<r/>' --mode=warp - 2>&1");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown mode"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingQueryFileExitsNonZero) {
+  RunResult r = Shell(BinaryPath() + " /nonexistent/q.xq 2>&1");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("cannot read query file"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingInputFileExitsNonZero) {
+  RunResult r = Shell(BinaryPath() +
+                      " -q '<r>{ for $x in /a return $x }</r>' "
+                      "/nonexistent/d.xml 2>&1");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("cannot read input file"), std::string::npos);
+}
+
+TEST_F(CliTest, ExtraPositionalArgumentShowsUsage) {
+  std::string dir = ::testing::TempDir();
+  {
+    std::ofstream q(dir + "/extra.xq");
+    q << "<r/>";
+  }
+  RunResult r = Shell(BinaryPath() + " " + dir + "/extra.xq a.xml b.xml 2>&1");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, LargeStdinStream) {
+  // 2000 elements through stdin: exercises the chunked IstreamSource path
+  // (well past one 64KB read) rather than a one-shot string.
+  RunResult r = Shell(
+      "{ printf '<root>'; for i in $(seq 2000); do printf '<b><v>1</v></b>'; "
+      "done; printf '</root>'; } | " +
+      BinaryPath() + " -q '<r>{ count(/root/b) }</r>' -");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, "<r>2000</r>\n");
+}
+
+TEST_F(CliTest, TechniqueTogglesPreserveResult) {
+  // Sec. 5/6 ablation flags must not change the result (Theorem 1).
+  for (const char* flag :
+       {"--no-gc", "--no-aggregate", "--no-redundant", "--no-early",
+        "--no-gc --no-aggregate --no-redundant --no-early"}) {
+    RunResult r = Shell("echo '<a><b>k</b><c/></a>' | " + BinaryPath() +
+                        " -q '<r>{ for $x in /a/b return $x }</r>' " + flag +
+                        " -");
+    EXPECT_EQ(r.exit_code, 0) << flag;
+    EXPECT_EQ(r.output, "<r><b>k</b></r>\n") << flag;
+  }
+}
+
+TEST_F(CliTest, KeepWhitespaceFlag) {
+  RunResult r = Shell("printf '<a><b>k</b> </a>' | " + BinaryPath() +
+                      " -q '<r>{ for $x in /a return $x }</r>' --keep-ws -");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, "<r><a><b>k</b> </a></r>\n");
+}
+
 }  // namespace
 }  // namespace gcx

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Regenerates the golden .expected files of the conformance corpus from the
+# naive-DOM reference engine (the oracle of Theorem 1).
+#
+# Usage: tests/conformance/regen_golden.sh [path/to/gcx]
+#
+# Golden files are CHECKED IN: rerun this only when the corpus changes or a
+# deliberate output-format change lands, and review the diff case by case —
+# a golden churn nobody can explain is a correctness regression, not noise.
+set -euo pipefail
+
+cases_dir="$(cd "$(dirname "$0")/cases" && pwd)"
+gcx_bin="${1:-$(dirname "$0")/../../build/tools/gcx}"
+
+if [[ ! -x "$gcx_bin" ]]; then
+  echo "error: gcx binary not found at '$gcx_bin' (build first, or pass a path)" >&2
+  exit 1
+fi
+
+for query in "$cases_dir"/*.xq; do
+  name="$(basename "$query" .xq)"
+  doc="$cases_dir/$name.xml"
+  out="$cases_dir/$name.expected"
+  if [[ ! -f "$doc" ]]; then
+    echo "error: $name.xq has no matching $name.xml" >&2
+    exit 1
+  fi
+  # The CLI appends exactly one newline after the result; the engine-level
+  # output the conformance test compares against does not have it. (perl
+  # rather than `head -c -1`, which BSD/macOS head rejects.)
+  "$gcx_bin" --mode=dom "$query" "$doc" | perl -0777 -pe 's/\n\z//' > "$out"
+  echo "wrote $(basename "$out") ($(wc -c < "$out") bytes)"
+done

@@ -1,0 +1,143 @@
+// Corpus-driven differential conformance harness.
+//
+// Each case in tests/conformance/cases/ is a triple of files
+//   <name>.xq        — the query
+//   <name>.xml       — the input document
+//   <name>.expected  — the golden result (byte-exact, no trailing newline)
+// The runner executes every case under all four engine configurations
+// (streaming+GC — the paper's GCX —, streaming without GC, materialized
+// projection, naive DOM) and asserts
+//   1. byte-identical output against the golden file (Theorem 1, as a
+//      reviewable fixture set instead of an in-process fuzz check), and
+//   2. the Sec. 3 safety requirements whenever GC is active: role balance
+//      (every assigned role removed again) and a drained buffer (nothing
+//      left but the virtual root).
+//
+// The corpus directory is found through GCX_CONFORMANCE_DIR (set by CTest);
+// when run by hand, the usual source-tree locations are probed.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace gcx {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string CorpusDir() {
+  const char* env = std::getenv("GCX_CONFORMANCE_DIR");
+  if (env != nullptr) return env;
+  for (const char* candidate :
+       {"tests/conformance/cases", "../tests/conformance/cases",
+        "../../tests/conformance/cases", "conformance/cases"}) {
+    if (fs::is_directory(candidate)) return candidate;
+  }
+  return "tests/conformance/cases";
+}
+
+// No gtest assertions here: this runs at test-registration time (the corpus
+// feeds INSTANTIATE_TEST_SUITE_P). A missing file yields readable = false and
+// the instantiated test fails with a clear message.
+std::string ReadFileIfAny(const fs::path& path, bool* readable) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    *readable = false;
+    return "";
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct Case {
+  std::string name;
+  std::string query;
+  std::string document;
+  std::string expected;
+  bool complete = true;  ///< all three files were readable
+};
+
+std::vector<Case> LoadCorpus() {
+  std::vector<Case> cases;
+  fs::path dir = CorpusDir();
+  if (!fs::is_directory(dir)) return cases;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".xq") continue;
+    Case c;
+    c.name = entry.path().stem().string();
+    c.query = ReadFileIfAny(entry.path(), &c.complete);
+    c.document =
+        ReadFileIfAny(fs::path(entry.path()).replace_extension(".xml"),
+                      &c.complete);
+    c.expected =
+        ReadFileIfAny(fs::path(entry.path()).replace_extension(".expected"),
+                      &c.complete);
+    cases.push_back(std::move(c));
+  }
+  std::sort(cases.begin(), cases.end(),
+            [](const Case& a, const Case& b) { return a.name < b.name; });
+  return cases;
+}
+
+class ConformanceTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ConformanceTest, AllConfigsMatchGolden) {
+  const Case& c = GetParam();
+  ASSERT_TRUE(c.complete)
+      << c.name << ": missing .xq/.xml/.expected file in " << CorpusDir();
+  // The four configurations of the paper's Table 1 column set, shared with
+  // the benchmark harness.
+  for (const NamedEngineConfig& config : StandardEngineConfigs()) {
+    auto compiled = CompiledQuery::Compile(c.query, config.options);
+    ASSERT_TRUE(compiled.ok())
+        << c.name << " [" << config.name
+        << "]: " << compiled.status().ToString();
+    Engine engine;
+    std::ostringstream out;
+    auto stats = engine.Execute(*compiled, c.document, &out);
+    ASSERT_TRUE(stats.ok())
+        << c.name << " [" << config.name << "]: " << stats.status().ToString();
+    EXPECT_EQ(out.str(), c.expected)
+        << c.name << " [" << config.name << "]: output diverges from golden";
+
+    if (config.options.mode == EngineMode::kStreaming &&
+        config.options.enable_gc) {
+      // Sec. 3 safety requirements for the full GCX configuration.
+      EXPECT_EQ(stats->buffer.roles_assigned, stats->buffer.roles_removed)
+          << c.name << ": role imbalance";
+      EXPECT_EQ(stats->live_roles_final, 0u) << c.name;
+      EXPECT_EQ(stats->buffer_nodes_final, 1u)
+          << c.name << ": buffer not drained to the virtual root";
+    }
+  }
+}
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  std::string name = info.param.name;
+  std::replace_if(
+      name.begin(), name.end(), [](char c) { return !std::isalnum(c); }, '_');
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, ConformanceTest,
+                         ::testing::ValuesIn(LoadCorpus()), CaseName);
+
+// The acceptance floor: the corpus must not silently shrink.
+TEST(ConformanceCorpus, HasAtLeast25Cases) {
+  EXPECT_GE(LoadCorpus().size(), 25u)
+      << "conformance corpus in " << CorpusDir() << " is too small";
+}
+
+}  // namespace
+}  // namespace gcx

@@ -10,6 +10,11 @@
 #include "xq/normalize.h"
 #include "xq/parser.h"
 
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
 namespace gcx {
 namespace {
 

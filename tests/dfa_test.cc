@@ -8,6 +8,10 @@
 #include "xq/normalize.h"
 #include "xq/parser.h"
 
+#include <string>
+#include <string_view>
+#include <utility>
+
 namespace gcx {
 namespace {
 

@@ -8,7 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
+#include <string>
+#include <string_view>
 
 #include "common/prng.h"
 #include "core/engine.h"

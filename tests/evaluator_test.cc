@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <string_view>
 
 #include "common/strings.h"
 #include "core/engine.h"

@@ -6,9 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "common/prng.h"

@@ -9,6 +9,11 @@
 #include "xq/parser.h"
 #include "xq/printer.h"
 
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+
 namespace gcx {
 namespace {
 

@@ -7,6 +7,10 @@
 #include "xpath/dom_eval.h"
 #include "xpath/path.h"
 
+#include <memory>
+#include <string>
+#include <utility>
+
 namespace gcx {
 namespace {
 

@@ -11,6 +11,11 @@
 #include "xq/normalize.h"
 #include "xq/parser.h"
 
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
 namespace gcx {
 namespace {
 

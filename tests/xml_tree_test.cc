@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
+#include <string>
 #include <unordered_set>
+#include <utility>
 
 #include "xml/dom.h"
 #include "xml/writer.h"

@@ -6,6 +6,10 @@
 #include "xq/parser.h"
 #include "xq/printer.h"
 
+#include <string>
+#include <string_view>
+#include <utility>
+
 namespace gcx {
 namespace {
 
