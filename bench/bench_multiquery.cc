@@ -1,0 +1,170 @@
+// Multi-query batched execution vs sequential solo runs.
+//
+// For batches of 2/4/8/16 XMark queries (cycling the adapted scan-bound
+// Q1, Q6, Q13, Q20) over one XMark document, measures
+//   sequential — N independent Engine::Execute calls (N scans), vs
+//   batched    — one MultiQueryEngine::Execute call (1 shared scan).
+// The interesting figure is the speedup at growing batch sizes: the raw
+// tokenization pass is paid once instead of N times, and subtrees dead for
+// every query of the batch are skipped by the merged-DFA prefilter before
+// any per-query work happens.
+//
+// GCX_BENCH_SCALE=N multiplies the document size.
+// GCX_BENCH_JSON=path overrides where the machine-readable results land
+// (default: BENCH_multiquery.json in the working directory).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/multi_engine.h"
+
+namespace {
+
+struct Row {
+  size_t batch_size = 0;
+  uint64_t document_bytes = 0;
+  double sequential_seconds = 0;
+  double batched_seconds = 0;
+  uint64_t sequential_bytes_scanned = 0;
+  uint64_t batched_bytes_scanned = 0;
+  uint64_t events_forwarded = 0;
+  uint64_t events_shared_skipped = 0;
+  uint64_t replay_log_peak = 0;
+  double speedup() const {
+    return batched_seconds > 0 ? sequential_seconds / batched_seconds : 0;
+  }
+};
+
+void WriteJson(const std::string& path, const std::vector<Row>& rows) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "  {\"batch_size\": %zu, \"document_bytes\": %llu, "
+        "\"sequential_seconds\": %.6f, \"batched_seconds\": %.6f, "
+        "\"speedup\": %.3f, \"sequential_bytes_scanned\": %llu, "
+        "\"batched_bytes_scanned\": %llu, \"events_forwarded\": %llu, "
+        "\"events_shared_skipped\": %llu, \"replay_log_peak\": %llu}%s\n",
+        r.batch_size, static_cast<unsigned long long>(r.document_bytes),
+        r.sequential_seconds, r.batched_seconds, r.speedup(),
+        static_cast<unsigned long long>(r.sequential_bytes_scanned),
+        static_cast<unsigned long long>(r.batched_bytes_scanned),
+        static_cast<unsigned long long>(r.events_forwarded),
+        static_cast<unsigned long long>(r.events_shared_skipped),
+        static_cast<unsigned long long>(r.replay_log_peak),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s (%zu rows)\n", path.c_str(), rows.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace gcx;
+  using namespace gcx::bench;
+
+  std::string doc = GenerateXMark(XMarkOptions{4 * BenchScale(), 42});
+  // The scan-bound XMark queries (the value join Q8 is excluded: its
+  // quadratic evaluation cost is identical in both setups and would only
+  // dilute the scan-sharing signal this benchmark isolates).
+  std::vector<NamedQuery> pool;
+  for (const NamedQuery& query : AllXMarkQueries()) {
+    if (std::string(query.name) != "Q8") pool.push_back(query);
+  }
+
+  std::vector<CompiledQuery> compiled;
+  for (const NamedQuery& query : pool) {
+    auto one = CompiledQuery::Compile(query.text, {});
+    if (!one.ok()) {
+      std::fprintf(stderr, "compile failed: %s\n",
+                   one.status().ToString().c_str());
+      std::abort();
+    }
+    compiled.push_back(std::move(one).value());
+  }
+
+  std::printf("Multi-query batched vs sequential (%s XMark document)\n",
+              HumanBytes(doc.size()).c_str());
+  std::printf("%-6s | %-12s | %-12s | %-8s | %-14s\n", "N", "sequential",
+              "batched", "speedup", "shared-skipped");
+
+  std::vector<Row> rows;
+  for (size_t batch_size : {2, 4, 8, 16}) {
+    std::vector<const CompiledQuery*> batch;
+    for (size_t i = 0; i < batch_size; ++i) {
+      batch.push_back(&compiled[i % compiled.size()]);
+    }
+
+    Row row;
+    row.batch_size = batch_size;
+    row.document_bytes = doc.size();
+
+    // Sequential: N solo executions, N scans.
+    {
+      NullBuffer null_buffer;
+      std::ostream null_stream(&null_buffer);
+      Engine engine;
+      for (const CompiledQuery* query : batch) {
+        auto stats = engine.Execute(*query, doc, &null_stream);
+        if (!stats.ok()) {
+          std::fprintf(stderr, "solo execute failed: %s\n",
+                       stats.status().ToString().c_str());
+          std::abort();
+        }
+        row.sequential_seconds += stats->wall_seconds;
+        row.sequential_bytes_scanned += stats->input_bytes;
+      }
+    }
+
+    // Batched: one shared scan.
+    {
+      std::vector<NullBuffer> null_buffers(batch.size());
+      std::vector<std::unique_ptr<std::ostream>> streams;
+      std::vector<std::ostream*> outs;
+      for (NullBuffer& buffer : null_buffers) {
+        streams.push_back(std::make_unique<std::ostream>(&buffer));
+        outs.push_back(streams.back().get());
+      }
+      MultiQueryEngine engine;
+      auto start = std::chrono::steady_clock::now();
+      auto stats = engine.Execute(batch, doc, outs);
+      row.batched_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (!stats.ok()) {
+        std::fprintf(stderr, "batched execute failed: %s\n",
+                     stats.status().ToString().c_str());
+        std::abort();
+      }
+      row.batched_bytes_scanned = stats->shared.bytes_scanned;
+      row.events_forwarded = stats->shared.events_forwarded;
+      row.events_shared_skipped = stats->shared.events_shared_skipped;
+      row.replay_log_peak = stats->shared.replay_log_peak;
+    }
+
+    std::printf("%-6zu | %-12s | %-12s | %7.2fx | %llu events\n", batch_size,
+                HumanSeconds(row.sequential_seconds).c_str(),
+                HumanSeconds(row.batched_seconds).c_str(), row.speedup(),
+                static_cast<unsigned long long>(row.events_shared_skipped));
+    std::fflush(stdout);
+    rows.push_back(row);
+  }
+
+  const char* json_path = std::getenv("GCX_BENCH_JSON");
+  WriteJson(json_path != nullptr ? json_path : "BENCH_multiquery.json", rows);
+  return 0;
+}

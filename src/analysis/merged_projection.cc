@@ -1,0 +1,53 @@
+#include "analysis/merged_projection.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gcx {
+
+namespace {
+
+// Accumulates every root-to-node label chain of `node`'s subtree into
+// `seen`, recording which queries contribute each chain as a bitset over
+// batch indices (uint64_t suffices: batches beyond 64 queries fold into the
+// same bit, which only affects the shared/private split, not correctness).
+void CollectPaths(const ProjNode* node, const std::string& prefix,
+                  size_t query_index,
+                  std::unordered_map<std::string, uint64_t>* seen) {
+  for (const ProjNode* child : node->children) {
+    std::string path = prefix + "/" + child->step.ToString();
+    (*seen)[path] |= uint64_t{1} << (query_index % 64);
+    CollectPaths(child, path, query_index, seen);
+  }
+}
+
+}  // namespace
+
+MergedProjectionStats SummarizeMergedProjection(
+    const std::vector<const ProjectionTree*>& trees) {
+  MergedProjectionStats stats;
+  stats.per_query_paths.resize(trees.size(), 0);
+
+  std::unordered_map<std::string, uint64_t> seen;
+  for (size_t i = 0; i < trees.size(); ++i) {
+    std::unordered_map<std::string, uint64_t> own;
+    CollectPaths(trees[i]->root(), "", i, &own);
+    stats.per_query_paths[i] = own.size();
+    for (const auto& [path, bits] : own) seen[path] |= bits;
+  }
+
+  stats.union_paths = seen.size();
+  for (const auto& [path, bits] : seen) {
+    // A single set bit means exactly one (modulo-64 folded) contributor.
+    if ((bits & (bits - 1)) == 0) {
+      ++stats.private_paths;
+    } else {
+      ++stats.shared_paths;
+    }
+  }
+  return stats;
+}
+
+}  // namespace gcx

@@ -1,0 +1,47 @@
+// Union summary of a batch's projection trees (multi-query execution).
+//
+// Each query's projection tree (Sec. 4) describes the paths its projected
+// document keeps. For a batch sharing one document scan, the union of those
+// trees is the effective shared filter: a path kept by several queries is
+// scanned and tokenized once but delivered to each of them. This module
+// computes the static shape of that union — how much of the batch's
+// projection is shared versus private per query — which the multi-query
+// engine reports alongside its runtime shared-scan counters.
+
+#ifndef GCX_ANALYSIS_MERGED_PROJECTION_H_
+#define GCX_ANALYSIS_MERGED_PROJECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/projection_tree.h"
+
+namespace gcx {
+
+/// Static union shape of a batch's projection trees. A "path" is one
+/// non-root projection-tree node, identified by its step labels from the
+/// root (two queries contribute the same path when those label chains are
+/// identical).
+struct MergedProjectionStats {
+  uint64_t union_paths = 0;    ///< distinct projection paths in the batch
+  uint64_t shared_paths = 0;   ///< contributed by at least two queries
+  uint64_t private_paths = 0;  ///< contributed by exactly one query
+  /// Paths each query contributes (index-aligned with the input batch).
+  std::vector<uint64_t> per_query_paths;
+
+  /// Fraction of the union that is shared between queries, in [0, 1].
+  double SharedFraction() const {
+    return union_paths == 0
+               ? 0.0
+               : static_cast<double>(shared_paths) /
+                     static_cast<double>(union_paths);
+  }
+};
+
+/// Computes the union/overlap of `trees` (one projection tree per query).
+MergedProjectionStats SummarizeMergedProjection(
+    const std::vector<const ProjectionTree*>& trees);
+
+}  // namespace gcx
+
+#endif  // GCX_ANALYSIS_MERGED_PROJECTION_H_

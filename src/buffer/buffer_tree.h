@@ -129,6 +129,13 @@ class BufferTree {
 
   const BufferStats& stats() const { return stats_; }
 
+  /// Node-pool accounting (tests assert the free-list never leaks or
+  /// double-frees): live pooled nodes — includes the virtual root — and the
+  /// lifetime allocate/free totals.
+  size_t pool_live_nodes() const { return pool_.live(); }
+  size_t pool_total_allocated() const { return pool_.total_allocated(); }
+  size_t pool_total_freed() const { return pool_.total_freed(); }
+
   /// Total role instances currently assigned (excluding pins); zero after a
   /// complete evaluation (paper requirement 2).
   uint64_t live_role_instances() const {

@@ -45,6 +45,7 @@ class Pool {
       slot = &chunks_.back()[next_in_chunk_++];
     }
     ++live_;
+    ++total_allocated_;
     return new (slot->storage) T(std::forward<Args>(args)...);
   }
 
@@ -56,10 +57,17 @@ class Pool {
     slot->next = free_list_;
     free_list_ = slot;
     --live_;
+    ++total_freed_;
   }
 
   /// Number of currently allocated (not yet freed) objects.
   size_t live() const { return live_; }
+
+  /// Lifetime counters; `total_allocated() - total_freed() == live()` is a
+  /// pool invariant (a double Free would break it before tripping the
+  /// live_ > 0 check above).
+  size_t total_allocated() const { return total_allocated_; }
+  size_t total_freed() const { return total_freed_; }
 
   /// Total bytes of backing storage currently reserved.
   size_t reserved_bytes() const { return chunks_.size() * kChunkObjects * sizeof(Slot); }
@@ -76,6 +84,8 @@ class Pool {
   size_t next_in_chunk_ = 0;
   Slot* free_list_ = nullptr;
   size_t live_ = 0;
+  size_t total_allocated_ = 0;
+  size_t total_freed_ = 0;
 };
 
 }  // namespace gcx

@@ -70,8 +70,8 @@ Result<ExecStats> Engine::ExecuteStreaming(const CompiledQuery& query,
   auto start = std::chrono::steady_clock::now();
   const EngineOptions& options = query.options();
 
-  ExecContext ctx(&query.analyzed().projection, &query.analyzed().roles,
-                  std::move(input), options.scanner);
+  StreamExecContext ctx(&query.analyzed().projection, &query.analyzed().roles,
+                        std::move(input), options.scanner);
   if (!options.enable_gc ||
       options.mode == EngineMode::kMaterializedProjection) {
     ctx.buffer().set_gc_enabled(false);
@@ -105,6 +105,8 @@ Result<ExecStats> Engine::ExecuteStreaming(const CompiledQuery& query,
   stats.input_bytes = ctx.scanner().bytes_consumed();
   stats.output_bytes = writer.bytes_written();
   stats.dfa_states = ctx.projector().dfa().num_states();
+  stats.scan_passes = 1;
+  stats.events_delivered = stats.projector.events_read;
   stats.live_roles_final = ctx.buffer().live_role_instances();
   stats.buffer_nodes_final = stats.buffer.nodes_current;
   stats.wall_seconds =
@@ -139,9 +141,9 @@ Result<ExecStats> Engine::Project(const CompiledQuery& query,
                                   std::string_view input,
                                   std::ostream* out) const {
   auto start = std::chrono::steady_clock::now();
-  ExecContext ctx(&query.analyzed().projection, &query.analyzed().roles,
-                  std::make_unique<StringSource>(input),
-                  query.options().scanner);
+  StreamExecContext ctx(&query.analyzed().projection, &query.analyzed().roles,
+                        std::make_unique<StringSource>(input),
+                        query.options().scanner);
   ctx.buffer().set_gc_enabled(false);
   while (true) {
     GCX_ASSIGN_OR_RETURN(bool more, ctx.Pull());
@@ -157,6 +159,8 @@ Result<ExecStats> Engine::Project(const CompiledQuery& query,
   stats.input_bytes = ctx.scanner().bytes_consumed();
   stats.output_bytes = writer.bytes_written();
   stats.dfa_states = ctx.projector().dfa().num_states();
+  stats.scan_passes = 1;
+  stats.events_delivered = stats.projector.events_read;
   stats.live_roles_final = ctx.buffer().live_role_instances();
   stats.buffer_nodes_final = stats.buffer.nodes_current;
   stats.wall_seconds =
@@ -183,6 +187,7 @@ Result<ExecStats> Engine::ExecuteNaiveDom(const CompiledQuery& query,
   GCX_RETURN_IF_ERROR(EvalQueryOnDom(query.parsed(), doc.get(), &writer));
 
   ExecStats stats;
+  stats.scan_passes = 1;
   stats.peak_bytes = DomSubtreeBytes(doc->root());
   stats.input_bytes = input_bytes;
   stats.output_bytes = writer.bytes_written();

@@ -67,6 +67,14 @@ struct ExecStats {
   uint64_t output_bytes = 0;
   uint64_t dfa_states = 0;
   double wall_seconds = 0;
+  /// Raw input passes attributable to this execution: 1 for a solo run,
+  /// 0 for a query inside a batch (the batch's single shared pass is
+  /// accounted in MultiQueryStats::shared — see core/multi_engine.h).
+  uint64_t scan_passes = 0;
+  /// Events this query's projector processed (solo: every scanner event;
+  /// batched: the shared-scan events remaining after the merged-DFA filter
+  /// up to the point this query's evaluation completed).
+  uint64_t events_delivered = 0;
   // Final buffer state, for checking the Sec. 3 safety requirements after a
   // complete run: with GC on, every assigned role must have been removed
   // (live_roles_final == 0) and the buffer must be drained down to its

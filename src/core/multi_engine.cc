@@ -1,0 +1,388 @@
+#include "core/multi_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/dom_engine.h"
+#include "eval/evaluator.h"
+#include "eval/exec_context.h"
+#include "projection/merged_dfa.h"
+#include "xml/writer.h"
+
+namespace gcx {
+
+namespace {
+
+class SharedScanDemux;
+
+/// One query's slice of a batch: its own tag table, buffer and projector
+/// (identical to a solo StreamExecContext), pulling through the shared
+/// demultiplexer instead of a private scanner.
+class BatchQueryContext final : public ExecContext {
+ public:
+  BatchQueryContext(const AnalyzedQuery* query, SharedScanDemux* demux)
+      : projector_(&query->projection, &query->roles, &tags_,
+                   /*scanner=*/nullptr, &buffer_),
+        demux_(demux) {}
+
+  BufferTree& buffer() override { return buffer_; }
+  SymbolTable& tags() override { return tags_; }
+  Result<bool> Pull() override;
+
+  StreamProjector& projector() { return projector_; }
+
+  /// Next event index in the shared stream (replay-log position).
+  uint64_t position = 0;
+  /// Set once this query's evaluation completed: its buffer is frozen and
+  /// its position no longer retains the log tail.
+  bool detached = false;
+
+ private:
+  SymbolTable tags_;
+  BufferTree buffer_;
+  StreamProjector projector_;
+  SharedScanDemux* demux_;
+};
+
+/// Owns the single scanner, the merged-DFA prefilter and the replay log.
+class SharedScanDemux {
+ public:
+  SharedScanDemux(std::unique_ptr<ByteSource> input,
+                  ScannerOptions scanner_options,
+                  const std::vector<MergedDfaInput>& inputs)
+      : scanner_(std::move(input), scanner_options), merged_(inputs) {
+    frames_.push_back({merged_.initial(), merged_.initial()->aggregate_entry});
+    if (frames_.back().aggregate_inc) aggregate_cover_depth_ = 1;
+  }
+
+  void Register(BatchQueryContext* ctx) { subscribers_.push_back(ctx); }
+
+  /// Marks `ctx` finished; its log position stops pinning the tail.
+  void Detach(BatchQueryContext* ctx) {
+    ctx->detached = true;
+    Trim();
+  }
+
+  /// Delivers the next event for `ctx`, advancing the shared scanner when
+  /// `ctx` is at the head of the log. Returns false once `ctx`'s projector
+  /// has consumed the end-of-document event.
+  Result<bool> PullFor(BatchQueryContext* ctx) {
+    StreamProjector& projector = ctx->projector();
+    if (projector.done()) return false;
+    if (ctx->position == log_base_ + log_.size()) {
+      // At the head and not done: end-of-document cannot be in the log yet.
+      GCX_CHECK(!scan_done_);
+      GCX_RETURN_IF_ERROR(PumpOne());
+    }
+    const XmlEvent& event =
+        log_[static_cast<size_t>(ctx->position - log_base_)];
+    ++ctx->position;
+    ++stats_.events_demuxed;
+    Result<bool> more = projector.ProcessEvent(event);
+    Trim();
+    return more;
+  }
+
+  XmlScanner& scanner() { return scanner_; }
+  MergedDfa& merged() { return merged_; }
+  SharedScanStats& stats() { return stats_; }
+
+ private:
+  struct Frame {
+    MergedDfa::State* state = nullptr;
+    /// True when entering this element may have started an aggregate cover
+    /// for some query (everything below must then be delivered).
+    bool aggregate_inc = false;
+  };
+
+  /// Reads scanner events until one survives the prefilter into the log.
+  Status PumpOne() {
+    while (true) {
+      XmlEvent event;
+      GCX_RETURN_IF_ERROR(scanner_.Next(&event));
+      ++stats_.events_scanned;
+      switch (event.kind) {
+        case XmlEvent::Kind::kStartElement: {
+          Frame& top = frames_.back();
+          MergedDfa::State* next = merged_.Transition(top.state, event.name);
+          if (next->skippable && !top.state->any_child_sensitive &&
+              aggregate_cover_depth_ == 0) {
+            // Dead for every query: consume the subtree, log nothing.
+            ++stats_.events_shared_skipped;
+            ++stats_.shared_subtrees_skipped;
+            GCX_RETURN_IF_ERROR(SkipSubtree());
+            continue;
+          }
+          frames_.push_back({next, next->aggregate_entry});
+          if (next->aggregate_entry) ++aggregate_cover_depth_;
+          Append(std::move(event));
+          return Status::Ok();
+        }
+        case XmlEvent::Kind::kEndElement: {
+          if (frames_.back().aggregate_inc) --aggregate_cover_depth_;
+          frames_.pop_back();
+          Append(std::move(event));
+          return Status::Ok();
+        }
+        case XmlEvent::Kind::kText: {
+          if (!frames_.back().state->any_text_actions &&
+              aggregate_cover_depth_ == 0) {
+            ++stats_.events_shared_skipped;
+            continue;  // no query assigns roles to this text node
+          }
+          Append(std::move(event));
+          return Status::Ok();
+        }
+        case XmlEvent::Kind::kEndOfDocument: {
+          scan_done_ = true;
+          stats_.bytes_scanned = scanner_.bytes_consumed();
+          Append(std::move(event));
+          return Status::Ok();
+        }
+      }
+    }
+  }
+
+  /// Consumes a subtree whose start element the prefilter rejected.
+  Status SkipSubtree() {
+    uint64_t depth = 1;
+    while (depth > 0) {
+      XmlEvent event;
+      GCX_RETURN_IF_ERROR(scanner_.Next(&event));
+      ++stats_.events_scanned;
+      ++stats_.events_shared_skipped;
+      switch (event.kind) {
+        case XmlEvent::Kind::kStartElement:
+          ++depth;
+          break;
+        case XmlEvent::Kind::kEndElement:
+          --depth;
+          break;
+        case XmlEvent::Kind::kText:
+          break;
+        case XmlEvent::Kind::kEndOfDocument:
+          // Unreachable: the scanner enforces tag balance.
+          return EvalError("shared scan: unbalanced subtree skip");
+      }
+    }
+    return Status::Ok();
+  }
+
+  void Append(XmlEvent event) {
+    log_.push_back(std::move(event));
+    ++stats_.events_forwarded;
+    stats_.replay_log_peak =
+        std::max<uint64_t>(stats_.replay_log_peak, log_.size());
+  }
+
+  /// Drops log entries every still-active query has already replayed.
+  void Trim() {
+    uint64_t min_pos = std::numeric_limits<uint64_t>::max();
+    bool any_active = false;
+    for (const BatchQueryContext* sub : subscribers_) {
+      if (sub->detached) continue;
+      any_active = true;
+      min_pos = std::min(min_pos, sub->position);
+    }
+    if (!any_active) min_pos = log_base_ + log_.size();
+    while (log_base_ < min_pos && !log_.empty()) {
+      log_.pop_front();
+      ++log_base_;
+    }
+  }
+
+  XmlScanner scanner_;
+  MergedDfa merged_;
+  std::vector<Frame> frames_;
+  uint64_t aggregate_cover_depth_ = 0;
+  std::deque<XmlEvent> log_;
+  uint64_t log_base_ = 0;  ///< global index of log_.front()
+  bool scan_done_ = false;
+  std::vector<BatchQueryContext*> subscribers_;
+  SharedScanStats stats_;
+};
+
+Result<bool> BatchQueryContext::Pull() { return demux_->PullFor(this); }
+
+Status ValidateBatch(const std::vector<const CompiledQuery*>& queries,
+                     const std::vector<std::ostream*>& outs) {
+  if (queries.empty()) {
+    return InvalidArgumentError("multi-query batch is empty");
+  }
+  if (outs.size() != queries.size()) {
+    return InvalidArgumentError(
+        "multi-query batch needs one output stream per query");
+  }
+  const EngineOptions& base = queries.front()->options();
+  for (const CompiledQuery* query : queries) {
+    const EngineOptions& options = query->options();
+    if (options.mode != base.mode) {
+      return InvalidArgumentError(
+          "multi-query batch mixes engine modes; compile every query of a "
+          "batch with the same EngineMode");
+    }
+    if (options.scanner.attribute_mode != base.scanner.attribute_mode ||
+        options.scanner.skip_whitespace_text !=
+            base.scanner.skip_whitespace_text) {
+      return InvalidArgumentError(
+          "multi-query batch mixes scanner options; the shared scan needs "
+          "one tokenization");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<MultiQueryStats> MultiQueryEngine::Execute(
+    const std::vector<const CompiledQuery*>& queries, std::string_view input,
+    const std::vector<std::ostream*>& outs) const {
+  return Execute(queries, std::make_unique<StringSource>(input), outs);
+}
+
+Result<MultiQueryStats> MultiQueryEngine::Execute(
+    const std::vector<const CompiledQuery*>& queries,
+    std::unique_ptr<ByteSource> input,
+    const std::vector<std::ostream*>& outs) const {
+  GCX_RETURN_IF_ERROR(ValidateBatch(queries, outs));
+  if (queries.front()->options().mode == EngineMode::kNaiveDom) {
+    return ExecuteDomBatch(queries, std::move(input), outs);
+  }
+  return ExecuteStreamingBatch(queries, std::move(input), outs);
+}
+
+Result<MultiQueryStats> MultiQueryEngine::ExecuteStreamingBatch(
+    const std::vector<const CompiledQuery*>& queries,
+    std::unique_ptr<ByteSource> input,
+    const std::vector<std::ostream*>& outs) const {
+  const EngineMode mode = queries.front()->options().mode;
+
+  std::vector<MergedDfaInput> dfa_inputs;
+  std::vector<const ProjectionTree*> trees;
+  for (const CompiledQuery* query : queries) {
+    dfa_inputs.push_back(
+        {&query->analyzed().projection, &query->analyzed().roles});
+    trees.push_back(&query->analyzed().projection);
+  }
+  SharedScanDemux demux(std::move(input), queries.front()->options().scanner,
+                        dfa_inputs);
+
+  std::vector<std::unique_ptr<BatchQueryContext>> contexts;
+  contexts.reserve(queries.size());
+  for (const CompiledQuery* query : queries) {
+    auto ctx = std::make_unique<BatchQueryContext>(&query->analyzed(), &demux);
+    if (!query->options().enable_gc ||
+        mode == EngineMode::kMaterializedProjection) {
+      ctx->buffer().set_gc_enabled(false);
+    }
+    demux.Register(ctx.get());
+    contexts.push_back(std::move(ctx));
+  }
+
+  MultiQueryStats result;
+  result.projection = SummarizeMergedProjection(trees);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto start = std::chrono::steady_clock::now();
+    const CompiledQuery& query = *queries[i];
+    BatchQueryContext& ctx = *contexts[i];
+
+    if (mode == EngineMode::kMaterializedProjection) {
+      // Static projection: materialize this query's projected document
+      // completely (replaying the shared log), then evaluate on it.
+      while (true) {
+        GCX_ASSIGN_OR_RETURN(bool more, ctx.Pull());
+        if (!more) break;
+      }
+    }
+
+    XmlWriter writer(outs[i]);
+    EvalOptions eval_options;
+    eval_options.execute_signoffs =
+        query.options().enable_gc && mode == EngineMode::kStreaming;
+    Evaluator evaluator(&query.analyzed(), &ctx, &writer, eval_options);
+    GCX_RETURN_IF_ERROR(evaluator.Run());
+    // Freeze this query's pipeline exactly where a solo run would have
+    // stopped pulling; later queries continue the shared scan without it.
+    demux.Detach(&ctx);
+
+    ExecStats stats;
+    stats.buffer = ctx.buffer().stats();
+    stats.projector = ctx.projector().stats();
+    stats.peak_bytes = stats.buffer.bytes_peak;
+    stats.output_bytes = writer.bytes_written();
+    stats.dfa_states = ctx.projector().dfa().num_states();
+    stats.scan_passes = 0;  // the batch's one pass is in result.shared
+    stats.events_delivered = stats.projector.events_read;
+    stats.live_roles_final = ctx.buffer().live_role_instances();
+    stats.buffer_nodes_final = stats.buffer.nodes_current;
+    stats.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (eval_options.execute_signoffs) {
+      // Paper requirement (2), per batched query: every assigned role was
+      // removed again.
+      GCX_CHECK(ctx.buffer().live_role_instances() == 0);
+    }
+    result.per_query.push_back(stats);
+  }
+
+  result.shared = demux.stats();
+  result.shared.scan_passes = 1;
+  result.shared.bytes_scanned = demux.scanner().bytes_consumed();
+  result.shared.merged_dfa_states = demux.merged().num_states();
+  return result;
+}
+
+Result<MultiQueryStats> MultiQueryEngine::ExecuteDomBatch(
+    const std::vector<const CompiledQuery*>& queries,
+    std::unique_ptr<ByteSource> input,
+    const std::vector<std::ostream*>& outs) const {
+  // Read the input and build the DOM once; every query shares it.
+  std::string document;
+  char chunk[1 << 16];
+  uint64_t input_bytes = 0;
+  while (size_t n = input->Read(chunk, sizeof(chunk))) {
+    document.append(chunk, n);
+    input_bytes += n;
+  }
+  GCX_ASSIGN_OR_RETURN(
+      std::unique_ptr<DomDocument> doc,
+      ParseDom(document, queries.front()->options().scanner));
+  uint64_t dom_bytes = DomSubtreeBytes(doc->root());
+
+  MultiQueryStats result;
+  std::vector<const ProjectionTree*> trees;
+  for (const CompiledQuery* query : queries) {
+    trees.push_back(&query->analyzed().projection);
+  }
+  result.projection = SummarizeMergedProjection(trees);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto start = std::chrono::steady_clock::now();
+    XmlWriter writer(outs[i]);
+    GCX_RETURN_IF_ERROR(
+        EvalQueryOnDom(queries[i]->parsed(), doc.get(), &writer));
+    ExecStats stats;
+    stats.peak_bytes = dom_bytes;
+    stats.output_bytes = writer.bytes_written();
+    // As in the streaming batch, input accounting lives in result.shared
+    // (scan_passes/input_bytes stay 0 per query: there was no private
+    // read); projector/DFA counters are 0 just like solo ExecuteNaiveDom.
+    stats.scan_passes = 0;
+    stats.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    result.per_query.push_back(stats);
+  }
+  result.shared.scan_passes = 1;
+  result.shared.bytes_scanned = input_bytes;
+  return result;
+}
+
+}  // namespace gcx

@@ -1,0 +1,110 @@
+// Multi-query batched execution: one document scan, N queries.
+//
+// A production deployment of the paper's engine rarely evaluates one query
+// at a time — many concurrent queries hit the same document stream. The
+// MultiQueryEngine accepts N compiled queries, merges their projection DFAs
+// into one shared prefilter (projection/merged_dfa.h), scans the input
+// exactly ONCE, and demultiplexes the surviving events across N independent
+// projector/buffer/evaluator pipelines, so each query produces byte-exactly
+// the output it would have produced alone.
+//
+// Architecture (extends Fig. 11 to a batch):
+//
+//   scanner ──► merged-DFA prefilter ──► shared replay log ──► projector 1 ─ evaluator 1
+//              (skips subtrees dead                       ├──► projector 2 ─ evaluator 2
+//               for EVERY query)                          └──► …
+//
+// Evaluators run sequentially; each pulls through the shared log at its own
+// position. Whoever reaches the head of the log advances the single
+// scanner; everyone behind replays buffered events. A subtree no query can
+// match is consumed by the prefilter without ever entering the log (the
+// shared analog of the per-query fast-skip). Events already replayed by
+// every still-active query are dropped from the log's tail — in practice
+// that frees little before the last query runs (earlier queries pin
+// position 0 until they evaluate); see the memory note below.
+//
+// Memory: the log retains the union-projected event stream until the last
+// query has replayed it — the inherent cost of evaluating N pull-based
+// queries against one sequential scan. The per-query buffers behave exactly
+// as in solo runs (projection + active GC), so the paper's Sec. 3 safety
+// requirements hold per query and are re-checked here.
+
+#ifndef GCX_CORE_MULTI_ENGINE_H_
+#define GCX_CORE_MULTI_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "analysis/merged_projection.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "xml/scanner.h"
+
+namespace gcx {
+
+/// Counters of the one shared scan a batch performs.
+struct SharedScanStats {
+  uint64_t scan_passes = 0;    ///< raw input passes for the whole batch (1)
+  uint64_t bytes_scanned = 0;  ///< bytes consumed from the input source
+  uint64_t events_scanned = 0; ///< events produced by the single scanner
+  /// Events that survived the merged-DFA prefilter into the replay log.
+  uint64_t events_forwarded = 0;
+  /// Events consumed inside shared skips (subtrees and text no query needs).
+  uint64_t events_shared_skipped = 0;
+  uint64_t shared_subtrees_skipped = 0;  ///< whole subtrees skipped
+  /// Event deliveries summed over all queries (≤ queries × events_forwarded).
+  uint64_t events_demuxed = 0;
+  uint64_t merged_dfa_states = 0;  ///< materialized product states
+  uint64_t replay_log_peak = 0;    ///< peak buffered events in the log
+};
+
+/// Result of one batched execution.
+struct MultiQueryStats {
+  SharedScanStats shared;
+  /// Static union shape of the batch's projection trees (shared vs private).
+  MergedProjectionStats projection;
+  /// Per-query statistics, index-aligned with the submitted batch. Their
+  /// scan_passes are 0: the single shared pass is accounted above.
+  std::vector<ExecStats> per_query;
+};
+
+/// Batched execution façade. All queries of a batch must have been compiled
+/// with the same EngineMode and scanner options (analysis toggles may
+/// differ per query); Execute rejects mixed batches.
+///
+/// Modes:
+///   kStreaming / kMaterializedProjection — shared scan + merged-DFA
+///       prefilter + per-query projector/buffer/evaluator (see above);
+///   kNaiveDom — the document is read and DOM-parsed once, then every
+///       query is evaluated against the shared DOM.
+class MultiQueryEngine {
+ public:
+  /// Runs every query of `queries` over `input`, writing query i's result
+  /// to `*outs[i]`. The input is scanned exactly once.
+  Result<MultiQueryStats> Execute(
+      const std::vector<const CompiledQuery*>& queries, std::string_view input,
+      const std::vector<std::ostream*>& outs) const;
+
+  /// Stream variant: consumes an arbitrary byte source.
+  Result<MultiQueryStats> Execute(
+      const std::vector<const CompiledQuery*>& queries,
+      std::unique_ptr<ByteSource> input,
+      const std::vector<std::ostream*>& outs) const;
+
+ private:
+  Result<MultiQueryStats> ExecuteStreamingBatch(
+      const std::vector<const CompiledQuery*>& queries,
+      std::unique_ptr<ByteSource> input,
+      const std::vector<std::ostream*>& outs) const;
+  Result<MultiQueryStats> ExecuteDomBatch(
+      const std::vector<const CompiledQuery*>& queries,
+      std::unique_ptr<ByteSource> input,
+      const std::vector<std::ostream*>& outs) const;
+};
+
+}  // namespace gcx
+
+#endif  // GCX_CORE_MULTI_ENGINE_H_

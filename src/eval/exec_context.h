@@ -1,9 +1,15 @@
-// Execution context: wires scanner → projector → buffer for one run
+// Execution contexts: wire scanner → projector → buffer for one run
 // (Fig. 11's component architecture, realized as a synchronous pull chain).
 //
 // "The query evaluator blocks and requests further input" (Sec. 1) is
 // implemented as the evaluator calling Pull() — process one input event —
 // in a loop until the datum it needs appears in the buffer.
+//
+// ExecContext is the abstract surface the evaluator and cursors pull
+// through; StreamExecContext is the classic one-query-one-scanner wiring.
+// The multi-query engine (core/multi_engine.h) provides a second
+// implementation whose Pull() demultiplexes one shared document scan
+// across N per-query buffers.
 
 #ifndef GCX_EVAL_EXEC_CONTEXT_H_
 #define GCX_EVAL_EXEC_CONTEXT_H_
@@ -19,21 +25,17 @@
 
 namespace gcx {
 
-/// Owns the runtime state of one streaming execution.
+/// The runtime state one evaluation pulls against: a buffer, the tag table
+/// its node tags are interned in, and a way to request more input.
 class ExecContext {
  public:
-  ExecContext(const ProjectionTree* tree, const RoleCatalog* roles,
-              std::unique_ptr<ByteSource> input, ScannerOptions scanner_options)
-      : scanner_(std::move(input), scanner_options),
-        projector_(tree, roles, &tags_, &scanner_, &buffer_) {}
+  virtual ~ExecContext() = default;
 
-  BufferTree& buffer() { return buffer_; }
-  SymbolTable& tags() { return tags_; }
-  StreamProjector& projector() { return projector_; }
-  XmlScanner& scanner() { return scanner_; }
+  virtual BufferTree& buffer() = 0;
+  virtual SymbolTable& tags() = 0;
 
   /// Processes one input event. Returns false once the input is exhausted.
-  Result<bool> Pull() { return projector_.Advance(); }
+  virtual Result<bool> Pull() = 0;
 
   /// Pulls until `node`'s closing tag has been processed (or EOS, which by
   /// scanner well-formedness implies every open element was closed).
@@ -45,6 +47,23 @@ class ExecContext {
     GCX_CHECK(node->finished);
     return Status::Ok();
   }
+};
+
+/// Owns the runtime state of one single-query streaming execution.
+class StreamExecContext final : public ExecContext {
+ public:
+  StreamExecContext(const ProjectionTree* tree, const RoleCatalog* roles,
+                    std::unique_ptr<ByteSource> input,
+                    ScannerOptions scanner_options)
+      : scanner_(std::move(input), scanner_options),
+        projector_(tree, roles, &tags_, &scanner_, &buffer_) {}
+
+  BufferTree& buffer() override { return buffer_; }
+  SymbolTable& tags() override { return tags_; }
+  StreamProjector& projector() { return projector_; }
+  XmlScanner& scanner() { return scanner_; }
+
+  Result<bool> Pull() override { return projector_.Advance(); }
 
  private:
   SymbolTable tags_;

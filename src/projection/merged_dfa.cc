@@ -1,0 +1,83 @@
+#include "projection/merged_dfa.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gcx {
+
+namespace {
+
+bool AnyAggregateAssign(const std::vector<MatchAction>& actions) {
+  for (const MatchAction& action : actions) {
+    for (const RoleAssign& assign : action.roles) {
+      if (assign.aggregate) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+size_t MergedDfa::PartsHash::operator()(
+    const std::vector<DfaState*>& parts) const {
+  size_t h = parts.size();
+  for (DfaState* part : parts) {
+    h ^= std::hash<const void*>()(part) + 0x9e3779b97f4a7c15ull + (h << 6) +
+         (h >> 2);
+  }
+  return h;
+}
+
+MergedDfa::MergedDfa(const std::vector<MergedDfaInput>& inputs) {
+  dfas_.reserve(inputs.size());
+  std::vector<DfaState*> parts;
+  parts.reserve(inputs.size());
+  for (const MergedDfaInput& input : inputs) {
+    dfas_.push_back(
+        std::make_unique<LazyDfa>(input.tree, input.roles, &tags_));
+    parts.push_back(dfas_.back()->initial());
+  }
+  initial_ = Intern(std::move(parts));
+}
+
+MergedDfa::State* MergedDfa::Intern(std::vector<DfaState*> parts) {
+  auto found = states_.find(parts);
+  if (found != states_.end()) return found->second.get();
+
+  auto state = std::make_unique<State>();
+  state->parts = parts;
+  state->skippable = true;
+  for (DfaState* part : state->parts) {
+    if (!part->empty || !part->element_actions.empty()) {
+      state->skippable = false;
+    }
+    if (part->child_sensitive) state->any_child_sensitive = true;
+    if (!part->text_actions.empty()) state->any_text_actions = true;
+    if (AnyAggregateAssign(part->element_actions)) {
+      state->aggregate_entry = true;
+    }
+  }
+
+  State* out = state.get();
+  states_.emplace(std::move(parts), std::move(state));
+  return out;
+}
+
+MergedDfa::State* MergedDfa::Transition(State* state, const std::string& name) {
+  TagId tag = tags_.Intern(name);
+  auto found = state->transitions.find(tag);
+  if (found != state->transitions.end()) return found->second;
+
+  std::vector<DfaState*> parts;
+  parts.reserve(state->parts.size());
+  for (size_t i = 0; i < state->parts.size(); ++i) {
+    parts.push_back(dfas_[i]->Transition(state->parts[i], tag));
+  }
+  State* next = Intern(std::move(parts));
+  state->transitions.emplace(tag, next);
+  return next;
+}
+
+}  // namespace gcx

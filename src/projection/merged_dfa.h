@@ -1,0 +1,94 @@
+// Merged (product) projection DFA for multi-query batched execution.
+//
+// Given N compiled queries, the merged DFA runs their N lazy projection
+// DFAs in lockstep over one shared tag alphabet: a merged state is the
+// tuple of the per-query states reached by the current document path, built
+// lazily and memoized just like the per-query DFAs (Sec. 2, Fig. 5).
+//
+// The merged state answers one question for the shared-scan demultiplexer:
+// "can this subtree be skipped for *every* query in the batch?" — the
+// conjunction of the per-query fast-skip conditions, evaluated once per
+// (state, tag) instead of N times per element. Runtime-only refinements
+// (the `[1]` first-witness suppression) are ignored here; that only makes
+// the filter conservative (events a single-query run might have skipped are
+// still delivered), never incorrect.
+//
+// Per-query role assignment stays in the per-query StreamProjectors — the
+// merged DFA carries the per-query states (the "per-query tagging" of the
+// union filter) purely for the shared keep/skip decision.
+
+#ifndef GCX_PROJECTION_MERGED_DFA_H_
+#define GCX_PROJECTION_MERGED_DFA_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/projection_tree.h"
+#include "analysis/roles.h"
+#include "common/symbol_table.h"
+#include "projection/dfa.h"
+
+namespace gcx {
+
+/// One projection input of the merged DFA (borrowed from a CompiledQuery).
+struct MergedDfaInput {
+  const ProjectionTree* tree = nullptr;
+  const RoleCatalog* roles = nullptr;
+};
+
+/// Lazily built product of N per-query projection DFAs.
+class MergedDfa {
+ public:
+  /// A memoized product state with the precomputed union predicates the
+  /// demultiplexer needs per event.
+  struct State {
+    /// Per-query DFA states, index-aligned with the constructor inputs.
+    std::vector<DfaState*> parts;
+
+    /// Every part is empty and action-free: the subtree entered in this
+    /// state is dead for all queries (modulo the parent's child-sensitivity
+    /// and aggregate covers, which the caller checks).
+    bool skippable = false;
+    /// Some part keeps children structurally (preservation case (2)).
+    bool any_child_sensitive = false;
+    /// Some part assigns roles to text children in this state.
+    bool any_text_actions = false;
+    /// Entering an element in this state may put an aggregate role on it
+    /// for some query: its whole subtree must then be delivered (Sec. 6).
+    bool aggregate_entry = false;
+
+    std::unordered_map<TagId, State*> transitions;
+  };
+
+  explicit MergedDfa(const std::vector<MergedDfaInput>& inputs);
+
+  /// The product state of the virtual document root.
+  State* initial() { return initial_; }
+
+  /// δ(state, element name), computed and memoized on demand. The name is
+  /// interned in the merged DFA's private tag table.
+  State* Transition(State* state, const std::string& name);
+
+  size_t num_states() const { return states_.size(); }
+  size_t num_queries() const { return dfas_.size(); }
+
+ private:
+  struct PartsHash {
+    size_t operator()(const std::vector<DfaState*>& parts) const;
+  };
+
+  State* Intern(std::vector<DfaState*> parts);
+
+  SymbolTable tags_;
+  std::vector<std::unique_ptr<LazyDfa>> dfas_;
+  std::unordered_map<std::vector<DfaState*>, std::unique_ptr<State>, PartsHash>
+      states_;
+  State* initial_ = nullptr;
+};
+
+}  // namespace gcx
+
+#endif  // GCX_PROJECTION_MERGED_DFA_H_

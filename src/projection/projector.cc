@@ -37,8 +37,23 @@ StreamProjector::StreamProjector(const ProjectionTree* tree,
 
 Result<bool> StreamProjector::Advance() {
   if (done_) return false;
+  GCX_CHECK(scanner_ != nullptr);
   XmlEvent event;
   GCX_RETURN_IF_ERROR(scanner_->Next(&event));
+  return ProcessEvent(std::move(event));
+}
+
+Result<bool> StreamProjector::ProcessEvent(const XmlEvent& event) {
+  return Dispatch(event, nullptr);
+}
+
+Result<bool> StreamProjector::ProcessEvent(XmlEvent&& event) {
+  return Dispatch(event, &event.text);
+}
+
+Result<bool> StreamProjector::Dispatch(const XmlEvent& event,
+                                       std::string* owned_text) {
+  if (done_) return false;
   ++stats_.events_read;
   switch (event.kind) {
     case XmlEvent::Kind::kStartElement:
@@ -48,7 +63,7 @@ Result<bool> StreamProjector::Advance() {
       HandleEnd();
       break;
     case XmlEvent::Kind::kText:
-      HandleText(std::move(event.text));
+      HandleText(owned_text != nullptr ? std::move(*owned_text) : event.text);
       break;
     case XmlEvent::Kind::kEndOfDocument:
       done_ = true;

@@ -40,12 +40,23 @@ struct ProjectorStats {
 /// Pull-based projector: `Advance()` processes exactly one scanner event.
 class StreamProjector {
  public:
+  /// `scanner` may be null when events are pushed via ProcessEvent()
+  /// (multi-query demultiplexing); Advance() then must not be called.
   StreamProjector(const ProjectionTree* tree, const RoleCatalog* roles,
                   SymbolTable* tags, XmlScanner* scanner, BufferTree* buffer);
 
   /// Processes one event. Returns false once the document is exhausted
   /// (the virtual root is then finished). Safe to call again after that.
   Result<bool> Advance();
+
+  /// Processes one externally supplied event (same contract as Advance()).
+  /// The event stream must be a well-formed document stream, except that
+  /// entire subtrees this projector would fast-skip may be elided. The
+  /// borrowing overload copies kept text payloads (multi-query replay: the
+  /// same event feeds several projectors); the owning overload moves them
+  /// (the solo hot path).
+  Result<bool> ProcessEvent(const XmlEvent& event);
+  Result<bool> ProcessEvent(XmlEvent&& event);
 
   bool done() const { return done_; }
   const ProjectorStats& stats() const { return stats_; }
@@ -69,6 +80,8 @@ class StreamProjector {
     /// 1 when entering this element increased the aggregate depth.
     uint32_t aggregate_inc = 0;
   };
+
+  Result<bool> Dispatch(const XmlEvent& event, std::string* owned_text);
 
   void HandleStart(const std::string& name);
   void HandleEnd();

@@ -1,6 +1,7 @@
 #include "xq/parser.h"
 
 #include <cctype>
+#include <initializer_list>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -90,6 +91,21 @@ class Parser {
     bool ok = ConsumeKeyword(word);
     pos_ = saved;
     return ok;
+  }
+
+  /// Tries each keyword in order; on success reports which one matched via
+  /// `*which` (an index into `words`).
+  bool ConsumeKeywordOf(std::initializer_list<std::string_view> words,
+                        size_t* which) {
+    size_t index = 0;
+    for (std::string_view word : words) {
+      if (ConsumeKeyword(word)) {
+        *which = index;
+        return true;
+      }
+      ++index;
+    }
+    return false;
   }
 
   Result<std::string> ParseName() {
@@ -412,10 +428,10 @@ class Parser {
       GCX_ASSIGN_OR_RETURN(std::string value, ParseStringLiteral());
       return MakeTextLiteral(std::move(value));
     }
-    if (ConsumeKeyword("count") || ConsumeKeyword("sum")) {
-      // Aggregates (extension; see ast.h). The keyword was consumed; decide
-      // which by looking back.
-      AggKind agg = text_[pos_ - 1] == 't' ? AggKind::kCount : AggKind::kSum;
+    size_t agg_keyword = 0;
+    if (ConsumeKeywordOf({"count", "sum"}, &agg_keyword)) {
+      // Aggregates (extension; see ast.h).
+      AggKind agg = agg_keyword == 0 ? AggKind::kCount : AggKind::kSum;
       if (!ConsumeChar('(')) return Error("expected '(' after aggregate");
       GCX_ASSIGN_OR_RETURN(Operand operand, ParseVarPath());
       if (!ConsumeChar(')')) return Error("expected ')' after aggregate");

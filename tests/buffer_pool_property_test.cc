@@ -1,0 +1,164 @@
+// Randomized property test for the buffer manager and its node pool:
+// after ANY interleaving of appends, role assignment, role removal,
+// pinning, unpinning and closing (each triggering localized GC), a full
+// drain — close everything, remove every remaining role, release every
+// pin — must leave zero live role instances and nothing in the buffer but
+// the virtual root, and the pool's free-list accounting must balance at
+// every step (allocations − frees == live nodes; a double free would break
+// the balance before tripping the pool's own live-count check).
+//
+// The interleavings mimic what a projector/evaluator pair can produce:
+// elements open in document order and close in stack order; text nodes are
+// born finished; roles and pins come and go at arbitrary points.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "buffer/buffer_tree.h"
+#include "common/prng.h"
+
+namespace gcx {
+namespace {
+
+struct RoleRecord {
+  BufferNode* node = nullptr;
+  RoleId role = kInvalidRole;
+  uint32_t count = 0;
+};
+
+class DrainProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DrainProperty, AnyInterleavingDrainsToTheVirtualRoot) {
+  Prng rng(GetParam() * 0x9e3779b9u + 1);
+  BufferTree tree;
+
+  std::vector<BufferNode*> open_stack = {tree.root()};
+  std::vector<RoleRecord> records;
+  std::vector<BufferNode*> pins;
+
+  // Role ids 1..4 are plain, 5..8 aggregate — a fixed id→mode mapping so a
+  // node never holds the same id in both modes (RemoveRole matches by id).
+  auto random_role = [&](bool* aggregate) {
+    RoleId role = static_cast<RoleId>(1 + rng.Below(8));
+    *aggregate = role > 4;
+    return role;
+  };
+  auto add_roles = [&](BufferNode* node, uint32_t min_roles) {
+    uint64_t n = min_roles + rng.Below(3);
+    for (uint64_t i = 0; i < n; ++i) {
+      bool aggregate = false;
+      RoleId role = random_role(&aggregate);
+      uint32_t count = 1 + static_cast<uint32_t>(rng.Below(3));
+      tree.AddRole(node, role, count, aggregate);
+      records.push_back({node, role, count});
+    }
+  };
+  auto check_pool_balance = [&]() {
+    ASSERT_EQ(tree.pool_total_allocated() - tree.pool_total_freed(),
+              tree.pool_live_nodes());
+    ASSERT_EQ(tree.pool_live_nodes(), tree.stats().nodes_current);
+    ASSERT_EQ(tree.stats().nodes_created - tree.stats().nodes_purged,
+              tree.stats().nodes_current);
+  };
+  auto drop_record = [&](size_t index) {
+    RoleRecord& record = records[index];
+    uint32_t remove = 1 + static_cast<uint32_t>(rng.Below(record.count));
+    tree.RemoveRole(record.node, record.role, remove);
+    record.count -= remove;
+    if (record.count == 0) {
+      records[index] = records.back();
+      records.pop_back();
+    }
+  };
+
+  for (int step = 0; step < 300; ++step) {
+    switch (rng.Below(10)) {
+      case 0:
+      case 1:
+      case 2: {  // open a new element under the current node
+        if (open_stack.size() > 12) break;
+        BufferNode* node = tree.AppendElement(
+            open_stack.back(), static_cast<TagId>(rng.Below(6)));
+        if (rng.Chance(600)) add_roles(node, 1);
+        open_stack.push_back(node);
+        break;
+      }
+      case 3:
+      case 4: {  // text node (born finished); under the root it must carry
+                 // a role or nothing would ever reclaim it
+        BufferNode* parent = open_stack.back();
+        BufferNode* node = tree.AppendText(parent, "t");
+        if (parent == tree.root() || rng.Chance(500)) add_roles(node, 1);
+        break;
+      }
+      case 5:
+      case 6: {  // close the current element (stack order, like the scan)
+        if (open_stack.size() == 1) break;
+        tree.Finish(open_stack.back());
+        open_stack.pop_back();
+        break;
+      }
+      case 7: {  // sign off some role instances
+        if (records.empty()) break;
+        drop_record(rng.Below(records.size()));
+        break;
+      }
+      case 8: {  // pin a node the test still safely references
+        std::vector<BufferNode*> candidates(open_stack.begin() + 1,
+                                            open_stack.end());
+        for (const RoleRecord& r : records) candidates.push_back(r.node);
+        for (BufferNode* p : pins) candidates.push_back(p);
+        if (candidates.empty()) break;
+        BufferNode* node = candidates[rng.Below(candidates.size())];
+        tree.Pin(node);
+        pins.push_back(node);
+        break;
+      }
+      default: {  // release a pin (localized GC trigger)
+        if (pins.empty()) break;
+        size_t index = rng.Below(pins.size());
+        tree.Unpin(pins[index]);
+        pins[index] = pins.back();
+        pins.pop_back();
+        break;
+      }
+    }
+    check_pool_balance();
+  }
+
+  // Drain: close every open element (innermost first), then release the
+  // remaining roles and pins in random order.
+  while (open_stack.size() > 1) {
+    tree.Finish(open_stack.back());
+    open_stack.pop_back();
+  }
+  while (!records.empty() || !pins.empty()) {
+    if (!records.empty() && (pins.empty() || rng.Chance(500))) {
+      drop_record(rng.Below(records.size()));
+    } else {
+      size_t index = rng.Below(pins.size());
+      tree.Unpin(pins[index]);
+      pins[index] = pins.back();
+      pins.pop_back();
+    }
+    check_pool_balance();
+  }
+
+  // The Sec. 3 safety requirements, as buffer-level properties: role
+  // balance and a buffer drained down to (exactly) the virtual root.
+  EXPECT_EQ(tree.live_role_instances(), 0u);
+  EXPECT_EQ(tree.stats().roles_assigned, tree.stats().roles_removed);
+  EXPECT_EQ(tree.stats().nodes_current, 1u);
+  EXPECT_EQ(tree.pool_live_nodes(), 1u);  // the virtual root
+  EXPECT_EQ(tree.pool_total_allocated() - tree.pool_total_freed(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DrainProperty,
+                         ::testing::Range<uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace gcx

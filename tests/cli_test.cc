@@ -231,5 +231,47 @@ TEST_F(CliTest, KeepWhitespaceFlag) {
   EXPECT_EQ(r.output, "<r><a><b>k</b> </a></r>\n");
 }
 
+TEST_F(CliTest, RepeatedQueryFlagRunsABatch) {
+  RunResult r = Shell("echo '<a><b>hi</b><c>3</c><c>4</c></a>' | " +
+                      BinaryPath() +
+                      " -q '<r>{ for $x in /a/b return $x }</r>'"
+                      " -q '<r>{ sum(/a/c) }</r>'"
+                      " -q '<r>{ count(/a/c) }</r>' -");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, "<r><b>hi</b></r>\n<r>7</r>\n<r>2</r>\n");
+}
+
+TEST_F(CliTest, QueryFlagAcceptsFiles) {
+  std::string dir = ::testing::TempDir();
+  {
+    std::ofstream a(dir + "/a.xq");
+    a << "<r>{ count(/a/b) }</r>";
+    std::ofstream b(dir + "/b.xq");
+    b << "<r>{ for $x in /a/b return $x }</r>";
+    std::ofstream d(dir + "/d.xml");
+    d << "<a><b>1</b><b>2</b></a>";
+  }
+  RunResult r = Shell(BinaryPath() + " -q " + dir + "/a.xq -q " + dir +
+                      "/b.xq " + dir + "/d.xml");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, "<r>2</r>\n<r><b>1</b><b>2</b></r>\n");
+}
+
+TEST_F(CliTest, BatchStatsReportOneSharedScan) {
+  RunResult r = Shell("echo '<a><b/><c/></a>' | " + BinaryPath() +
+                      " -q '<r>{ count(/a/b) }</r>'"
+                      " -q '<r>{ count(/a/c) }</r>' --stats - 2>&1");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("scan passes:       1"), std::string::npos);
+  EXPECT_NE(r.output.find("merged DFA states:"), std::string::npos);
+}
+
+TEST_F(CliTest, BatchMalformedInputExitsNonZero) {
+  RunResult r = Shell("echo '<a><b></a>' | " + BinaryPath() +
+                      " -q '<r>{ count(//x) }</r>'"
+                      " -q '<r>{ count(//y) }</r>' - 2>/dev/null");
+  EXPECT_NE(r.exit_code, 0);
+}
+
 }  // namespace
 }  // namespace gcx

@@ -25,6 +25,12 @@ for query in "$cases_dir"/*.xq; do
     echo "error: $name.xq has no matching $name.xml" >&2
     exit 1
   fi
+  if [[ -f "$cases_dir/$name.error" ]]; then
+    # Error-path case: the expected *error text* is hand-written, there is
+    # no golden output to regenerate.
+    echo "skipping $name (error-path case)"
+    continue
+  fi
   # The CLI appends exactly one newline after the result; the engine-level
   # output the conformance test compares against does not have it. (perl
   # rather than `head -c -1`, which BSD/macOS head rejects.)

@@ -4,14 +4,27 @@
 //   <name>.xq        — the query
 //   <name>.xml       — the input document
 //   <name>.expected  — the golden result (byte-exact, no trailing newline)
+// or, for error-path cases,
+//   <name>.error     — a substring the execution error must contain
+//                      (replaces <name>.expected; the document is malformed
+//                      or otherwise unprocessable).
+//
 // The runner executes every case under all four engine configurations
 // (streaming+GC — the paper's GCX —, streaming without GC, materialized
 // projection, naive DOM) and asserts
 //   1. byte-identical output against the golden file (Theorem 1, as a
-//      reviewable fixture set instead of an in-process fuzz check), and
+//      reviewable fixture set instead of an in-process fuzz check) — or,
+//      for error cases, a failing status carrying the expected text in
+//      every configuration, and
 //   2. the Sec. 3 safety requirements whenever GC is active: role balance
 //      (every assigned role removed again) and a drained buffer (nothing
 //      left but the virtual root).
+//
+// The multi-query path is exercised on the same corpus: cases sharing a
+// byte-identical document are executed as one batch through the
+// MultiQueryEngine (one shared scan), and every query of the batch must
+// still match its individual golden byte-for-byte, under all four
+// configurations, with the scan counters proving a single input pass.
 //
 // The corpus directory is found through GCX_CONFORMANCE_DIR (set by CTest);
 // when run by hand, the usual source-tree locations are probed.
@@ -23,12 +36,14 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/engine.h"
+#include "core/multi_engine.h"
 
 namespace gcx {
 namespace {
@@ -65,7 +80,9 @@ struct Case {
   std::string query;
   std::string document;
   std::string expected;
-  bool complete = true;  ///< all three files were readable
+  std::string expected_error;  ///< non-empty: execution must fail with this
+  bool is_error = false;
+  bool complete = true;  ///< all required files were readable
 };
 
 std::vector<Case> LoadCorpus() {
@@ -77,12 +94,20 @@ std::vector<Case> LoadCorpus() {
     Case c;
     c.name = entry.path().stem().string();
     c.query = ReadFileIfAny(entry.path(), &c.complete);
-    c.document =
-        ReadFileIfAny(fs::path(entry.path()).replace_extension(".xml"),
-                      &c.complete);
-    c.expected =
-        ReadFileIfAny(fs::path(entry.path()).replace_extension(".expected"),
-                      &c.complete);
+    c.document = ReadFileIfAny(
+        fs::path(entry.path()).replace_extension(".xml"), &c.complete);
+    fs::path error_path = fs::path(entry.path()).replace_extension(".error");
+    if (fs::exists(error_path)) {
+      c.is_error = true;
+      c.expected_error = ReadFileIfAny(error_path, &c.complete);
+      // Trailing newline in the fixture is editor convenience, not payload.
+      while (!c.expected_error.empty() && c.expected_error.back() == '\n') {
+        c.expected_error.pop_back();
+      }
+    } else {
+      c.expected = ReadFileIfAny(
+          fs::path(entry.path()).replace_extension(".expected"), &c.complete);
+    }
     cases.push_back(std::move(c));
   }
   std::sort(cases.begin(), cases.end(),
@@ -95,7 +120,8 @@ class ConformanceTest : public ::testing::TestWithParam<Case> {};
 TEST_P(ConformanceTest, AllConfigsMatchGolden) {
   const Case& c = GetParam();
   ASSERT_TRUE(c.complete)
-      << c.name << ": missing .xq/.xml/.expected file in " << CorpusDir();
+      << c.name << ": missing .xq/.xml/.expected(.error) file in "
+      << CorpusDir();
   // The four configurations of the paper's Table 1 column set, shared with
   // the benchmark harness.
   for (const NamedEngineConfig& config : StandardEngineConfigs()) {
@@ -106,10 +132,24 @@ TEST_P(ConformanceTest, AllConfigsMatchGolden) {
     Engine engine;
     std::ostringstream out;
     auto stats = engine.Execute(*compiled, c.document, &out);
+
+    if (c.is_error) {
+      ASSERT_FALSE(stats.ok())
+          << c.name << " [" << config.name
+          << "]: expected a failing execution, got output: " << out.str();
+      EXPECT_NE(stats.status().ToString().find(c.expected_error),
+                std::string::npos)
+          << c.name << " [" << config.name << "]: error '"
+          << stats.status().ToString() << "' does not contain '"
+          << c.expected_error << "'";
+      continue;
+    }
+
     ASSERT_TRUE(stats.ok())
         << c.name << " [" << config.name << "]: " << stats.status().ToString();
     EXPECT_EQ(out.str(), c.expected)
         << c.name << " [" << config.name << "]: output diverges from golden";
+    EXPECT_EQ(stats->scan_passes, 1u) << c.name;
 
     if (config.options.mode == EngineMode::kStreaming &&
         config.options.enable_gc) {
@@ -133,10 +173,119 @@ std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
 INSTANTIATE_TEST_SUITE_P(Corpus, ConformanceTest,
                          ::testing::ValuesIn(LoadCorpus()), CaseName);
 
+// --- multi-query batched execution over the same corpus ---------------------
+
+/// Cases sharing a byte-identical document, batched through one shared scan.
+struct DocumentGroup {
+  std::string document;
+  std::vector<Case> cases;
+};
+
+std::vector<DocumentGroup> GroupByDocument() {
+  std::map<std::string, DocumentGroup> groups;
+  for (Case& c : LoadCorpus()) {
+    if (!c.complete || c.is_error) continue;
+    DocumentGroup& group = groups[c.document];
+    group.document = c.document;
+    group.cases.push_back(std::move(c));
+  }
+  std::vector<DocumentGroup> out;
+  for (auto& [doc, group] : groups) out.push_back(std::move(group));
+  return out;
+}
+
+TEST(ConformanceMultiQuery, BatchedCorpusMatchesGoldensUnderAllConfigs) {
+  std::vector<DocumentGroup> groups = GroupByDocument();
+  ASSERT_FALSE(groups.empty());
+  // The corpus must contain genuinely shared documents, or the batched
+  // path would only ever see single-query groups.
+  size_t multi_groups = 0;
+  for (const DocumentGroup& group : groups) {
+    if (group.cases.size() >= 2) ++multi_groups;
+  }
+  EXPECT_GE(multi_groups, 2u)
+      << "corpus should contain at least two documents shared by several "
+         "cases";
+
+  for (const NamedEngineConfig& config : StandardEngineConfigs()) {
+    for (const DocumentGroup& group : groups) {
+      std::vector<CompiledQuery> compiled;
+      compiled.reserve(group.cases.size());
+      for (const Case& c : group.cases) {
+        auto one = CompiledQuery::Compile(c.query, config.options);
+        ASSERT_TRUE(one.ok()) << c.name << " [" << config.name
+                              << "]: " << one.status().ToString();
+        compiled.push_back(std::move(one).value());
+      }
+      std::vector<const CompiledQuery*> batch;
+      std::vector<std::ostringstream> buffers(compiled.size());
+      std::vector<std::ostream*> outs;
+      for (size_t i = 0; i < compiled.size(); ++i) {
+        batch.push_back(&compiled[i]);
+        outs.push_back(&buffers[i]);
+      }
+
+      MultiQueryEngine engine;
+      auto stats = engine.Execute(batch, group.document, outs);
+      ASSERT_TRUE(stats.ok())
+          << group.cases.front().name << "+ [" << config.name
+          << "]: " << stats.status().ToString();
+
+      for (size_t i = 0; i < group.cases.size(); ++i) {
+        EXPECT_EQ(buffers[i].str(), group.cases[i].expected)
+            << group.cases[i].name << " [" << config.name
+            << "]: batched output diverges from golden (batch of "
+            << group.cases.size() << ")";
+      }
+
+      // One shared pass over the raw input; no query paid a private scan.
+      EXPECT_EQ(stats->shared.scan_passes, 1u);
+      EXPECT_LE(stats->shared.bytes_scanned, group.document.size());
+      ASSERT_EQ(stats->per_query.size(), group.cases.size());
+      for (size_t i = 0; i < stats->per_query.size(); ++i) {
+        EXPECT_EQ(stats->per_query[i].scan_passes, 0u);
+        if (config.options.mode == EngineMode::kStreaming &&
+            config.options.enable_gc) {
+          // Sec. 3 safety requirements hold per batched query.
+          EXPECT_EQ(stats->per_query[i].live_roles_final, 0u)
+              << group.cases[i].name;
+        }
+      }
+    }
+  }
+}
+
+TEST(ConformanceMultiQuery, ErrorCasesFailTheBatchWithTheExpectedText) {
+  for (const Case& c : LoadCorpus()) {
+    if (!c.is_error || !c.complete) continue;
+    // Batch the case with itself: the shared scan must surface the same
+    // error text the solo run produces.
+    auto compiled = CompiledQuery::Compile(c.query, {});
+    ASSERT_TRUE(compiled.ok()) << c.name;
+    std::ostringstream o1, o2;
+    MultiQueryEngine engine;
+    auto stats =
+        engine.Execute({&*compiled, &*compiled}, c.document, {&o1, &o2});
+    ASSERT_FALSE(stats.ok()) << c.name;
+    EXPECT_NE(stats.status().ToString().find(c.expected_error),
+              std::string::npos)
+        << c.name << ": '" << stats.status().ToString()
+        << "' does not contain '" << c.expected_error << "'";
+  }
+}
+
 // The acceptance floor: the corpus must not silently shrink.
-TEST(ConformanceCorpus, HasAtLeast25Cases) {
-  EXPECT_GE(LoadCorpus().size(), 25u)
+TEST(ConformanceCorpus, HasAtLeast50Cases) {
+  EXPECT_GE(LoadCorpus().size(), 50u)
       << "conformance corpus in " << CorpusDir() << " is too small";
+}
+
+TEST(ConformanceCorpus, HasErrorPathCases) {
+  size_t errors = 0;
+  for (const Case& c : LoadCorpus()) {
+    if (c.is_error) ++errors;
+  }
+  EXPECT_GE(errors, 3u) << "corpus should keep malformed-input coverage";
 }
 
 }  // namespace

@@ -34,13 +34,13 @@ class CursorHarness {
     auto analyzed = Analyze(std::move(query), options);
     GCX_CHECK(analyzed.ok());
     analyzed_ = std::make_unique<AnalyzedQuery>(std::move(analyzed).value());
-    ctx_ = std::make_unique<ExecContext>(&analyzed_->projection,
+    ctx_ = std::make_unique<StreamExecContext>(&analyzed_->projection,
                                          &analyzed_->roles,
                                          std::make_unique<StringSource>(xml),
                                          ScannerOptions{});
   }
 
-  ExecContext& ctx() { return *ctx_; }
+  StreamExecContext& ctx() { return *ctx_; }
 
   Step MakeStep(Axis axis, const char* tag) {
     Step step;
@@ -64,7 +64,7 @@ class CursorHarness {
 
  private:
   std::unique_ptr<AnalyzedQuery> analyzed_;
-  std::unique_ptr<ExecContext> ctx_;
+  std::unique_ptr<StreamExecContext> ctx_;
 };
 
 TEST(Cursor, ChildIterationPullsLazily) {

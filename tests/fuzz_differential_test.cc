@@ -16,6 +16,7 @@
 
 #include "common/prng.h"
 #include "core/engine.h"
+#include "core/multi_engine.h"
 #include "xq/parser.h"
 
 namespace gcx {
@@ -205,6 +206,73 @@ TEST_P(FuzzDifferentialTest, RandomQueriesMatchOracle) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferentialTest,
                          ::testing::Range<uint64_t>(0, 30));
+
+// --- batched vs solo multi-query execution ----------------------------------
+//
+// The same seeded generator drives the multi-query engine: a random batch
+// of queries over one random document, executed through one shared scan,
+// must reproduce every query's solo streaming output byte-for-byte (which
+// the suite above has already tied to the NaiveDom oracle).
+
+class FuzzMultiQueryTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzMultiQueryTest, BatchedExecutionMatchesSoloRuns) {
+  QueryFuzzer fuzzer(GetParam() * 7919 + 17);
+  for (int round = 0; round < 4; ++round) {
+    const size_t batch_size = 2 + (GetParam() + round) % 4;  // 2..5 queries
+    std::vector<std::string> queries;
+    for (size_t i = 0; i < batch_size; ++i) queries.push_back(fuzzer.Generate());
+    std::string doc = RandomDocument(GetParam() * 977 + round);
+    if (std::getenv("GCX_FUZZ_VERBOSE") != nullptr) {
+      for (const std::string& q : queries) std::cerr << "QUERY: " << q << "\n";
+      std::cerr << "DOC: " << doc << "\n";
+    }
+
+    std::vector<CompiledQuery> compiled;
+    compiled.reserve(queries.size());
+    for (const std::string& q : queries) {
+      auto one = CompiledQuery::Compile(q, {});
+      ASSERT_TRUE(one.ok()) << one.status().ToString() << "\n" << q;
+      compiled.push_back(std::move(one).value());
+    }
+
+    Engine solo;
+    std::vector<std::string> solo_outputs;
+    for (const CompiledQuery& query : compiled) {
+      std::ostringstream out;
+      auto stats = solo.Execute(query, doc, &out);
+      ASSERT_TRUE(stats.ok()) << stats.status().ToString() << "\n" << doc;
+      solo_outputs.push_back(out.str());
+    }
+
+    std::vector<const CompiledQuery*> batch;
+    std::vector<std::ostringstream> buffers(compiled.size());
+    std::vector<std::ostream*> outs;
+    for (size_t i = 0; i < compiled.size(); ++i) {
+      batch.push_back(&compiled[i]);
+      outs.push_back(&buffers[i]);
+    }
+    MultiQueryEngine engine;
+    auto stats = engine.Execute(batch, doc, outs);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString() << "\n" << doc;
+
+    for (size_t i = 0; i < compiled.size(); ++i) {
+      ASSERT_EQ(buffers[i].str(), solo_outputs[i])
+          << "batched query " << i << " diverges\nquery: " << queries[i]
+          << "\ndoc: " << doc;
+    }
+    // One shared pass; no query scanned privately; every query's role
+    // bookkeeping balanced (GC is on in the default options).
+    ASSERT_EQ(stats->shared.scan_passes, 1u);
+    for (const ExecStats& q : stats->per_query) {
+      ASSERT_EQ(q.scan_passes, 0u);
+      ASSERT_EQ(q.live_roles_final, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzMultiQueryTest,
+                         ::testing::Range<uint64_t>(0, 20));
 
 }  // namespace
 }  // namespace gcx

@@ -251,5 +251,62 @@ INSTANTIATE_TEST_SUITE_P(
       return info.param.label;
     });
 
+// --- aggregate keyword dispatch ----------------------------------------------
+//
+// Regression tests for the count/sum keyword handling: the parser must
+// report which keyword matched (it used to look back at the consumed text,
+// which breaks as soon as whitespace or new keywords enter the picture).
+
+const Expr* OnlyChild(const Query& q) { return q.body->child.get(); }
+
+TEST(XqParserAggregates, CountParsesAsCount) {
+  Query q = MustParse("<r>{ count($root/a/b) }</r>");
+  const Expr* e = OnlyChild(q);
+  ASSERT_EQ(e->kind, ExprKind::kAggregate);
+  EXPECT_EQ(e->agg, AggKind::kCount);
+}
+
+TEST(XqParserAggregates, SumParsesAsSum) {
+  Query q = MustParse("<r>{ sum($root/a/b) }</r>");
+  const Expr* e = OnlyChild(q);
+  ASSERT_EQ(e->kind, ExprKind::kAggregate);
+  EXPECT_EQ(e->agg, AggKind::kSum);
+}
+
+TEST(XqParserAggregates, WhitespaceBetweenKeywordAndParen) {
+  // The old lookback inspected text_[pos_ - 1] after skipping to '(' — a
+  // space after the keyword must not flip the aggregate kind.
+  Query count_q = MustParse("<r>{ count ($root/a) }</r>");
+  ASSERT_EQ(OnlyChild(count_q)->kind, ExprKind::kAggregate);
+  EXPECT_EQ(OnlyChild(count_q)->agg, AggKind::kCount);
+  Query sum_q = MustParse("<r>{ sum\t($root/a) }</r>");
+  ASSERT_EQ(OnlyChild(sum_q)->kind, ExprKind::kAggregate);
+  EXPECT_EQ(OnlyChild(sum_q)->agg, AggKind::kSum);
+}
+
+TEST(XqParserAggregates, AdjacentCountAndSumInOneSequence) {
+  Query q = MustParse("<r>{ (count($root/a),sum($root/a),count($root/b)) }</r>");
+  const Expr* seq = OnlyChild(q);
+  ASSERT_EQ(seq->kind, ExprKind::kSequence);
+  ASSERT_EQ(seq->items.size(), 3u);
+  EXPECT_EQ(seq->items[0]->agg, AggKind::kCount);
+  EXPECT_EQ(seq->items[1]->agg, AggKind::kSum);
+  EXPECT_EQ(seq->items[2]->agg, AggKind::kCount);
+}
+
+TEST(XqParserAggregates, KeywordPrefixedNamesAreNotAggregates) {
+  // `counter`/`summary` start with the keywords but are ordinary names.
+  Query q = MustParse("<r>{ for $x in /counter/summary return $x }</r>");
+  const Expr* f = OnlyChild(q);
+  ASSERT_EQ(f->kind, ExprKind::kFor);
+  EXPECT_EQ(f->path.ToString(), "counter/summary");
+}
+
+TEST(XqParserAggregates, CountAsElementTagStillConstructs) {
+  Query q = MustParse("<count>{ sum($root/a) }</count>");
+  EXPECT_EQ(q.body->tag, "count");
+  EXPECT_EQ(OnlyChild(q)->agg, AggKind::kSum);
+}
+
 }  // namespace
 }  // namespace gcx

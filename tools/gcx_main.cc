@@ -2,13 +2,17 @@
 //
 // Usage:
 //   gcx [options] <query.xq|-q QUERY> [input.xml]
+//   gcx -q a.xq -q b.xq [-q ...] input.xml      (multi-query batch)
 //
 // Reads the query from a file (or inline via -q), evaluates it over the
 // input document (file or stdin) in streaming mode with active garbage
-// collection, and writes the result to stdout.
+// collection, and writes the result to stdout. With several -q flags the
+// queries are executed as one batch sharing a single document scan
+// (MultiQueryEngine); each query's result is printed in submission order.
 //
 // Options:
-//   -q QUERY          inline query text instead of a query file
+//   -q QUERY          a query: a file path, or inline query text when no
+//                     such file exists; repeatable (batch execution)
 //   -o FILE           write the result to FILE instead of stdout
 //   --explain         print the static analysis (variable tree, roles,
 //                     projection tree, rewritten query) and exit
@@ -31,7 +35,10 @@
 #include <string>
 #include <utility>
 
+#include <vector>
+
 #include "core/engine.h"
+#include "core/multi_engine.h"
 
 namespace {
 
@@ -54,7 +61,8 @@ void Help(const char* argv0) {
          "With no input file (or '-'), the document is read from stdin.\n"
          "\n"
          "options:\n"
-         "  -q QUERY          inline query text\n"
+         "  -q QUERY          query file path or inline query text;\n"
+         "                    repeatable — N queries share one document scan\n"
          "  -o FILE           write result to FILE\n"
          "  --explain         print static analysis and exit\n"
          "  --project-only    emit the projected document, don't evaluate\n"
@@ -78,11 +86,45 @@ bool ReadFile(const std::string& path, std::string* out) {
   return true;
 }
 
+/// Streambuf forwarding to a shared target, emitting one '\n' separator
+/// before the first forwarded byte. Batched queries evaluate strictly in
+/// submission order, so giving query i>0 such a wrapper streams the batch
+/// output with solo formatting (result, newline, result, ...) and no
+/// per-query buffering.
+class SeparatedBuf : public std::streambuf {
+ public:
+  SeparatedBuf(std::ostream* target, bool separator_first)
+      : target_(target), pending_separator_(separator_first) {}
+
+ protected:
+  int overflow(int c) override {
+    if (c == traits_type::eof()) return c;
+    EmitSeparator();
+    target_->put(static_cast<char>(c));
+    return c;
+  }
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    if (n > 0) EmitSeparator();
+    target_->write(s, n);
+    return n;
+  }
+
+ private:
+  void EmitSeparator() {
+    if (pending_separator_) {
+      target_->put('\n');
+      pending_separator_ = false;
+    }
+  }
+  std::ostream* target_;
+  bool pending_separator_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   gcx::EngineOptions options;
-  std::string query_text;
+  std::vector<std::string> query_texts;
   std::string query_path;
   std::string input_path;
   std::string output_path;
@@ -96,9 +138,25 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       Help(argv[0]);
       return 0;
-    } else if (arg == "-q") {
+    } else if (arg == "-q" || arg == "--query") {
       if (++i >= argc) return Usage(argv[0]);
-      query_text = argv[i];
+      // A -q argument names a query file when one exists; otherwise it is
+      // inline query text. An argument that *looks* like a file path (inline
+      // queries always start with '<') but cannot be read is reported as
+      // such instead of being parsed as a query — a typo'd path would
+      // otherwise surface as a baffling parse error on the filename.
+      std::string value = argv[i];
+      std::string text;
+      size_t first = value.find_first_not_of(" \t\r\n");
+      bool looks_inline = first != std::string::npos && value[first] == '<';
+      if (ReadFile(value, &text)) {
+        query_texts.push_back(text);
+      } else if (looks_inline) {
+        query_texts.push_back(value);
+      } else {
+        std::cerr << "cannot read query file '" << value << "'\n";
+        return 1;
+      }
     } else if (arg == "-o") {
       if (++i >= argc) return Usage(argv[0]);
       output_path = argv[i];
@@ -138,7 +196,7 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("-", 0) == 0 && arg != "-") {
       std::cerr << "unknown option '" << arg << "'\n";
       return Usage(argv[0]);
-    } else if (query_text.empty() && query_path.empty()) {
+    } else if (query_texts.empty() && query_path.empty()) {
       query_path = arg;
     } else if (input_path.empty()) {
       input_path = arg;
@@ -147,21 +205,32 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (query_text.empty() && query_path.empty()) return Usage(argv[0]);
-  if (!query_path.empty() && !ReadFile(query_path, &query_text)) {
-    std::cerr << "cannot read query file '" << query_path << "'\n";
-    return 1;
+  if (query_texts.empty() && query_path.empty()) return Usage(argv[0]);
+  if (!query_path.empty()) {
+    std::string text;
+    if (!ReadFile(query_path, &text)) {
+      std::cerr << "cannot read query file '" << query_path << "'\n";
+      return 1;
+    }
+    query_texts.insert(query_texts.begin(), text);
   }
 
-  auto compiled = gcx::CompiledQuery::Compile(query_text, options);
-  if (!compiled.ok()) {
-    std::cerr << "compile error: " << compiled.status().ToString() << "\n";
-    return 1;
+  std::vector<gcx::CompiledQuery> compiled_queries;
+  for (const std::string& text : query_texts) {
+    auto compiled = gcx::CompiledQuery::Compile(text, options);
+    if (!compiled.ok()) {
+      std::cerr << "compile error: " << compiled.status().ToString() << "\n";
+      return 1;
+    }
+    compiled_queries.push_back(std::move(compiled).value());
   }
   if (explain) {
-    std::cout << compiled->Explain();
+    for (const gcx::CompiledQuery& compiled : compiled_queries) {
+      std::cout << compiled.Explain();
+    }
     return 0;
   }
+  const gcx::CompiledQuery& first_query = compiled_queries.front();
 
   // Input source: file (streamed) or stdin.
   std::unique_ptr<gcx::ByteSource> source;
@@ -212,6 +281,60 @@ int main(int argc, char** argv) {
     });
   }
 
+  if (compiled_queries.size() > 1) {
+    // Multi-query batch: one shared document scan, N results in order.
+    if (project_only || trace) {
+      std::cerr << "--project-only/--trace are single-query options\n";
+      return 2;
+    }
+    std::vector<const gcx::CompiledQuery*> batch;
+    for (const gcx::CompiledQuery& compiled : compiled_queries) {
+      batch.push_back(&compiled);
+    }
+    gcx::MultiQueryEngine multi_engine;
+    // Stream each result straight to `out`: query i>0's wrapper inserts the
+    // newline separator before its first byte.
+    std::vector<std::unique_ptr<SeparatedBuf>> bufs;
+    std::vector<std::unique_ptr<std::ostream>> streams;
+    std::vector<std::ostream*> outs;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      bufs.push_back(std::make_unique<SeparatedBuf>(out, i > 0));
+      streams.push_back(std::make_unique<std::ostream>(bufs.back().get()));
+      outs.push_back(streams.back().get());
+    }
+    auto batch_stats = multi_engine.Execute(batch, std::move(source), outs);
+    if (!batch_stats.ok()) {
+      std::cerr << "error: " << batch_stats.status().ToString() << "\n";
+      return 1;
+    }
+    *out << "\n";
+    if (stats_flag) {
+      const gcx::SharedScanStats& shared = batch_stats->shared;
+      std::cerr << "queries:           " << batch.size() << "\n"
+                << "scan passes:       " << shared.scan_passes << "\n"
+                << "bytes scanned:     " << shared.bytes_scanned << "\n"
+                << "events scanned:    " << shared.events_scanned << "\n"
+                << "events forwarded:  " << shared.events_forwarded << "\n"
+                << "events skipped:    " << shared.events_shared_skipped
+                << " (shared prefilter, " << shared.shared_subtrees_skipped
+                << " subtrees)\n"
+                << "events demuxed:    " << shared.events_demuxed << "\n"
+                << "merged DFA states: " << shared.merged_dfa_states << "\n"
+                << "projection paths:  " << batch_stats->projection.union_paths
+                << " union / " << batch_stats->projection.shared_paths
+                << " shared / " << batch_stats->projection.private_paths
+                << " private\n";
+      for (size_t i = 0; i < batch_stats->per_query.size(); ++i) {
+        const gcx::ExecStats& q = batch_stats->per_query[i];
+        std::cerr << "query " << i << ": events "
+                  << q.events_delivered << ", peak buffer bytes "
+                  << q.peak_bytes << ", output bytes " << q.output_bytes
+                  << ", wall " << q.wall_seconds << " s\n";
+      }
+    }
+    return 0;
+  }
+
   gcx::Result<gcx::ExecStats> stats = gcx::EvalError("unreachable");
   if (project_only) {
     // Materialize the whole input (projection needs a string view here).
@@ -220,9 +343,9 @@ int main(int argc, char** argv) {
     while (size_t n = source->Read(chunk, sizeof(chunk))) {
       document.append(chunk, n);
     }
-    stats = engine.Project(*compiled, document, out);
+    stats = engine.Project(first_query, document, out);
   } else {
-    stats = engine.Execute(*compiled, std::move(source), out);
+    stats = engine.Execute(first_query, std::move(source), out);
   }
   if (!stats.ok()) {
     std::cerr << "error: " << stats.status().ToString() << "\n";
