@@ -1,5 +1,6 @@
 #include "common/strings.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -41,9 +42,18 @@ std::optional<double> ParseNumber(std::string_view text) {
 }
 
 std::string FormatNumber(double value) {
-  long long integral = static_cast<long long>(value);
-  if (static_cast<double>(integral) == value) {
-    return std::to_string(integral);
+  // XPath 1.0 renderings for the non-finite values sum() can produce; the
+  // long long cast below would be undefined behavior for them.
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "Infinity" : "-Infinity";
+  // The cast is only defined inside the long long range: [-2^63, 2^63).
+  // Both bounds are exactly representable as doubles (the upper one
+  // exclusively — the largest double below 2^63 converts fine).
+  if (value >= -9223372036854775808.0 && value < 9223372036854775808.0) {
+    long long integral = static_cast<long long>(value);
+    if (static_cast<double>(integral) == value) {
+      return std::to_string(integral);
+    }
   }
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%g", value);

@@ -1,0 +1,187 @@
+#include "core/admission.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/multi_engine.h"
+
+namespace gcx {
+
+namespace {
+/// ByteSource over a shared immutable string (keeps the content alive for
+/// as long as any open source views it).
+class SharedStringSource : public ByteSource {
+ public:
+  explicit SharedStringSource(std::shared_ptr<const std::string> data)
+      : data_(std::move(data)) {}
+  size_t Read(char* buffer, size_t capacity) override {
+    size_t n = std::min(capacity, data_->size() - pos_);
+    std::copy_n(data_->data() + pos_, n, buffer);
+    pos_ += n;
+    return n;
+  }
+
+ private:
+  std::shared_ptr<const std::string> data_;
+  size_t pos_ = 0;
+};
+}  // namespace
+
+AdmissionController::AdmissionController(QueryCache* cache,
+                                         AdmissionLimits limits)
+    : cache_(cache), limits_(limits) {
+  GCX_CHECK(cache_ != nullptr);
+  GCX_CHECK(limits_.max_batch_queries >= 1);
+}
+
+void AdmissionController::RegisterDocument(std::string doc_id,
+                                           DocumentOpener opener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  documents_[std::move(doc_id)] = std::move(opener);
+}
+
+void AdmissionController::RegisterDocument(std::string doc_id,
+                                           std::string content) {
+  auto shared = std::make_shared<const std::string>(std::move(content));
+  RegisterDocument(std::move(doc_id), [shared] {
+    return std::make_unique<SharedStringSource>(shared);
+  });
+}
+
+Status AdmissionController::Submit(std::string_view query_text,
+                                   const EngineOptions& options,
+                                   std::string_view doc_id,
+                                   std::ostream* out) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    if (documents_.find(std::string(doc_id)) == documents_.end()) {
+      ++stats_.rejected;
+      return InvalidArgumentError("admission: unknown document '" +
+                                  std::string(doc_id) + "'");
+    }
+  }
+  // Compile outside the controller lock: the cache has its own locking and
+  // in-flight latching, and a slow compile must not stall other Submits.
+  Result<CompiledQuery> compiled = cache_->GetOrCompile(query_text, options);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!compiled.ok()) {
+    ++stats_.rejected;
+    return compiled.status();
+  }
+  std::string key =
+      std::string(doc_id) + '\n' + BatchCompatibilityFingerprint(options);
+  Group& group = groups_[key];
+  if (group.pending.empty() && group.doc_id.empty()) {
+    group.doc_id = std::string(doc_id);
+    group.order = next_group_order_++;
+  }
+  group.pending.push_back(Request{std::move(compiled).value(), out});
+  ++stats_.admitted;
+  return Status::Ok();
+}
+
+size_t AdmissionController::BatchCap(bool* memory_bound) const {
+  *memory_bound = false;
+  size_t cap = limits_.max_batch_queries;
+  if (limits_.max_replay_log_events > 0 &&
+      stats_.events_per_query_estimate > 0) {
+    uint64_t by_memory = std::max<uint64_t>(
+        1, limits_.max_replay_log_events / stats_.events_per_query_estimate);
+    if (by_memory < cap) {
+      cap = static_cast<size_t>(by_memory);
+      *memory_bound = true;
+    }
+  }
+  return cap;
+}
+
+void AdmissionController::ObserveBatch(size_t batch_queries,
+                                       uint64_t replay_log_peak) {
+  stats_.replay_log_peak_observed =
+      std::max(stats_.replay_log_peak_observed, replay_log_peak);
+  if (batch_queries == 0) return;
+  uint64_t per_query =
+      (replay_log_peak + batch_queries - 1) / batch_queries;  // ceil
+  stats_.events_per_query_estimate =
+      std::max(stats_.events_per_query_estimate, per_query);
+}
+
+Result<AdmissionRunStats> AdmissionController::Run() {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // Snapshot the pending groups in first-submission order and clear them:
+  // whatever happens below, the controller is reusable afterwards.
+  std::vector<Group> work;
+  for (auto& [key, group] : groups_) {
+    if (!group.pending.empty()) work.push_back(std::move(group));
+  }
+  groups_.clear();
+  std::sort(work.begin(), work.end(),
+            [](const Group& a, const Group& b) { return a.order < b.order; });
+
+  AdmissionRunStats run;
+  Engine solo_engine;
+  MultiQueryEngine batch_engine;
+  for (Group& group : work) {
+    auto doc = documents_.find(group.doc_id);
+    GCX_CHECK(doc != documents_.end());  // Submit verified registration
+    size_t i = 0;
+    while (i < group.pending.size()) {
+      bool memory_bound = false;
+      size_t cap = BatchCap(&memory_bound);
+      size_t n = std::min(cap, group.pending.size() - i);
+      bool split = i + n < group.pending.size();
+      if (split) {
+        if (memory_bound) {
+          ++stats_.splits_by_memory;
+        } else {
+          ++stats_.splits_by_size;
+        }
+      }
+
+      if (n == 1) {
+        // Singleton: the solo engine skips the merged-DFA/replay machinery.
+        Request& request = group.pending[i];
+        auto stats = solo_engine.Execute(request.query, doc->second(),
+                                         request.out);
+        GCX_RETURN_IF_ERROR(stats.status());
+        ++stats_.batches_formed;
+        ++stats_.solo_runs;
+        ++run.batches;
+        ++run.queries;
+        run.scan_passes += stats->scan_passes;
+        run.bytes_scanned += stats->input_bytes;
+      } else {
+        std::vector<const CompiledQuery*> batch;
+        std::vector<std::ostream*> outs;
+        for (size_t j = i; j < i + n; ++j) {
+          batch.push_back(&group.pending[j].query);
+          outs.push_back(group.pending[j].out);
+        }
+        auto stats = batch_engine.Execute(batch, doc->second(), outs);
+        GCX_RETURN_IF_ERROR(stats.status());
+        ObserveBatch(n, stats->shared.replay_log_peak);
+        ++stats_.batches_formed;
+        ++run.batches;
+        run.queries += n;
+        run.scan_passes += stats->shared.scan_passes;
+        run.bytes_scanned += stats->shared.bytes_scanned;
+        run.replay_log_peak =
+            std::max(run.replay_log_peak, stats->shared.replay_log_peak);
+      }
+      i += n;
+    }
+  }
+  return run;
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace gcx

@@ -1,0 +1,147 @@
+// Query admission: turn a stream of (query, document) requests into
+// well-formed multi-query batches.
+//
+// PR 2's MultiQueryEngine executes a batch over one shared scan but leaves
+// batch formation to the caller (and rejects mixed batches). The admission
+// controller closes that gap for server-shaped workloads:
+//
+//   Submit(text, options, doc, out)   — compile through the shared
+//       QueryCache (repeat texts reuse one compilation; malformed queries
+//       are rejected here and never reach a batch), then enqueue the
+//       request in the group of batch-compatible peers (same document,
+//       same EngineMode + scanner tokenization — see
+//       BatchCompatibleOptions in core/multi_engine.h).
+//   Run()                             — per group, cut the pending requests
+//       into batches and execute each over one shared document scan,
+//       writing every query's result to its Submit-time stream.
+//
+// Admission limits bound what one batch may cost:
+//   * max_batch_queries — hard cap on queries per batch;
+//   * max_replay_log_events — a buffer-memory budget. The shared replay
+//     log is the batch's dominant memory cost (its peak is reported by
+//     SharedScanStats::replay_log_peak); the controller divides observed
+//     peaks by the batch size to maintain a per-query event estimate and
+//     cuts batches so (estimate × batch size) stays within the budget.
+//     The model is adaptive: the first batch runs under the size cap only,
+//     every executed batch refines the estimate (max-of-observations, so
+//     the bound is conservative).
+//
+// Error contract: a request whose query does not compile is rejected at
+// Submit (the error names the query; nothing else is affected). A batch
+// whose *execution* fails (e.g. malformed document) fails the whole Run —
+// execution is one shared scan, so per-query recovery is impossible — and
+// drops all still-pending requests so the controller stays reusable.
+
+#ifndef GCX_CORE_ADMISSION_H_
+#define GCX_CORE_ADMISSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/query_cache.h"
+#include "xml/scanner.h"
+
+namespace gcx {
+
+/// Per-batch admission limits.
+struct AdmissionLimits {
+  /// Hard cap on queries per batch. Must be >= 1.
+  size_t max_batch_queries = 16;
+  /// Replay-log budget in buffered events (0 = unlimited). Enforced through
+  /// the adaptive per-query estimate described above.
+  uint64_t max_replay_log_events = 0;
+};
+
+/// Lifetime counters of one controller.
+struct AdmissionStats {
+  uint64_t submitted = 0;  ///< Submit calls
+  uint64_t rejected = 0;   ///< compile failures at admission
+  uint64_t admitted = 0;   ///< requests that joined a pending group
+  uint64_t batches_formed = 0;
+  uint64_t solo_runs = 0;  ///< single-query batches executed without demux
+  uint64_t splits_by_size = 0;    ///< batch cuts forced by max_batch_queries
+  uint64_t splits_by_memory = 0;  ///< batch cuts forced by the event budget
+  uint64_t replay_log_peak_observed = 0;  ///< max over all executed batches
+  /// Adaptive memory model: max observed replay-log events per batched
+  /// query (0 until the first multi-query batch ran).
+  uint64_t events_per_query_estimate = 0;
+};
+
+/// Totals of one Run call.
+struct AdmissionRunStats {
+  uint64_t queries = 0;
+  uint64_t batches = 0;
+  uint64_t scan_passes = 0;   ///< document scans paid (== batches)
+  uint64_t bytes_scanned = 0;
+  uint64_t replay_log_peak = 0;  ///< max over this run's batches
+};
+
+/// Groups arriving requests into MultiQueryEngine batches. Thread-safe:
+/// Submit may race from many threads; Run serializes against both Submit
+/// and other Run calls.
+class AdmissionController {
+ public:
+  /// Re-openable document source: each batch over the document opens one
+  /// fresh ByteSource (a group may need several batches, hence scans).
+  using DocumentOpener = std::function<std::unique_ptr<ByteSource>()>;
+
+  /// `cache` is borrowed and shared: concurrent controllers (or direct
+  /// GetOrCompile users) deduplicate compilations through it.
+  explicit AdmissionController(QueryCache* cache, AdmissionLimits limits = {});
+
+  /// Registers (or replaces) a document under `doc_id`.
+  void RegisterDocument(std::string doc_id, DocumentOpener opener);
+  /// Convenience: the document is this in-memory string.
+  void RegisterDocument(std::string doc_id, std::string content);
+
+  /// Admits one request against `doc_id`, compiling through the cache.
+  /// On a compile failure the request is rejected and nothing is enqueued.
+  Status Submit(std::string_view query_text, const EngineOptions& options,
+                std::string_view doc_id, std::ostream* out);
+
+  /// Executes every pending request. Results are written to the Submit-time
+  /// streams; batches run in first-submission order of their groups.
+  Result<AdmissionRunStats> Run();
+
+  AdmissionStats stats() const;
+
+ private:
+  struct Request {
+    CompiledQuery query;
+    std::ostream* out = nullptr;
+  };
+  struct Group {
+    std::string doc_id;
+    std::vector<Request> pending;
+    size_t order = 0;  ///< first-submission order of the group
+  };
+
+  /// Current batch-size cap from the limits and the adaptive estimate.
+  /// `*memory_bound` is set when the event budget (not the size cap) binds.
+  size_t BatchCap(bool* memory_bound) const;
+  /// Folds one executed batch's shared-scan counters into the model.
+  void ObserveBatch(size_t batch_queries, uint64_t replay_log_peak);
+
+  mutable std::mutex mu_;
+  QueryCache* cache_;
+  AdmissionLimits limits_;
+  std::unordered_map<std::string, DocumentOpener> documents_;
+  /// Group key: doc_id + '\n' + BatchCompatibilityFingerprint.
+  std::map<std::string, Group> groups_;
+  size_t next_group_order_ = 0;
+  AdmissionStats stats_;
+};
+
+}  // namespace gcx
+
+#endif  // GCX_CORE_ADMISSION_H_

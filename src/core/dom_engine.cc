@@ -1,6 +1,7 @@
 #include "core/dom_engine.h"
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -99,12 +100,17 @@ class DomEvaluator {
           writer_->Text(std::to_string(count));
           return Status::Ok();
         }
+        // Same sum semantics as the streaming evaluator (see
+        // eval/evaluator.cc EvalAggregate): empty = 0, non-numeric = NaN.
         double total = 0;
         GCX_RETURN_IF_ERROR(
             ForEachMatch(env_[static_cast<size_t>(expr.var)], expr.path, 0,
                          [&](DomNode* node) {
                            if (auto n = ParseNumber(node->StringValue())) {
                              total += *n;
+                           } else {
+                             total =
+                                 std::numeric_limits<double>::quiet_NaN();
                            }
                            return Status::Ok();
                          }));

@@ -15,6 +15,7 @@
 #include "xml/writer.h"
 #include "xq/normalize.h"
 #include "xq/parser.h"
+#include "xq/printer.h"
 
 namespace gcx {
 
@@ -35,17 +36,25 @@ std::vector<NamedEngineConfig> StandardEngineConfigs() {
 
 Result<CompiledQuery> CompiledQuery::Compile(std::string_view text,
                                              const EngineOptions& options) {
-  CompiledQuery out;
-  out.options_ = options;
   GCX_ASSIGN_OR_RETURN(Query parsed, ParseQuery(text));
-  out.parsed_ = parsed.Clone();
+  return CompileParsed(std::move(parsed), options);
+}
+
+Result<CompiledQuery> CompiledQuery::CompileParsed(Query parsed,
+                                                   const EngineOptions& options) {
+  auto impl = std::make_shared<Impl>();
+  impl->options = options;
+  impl->parsed = parsed.Clone();
+  impl->canonical_text = PrintQuery(impl->parsed);
   NormalizeOptions norm;
   norm.early_updates = options.early_updates;
   GCX_RETURN_IF_ERROR(Normalize(&parsed, norm));
   AnalysisOptions analysis;
   analysis.aggregate_roles = options.aggregate_roles;
   analysis.eliminate_redundant_roles = options.eliminate_redundant_roles;
-  GCX_ASSIGN_OR_RETURN(out.analyzed_, Analyze(std::move(parsed), analysis));
+  GCX_ASSIGN_OR_RETURN(impl->analyzed, Analyze(std::move(parsed), analysis));
+  CompiledQuery out;
+  out.impl_ = std::move(impl);
   return out;
 }
 

@@ -97,27 +97,49 @@ std::vector<NamedEngineConfig> StandardEngineConfigs();
 
 /// A query compiled against a fixed set of EngineOptions (the options
 /// affect normalization and static analysis, so they bind at compile time).
+///
+/// A CompiledQuery is immutable after Compile and cheap to copy: copies
+/// share one compilation (shared ownership of the analysis result), so a
+/// cache can hand the same compilation to many concurrent executions. All
+/// execution-time state (scanner, DFA, buffer, tag table) lives in the
+/// per-run ExecContext — concurrent Engine::Execute calls over one
+/// CompiledQuery never write through it.
 class CompiledQuery {
  public:
   /// Parses, normalizes and statically analyzes `text`.
   static Result<CompiledQuery> Compile(std::string_view text,
                                        const EngineOptions& options = {});
 
-  const AnalyzedQuery& analyzed() const { return analyzed_; }
+  /// Compiles an already-parsed query. QueryCache uses this to avoid a
+  /// second parse after probing its canonical-text key.
+  static Result<CompiledQuery> CompileParsed(Query parsed,
+                                             const EngineOptions& options = {});
+
+  const AnalyzedQuery& analyzed() const { return impl_->analyzed; }
   /// The query as parsed (pre-normalization) — the baseline engines
   /// evaluate this form.
-  const Query& parsed() const { return parsed_; }
-  const EngineOptions& options() const { return options_; }
+  const Query& parsed() const { return impl_->parsed; }
+  const EngineOptions& options() const { return impl_->options; }
+
+  /// The parsed query rendered back to text: a canonical spelling that is
+  /// identical for all submissions differing only in formatting. QueryCache
+  /// keys on this, so `<r>{count(/a)}</r>` and `<r>{ count( /a ) }</r>`
+  /// share one compilation.
+  const std::string& canonical_text() const { return impl_->canonical_text; }
 
   /// Human-readable compilation dump (variable tree, roles, projection
   /// tree, rewritten query).
-  std::string Explain() const { return analyzed_.Explain(); }
+  std::string Explain() const { return impl_->analyzed.Explain(); }
 
  private:
+  struct Impl {
+    AnalyzedQuery analyzed;
+    Query parsed;
+    EngineOptions options;
+    std::string canonical_text;
+  };
   CompiledQuery() = default;
-  AnalyzedQuery analyzed_;
-  Query parsed_;
-  EngineOptions options_;
+  std::shared_ptr<const Impl> impl_;
 };
 
 /// Per-token trace callback: (event, buffer, tags). Used by examples/tests

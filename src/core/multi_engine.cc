@@ -222,24 +222,31 @@ Status ValidateBatch(const std::vector<const CompiledQuery*>& queries,
   }
   const EngineOptions& base = queries.front()->options();
   for (const CompiledQuery* query : queries) {
-    const EngineOptions& options = query->options();
-    if (options.mode != base.mode) {
+    if (!BatchCompatibleOptions(base, query->options())) {
       return InvalidArgumentError(
-          "multi-query batch mixes engine modes; compile every query of a "
-          "batch with the same EngineMode");
-    }
-    if (options.scanner.attribute_mode != base.scanner.attribute_mode ||
-        options.scanner.skip_whitespace_text !=
-            base.scanner.skip_whitespace_text) {
-      return InvalidArgumentError(
-          "multi-query batch mixes scanner options; the shared scan needs "
-          "one tokenization");
+          "multi-query batch mixes engine modes or scanner options; compile "
+          "every query of a batch with the same EngineMode and tokenization "
+          "(see BatchCompatibleOptions)");
     }
   }
   return Status::Ok();
 }
 
 }  // namespace
+
+bool BatchCompatibleOptions(const EngineOptions& a, const EngineOptions& b) {
+  return a.mode == b.mode &&
+         a.scanner.attribute_mode == b.scanner.attribute_mode &&
+         a.scanner.skip_whitespace_text == b.scanner.skip_whitespace_text;
+}
+
+std::string BatchCompatibilityFingerprint(const EngineOptions& options) {
+  std::string out;
+  out += static_cast<char>('0' + static_cast<int>(options.mode));
+  out += static_cast<char>('0' + static_cast<int>(options.scanner.attribute_mode));
+  out += options.scanner.skip_whitespace_text ? '1' : '0';
+  return out;
+}
 
 Result<MultiQueryStats> MultiQueryEngine::Execute(
     const std::vector<const CompiledQuery*>& queries, std::string_view input,

@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <memory>
 #include <ostream>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -70,6 +71,16 @@ struct MultiQueryStats {
   /// scan_passes are 0: the single shared pass is accounted above.
   std::vector<ExecStats> per_query;
 };
+
+/// True when two option sets may share one batch: same EngineMode and the
+/// same scanner tokenization (analysis toggles may differ per query). The
+/// admission layer (core/admission.h) groups arriving requests on exactly
+/// this predicate; Execute enforces it.
+bool BatchCompatibleOptions(const EngineOptions& a, const EngineOptions& b);
+
+/// Stable grouping key for BatchCompatibleOptions: two option sets are
+/// batch-compatible iff their fingerprints are equal.
+std::string BatchCompatibilityFingerprint(const EngineOptions& options);
 
 /// Batched execution façade. All queries of a batch must have been compiled
 /// with the same EngineMode and scanner options (analysis toggles may

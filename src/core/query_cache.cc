@@ -1,0 +1,207 @@
+#include "core/query_cache.h"
+
+#include <string>
+#include <utility>
+
+#include "xq/parser.h"
+#include "xq/printer.h"
+
+namespace gcx {
+
+std::string EngineOptionsFingerprint(const EngineOptions& options) {
+  std::string out;
+  out.reserve(16);
+  out += 'm';
+  out += static_cast<char>('0' + static_cast<int>(options.mode));
+  out += options.enable_gc ? "g1" : "g0";
+  out += options.aggregate_roles ? "a1" : "a0";
+  out += options.eliminate_redundant_roles ? "r1" : "r0";
+  out += options.early_updates ? "e1" : "e0";
+  out += 'A';
+  out += static_cast<char>('0' + static_cast<int>(options.scanner.attribute_mode));
+  out += options.scanner.skip_whitespace_text ? "w1" : "w0";
+  return out;
+}
+
+namespace {
+/// Exact-text aliases kept per entry. Bounds index_ memory against an
+/// adversarial stream of ever-new formatting variants of one query (each
+/// variant is a canonical hit that would otherwise add a permanent alias
+/// to an entry the hits themselves keep at the MRU position). Variants
+/// beyond the cap still resolve — they just re-pay the parse.
+constexpr size_t kMaxAliasesPerEntry = 8;
+
+/// One key namespace for both tiers: fingerprint, separator, text. '\n'
+/// cannot appear in a fingerprint, so keys are unambiguous.
+std::string MakeKey(const std::string& fingerprint, std::string_view text) {
+  std::string key;
+  key.reserve(fingerprint.size() + 1 + text.size());
+  key += fingerprint;
+  key += '\n';
+  key.append(text.data(), text.size());
+  return key;
+}
+}  // namespace
+
+QueryCache::QueryCache(QueryCacheOptions options) : options_(options) {
+  GCX_CHECK(options_.capacity >= 1);
+  stats_.capacity = options_.capacity;
+}
+
+CompiledQuery QueryCache::Touch(EntryList::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+  return it->query;
+}
+
+void QueryCache::EvictToCapacity() {
+  while (lru_.size() > options_.capacity) {
+    Entry& victim = lru_.back();
+    index_.erase(victim.canonical_key);
+    for (const std::string& alias : victim.alias_keys) index_.erase(alias);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.entries = lru_.size();
+}
+
+CompiledQuery QueryCache::Insert(std::string canonical_key,
+                                 std::string exact_key,
+                                 CompiledQuery compiled) {
+  // The compile ran outside the lock; another thread may have inserted a
+  // formatting variant with the same canonical key meanwhile. Alias instead
+  // of double-inserting so both texts keep resolving to one entry.
+  auto existing = index_.find(canonical_key);
+  if (existing != index_.end()) {
+    if (exact_key != canonical_key &&
+        existing->second->alias_keys.size() < kMaxAliasesPerEntry &&
+        index_.find(exact_key) == index_.end()) {
+      existing->second->alias_keys.push_back(exact_key);
+      index_.emplace(std::move(exact_key), existing->second);
+    }
+    return Touch(existing->second);
+  }
+  lru_.push_front(Entry{canonical_key, {}, std::move(compiled)});
+  auto it = lru_.begin();
+  index_.emplace(std::move(canonical_key), it);
+  if (exact_key != it->canonical_key) {
+    it->alias_keys.push_back(exact_key);
+    index_.emplace(std::move(exact_key), it);
+  }
+  EvictToCapacity();
+  return it->query;
+}
+
+Result<CompiledQuery> QueryCache::GetOrCompile(std::string_view text,
+                                               const EngineOptions& options) {
+  const std::string fingerprint = EngineOptionsFingerprint(options);
+  std::string exact_key = MakeKey(fingerprint, text);
+
+  std::shared_ptr<InFlight> flight;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.lookups;
+    auto it = index_.find(exact_key);
+    if (it != index_.end()) {
+      ++stats_.hits;
+      return Touch(it->second);
+    }
+    auto in = inflight_.find(exact_key);
+    if (in != inflight_.end()) {
+      flight = in->second;
+      ++stats_.coalesced;
+    } else {
+      flight = std::make_shared<InFlight>();
+      inflight_.emplace(exact_key, flight);
+      owner = true;
+    }
+  }
+
+  if (!owner) {
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    return flight->result;
+  }
+
+  // Owner path: parse (cheap) to obtain the canonical key, then compile
+  // only when no formatting variant is already resident.
+  Result<CompiledQuery> outcome = InvalidArgumentError("compile pending");
+  bool resolved = false;
+  Result<Query> parsed = ParseQuery(text);
+  if (!parsed.ok()) {
+    outcome = parsed.status();
+    resolved = true;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    ++stats_.compile_errors;
+  } else {
+    std::string canonical_key = MakeKey(fingerprint, PrintQuery(*parsed));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = index_.find(canonical_key);
+      if (it != index_.end()) {
+        ++stats_.canonical_hits;
+        if (it->second->alias_keys.size() < kMaxAliasesPerEntry &&
+            index_.find(exact_key) == index_.end()) {
+          it->second->alias_keys.push_back(exact_key);
+          index_.emplace(exact_key, it->second);
+        }
+        outcome = Touch(it->second);
+        resolved = true;
+      }
+    }
+    if (!resolved) {
+      Result<CompiledQuery> compiled =
+          CompiledQuery::CompileParsed(std::move(parsed).value(), options);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.misses;
+      if (compiled.ok()) {
+        ++stats_.compiles;
+        // exact_key stays valid: Insert copies, and the in-flight latch
+        // below is still keyed on it.
+        outcome = Insert(std::move(canonical_key), exact_key,
+                         std::move(compiled).value());
+      } else {
+        ++stats_.compile_errors;
+        outcome = compiled.status();
+      }
+      resolved = true;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_.erase(exact_key);
+    stats_.entries = lru_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->result = outcome;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  return outcome;
+}
+
+bool QueryCache::Contains(std::string_view text,
+                          const EngineOptions& options) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.find(MakeKey(EngineOptionsFingerprint(options), text)) !=
+         index_.end();
+}
+
+QueryCacheStats QueryCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryCacheStats out = stats_;
+  out.entries = lru_.size();
+  return out;
+}
+
+void QueryCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  stats_.entries = 0;
+}
+
+}  // namespace gcx

@@ -1,0 +1,127 @@
+// Compiled-query cache: compile once, execute many.
+//
+// A server-shaped deployment re-submits the same query texts constantly;
+// the static-analysis pipeline (parse → normalize → role/projection
+// analysis → signOff insertion) is pure per (text, options), so its result
+// can be memoized. QueryCache is a thread-safe LRU keyed on the query text
+// and the compile-relevant EngineOptions, holding shared-ownership
+// CompiledQuery values (cheap to copy; see core/engine.h — executions never
+// write through a compilation, so one cached entry serves any number of
+// concurrent runs).
+//
+// Two-tier keying:
+//   1. exact — the submitted text verbatim. A repeat submission resolves
+//      with one hash lookup and no parsing at all (the hot path).
+//   2. canonical — on an exact miss the text is parsed (cheap relative to
+//      analysis) and re-rendered through the canonical printer; a
+//      formatting variant of a cached query then aliases the existing
+//      compilation instead of compiling again. Aliases are capped per
+//      entry (variants beyond the cap still resolve, they just re-pay the
+//      parse), so an adversarial stream of ever-new spellings cannot grow
+//      the index without bound.
+//
+// Compile-once under contention: racing lookups of the same text coalesce
+// on a per-key in-flight latch — the first thread compiles, the others
+// block on the latch and receive the same compilation. The compile itself
+// runs outside the cache lock, so a slow compilation never stalls lookups
+// of other keys.
+
+#ifndef GCX_CORE_QUERY_CACHE_H_
+#define GCX_CORE_QUERY_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+
+namespace gcx {
+
+/// Encodes every EngineOptions field that participates in compilation or
+/// batch compatibility into a short stable string. Two option sets with the
+/// same fingerprint compile identically and may share a cache entry.
+std::string EngineOptionsFingerprint(const EngineOptions& options);
+
+struct QueryCacheOptions {
+  /// Maximum resident compilations; least-recently-used entries are evicted
+  /// beyond it. Must be >= 1.
+  size_t capacity = 64;
+};
+
+/// Counters (monotonic since construction, except `entries`).
+struct QueryCacheStats {
+  uint64_t lookups = 0;         ///< GetOrCompile calls
+  uint64_t hits = 0;            ///< exact-text hits (no parse)
+  uint64_t canonical_hits = 0;  ///< formatting variants aliased after a parse
+  uint64_t misses = 0;          ///< neither tier matched
+  uint64_t compiles = 0;        ///< full pipeline runs (== misses that parsed)
+  uint64_t compile_errors = 0;  ///< failed compilations (never cached)
+  uint64_t coalesced = 0;       ///< lookups that waited on another thread's
+                                ///< in-flight compile of the same key
+  uint64_t evictions = 0;       ///< entries dropped by the LRU policy
+  size_t entries = 0;           ///< current resident compilations
+  size_t capacity = 0;
+};
+
+/// Thread-safe LRU cache of CompiledQuery by (query text, engine options).
+class QueryCache {
+ public:
+  explicit QueryCache(QueryCacheOptions options = {});
+
+  /// Returns the cached compilation of (text, options), compiling and
+  /// inserting on miss. Compile failures are returned but not cached.
+  Result<CompiledQuery> GetOrCompile(std::string_view text,
+                                     const EngineOptions& options);
+
+  /// Whether (text, options) is resident under its exact-text key
+  /// (monitoring/tests); does not compile or touch LRU order or counters.
+  bool Contains(std::string_view text, const EngineOptions& options) const;
+
+  QueryCacheStats stats() const;
+
+  /// Drops every resident entry (in-flight compiles are unaffected and
+  /// re-insert on completion).
+  void Clear();
+
+ private:
+  struct Entry {
+    std::string canonical_key;
+    std::vector<std::string> alias_keys;  ///< exact-text keys → this entry
+    CompiledQuery query;
+  };
+  using EntryList = std::list<Entry>;
+
+  /// One in-flight compilation; latecomers block on `cv`.
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Result<CompiledQuery> result = InvalidArgumentError("compile pending");
+  };
+
+  /// Moves `it` to the MRU position and returns its compilation.
+  CompiledQuery Touch(EntryList::iterator it);
+  /// Inserts a finished compilation under `canonical_key` (+ `exact_key`
+  /// alias when different) and evicts beyond capacity. Caller holds mu_.
+  CompiledQuery Insert(std::string canonical_key, std::string exact_key,
+                       CompiledQuery compiled);
+  void EvictToCapacity();
+
+  mutable std::mutex mu_;
+  QueryCacheOptions options_;
+  EntryList lru_;  ///< front = most recently used
+  std::unordered_map<std::string, EntryList::iterator> index_;
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
+  QueryCacheStats stats_;
+};
+
+}  // namespace gcx
+
+#endif  // GCX_CORE_QUERY_CACHE_H_

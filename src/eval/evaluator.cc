@@ -4,6 +4,7 @@
 #include "eval/cursor.h"
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -98,13 +99,22 @@ Status Evaluator::EvalAggregate(const Expr& expr) {
     return Status::Ok();
   }
   // sum: gather string values (complete once the binding is finished) and
-  // add up the numeric ones (non-numeric values are skipped; XQuery would
-  // raise a type error, which the fragment has no channel for).
+  // add them up with XPath 1.0 pragmatics: an empty match set sums to 0,
+  // any non-numeric value makes the sum NaN. (XQuery would raise a type
+  // error; NaN keeps the streaming and DOM engines trivially in agreement
+  // and is what XPath 1.0 number() semantics prescribe.) All four engine
+  // configurations share this rule — the DOM reference implements the
+  // identical loop in core/dom_engine.cc.
   std::vector<std::string> values;
   GCX_RETURN_IF_ERROR(PathValues(expr.var, expr.path, &values));
   double total = 0;
   for (const std::string& value : values) {
-    if (auto number = ParseNumber(value)) total += *number;
+    if (auto number = ParseNumber(value)) {
+      total += *number;
+    } else {
+      total = std::numeric_limits<double>::quiet_NaN();
+      break;
+    }
   }
   writer_->Text(FormatNumber(total));
   return Status::Ok();

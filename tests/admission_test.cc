@@ -1,0 +1,320 @@
+// Tests for the admission controller (core/admission): grouping by
+// document/scanner compatibility, batch-size and replay-log memory limits,
+// rejection of malformed queries at Submit, equivalence with hand-built
+// batches, and concurrent submission.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/admission.h"
+#include "core/engine.h"
+#include "core/multi_engine.h"
+#include "core/query_cache.h"
+
+namespace gcx {
+namespace {
+
+std::string SoloRun(const std::string& query, const std::string& doc,
+                    const EngineOptions& options = {}) {
+  auto compiled = CompiledQuery::Compile(query, options);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  Engine engine;
+  std::ostringstream out;
+  auto stats = engine.Execute(*compiled, doc, &out);
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  return out.str();
+}
+
+TEST(Admission, SingleGroupMatchesSoloRuns) {
+  const std::string doc = "<a><b>1</b><b>2</b><c>9</c></a>";
+  const std::vector<std::string> queries = {
+      "<r>{ for $x in /a/b return $x }</r>",
+      "<r>{ count(/a/b) }</r>",
+      "<r>{ sum(/a/c) }</r>",
+  };
+  QueryCache cache;
+  AdmissionController controller(&cache);
+  controller.RegisterDocument("doc", doc);
+  std::vector<std::ostringstream> outs(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(controller.Submit(queries[i], {}, "doc", &outs[i]).ok());
+  }
+  auto run = controller.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->queries, queries.size());
+  EXPECT_EQ(run->batches, 1u);
+  EXPECT_EQ(run->scan_passes, 1u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(outs[i].str(), SoloRun(queries[i], doc)) << i;
+  }
+}
+
+TEST(Admission, GroupsByDocument) {
+  const std::string doc1 = "<a><b>1</b></a>";
+  const std::string doc2 = "<a><b>1</b><b>2</b></a>";
+  QueryCache cache;
+  AdmissionController controller(&cache);
+  controller.RegisterDocument("d1", doc1);
+  controller.RegisterDocument("d2", doc2);
+  std::ostringstream o1, o2, o3;
+  ASSERT_TRUE(
+      controller.Submit("<r>{ count(/a/b) }</r>", {}, "d1", &o1).ok());
+  ASSERT_TRUE(
+      controller.Submit("<r>{ count(/a/b) }</r>", {}, "d2", &o2).ok());
+  ASSERT_TRUE(
+      controller.Submit("<s>{ count(/a/b) }</s>", {}, "d1", &o3).ok());
+  auto run = controller.Run();
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->batches, 2u);  // one per document
+  EXPECT_EQ(o1.str(), "<r>1</r>");
+  EXPECT_EQ(o2.str(), "<r>2</r>");
+  EXPECT_EQ(o3.str(), "<s>1</s>");
+  // The same query text against both documents compiled once.
+  EXPECT_EQ(cache.stats().compiles, 2u);
+}
+
+TEST(Admission, GroupsByScannerCompatibility) {
+  // Incompatible tokenizations (keep-ws vs skip-ws) cannot share a scan:
+  // the controller must place them in separate batches, where the caller
+  // would get an InvalidArgument from a hand-built mixed batch.
+  const std::string doc = "<a><b>k</b> </a>";
+  EngineOptions keep_ws;
+  keep_ws.scanner.skip_whitespace_text = false;
+  QueryCache cache;
+  AdmissionController controller(&cache);
+  controller.RegisterDocument("doc", doc);
+  std::ostringstream o1, o2;
+  const std::string q = "<r>{ for $x in /a return $x }</r>";
+  ASSERT_TRUE(controller.Submit(q, {}, "doc", &o1).ok());
+  ASSERT_TRUE(controller.Submit(q, keep_ws, "doc", &o2).ok());
+  auto run = controller.Run();
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->batches, 2u);
+  EXPECT_EQ(o1.str(), SoloRun(q, doc));
+  EXPECT_EQ(o2.str(), SoloRun(q, doc, keep_ws));
+  EXPECT_NE(o1.str(), o2.str());  // the whitespace actually differs
+}
+
+TEST(Admission, BatchSizeLimitSplits) {
+  const std::string doc = "<a><b>1</b><b>2</b></a>";
+  AdmissionLimits limits;
+  limits.max_batch_queries = 2;
+  QueryCache cache;
+  AdmissionController controller(&cache, limits);
+  controller.RegisterDocument("doc", doc);
+  std::vector<std::ostringstream> outs(5);
+  for (size_t i = 0; i < outs.size(); ++i) {
+    std::string tag = "q" + std::to_string(i);
+    ASSERT_TRUE(controller
+                    .Submit("<" + tag + ">{ count(/a/b) }</" + tag + ">", {},
+                            "doc", &outs[i])
+                    .ok());
+  }
+  auto run = controller.Run();
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->batches, 3u);  // 2 + 2 + 1
+  EXPECT_EQ(run->scan_passes, 3u);
+  AdmissionStats stats = controller.stats();
+  EXPECT_EQ(stats.splits_by_size, 2u);
+  EXPECT_EQ(stats.solo_runs, 1u);
+  for (size_t i = 0; i < outs.size(); ++i) {
+    std::string tag = "q" + std::to_string(i);
+    EXPECT_EQ(outs[i].str(), "<" + tag + ">2</" + tag + ">");
+  }
+}
+
+TEST(Admission, ReplayLogBudgetAdaptsAcrossRuns) {
+  // A document whose replay log is a few dozen events per batch. The first
+  // run has no estimate (runs under the size cap alone) and observes the
+  // peak; the second run must respect the tiny budget and split.
+  std::string doc = "<a>";
+  for (int i = 0; i < 20; ++i) doc += "<b>x" + std::to_string(i) + "</b>";
+  doc += "</a>";
+
+  AdmissionLimits limits;
+  limits.max_batch_queries = 8;
+  limits.max_replay_log_events = 30;  // far below one batch's union stream
+  QueryCache cache;
+  AdmissionController controller(&cache, limits);
+  controller.RegisterDocument("doc", doc);
+
+  auto submit_all = [&](std::vector<std::ostringstream>* outs) {
+    for (size_t i = 0; i < outs->size(); ++i) {
+      std::string tag = "q" + std::to_string(i);
+      ASSERT_TRUE(controller
+                      .Submit("<" + tag + ">{ for $x in /a/b return $x }</" +
+                                  tag + ">",
+                              {}, "doc", &(*outs)[i])
+                      .ok());
+    }
+  };
+
+  std::vector<std::ostringstream> first(4);
+  submit_all(&first);
+  auto run1 = controller.Run();
+  ASSERT_TRUE(run1.ok());
+  EXPECT_EQ(run1->batches, 1u);  // no estimate yet: size cap only
+  AdmissionStats after1 = controller.stats();
+  EXPECT_GT(after1.events_per_query_estimate, 0u);
+  EXPECT_GT(after1.replay_log_peak_observed, limits.max_replay_log_events);
+
+  std::vector<std::ostringstream> second(4);
+  submit_all(&second);
+  auto run2 = controller.Run();
+  ASSERT_TRUE(run2.ok());
+  EXPECT_GT(run2->batches, 1u) << "the learned estimate must cut batches";
+  EXPECT_GT(controller.stats().splits_by_memory, 0u);
+  for (size_t i = 0; i < second.size(); ++i) {
+    EXPECT_EQ(second[i].str(), first[i].str());
+  }
+}
+
+TEST(Admission, MalformedQueryRejectedOthersRun) {
+  QueryCache cache;
+  AdmissionController controller(&cache);
+  controller.RegisterDocument("doc", std::string("<a><b>1</b></a>"));
+  std::ostringstream good_out, bad_out;
+  ASSERT_TRUE(
+      controller.Submit("<r>{ count(/a/b) }</r>", {}, "doc", &good_out).ok());
+  Status rejected = controller.Submit("<r>{ broken", {}, "doc", &bad_out);
+  EXPECT_FALSE(rejected.ok());
+  auto run = controller.Run();
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->queries, 1u);
+  EXPECT_EQ(good_out.str(), "<r>1</r>");
+  EXPECT_EQ(bad_out.str(), "");
+  AdmissionStats stats = controller.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.admitted, 1u);
+}
+
+TEST(Admission, UnknownDocumentRejected) {
+  QueryCache cache;
+  AdmissionController controller(&cache);
+  std::ostringstream out;
+  Status status =
+      controller.Submit("<r>{ count(/a) }</r>", {}, "nope", &out);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("unknown document"), std::string::npos);
+}
+
+TEST(Admission, MalformedDocumentFailsTheRunAndStaysReusable) {
+  QueryCache cache;
+  AdmissionController controller(&cache);
+  controller.RegisterDocument("bad", std::string("<a><b></a>"));
+  controller.RegisterDocument("good", std::string("<a><b/></a>"));
+  std::ostringstream o1, o2;
+  ASSERT_TRUE(controller.Submit("<r>{ count(/a/b) }</r>", {}, "bad", &o1).ok());
+  ASSERT_TRUE(controller.Submit("<r>{ count(//x) }</r>", {}, "bad", &o2).ok());
+  auto run = controller.Run();
+  EXPECT_FALSE(run.ok());
+
+  // Pending state was dropped; the controller keeps working.
+  std::ostringstream o3;
+  ASSERT_TRUE(
+      controller.Submit("<r>{ count(/a/b) }</r>", {}, "good", &o3).ok());
+  auto run2 = controller.Run();
+  ASSERT_TRUE(run2.ok());
+  EXPECT_EQ(run2->queries, 1u);
+  EXPECT_EQ(o3.str(), "<r>1</r>");
+}
+
+TEST(Admission, MatchesHandBuiltBatchByteForByte) {
+  const std::string doc =
+      "<shop><item><price>3</price></item><item><price>5</price></item>"
+      "<sold>1</sold></shop>";
+  const std::vector<std::string> queries = {
+      "<r>{ for $i in /shop/item return $i/price }</r>",
+      "<r>{ sum(/shop/item/price) }</r>",
+      "<r>{ count(//item) }</r>",
+      "<r>{ for $s in /shop/sold return $s }</r>",
+  };
+  for (const NamedEngineConfig& config : StandardEngineConfigs()) {
+    // Hand-built batch.
+    std::vector<CompiledQuery> compiled;
+    for (const std::string& q : queries) {
+      auto one = CompiledQuery::Compile(q, config.options);
+      ASSERT_TRUE(one.ok());
+      compiled.push_back(std::move(one).value());
+    }
+    std::vector<const CompiledQuery*> batch;
+    std::vector<std::ostringstream> hand(queries.size());
+    std::vector<std::ostream*> hand_outs;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      batch.push_back(&compiled[i]);
+      hand_outs.push_back(&hand[i]);
+    }
+    MultiQueryEngine engine;
+    ASSERT_TRUE(engine.Execute(batch, doc, hand_outs).ok());
+
+    // Admission-built batches.
+    QueryCache cache;
+    AdmissionController controller(&cache);
+    controller.RegisterDocument("doc", doc);
+    std::vector<std::ostringstream> admitted(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_TRUE(
+          controller.Submit(queries[i], config.options, "doc", &admitted[i])
+              .ok());
+    }
+    ASSERT_TRUE(controller.Run().ok());
+
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(admitted[i].str(), hand[i].str())
+          << config.name << " query " << i;
+    }
+  }
+}
+
+TEST(AdmissionConcurrency, ParallelSubmitsThroughOneSharedCache) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 16;
+  const std::string doc = "<a><b>1</b><b>2</b></a>";
+  QueryCache cache;
+  AdmissionController controller(&cache);
+  controller.RegisterDocument("doc", doc);
+
+  // Each thread submits the same 4 query texts repeatedly into its own
+  // output slots; the cache must end up with exactly 4 compilations.
+  std::vector<std::string> queries;
+  for (int k = 0; k < 4; ++k) {
+    std::string tag = "q" + std::to_string(k);
+    queries.push_back("<" + tag + ">{ count(/a/b) }</" + tag + ">");
+  }
+  std::vector<std::vector<std::ostringstream>> outs(kThreads);
+  for (auto& slots : outs) slots = std::vector<std::ostringstream>(kPerThread);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::string& q =
+            queries[static_cast<size_t>((t + i) % 4)];
+        if (!controller.Submit(q, {}, "doc", &outs[t][i]).ok()) ++failures;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  ASSERT_EQ(failures.load(), 0);
+  EXPECT_EQ(cache.stats().compiles, 4u);
+
+  auto run = controller.Run();
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->queries, static_cast<uint64_t>(kThreads * kPerThread));
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      const std::string& q = queries[static_cast<size_t>((t + i) % 4)];
+      std::string tag = q.substr(1, q.find('>') - 1);
+      EXPECT_EQ(outs[t][i].str(), "<" + tag + ">2</" + tag + ">");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gcx

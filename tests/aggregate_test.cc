@@ -71,10 +71,37 @@ TEST(Aggregates, SumNumericValues) {
             "<r>5</r>");
 }
 
-TEST(Aggregates, SumSkipsNonNumeric) {
+TEST(Aggregates, SumOfEmptyMatchSetIsZero) {
+  EXPECT_EQ(RunAgg("<r>{ sum(/a/zzz) }</r>", "<a><v>1</v></a>"), "<r>0</r>");
+  EXPECT_EQ(RunAgg("<r>{ for $x in /a return sum($x/zzz) }</r>",
+                   "<a><v>1</v></a>"),
+            "<r>0</r>");
+}
+
+TEST(Aggregates, SumOfNonNumericIsNaN) {
+  // XPath 1.0 semantics, shared by all four engine configurations: any
+  // non-numeric operand poisons the sum to NaN (not silently skipped).
   EXPECT_EQ(RunAgg("<r>{ sum(/a/v) }</r>",
                    "<a><v>1</v><v>junk</v><v>2</v></a>"),
-            "<r>3</r>");
+            "<r>NaN</r>");
+  EXPECT_EQ(RunAgg("<r>{ sum(/a/v) }</r>", "<a><v>junk</v></a>"),
+            "<r>NaN</r>");
+  EngineOptions naive;
+  naive.mode = EngineMode::kNaiveDom;
+  EXPECT_EQ(RunAgg("<r>{ sum(/a/v) }</r>",
+                   "<a><v>1</v><v>junk</v><v>2</v></a>", naive),
+            "<r>NaN</r>");
+}
+
+TEST(Aggregates, SumOverflowFormatsAsInfinity) {
+  // ±1e308 + ±1e308 overflows to ±inf; FormatNumber must render the XPath
+  // spellings instead of hitting the undefined float→integer cast.
+  EXPECT_EQ(RunAgg("<r>{ sum(/a/v) }</r>",
+                   "<a><v>1e308</v><v>1e308</v></a>"),
+            "<r>Infinity</r>");
+  EXPECT_EQ(RunAgg("<r>{ sum(/a/v) }</r>",
+                   "<a><v>-1e308</v><v>-1e308</v></a>"),
+            "<r>-Infinity</r>");
 }
 
 TEST(Aggregates, PerBindingAggregatesInsideConstructors) {

@@ -273,5 +273,147 @@ TEST_F(CliTest, BatchMalformedInputExitsNonZero) {
   EXPECT_NE(r.exit_code, 0);
 }
 
+// --- error-path contract ----------------------------------------------------
+//
+// Batch compile semantics (documented in README): ALL queries compile
+// before ANY executes, so a malformed query fails the whole invocation
+// cleanly — nonzero exit, a one-line diagnostic naming the offending
+// submission, and no partial output from the well-formed queries.
+
+TEST_F(CliTest, MalformedQueryInBatchFailsCleanlyAndNamesTheQuery) {
+  RunResult r = Shell("echo '<a><b/></a>' | " + BinaryPath() +
+                      " -q '<r>{ count(/a/b) }</r>'"
+                      " -q '<r>{ broken' -q '<r/>' - 2>&1");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("compile error in query 2 of 3"), std::string::npos)
+      << r.output;
+  // The well-formed first query must not have produced output.
+  EXPECT_EQ(r.output.find("<r>1</r>"), std::string::npos) << r.output;
+}
+
+TEST_F(CliTest, MalformedQueryFileInBatchNamesThePath) {
+  std::string dir = ::testing::TempDir();
+  {
+    std::ofstream bad(dir + "/bad.xq");
+    bad << "<r>{ oops";
+  }
+  RunResult r = Shell("echo '<a/>' | " + BinaryPath() +
+                      " -q '<r>{ count(/a) }</r>' -q " + dir +
+                      "/bad.xq - 2>&1");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("bad.xq"), std::string::npos) << r.output;
+}
+
+TEST_F(CliTest, EmptyDocumentExitsNonZeroWithDiagnostic) {
+  for (const char* mode : {"streaming", "project", "dom"}) {
+    RunResult r = Shell("printf '' | " + BinaryPath() +
+                        " -q '<r>{ count(/a) }</r>' --mode=" + mode +
+                        " - 2>&1");
+    EXPECT_EQ(r.exit_code, 1) << mode;
+    EXPECT_NE(r.output.find("empty document"), std::string::npos)
+        << mode << ": " << r.output;
+  }
+}
+
+TEST_F(CliTest, EmptyDocumentInBatchExitsNonZero) {
+  RunResult r = Shell("printf '' | " + BinaryPath() +
+                      " -q '<r>{ count(/a) }</r>' -q '<s/>' - 2>&1");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("empty document"), std::string::npos) << r.output;
+}
+
+TEST_F(CliTest, DirectoryAsQueryFileRejected) {
+  RunResult r = Shell(BinaryPath() + " -q /tmp 2>&1");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("cannot read query file"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(CliTest, FifoAsQueryFileWorks) {
+  // Process-substitution-style inputs (FIFOs, /dev/stdin) are legitimate
+  // query sources; only directories are rejected up front.
+  std::string dir = ::testing::TempDir();
+  std::string fifo = dir + "/query_fifo";
+  std::remove(fifo.c_str());
+  RunResult r = Shell("mkfifo " + fifo + " && echo '<r>{ count(/a/b) }</r>' > " +
+                      fifo + " & echo '<a><b/><b/></a>' | " + BinaryPath() +
+                      " " + fifo + " -");
+  std::remove(fifo.c_str());
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, "<r>2</r>\n");
+}
+
+// --- compiled-query cache + admission surface -------------------------------
+
+TEST_F(CliTest, CacheStatsReportsHitsForRepeatedQueries) {
+  // The same text three times: one compile, two exact hits.
+  RunResult r = Shell("echo '<a><b/></a>' | " + BinaryPath() +
+                      " -q '<r>{ count(/a/b) }</r>'"
+                      " -q '<r>{ count(/a/b) }</r>'"
+                      " -q '<r>{ count(/a/b) }</r>' --cache-stats - 2>&1");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("cache: lookups=3 hits=2"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("compiles=1"), std::string::npos) << r.output;
+}
+
+TEST_F(CliTest, CacheStatsReportsCanonicalHitForFormattingVariant) {
+  RunResult r = Shell("echo '<a><b/></a>' | " + BinaryPath() +
+                      " -q '<r>{ count(/a/b) }</r>'"
+                      " -q '<r>{   count( /a/b )   }</r>' --cache-stats - "
+                      "2>&1");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("canonical_hits=1"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("compiles=1"), std::string::npos) << r.output;
+}
+
+TEST_F(CliTest, AdmissionMatchesHandBuiltBatchOutput) {
+  std::string dir = ::testing::TempDir();
+  {
+    std::ofstream d(dir + "/adm.xml");
+    d << "<a><b>hi</b><c>3</c><c>4</c></a>";
+  }
+  const std::string queries =
+      " -q '<r>{ for $x in /a/b return $x }</r>'"
+      " -q '<r>{ sum(/a/c) }</r>'"
+      " -q '<r>{ count(/a/c) }</r>' ";
+  RunResult hand = Shell(BinaryPath() + queries + dir + "/adm.xml");
+  RunResult admitted =
+      Shell(BinaryPath() + queries + "--admission " + dir + "/adm.xml");
+  EXPECT_EQ(hand.exit_code, 0);
+  EXPECT_EQ(admitted.exit_code, 0);
+  EXPECT_EQ(admitted.output, hand.output);
+  EXPECT_EQ(hand.output, "<r><b>hi</b></r>\n<r>7</r>\n<r>2</r>\n");
+}
+
+TEST_F(CliTest, AdmissionOverStdinMatchesHandBuilt) {
+  const std::string pipeline = "echo '<a><b>k</b></a>' | " + BinaryPath() +
+                               " -q '<r>{ count(/a/b) }</r>'"
+                               " -q '<r>{ for $x in /a/b return $x }</r>'";
+  RunResult hand = Shell(pipeline + " -");
+  RunResult admitted = Shell(pipeline + " --admission -");
+  EXPECT_EQ(admitted.exit_code, 0);
+  EXPECT_EQ(admitted.output, hand.output);
+}
+
+TEST_F(CliTest, AdmissionBatchLimitSplitsAndStaysCorrect) {
+  std::string dir = ::testing::TempDir();
+  {
+    std::ofstream d(dir + "/split.xml");
+    d << "<a><b>1</b><b>2</b></a>";
+  }
+  RunResult r = Shell(BinaryPath() +
+                      " -q '<r>{ count(/a/b) }</r>'"
+                      " -q '<s>{ count(/a/b) }</s>'"
+                      " -q '<t>{ count(/a/b) }</t>'"
+                      " --admission-batch=1 --stats " +
+                      dir + "/split.xml 2>&1");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("<r>2</r>\n<s>2</s>\n<t>2</t>"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("batches=3"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("solo=3"), std::string::npos) << r.output;
+}
+
 }  // namespace
 }  // namespace gcx

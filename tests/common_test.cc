@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <utility>
@@ -254,6 +255,29 @@ TEST(Strings, Join) {
   EXPECT_EQ(Join({}, ","), "");
   EXPECT_EQ(Join({"a"}, ","), "a");
   EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Strings, FormatNumberIntegersAndFractions) {
+  EXPECT_EQ(FormatNumber(0), "0");
+  EXPECT_EQ(FormatNumber(-3), "-3");
+  EXPECT_EQ(FormatNumber(6.5), "6.5");
+}
+
+TEST(Strings, FormatNumberNonFinite) {
+  EXPECT_EQ(FormatNumber(std::numeric_limits<double>::quiet_NaN()), "NaN");
+  EXPECT_EQ(FormatNumber(std::numeric_limits<double>::infinity()), "Infinity");
+  EXPECT_EQ(FormatNumber(-std::numeric_limits<double>::infinity()),
+            "-Infinity");
+}
+
+TEST(Strings, FormatNumberLargeIntegersKeepAllDigits) {
+  // Exactly representable integers above 2^53 must render in full, not
+  // collapse to %g scientific notation.
+  EXPECT_EQ(FormatNumber(9007199254740994.0), "9007199254740994");  // 2^53+2
+  EXPECT_EQ(FormatNumber(1e18), "1000000000000000000");
+  EXPECT_EQ(FormatNumber(-1e18), "-1000000000000000000");
+  // Beyond long long range the cast is skipped (no UB) and %g takes over.
+  EXPECT_EQ(FormatNumber(1e19), "1e+19");
 }
 
 }  // namespace

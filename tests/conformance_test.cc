@@ -37,6 +37,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -163,6 +164,49 @@ TEST_P(ConformanceTest, AllConfigsMatchGolden) {
   }
 }
 
+// --- chunk-boundary regression: 1-byte reads over the whole corpus ----------
+
+/// ByteSource returning one byte per Read: every token in the corpus gets
+/// split across buffer boundaries.
+class OneByteSource : public ByteSource {
+ public:
+  explicit OneByteSource(std::string data) : data_(std::move(data)) {}
+  size_t Read(char* buffer, size_t capacity) override {
+    if (capacity == 0 || pos_ >= data_.size()) return 0;
+    buffer[0] = data_[pos_++];
+    return 1;
+  }
+
+ private:
+  std::string data_;
+  size_t pos_ = 0;
+};
+
+TEST_P(ConformanceTest, OneByteReadsMatchGolden) {
+  const Case& c = GetParam();
+  ASSERT_TRUE(c.complete) << c.name;
+  for (const NamedEngineConfig& config : StandardEngineConfigs()) {
+    auto compiled = CompiledQuery::Compile(c.query, config.options);
+    ASSERT_TRUE(compiled.ok()) << c.name;
+    Engine engine;
+    std::ostringstream out;
+    auto stats = engine.Execute(
+        *compiled, std::make_unique<OneByteSource>(c.document), &out);
+    if (c.is_error) {
+      ASSERT_FALSE(stats.ok()) << c.name << " [" << config.name << "]";
+      EXPECT_NE(stats.status().ToString().find(c.expected_error),
+                std::string::npos)
+          << c.name << " [" << config.name << "]";
+      continue;
+    }
+    ASSERT_TRUE(stats.ok())
+        << c.name << " [" << config.name << "]: " << stats.status().ToString();
+    EXPECT_EQ(out.str(), c.expected)
+        << c.name << " [" << config.name
+        << "]: output diverges from golden under 1-byte reads";
+  }
+}
+
 std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
   std::string name = info.param.name;
   std::replace_if(
@@ -275,8 +319,8 @@ TEST(ConformanceMultiQuery, ErrorCasesFailTheBatchWithTheExpectedText) {
 }
 
 // The acceptance floor: the corpus must not silently shrink.
-TEST(ConformanceCorpus, HasAtLeast50Cases) {
-  EXPECT_GE(LoadCorpus().size(), 50u)
+TEST(ConformanceCorpus, HasAtLeast60Cases) {
+  EXPECT_GE(LoadCorpus().size(), 60u)
       << "conformance corpus in " << CorpusDir() << " is too small";
 }
 
@@ -285,7 +329,18 @@ TEST(ConformanceCorpus, HasErrorPathCases) {
   for (const Case& c : LoadCorpus()) {
     if (c.is_error) ++errors;
   }
-  EXPECT_GE(errors, 3u) << "corpus should keep malformed-input coverage";
+  EXPECT_GE(errors, 4u) << "corpus should keep malformed-input coverage";
+}
+
+TEST(ConformanceCorpus, HasAggregateEdgeCases) {
+  size_t empty = 0;
+  size_t nonnumeric = 0;
+  for (const Case& c : LoadCorpus()) {
+    if (c.name.rfind("agg_empty_", 0) == 0) ++empty;
+    if (c.name.rfind("agg_nonnumeric_", 0) == 0) ++nonnumeric;
+  }
+  EXPECT_GE(empty, 2u) << "empty-binding aggregate cases must stay";
+  EXPECT_GE(nonnumeric, 2u) << "non-numeric sum cases must stay";
 }
 
 }  // namespace

@@ -1,0 +1,314 @@
+// Tests for the compiled-query cache (core/query_cache): keying, LRU
+// eviction, canonical-text aliasing, compile-once-under-contention, and
+// byte-identical execution cached vs uncached.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/query_cache.h"
+
+namespace gcx {
+namespace {
+
+std::string RunQuery(const CompiledQuery& query, std::string_view doc) {
+  Engine engine;
+  std::ostringstream out;
+  auto stats = engine.Execute(query, doc, &out);
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  return out.str();
+}
+
+TEST(QueryCache, RepeatSubmissionHitsWithoutRecompiling) {
+  QueryCache cache;
+  const std::string q = "<r>{ count(/a/b) }</r>";
+  auto first = cache.GetOrCompile(q, {});
+  ASSERT_TRUE(first.ok());
+  auto second = cache.GetOrCompile(q, {});
+  ASSERT_TRUE(second.ok());
+
+  QueryCacheStats s = cache.stats();
+  EXPECT_EQ(s.lookups, 2u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.compiles, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  // Copies share one compilation.
+  EXPECT_EQ(&first->analyzed(), &second->analyzed());
+}
+
+TEST(QueryCache, FormattingVariantsShareOneCompilation) {
+  QueryCache cache;
+  auto a = cache.GetOrCompile("<r>{ count(/a/b) }</r>", {});
+  auto b = cache.GetOrCompile("<r>{   count( /a/b )   }</r>", {});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(&a->analyzed(), &b->analyzed());
+
+  QueryCacheStats s = cache.stats();
+  EXPECT_EQ(s.compiles, 1u);
+  EXPECT_EQ(s.canonical_hits, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  // The variant text is now an alias: resubmitting it is an exact hit.
+  auto c = cache.GetOrCompile("<r>{   count( /a/b )   }</r>", {});
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(QueryCache, AliasGrowthIsBounded) {
+  // An adversarial stream of ever-new formatting variants of one query
+  // must not grow the cache index without bound: aliases are capped per
+  // entry, and variants beyond the cap still resolve (as canonical hits
+  // that re-pay only the parse).
+  QueryCache cache;
+  ASSERT_TRUE(cache.GetOrCompile("<r>{ count(/a/b) }</r>", {}).ok());
+  for (int pad = 1; pad <= 40; ++pad) {
+    std::string variant =
+        "<r>{" + std::string(static_cast<size_t>(pad), ' ') +
+        "count(/a/b) }</r>";
+    auto got = cache.GetOrCompile(variant, {});
+    ASSERT_TRUE(got.ok()) << pad;
+  }
+  QueryCacheStats s = cache.stats();
+  EXPECT_EQ(s.compiles, 1u);
+  // pad=1 reproduces the seeded text exactly (exact hit); the other 39
+  // spellings resolve through the canonical tier.
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.canonical_hits, 39u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(QueryCache, OptionsParticipateInTheKey) {
+  QueryCache cache;
+  const std::string q = "<r>{ count(/a/b) }</r>";
+  EngineOptions gc_off;
+  gc_off.enable_gc = false;
+  ASSERT_TRUE(cache.GetOrCompile(q, {}).ok());
+  ASSERT_TRUE(cache.GetOrCompile(q, gc_off).ok());
+  QueryCacheStats s = cache.stats();
+  EXPECT_EQ(s.compiles, 2u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.hits, 0u);
+}
+
+TEST(QueryCache, LruEvictionAccounting) {
+  QueryCache cache(QueryCacheOptions{2});
+  auto query_text = [](int k) {
+    return "<q" + std::to_string(k) + ">{ count(/a) }</q" + std::to_string(k) +
+           ">";
+  };
+  ASSERT_TRUE(cache.GetOrCompile(query_text(0), {}).ok());
+  ASSERT_TRUE(cache.GetOrCompile(query_text(1), {}).ok());
+  // Touch 0 so 1 is the LRU victim.
+  ASSERT_TRUE(cache.GetOrCompile(query_text(0), {}).ok());
+  ASSERT_TRUE(cache.GetOrCompile(query_text(2), {}).ok());
+
+  QueryCacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_TRUE(cache.Contains(query_text(0), {}));
+  EXPECT_FALSE(cache.Contains(query_text(1), {}));
+  EXPECT_TRUE(cache.Contains(query_text(2), {}));
+  // Evicted aliases are gone too: re-requesting 1 recompiles.
+  ASSERT_TRUE(cache.GetOrCompile(query_text(1), {}).ok());
+  EXPECT_EQ(cache.stats().compiles, 4u);
+}
+
+TEST(QueryCache, CompileErrorsAreReturnedButNotCached) {
+  QueryCache cache;
+  auto bad = cache.GetOrCompile("<r>{ nonsense", {});
+  EXPECT_FALSE(bad.ok());
+  auto again = cache.GetOrCompile("<r>{ nonsense", {});
+  EXPECT_FALSE(again.ok());
+  QueryCacheStats s = cache.stats();
+  EXPECT_EQ(s.compile_errors, 2u);
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.compiles, 0u);
+}
+
+TEST(QueryCache, ClearDropsEntries) {
+  QueryCache cache;
+  ASSERT_TRUE(cache.GetOrCompile("<r>{ count(/a) }</r>", {}).ok());
+  EXPECT_EQ(cache.stats().entries, 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_FALSE(cache.Contains("<r>{ count(/a) }</r>", {}));
+}
+
+TEST(QueryCache, CachedExecutionIsByteIdenticalToUncached) {
+  const std::string doc = "<a><b>1</b><b>2</b><c>xyz</c></a>";
+  const std::vector<std::string> queries = {
+      "<r>{ for $x in /a/b return $x }</r>",
+      "<r>{ count(/a/b) }</r>",
+      "<r>{ sum(/a/b) }</r>",
+  };
+  QueryCache cache;
+  for (const NamedEngineConfig& config : StandardEngineConfigs()) {
+    for (const std::string& q : queries) {
+      auto uncached = CompiledQuery::Compile(q, config.options);
+      ASSERT_TRUE(uncached.ok());
+      // Twice: the second resolves from the cache.
+      auto c1 = cache.GetOrCompile(q, config.options);
+      auto c2 = cache.GetOrCompile(q, config.options);
+      ASSERT_TRUE(c1.ok());
+      ASSERT_TRUE(c2.ok());
+      std::string expected = RunQuery(*uncached, doc);
+      EXPECT_EQ(RunQuery(*c1, doc), expected) << config.name << " " << q;
+      EXPECT_EQ(RunQuery(*c2, doc), expected) << config.name << " " << q;
+    }
+  }
+}
+
+TEST(QueryCache, SharedCompilationSurvivesEviction) {
+  // Executing a compilation that the LRU has already dropped must be safe:
+  // the caller's copy keeps the shared analysis alive.
+  QueryCache cache(QueryCacheOptions{1});
+  auto kept = cache.GetOrCompile("<r>{ count(/a/b) }</r>", {});
+  ASSERT_TRUE(kept.ok());
+  ASSERT_TRUE(cache.GetOrCompile("<s>{ count(/a/c) }</s>", {}).ok());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(RunQuery(*kept, "<a><b/><b/></a>"), "<r>2</r>");
+}
+
+// --- concurrency ------------------------------------------------------------
+
+/// Reusable N-thread rendezvous.
+class Barrier {
+ public:
+  explicit Barrier(int parties) : parties_(parties) {}
+  void Arrive() {
+    std::unique_lock<std::mutex> lock(mu_);
+    int generation = generation_;
+    if (++waiting_ == parties_) {
+      waiting_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return generation != generation_; });
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int parties_;
+  int waiting_ = 0;
+  int generation_ = 0;
+};
+
+TEST(QueryCacheConcurrency, ExactlyOneCompilePerKeyUnderRacingLookups) {
+  // N threads race M distinct queries round by round through a cache whose
+  // capacity is *smaller* than M: each round all threads request the same
+  // key simultaneously, so the in-flight latch must coalesce them onto a
+  // single compile — M compiles total even though entries keep getting
+  // evicted between rounds.
+  constexpr int kThreads = 8;
+  constexpr int kQueries = 12;
+  constexpr size_t kCapacity = 4;
+  const std::string doc = "<a><b>1</b><b>2</b></a>";
+
+  QueryCache cache(QueryCacheOptions{kCapacity});
+  std::vector<std::string> queries;
+  std::vector<std::string> expected;
+  for (int k = 0; k < kQueries; ++k) {
+    std::string tag = "q" + std::to_string(k);
+    queries.push_back("<" + tag + ">{ count(/a/b) }</" + tag + ">");
+    auto reference = CompiledQuery::Compile(queries.back(), {});
+    ASSERT_TRUE(reference.ok());
+    expected.push_back(RunQuery(*reference, doc));
+  }
+
+  Barrier barrier(kThreads);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int k = 0; k < kQueries; ++k) {
+        barrier.Arrive();  // all threads hit key k together
+        auto compiled = cache.GetOrCompile(queries[static_cast<size_t>(k)], {});
+        if (!compiled.ok()) {
+          ++failures;
+          continue;
+        }
+        Engine engine;
+        std::ostringstream out;
+        auto stats =
+            engine.Execute(*compiled, doc, &out);  // concurrent shared use
+        if (!stats.ok() || out.str() != expected[static_cast<size_t>(k)]) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  QueryCacheStats s = cache.stats();
+  EXPECT_EQ(s.compiles, static_cast<uint64_t>(kQueries))
+      << "racing lookups must coalesce onto one compile per key";
+  EXPECT_EQ(s.lookups, static_cast<uint64_t>(kThreads * kQueries));
+  // Each round: 1 compile, kThreads-1 coalesced waiters (no exact hits are
+  // guaranteed — a fast waiter may arrive after insertion — so only the
+  // sum is exact).
+  EXPECT_EQ(s.hits + s.coalesced + s.compiles,
+            static_cast<uint64_t>(kThreads * kQueries));
+  // Eviction accounting stays consistent under contention.
+  EXPECT_EQ(s.entries, kCapacity);
+  EXPECT_EQ(s.evictions, static_cast<uint64_t>(kQueries) - kCapacity);
+}
+
+TEST(QueryCacheConcurrency, MixedKeysManyThreadsProduceCorrectResults) {
+  // Unsynchronized access pattern: every thread walks the key space in a
+  // different order while executing each compilation it receives.
+  constexpr int kThreads = 8;
+  constexpr int kQueries = 6;
+  constexpr int kRounds = 40;
+  const std::string doc = "<a><b>1</b><b>2</b><b>3</b></a>";
+
+  QueryCache cache(QueryCacheOptions{3});
+  std::vector<std::string> queries;
+  std::vector<std::string> expected;
+  for (int k = 0; k < kQueries; ++k) {
+    std::string tag = "q" + std::to_string(k);
+    queries.push_back("<" + tag + ">{ sum(/a/b) }</" + tag + ">");
+    auto reference = CompiledQuery::Compile(queries.back(), {});
+    ASSERT_TRUE(reference.ok());
+    expected.push_back(RunQuery(*reference, doc));
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        int k = (round * (t + 1) + t) % kQueries;  // per-thread order
+        auto compiled = cache.GetOrCompile(queries[static_cast<size_t>(k)], {});
+        if (!compiled.ok()) {
+          ++failures;
+          continue;
+        }
+        Engine engine;
+        std::ostringstream out;
+        auto stats = engine.Execute(*compiled, doc, &out);
+        if (!stats.ok() || out.str() != expected[static_cast<size_t>(k)]) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Conservation: every lookup resolved exactly one way.
+  QueryCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits + s.canonical_hits + s.coalesced + s.misses, s.lookups);
+}
+
+}  // namespace
+}  // namespace gcx

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -205,6 +207,129 @@ TEST(Scanner, ErrorReportsLineNumber) {
   ASSERT_FALSE(result.ok());
   EXPECT_NE(result.status().message().find("line 3"), std::string::npos)
       << result.status().ToString();
+}
+
+// --- chunk boundaries -------------------------------------------------------
+//
+// The scanner pulls through a refillable buffer, so every multi-byte token
+// (tag names, entity references, CDATA/comment delimiters, UTF-8
+// sequences) can be split across Read() boundaries. The shim below makes
+// EVERY byte a boundary; the event stream (or the error) must be identical
+// to a whole-buffer read.
+
+/// ByteSource that returns at most `chunk` bytes per Read (default 1).
+class ChunkedSource : public ByteSource {
+ public:
+  explicit ChunkedSource(std::string data, size_t chunk = 1)
+      : data_(std::move(data)), chunk_(chunk) {}
+  size_t Read(char* buffer, size_t capacity) override {
+    size_t n = std::min({chunk_, capacity, data_.size() - pos_});
+    std::memcpy(buffer, data_.data() + pos_, n);
+    pos_ += n;
+    return n;
+  }
+
+ private:
+  std::string data_;
+  size_t chunk_;
+  size_t pos_ = 0;
+};
+
+Result<std::string> ScanChunked(std::string_view xml, size_t chunk,
+                                ScannerOptions options = {}) {
+  XmlScanner scanner(std::make_unique<ChunkedSource>(std::string(xml), chunk),
+                     options);
+  std::string out;
+  while (true) {
+    XmlEvent event;
+    GCX_RETURN_IF_ERROR(scanner.Next(&event));
+    switch (event.kind) {
+      case XmlEvent::Kind::kStartElement:
+        out += "<" + event.name + " ";
+        break;
+      case XmlEvent::Kind::kEndElement:
+        out += ">" + event.name + " ";
+        break;
+      case XmlEvent::Kind::kText:
+        out += "'" + event.text + "' ";
+        break;
+      case XmlEvent::Kind::kEndOfDocument:
+        return out;
+    }
+  }
+}
+
+class ScannerChunkBoundaryTest : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(ScannerChunkBoundaryTest, OneByteReadsMatchWholeBuffer) {
+  const std::string xml = GetParam();
+  Result<std::string> whole = Scan(xml);
+  for (size_t chunk : {size_t{1}, size_t{2}, size_t{3}, size_t{7}}) {
+    Result<std::string> chunked = ScanChunked(xml, chunk);
+    ASSERT_EQ(whole.ok(), chunked.ok()) << "chunk=" << chunk << " " << xml;
+    if (whole.ok()) {
+      EXPECT_EQ(*chunked, *whole) << "chunk=" << chunk << " " << xml;
+    } else {
+      EXPECT_EQ(chunked.status(), whole.status()) << "chunk=" << chunk;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SplitTokens, ScannerChunkBoundaryTest,
+    ::testing::Values(
+        // Entity references split mid-name.
+        "<a>&lt;&gt;&amp;&apos;&quot;</a>",
+        "<a>x&amp;y&#65;&#x1F980;z</a>",
+        R"(<a t="x&amp;&#x42;y"/>)",
+        // Raw multi-byte UTF-8 (2-, 3- and 4-byte sequences).
+        "<a>caf\xC3\xA9 \xE2\x9C\x93 \xF0\x9F\xA6\x80</a>",
+        "<caf\xC3\xA9>x</caf\xC3\xA9>",
+        // CDATA delimiters and embedded bracket runs.
+        "<a><![CDATA[x]]></a>",
+        "<a><![CDATA[a]]b]]]>]]><b/></a>",
+        "<a><![CDATA[]]></a>",
+        // Comments, incl. dash runs near the terminator.
+        "<a><!-- a - b -- ->x --><b/></a>",
+        "<a><!----><b/></a>",
+        // Processing instructions and DOCTYPE with internal subset.
+        "<?xml version=\"1.0\"?><a><?pi d?ata?></a>",
+        "<!DOCTYPE a [<!ELEMENT a EMPTY>]><a/>",
+        // Attribute conversion with several attributes.
+        R"(<p id="p0" role="x y">t</p>)",
+        "<p id='p0'/>",
+        // Whitespace skipping around tags.
+        "<a>\n  <b/>\n  tail\n</a>",
+        // Errors must be identical too (split mismatched close tag).
+        "<a><b></a>",
+        "<a>&unknown;</a>",
+        "<a><![CDATA[x]]"));
+
+TEST(ScannerChunkBoundaries, OptionsRespectedUnderChunking) {
+  ScannerOptions keep_ws;
+  keep_ws.skip_whitespace_text = false;
+  EXPECT_EQ(*ScanChunked("<a> <b/></a>", 1, keep_ws), "<a ' ' <b >b >a ");
+  ScannerOptions discard;
+  discard.attribute_mode = ScannerOptions::AttributeMode::kDiscard;
+  EXPECT_EQ(*ScanChunked(R"(<p id="p0">t</p>)", 1, discard), "<p 't' >p ");
+}
+
+TEST(ScannerChunkBoundaries, BytesConsumedMatchesWholeBuffer) {
+  const std::string xml = "<a>x&amp;y<![CDATA[z]]></a>";
+  XmlScanner whole(std::make_unique<StringSource>(xml));
+  XmlScanner chunked(std::make_unique<ChunkedSource>(xml, 1));
+  XmlEvent event;
+  while (true) {
+    ASSERT_TRUE(whole.Next(&event).ok());
+    if (event.kind == XmlEvent::Kind::kEndOfDocument) break;
+  }
+  while (true) {
+    ASSERT_TRUE(chunked.Next(&event).ok());
+    if (event.kind == XmlEvent::Kind::kEndOfDocument) break;
+  }
+  EXPECT_EQ(whole.bytes_consumed(), chunked.bytes_consumed());
+  EXPECT_EQ(whole.bytes_consumed(), xml.size());
 }
 
 }  // namespace

@@ -17,6 +17,13 @@
 //   --explain         print the static analysis (variable tree, roles,
 //                     projection tree, rewritten query) and exit
 //   --stats           print execution statistics to stderr
+//   --cache-stats     print compiled-query cache counters to stderr
+//                     (repeated -q texts compile once per process)
+//   --admission       route a multi-query run through the admission
+//                     controller (grouping + batch limits) instead of one
+//                     hand-built batch
+//   --admission-batch=N    admission: max queries per batch (default 16)
+//   --admission-memory=N   admission: replay-log budget in events (0 = off)
 //   --trace           dump the buffer after every input token (Fig. 2 style)
 //   --mode=MODE       streaming (default) | project | dom
 //   --no-gc           disable signOff execution and purging
@@ -27,7 +34,9 @@
 //   --drop-attributes discard attributes instead of converting them to
 //                     subelements
 
+#include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -37,8 +46,10 @@
 
 #include <vector>
 
+#include "core/admission.h"
 #include "core/engine.h"
 #include "core/multi_engine.h"
+#include "core/query_cache.h"
 
 namespace {
 
@@ -67,6 +78,11 @@ void Help(const char* argv0) {
          "  --explain         print static analysis and exit\n"
          "  --project-only    emit the projected document, don't evaluate\n"
          "  --stats           print execution statistics to stderr\n"
+         "  --cache-stats     print compiled-query cache counters to stderr\n"
+         "  --admission       route a multi-query run through the admission\n"
+         "                    controller (grouping + batch limits)\n"
+         "  --admission-batch=N   admission: max queries per batch\n"
+         "  --admission-memory=N  admission: replay-log budget in events\n"
          "  --trace           dump the buffer after every input token\n"
          "  --mode=MODE       streaming (default) | project | dom\n"
          "  --no-gc           disable active garbage collection\n"
@@ -78,13 +94,35 @@ void Help(const char* argv0) {
 }
 
 bool ReadFile(const std::string& path, std::string* out) {
+  // Directories open successfully and read as empty on Linux, which would
+  // surface as a baffling empty-query parse error; reject them up front.
+  // (Only directories: FIFOs from process substitution and character
+  // devices like /dev/stdin are legitimate query sources.)
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) return false;
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;
   std::ostringstream buffer;
   buffer << in.rdbuf();
+  if (in.bad()) return false;
   *out = buffer.str();
   return true;
 }
+
+/// Re-openable file source for the admission path (a document may be
+/// scanned once per batch); owns its stream, unlike IstreamSource.
+class OwningFileSource : public gcx::ByteSource {
+ public:
+  explicit OwningFileSource(const std::string& path)
+      : in_(path, std::ios::binary) {}
+  size_t Read(char* buffer, size_t capacity) override {
+    in_.read(buffer, static_cast<std::streamsize>(capacity));
+    return static_cast<size_t>(in_.gcount());
+  }
+
+ private:
+  std::ifstream in_;
+};
 
 /// Streambuf forwarding to a shared target, emitting one '\n' separator
 /// before the first forwarded byte. Batched queries evaluate strictly in
@@ -122,15 +160,25 @@ class SeparatedBuf : public std::streambuf {
 
 }  // namespace
 
+/// One -q submission: its text plus where it came from (for diagnostics).
+struct QuerySpec {
+  std::string text;
+  std::string label;  ///< file path, or "inline query #k"
+};
+
 int main(int argc, char** argv) {
   gcx::EngineOptions options;
-  std::vector<std::string> query_texts;
+  std::vector<QuerySpec> query_specs;
   std::string query_path;
   std::string input_path;
   std::string output_path;
   bool explain = false;
   bool project_only = false;
   bool stats_flag = false;
+  bool cache_stats_flag = false;
+  bool admission_flag = false;
+  size_t admission_batch = 16;
+  uint64_t admission_memory = 0;
   bool trace = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -150,9 +198,10 @@ int main(int argc, char** argv) {
       size_t first = value.find_first_not_of(" \t\r\n");
       bool looks_inline = first != std::string::npos && value[first] == '<';
       if (ReadFile(value, &text)) {
-        query_texts.push_back(text);
+        query_specs.push_back({text, value});
       } else if (looks_inline) {
-        query_texts.push_back(value);
+        query_specs.push_back(
+            {value, "inline query #" + std::to_string(query_specs.size() + 1)});
       } else {
         std::cerr << "cannot read query file '" << value << "'\n";
         return 1;
@@ -166,6 +215,26 @@ int main(int argc, char** argv) {
       project_only = true;
     } else if (arg == "--stats") {
       stats_flag = true;
+    } else if (arg == "--cache-stats") {
+      cache_stats_flag = true;
+    } else if (arg == "--admission") {
+      admission_flag = true;
+    } else if (arg.rfind("--admission-batch=", 0) == 0) {
+      admission_flag = true;
+      long v = std::atol(arg.c_str() + std::strlen("--admission-batch="));
+      if (v < 1) {
+        std::cerr << "--admission-batch needs a positive count\n";
+        return 2;
+      }
+      admission_batch = static_cast<size_t>(v);
+    } else if (arg.rfind("--admission-memory=", 0) == 0) {
+      admission_flag = true;
+      long long v = std::atoll(arg.c_str() + std::strlen("--admission-memory="));
+      if (v < 0) {
+        std::cerr << "--admission-memory needs a non-negative event count\n";
+        return 2;
+      }
+      admission_memory = static_cast<uint64_t>(v);
     } else if (arg == "--trace") {
       trace = true;
     } else if (arg == "--no-gc") {
@@ -196,7 +265,7 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("-", 0) == 0 && arg != "-") {
       std::cerr << "unknown option '" << arg << "'\n";
       return Usage(argv[0]);
-    } else if (query_texts.empty() && query_path.empty()) {
+    } else if (query_specs.empty() && query_path.empty()) {
       query_path = arg;
     } else if (input_path.empty()) {
       input_path = arg;
@@ -205,24 +274,50 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (query_texts.empty() && query_path.empty()) return Usage(argv[0]);
+  if (query_specs.empty() && query_path.empty()) return Usage(argv[0]);
   if (!query_path.empty()) {
     std::string text;
     if (!ReadFile(query_path, &text)) {
       std::cerr << "cannot read query file '" << query_path << "'\n";
       return 1;
     }
-    query_texts.insert(query_texts.begin(), text);
+    query_specs.insert(query_specs.begin(), {text, query_path});
   }
 
+  // All compilations go through one process-local cache: repeated -q texts
+  // (and formatting variants of the same query) compile exactly once.
+  gcx::QueryCache cache;
+  auto print_cache_stats = [&] {
+    if (!cache_stats_flag) return;
+    gcx::QueryCacheStats s = cache.stats();
+    std::cerr << "cache: lookups=" << s.lookups << " hits=" << s.hits
+              << " canonical_hits=" << s.canonical_hits
+              << " misses=" << s.misses << " compiles=" << s.compiles
+              << " errors=" << s.compile_errors
+              << " coalesced=" << s.coalesced
+              << " evictions=" << s.evictions << " entries=" << s.entries
+              << " capacity=" << s.capacity << "\n";
+  };
+
+  // Compile everything before running anything: a malformed query fails the
+  // whole invocation cleanly — no query of the batch has produced output
+  // yet, and the diagnostic names the offending submission. The admission
+  // path skips this loop (Submit compiles through the same cache and is
+  // rejected before Run executes anything), so --cache-stats reflects one
+  // lookup per submission there.
   std::vector<gcx::CompiledQuery> compiled_queries;
-  for (const std::string& text : query_texts) {
-    auto compiled = gcx::CompiledQuery::Compile(text, options);
-    if (!compiled.ok()) {
-      std::cerr << "compile error: " << compiled.status().ToString() << "\n";
-      return 1;
+  if (!admission_flag || explain) {
+    for (size_t i = 0; i < query_specs.size(); ++i) {
+      auto compiled = cache.GetOrCompile(query_specs[i].text, options);
+      if (!compiled.ok()) {
+        std::cerr << "compile error in query " << (i + 1) << " of "
+                  << query_specs.size() << " (" << query_specs[i].label
+                  << "): " << compiled.status().ToString() << "\n";
+        print_cache_stats();
+        return 1;
+      }
+      compiled_queries.push_back(std::move(compiled).value());
     }
-    compiled_queries.push_back(std::move(compiled).value());
   }
   if (explain) {
     for (const gcx::CompiledQuery& compiled : compiled_queries) {
@@ -230,7 +325,6 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
-  const gcx::CompiledQuery& first_query = compiled_queries.front();
 
   // Input source: file (streamed) or stdin.
   std::unique_ptr<gcx::ByteSource> source;
@@ -281,6 +375,79 @@ int main(int argc, char** argv) {
     });
   }
 
+  if (admission_flag) {
+    // Admission path: requests go through the admission controller, which
+    // groups them into batches under the configured limits. One document,
+    // one option set → one group; the controller still enforces the
+    // batch-size/memory cuts a server deployment would see.
+    if (project_only || trace) {
+      std::cerr << "--project-only/--trace are single-query options\n";
+      return 2;
+    }
+    gcx::AdmissionLimits limits;
+    limits.max_batch_queries = admission_batch;
+    limits.max_replay_log_events = admission_memory;
+    gcx::AdmissionController controller(&cache, limits);
+    std::error_code ec;
+    if (!input_path.empty() && input_path != "-" &&
+        std::filesystem::is_regular_file(input_path, ec)) {
+      // Regular file: re-open per batch (a group may need several scans).
+      std::string path = input_path;
+      controller.RegisterDocument("doc", [path] {
+        return std::make_unique<OwningFileSource>(path);
+      });
+    } else {
+      // stdin, FIFOs and other non-regular inputs cannot be re-opened per
+      // batch: materialize the already-open source once.
+      std::string document;
+      char chunk[1 << 16];
+      while (size_t n = source->Read(chunk, sizeof(chunk))) {
+        document.append(chunk, n);
+      }
+      controller.RegisterDocument("doc", std::move(document));
+    }
+
+    std::vector<std::unique_ptr<SeparatedBuf>> bufs;
+    std::vector<std::unique_ptr<std::ostream>> streams;
+    for (size_t i = 0; i < query_specs.size(); ++i) {
+      bufs.push_back(std::make_unique<SeparatedBuf>(out, i > 0));
+      streams.push_back(std::make_unique<std::ostream>(bufs.back().get()));
+      gcx::Status admitted = controller.Submit(query_specs[i].text, options,
+                                               "doc", streams.back().get());
+      if (!admitted.ok()) {
+        std::cerr << "admission rejected query " << (i + 1) << " ("
+                  << query_specs[i].label << "): " << admitted.ToString()
+                  << "\n";
+        print_cache_stats();
+        return 1;
+      }
+    }
+    auto run = controller.Run();
+    if (!run.ok()) {
+      std::cerr << "error: " << run.status().ToString() << "\n";
+      print_cache_stats();
+      return 1;
+    }
+    *out << "\n";
+    if (stats_flag) {
+      gcx::AdmissionStats a = controller.stats();
+      std::cerr << "admission: submitted=" << a.submitted
+                << " admitted=" << a.admitted << " rejected=" << a.rejected
+                << " batches=" << a.batches_formed << " solo=" << a.solo_runs
+                << " splits_size=" << a.splits_by_size
+                << " splits_memory=" << a.splits_by_memory
+                << " replay_peak=" << a.replay_log_peak_observed
+                << " est_events_per_query=" << a.events_per_query_estimate
+                << "\n"
+                << "run: queries=" << run->queries
+                << " batches=" << run->batches
+                << " scan_passes=" << run->scan_passes
+                << " bytes_scanned=" << run->bytes_scanned << "\n";
+    }
+    print_cache_stats();
+    return 0;
+  }
+
   if (compiled_queries.size() > 1) {
     // Multi-query batch: one shared document scan, N results in order.
     if (project_only || trace) {
@@ -305,6 +472,7 @@ int main(int argc, char** argv) {
     auto batch_stats = multi_engine.Execute(batch, std::move(source), outs);
     if (!batch_stats.ok()) {
       std::cerr << "error: " << batch_stats.status().ToString() << "\n";
+      print_cache_stats();
       return 1;
     }
     *out << "\n";
@@ -332,6 +500,7 @@ int main(int argc, char** argv) {
                   << ", wall " << q.wall_seconds << " s\n";
       }
     }
+    print_cache_stats();
     return 0;
   }
 
@@ -343,12 +512,13 @@ int main(int argc, char** argv) {
     while (size_t n = source->Read(chunk, sizeof(chunk))) {
       document.append(chunk, n);
     }
-    stats = engine.Project(first_query, document, out);
+    stats = engine.Project(compiled_queries.front(), document, out);
   } else {
-    stats = engine.Execute(first_query, std::move(source), out);
+    stats = engine.Execute(compiled_queries.front(), std::move(source), out);
   }
   if (!stats.ok()) {
     std::cerr << "error: " << stats.status().ToString() << "\n";
+    print_cache_stats();
     return 1;
   }
   *out << "\n";
@@ -366,5 +536,6 @@ int main(int argc, char** argv) {
               << "GC runs:           " << stats->buffer.gc_runs << "\n"
               << "DFA states:        " << stats->dfa_states << "\n";
   }
+  print_cache_stats();
   return 0;
 }
