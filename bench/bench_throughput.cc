@@ -1,0 +1,216 @@
+// Event-pipeline throughput: MB/s, events/s and allocations/event.
+//
+// Two documents stress the two ends of the scan hot path:
+//   * xmark    — the paper's auction document (text-heavy, deep structure);
+//   * tagdense — synthetic markup that is almost all tags (64 distinct
+//                element names cycling at high frequency, tiny payloads),
+//                the worst case for per-event tag interning and DFA
+//                transition lookup.
+// Each document runs a single scan-bound query solo, and the XMark document
+// additionally runs an 8-query batch through the MultiQueryEngine (one
+// shared scan). Allocations are counted with the opt-in operator-new hook
+// from bench_util.h, over the Execute call only — steady-state
+// allocations/event is the pipeline's zero-copy health metric, asserted in
+// CI against a fixed ceiling (wall-clock gates would flake; alloc counts
+// don't).
+//
+// GCX_BENCH_SCALE=N multiplies the document sizes.
+// GCX_BENCH_JSON=path overrides the output path
+// (default: BENCH_throughput.json in the working directory).
+
+#define GCX_BENCH_COUNT_ALLOCS 1
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/multi_engine.h"
+
+namespace {
+
+using gcx::bench::AllocCounterScope;
+
+struct Row {
+  std::string workload;  // "xmark" | "tagdense"
+  std::string mode;      // "solo" | "batch8"
+  uint64_t document_bytes = 0;
+  uint64_t events = 0;
+  uint64_t allocs = 0;
+  double seconds = 0;
+  double mb_per_s() const {
+    return seconds > 0
+               ? static_cast<double>(document_bytes) / (1024.0 * 1024.0) / seconds
+               : 0;
+  }
+  double events_per_s() const {
+    return seconds > 0 ? static_cast<double>(events) / seconds : 0;
+  }
+  double allocs_per_event() const {
+    return events > 0 ? static_cast<double>(allocs) / static_cast<double>(events)
+                      : 0;
+  }
+};
+
+/// Markup-dominated document: 64 distinct tag names cycling at high
+/// frequency with one tiny text payload each.
+std::string GenerateTagDense(uint64_t records) {
+  std::string out = "<db>";
+  out.reserve(records * 32);
+  for (uint64_t i = 0; i < records; ++i) {
+    std::string tag = "t" + std::to_string(i % 64);
+    out += "<" + tag + "><id>" + std::to_string(i) + "</id></" + tag + ">";
+  }
+  out += "</db>";
+  return out;
+}
+
+Row RunSolo(const std::string& workload, std::string_view query_text,
+            const std::string& doc, int reps) {
+  auto compiled = gcx::CompiledQuery::Compile(query_text, {});
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n",
+                 compiled.status().ToString().c_str());
+    std::abort();
+  }
+  Row row;
+  row.workload = workload;
+  row.mode = "solo";
+  row.document_bytes = doc.size();
+  row.seconds = 1e30;
+  gcx::Engine engine;
+  for (int rep = 0; rep < reps; ++rep) {
+    gcx::bench::NullBuffer null_buffer;
+    std::ostream null_stream(&null_buffer);
+    AllocCounterScope allocs;
+    auto start = std::chrono::steady_clock::now();
+    auto stats = engine.Execute(*compiled, doc, &null_stream);
+    double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "execute failed: %s\n",
+                   stats.status().ToString().c_str());
+      std::abort();
+    }
+    row.seconds = std::min(row.seconds, seconds);
+    row.events = stats->projector.events_read;
+    row.allocs = allocs.count();
+  }
+  return row;
+}
+
+Row RunBatch8(const std::string& doc, int reps) {
+  // The scan-bound XMark queries, cycled to 8 (Q8's quadratic join would
+  // dominate wall time and hide the pipeline cost this bench isolates).
+  std::vector<gcx::CompiledQuery> compiled;
+  for (const gcx::NamedQuery& query : gcx::AllXMarkQueries()) {
+    if (std::string(query.name) == "Q8") continue;
+    auto one = gcx::CompiledQuery::Compile(query.text, {});
+    if (!one.ok()) {
+      std::fprintf(stderr, "compile failed: %s\n",
+                   one.status().ToString().c_str());
+      std::abort();
+    }
+    compiled.push_back(std::move(one).value());
+  }
+  std::vector<const gcx::CompiledQuery*> batch;
+  for (size_t i = 0; i < 8; ++i) batch.push_back(&compiled[i % compiled.size()]);
+
+  Row row;
+  row.workload = "xmark";
+  row.mode = "batch8";
+  row.document_bytes = doc.size();
+  row.seconds = 1e30;
+  gcx::MultiQueryEngine engine;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<gcx::bench::NullBuffer> null_buffers(batch.size());
+    std::vector<std::unique_ptr<std::ostream>> streams;
+    std::vector<std::ostream*> outs;
+    for (gcx::bench::NullBuffer& buffer : null_buffers) {
+      streams.push_back(std::make_unique<std::ostream>(&buffer));
+      outs.push_back(streams.back().get());
+    }
+    AllocCounterScope allocs;
+    auto start = std::chrono::steady_clock::now();
+    auto stats = engine.Execute(batch, doc, outs);
+    double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "batched execute failed: %s\n",
+                   stats.status().ToString().c_str());
+      std::abort();
+    }
+    row.seconds = std::min(row.seconds, seconds);
+    // Batched cost is per *scanner* event: the one shared pass is the
+    // denominator, like bytes are for MB/s.
+    row.events = stats->shared.events_scanned;
+    row.allocs = allocs.count();
+  }
+  return row;
+}
+
+void WriteJson(const std::string& path, const std::vector<Row>& rows) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "  {\"workload\": \"%s\", \"mode\": \"%s\", \"document_bytes\": %llu, "
+        "\"seconds\": %.6f, \"mb_per_s\": %.2f, \"events\": %llu, "
+        "\"events_per_s\": %.0f, \"allocs\": %llu, "
+        "\"allocs_per_event\": %.4f}%s\n",
+        r.workload.c_str(), r.mode.c_str(),
+        static_cast<unsigned long long>(r.document_bytes), r.seconds,
+        r.mb_per_s(), static_cast<unsigned long long>(r.events),
+        r.events_per_s(), static_cast<unsigned long long>(r.allocs),
+        r.allocs_per_event(), i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s (%zu rows)\n", path.c_str(), rows.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace gcx;
+  using namespace gcx::bench;
+
+  const int reps = 3;
+  std::string xmark = GenerateXMark(XMarkOptions{8 * BenchScale(), 42});
+  std::string tagdense =
+      GenerateTagDense(static_cast<uint64_t>(200000 * BenchScale()));
+
+  std::vector<Row> rows;
+  rows.push_back(RunSolo("xmark", XMarkQ6(), xmark, reps));
+  rows.push_back(RunBatch8(xmark, reps));
+  // Only the t0 rows are live for the query; the other 63 tag names are
+  // fast-skipped — raw tokenizer + DFA-transition speed.
+  rows.push_back(
+      RunSolo("tagdense", "<out>{ count(/db/t0/id) }</out>", tagdense, reps));
+
+  std::printf("%-10s | %-7s | %-8s | %-10s | %-12s | %-10s\n", "workload",
+              "mode", "MB", "MB/s", "events/s", "allocs/ev");
+  for (const Row& r : rows) {
+    std::printf("%-10s | %-7s | %-8s | %10.1f | %12.0f | %10.4f\n",
+                r.workload.c_str(), r.mode.c_str(),
+                HumanBytes(r.document_bytes).c_str(), r.mb_per_s(),
+                r.events_per_s(), r.allocs_per_event());
+  }
+  std::fflush(stdout);
+
+  const char* json_path = std::getenv("GCX_BENCH_JSON");
+  WriteJson(json_path != nullptr ? json_path : "BENCH_throughput.json", rows);
+  return 0;
+}

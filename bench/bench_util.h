@@ -1,11 +1,19 @@
 // Shared helpers for the benchmark harness.
+//
+// Allocation counting: a benchmark that wants allocations-per-event figures
+// defines GCX_BENCH_COUNT_ALLOCS before including this header (in exactly
+// one translation unit — the replacement operator new/delete are global).
+// Counting is off until an AllocCounterScope is alive, so setup noise
+// (document generation, query compilation) is excluded for free.
 
 #ifndef GCX_BENCH_BENCH_UTIL_H_
 #define GCX_BENCH_BENCH_UTIL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <new>
 #include <ostream>
 #include <sstream>
 #include <string>
@@ -15,6 +23,68 @@
 #include "core/engine.h"
 #include "xmark/generator.h"
 #include "xmark/queries.h"
+
+#ifdef GCX_BENCH_COUNT_ALLOCS
+
+namespace gcx::bench {
+inline std::atomic<uint64_t> g_alloc_count{0};
+inline std::atomic<bool> g_alloc_counting{false};
+
+/// RAII window: heap allocations made while a scope is alive are counted.
+class AllocCounterScope {
+ public:
+  AllocCounterScope() {
+    start_ = g_alloc_count.load(std::memory_order_relaxed);
+    g_alloc_counting.store(true, std::memory_order_relaxed);
+  }
+  ~AllocCounterScope() { g_alloc_counting.store(false, std::memory_order_relaxed); }
+  uint64_t count() const {
+    return g_alloc_count.load(std::memory_order_relaxed) - start_;
+  }
+
+ private:
+  uint64_t start_ = 0;
+};
+}  // namespace gcx::bench
+
+void* operator new(std::size_t size) {
+  if (gcx::bench::g_alloc_counting.load(std::memory_order_relaxed)) {
+    gcx::bench::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+// Over-aligned forms: without these, a per-event SIMD-aligned allocation
+// would bypass the counter and the CI ceiling would miss the regression.
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (gcx::bench::g_alloc_counting.load(std::memory_order_relaxed)) {
+    gcx::bench::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::size_t a = static_cast<std::size_t>(align);
+  std::size_t rounded = (size + a - 1) / a * a;  // aligned_alloc precondition
+  void* p = std::aligned_alloc(a, rounded ? rounded : a);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // GCX_BENCH_COUNT_ALLOCS
 
 namespace gcx::bench {
 

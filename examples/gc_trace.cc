@@ -56,10 +56,10 @@ int main() {
     std::cout << "step " << step << ": read ";
     switch (event.kind) {
       case gcx::XmlEvent::Kind::kStartElement:
-        std::cout << "<" << event.name << ">";
+        std::cout << "<" << event.name() << ">";
         break;
       case gcx::XmlEvent::Kind::kEndElement:
-        std::cout << "</" << event.name << ">";
+        std::cout << "</" << event.name() << ">";
         break;
       case gcx::XmlEvent::Kind::kText:
         std::cout << "text \"" << event.text << "\"";

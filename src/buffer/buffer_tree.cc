@@ -9,7 +9,7 @@ namespace gcx {
 
 namespace {
 uint64_t NodeBytes(const BufferNode& node) {
-  return sizeof(BufferNode) + node.text.capacity() +
+  return sizeof(BufferNode) + node.text.size() +
          node.roles.capacity() * sizeof(RoleInstance);
 }
 }  // namespace
@@ -75,13 +75,14 @@ BufferNode* BufferTree::AppendElement(BufferNode* parent, TagId tag) {
   return node;
 }
 
-BufferNode* BufferTree::AppendText(BufferNode* parent, std::string text) {
+BufferNode* BufferTree::AppendText(BufferNode* parent, std::string_view text) {
   BufferNode* node = AppendElement(parent, kInvalidTag);
   node->is_text = true;
   node->finished = true;
-  stats_.bytes_current -= NodeBytes(*node);
-  node->text = std::move(text);
-  stats_.bytes_current += NodeBytes(*node);
+  node->text = text_arena_.Append(text, &node->text_chunk);
+  stats_.bytes_current += text.size();
+  stats_.text_arena_peak_bytes = text_arena_.stats().bytes_peak;
+  stats_.text_arena_reserved_bytes = text_arena_.stats().bytes_reserved;
   UpdateBytesPeak();
   return node;
 }
@@ -225,6 +226,7 @@ void BufferTree::FreeSubtree(BufferNode* node) {
     child = next;
   }
   stats_.bytes_current -= NodeBytes(*node);
+  text_arena_.Release(node->text_chunk, node->text.size());
   --stats_.nodes_current;
   ++stats_.nodes_purged;
   pool_.Free(node);
@@ -241,7 +243,9 @@ void DumpNode(const BufferNode* node, const SymbolTable& tags, int depth,
               std::string* out) {
   out->append(static_cast<size_t>(depth) * 2, ' ');
   if (node->is_text) {
-    *out += "\"" + node->text + "\"";
+    *out += '"';
+    out->append(node->text);
+    *out += '"';
   } else if (node->parent == nullptr) {
     *out += "/";
   } else {

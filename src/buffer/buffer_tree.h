@@ -22,8 +22,10 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/pool.h"
 #include "common/status.h"
 #include "common/symbol_table.h"
@@ -44,7 +46,10 @@ struct BufferNode {
   bool is_text = false;
   bool finished = false;        ///< closing tag seen (text: always true)
   bool marked_deleted = false;  ///< Fig. 10: purge when finished
-  std::string text;             ///< character data for text nodes
+  /// Character data for text nodes: a view into the owning BufferTree's
+  /// text arena (valid for the node's lifetime; released on purge).
+  std::string_view text;
+  uint32_t text_chunk = ByteArena::kNullChunk;  ///< arena handle for `text`
 
   BufferNode* parent = nullptr;
   BufferNode* first_child = nullptr;
@@ -76,6 +81,11 @@ struct BufferStats {
   uint64_t roles_removed = 0;
   uint64_t gc_runs = 0;          ///< LocalGc invocations
   uint64_t gc_nodes_visited = 0; ///< irrelevance checks performed
+  /// Text arena high-water marks (the arena backs every text payload; GC
+  /// releases recycle whole chunks, so peak live bytes is the figure the
+  /// paper's Sec. 5/6 memory discussion cares about).
+  uint64_t text_arena_peak_bytes = 0;
+  uint64_t text_arena_reserved_bytes = 0;
 };
 
 /// The buffer tree. Single-threaded; owned by one execution.
@@ -94,8 +104,9 @@ class BufferTree {
 
   /// Appends a new unfinished element under `parent`.
   BufferNode* AppendElement(BufferNode* parent, TagId tag);
-  /// Appends a (finished) text node under `parent`.
-  BufferNode* AppendText(BufferNode* parent, std::string text);
+  /// Appends a (finished) text node under `parent`. The bytes are copied
+  /// into the buffer's text arena (the caller's view may die right after).
+  BufferNode* AppendText(BufferNode* parent, std::string_view text);
   /// Marks `node` finished; if it was marked deleted and is irrelevant, it
   /// is purged now and garbage collection cascades upward (Sec. 5).
   void Finish(BufferNode* node);
@@ -153,6 +164,7 @@ class BufferTree {
   void UpdateBytesPeak();
 
   Pool<BufferNode, 1024> pool_;
+  ByteArena text_arena_;
   BufferNode* root_;
   BufferStats stats_;
   bool gc_enabled_ = true;

@@ -1,0 +1,152 @@
+// Append-only byte arena with chunk-granular reclamation.
+//
+// The event pipeline stores variable-length byte payloads (buffered
+// character data, replay-log text) at a very high rate. A general-purpose
+// allocator pays per-string malloc/free plus header overhead; the arena
+// replaces that with a bump pointer into fixed-size chunks, so steady-state
+// appends are a memcpy.
+//
+// Reclamation is chunk-granular: every chunk counts its live bytes, a
+// Release decrements, and a chunk whose live count reaches zero is recycled
+// onto a free list (its memory is reused, not returned to the OS). This
+// fits both consumers exactly:
+//   * the BufferTree frees text in GC waves (Sec. 5's purges empty whole
+//     subtrees, so chunks die together), and
+//   * the multi-query replay log releases strictly FIFO (front chunks die
+//     first).
+// Payloads larger than the chunk size get a dedicated chunk.
+
+#ifndef GCX_COMMON_ARENA_H_
+#define GCX_COMMON_ARENA_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gcx {
+
+/// Arena counters. `bytes_peak` is the high-water mark of live (appended
+/// minus released) bytes; `bytes_reserved` is the backing storage held.
+struct ArenaStats {
+  uint64_t bytes_live = 0;
+  uint64_t bytes_peak = 0;
+  uint64_t bytes_appended = 0;   ///< lifetime total
+  uint64_t bytes_reserved = 0;   ///< chunk storage currently held
+  uint64_t chunks_allocated = 0; ///< lifetime chunk mallocs (recycles excluded)
+  uint64_t chunks_recycled = 0;
+};
+
+class ByteArena {
+ public:
+  /// Chunk handle stored next to a view so the owner can Release it.
+  /// kNullChunk marks empty payloads (nothing to release).
+  static constexpr uint32_t kNullChunk = 0xFFFFFFFFu;
+
+  explicit ByteArena(size_t chunk_bytes = 1 << 16)
+      : chunk_bytes_(chunk_bytes) {}
+
+  ByteArena(const ByteArena&) = delete;
+  ByteArena& operator=(const ByteArena&) = delete;
+
+  /// Copies `bytes` into the arena. The view stays valid until the owning
+  /// chunk is recycled, i.e. until every payload in it has been Released.
+  /// `*chunk` receives the handle to pass back to Release.
+  std::string_view Append(std::string_view bytes, uint32_t* chunk) {
+    if (bytes.empty()) {
+      *chunk = kNullChunk;
+      return {};
+    }
+    if (current_ == kNullChunk ||
+        chunks_[current_].used + bytes.size() > chunks_[current_].capacity) {
+      Acquire(bytes.size());
+    }
+    Chunk& c = chunks_[current_];
+    char* dst = c.data.get() + c.used;
+    std::memcpy(dst, bytes.data(), bytes.size());
+    c.used += bytes.size();
+    c.live += bytes.size();
+    stats_.bytes_live += bytes.size();
+    stats_.bytes_appended += bytes.size();
+    if (stats_.bytes_live > stats_.bytes_peak) {
+      stats_.bytes_peak = stats_.bytes_live;
+    }
+    *chunk = current_;
+    return std::string_view(dst, bytes.size());
+  }
+
+  /// Returns `view`'s bytes to the arena. The view must come from Append on
+  /// this arena with handle `chunk` (empty views carry kNullChunk: no-op).
+  void Release(uint32_t chunk, size_t size) {
+    if (chunk == kNullChunk || size == 0) return;
+    GCX_CHECK(chunk < chunks_.size());
+    Chunk& c = chunks_[chunk];
+    GCX_CHECK(c.live >= size && stats_.bytes_live >= size);
+    c.live -= size;
+    stats_.bytes_live -= size;
+    if (c.live == 0 && chunk != current_) Recycle(chunk);
+  }
+
+  const ArenaStats& stats() const { return stats_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    size_t capacity = 0;
+    size_t used = 0;
+    size_t live = 0;
+  };
+
+  /// Makes `current_` a chunk with at least `need` free bytes.
+  void Acquire(size_t need) {
+    if (current_ != kNullChunk) {
+      Chunk& old = chunks_[current_];
+      if (old.live == 0) {
+        // Fully released while still current: reuse in place if it fits.
+        old.used = 0;
+        if (need <= old.capacity) {
+          ++stats_.chunks_recycled;
+          return;
+        }
+        free_.push_back(current_);
+      }
+      current_ = kNullChunk;
+    }
+    for (size_t i = 0; i < free_.size(); ++i) {
+      if (chunks_[free_[i]].capacity >= need) {
+        current_ = free_[i];
+        free_[i] = free_.back();
+        free_.pop_back();
+        ++stats_.chunks_recycled;
+        return;
+      }
+    }
+    Chunk fresh;
+    fresh.capacity = need > chunk_bytes_ ? need : chunk_bytes_;
+    fresh.data = std::make_unique<char[]>(fresh.capacity);
+    chunks_.push_back(std::move(fresh));
+    current_ = static_cast<uint32_t>(chunks_.size() - 1);
+    ++stats_.chunks_allocated;
+    stats_.bytes_reserved += chunks_.back().capacity;
+  }
+
+  // chunks_recycled counts *reuses* (in-place or free-list pop), not
+  // releases onto the free list — each reuse is one avoided malloc.
+  void Recycle(uint32_t chunk) {
+    chunks_[chunk].used = 0;
+    free_.push_back(chunk);
+  }
+
+  size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::vector<uint32_t> free_;
+  uint32_t current_ = kNullChunk;
+  ArenaStats stats_;
+};
+
+}  // namespace gcx
+
+#endif  // GCX_COMMON_ARENA_H_

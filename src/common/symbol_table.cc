@@ -1,29 +1,47 @@
 #include "common/symbol_table.h"
 
+#include <mutex>
 #include <string>
 #include <string_view>
 
 namespace gcx {
 
+SymbolTable::~SymbolTable() {
+  for (auto& slot : blocks_) {
+    delete slot.load(std::memory_order_relaxed);
+  }
+}
+
 TagId SymbolTable::Intern(std::string_view name) {
-  auto it = ids_.find(std::string(name));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(name);
   if (it != ids_.end()) return it->second;
-  TagId id = static_cast<TagId>(names_.size());
-  names_.emplace_back(name);
-  ids_.emplace(names_.back(), id);
+  size_t index = size_.load(std::memory_order_relaxed);
+  GCX_CHECK(index < kMaxBlocks * kBlockSize);
+  size_t block_index = index >> kBlockBits;
+  Block* block = blocks_[block_index].load(std::memory_order_relaxed);
+  if (block == nullptr) {
+    block = new Block();
+    // Release-publish the block so lock-free Name() readers see the
+    // constructed storage.
+    blocks_[block_index].store(block, std::memory_order_release);
+  }
+  std::string& stored = (*block)[index & (kBlockSize - 1)];
+  stored.assign(name);
+  TagId id = static_cast<TagId>(index);
+  ids_.emplace(std::string_view(stored), id);
+  // The id only reaches readers through Intern's return value (or a
+  // channel with its own synchronization), so publishing size after the
+  // string is written keeps Name() race-free.
+  size_.store(index + 1, std::memory_order_release);
   return id;
 }
 
 TagId SymbolTable::Lookup(std::string_view name) const {
-  auto it = ids_.find(std::string(name));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(name);
   if (it == ids_.end()) return kInvalidTag;
   return it->second;
-}
-
-const std::string& SymbolTable::Name(TagId id) const {
-  if (id == kInvalidTag) return none_name_;
-  GCX_CHECK(id >= 0 && static_cast<size_t>(id) < names_.size());
-  return names_[static_cast<size_t>(id)];
 }
 
 }  // namespace gcx

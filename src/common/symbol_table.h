@@ -2,17 +2,30 @@
 //
 // The buffer stores element names as small integers ("Moreover, we use a
 // symbol table to replace tagnames by integers", Sec. 6 of the paper). One
-// SymbolTable is shared by the projection tree, the DFA and the buffer of a
-// single execution.
+// SymbolTable is shared by the scanner, the projection tree, the DFA and
+// the buffer of an execution — since PR 4 the *scanner* interns at tokenize
+// time and every downstream component consumes the TagId it emitted.
+//
+// Thread-safe: a table may be shared by racing executions (e.g. concurrent
+// batches interning the same document vocabulary). Interning takes a lock;
+// the scanner keeps a local cache in front of the table so its steady state
+// takes no lock, and Name()/NameView() — the output hot path — are
+// lock-free reads: names live in fixed-size blocks published with a
+// release store, so a reader holding a valid TagId never touches the
+// mutex. Name storage never moves, so the views handed out stay valid for
+// the lifetime of the table no matter how much is interned later.
 
 #ifndef GCX_COMMON_SYMBOL_TABLE_H_
 #define GCX_COMMON_SYMBOL_TABLE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 #include "common/status.h"
 
@@ -25,18 +38,15 @@ using TagId = int32_t;
 inline constexpr TagId kInvalidTag = -1;
 
 /// Bidirectional map between tag names and dense TagIds.
-///
-/// Not thread-safe; each engine execution owns one instance (or shares the
-/// compile-time instance single-threadedly, which is how the engine uses it).
 class SymbolTable {
  public:
   SymbolTable() = default;
+  ~SymbolTable();
 
-  // Movable but not copyable: ids must stay unique to one table.
+  // Neither copyable nor movable: ids must stay unique to one table, and
+  // shared users hold stable pointers to it.
   SymbolTable(const SymbolTable&) = delete;
   SymbolTable& operator=(const SymbolTable&) = delete;
-  SymbolTable(SymbolTable&&) = default;
-  SymbolTable& operator=(SymbolTable&&) = default;
 
   /// Returns the id for `name`, interning it on first sight.
   TagId Intern(std::string_view name);
@@ -44,16 +54,39 @@ class SymbolTable {
   /// Returns the id for `name` or kInvalidTag if it was never interned.
   TagId Lookup(std::string_view name) const;
 
-  /// Returns the name for `id`. `id` must be a valid id from this table;
-  /// kInvalidTag maps to "#none".
-  const std::string& Name(TagId id) const;
+  /// Returns the name for `id`; the reference stays valid for the table's
+  /// lifetime. `id` must be a valid id from this table (i.e. one returned
+  /// by Intern — the id itself carries the happens-before edge);
+  /// kInvalidTag maps to "#none". Lock-free.
+  const std::string& Name(TagId id) const {
+    if (id == kInvalidTag) return none_name_;
+    size_t index = static_cast<size_t>(id);
+    // Catches stale/wrong-table ids loudly (an id from another table could
+    // otherwise land in an allocated block and read an empty name).
+    GCX_CHECK(index < size_.load(std::memory_order_acquire));
+    const Block* block =
+        blocks_[index >> kBlockBits].load(std::memory_order_acquire);
+    GCX_CHECK(block != nullptr);
+    return (*block)[index & (kBlockSize - 1)];
+  }
+
+  /// View form of Name() (same stability guarantee).
+  std::string_view NameView(TagId id) const { return Name(id); }
 
   /// Number of distinct interned names.
-  size_t size() const { return names_.size(); }
+  size_t size() const { return size_.load(std::memory_order_acquire); }
 
  private:
-  std::unordered_map<std::string, TagId> ids_;
-  std::vector<std::string> names_;
+  static constexpr size_t kBlockBits = 10;
+  static constexpr size_t kBlockSize = 1 << kBlockBits;  // names per block
+  static constexpr size_t kMaxBlocks = 1 << 12;          // 4M names total
+  using Block = std::array<std::string, kBlockSize>;
+
+  mutable std::mutex mu_;
+  /// Keys view into block storage (stable: blocks never move or shrink).
+  std::unordered_map<std::string_view, TagId> ids_;
+  std::array<std::atomic<Block*>, kMaxBlocks> blocks_{};
+  std::atomic<size_t> size_{0};
   std::string none_name_ = "#none";
 };
 

@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
+#include "common/symbol_table.h"
 #include "core/dom_engine.h"
 #include "eval/evaluator.h"
 #include "eval/exec_context.h"
@@ -22,18 +24,22 @@ namespace {
 
 class SharedScanDemux;
 
-/// One query's slice of a batch: its own tag table, buffer and projector
-/// (identical to a solo StreamExecContext), pulling through the shared
-/// demultiplexer instead of a private scanner.
+/// One query's slice of a batch: its own buffer and projector (identical to
+/// a solo StreamExecContext), pulling through the shared demultiplexer
+/// instead of a private scanner. The tag table is the batch's shared one:
+/// the scanner interns each tag exactly once and every per-query DFA and
+/// buffer consumes the shared TagIds.
 class BatchQueryContext final : public ExecContext {
  public:
-  BatchQueryContext(const AnalyzedQuery* query, SharedScanDemux* demux)
-      : projector_(&query->projection, &query->roles, &tags_,
+  BatchQueryContext(const AnalyzedQuery* query, SymbolTable* tags,
+                    SharedScanDemux* demux)
+      : tags_(tags),
+        projector_(&query->projection, &query->roles, tags,
                    /*scanner=*/nullptr, &buffer_),
         demux_(demux) {}
 
   BufferTree& buffer() override { return buffer_; }
-  SymbolTable& tags() override { return tags_; }
+  SymbolTable& tags() override { return *tags_; }
   Result<bool> Pull() override;
 
   StreamProjector& projector() { return projector_; }
@@ -45,19 +51,24 @@ class BatchQueryContext final : public ExecContext {
   bool detached = false;
 
  private:
-  SymbolTable tags_;
+  SymbolTable* tags_;
   BufferTree buffer_;
   StreamProjector projector_;
   SharedScanDemux* demux_;
 };
 
 /// Owns the single scanner, the merged-DFA prefilter and the replay log.
+/// The log stores events as (kind, tag, arena view): the scanner's text
+/// views are only valid until its next event, so surviving payloads are
+/// copied once into an arena and released as every query replays past them
+/// (FIFO, so chunks recycle front-first).
 class SharedScanDemux {
  public:
   SharedScanDemux(std::unique_ptr<ByteSource> input,
-                  ScannerOptions scanner_options,
+                  ScannerOptions scanner_options, SymbolTable* tags,
                   const std::vector<MergedDfaInput>& inputs)
-      : scanner_(std::move(input), scanner_options), merged_(inputs) {
+      : scanner_(std::move(input), scanner_options, tags),
+        merged_(inputs, tags) {
     frames_.push_back({merged_.initial(), merged_.initial()->aggregate_entry});
     if (frames_.back().aggregate_inc) aggregate_cover_depth_ = 1;
   }
@@ -81,12 +92,20 @@ class SharedScanDemux {
       GCX_CHECK(!scan_done_);
       GCX_RETURN_IF_ERROR(PumpOne());
     }
-    const XmlEvent& event =
+    const LogEvent& entry =
         log_[static_cast<size_t>(ctx->position - log_base_)];
+    XmlEvent event;
+    event.kind = entry.kind;
+    event.tag = entry.tag;
+    event.text = entry.text;
+    // event.tags stays null: demuxed consumers work on the TagId.
+    bool at_front = ctx->position == log_base_;
     ++ctx->position;
     ++stats_.events_demuxed;
     Result<bool> more = projector.ProcessEvent(event);
-    Trim();
+    // Only the consumer of the front entry can advance the trim point;
+    // checking every subscriber on every delivery would be O(N²) per scan.
+    if (at_front) Trim();
     return more;
   }
 
@@ -102,6 +121,14 @@ class SharedScanDemux {
     bool aggregate_inc = false;
   };
 
+  /// One replay-log entry. Text lives in `arena_` until trimmed.
+  struct LogEvent {
+    XmlEvent::Kind kind = XmlEvent::Kind::kEndOfDocument;
+    TagId tag = kInvalidTag;
+    std::string_view text;
+    uint32_t chunk = ByteArena::kNullChunk;
+  };
+
   /// Reads scanner events until one survives the prefilter into the log.
   Status PumpOne() {
     while (true) {
@@ -111,7 +138,7 @@ class SharedScanDemux {
       switch (event.kind) {
         case XmlEvent::Kind::kStartElement: {
           Frame& top = frames_.back();
-          MergedDfa::State* next = merged_.Transition(top.state, event.name);
+          MergedDfa::State* next = merged_.Transition(top.state, event.tag);
           if (next->skippable && !top.state->any_child_sensitive &&
               aggregate_cover_depth_ == 0) {
             // Dead for every query: consume the subtree, log nothing.
@@ -122,13 +149,13 @@ class SharedScanDemux {
           }
           frames_.push_back({next, next->aggregate_entry});
           if (next->aggregate_entry) ++aggregate_cover_depth_;
-          Append(std::move(event));
+          Append(event);
           return Status::Ok();
         }
         case XmlEvent::Kind::kEndElement: {
           if (frames_.back().aggregate_inc) --aggregate_cover_depth_;
           frames_.pop_back();
-          Append(std::move(event));
+          Append(event);
           return Status::Ok();
         }
         case XmlEvent::Kind::kText: {
@@ -137,13 +164,13 @@ class SharedScanDemux {
             ++stats_.events_shared_skipped;
             continue;  // no query assigns roles to this text node
           }
-          Append(std::move(event));
+          Append(event);
           return Status::Ok();
         }
         case XmlEvent::Kind::kEndOfDocument: {
           scan_done_ = true;
           stats_.bytes_scanned = scanner_.bytes_consumed();
-          Append(std::move(event));
+          Append(event);
           return Status::Ok();
         }
       }
@@ -175,11 +202,18 @@ class SharedScanDemux {
     return Status::Ok();
   }
 
-  void Append(XmlEvent event) {
-    log_.push_back(std::move(event));
+  void Append(const XmlEvent& event) {
+    LogEvent entry;
+    entry.kind = event.kind;
+    entry.tag = event.tag;
+    if (!event.text.empty()) {
+      entry.text = arena_.Append(event.text, &entry.chunk);
+    }
+    log_.push_back(entry);
     ++stats_.events_forwarded;
     stats_.replay_log_peak =
         std::max<uint64_t>(stats_.replay_log_peak, log_.size());
+    stats_.replay_arena_peak_bytes = arena_.stats().bytes_peak;
   }
 
   /// Drops log entries every still-active query has already replayed.
@@ -193,6 +227,7 @@ class SharedScanDemux {
     }
     if (!any_active) min_pos = log_base_ + log_.size();
     while (log_base_ < min_pos && !log_.empty()) {
+      arena_.Release(log_.front().chunk, log_.front().text.size());
       log_.pop_front();
       ++log_base_;
     }
@@ -202,7 +237,8 @@ class SharedScanDemux {
   MergedDfa merged_;
   std::vector<Frame> frames_;
   uint64_t aggregate_cover_depth_ = 0;
-  std::deque<XmlEvent> log_;
+  ByteArena arena_;
+  std::deque<LogEvent> log_;
   uint64_t log_base_ = 0;  ///< global index of log_.front()
   bool scan_done_ = false;
   std::vector<BatchQueryContext*> subscribers_;
@@ -278,13 +314,17 @@ Result<MultiQueryStats> MultiQueryEngine::ExecuteStreamingBatch(
         {&query->analyzed().projection, &query->analyzed().roles});
     trees.push_back(&query->analyzed().projection);
   }
+  // One tag table for the whole batch: the scanner interns each element
+  // name once, and every per-query DFA/buffer consumes the shared ids.
+  SymbolTable tags;
   SharedScanDemux demux(std::move(input), queries.front()->options().scanner,
-                        dfa_inputs);
+                        &tags, dfa_inputs);
 
   std::vector<std::unique_ptr<BatchQueryContext>> contexts;
   contexts.reserve(queries.size());
   for (const CompiledQuery* query : queries) {
-    auto ctx = std::make_unique<BatchQueryContext>(&query->analyzed(), &demux);
+    auto ctx =
+        std::make_unique<BatchQueryContext>(&query->analyzed(), &tags, &demux);
     if (!query->options().enable_gc ||
         mode == EngineMode::kMaterializedProjection) {
       ctx->buffer().set_gc_enabled(false);

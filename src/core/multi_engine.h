@@ -60,6 +60,9 @@ struct SharedScanStats {
   uint64_t events_demuxed = 0;
   uint64_t merged_dfa_states = 0;  ///< materialized product states
   uint64_t replay_log_peak = 0;    ///< peak buffered events in the log
+  /// High-water mark of the replay log's text arena (the log stores event
+  /// payloads as arena views; trimming releases whole chunks back).
+  uint64_t replay_arena_peak_bytes = 0;
 };
 
 /// Result of one batched execution.

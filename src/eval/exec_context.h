@@ -55,7 +55,7 @@ class StreamExecContext final : public ExecContext {
   StreamExecContext(const ProjectionTree* tree, const RoleCatalog* roles,
                     std::unique_ptr<ByteSource> input,
                     ScannerOptions scanner_options)
-      : scanner_(std::move(input), scanner_options),
+      : scanner_(std::move(input), scanner_options, &tags_),
         projector_(tree, roles, &tags_, &scanner_, &buffer_) {}
 
   BufferTree& buffer() override { return buffer_; }

@@ -189,10 +189,10 @@ void LazyDfa::Precompute(DfaState* state) {
   }
 }
 
-DfaState* LazyDfa::Transition(DfaState* state, TagId tag) {
-  auto it = state->transitions.find(tag);
-  if (it != state->transitions.end()) return it->second;
-
+DfaState* LazyDfa::TransitionSlow(DfaState* state, TagId tag) {
+  // The flat table is indexed by tag; a sentinel would resize to 0 and
+  // write out of bounds. Only the scanner's interned ids are valid here.
+  GCX_CHECK(tag != kInvalidTag);
   std::map<std::pair<ProjNodeId, bool>, uint32_t> accum;
   auto add = [&accum](ProjNodeId node, bool searching, uint32_t count) {
     accum[{node, searching}] += count;
@@ -233,7 +233,11 @@ DfaState* LazyDfa::Transition(DfaState* state, TagId tag) {
     items.push_back(DfaState::Item{key.first, key.second, count});
   }
   DfaState* next = Intern(std::move(items));
-  state->transitions.emplace(tag, next);
+  size_t index = static_cast<size_t>(tag);
+  if (index >= state->transitions.size()) {
+    state->transitions.resize(index + 1, nullptr);
+  }
+  state->transitions[index] = next;
   return next;
 }
 

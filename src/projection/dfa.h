@@ -71,7 +71,10 @@ struct DfaState {
                                              ///< *own* match (applied on entry)
   std::vector<MatchAction> text_actions;     ///< actions for text children
 
-  std::unordered_map<TagId, DfaState*> transitions;
+  /// δ table, direct-indexed by TagId (the scanner interns tags into dense
+  /// ids, so this is a flat load instead of a per-event hash lookup).
+  /// nullptr = not yet computed; ids beyond the vector are likewise lazy.
+  std::vector<DfaState*> transitions;
 
   /// Debug rendering, e.g. "{v2, v5} + searching{v6}".
   std::string ToString() const;
@@ -87,8 +90,16 @@ class LazyDfa {
   /// The state of the virtual document root (Matched(projection root)).
   DfaState* initial() { return initial_; }
 
-  /// δ(state, tag), computed and memoized on demand.
-  DfaState* Transition(DfaState* state, TagId tag);
+  /// δ(state, tag), computed and memoized on demand. The hot path is an
+  /// inline flat-table load; the out-of-line slow path builds the state.
+  DfaState* Transition(DfaState* state, TagId tag) {
+    size_t index = static_cast<size_t>(tag);
+    if (index < state->transitions.size() &&
+        state->transitions[index] != nullptr) {
+      return state->transitions[index];
+    }
+    return TransitionSlow(state, tag);
+  }
 
   /// Number of materialized states (monitoring / tests).
   size_t num_states() const { return states_.size(); }
@@ -104,6 +115,7 @@ class LazyDfa {
     }
   };
 
+  DfaState* TransitionSlow(DfaState* state, TagId tag);
   DfaState* Intern(std::vector<DfaState::Item> items);
   void Precompute(DfaState* state);
   bool TestMatchesTag(const NodeTest& test, TagId tag) const;

@@ -30,13 +30,15 @@ size_t MergedDfa::PartsHash::operator()(
   return h;
 }
 
-MergedDfa::MergedDfa(const std::vector<MergedDfaInput>& inputs) {
+MergedDfa::MergedDfa(const std::vector<MergedDfaInput>& inputs,
+                     SymbolTable* tags)
+    : tags_(tags) {
   dfas_.reserve(inputs.size());
   std::vector<DfaState*> parts;
   parts.reserve(inputs.size());
   for (const MergedDfaInput& input : inputs) {
     dfas_.push_back(
-        std::make_unique<LazyDfa>(input.tree, input.roles, &tags_));
+        std::make_unique<LazyDfa>(input.tree, input.roles, tags_));
     parts.push_back(dfas_.back()->initial());
   }
   initial_ = Intern(std::move(parts));
@@ -65,18 +67,19 @@ MergedDfa::State* MergedDfa::Intern(std::vector<DfaState*> parts) {
   return out;
 }
 
-MergedDfa::State* MergedDfa::Transition(State* state, const std::string& name) {
-  TagId tag = tags_.Intern(name);
-  auto found = state->transitions.find(tag);
-  if (found != state->transitions.end()) return found->second;
-
+MergedDfa::State* MergedDfa::TransitionSlow(State* state, TagId tag) {
+  GCX_CHECK(tag != kInvalidTag);  // see LazyDfa::TransitionSlow
   std::vector<DfaState*> parts;
   parts.reserve(state->parts.size());
   for (size_t i = 0; i < state->parts.size(); ++i) {
     parts.push_back(dfas_[i]->Transition(state->parts[i], tag));
   }
   State* next = Intern(std::move(parts));
-  state->transitions.emplace(tag, next);
+  size_t index = static_cast<size_t>(tag);
+  if (index >= state->transitions.size()) {
+    state->transitions.resize(index + 1, nullptr);
+  }
+  state->transitions[index] = next;
   return next;
 }
 

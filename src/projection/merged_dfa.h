@@ -60,17 +60,27 @@ class MergedDfa {
     /// for some query: its whole subtree must then be delivered (Sec. 6).
     bool aggregate_entry = false;
 
-    std::unordered_map<TagId, State*> transitions;
+    /// δ table, direct-indexed by TagId (see projection/dfa.h).
+    std::vector<State*> transitions;
   };
 
-  explicit MergedDfa(const std::vector<MergedDfaInput>& inputs);
+  /// `tags` is the shared tag table of the batch: the same table the
+  /// scanner interns into, so transitions consume scanner TagIds directly.
+  MergedDfa(const std::vector<MergedDfaInput>& inputs, SymbolTable* tags);
 
   /// The product state of the virtual document root.
   State* initial() { return initial_; }
 
-  /// δ(state, element name), computed and memoized on demand. The name is
-  /// interned in the merged DFA's private tag table.
-  State* Transition(State* state, const std::string& name);
+  /// δ(state, tag), computed and memoized on demand. `tag` is the scanner's
+  /// interned id — the shared scan performs no per-event hashing.
+  State* Transition(State* state, TagId tag) {
+    size_t index = static_cast<size_t>(tag);
+    if (index < state->transitions.size() &&
+        state->transitions[index] != nullptr) {
+      return state->transitions[index];
+    }
+    return TransitionSlow(state, tag);
+  }
 
   size_t num_states() const { return states_.size(); }
   size_t num_queries() const { return dfas_.size(); }
@@ -80,9 +90,10 @@ class MergedDfa {
     size_t operator()(const std::vector<DfaState*>& parts) const;
   };
 
+  State* TransitionSlow(State* state, TagId tag);
   State* Intern(std::vector<DfaState*> parts);
 
-  SymbolTable tags_;
+  SymbolTable* tags_;
   std::vector<std::unique_ptr<LazyDfa>> dfas_;
   std::unordered_map<std::vector<DfaState*>, std::unique_ptr<State>, PartsHash>
       states_;

@@ -40,30 +40,21 @@ Result<bool> StreamProjector::Advance() {
   GCX_CHECK(scanner_ != nullptr);
   XmlEvent event;
   GCX_RETURN_IF_ERROR(scanner_->Next(&event));
-  return ProcessEvent(std::move(event));
+  return ProcessEvent(event);
 }
 
 Result<bool> StreamProjector::ProcessEvent(const XmlEvent& event) {
-  return Dispatch(event, nullptr);
-}
-
-Result<bool> StreamProjector::ProcessEvent(XmlEvent&& event) {
-  return Dispatch(event, &event.text);
-}
-
-Result<bool> StreamProjector::Dispatch(const XmlEvent& event,
-                                       std::string* owned_text) {
   if (done_) return false;
   ++stats_.events_read;
   switch (event.kind) {
     case XmlEvent::Kind::kStartElement:
-      HandleStart(event.name);
+      HandleStart(event.tag);
       break;
     case XmlEvent::Kind::kEndElement:
       HandleEnd();
       break;
     case XmlEvent::Kind::kText:
-      HandleText(owned_text != nullptr ? std::move(*owned_text) : event.text);
+      HandleText(event.text);
       break;
     case XmlEvent::Kind::kEndOfDocument:
       done_ = true;
@@ -94,7 +85,7 @@ std::vector<RoleAssign> StreamProjector::ApplyActions(
   return assigns;
 }
 
-void StreamProjector::HandleStart(const std::string& name) {
+void StreamProjector::HandleStart(TagId tag) {
   ++stats_.elements_read;
   if (skip_depth_ > 0) {
     ++skip_depth_;
@@ -102,7 +93,6 @@ void StreamProjector::HandleStart(const std::string& name) {
     return;
   }
   Frame& parent = frames_.back();
-  TagId tag = tags_->Intern(name);
   DfaState* state = dfa_.Transition(parent.state, tag);
 
   bool any_match = false;
@@ -150,7 +140,7 @@ void StreamProjector::HandleEnd() {
   if (frame.node != nullptr) buffer_->Finish(frame.node);
 }
 
-void StreamProjector::HandleText(std::string text) {
+void StreamProjector::HandleText(std::string_view text) {
   if (skip_depth_ > 0) {
     ++stats_.text_skipped;
     return;
@@ -166,7 +156,7 @@ void StreamProjector::HandleText(std::string text) {
     ++stats_.text_skipped;
     return;
   }
-  BufferNode* node = buffer_->AppendText(frame.attach, std::move(text));
+  BufferNode* node = buffer_->AppendText(frame.attach, text);
   for (const RoleAssign& assign : assigns) {
     buffer_->AddRole(node, assign.role, assign.count, assign.aggregate);
   }

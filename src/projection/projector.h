@@ -16,7 +16,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -52,11 +52,11 @@ class StreamProjector {
   /// Processes one externally supplied event (same contract as Advance()).
   /// The event stream must be a well-formed document stream, except that
   /// entire subtrees this projector would fast-skip may be elided. The
-  /// borrowing overload copies kept text payloads (multi-query replay: the
-  /// same event feeds several projectors); the owning overload moves them
-  /// (the solo hot path).
+  /// event's TagId must come from the SymbolTable this projector was built
+  /// over (the scanner shares it); text views are only read during the
+  /// call — kept text is copied into the buffer's arena, so the zero-copy
+  /// lifetime contract of XmlEvent::text is never exceeded.
   Result<bool> ProcessEvent(const XmlEvent& event);
-  Result<bool> ProcessEvent(XmlEvent&& event);
 
   bool done() const { return done_; }
   const ProjectorStats& stats() const { return stats_; }
@@ -81,11 +81,9 @@ class StreamProjector {
     uint32_t aggregate_inc = 0;
   };
 
-  Result<bool> Dispatch(const XmlEvent& event, std::string* owned_text);
-
-  void HandleStart(const std::string& name);
+  void HandleStart(TagId tag);
   void HandleEnd();
-  void HandleText(std::string text);
+  void HandleText(std::string_view text);
 
   /// Applies `actions` for a fresh node in the context of `parent_frame`.
   /// Returns the role assignments to perform (empty roles with matched=true

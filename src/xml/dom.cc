@@ -80,14 +80,16 @@ Result<std::unique_ptr<DomDocument>> ParseDom(std::string_view xml,
     GCX_RETURN_IF_ERROR(scanner.Next(&event));
     switch (event.kind) {
       case XmlEvent::Kind::kStartElement:
-        current = current->AppendChild(DomNode::Element(std::move(event.name)));
+        current =
+            current->AppendChild(DomNode::Element(std::string(event.name())));
         break;
       case XmlEvent::Kind::kEndElement:
         current = current->parent();
         GCX_CHECK(current != nullptr);
         break;
       case XmlEvent::Kind::kText:
-        current->AppendChild(DomNode::TextNode(std::move(event.text)));
+        // The DOM owns its nodes; materialize the zero-copy view.
+        current->AppendChild(DomNode::TextNode(event.Materialize()));
         break;
       case XmlEvent::Kind::kEndOfDocument:
         GCX_CHECK(current == doc->root());

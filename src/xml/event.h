@@ -3,11 +3,25 @@
 // The paper (Sec. 2) treats an XML document interchangeably as a tree and as
 // a stream of opening/closing tags and character data. XmlEvent is that
 // stream alphabet; the scanner produces it, the projector consumes it.
+//
+// Zero-copy contract (PR 4): an event does not own its payloads.
+//   * `tag` is the element name interned at tokenize time in the scanner's
+//     SymbolTable — downstream consumers (DFA transitions, buffer nodes)
+//     work on the integer and never touch the bytes again. name() resolves
+//     the spelling lazily (cold consumers only: traces, DOM building,
+//     tests), so the hot path never pays the table read.
+//   * `text` views scanner-owned storage (the read chunk, or the scanner's
+//     spill buffer when the token crossed a refill or contained entities)
+//     and is valid only until the next Next() call. Callers that must own
+//     the bytes use Materialize().
 
 #ifndef GCX_XML_EVENT_H_
 #define GCX_XML_EVENT_H_
 
 #include <string>
+#include <string_view>
+
+#include "common/symbol_table.h"
 
 namespace gcx {
 
@@ -21,10 +35,24 @@ struct XmlEvent {
   };
 
   Kind kind = Kind::kEndOfDocument;
-  /// Element name for kStartElement / kEndElement.
-  std::string name;
-  /// Character data for kText.
-  std::string text;
+  /// Interned element name for kStartElement / kEndElement.
+  TagId tag = kInvalidTag;
+  /// The table `tag` was interned in (set by the scanner; null for demuxed
+  /// replay events, whose consumers work on the TagId alone).
+  const SymbolTable* tags = nullptr;
+  /// Character data for kText; valid until the next XmlScanner::Next().
+  std::string_view text;
+
+  /// Spelling of `tag`, resolved lazily from the table; the view stays
+  /// valid for the table's lifetime. Empty when no table is attached.
+  std::string_view name() const {
+    return tags != nullptr && tag != kInvalidTag ? tags->NameView(tag)
+                                                 : std::string_view();
+  }
+
+  /// Escape hatch: an owned copy of `text` for consumers that outlive the
+  /// zero-copy window.
+  std::string Materialize() const { return std::string(text); }
 };
 
 }  // namespace gcx

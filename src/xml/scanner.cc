@@ -1,10 +1,10 @@
 #include "xml/scanner.h"
 
 #include <algorithm>
-#include <cctype>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -15,12 +15,24 @@ namespace gcx {
 namespace {
 constexpr size_t kBufferSize = 1 << 16;
 
-bool IsNameStart(int c) {
-  return std::isalpha(c) || c == '_' || c == ':';
-}
-bool IsNameChar(int c) {
-  return std::isalnum(c) || c == '_' || c == ':' || c == '-' || c == '.';
-}
+// Locale-free character classes (std::isalnum is an out-of-line,
+// locale-aware call — far too heavy for a per-byte loop).
+struct NameCharTable {
+  bool start[256] = {};
+  bool part[256] = {};
+  constexpr NameCharTable() {
+    for (int c = 0; c < 256; ++c) {
+      bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+      bool digit = c >= '0' && c <= '9';
+      start[c] = alpha || c == '_' || c == ':';
+      part[c] = alpha || digit || c == '_' || c == ':' || c == '-' || c == '.';
+    }
+  }
+};
+constexpr NameCharTable kNameChars;
+
+bool IsNameStart(int c) { return c >= 0 && kNameChars.start[c & 0xFF]; }
+bool IsNameChar(int c) { return c >= 0 && kNameChars.part[c & 0xFF]; }
 }  // namespace
 
 size_t StringSource::Read(char* buffer, size_t capacity) {
@@ -36,8 +48,14 @@ size_t IstreamSource::Read(char* buffer, size_t capacity) {
 }
 
 XmlScanner::XmlScanner(std::unique_ptr<ByteSource> source,
-                       ScannerOptions options)
-    : source_(std::move(source)), options_(options), buffer_(kBufferSize) {}
+                       ScannerOptions options, SymbolTable* tags)
+    : source_(std::move(source)),
+      options_(options),
+      owned_tags_(tags == nullptr ? std::make_unique<SymbolTable>() : nullptr),
+      tags_(tags != nullptr ? tags : owned_tags_.get()),
+      buffer_(kBufferSize) {
+  spill_.reserve(256);
+}
 
 bool XmlScanner::Refill() {
   if (source_eof_) return false;
@@ -65,6 +83,12 @@ int XmlScanner::Get() {
   return c;
 }
 
+void XmlScanner::Bump(char c) {
+  ++buf_pos_;
+  ++bytes_consumed_;
+  if (c == '\n') ++line_;
+}
+
 Status XmlScanner::Fail(const std::string& message) {
   failed_ = true;
   return ParseError("line " + std::to_string(line_) + ": " + message);
@@ -81,18 +105,58 @@ void XmlScanner::SkipSpace() {
   }
 }
 
+TagId XmlScanner::InternTag(std::string_view name) {
+  auto it = intern_cache_.find(name);
+  if (it != intern_cache_.end()) return it->second;
+  TagId id = tags_->Intern(name);
+  // Key the cache by the table's stable spelling (the scanned bytes die
+  // with the next refill).
+  intern_cache_.emplace(tags_->NameView(id), id);
+  return id;
+}
+
+void XmlScanner::PushTag(XmlEvent::Kind kind, TagId tag) {
+  Pending p;
+  p.kind = kind;
+  p.tag = tag;
+  pending_.push_back(p);
+}
+
+void XmlScanner::PushChunkText(size_t off, size_t len) {
+  Pending p;
+  p.kind = XmlEvent::Kind::kText;
+  p.src = Pending::Src::kChunk;
+  p.off = off;
+  p.len = len;
+  pending_.push_back(p);
+}
+
+void XmlScanner::PushSpillText(size_t off, size_t len) {
+  Pending p;
+  p.kind = XmlEvent::Kind::kText;
+  p.src = Pending::Src::kSpill;
+  p.off = off;
+  p.len = len;
+  pending_.push_back(p);
+}
+
 Status XmlScanner::Next(XmlEvent* event) {
   GCX_CHECK(!failed_);
-  while (pending_.empty()) {
+  while (pending_head_ >= pending_.size()) {
+    pending_.clear();
+    pending_head_ = 0;
     if (finished_) {
-      event->kind = XmlEvent::Kind::kEndOfDocument;
+      *event = XmlEvent{};
       return Status::Ok();
     }
+    // Starting a new scan cycle invalidates the views handed out by the
+    // previous Next() — exactly the documented lifetime.
+    spill_.clear();
     int c = Peek();
     if (c < 0) {
       if (!open_tags_.empty()) {
         return Fail("unexpected end of input; unclosed element <" +
-                    open_tags_.back() + ">");
+                    tags_->Name(open_tags_.back()) + ">");
       }
       if (!seen_root_) return Fail("empty document");
       finished_ = true;
@@ -105,8 +169,21 @@ Status XmlScanner::Next(XmlEvent* event) {
       GCX_RETURN_IF_ERROR(ScanText());
     }
   }
-  *event = std::move(pending_.front());
-  pending_.pop_front();
+  const Pending& p = pending_[pending_head_++];
+  event->kind = p.kind;
+  event->tag = p.tag;
+  event->tags = tags_;
+  switch (p.src) {
+    case Pending::Src::kNone:
+      event->text = {};
+      break;
+    case Pending::Src::kChunk:
+      event->text = std::string_view(buffer_.data() + p.off, p.len);
+      break;
+    case Pending::Src::kSpill:
+      event->text = std::string_view(spill_.data() + p.off, p.len);
+      break;
+  }
   return Status::Ok();
 }
 
@@ -130,19 +207,36 @@ Status XmlScanner::ScanMarkup() {
   return ScanStartTag();
 }
 
-Status XmlScanner::ScanName(std::string* name) {
-  name->clear();
-  int c = Peek();
-  if (!IsNameStart(c)) return Fail("expected name");
-  while (IsNameChar(Peek())) {
-    name->push_back(static_cast<char>(Get()));
+Status XmlScanner::ScanName(std::string_view* name) {
+  if (!IsNameStart(Peek())) return Fail("expected name");
+  size_t start = buf_pos_;
+  bool spilled = false;
+  name_spill_.clear();
+  while (true) {
+    if (buf_pos_ >= buf_end_) {
+      name_spill_.append(buffer_.data() + start, buf_pos_ - start);
+      spilled = true;
+      bool more = Refill();
+      start = buf_pos_;  // Refill reset buf_pos_, even at EOF
+      if (!more) break;
+      continue;
+    }
+    char c = buffer_[buf_pos_];
+    if (!IsNameChar(static_cast<unsigned char>(c))) break;
+    Bump(c);
+  }
+  if (spilled) {
+    name_spill_.append(buffer_.data() + start, buf_pos_ - start);
+    *name = name_spill_;
+  } else {
+    *name = std::string_view(buffer_.data() + start, buf_pos_ - start);
   }
   return Status::Ok();
 }
 
 Status XmlScanner::AppendEntity(std::string* out) {
   // Caller consumed '&'.
-  std::string entity;
+  std::string entity;  // <= 10 chars: SSO, no heap traffic
   while (true) {
     int c = Get();
     if (c < 0) return Fail("unterminated entity reference");
@@ -206,99 +300,94 @@ Status XmlScanner::AppendEntity(std::string* out) {
   return Status::Ok();
 }
 
-Status XmlScanner::ScanAttributeValue(std::string* value) {
-  value->clear();
+Status XmlScanner::ScanAttributeValue(size_t* len) {
+  size_t off = spill_.size();
   int quote = Get();
   if (quote != '"' && quote != '\'') return Fail("expected quoted value");
   while (true) {
     int c = Get();
     if (c < 0) return Fail("unterminated attribute value");
-    if (c == quote) return Status::Ok();
+    if (c == quote) break;
     if (c == '&') {
-      GCX_RETURN_IF_ERROR(AppendEntity(value));
+      GCX_RETURN_IF_ERROR(AppendEntity(&spill_));
     } else {
-      value->push_back(static_cast<char>(c));
+      spill_.push_back(static_cast<char>(c));
     }
   }
+  *len = spill_.size() - off;
+  return Status::Ok();
 }
 
 Status XmlScanner::ScanStartTag() {
   if (seen_root_ && open_tags_.empty()) {
     return Fail("content after document element");
   }
-  std::string name;
+  std::string_view name;
   GCX_RETURN_IF_ERROR(ScanName(&name));
+  TagId tag = InternTag(name);
   seen_root_ = true;
+  PushTag(XmlEvent::Kind::kStartElement, tag);
 
-  XmlEvent start;
-  start.kind = XmlEvent::Kind::kStartElement;
-  start.name = name;
-  pending_.push_back(std::move(start));
-
-  // Attributes.
-  std::vector<std::pair<std::string, std::string>> attrs;
+  // Attributes (converted to leading subelements in kAsElements mode).
+  const bool keep_attrs =
+      options_.attribute_mode == ScannerOptions::AttributeMode::kAsElements;
   while (true) {
     SkipSpace();
     int c = Peek();
     if (c == '>' || c == '/') break;
-    std::string attr_name;
+    std::string_view attr_name;
     GCX_RETURN_IF_ERROR(ScanName(&attr_name));
+    // Discarded attributes never intern: their names would bloat the
+    // (possibly batch-shared) tag-id space for nothing.
+    TagId attr_tag = keep_attrs ? InternTag(attr_name) : kInvalidTag;
     SkipSpace();
     if (Get() != '=') return Fail("expected '=' after attribute name");
     SkipSpace();
-    std::string attr_value;
-    GCX_RETURN_IF_ERROR(ScanAttributeValue(&attr_value));
-    if (options_.attribute_mode == ScannerOptions::AttributeMode::kAsElements) {
-      attrs.emplace_back(std::move(attr_name), std::move(attr_value));
+    size_t off = spill_.size();
+    size_t len = 0;
+    GCX_RETURN_IF_ERROR(ScanAttributeValue(&len));
+    if (keep_attrs) {
+      PushTag(XmlEvent::Kind::kStartElement, attr_tag);
+      if (len > 0) PushSpillText(off, len);
+      PushTag(XmlEvent::Kind::kEndElement, attr_tag);
+    } else {
+      spill_.resize(off);
     }
-  }
-
-  for (auto& [attr_name, attr_value] : attrs) {
-    XmlEvent open;
-    open.kind = XmlEvent::Kind::kStartElement;
-    open.name = attr_name;
-    pending_.push_back(std::move(open));
-    if (!attr_value.empty()) {
-      XmlEvent text;
-      text.kind = XmlEvent::Kind::kText;
-      text.text = std::move(attr_value);
-      pending_.push_back(std::move(text));
-    }
-    XmlEvent close;
-    close.kind = XmlEvent::Kind::kEndElement;
-    close.name = attr_name;
-    pending_.push_back(std::move(close));
   }
 
   int c = Get();
   if (c == '/') {
     if (Get() != '>') return Fail("expected '>' after '/'");
-    XmlEvent close;
-    close.kind = XmlEvent::Kind::kEndElement;
-    close.name = std::move(name);
-    pending_.push_back(std::move(close));
+    PushTag(XmlEvent::Kind::kEndElement, tag);
     return Status::Ok();
   }
   if (c != '>') return Fail("expected '>' in start tag");
-  open_tags_.push_back(std::move(name));
+  open_tags_.push_back(tag);
   return Status::Ok();
 }
 
 Status XmlScanner::ScanEndTag() {
-  std::string name;
+  std::string_view name;
   GCX_RETURN_IF_ERROR(ScanName(&name));
+  // Fast path: a well-formed close matches the innermost open tag, whose
+  // spelling is already interned — one memcmp instead of a hash probe.
+  TagId tag;
+  if (!open_tags_.empty() && name == tags_->NameView(open_tags_.back())) {
+    tag = open_tags_.back();
+  } else {
+    tag = InternTag(name);
+  }
   SkipSpace();
   if (Get() != '>') return Fail("expected '>' in end tag");
-  if (open_tags_.empty()) return Fail("closing tag </" + name + "> with no open element");
-  if (open_tags_.back() != name) {
-    return Fail("mismatched closing tag </" + name + ">, expected </" +
-                open_tags_.back() + ">");
+  if (open_tags_.empty()) {
+    return Fail("closing tag </" + tags_->Name(tag) + "> with no open element");
+  }
+  if (open_tags_.back() != tag) {
+    return Fail("mismatched closing tag </" + tags_->Name(tag) +
+                ">, expected </" + tags_->Name(open_tags_.back()) + ">");
   }
   open_tags_.pop_back();
-  XmlEvent close;
-  close.kind = XmlEvent::Kind::kEndElement;
-  close.name = std::move(name);
-  pending_.push_back(std::move(close));
+  PushTag(XmlEvent::Kind::kEndElement, tag);
   return Status::Ok();
 }
 
@@ -325,24 +414,44 @@ Status XmlScanner::ScanCdata() {
   for (const char* p = expect; *p; ++p) {
     if (Get() != *p) return Fail("malformed CDATA section");
   }
-  XmlEvent text;
-  text.kind = XmlEvent::Kind::kText;
+  // Accumulate everything through the "]]>" terminator, then drop those
+  // three bytes — that keeps the chunk fast path a contiguous range even
+  // when the terminator's bytes straddle a refill.
+  size_t start = buf_pos_;
+  size_t spill_off = spill_.size();
+  bool spilled = false;
   int brackets = 0;
   while (true) {
-    int c = Get();
-    if (c < 0) return Fail("unterminated CDATA section");
+    if (buf_pos_ >= buf_end_) {
+      spill_.append(buffer_.data() + start, buf_pos_ - start);
+      spilled = true;
+      if (!Refill()) return Fail("unterminated CDATA section");
+      start = buf_pos_;  // == 0 after a successful refill
+      continue;
+    }
+    char c = buffer_[buf_pos_];
+    Bump(c);
     if (c == ']') {
       ++brackets;
     } else if (c == '>' && brackets >= 2) {
-      // Drop the two trailing ']' we buffered.
-      text.text.resize(text.text.size() - 2);
-      if (!text.text.empty()) pending_.push_back(std::move(text));
-      return Status::Ok();
+      break;
     } else {
       brackets = 0;
     }
-    if (c != '>' || brackets == 0) text.text.push_back(static_cast<char>(c));
   }
+  size_t len;
+  if (spilled) {
+    spill_.append(buffer_.data() + start, buf_pos_ - start);
+    len = spill_.size() - spill_off;
+    GCX_CHECK(len >= 3);
+    len -= 3;
+    spill_.resize(spill_off + len);
+    if (len > 0) PushSpillText(spill_off, len);
+  } else {
+    len = buf_pos_ - start - 3;
+    if (len > 0) PushChunkText(start, len);
+  }
+  return Status::Ok();
 }
 
 Status XmlScanner::ScanProcessingInstruction() {
@@ -379,31 +488,68 @@ Status XmlScanner::ScanDoctype() {
 Status XmlScanner::ScanText() {
   if (open_tags_.empty()) {
     // Whitespace between prolog/epilog and the root element is fine.
-    XmlEvent scratch;
-    std::string text;
-    while (Peek() >= 0 && Peek() != '<') {
-      text.push_back(static_cast<char>(Get()));
+    while (true) {
+      int c = Peek();
+      if (c < 0 || c == '<') return Status::Ok();
+      if (c != ' ' && c != '\t' && c != '\r' && c != '\n') {
+        return Fail("character data outside root element");
+      }
+      Get();
     }
-    if (!IsAllWhitespace(text)) return Fail("character data outside root element");
-    return Status::Ok();
   }
-  XmlEvent text;
-  text.kind = XmlEvent::Kind::kText;
+  size_t start = buf_pos_;
+  size_t spill_off = spill_.size();
+  bool spilled = false;
   while (true) {
-    int c = Peek();
-    if (c < 0 || c == '<') break;
-    Get();
-    if (c == '&') {
-      GCX_RETURN_IF_ERROR(AppendEntity(&text.text));
-    } else {
-      text.text.push_back(static_cast<char>(c));
+    if (buf_pos_ >= buf_end_) {
+      spill_.append(buffer_.data() + start, buf_pos_ - start);
+      spilled = true;
+      bool more = Refill();
+      start = buf_pos_;  // Refill reset buf_pos_, even at EOF
+      if (!more) break;
+      continue;
     }
+    // Tight chunk loop: stop bytes are '<' (token end) and '&' (entity).
+    const char* base = buffer_.data();
+    size_t pos = buf_pos_;
+    uint64_t bytes = 0;
+    int newlines = 0;
+    while (pos < buf_end_) {
+      char c = base[pos];
+      if (c == '<' || c == '&') break;
+      newlines += c == '\n' ? 1 : 0;
+      ++pos;
+      ++bytes;
+    }
+    buf_pos_ = pos;
+    bytes_consumed_ += bytes;
+    line_ += newlines;
+    if (pos >= buf_end_) continue;  // chunk exhausted: spill + refill above
+    if (base[pos] == '<') break;
+    // Entity: everything so far moves to the spill, the entity decodes
+    // into it, and scanning resumes after the reference.
+    spill_.append(base + start, buf_pos_ - start);
+    spilled = true;
+    Bump('&');
+    GCX_RETURN_IF_ERROR(AppendEntity(&spill_));
+    start = buf_pos_;
   }
-  if (text.text.empty()) return Status::Ok();
-  if (options_.skip_whitespace_text && IsAllWhitespace(text.text)) {
+  std::string_view text;
+  if (spilled) {
+    spill_.append(buffer_.data() + start, buf_pos_ - start);
+    text = std::string_view(spill_).substr(spill_off);
+  } else {
+    text = std::string_view(buffer_.data() + start, buf_pos_ - start);
+  }
+  if (text.empty()) return Status::Ok();
+  if (options_.skip_whitespace_text && IsAllWhitespace(text)) {
     return Status::Ok();
   }
-  pending_.push_back(std::move(text));
+  if (spilled) {
+    PushSpillText(spill_off, text.size());
+  } else {
+    PushChunkText(start, text.size());
+  }
   return Status::Ok();
 }
 

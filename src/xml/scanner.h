@@ -6,19 +6,29 @@
 // (no namespaces; attributes are either dropped or converted to leading
 // subelements, matching the paper's benchmark preparation "we converted XML
 // attributes into subelements").
+//
+// Zero-copy pipeline (PR 4): element names are interned into a SymbolTable
+// at tokenize time — events carry the TagId, and a scanner-local intern
+// cache keeps the steady state free of shared-table locking and hashing of
+// owned strings. Text is exposed as a std::string_view into the scanner's
+// read chunk when the token is contiguous and entity-free, and into a
+// reusable spill buffer otherwise; either way the view is valid until the
+// next Next() call and the scanner allocates nothing per event in steady
+// state.
 
 #ifndef GCX_XML_SCANNER_H_
 #define GCX_XML_SCANNER_H_
 
 #include <cstdint>
-#include <deque>
 #include <istream>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/symbol_table.h"
 #include "xml/event.h"
 
 namespace gcx {
@@ -72,12 +82,21 @@ struct ScannerOptions {
 /// instructions and DOCTYPE.
 class XmlScanner {
  public:
-  XmlScanner(std::unique_ptr<ByteSource> source, ScannerOptions options = {});
+  /// `tags` is the SymbolTable element names are interned into; it must
+  /// outlive the scanner and is shared with every downstream consumer of
+  /// the emitted TagIds (projector DFA, buffer). Pass nullptr to let the
+  /// scanner own a private table (standalone tokenization).
+  XmlScanner(std::unique_ptr<ByteSource> source, ScannerOptions options = {},
+             SymbolTable* tags = nullptr);
 
   /// Produces the next event into `*event`. Returns a ParseError on
   /// malformed input; after an error or kEndOfDocument the scanner must not
-  /// be advanced further.
+  /// be advanced further. The event's `text` view is valid until the next
+  /// Next() call (see xml/event.h).
   Status Next(XmlEvent* event);
+
+  /// The table element names are interned into.
+  SymbolTable& tags() { return *tags_; }
 
   /// Total bytes consumed from the source so far.
   uint64_t bytes_consumed() const { return bytes_consumed_; }
@@ -85,15 +104,38 @@ class XmlScanner {
   int line() const { return line_; }
 
  private:
-  // Character-level helpers. Peek/Get return -1 at EOF.
+  /// A scanned-but-undelivered event. Text payloads are stored as ranges
+  /// (into the read chunk or the spill buffer) and resolved into views at
+  /// delivery time, so spill growth between enqueue and delivery is safe.
+  struct Pending {
+    enum class Src : uint8_t { kNone, kChunk, kSpill };
+    XmlEvent::Kind kind = XmlEvent::Kind::kEndOfDocument;
+    TagId tag = kInvalidTag;
+    Src src = Src::kNone;
+    size_t off = 0;
+    size_t len = 0;
+  };
+
+  // Character-level helpers. Peek/Get return -1 at EOF. Refill overwrites
+  // the read chunk: it must never run while a chunk range is outstanding.
   int Peek();
   int Get();
   bool Refill();
+  /// Consumes buffer_[buf_pos_] (which must be < buf_end_), maintaining the
+  /// byte and line counters.
+  void Bump(char c);
 
   Status Fail(const std::string& message);
 
-  // Parses the markup starting at '<' (already consumed by caller? no:
-  // dispatcher consumes it). May enqueue several events.
+  /// Interns through the scanner-local cache (no lock on a hit).
+  TagId InternTag(std::string_view name);
+
+  void PushTag(XmlEvent::Kind kind, TagId tag);
+  void PushChunkText(size_t off, size_t len);
+  void PushSpillText(size_t off, size_t len);
+
+  // Parses the markup starting at '<' (the dispatcher consumed it). May
+  // enqueue several events.
   Status ScanMarkup();
   Status ScanStartTag();
   Status ScanEndTag();
@@ -103,13 +145,23 @@ class XmlScanner {
   Status ScanDoctype();
   Status ScanText();
 
-  Status ScanName(std::string* name);
-  Status ScanAttributeValue(std::string* value);
+  /// Scans a name into a view (into the chunk, or name_spill_ when the
+  /// token crossed a refill). The view is invalidated by the next read.
+  Status ScanName(std::string_view* name);
+  /// Appends the decoded value to spill_ (`*len` receives its length).
+  Status ScanAttributeValue(size_t* len);
   Status AppendEntity(std::string* out);
   void SkipSpace();
 
   std::unique_ptr<ByteSource> source_;
   ScannerOptions options_;
+  std::unique_ptr<SymbolTable> owned_tags_;
+  SymbolTable* tags_;
+
+  /// Scanner-local intern cache: spelling (viewing the table's stable name
+  /// storage) → id. Steady-state interning never takes the shared table's
+  /// lock; the reverse direction uses the table's lock-free NameView().
+  std::unordered_map<std::string_view, TagId> intern_cache_;
 
   std::vector<char> buffer_;
   size_t buf_pos_ = 0;
@@ -118,8 +170,15 @@ class XmlScanner {
   uint64_t bytes_consumed_ = 0;
   int line_ = 1;
 
-  std::deque<XmlEvent> pending_;
-  std::vector<std::string> open_tags_;
+  /// Reusable per-scan-cycle byte storage: text that crossed a refill or
+  /// contained entities, and attribute values. Cleared when a new scan
+  /// cycle starts (which is what bounds event-view lifetime).
+  std::string spill_;
+  std::string name_spill_;
+
+  std::vector<Pending> pending_;
+  size_t pending_head_ = 0;
+  std::vector<TagId> open_tags_;
   bool seen_root_ = false;
   bool finished_ = false;
   bool failed_ = false;

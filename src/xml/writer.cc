@@ -5,50 +5,91 @@
 
 namespace gcx {
 
+namespace {
+/// Flush threshold: one block write per this many buffered bytes.
+constexpr size_t kFlushBytes = 1 << 15;
+
+/// Appends the escaped form of `text` to `out` (span-wise: runs without
+/// special characters are copied in one append).
+void AppendEscaped(std::string_view text, std::string* out) {
+  size_t from = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char* replacement;
+    switch (text[i]) {
+      case '&':
+        replacement = "&amp;";
+        break;
+      case '<':
+        replacement = "&lt;";
+        break;
+      case '>':
+        replacement = "&gt;";
+        break;
+      default:
+        continue;
+    }
+    out->append(text, from, i - from);
+    out->append(replacement);
+    from = i + 1;
+  }
+  out->append(text, from, text.size() - from);
+}
+}  // namespace
+
 std::string EscapeText(std::string_view text) {
   std::string out;
   out.reserve(text.size());
-  for (char c : text) {
-    switch (c) {
-      case '&':
-        out += "&amp;";
-        break;
-      case '<':
-        out += "&lt;";
-        break;
-      case '>':
-        out += "&gt;";
-        break;
-      default:
-        out.push_back(c);
-    }
-  }
+  AppendEscaped(text, &out);
   return out;
 }
 
+void XmlWriter::Flush() {
+  if (buffer_.empty()) return;
+  out_->write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  buffer_.clear();
+}
+
+void XmlWriter::MaybeFlush() {
+  if (buffer_.size() >= kFlushBytes) Flush();
+}
+
 void XmlWriter::Write(std::string_view bytes) {
-  out_->write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  buffer_.append(bytes);
   bytes_written_ += bytes.size();
+  MaybeFlush();
 }
 
 void XmlWriter::StartElement(std::string_view name) {
-  Write("<");
-  Write(name);
-  Write(">");
-  open_.emplace_back(name);
+  buffer_ += '<';
+  buffer_.append(name);
+  buffer_ += '>';
+  bytes_written_ += name.size() + 2;
+  open_offsets_.push_back(open_names_.size());
+  open_names_.append(name);
+  MaybeFlush();
 }
 
 void XmlWriter::EndElement(std::string_view name) {
-  GCX_CHECK(!open_.empty() && open_.back() == name);
-  open_.pop_back();
-  Write("</");
-  Write(name);
-  Write(">");
+  GCX_CHECK(!open_offsets_.empty());
+  size_t off = open_offsets_.back();
+  std::string_view open =
+      std::string_view(open_names_).substr(off, open_names_.size() - off);
+  GCX_CHECK(open == name);
+  open_offsets_.pop_back();
+  open_names_.resize(off);
+  buffer_ += '<';
+  buffer_ += '/';
+  buffer_.append(name);
+  buffer_ += '>';
+  bytes_written_ += name.size() + 3;
+  MaybeFlush();
 }
 
 void XmlWriter::Text(std::string_view text) {
-  std::string escaped = EscapeText(text);
-  Write(escaped);
+  size_t before = buffer_.size();
+  AppendEscaped(text, &buffer_);
+  bytes_written_ += buffer_.size() - before;
+  MaybeFlush();
 }
 
 void XmlWriter::Raw(std::string_view bytes) { Write(bytes); }

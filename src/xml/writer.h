@@ -20,9 +20,20 @@ std::string EscapeText(std::string_view text);
 ///
 /// The evaluator uses this to produce the query result; it checks that
 /// every StartElement is matched by an EndElement with the same name.
+///
+/// Output is buffered: results are typically emitted as many tiny pieces
+/// ("<", name, ">", …) and pushing each straight into the ostream pays a
+/// virtual sputn per piece. The writer accumulates into an internal append
+/// buffer and flushes in large blocks; the destructor flushes the rest, so
+/// scope-bound writers need no manual Flush(). Call Flush() before reading
+/// the underlying stream while the writer is still alive.
 class XmlWriter {
  public:
-  explicit XmlWriter(std::ostream* out) : out_(out) {}
+  explicit XmlWriter(std::ostream* out) : out_(out) { buffer_.reserve(1024); }
+  ~XmlWriter() { Flush(); }
+
+  XmlWriter(const XmlWriter&) = delete;
+  XmlWriter& operator=(const XmlWriter&) = delete;
 
   /// Emits `<name>`.
   void StartElement(std::string_view name);
@@ -34,16 +45,24 @@ class XmlWriter {
   /// already unescaped; it is re-escaped by Text instead — Raw is for tests).
   void Raw(std::string_view bytes);
 
+  /// Pushes all buffered bytes to the ostream.
+  void Flush();
+
   /// Number of elements currently open.
-  size_t depth() const { return open_.size(); }
-  /// Total bytes written.
+  size_t depth() const { return open_offsets_.size(); }
+  /// Total bytes written (buffered bytes included).
   uint64_t bytes_written() const { return bytes_written_; }
 
  private:
   void Write(std::string_view bytes);
+  void MaybeFlush();
 
   std::ostream* out_;
-  std::vector<std::string> open_;
+  std::string buffer_;
+  /// Open-element name stack, stored flat (one string, offset per level) so
+  /// steady-state element emission allocates nothing.
+  std::string open_names_;
+  std::vector<size_t> open_offsets_;
   uint64_t bytes_written_ = 0;
 };
 

@@ -335,8 +335,13 @@ TEST_F(CliTest, FifoAsQueryFileWorks) {
   std::string dir = ::testing::TempDir();
   std::string fifo = dir + "/query_fifo";
   std::remove(fifo.c_str());
-  RunResult r = Shell("mkfifo " + fifo + " && echo '<r>{ count(/a/b) }</r>' > " +
-                      fifo + " & echo '<a><b/><b/></a>' | " + BinaryPath() +
+  // The FIFO must exist before gcx starts, and only the writer may be
+  // backgrounded: if `mkfifo && echo > fifo` is backgrounded as a unit,
+  // gcx can race ahead of mkfifo, fail to open the path, and leave the
+  // readerless background writer blocked forever holding the pipe open.
+  RunResult r = Shell("mkfifo " + fifo +
+                      " && { echo '<r>{ count(/a/b) }</r>' > " + fifo +
+                      " & } && echo '<a><b/><b/></a>' | " + BinaryPath() +
                       " " + fifo + " -");
   std::remove(fifo.c_str());
   EXPECT_EQ(r.exit_code, 0);

@@ -7,9 +7,12 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/pool.h"
 #include "common/prng.h"
 #include "common/status.h"
@@ -135,6 +138,135 @@ TEST(SymbolTable, DenseIds) {
   for (int i = 0; i < 100; ++i) {
     EXPECT_EQ(table.Intern("t" + std::to_string(i)), i);
   }
+}
+
+TEST(SymbolTable, NameViewsStableAcrossGrowth) {
+  // NameView hands out views into block storage that must survive arbitrary
+  // later interning (the scanner's local cache and event.name rely on it).
+  SymbolTable table;
+  TagId first = table.Intern("first");
+  std::string_view view = table.NameView(first);
+  for (int i = 0; i < 5000; ++i) {
+    table.Intern("grow" + std::to_string(i));
+  }
+  EXPECT_EQ(view, "first");
+  EXPECT_EQ(table.NameView(first).data(), view.data());
+}
+
+TEST(SymbolTable, ConcurrentInterningIsConsistent) {
+  // Racing scanners intern overlapping vocabularies into one shared table
+  // (the multi-engine batch / concurrent-admission sharing pattern). Every
+  // thread must observe one id per spelling and a correct reverse mapping.
+  SymbolTable table;
+  constexpr int kThreads = 8;
+  constexpr int kTags = 200;
+  std::vector<std::vector<TagId>> seen(kThreads,
+                                       std::vector<TagId>(kTags, kInvalidTag));
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&table, &seen, t] {
+        Prng prng(1234u + static_cast<uint64_t>(t));
+        auto intern_one = [&](int tag) {
+          std::string name = "tag" + std::to_string(tag);
+          TagId id = table.Intern(name);
+          EXPECT_EQ(table.Name(id), name);  // lock-free read path
+          EXPECT_EQ(table.Lookup(name), id);
+          if (seen[t][tag] == kInvalidTag) {
+            seen[t][tag] = id;
+          } else {
+            EXPECT_EQ(seen[t][tag], id);  // stable within a thread
+          }
+        };
+        for (int round = 0; round < 3; ++round) {
+          for (int i = 0; i < kTags; ++i) {
+            // Randomized order so threads collide on first-sight interning.
+            intern_one(static_cast<int>(prng.Next() % kTags));
+          }
+        }
+        // Deterministic sweep so every thread records every tag.
+        for (int tag = 0; tag < kTags; ++tag) intern_one(tag);
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  EXPECT_EQ(table.size(), static_cast<size_t>(kTags));
+  for (int tag = 0; tag < kTags; ++tag) {
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(seen[t][tag], seen[0][tag]);  // and across threads
+    }
+  }
+}
+
+// --- ByteArena ----------------------------------------------------------------
+
+TEST(ByteArena, AppendCopiesAndViewsStay) {
+  ByteArena arena(64);
+  uint32_t c1, c2;
+  std::string one = "hello";
+  std::string_view v1 = arena.Append(one, &c1);
+  one = "clobbered";
+  std::string_view v2 = arena.Append("world", &c2);
+  EXPECT_EQ(v1, "hello");
+  EXPECT_EQ(v2, "world");
+  EXPECT_EQ(arena.stats().bytes_live, 10u);
+  EXPECT_EQ(arena.stats().bytes_peak, 10u);
+}
+
+TEST(ByteArena, EmptyAppendIsNullChunk) {
+  ByteArena arena;
+  uint32_t chunk;
+  std::string_view v = arena.Append("", &chunk);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(chunk, ByteArena::kNullChunk);
+  arena.Release(chunk, 0);  // must be a no-op
+  EXPECT_EQ(arena.stats().bytes_live, 0u);
+}
+
+TEST(ByteArena, ChunkRecyclingBoundsMemory) {
+  // FIFO append/release (the replay-log pattern): far more bytes than the
+  // arena may retain flow through, but chunks recycle so the reserved
+  // backing stays ~one chunk.
+  ByteArena arena(128);
+  std::vector<std::pair<uint32_t, size_t>> live;
+  for (int i = 0; i < 1000; ++i) {
+    uint32_t chunk;
+    std::string payload(17, static_cast<char>('a' + i % 26));
+    arena.Append(payload, &chunk);
+    live.push_back({chunk, payload.size()});
+    if (live.size() > 3) {
+      arena.Release(live.front().first, live.front().second);
+      live.erase(live.begin());
+    }
+  }
+  EXPECT_EQ(arena.stats().bytes_appended, 17000u);
+  EXPECT_LE(arena.stats().bytes_peak, 4u * 17u);
+  // A handful of 128-byte chunks suffice for 17KB of traffic.
+  EXPECT_LE(arena.stats().bytes_reserved, 512u);
+  EXPECT_GT(arena.stats().chunks_recycled, 0u);
+}
+
+TEST(ByteArena, OversizedPayloadGetsDedicatedChunk) {
+  ByteArena arena(32);
+  uint32_t small_chunk, big_chunk;
+  arena.Append("tiny", &small_chunk);
+  std::string big(1000, 'b');
+  std::string_view v = arena.Append(big, &big_chunk);
+  EXPECT_EQ(v, big);
+  EXPECT_NE(small_chunk, big_chunk);
+  arena.Release(big_chunk, big.size());
+  arena.Release(small_chunk, 4);
+  EXPECT_EQ(arena.stats().bytes_live, 0u);
+}
+
+TEST(ByteArena, PeakTracksHighWater) {
+  ByteArena arena(64);
+  uint32_t a, b;
+  arena.Append(std::string(40, 'x'), &a);
+  arena.Append(std::string(40, 'y'), &b);
+  arena.Release(a, 40);
+  EXPECT_EQ(arena.stats().bytes_peak, 80u);
+  EXPECT_EQ(arena.stats().bytes_live, 40u);
 }
 
 // --- Pool --------------------------------------------------------------------

@@ -211,18 +211,19 @@ TEST(MergedDfa, ProductStatesCombinePerQueryDfas) {
   for (const CompiledQuery* q : batch.pointers) {
     inputs.push_back({&q->analyzed().projection, &q->analyzed().roles});
   }
-  MergedDfa dfa(inputs);
+  SymbolTable tags;
+  MergedDfa dfa(inputs, &tags);
   ASSERT_EQ(dfa.num_queries(), 2u);
-  MergedDfa::State* a = dfa.Transition(dfa.initial(), "a");
+  MergedDfa::State* a = dfa.Transition(dfa.initial(), tags.Intern("a"));
   ASSERT_EQ(a->parts.size(), 2u);
   EXPECT_FALSE(a->skippable);
   // Under <a>, <z> is dead for both queries; <b> is alive for the first.
-  MergedDfa::State* z = dfa.Transition(a, "z");
+  MergedDfa::State* z = dfa.Transition(a, tags.Intern("z"));
   EXPECT_TRUE(z->skippable);
-  MergedDfa::State* b = dfa.Transition(a, "b");
+  MergedDfa::State* b = dfa.Transition(a, tags.Intern("b"));
   EXPECT_FALSE(b->skippable);
   // Memoization: the same transition yields the same state object.
-  EXPECT_EQ(dfa.Transition(dfa.initial(), "a"), a);
+  EXPECT_EQ(dfa.Transition(dfa.initial(), tags.Intern("a")), a);
   EXPECT_GE(dfa.num_states(), 3u);
 }
 

@@ -44,7 +44,8 @@ std::unique_ptr<Projected> Project(std::string_view query_text,
 
   auto out = std::make_unique<Projected>();
   out->analyzed = std::move(analyzed).value();
-  XmlScanner scanner(std::make_unique<StringSource>(xml));
+  // Scanner and projector must share one tag table: events carry TagIds.
+  XmlScanner scanner(std::make_unique<StringSource>(xml), {}, &out->tags);
   StreamProjector projector(&out->analyzed.projection, &out->analyzed.roles,
                             &out->tags, &scanner, &out->buffer);
   while (true) {
@@ -61,7 +62,9 @@ std::unique_ptr<Projected> Project(std::string_view query_text,
 std::string Shape(const BufferNode* node, const SymbolTable& tags) {
   std::string out = "(";
   if (node->is_text) {
-    out += "'" + node->text + "'";
+    out += '\'';
+    out.append(node->text);
+    out += '\'';
   } else if (node->parent == nullptr) {
     out += "/";
   } else {

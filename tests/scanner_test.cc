@@ -25,13 +25,19 @@ Result<std::string> Scan(std::string_view xml, ScannerOptions options = {}) {
     GCX_RETURN_IF_ERROR(scanner.Next(&event));
     switch (event.kind) {
       case XmlEvent::Kind::kStartElement:
-        out += "<" + event.name + " ";
+        out += "<";
+        out.append(event.name());
+        out += " ";
         break;
       case XmlEvent::Kind::kEndElement:
-        out += ">" + event.name + " ";
+        out += ">";
+        out.append(event.name());
+        out += " ";
         break;
       case XmlEvent::Kind::kText:
-        out += "'" + event.text + "' ";
+        out += "'";
+        out.append(event.text);
+        out += "' ";
         break;
       case XmlEvent::Kind::kEndOfDocument:
         return out;
@@ -152,7 +158,7 @@ TEST(Scanner, IstreamSource) {
   XmlEvent event;
   ASSERT_TRUE(scanner.Next(&event).ok());
   EXPECT_EQ(event.kind, XmlEvent::Kind::kStartElement);
-  EXPECT_EQ(event.name, "a");
+  EXPECT_EQ(event.name(), "a");
 }
 
 // --- malformed inputs (parameterized) -----------------------------------------
@@ -245,13 +251,19 @@ Result<std::string> ScanChunked(std::string_view xml, size_t chunk,
     GCX_RETURN_IF_ERROR(scanner.Next(&event));
     switch (event.kind) {
       case XmlEvent::Kind::kStartElement:
-        out += "<" + event.name + " ";
+        out += "<";
+        out.append(event.name());
+        out += " ";
         break;
       case XmlEvent::Kind::kEndElement:
-        out += ">" + event.name + " ";
+        out += ">";
+        out.append(event.name());
+        out += " ";
         break;
       case XmlEvent::Kind::kText:
-        out += "'" + event.text + "' ";
+        out += "'";
+        out.append(event.text);
+        out += "' ";
         break;
       case XmlEvent::Kind::kEndOfDocument:
         return out;
@@ -313,6 +325,136 @@ TEST(ScannerChunkBoundaries, OptionsRespectedUnderChunking) {
   ScannerOptions discard;
   discard.attribute_mode = ScannerOptions::AttributeMode::kDiscard;
   EXPECT_EQ(*ScanChunked(R"(<p id="p0">t</p>)", 1, discard), "<p 't' >p ");
+}
+
+// --- zero-copy view lifetimes ------------------------------------------------
+//
+// XmlEvent::text is a view into scanner-owned storage that must stay valid
+// (and hold the right bytes) from the Next() that produced it until the
+// next Next() call — including when 1-byte reads force every token through
+// the spill path and when several pending events (attribute conversion)
+// are delivered from one scan cycle.
+
+/// Drains the scanner, snapshotting each text view twice: once at delivery
+/// and once immediately before the next Next() call (the end of the
+/// guaranteed lifetime). Both snapshots must agree.
+void ExpectStableTextViews(std::string_view xml, size_t chunk,
+                           const std::vector<std::string>& expected_texts) {
+  XmlScanner scanner(
+      std::make_unique<ChunkedSource>(std::string(xml), chunk));
+  std::vector<std::string> at_delivery;
+  XmlEvent event;
+  std::string_view held;
+  bool holding = false;
+  while (true) {
+    if (holding) {
+      // The previous event's view is still alive here: re-read it.
+      EXPECT_EQ(std::string(held), at_delivery.back());
+    }
+    ASSERT_TRUE(scanner.Next(&event).ok());
+    if (event.kind == XmlEvent::Kind::kEndOfDocument) break;
+    holding = event.kind == XmlEvent::Kind::kText;
+    if (holding) {
+      at_delivery.push_back(std::string(event.text));
+      held = event.text;
+      EXPECT_EQ(event.Materialize(), at_delivery.back());
+    }
+  }
+  EXPECT_EQ(at_delivery, expected_texts);
+}
+
+TEST(ScannerViewLifetime, PlainTextAcrossOneByteReads) {
+  for (size_t chunk : {size_t{1}, size_t{2}, size_t{64}}) {
+    ExpectStableTextViews("<a>hello<b>world</b>tail</a>", chunk,
+                          {"hello", "world", "tail"});
+  }
+}
+
+TEST(ScannerViewLifetime, SplitEntitiesCdataAndUtf8) {
+  for (size_t chunk : {size_t{1}, size_t{2}, size_t{3}}) {
+    ExpectStableTextViews("<a>x&amp;y&#x1F980;</a>", chunk,
+                          {"x&y\xF0\x9F\xA6\x80"});
+    // "]]]>" terminates after "a]]b]" (two trailing brackets dropped); the
+    // leftover "]]>post" is ordinary character data.
+    ExpectStableTextViews("<a><![CDATA[a]]b]]]>]]>post</a>", chunk,
+                          {"a]]b]", "]]>post"});
+    ExpectStableTextViews("<a>caf\xC3\xA9 \xE2\x9C\x93</a>", chunk,
+                          {"caf\xC3\xA9 \xE2\x9C\x93"});
+  }
+}
+
+TEST(ScannerViewLifetime, AttributeValuesDeliveredAcrossPendingEvents) {
+  // One start tag enqueues several pending events whose payloads share the
+  // scanner's spill buffer; each view must be correct at its own delivery.
+  for (size_t chunk : {size_t{1}, size_t{5}}) {
+    ExpectStableTextViews(R"(<p one="u&amp;v" two="w x" three="">t</p>)",
+                          chunk, {"u&v", "w x", "t"});
+  }
+}
+
+TEST(ScannerViewLifetime, LargeTextSpanningManyRefills) {
+  // Text far larger than any read chunk exercises the spill accumulation
+  // (and its reserve behaviour) rather than the direct chunk view.
+  std::string big(300, 'x');
+  big[0] = 'y';
+  big[299] = 'z';
+  ExpectStableTextViews("<a>" + big + "</a>", 7, {big});
+}
+
+TEST(ScannerViewLifetime, EofMidTokenIsAnErrorNotACrash) {
+  // EOF truncating a token mid-accumulation must fail cleanly: the spill
+  // finalization runs after a failed refill reset the chunk cursor.
+  for (size_t chunk : {size_t{1}, size_t{64}}) {
+    // Trailing text, then EOF with <a> still open.
+    {
+      XmlScanner scanner(
+          std::make_unique<ChunkedSource>("<a>trailing", chunk));
+      XmlEvent event;
+      ASSERT_TRUE(scanner.Next(&event).ok());  // <a>
+      ASSERT_TRUE(scanner.Next(&event).ok());  // the text still arrives
+      EXPECT_EQ(event.kind, XmlEvent::Kind::kText);
+      EXPECT_EQ(event.text, "trailing");
+      EXPECT_FALSE(scanner.Next(&event).ok());  // then: unclosed element
+    }
+    // EOF in the middle of a tag name.
+    {
+      XmlScanner scanner(std::make_unique<ChunkedSource>("<abc", chunk));
+      XmlEvent event;
+      Status status;
+      do {
+        status = scanner.Next(&event);
+      } while (status.ok() && event.kind != XmlEvent::Kind::kEndOfDocument);
+      EXPECT_FALSE(status.ok());
+    }
+  }
+}
+
+TEST(ScannerViewLifetime, NameViewsAreTableStable) {
+  // Element name views point into the SymbolTable and outlive the event.
+  XmlScanner scanner(std::make_unique<StringSource>("<abc><d/></abc>"));
+  XmlEvent event;
+  ASSERT_TRUE(scanner.Next(&event).ok());
+  std::string_view abc = event.name();
+  TagId abc_tag = event.tag;
+  while (event.kind != XmlEvent::Kind::kEndOfDocument) {
+    ASSERT_TRUE(scanner.Next(&event).ok());
+  }
+  EXPECT_EQ(abc, "abc");  // still valid: the table owns the bytes
+  EXPECT_EQ(scanner.tags().Name(abc_tag), "abc");
+  EXPECT_NE(scanner.tags().Lookup("d"), kInvalidTag);
+}
+
+TEST(ScannerInterning, SharedTableReceivesScannerTags) {
+  SymbolTable tags;
+  TagId pre = tags.Intern("pre");
+  XmlScanner scanner(std::make_unique<StringSource>("<a><pre/></a>"), {},
+                     &tags);
+  XmlEvent event;
+  ASSERT_TRUE(scanner.Next(&event).ok());
+  EXPECT_EQ(event.tag, tags.Lookup("a"));
+  ASSERT_TRUE(scanner.Next(&event).ok());
+  // The scanner reuses the id interned before it ever saw the document.
+  EXPECT_EQ(event.tag, pre);
 }
 
 TEST(ScannerChunkBoundaries, BytesConsumedMatchesWholeBuffer) {

@@ -26,6 +26,7 @@ TEST(Writer, BalancedElements) {
   writer.Text("x<y&z>");
   writer.EndElement("b");
   writer.EndElement("a");
+  writer.Flush();
   EXPECT_EQ(out.str(), "<a><b>x&lt;y&amp;z&gt;</b></a>");
   EXPECT_EQ(writer.depth(), 0u);
 }
@@ -36,7 +37,23 @@ TEST(Writer, TracksDepthAndBytes) {
   writer.StartElement("a");
   EXPECT_EQ(writer.depth(), 1u);
   writer.EndElement("a");
+  writer.Flush();
   EXPECT_EQ(writer.bytes_written(), out.str().size());
+}
+
+TEST(Writer, BuffersUntilFlushAndDestructorFlushes) {
+  std::ostringstream out;
+  {
+    XmlWriter writer(&out);
+    writer.StartElement("a");
+    writer.Text("x");
+    writer.EndElement("a");
+    // Small output sits in the append buffer; the stream is still empty
+    // (one block write instead of a sputn per tiny piece).
+    EXPECT_EQ(out.str(), "");
+    EXPECT_EQ(writer.bytes_written(), 8u);
+  }
+  EXPECT_EQ(out.str(), "<a>x</a>");  // destructor flushed the rest
 }
 
 TEST(Writer, EscapeText) {

@@ -167,6 +167,9 @@ struct QuerySpec {
 };
 
 int main(int argc, char** argv) {
+  // Result emission goes through the buffered XmlWriter in large blocks;
+  // don't pay C-stdio synchronization on top when that block lands on cout.
+  std::ios::sync_with_stdio(false);
   gcx::EngineOptions options;
   std::vector<QuerySpec> query_specs;
   std::string query_path;
@@ -359,10 +362,10 @@ int main(int argc, char** argv) {
       std::cerr << "-- ";
       switch (event.kind) {
         case gcx::XmlEvent::Kind::kStartElement:
-          std::cerr << "<" << event.name << ">";
+          std::cerr << "<" << event.name() << ">";
           break;
         case gcx::XmlEvent::Kind::kEndElement:
-          std::cerr << "</" << event.name << ">";
+          std::cerr << "</" << event.name() << ">";
           break;
         case gcx::XmlEvent::Kind::kText:
           std::cerr << "text(" << event.text.size() << " bytes)";
@@ -487,6 +490,9 @@ int main(int argc, char** argv) {
                 << " (shared prefilter, " << shared.shared_subtrees_skipped
                 << " subtrees)\n"
                 << "events demuxed:    " << shared.events_demuxed << "\n"
+                << "replay log peak:   " << shared.replay_log_peak
+                << " events, " << shared.replay_arena_peak_bytes
+                << " arena bytes\n"
                 << "merged DFA states: " << shared.merged_dfa_states << "\n"
                 << "projection paths:  " << batch_stats->projection.union_paths
                 << " union / " << batch_stats->projection.shared_paths
@@ -534,6 +540,8 @@ int main(int argc, char** argv) {
               << "roles assigned:    " << stats->buffer.roles_assigned << "\n"
               << "roles removed:     " << stats->buffer.roles_removed << "\n"
               << "GC runs:           " << stats->buffer.gc_runs << "\n"
+              << "text arena peak:   " << stats->buffer.text_arena_peak_bytes
+              << " bytes\n"
               << "DFA states:        " << stats->dfa_states << "\n";
   }
   print_cache_stats();
