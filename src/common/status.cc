@@ -21,6 +21,8 @@ const char* StatusCodeName(StatusCode code) {
       return "EvalError";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kWouldBlock:
+      return "WouldBlock";
   }
   return "Unknown";
 }
@@ -50,6 +52,9 @@ Status EvalError(std::string message) {
 }
 Status IoError(std::string message) {
   return Status(StatusCode::kIoError, std::move(message));
+}
+Status WouldBlockStatus() {
+  return Status(StatusCode::kWouldBlock, "source would block");
 }
 
 }  // namespace gcx

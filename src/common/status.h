@@ -25,6 +25,7 @@ enum class StatusCode {
   kAnalysisError,    ///< static analysis rejected the query
   kEvalError,        ///< runtime evaluation failure
   kIoError,          ///< stream / file failure
+  kWouldBlock,       ///< source not ready — not an error, retry when readable
 };
 
 /// Returns a short human-readable name for `code` (e.g. "ParseError").
@@ -68,6 +69,15 @@ Status UnsupportedError(std::string message);
 Status AnalysisError(std::string message);
 Status EvalError(std::string message);
 Status IoError(std::string message);
+
+/// Flow-control status, not an error: the operation consumed no observable
+/// input because the underlying source reported would-block. The operation
+/// left its object in a resumable state — call again once the source is
+/// readable (see ByteSource::ReadyFd in xml/scanner.h).
+Status WouldBlockStatus();
+inline bool IsWouldBlock(const Status& status) {
+  return status.code() == StatusCode::kWouldBlock;
+}
 
 /// A value-or-Status union, the no-exceptions analogue of `expected`.
 ///

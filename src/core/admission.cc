@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/multi_engine.h"
+#include "xml/fd_source.h"
 
 namespace gcx {
 
@@ -17,11 +18,12 @@ class SharedStringSource : public ByteSource {
  public:
   explicit SharedStringSource(std::shared_ptr<const std::string> data)
       : data_(std::move(data)) {}
-  size_t Read(char* buffer, size_t capacity) override {
+  ReadResult Read(char* buffer, size_t capacity) override {
     size_t n = std::min(capacity, data_->size() - pos_);
+    if (n == 0) return ReadResult::Eof();
     std::copy_n(data_->data() + pos_, n, buffer);
     pos_ += n;
-    return n;
+    return ReadResult::Ok(n);
   }
 
  private:
@@ -29,6 +31,23 @@ class SharedStringSource : public ByteSource {
   size_t pos_ = 0;
 };
 }  // namespace
+
+/// One group's progress through Run(): the snapshot of its requests, a
+/// cursor past the already-executed ones, and the batch currently being
+/// pumped (null between batches). `parked` marks a batch that reported
+/// would-block and is waiting for its source to become readable.
+struct AdmissionController::GroupWork {
+  Group group;
+  AsyncDocumentOpener* opener = nullptr;
+  size_t next = 0;
+  size_t batch_size = 0;
+  std::unique_ptr<MultiQueryRun> current;
+  bool parked = false;
+
+  bool finished() const {
+    return next >= group.pending.size() && current == nullptr;
+  }
+};
 
 AdmissionController::AdmissionController(QueryCache* cache,
                                          AdmissionLimits limits)
@@ -39,8 +58,11 @@ AdmissionController::AdmissionController(QueryCache* cache,
 
 void AdmissionController::RegisterDocument(std::string doc_id,
                                            DocumentOpener opener) {
-  std::lock_guard<std::mutex> lock(mu_);
-  documents_[std::move(doc_id)] = std::move(opener);
+  RegisterDocumentAsync(
+      std::move(doc_id),
+      [opener = std::move(opener)]() -> Result<std::unique_ptr<ByteSource>> {
+        return opener();
+      });
 }
 
 void AdmissionController::RegisterDocument(std::string doc_id,
@@ -49,6 +71,12 @@ void AdmissionController::RegisterDocument(std::string doc_id,
   RegisterDocument(std::move(doc_id), [shared] {
     return std::make_unique<SharedStringSource>(shared);
   });
+}
+
+void AdmissionController::RegisterDocumentAsync(std::string doc_id,
+                                                AsyncDocumentOpener opener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  documents_[std::move(doc_id)] = std::move(opener);
 }
 
 Status AdmissionController::Submit(std::string_view query_text,
@@ -110,70 +138,175 @@ void AdmissionController::ObserveBatch(size_t batch_queries,
       std::max(stats_.events_per_query_estimate, per_query);
 }
 
+Status AdmissionController::StartNextBatch(GroupWork* work,
+                                           AdmissionRunStats* run) {
+  std::vector<Request>& pending = work->group.pending;
+  GCX_CHECK(work->current == nullptr && work->next < pending.size());
+
+  bool memory_bound = false;
+  size_t cap = BatchCap(&memory_bound);
+  size_t n = std::min(cap, pending.size() - work->next);
+  if (work->next + n < pending.size()) {
+    if (memory_bound) {
+      ++stats_.splits_by_memory;
+    } else {
+      ++stats_.splits_by_size;
+    }
+  }
+
+  GCX_ASSIGN_OR_RETURN(std::unique_ptr<ByteSource> source, (*work->opener)());
+  GCX_CHECK(source != nullptr);
+
+  if (n == 1 && source->ReadyFd() < 0) {
+    // Always-ready singleton: the solo engine skips the merged-DFA/replay
+    // machinery entirely. (A pollable singleton goes through MultiQueryRun
+    // instead so the scheduler can park it.)
+    Request& request = pending[work->next];
+    Engine solo;
+    auto stats = solo.Execute(request.query, std::move(source), request.out);
+    GCX_RETURN_IF_ERROR(stats.status());
+    ++stats_.batches_formed;
+    ++stats_.solo_runs;
+    ++run->batches;
+    ++run->queries;
+    run->scan_passes += stats->scan_passes;
+    run->bytes_scanned += stats->input_bytes;
+    work->next += 1;
+    return Status::Ok();
+  }
+
+  std::vector<const CompiledQuery*> batch;
+  std::vector<std::ostream*> outs;
+  batch.reserve(n);
+  outs.reserve(n);
+  for (size_t j = work->next; j < work->next + n; ++j) {
+    batch.push_back(&pending[j].query);
+    outs.push_back(pending[j].out);
+  }
+  work->current = std::make_unique<MultiQueryRun>(
+      std::move(batch), std::move(source), std::move(outs));
+  work->batch_size = n;
+  work->parked = false;
+  return Status::Ok();
+}
+
+Status AdmissionController::FinishBatch(GroupWork* work,
+                                        AdmissionRunStats* run) {
+  GCX_ASSIGN_OR_RETURN(MultiQueryStats stats, work->current->TakeStats());
+  ObserveBatch(work->batch_size, stats.shared.replay_log_peak);
+  ++stats_.batches_formed;
+  ++run->batches;
+  run->queries += work->batch_size;
+  run->scan_passes += stats.shared.scan_passes;
+  run->bytes_scanned += stats.shared.bytes_scanned;
+  run->replay_log_peak =
+      std::max(run->replay_log_peak, stats.shared.replay_log_peak);
+  work->next += work->batch_size;
+  work->batch_size = 0;
+  work->current.reset();
+  work->parked = false;
+  return Status::Ok();
+}
+
 Result<AdmissionRunStats> AdmissionController::Run() {
   std::lock_guard<std::mutex> lock(mu_);
 
   // Snapshot the pending groups in first-submission order and clear them:
   // whatever happens below, the controller is reusable afterwards.
-  std::vector<Group> work;
+  std::vector<GroupWork> works;
   for (auto& [key, group] : groups_) {
-    if (!group.pending.empty()) work.push_back(std::move(group));
+    if (group.pending.empty()) continue;
+    GroupWork work;
+    work.group = std::move(group);
+    works.push_back(std::move(work));
   }
   groups_.clear();
-  std::sort(work.begin(), work.end(),
-            [](const Group& a, const Group& b) { return a.order < b.order; });
+  std::sort(works.begin(), works.end(),
+            [](const GroupWork& a, const GroupWork& b) {
+              return a.group.order < b.group.order;
+            });
+  for (GroupWork& work : works) {
+    auto doc = documents_.find(work.group.doc_id);
+    GCX_CHECK(doc != documents_.end());  // Submit verified registration
+    work.opener = &doc->second;
+  }
 
   AdmissionRunStats run;
-  Engine solo_engine;
-  MultiQueryEngine batch_engine;
-  for (Group& group : work) {
-    auto doc = documents_.find(group.doc_id);
-    GCX_CHECK(doc != documents_.end());  // Submit verified registration
-    size_t i = 0;
-    while (i < group.pending.size()) {
-      bool memory_bound = false;
-      size_t cap = BatchCap(&memory_bound);
-      size_t n = std::min(cap, group.pending.size() - i);
-      bool split = i + n < group.pending.size();
-      if (split) {
-        if (memory_bound) {
-          ++stats_.splits_by_memory;
-        } else {
-          ++stats_.splits_by_size;
-        }
-      }
 
-      if (n == 1) {
-        // Singleton: the solo engine skips the merged-DFA/replay machinery.
-        Request& request = group.pending[i];
-        auto stats = solo_engine.Execute(request.query, doc->second(),
-                                         request.out);
-        GCX_RETURN_IF_ERROR(stats.status());
-        ++stats_.batches_formed;
-        ++stats_.solo_runs;
-        ++run.batches;
-        ++run.queries;
-        run.scan_passes += stats->scan_passes;
-        run.bytes_scanned += stats->input_bytes;
-      } else {
-        std::vector<const CompiledQuery*> batch;
-        std::vector<std::ostream*> outs;
-        for (size_t j = i; j < i + n; ++j) {
-          batch.push_back(&group.pending[j].query);
-          outs.push_back(group.pending[j].out);
+  if (!limits_.interleave) {
+    // Legacy strict order: one batch at a time, blocking across stalls.
+    for (GroupWork& work : works) {
+      while (!work.finished()) {
+        if (work.current == nullptr) {
+          GCX_RETURN_IF_ERROR(StartNextBatch(&work, &run));
+          if (work.current == nullptr) continue;  // solo fast path ran
         }
-        auto stats = batch_engine.Execute(batch, doc->second(), outs);
-        GCX_RETURN_IF_ERROR(stats.status());
-        ObserveBatch(n, stats->shared.replay_log_peak);
-        ++stats_.batches_formed;
-        ++run.batches;
-        run.queries += n;
-        run.scan_passes += stats->shared.scan_passes;
-        run.bytes_scanned += stats->shared.bytes_scanned;
-        run.replay_log_peak =
-            std::max(run.replay_log_peak, stats->shared.replay_log_peak);
+        MultiQueryRun::State state = work.current->Step();
+        switch (state) {
+          case MultiQueryRun::State::kStalled:
+            if (!work.parked) {
+              work.parked = true;
+              ++run.stalls;
+              ++stats_.batches_parked;
+            }
+            WaitReadable(work.current->ReadyFd(), /*timeout_ms=*/-1);
+            ++stats_.batch_resumes;
+            break;
+          case MultiQueryRun::State::kDone:
+            GCX_RETURN_IF_ERROR(FinishBatch(&work, &run));
+            break;
+          case MultiQueryRun::State::kFailed:
+            return work.current->status();
+          case MultiQueryRun::State::kRunnable:
+            break;
+        }
       }
-      i += n;
+    }
+    return run;
+  }
+
+  // Ready-batch scheduler: sweep the groups round-robin, pumping each
+  // group's current batch while its source produces data and parking it on
+  // would-block. When a whole sweep makes no progress, every remaining
+  // batch is stalled — sleep until some source signals readiness.
+  while (true) {
+    bool progressed = false;
+    bool all_done = true;
+    std::vector<int> stalled_fds;
+    for (GroupWork& work : works) {
+      if (work.finished()) continue;
+      all_done = false;
+      if (work.current == nullptr) {
+        GCX_RETURN_IF_ERROR(StartNextBatch(&work, &run));
+        progressed = true;  // formed a batch (or the solo fast path ran)
+        if (work.current == nullptr) continue;
+      }
+      if (work.parked) ++stats_.batch_resumes;
+      MultiQueryRun::State state = work.current->Step();
+      switch (state) {
+        case MultiQueryRun::State::kStalled:
+          if (!work.parked) {
+            work.parked = true;
+            ++run.stalls;
+            ++stats_.batches_parked;
+          }
+          stalled_fds.push_back(work.current->ReadyFd());
+          break;
+        case MultiQueryRun::State::kDone:
+          GCX_RETURN_IF_ERROR(FinishBatch(&work, &run));
+          progressed = true;
+          break;
+        case MultiQueryRun::State::kFailed:
+          return work.current->status();
+        case MultiQueryRun::State::kRunnable:
+          break;
+      }
+    }
+    if (all_done) break;
+    if (!progressed) {
+      // Everything runnable is parked. 50ms caps the sleep so an
+      // unpollable stalled source (ReadyFd < 0) still gets retried.
+      WaitAnyReadable(stalled_fds, /*timeout_ms=*/50);
     }
   }
   return run;

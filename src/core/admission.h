@@ -15,6 +15,19 @@
 //       into batches and execute each over one shared document scan,
 //       writing every query's result to its Submit-time stream.
 //
+// Scheduling (PR 5): Run is a ready-batch scheduler, not a strict queue.
+// Groups are visited round-robin; each group's current batch is pumped
+// while its document source produces data (MultiQueryRun) and PARKED the
+// moment the source reports would-block, letting every other runnable
+// batch proceed. Parked batches resume when their source's ReadyFd()
+// signals readiness (poll). One stalled socket/FIFO therefore no longer
+// serializes the batches queued behind it — only its own group waits.
+// AdmissionLimits::interleave = false restores the legacy strict
+// first-submission order with blocking waits (the serial baseline the
+// bench_async harness compares against). Within a group, batches still
+// run sequentially: they re-scan the same document, and a group's
+// submission order is the order its results are written in.
+//
 // Admission limits bound what one batch may cost:
 //   * max_batch_queries — hard cap on queries per batch;
 //   * max_replay_log_events — a buffer-memory budget. The shared replay
@@ -60,6 +73,11 @@ struct AdmissionLimits {
   /// Replay-log budget in buffered events (0 = unlimited). Enforced through
   /// the adaptive per-query estimate described above.
   uint64_t max_replay_log_events = 0;
+  /// Run() scheduling: true (default) round-robins runnable batches and
+  /// parks the ones whose source would block; false executes groups in
+  /// strict first-submission order, blocking on every stall (legacy
+  /// behavior, and the serial baseline for benchmarking).
+  bool interleave = true;
 };
 
 /// Lifetime counters of one controller.
@@ -75,6 +93,13 @@ struct AdmissionStats {
   /// Adaptive memory model: max observed replay-log events per batched
   /// query (0 until the first multi-query batch ran).
   uint64_t events_per_query_estimate = 0;
+  /// Scheduler counters. batches_parked: transitions into the parked
+  /// state (a batch observed would-block). batch_resumes: times a parked
+  /// batch was stepped again — every scheduler sweep retries parked
+  /// batches, so this counts retries (a retry may find the source still
+  /// stalled), not confirmed readiness events.
+  uint64_t batches_parked = 0;
+  uint64_t batch_resumes = 0;
 };
 
 /// Totals of one Run call.
@@ -84,6 +109,7 @@ struct AdmissionRunStats {
   uint64_t scan_passes = 0;   ///< document scans paid (== batches)
   uint64_t bytes_scanned = 0;
   uint64_t replay_log_peak = 0;  ///< max over this run's batches
+  uint64_t stalls = 0;  ///< would-block parks the scheduler absorbed
 };
 
 /// Groups arriving requests into MultiQueryEngine batches. Thread-safe:
@@ -94,6 +120,12 @@ class AdmissionController {
   /// Re-openable document source: each batch over the document opens one
   /// fresh ByteSource (a group may need several batches, hence scans).
   using DocumentOpener = std::function<std::unique_ptr<ByteSource>()>;
+  /// Async-capable opener variant: may fail (surfacing e.g. a vanished
+  /// FIFO as a clean Run error), and is expected to hand out
+  /// readiness-aware sources (ReadyFd() >= 0, Read may report
+  /// would-block) that the scheduler can park batches on.
+  using AsyncDocumentOpener =
+      std::function<Result<std::unique_ptr<ByteSource>>()>;
 
   /// `cache` is borrowed and shared: concurrent controllers (or direct
   /// GetOrCompile users) deduplicate compilations through it.
@@ -103,6 +135,9 @@ class AdmissionController {
   void RegisterDocument(std::string doc_id, DocumentOpener opener);
   /// Convenience: the document is this in-memory string.
   void RegisterDocument(std::string doc_id, std::string content);
+  /// Async variant: the opener may fail and its sources may stall; the
+  /// Run scheduler parks batches over them instead of blocking.
+  void RegisterDocumentAsync(std::string doc_id, AsyncDocumentOpener opener);
 
   /// Admits one request against `doc_id`, compiling through the cache.
   /// On a compile failure the request is rejected and nothing is enqueued.
@@ -110,7 +145,11 @@ class AdmissionController {
                 std::string_view doc_id, std::ostream* out);
 
   /// Executes every pending request. Results are written to the Submit-time
-  /// streams; batches run in first-submission order of their groups.
+  /// streams. With interleave (default) runnable batches are scheduled
+  /// round-robin across groups and stalled batches are parked until their
+  /// source is ready; with interleave = false, batches run strictly in
+  /// first-submission order of their groups, blocking on stalls. Within a
+  /// group, batches always run (and write) in submission order.
   Result<AdmissionRunStats> Run();
 
   AdmissionStats stats() const;
@@ -126,16 +165,24 @@ class AdmissionController {
     size_t order = 0;  ///< first-submission order of the group
   };
 
+  struct GroupWork;
+
   /// Current batch-size cap from the limits and the adaptive estimate.
   /// `*memory_bound` is set when the event budget (not the size cap) binds.
   size_t BatchCap(bool* memory_bound) const;
   /// Folds one executed batch's shared-scan counters into the model.
   void ObserveBatch(size_t batch_queries, uint64_t replay_log_peak);
+  /// Forms the next batch of `work` and either executes it inline (solo
+  /// fast path) or leaves it as `work.current` for the scheduler to pump.
+  /// Caller holds mu_.
+  Status StartNextBatch(GroupWork* work, AdmissionRunStats* run);
+  /// Books a finished MultiQueryRun batch into the stats. Caller holds mu_.
+  Status FinishBatch(GroupWork* work, AdmissionRunStats* run);
 
   mutable std::mutex mu_;
   QueryCache* cache_;
   AdmissionLimits limits_;
-  std::unordered_map<std::string, DocumentOpener> documents_;
+  std::unordered_map<std::string, AsyncDocumentOpener> documents_;
   /// Group key: doc_id + '\n' + BatchCompatibilityFingerprint.
   std::map<std::string, Group> groups_;
   size_t next_group_order_ = 0;

@@ -12,6 +12,7 @@
 #include "core/dom_engine.h"
 #include "eval/evaluator.h"
 #include "eval/exec_context.h"
+#include "xml/fd_source.h"
 #include "xml/writer.h"
 #include "xq/normalize.h"
 #include "xq/parser.h"
@@ -53,6 +54,14 @@ Result<CompiledQuery> CompiledQuery::CompileParsed(Query parsed,
   analysis.aggregate_roles = options.aggregate_roles;
   analysis.eliminate_redundant_roles = options.eliminate_redundant_roles;
   GCX_ASSIGN_OR_RETURN(impl->analyzed, Analyze(std::move(parsed), analysis));
+  // Approximate residency cost: the compilation keeps two AST copies
+  // (pre-normalization + rewritten) whose node count tracks the query
+  // text, plus per-node analysis records. Deliberately coarse — the cache
+  // byte budget needs monotone-with-size, not exact.
+  impl->approx_bytes =
+      sizeof(Impl) + 6 * impl->canonical_text.size() +
+      impl->analyzed.projection.size() * (sizeof(ProjNode) + 48) +
+      impl->analyzed.roles.size() * 96 + impl->analyzed.vars.size() * 64;
   CompiledQuery out;
   out.impl_ = std::move(impl);
   return out;
@@ -182,14 +191,11 @@ Result<ExecStats> Engine::ExecuteNaiveDom(const CompiledQuery& query,
                                           std::unique_ptr<ByteSource> input,
                                           std::ostream* out) const {
   auto start = std::chrono::steady_clock::now();
-  // Read the entire input (Galax-like engines buffer everything).
+  // Read the entire input (Galax-like engines buffer everything), waiting
+  // out any would-block stalls.
   std::string document;
-  char chunk[1 << 16];
-  uint64_t input_bytes = 0;
-  while (size_t n = input->Read(chunk, sizeof(chunk))) {
-    document.append(chunk, n);
-    input_bytes += n;
-  }
+  GCX_RETURN_IF_ERROR(ReadAll(input.get(), &document));
+  uint64_t input_bytes = document.size();
   GCX_ASSIGN_OR_RETURN(std::unique_ptr<DomDocument> doc,
                        ParseDom(document, query.options().scanner));
   XmlWriter writer(out);

@@ -131,12 +131,18 @@ class CompiledQuery {
   /// tree, rewritten query).
   std::string Explain() const { return impl_->analyzed.Explain(); }
 
+  /// Approximate resident size of this compilation in bytes (two AST
+  /// copies, analysis structures, canonical text). Computed once at
+  /// compile time; QueryCache's byte budget is accounted in these units.
+  size_t ApproxBytes() const { return impl_->approx_bytes; }
+
  private:
   struct Impl {
     AnalyzedQuery analyzed;
     Query parsed;
     EngineOptions options;
     std::string canonical_text;
+    size_t approx_bytes = 0;
   };
   CompiledQuery() = default;
   std::shared_ptr<const Impl> impl_;

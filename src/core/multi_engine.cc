@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <deque>
 #include <limits>
 #include <memory>
@@ -16,6 +17,7 @@
 #include "eval/evaluator.h"
 #include "eval/exec_context.h"
 #include "projection/merged_dfa.h"
+#include "xml/fd_source.h"
 #include "xml/writer.h"
 
 namespace gcx {
@@ -83,14 +85,16 @@ class SharedScanDemux {
 
   /// Delivers the next event for `ctx`, advancing the shared scanner when
   /// `ctx` is at the head of the log. Returns false once `ctx`'s projector
-  /// has consumed the end-of-document event.
+  /// has consumed the end-of-document event; returns WouldBlockStatus()
+  /// (with nothing delivered) when advancing the scanner stalled.
   Result<bool> PullFor(BatchQueryContext* ctx) {
     StreamProjector& projector = ctx->projector();
     if (projector.done()) return false;
     if (ctx->position == log_base_ + log_.size()) {
       // At the head and not done: end-of-document cannot be in the log yet.
       GCX_CHECK(!scan_done_);
-      GCX_RETURN_IF_ERROR(PumpOne());
+      GCX_ASSIGN_OR_RETURN(PumpState pumped, PumpOne());
+      if (pumped == PumpState::kStalled) return WouldBlockStatus();
     }
     const LogEvent& entry =
         log_[static_cast<size_t>(ctx->position - log_base_)];
@@ -112,6 +116,16 @@ class SharedScanDemux {
   XmlScanner& scanner() { return scanner_; }
   MergedDfa& merged() { return merged_; }
   SharedScanStats& stats() { return stats_; }
+  bool scan_done() const { return scan_done_; }
+
+  /// Pump-while-ready driver: advances the scan until the source stalls or
+  /// the end-of-document event enters the log. Never blocks.
+  Result<PumpState> PumpUntilStalledOrDone() {
+    while (true) {
+      GCX_ASSIGN_OR_RETURN(PumpState state, PumpOne());
+      if (state != PumpState::kEvent) return state;
+    }
+  }
 
  private:
   struct Frame {
@@ -129,34 +143,60 @@ class SharedScanDemux {
     uint32_t chunk = ByteArena::kNullChunk;
   };
 
-  /// Reads scanner events until one survives the prefilter into the log.
-  Status PumpOne() {
+  /// Reads scanner events until one survives the prefilter into the log
+  /// (kEvent), the scan completes (kDone), or the source stalls (kStalled —
+  /// the scanner rewound to the event boundary and every piece of demux
+  /// state, including an in-progress shared skip, resumes on the next
+  /// call). Never blocks.
+  Result<PumpState> PumpOne() {
     while (true) {
       XmlEvent event;
-      GCX_RETURN_IF_ERROR(scanner_.Next(&event));
+      Status next = scanner_.Next(&event);
+      if (IsWouldBlock(next)) return PumpState::kStalled;
+      GCX_RETURN_IF_ERROR(next);
       ++stats_.events_scanned;
+      if (skip_depth_ > 0) {
+        // Inside a subtree the prefilter rejected: consume, log nothing.
+        // The depth is demux state (not a local) so a stall mid-skip
+        // suspends and resumes exactly where it left off.
+        ++stats_.events_shared_skipped;
+        switch (event.kind) {
+          case XmlEvent::Kind::kStartElement:
+            ++skip_depth_;
+            break;
+          case XmlEvent::Kind::kEndElement:
+            --skip_depth_;
+            break;
+          case XmlEvent::Kind::kText:
+            break;
+          case XmlEvent::Kind::kEndOfDocument:
+            // Unreachable: the scanner enforces tag balance.
+            return EvalError("shared scan: unbalanced subtree skip");
+        }
+        continue;
+      }
       switch (event.kind) {
         case XmlEvent::Kind::kStartElement: {
           Frame& top = frames_.back();
-          MergedDfa::State* next = merged_.Transition(top.state, event.tag);
-          if (next->skippable && !top.state->any_child_sensitive &&
+          MergedDfa::State* next_state = merged_.Transition(top.state, event.tag);
+          if (next_state->skippable && !top.state->any_child_sensitive &&
               aggregate_cover_depth_ == 0) {
-            // Dead for every query: consume the subtree, log nothing.
+            // Dead for every query: skip the whole subtree.
             ++stats_.events_shared_skipped;
             ++stats_.shared_subtrees_skipped;
-            GCX_RETURN_IF_ERROR(SkipSubtree());
+            skip_depth_ = 1;
             continue;
           }
-          frames_.push_back({next, next->aggregate_entry});
-          if (next->aggregate_entry) ++aggregate_cover_depth_;
+          frames_.push_back({next_state, next_state->aggregate_entry});
+          if (next_state->aggregate_entry) ++aggregate_cover_depth_;
           Append(event);
-          return Status::Ok();
+          return PumpState::kEvent;
         }
         case XmlEvent::Kind::kEndElement: {
           if (frames_.back().aggregate_inc) --aggregate_cover_depth_;
           frames_.pop_back();
           Append(event);
-          return Status::Ok();
+          return PumpState::kEvent;
         }
         case XmlEvent::Kind::kText: {
           if (!frames_.back().state->any_text_actions &&
@@ -165,41 +205,16 @@ class SharedScanDemux {
             continue;  // no query assigns roles to this text node
           }
           Append(event);
-          return Status::Ok();
+          return PumpState::kEvent;
         }
         case XmlEvent::Kind::kEndOfDocument: {
           scan_done_ = true;
           stats_.bytes_scanned = scanner_.bytes_consumed();
           Append(event);
-          return Status::Ok();
+          return PumpState::kDone;
         }
       }
     }
-  }
-
-  /// Consumes a subtree whose start element the prefilter rejected.
-  Status SkipSubtree() {
-    uint64_t depth = 1;
-    while (depth > 0) {
-      XmlEvent event;
-      GCX_RETURN_IF_ERROR(scanner_.Next(&event));
-      ++stats_.events_scanned;
-      ++stats_.events_shared_skipped;
-      switch (event.kind) {
-        case XmlEvent::Kind::kStartElement:
-          ++depth;
-          break;
-        case XmlEvent::Kind::kEndElement:
-          --depth;
-          break;
-        case XmlEvent::Kind::kText:
-          break;
-        case XmlEvent::Kind::kEndOfDocument:
-          // Unreachable: the scanner enforces tag balance.
-          return EvalError("shared scan: unbalanced subtree skip");
-      }
-    }
-    return Status::Ok();
   }
 
   void Append(const XmlEvent& event) {
@@ -237,6 +252,7 @@ class SharedScanDemux {
   MergedDfa merged_;
   std::vector<Frame> frames_;
   uint64_t aggregate_cover_depth_ = 0;
+  uint64_t skip_depth_ = 0;  ///< >0: inside a shared fast-skipped subtree
   ByteArena arena_;
   std::deque<LogEvent> log_;
   uint64_t log_base_ = 0;  ///< global index of log_.front()
@@ -245,7 +261,65 @@ class SharedScanDemux {
   SharedScanStats stats_;
 };
 
-Result<bool> BatchQueryContext::Pull() { return demux_->PullFor(this); }
+Result<bool> BatchQueryContext::Pull() {
+  // The synchronous Execute path cannot suspend its evaluator, so a stall
+  // becomes a readiness wait + retry (PullFor delivered nothing and the
+  // scanner rewound, so the retry is exact). The resumable MultiQueryRun
+  // never reaches this: it evaluates only once the log is complete.
+  while (true) {
+    Result<bool> more = demux_->PullFor(this);
+    if (more.ok() || !IsWouldBlock(more.status())) return more;
+    WaitReadable(demux_->scanner().ReadyFd(), /*timeout_ms=*/-1);
+  }
+}
+
+/// Evaluates one batched query to completion (materialized-projection
+/// pre-pull, evaluator run, detach, per-query stats). Shared between the
+/// synchronous Execute path and the resumable MultiQueryRun.
+Result<ExecStats> EvaluateOne(const CompiledQuery& query,
+                              BatchQueryContext& ctx, SharedScanDemux& demux,
+                              std::ostream* out, EngineMode mode) {
+  auto start = std::chrono::steady_clock::now();
+
+  if (mode == EngineMode::kMaterializedProjection) {
+    // Static projection: materialize this query's projected document
+    // completely (replaying the shared log), then evaluate on it.
+    while (true) {
+      GCX_ASSIGN_OR_RETURN(bool more, ctx.Pull());
+      if (!more) break;
+    }
+  }
+
+  XmlWriter writer(out);
+  EvalOptions eval_options;
+  eval_options.execute_signoffs =
+      query.options().enable_gc && mode == EngineMode::kStreaming;
+  Evaluator evaluator(&query.analyzed(), &ctx, &writer, eval_options);
+  GCX_RETURN_IF_ERROR(evaluator.Run());
+  // Freeze this query's pipeline exactly where a solo run would have
+  // stopped pulling; later queries continue the shared scan without it.
+  demux.Detach(&ctx);
+
+  ExecStats stats;
+  stats.buffer = ctx.buffer().stats();
+  stats.projector = ctx.projector().stats();
+  stats.peak_bytes = stats.buffer.bytes_peak;
+  stats.output_bytes = writer.bytes_written();
+  stats.dfa_states = ctx.projector().dfa().num_states();
+  stats.scan_passes = 0;  // the batch's one pass is in result.shared
+  stats.events_delivered = stats.projector.events_read;
+  stats.live_roles_final = ctx.buffer().live_role_instances();
+  stats.buffer_nodes_final = stats.buffer.nodes_current;
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (eval_options.execute_signoffs) {
+    // Paper requirement (2), per batched query: every assigned role was
+    // removed again.
+    GCX_CHECK(ctx.buffer().live_role_instances() == 0);
+  }
+  return stats;
+}
 
 Status ValidateBatch(const std::vector<const CompiledQuery*>& queries,
                      const std::vector<std::ostream*>& outs) {
@@ -336,47 +410,9 @@ Result<MultiQueryStats> MultiQueryEngine::ExecuteStreamingBatch(
   MultiQueryStats result;
   result.projection = SummarizeMergedProjection(trees);
   for (size_t i = 0; i < queries.size(); ++i) {
-    auto start = std::chrono::steady_clock::now();
-    const CompiledQuery& query = *queries[i];
-    BatchQueryContext& ctx = *contexts[i];
-
-    if (mode == EngineMode::kMaterializedProjection) {
-      // Static projection: materialize this query's projected document
-      // completely (replaying the shared log), then evaluate on it.
-      while (true) {
-        GCX_ASSIGN_OR_RETURN(bool more, ctx.Pull());
-        if (!more) break;
-      }
-    }
-
-    XmlWriter writer(outs[i]);
-    EvalOptions eval_options;
-    eval_options.execute_signoffs =
-        query.options().enable_gc && mode == EngineMode::kStreaming;
-    Evaluator evaluator(&query.analyzed(), &ctx, &writer, eval_options);
-    GCX_RETURN_IF_ERROR(evaluator.Run());
-    // Freeze this query's pipeline exactly where a solo run would have
-    // stopped pulling; later queries continue the shared scan without it.
-    demux.Detach(&ctx);
-
-    ExecStats stats;
-    stats.buffer = ctx.buffer().stats();
-    stats.projector = ctx.projector().stats();
-    stats.peak_bytes = stats.buffer.bytes_peak;
-    stats.output_bytes = writer.bytes_written();
-    stats.dfa_states = ctx.projector().dfa().num_states();
-    stats.scan_passes = 0;  // the batch's one pass is in result.shared
-    stats.events_delivered = stats.projector.events_read;
-    stats.live_roles_final = ctx.buffer().live_role_instances();
-    stats.buffer_nodes_final = stats.buffer.nodes_current;
-    stats.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
-    if (eval_options.execute_signoffs) {
-      // Paper requirement (2), per batched query: every assigned role was
-      // removed again.
-      GCX_CHECK(ctx.buffer().live_role_instances() == 0);
-    }
+    GCX_ASSIGN_OR_RETURN(
+        ExecStats stats,
+        EvaluateOne(*queries[i], *contexts[i], demux, outs[i], mode));
     result.per_query.push_back(stats);
   }
 
@@ -393,12 +429,8 @@ Result<MultiQueryStats> MultiQueryEngine::ExecuteDomBatch(
     const std::vector<std::ostream*>& outs) const {
   // Read the input and build the DOM once; every query shares it.
   std::string document;
-  char chunk[1 << 16];
-  uint64_t input_bytes = 0;
-  while (size_t n = input->Read(chunk, sizeof(chunk))) {
-    document.append(chunk, n);
-    input_bytes += n;
-  }
+  GCX_RETURN_IF_ERROR(ReadAll(input.get(), &document));
+  uint64_t input_bytes = document.size();
   GCX_ASSIGN_OR_RETURN(
       std::unique_ptr<DomDocument> doc,
       ParseDom(document, queries.front()->options().scanner));
@@ -430,6 +462,165 @@ Result<MultiQueryStats> MultiQueryEngine::ExecuteDomBatch(
   result.shared.scan_passes = 1;
   result.shared.bytes_scanned = input_bytes;
   return result;
+}
+
+// --- MultiQueryRun: resumable pump-while-ready execution ---------------------
+
+struct MultiQueryRun::Impl {
+  std::vector<const CompiledQuery*> queries;
+  std::vector<std::ostream*> outs;
+  EngineMode mode = EngineMode::kStreaming;
+  State state = State::kRunnable;
+  Status error;
+
+  // Streaming / materialized-projection machinery (null in kNaiveDom).
+  SymbolTable tags;
+  std::unique_ptr<SharedScanDemux> demux;
+  std::vector<std::unique_ptr<BatchQueryContext>> contexts;
+  std::vector<const ProjectionTree*> trees;
+
+  // kNaiveDom: the document accumulates here until EOF, then one
+  // MultiQueryEngine::Execute over the buffered string does the rest.
+  std::unique_ptr<ByteSource> dom_source;
+  std::string dom_buffer;
+
+  MultiQueryStats stats;
+  bool stats_taken = false;
+
+  void Fail(Status status) {
+    error = std::move(status);
+    state = State::kFailed;
+  }
+};
+
+MultiQueryRun::MultiQueryRun(std::vector<const CompiledQuery*> queries,
+                             std::unique_ptr<ByteSource> input,
+                             std::vector<std::ostream*> outs)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->queries = std::move(queries);
+  impl_->outs = std::move(outs);
+  Status valid = ValidateBatch(impl_->queries, impl_->outs);
+  if (!valid.ok()) {
+    impl_->Fail(std::move(valid));
+    return;
+  }
+  impl_->mode = impl_->queries.front()->options().mode;
+  if (impl_->mode == EngineMode::kNaiveDom) {
+    impl_->dom_source = std::move(input);
+    return;
+  }
+
+  std::vector<MergedDfaInput> dfa_inputs;
+  for (const CompiledQuery* query : impl_->queries) {
+    dfa_inputs.push_back(
+        {&query->analyzed().projection, &query->analyzed().roles});
+    impl_->trees.push_back(&query->analyzed().projection);
+  }
+  impl_->demux = std::make_unique<SharedScanDemux>(
+      std::move(input), impl_->queries.front()->options().scanner,
+      &impl_->tags, dfa_inputs);
+  for (const CompiledQuery* query : impl_->queries) {
+    auto ctx = std::make_unique<BatchQueryContext>(&query->analyzed(),
+                                                   &impl_->tags,
+                                                   impl_->demux.get());
+    if (!query->options().enable_gc ||
+        impl_->mode == EngineMode::kMaterializedProjection) {
+      ctx->buffer().set_gc_enabled(false);
+    }
+    impl_->demux->Register(ctx.get());
+    impl_->contexts.push_back(std::move(ctx));
+  }
+}
+
+MultiQueryRun::~MultiQueryRun() = default;
+
+MultiQueryRun::State MultiQueryRun::Step() {
+  Impl& im = *impl_;
+  if (im.state == State::kDone || im.state == State::kFailed) return im.state;
+
+  if (im.mode == EngineMode::kNaiveDom) {
+    char chunk[1 << 16];
+    while (true) {
+      ByteSource::ReadResult r = im.dom_source->Read(chunk, sizeof(chunk));
+      if (r.state == ByteSource::ReadState::kWouldBlock) {
+        im.state = State::kStalled;
+        return im.state;
+      }
+      if (r.state == ByteSource::ReadState::kOk) {
+        im.dom_buffer.append(chunk, r.bytes);
+        continue;
+      }
+      if (r.state == ByteSource::ReadState::kError) {
+        im.Fail(IoError(std::string("source read error: ") +
+                        std::strerror(r.error)));
+        return im.state;
+      }
+      break;  // EOF: the document is complete
+    }
+    MultiQueryEngine engine;
+    Result<MultiQueryStats> stats =
+        engine.Execute(im.queries, std::string_view(im.dom_buffer), im.outs);
+    if (!stats.ok()) {
+      im.Fail(stats.status());
+      return im.state;
+    }
+    im.stats = std::move(stats).value();
+    im.state = State::kDone;
+    return im.state;
+  }
+
+  // Pump phase: advance the shared scan while the source is ready.
+  Result<PumpState> pumped = im.demux->PumpUntilStalledOrDone();
+  if (!pumped.ok()) {
+    im.Fail(pumped.status());
+    return im.state;
+  }
+  if (*pumped == PumpState::kStalled) {
+    im.state = State::kStalled;
+    return im.state;
+  }
+
+  // Scan complete: the replay log holds the full union-projected stream,
+  // so no evaluator can stall. Run them all.
+  im.stats.projection = SummarizeMergedProjection(im.trees);
+  for (size_t i = 0; i < im.queries.size(); ++i) {
+    Result<ExecStats> stats =
+        EvaluateOne(*im.queries[i], *im.contexts[i], *im.demux, im.outs[i],
+                    im.mode);
+    if (!stats.ok()) {
+      im.Fail(stats.status());
+      return im.state;
+    }
+    im.stats.per_query.push_back(std::move(stats).value());
+  }
+  im.stats.shared = im.demux->stats();
+  im.stats.shared.scan_passes = 1;
+  im.stats.shared.bytes_scanned = im.demux->scanner().bytes_consumed();
+  im.stats.shared.merged_dfa_states = im.demux->merged().num_states();
+  im.state = State::kDone;
+  return im.state;
+}
+
+MultiQueryRun::State MultiQueryRun::state() const { return impl_->state; }
+
+Status MultiQueryRun::status() const {
+  return impl_->state == State::kFailed ? impl_->error : Status::Ok();
+}
+
+int MultiQueryRun::ReadyFd() const {
+  const Impl& im = *impl_;
+  if (im.mode == EngineMode::kNaiveDom) {
+    return im.dom_source != nullptr ? im.dom_source->ReadyFd() : -1;
+  }
+  return im.demux != nullptr ? im.demux->scanner().ReadyFd() : -1;
+}
+
+Result<MultiQueryStats> MultiQueryRun::TakeStats() {
+  Impl& im = *impl_;
+  if (im.state == State::kFailed) return im.error;
+  GCX_CHECK(im.state == State::kDone && !im.stats_taken);
+  im.stats_taken = true;
+  return std::move(im.stats);
 }
 
 }  // namespace gcx

@@ -85,6 +85,14 @@ bool BatchCompatibleOptions(const EngineOptions& a, const EngineOptions& b);
 /// batch-compatible iff their fingerprints are equal.
 std::string BatchCompatibilityFingerprint(const EngineOptions& options);
 
+/// Outcome of pumping the shared scan (SharedScanDemux::PumpOne and the
+/// resumable MultiQueryRun report progress in these terms).
+enum class PumpState {
+  kEvent,    ///< one event entered the replay log
+  kStalled,  ///< the source would block — resume when it is readable
+  kDone,     ///< end-of-document reached the log; the scan is complete
+};
+
 /// Batched execution façade. All queries of a batch must have been compiled
 /// with the same EngineMode and scanner options (analysis toggles may
 /// differ per query); Execute rejects mixed batches.
@@ -117,6 +125,63 @@ class MultiQueryEngine {
       const std::vector<const CompiledQuery*>& queries,
       std::unique_ptr<ByteSource> input,
       const std::vector<std::ostream*>& outs) const;
+};
+
+/// Resumable batched execution over a readiness-aware source: the control
+/// flow is inverted from Execute's "pull until EOF" to "pump while ready".
+///
+/// Step() advances the shared scan while the source produces data. When the
+/// source reports would-block, Step returns kStalled WITHOUT blocking — the
+/// caller (typically the admission scheduler) parks this run, works on
+/// other batches, and calls Step again once ReadyFd() is readable. When the
+/// scan completes, Step runs every evaluator — the replay log is complete
+/// at that point, so evaluation can never stall — writes all outputs, and
+/// returns kDone.
+///
+/// Compared with MultiQueryEngine::Execute (evaluator-driven pull), the
+/// replay log here always buffers the complete union-projected stream
+/// before the first evaluator runs. For batches of N >= 2 that is the same
+/// peak the pull path reaches in practice (queries behind the head pin the
+/// log tail until they evaluate); a solo batch pays the full log where the
+/// pull path trims as it goes — the scheduler only routes stall-capable
+/// sources through here, so always-ready singletons keep the cheap path.
+class MultiQueryRun {
+ public:
+  enum class State {
+    kRunnable,  ///< work available now — call Step()
+    kStalled,   ///< source would block: wait on ReadyFd(), then Step again
+    kDone,      ///< every query evaluated; TakeStats() is ready
+    kFailed,    ///< execution failed; status() carries the error
+  };
+
+  /// Validates like MultiQueryEngine::Execute; on a validation error the
+  /// run starts in kFailed with status() set. All three engine modes are
+  /// supported (kNaiveDom drains the source incrementally and parses once
+  /// at EOF).
+  MultiQueryRun(std::vector<const CompiledQuery*> queries,
+                std::unique_ptr<ByteSource> input,
+                std::vector<std::ostream*> outs);
+  ~MultiQueryRun();
+
+  MultiQueryRun(const MultiQueryRun&) = delete;
+  MultiQueryRun& operator=(const MultiQueryRun&) = delete;
+
+  /// Pumps until the source stalls, the run fails, or everything is done
+  /// (in which case the evaluators have already run). Calling Step on a
+  /// stalled run simply retries the read; on a finished run it is a no-op.
+  State Step();
+
+  State state() const;
+  /// The execution error when state() == kFailed.
+  Status status() const;
+  /// The source's readiness descriptor (-1: not pollable, just retry).
+  int ReadyFd() const;
+  /// Moves the collected statistics out; valid exactly once, after kDone.
+  Result<MultiQueryStats> TakeStats();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace gcx

@@ -31,6 +31,12 @@ namespace {
 /// beyond the cap still resolve — they just re-pay the parse.
 constexpr size_t kMaxAliasesPerEntry = 8;
 
+/// Negative entries store their full key (fingerprint + query text); cap
+/// what one broken submission may pin so a stream of multi-megabyte
+/// garbage queries cannot hold negative_capacity × huge-text resident
+/// outside the byte budget. Oversized failures simply re-pay the parse.
+constexpr size_t kMaxNegativeKeyBytes = 4096;
+
 /// One key namespace for both tiers: fingerprint, separator, text. '\n'
 /// cannot appear in a fingerprint, so keys are unambiguous.
 std::string MakeKey(const std::string& fingerprint, std::string_view text) {
@@ -46,6 +52,7 @@ std::string MakeKey(const std::string& fingerprint, std::string_view text) {
 QueryCache::QueryCache(QueryCacheOptions options) : options_(options) {
   GCX_CHECK(options_.capacity >= 1);
   stats_.capacity = options_.capacity;
+  stats_.max_bytes = options_.max_bytes;
 }
 
 CompiledQuery QueryCache::Touch(EntryList::iterator it) {
@@ -54,14 +61,22 @@ CompiledQuery QueryCache::Touch(EntryList::iterator it) {
 }
 
 void QueryCache::EvictToCapacity() {
-  while (lru_.size() > options_.capacity) {
+  // Two limits, one policy: evict LRU-first while over the entry cap, then
+  // while over the byte budget — but never the MRU entry, so one oversized
+  // compilation still caches instead of thrashing.
+  while (lru_.size() > options_.capacity ||
+         (options_.max_bytes > 0 && bytes_resident_ > options_.max_bytes &&
+          lru_.size() > 1)) {
+    if (lru_.size() <= options_.capacity) ++stats_.byte_evictions;
     Entry& victim = lru_.back();
     index_.erase(victim.canonical_key);
     for (const std::string& alias : victim.alias_keys) index_.erase(alias);
+    bytes_resident_ -= victim.bytes;
     lru_.pop_back();
     ++stats_.evictions;
   }
   stats_.entries = lru_.size();
+  stats_.bytes_resident = bytes_resident_;
 }
 
 CompiledQuery QueryCache::Insert(std::string canonical_key,
@@ -75,20 +90,72 @@ CompiledQuery QueryCache::Insert(std::string canonical_key,
     if (exact_key != canonical_key &&
         existing->second->alias_keys.size() < kMaxAliasesPerEntry &&
         index_.find(exact_key) == index_.end()) {
+      existing->second->bytes += exact_key.size();
+      bytes_resident_ += exact_key.size();
       existing->second->alias_keys.push_back(exact_key);
       index_.emplace(std::move(exact_key), existing->second);
     }
-    return Touch(existing->second);
+    CompiledQuery query = Touch(existing->second);
+    // The alias bytes may have pushed the total over the budget; evict
+    // now (Touch already moved this entry to the protected MRU slot).
+    EvictToCapacity();
+    return query;
   }
-  lru_.push_front(Entry{canonical_key, {}, std::move(compiled)});
+  size_t bytes =
+      sizeof(Entry) + canonical_key.size() + compiled.ApproxBytes();
+  lru_.push_front(Entry{canonical_key, {}, std::move(compiled), bytes});
   auto it = lru_.begin();
   index_.emplace(std::move(canonical_key), it);
   if (exact_key != it->canonical_key) {
+    it->bytes += exact_key.size();
+    bytes += exact_key.size();
     it->alias_keys.push_back(exact_key);
     index_.emplace(std::move(exact_key), it);
   }
+  bytes_resident_ += bytes;
   EvictToCapacity();
   return it->query;
+}
+
+bool QueryCache::ProbeNegative(const std::string& key, Status* error) {
+  auto it = negative_index_.find(key);
+  if (it == negative_index_.end()) return false;
+  if (std::chrono::steady_clock::now() >= it->second->expiry) {
+    DropNegative(it->second);
+    ++stats_.negative_evictions;
+    return false;
+  }
+  negative_lru_.splice(negative_lru_.begin(), negative_lru_, it->second);
+  *error = it->second->error;
+  return true;
+}
+
+void QueryCache::InsertNegative(const std::string& key, const Status& error) {
+  if (options_.negative_capacity == 0) return;
+  if (key.size() > kMaxNegativeKeyBytes) return;
+  auto expiry = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(options_.negative_ttl_ms);
+  auto it = negative_index_.find(key);
+  if (it != negative_index_.end()) {
+    it->second->error = error;
+    it->second->expiry = expiry;
+    negative_lru_.splice(negative_lru_.begin(), negative_lru_, it->second);
+    return;
+  }
+  negative_lru_.push_front(NegativeEntry{key, error, expiry});
+  negative_index_.emplace(key, negative_lru_.begin());
+  while (negative_lru_.size() > options_.negative_capacity) {
+    negative_index_.erase(negative_lru_.back().key);
+    negative_lru_.pop_back();
+    ++stats_.negative_evictions;
+  }
+  stats_.negative_entries = negative_lru_.size();
+}
+
+void QueryCache::DropNegative(NegativeList::iterator it) {
+  negative_index_.erase(it->key);
+  negative_lru_.erase(it);
+  stats_.negative_entries = negative_lru_.size();
 }
 
 Result<CompiledQuery> QueryCache::GetOrCompile(std::string_view text,
@@ -105,6 +172,12 @@ Result<CompiledQuery> QueryCache::GetOrCompile(std::string_view text,
     if (it != index_.end()) {
       ++stats_.hits;
       return Touch(it->second);
+    }
+    // Negative tier: a fresh remembered failure answers without parsing.
+    Status cached_error;
+    if (ProbeNegative(exact_key, &cached_error)) {
+      ++stats_.negative_hits;
+      return cached_error;
     }
     auto in = inflight_.find(exact_key);
     if (in != inflight_.end()) {
@@ -134,6 +207,7 @@ Result<CompiledQuery> QueryCache::GetOrCompile(std::string_view text,
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.misses;
     ++stats_.compile_errors;
+    InsertNegative(exact_key, parsed.status());
   } else {
     std::string canonical_key = MakeKey(fingerprint, PrintQuery(*parsed));
     {
@@ -143,11 +217,25 @@ Result<CompiledQuery> QueryCache::GetOrCompile(std::string_view text,
         ++stats_.canonical_hits;
         if (it->second->alias_keys.size() < kMaxAliasesPerEntry &&
             index_.find(exact_key) == index_.end()) {
+          it->second->bytes += exact_key.size();
+          bytes_resident_ += exact_key.size();
           it->second->alias_keys.push_back(exact_key);
           index_.emplace(exact_key, it->second);
         }
         outcome = Touch(it->second);
+        EvictToCapacity();  // alias bytes count against the budget too
         resolved = true;
+      } else {
+        // Negative canonical tier: a formatting variant of a remembered
+        // failure fails fast here (the parse was paid, the analysis is
+        // not); remember the new spelling under its exact key too.
+        Status cached_error;
+        if (ProbeNegative(canonical_key, &cached_error)) {
+          ++stats_.negative_hits;
+          InsertNegative(exact_key, cached_error);
+          outcome = cached_error;
+          resolved = true;
+        }
       }
     }
     if (!resolved) {
@@ -163,6 +251,10 @@ Result<CompiledQuery> QueryCache::GetOrCompile(std::string_view text,
                          std::move(compiled).value());
       } else {
         ++stats_.compile_errors;
+        InsertNegative(canonical_key, compiled.status());
+        if (exact_key != canonical_key) {
+          InsertNegative(exact_key, compiled.status());
+        }
         outcome = compiled.status();
       }
       resolved = true;
@@ -194,6 +286,8 @@ QueryCacheStats QueryCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   QueryCacheStats out = stats_;
   out.entries = lru_.size();
+  out.negative_entries = negative_lru_.size();
+  out.bytes_resident = bytes_resident_;
   return out;
 }
 
@@ -201,7 +295,12 @@ void QueryCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
+  negative_lru_.clear();
+  negative_index_.clear();
+  bytes_resident_ = 0;
   stats_.entries = 0;
+  stats_.negative_entries = 0;
+  stats_.bytes_resident = 0;
 }
 
 }  // namespace gcx

@@ -25,10 +25,23 @@
 // block on the latch and receive the same compilation. The compile itself
 // runs outside the cache lock, so a slow compilation never stalls lookups
 // of other keys.
+//
+// Server hardening (PR 5):
+//   * Negative-result caching — failed compilations are remembered in a
+//     separate LRU keyed like successes (exact text, plus canonical when
+//     the text parsed), each entry carrying the error and a TTL. A
+//     misbehaving client re-submitting a broken query is answered from the
+//     cache instead of re-paying the parse on every request; the TTL
+//     bounds how long a transiently-bad query keeps failing fast.
+//   * Byte budget — capacity used to be entry-count only; entries now
+//     carry the compilation's ApproxBytes() and an optional max_bytes
+//     budget evicts LRU entries whenever the resident total exceeds it
+//     (the MRU entry always stays, so one oversized query still caches).
 
 #ifndef GCX_CORE_QUERY_CACHE_H_
 #define GCX_CORE_QUERY_CACHE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <list>
@@ -53,21 +66,39 @@ struct QueryCacheOptions {
   /// Maximum resident compilations; least-recently-used entries are evicted
   /// beyond it. Must be >= 1.
   size_t capacity = 64;
+  /// Approximate byte budget for resident compilations, in
+  /// CompiledQuery::ApproxBytes units (0 = unlimited). Enforced alongside
+  /// the count cap; the MRU entry is never evicted by the budget.
+  uint64_t max_bytes = 0;
+  /// Negative-result cache: maximum remembered compile failures
+  /// (0 disables negative caching entirely).
+  size_t negative_capacity = 64;
+  /// How long a cached compile failure keeps answering before the text is
+  /// re-tried for real. 0 = entries expire immediately (useful in tests).
+  int64_t negative_ttl_ms = 30000;
 };
 
-/// Counters (monotonic since construction, except `entries`).
+/// Counters (monotonic since construction, except the `*entries`/`bytes`
+/// snapshots).
 struct QueryCacheStats {
   uint64_t lookups = 0;         ///< GetOrCompile calls
   uint64_t hits = 0;            ///< exact-text hits (no parse)
   uint64_t canonical_hits = 0;  ///< formatting variants aliased after a parse
   uint64_t misses = 0;          ///< neither tier matched
   uint64_t compiles = 0;        ///< full pipeline runs (== misses that parsed)
-  uint64_t compile_errors = 0;  ///< failed compilations (never cached)
+  uint64_t compile_errors = 0;  ///< failed compilations (first-hand, not
+                                ///< served from the negative cache)
   uint64_t coalesced = 0;       ///< lookups that waited on another thread's
                                 ///< in-flight compile of the same key
   uint64_t evictions = 0;       ///< entries dropped by the LRU policy
+  uint64_t byte_evictions = 0;  ///< evictions forced by the byte budget
+  uint64_t negative_hits = 0;   ///< failures answered from the negative cache
+  uint64_t negative_evictions = 0;  ///< negative entries dropped (LRU or TTL)
   size_t entries = 0;           ///< current resident compilations
   size_t capacity = 0;
+  size_t negative_entries = 0;  ///< current resident compile failures
+  uint64_t bytes_resident = 0;  ///< approximate bytes of resident entries
+  uint64_t max_bytes = 0;       ///< configured byte budget (0 = unlimited)
 };
 
 /// Thread-safe LRU cache of CompiledQuery by (query text, engine options).
@@ -95,8 +126,17 @@ class QueryCache {
     std::string canonical_key;
     std::vector<std::string> alias_keys;  ///< exact-text keys → this entry
     CompiledQuery query;
+    size_t bytes = 0;  ///< approximate residency (keys + compilation)
   };
   using EntryList = std::list<Entry>;
+
+  /// One remembered compile failure (negative cache).
+  struct NegativeEntry {
+    std::string key;
+    Status error;
+    std::chrono::steady_clock::time_point expiry;
+  };
+  using NegativeList = std::list<NegativeEntry>;
 
   /// One in-flight compilation; latecomers block on `cv`.
   struct InFlight {
@@ -114,11 +154,22 @@ class QueryCache {
                        CompiledQuery compiled);
   void EvictToCapacity();
 
+  // Negative cache helpers; caller holds mu_.
+  /// Returns true (and fills `*error`) when a fresh failure is cached
+  /// under `key`; an expired entry is dropped on probe.
+  bool ProbeNegative(const std::string& key, Status* error);
+  /// Remembers `error` under `key` with the configured TTL.
+  void InsertNegative(const std::string& key, const Status& error);
+  void DropNegative(NegativeList::iterator it);
+
   mutable std::mutex mu_;
   QueryCacheOptions options_;
   EntryList lru_;  ///< front = most recently used
   std::unordered_map<std::string, EntryList::iterator> index_;
   std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
+  NegativeList negative_lru_;  ///< front = most recently used
+  std::unordered_map<std::string, NegativeList::iterator> negative_index_;
+  uint64_t bytes_resident_ = 0;
   QueryCacheStats stats_;
 };
 

@@ -21,6 +21,7 @@
 #include "common/status.h"
 #include "common/symbol_table.h"
 #include "projection/projector.h"
+#include "xml/fd_source.h"
 #include "xml/scanner.h"
 
 namespace gcx {
@@ -63,7 +64,19 @@ class StreamExecContext final : public ExecContext {
   StreamProjector& projector() { return projector_; }
   XmlScanner& scanner() { return scanner_; }
 
-  Result<bool> Pull() override { return projector_.Advance(); }
+  /// The evaluator cannot suspend mid-expression, so the solo loop turns a
+  /// would-block from the (resumable) scanner into a readiness wait and
+  /// retries: the scanner rewound to the event boundary, Advance() is
+  /// side-effect-free on would-block, and the event stream stays
+  /// byte-identical to a blocking source. Interleaving across stalls
+  /// happens one level up, in the admission scheduler (core/admission.h).
+  Result<bool> Pull() override {
+    while (true) {
+      Result<bool> more = projector_.Advance();
+      if (more.ok() || !IsWouldBlock(more.status())) return more;
+      WaitReadable(scanner_.ReadyFd(), /*timeout_ms=*/-1);
+    }
+  }
 
  private:
   SymbolTable tags_;

@@ -1,0 +1,129 @@
+#include "xml/fd_source.h"
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sched.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace gcx {
+
+FdSource::FdSource(int fd, bool owns_fd) : fd_(fd), owns_fd_(owns_fd) {
+  GCX_CHECK(fd_ >= 0);
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags >= 0 && (flags & O_NONBLOCK) == 0) {
+    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  }
+  // Regular files never return EAGAIN: report them as always ready so
+  // consumers keep their cheap non-parking paths (see ReadyFd()).
+  struct stat st;
+  if (::fstat(fd_, &st) == 0 && S_ISREG(st.st_mode)) pollable_ = false;
+}
+
+FdSource::~FdSource() {
+  if (owns_fd_ && fd_ >= 0) ::close(fd_);
+}
+
+ByteSource::ReadResult FdSource::Read(char* buffer, size_t capacity) {
+  if (eof_ || capacity == 0) return ReadResult::Eof();
+  while (true) {
+    ssize_t n = ::read(fd_, buffer, capacity);
+    if (n > 0) return ReadResult::Ok(static_cast<size_t>(n));
+    if (n == 0) {
+      eof_ = true;
+      return ReadResult::Eof();
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return ReadResult::WouldBlock();
+    }
+    if (errno == EINTR) continue;
+    // Hard read error (reset connection, I/O failure): there will never
+    // be more data. Report it as kError with the errno — consumers
+    // surface the cause instead of mistaking the truncation for EOF.
+    eof_ = true;
+    return ReadResult::Error(errno);
+  }
+}
+
+Result<std::unique_ptr<FdSource>> FdSource::Open(const std::string& path) {
+  // Deliberately a BLOCKING open: on a FIFO it waits until the first
+  // writer connects. An O_NONBLOCK open would return immediately, and a
+  // read on a writer-less FIFO yields 0 (EOF, not EAGAIN) — racing the
+  // writer's own open() and mistaking "no writer yet" for an empty
+  // stream. The constructor switches the fd to O_NONBLOCK for the reads,
+  // where EOF is unambiguous (a writer existed and closed).
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return IoError("cannot open '" + path + "': " + std::strerror(errno));
+  }
+  return std::make_unique<FdSource>(fd);
+}
+
+bool WaitReadable(int fd, int timeout_ms) {
+  if (fd < 0) {
+    // Not pollable: yield so a producer thread can run, then let the caller
+    // retry. This turns the wait into a polite spin.
+    ::sched_yield();
+    return true;
+  }
+  struct pollfd p;
+  p.fd = fd;
+  p.events = POLLIN;
+  p.revents = 0;
+  while (true) {
+    int r = ::poll(&p, 1, timeout_ms);
+    if (r > 0) return true;  // readable, hung up or errored: Read proceeds
+    if (r == 0) return false;
+    if (errno != EINTR) return true;  // unexpected poll failure: just retry
+  }
+}
+
+bool WaitAnyReadable(const std::vector<int>& fds, int timeout_ms) {
+  std::vector<struct pollfd> polls;
+  polls.reserve(fds.size());
+  for (int fd : fds) {
+    if (fd < 0) {
+      ::sched_yield();
+      return true;
+    }
+    polls.push_back({fd, POLLIN, 0});
+  }
+  if (polls.empty()) {
+    ::sched_yield();
+    return true;
+  }
+  while (true) {
+    int r = ::poll(polls.data(), polls.size(), timeout_ms);
+    if (r > 0) return true;
+    if (r == 0) return false;
+    if (errno != EINTR) return true;
+  }
+}
+
+Status ReadAll(ByteSource* source, std::string* out) {
+  char chunk[1 << 16];
+  while (true) {
+    ByteSource::ReadResult r = source->Read(chunk, sizeof(chunk));
+    switch (r.state) {
+      case ByteSource::ReadState::kOk:
+        out->append(chunk, r.bytes);
+        break;
+      case ByteSource::ReadState::kWouldBlock:
+        WaitReadable(source->ReadyFd(), /*timeout_ms=*/-1);
+        break;
+      case ByteSource::ReadState::kEof:
+        return Status::Ok();
+      case ByteSource::ReadState::kError:
+        return IoError(std::string("source read error: ") +
+                       std::strerror(r.error));
+    }
+  }
+}
+
+}  // namespace gcx

@@ -15,6 +15,10 @@ namespace gcx {
 namespace {
 constexpr size_t kBufferSize = 1 << 16;
 
+// Peek/Get sentinels: end of input vs. no input *yet*.
+constexpr int kEofChar = -1;
+constexpr int kNoDataChar = -2;
+
 // Locale-free character classes (std::isalnum is an out-of-line,
 // locale-aware call — far too heavy for a per-byte loop).
 struct NameCharTable {
@@ -35,16 +39,18 @@ bool IsNameStart(int c) { return c >= 0 && kNameChars.start[c & 0xFF]; }
 bool IsNameChar(int c) { return c >= 0 && kNameChars.part[c & 0xFF]; }
 }  // namespace
 
-size_t StringSource::Read(char* buffer, size_t capacity) {
+ByteSource::ReadResult StringSource::Read(char* buffer, size_t capacity) {
   size_t n = std::min(capacity, data_.size() - pos_);
+  if (n == 0) return ReadResult::Eof();
   std::memcpy(buffer, data_.data() + pos_, n);
   pos_ += n;
-  return n;
+  return ReadResult::Ok(n);
 }
 
-size_t IstreamSource::Read(char* buffer, size_t capacity) {
+ByteSource::ReadResult IstreamSource::Read(char* buffer, size_t capacity) {
   stream_->read(buffer, static_cast<std::streamsize>(capacity));
-  return static_cast<size_t>(stream_->gcount());
+  size_t n = static_cast<size_t>(stream_->gcount());
+  return n > 0 ? ReadResult::Ok(n) : ReadResult::Eof();
 }
 
 XmlScanner::XmlScanner(std::unique_ptr<ByteSource> source,
@@ -57,19 +63,60 @@ XmlScanner::XmlScanner(std::unique_ptr<ByteSource> source,
   spill_.reserve(256);
 }
 
-bool XmlScanner::Refill() {
-  if (source_eof_) return false;
-  buf_pos_ = 0;
-  buf_end_ = source_->Read(buffer_.data(), buffer_.size());
-  if (buf_end_ == 0) {
-    source_eof_ = true;
-    return false;
+XmlScanner::Fill XmlScanner::Refill() {
+  if (source_eof_) return Fill::kEof;
+  // Keep the in-progress scan cycle's bytes [cycle_pos_, buf_end_): a
+  // would-block later in the cycle rewinds to cycle_pos_ and re-scans them.
+  // Compact them to the front and append fresh bytes behind.
+  size_t keep = buf_end_ - cycle_pos_;
+  if (keep > 0 && cycle_pos_ > 0) {
+    std::memmove(buffer_.data(), buffer_.data() + cycle_pos_, keep);
   }
-  return true;
+  if (keep == buffer_.size()) {
+    // One token larger than the whole buffer (plus its cycle prefix): grow
+    // so the read below has room. Doubling keeps re-scans amortized. This
+    // transiently costs up to 2x the token (raw bytes here + the decoded
+    // copy in spill_) — the price of mid-token resumability; Next() shrinks
+    // the buffer back once the token's cycle completes.
+    buffer_.resize(buffer_.size() * 2);
+  }
+  buf_pos_ = keep;
+  buf_end_ = keep;
+  cycle_pos_ = 0;
+  ByteSource::ReadResult r =
+      source_->Read(buffer_.data() + keep, buffer_.size() - keep);
+  switch (r.state) {
+    case ByteSource::ReadState::kWouldBlock:
+      return Fill::kWouldBlock;
+    case ByteSource::ReadState::kEof:
+      source_eof_ = true;
+      return Fill::kEof;
+    case ByteSource::ReadState::kError:
+      // The stream is truncated by an I/O failure, not a clean EOF: scan
+      // on as EOF (the truncation surfaces as a well-formedness error),
+      // but remember the cause so Fail() can name it.
+      source_eof_ = true;
+      read_error_ = std::strerror(r.error);
+      return Fill::kEof;
+    case ByteSource::ReadState::kOk:
+      break;
+  }
+  GCX_CHECK(r.bytes > 0 && r.bytes <= buffer_.size() - keep);
+  buf_end_ = keep + r.bytes;
+  return Fill::kData;
 }
 
 int XmlScanner::Peek() {
-  if (buf_pos_ >= buf_end_ && !Refill()) return -1;
+  if (buf_pos_ >= buf_end_) {
+    switch (Refill()) {
+      case Fill::kData:
+        break;
+      case Fill::kEof:
+        return kEofChar;
+      case Fill::kWouldBlock:
+        return kNoDataChar;
+    }
+  }
   return static_cast<unsigned char>(buffer_[buf_pos_]);
 }
 
@@ -89,19 +136,37 @@ void XmlScanner::Bump(char c) {
   if (c == '\n') ++line_;
 }
 
-Status XmlScanner::Fail(const std::string& message) {
-  failed_ = true;
-  return ParseError("line " + std::to_string(line_) + ": " + message);
+void XmlScanner::Rewind() {
+  buf_pos_ = cycle_pos_;
+  bytes_consumed_ = cycle_bytes_;
+  line_ = cycle_line_;
+  seen_root_ = cycle_seen_root_;
+  spill_.clear();
+  pending_.clear();
+  pending_head_ = 0;
 }
 
-void XmlScanner::SkipSpace() {
+Status XmlScanner::Fail(const std::string& message) {
+  failed_ = true;
+  std::string full = "line " + std::to_string(line_) + ": " + message;
+  if (!read_error_.empty()) {
+    full += " (input read error: " + read_error_ + ")";
+  }
+  return ParseError(full);
+}
+
+Status XmlScanner::SkipSpace() {
   while (true) {
     int c = Peek();
     if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
       Get();
-    } else {
-      return;
+      continue;
     }
+    // A stall mid-whitespace must propagate: simply returning would make
+    // the caller classify the NEXT byte (possibly more whitespace, once
+    // data arrives) as if the skip had completed.
+    if (c == kNoDataChar) return WouldBlockStatus();
+    return Status::Ok();
   }
 }
 
@@ -152,7 +217,27 @@ Status XmlScanner::Next(XmlEvent* event) {
     // Starting a new scan cycle invalidates the views handed out by the
     // previous Next() — exactly the documented lifetime.
     spill_.clear();
+    // A giant token may have grown the buffer (Refill keeps the whole
+    // in-progress cycle for would-block rewinds); release that memory as
+    // soon as the unconsumed remainder fits the steady-state size again.
+    if (buffer_.size() > kBufferSize) {
+      size_t remainder = buf_end_ - buf_pos_;
+      if (remainder <= kBufferSize) {
+        std::memmove(buffer_.data(), buffer_.data() + buf_pos_, remainder);
+        buf_pos_ = 0;
+        buf_end_ = remainder;
+        buffer_.resize(kBufferSize);
+        buffer_.shrink_to_fit();
+      }
+    }
+    // Checkpoint for a would-block rewind: everything the cycle consumes
+    // can be un-consumed until its events are enqueued.
+    cycle_pos_ = buf_pos_;
+    cycle_bytes_ = bytes_consumed_;
+    cycle_line_ = line_;
+    cycle_seen_root_ = seen_root_;
     int c = Peek();
+    if (c == kNoDataChar) return WouldBlockStatus();
     if (c < 0) {
       if (!open_tags_.empty()) {
         return Fail("unexpected end of input; unclosed element <" +
@@ -162,12 +247,18 @@ Status XmlScanner::Next(XmlEvent* event) {
       finished_ = true;
       continue;
     }
+    Status cycle;
     if (c == '<') {
       Get();
-      GCX_RETURN_IF_ERROR(ScanMarkup());
+      cycle = ScanMarkup();
     } else {
-      GCX_RETURN_IF_ERROR(ScanText());
+      cycle = ScanText();
     }
+    if (IsWouldBlock(cycle)) {
+      Rewind();
+      return cycle;
+    }
+    GCX_RETURN_IF_ERROR(cycle);
   }
   const Pending& p = pending_[pending_head_++];
   event->kind = p.kind;
@@ -189,6 +280,7 @@ Status XmlScanner::Next(XmlEvent* event) {
 
 Status XmlScanner::ScanMarkup() {
   int c = Peek();
+  if (c == kNoDataChar) return WouldBlockStatus();
   if (c == '/') {
     Get();
     return ScanEndTag();
@@ -200,6 +292,7 @@ Status XmlScanner::ScanMarkup() {
   if (c == '!') {
     Get();
     c = Peek();
+    if (c == kNoDataChar) return WouldBlockStatus();
     if (c == '-') return ScanComment();
     if (c == '[') return ScanCdata();
     return ScanDoctype();
@@ -208,7 +301,9 @@ Status XmlScanner::ScanMarkup() {
 }
 
 Status XmlScanner::ScanName(std::string_view* name) {
-  if (!IsNameStart(Peek())) return Fail("expected name");
+  int first = Peek();
+  if (first == kNoDataChar) return WouldBlockStatus();
+  if (!IsNameStart(first)) return Fail("expected name");
   size_t start = buf_pos_;
   bool spilled = false;
   name_spill_.clear();
@@ -216,9 +311,10 @@ Status XmlScanner::ScanName(std::string_view* name) {
     if (buf_pos_ >= buf_end_) {
       name_spill_.append(buffer_.data() + start, buf_pos_ - start);
       spilled = true;
-      bool more = Refill();
-      start = buf_pos_;  // Refill reset buf_pos_, even at EOF
-      if (!more) break;
+      Fill fill = Refill();
+      if (fill == Fill::kWouldBlock) return WouldBlockStatus();
+      start = buf_pos_;  // Refill re-based buf_pos_, even at EOF
+      if (fill == Fill::kEof) break;
       continue;
     }
     char c = buffer_[buf_pos_];
@@ -239,6 +335,7 @@ Status XmlScanner::AppendEntity(std::string* out) {
   std::string entity;  // <= 10 chars: SSO, no heap traffic
   while (true) {
     int c = Get();
+    if (c == kNoDataChar) return WouldBlockStatus();
     if (c < 0) return Fail("unterminated entity reference");
     if (c == ';') break;
     entity.push_back(static_cast<char>(c));
@@ -303,9 +400,11 @@ Status XmlScanner::AppendEntity(std::string* out) {
 Status XmlScanner::ScanAttributeValue(size_t* len) {
   size_t off = spill_.size();
   int quote = Get();
+  if (quote == kNoDataChar) return WouldBlockStatus();
   if (quote != '"' && quote != '\'') return Fail("expected quoted value");
   while (true) {
     int c = Get();
+    if (c == kNoDataChar) return WouldBlockStatus();
     if (c < 0) return Fail("unterminated attribute value");
     if (c == quote) break;
     if (c == '&') {
@@ -332,17 +431,20 @@ Status XmlScanner::ScanStartTag() {
   const bool keep_attrs =
       options_.attribute_mode == ScannerOptions::AttributeMode::kAsElements;
   while (true) {
-    SkipSpace();
+    GCX_RETURN_IF_ERROR(SkipSpace());
     int c = Peek();
+    if (c == kNoDataChar) return WouldBlockStatus();
     if (c == '>' || c == '/') break;
     std::string_view attr_name;
     GCX_RETURN_IF_ERROR(ScanName(&attr_name));
     // Discarded attributes never intern: their names would bloat the
     // (possibly batch-shared) tag-id space for nothing.
     TagId attr_tag = keep_attrs ? InternTag(attr_name) : kInvalidTag;
-    SkipSpace();
-    if (Get() != '=') return Fail("expected '=' after attribute name");
-    SkipSpace();
+    GCX_RETURN_IF_ERROR(SkipSpace());
+    int eq = Get();
+    if (eq == kNoDataChar) return WouldBlockStatus();
+    if (eq != '=') return Fail("expected '=' after attribute name");
+    GCX_RETURN_IF_ERROR(SkipSpace());
     size_t off = spill_.size();
     size_t len = 0;
     GCX_RETURN_IF_ERROR(ScanAttributeValue(&len));
@@ -356,8 +458,11 @@ Status XmlScanner::ScanStartTag() {
   }
 
   int c = Get();
+  if (c == kNoDataChar) return WouldBlockStatus();
   if (c == '/') {
-    if (Get() != '>') return Fail("expected '>' after '/'");
+    int gt = Get();
+    if (gt == kNoDataChar) return WouldBlockStatus();
+    if (gt != '>') return Fail("expected '>' after '/'");
     PushTag(XmlEvent::Kind::kEndElement, tag);
     return Status::Ok();
   }
@@ -377,8 +482,10 @@ Status XmlScanner::ScanEndTag() {
   } else {
     tag = InternTag(name);
   }
-  SkipSpace();
-  if (Get() != '>') return Fail("expected '>' in end tag");
+  GCX_RETURN_IF_ERROR(SkipSpace());
+  int c = Get();
+  if (c == kNoDataChar) return WouldBlockStatus();
+  if (c != '>') return Fail("expected '>' in end tag");
   if (open_tags_.empty()) {
     return Fail("closing tag </" + tags_->Name(tag) + "> with no open element");
   }
@@ -393,10 +500,15 @@ Status XmlScanner::ScanEndTag() {
 
 Status XmlScanner::ScanComment() {
   // Caller consumed "<!", next is '-'.
-  if (Get() != '-' || Get() != '-') return Fail("malformed comment");
+  int d1 = Get();
+  if (d1 == kNoDataChar) return WouldBlockStatus();
+  int d2 = Get();
+  if (d2 == kNoDataChar) return WouldBlockStatus();
+  if (d1 != '-' || d2 != '-') return Fail("malformed comment");
   int dashes = 0;
   while (true) {
     int c = Get();
+    if (c == kNoDataChar) return WouldBlockStatus();
     if (c < 0) return Fail("unterminated comment");
     if (c == '-') {
       ++dashes;
@@ -412,7 +524,9 @@ Status XmlScanner::ScanCdata() {
   // Caller consumed "<!", next is '['.
   const char* expect = "[CDATA[";
   for (const char* p = expect; *p; ++p) {
-    if (Get() != *p) return Fail("malformed CDATA section");
+    int c = Get();
+    if (c == kNoDataChar) return WouldBlockStatus();
+    if (c != *p) return Fail("malformed CDATA section");
   }
   // Accumulate everything through the "]]>" terminator, then drop those
   // three bytes — that keeps the chunk fast path a contiguous range even
@@ -425,8 +539,10 @@ Status XmlScanner::ScanCdata() {
     if (buf_pos_ >= buf_end_) {
       spill_.append(buffer_.data() + start, buf_pos_ - start);
       spilled = true;
-      if (!Refill()) return Fail("unterminated CDATA section");
-      start = buf_pos_;  // == 0 after a successful refill
+      Fill fill = Refill();
+      if (fill == Fill::kWouldBlock) return WouldBlockStatus();
+      if (fill == Fill::kEof) return Fail("unterminated CDATA section");
+      start = buf_pos_;  // re-based by Refill
       continue;
     }
     char c = buffer_[buf_pos_];
@@ -459,6 +575,7 @@ Status XmlScanner::ScanProcessingInstruction() {
   int question = 0;
   while (true) {
     int c = Get();
+    if (c == kNoDataChar) return WouldBlockStatus();
     if (c < 0) return Fail("unterminated processing instruction");
     if (c == '?') {
       question = 1;
@@ -475,6 +592,7 @@ Status XmlScanner::ScanDoctype() {
   int depth = 0;
   while (true) {
     int c = Get();
+    if (c == kNoDataChar) return WouldBlockStatus();
     if (c < 0) return Fail("unterminated DOCTYPE");
     if (c == '[' || c == '<') ++depth;
     if (c == ']') --depth;
@@ -490,6 +608,7 @@ Status XmlScanner::ScanText() {
     // Whitespace between prolog/epilog and the root element is fine.
     while (true) {
       int c = Peek();
+      if (c == kNoDataChar) return WouldBlockStatus();
       if (c < 0 || c == '<') return Status::Ok();
       if (c != ' ' && c != '\t' && c != '\r' && c != '\n') {
         return Fail("character data outside root element");
@@ -504,9 +623,10 @@ Status XmlScanner::ScanText() {
     if (buf_pos_ >= buf_end_) {
       spill_.append(buffer_.data() + start, buf_pos_ - start);
       spilled = true;
-      bool more = Refill();
-      start = buf_pos_;  // Refill reset buf_pos_, even at EOF
-      if (!more) break;
+      Fill fill = Refill();
+      if (fill == Fill::kWouldBlock) return WouldBlockStatus();
+      start = buf_pos_;  // re-based by Refill, even at EOF
+      if (fill == Fill::kEof) break;
       continue;
     }
     // Tight chunk loop: stop bytes are '<' (token end) and '&' (entity).

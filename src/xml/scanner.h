@@ -15,6 +15,14 @@
 // reusable spill buffer otherwise; either way the view is valid until the
 // next Next() call and the scanner allocates nothing per event in steady
 // state.
+//
+// Non-blocking sources (PR 5): ByteSource is readiness-aware — Read may
+// report kWouldBlock instead of blocking (pipes/FIFOs/sockets, see
+// FdSource in xml/fd_source.h). The scanner is resumable across stalls:
+// Next() returns WouldBlockStatus() after rewinding to the last event
+// boundary, and the suspended token is re-scanned from the bytes kept in
+// the read buffer once the source is readable again. The event stream is
+// byte-identical to a blocking read regardless of where stalls land.
 
 #ifndef GCX_XML_SCANNER_H_
 #define GCX_XML_SCANNER_H_
@@ -33,30 +41,56 @@
 
 namespace gcx {
 
-/// Abstract pull source of bytes for the scanner.
+/// Abstract readiness-aware pull source of bytes for the scanner.
+///
+/// A source is either synchronous (Read blocks until data or EOF — strings,
+/// files, istreams) or non-blocking (Read may report kWouldBlock — pipes,
+/// FIFOs, sockets; see FdSource in xml/fd_source.h). Consumers that cannot
+/// suspend wait for ReadyFd() to become readable and retry; consumers that
+/// can (the admission scheduler) park the whole pipeline instead.
 class ByteSource {
  public:
+  enum class ReadState {
+    kOk,          ///< `bytes` > 0 bytes were produced
+    kWouldBlock,  ///< no data *yet* — retry once ReadyFd() is readable
+    kEof,         ///< no data ever again
+    kError,       ///< hard I/O failure (`error` holds the errno); terminal
+  };
+  struct ReadResult {
+    ReadState state = ReadState::kEof;
+    size_t bytes = 0;
+    int error = 0;  ///< errno for kError, 0 otherwise
+    static ReadResult Ok(size_t n) { return {ReadState::kOk, n}; }
+    static ReadResult WouldBlock() { return {ReadState::kWouldBlock, 0}; }
+    static ReadResult Eof() { return {ReadState::kEof, 0}; }
+    static ReadResult Error(int err) { return {ReadState::kError, 0, err}; }
+  };
+
   virtual ~ByteSource() = default;
-  /// Reads up to `capacity` bytes into `buffer`; returns the count, 0 at EOF.
-  virtual size_t Read(char* buffer, size_t capacity) = 0;
+  /// Reads up to `capacity` bytes into `buffer`. kOk implies bytes > 0.
+  virtual ReadResult Read(char* buffer, size_t capacity) = 0;
+  /// On-ready notification hook: a pollable file descriptor that becomes
+  /// readable when Read would make progress, or -1 when the source is
+  /// always ready / not pollable (callers then simply retry).
+  virtual int ReadyFd() const { return -1; }
 };
 
-/// ByteSource over a caller-owned string (zero-copy view).
+/// ByteSource over a caller-owned string (zero-copy view, always ready).
 class StringSource : public ByteSource {
  public:
   explicit StringSource(std::string_view data) : data_(data) {}
-  size_t Read(char* buffer, size_t capacity) override;
+  ReadResult Read(char* buffer, size_t capacity) override;
 
  private:
   std::string_view data_;
   size_t pos_ = 0;
 };
 
-/// ByteSource over a std::istream.
+/// ByteSource over a std::istream (blocking reads, trivially always ready).
 class IstreamSource : public ByteSource {
  public:
   explicit IstreamSource(std::istream* stream) : stream_(stream) {}
-  size_t Read(char* buffer, size_t capacity) override;
+  ReadResult Read(char* buffer, size_t capacity) override;
 
  private:
   std::istream* stream_;
@@ -93,7 +127,26 @@ class XmlScanner {
   /// malformed input; after an error or kEndOfDocument the scanner must not
   /// be advanced further. The event's `text` view is valid until the next
   /// Next() call (see xml/event.h).
+  ///
+  /// When the source reports would-block, Next returns WouldBlockStatus()
+  /// (IsWouldBlock(status)) with NO event produced: the scanner has rewound
+  /// to the last event boundary (suspension mid-token is invisible) and the
+  /// call must be repeated — typically after waiting on ReadyFd() — to
+  /// resume. Any number of would-block suspensions leaves the event stream
+  /// byte-identical to a blocking read of the same document.
+  ///
+  /// Known cost: resumption replays the suspended token from its first
+  /// byte, so a single token much larger than the source's burst size is
+  /// re-scanned once per stall — O(token × stalls) worst case (a 10MB
+  /// CDATA node arriving in 64KB bursts re-scans ~800MB). Fine for the
+  /// token sizes XML serves in practice; sub-token progress checkpoints
+  /// for text/CDATA are the known follow-up if giant-blob-over-slow-pipe
+  /// becomes a real workload.
   Status Next(XmlEvent* event);
+
+  /// The source's readiness hook (see ByteSource::ReadyFd); -1 when the
+  /// source is always ready.
+  int ReadyFd() const { return source_->ReadyFd(); }
 
   /// The table element names are interned into.
   SymbolTable& tags() { return *tags_; }
@@ -116,11 +169,16 @@ class XmlScanner {
     size_t len = 0;
   };
 
-  // Character-level helpers. Peek/Get return -1 at EOF. Refill overwrites
-  // the read chunk: it must never run while a chunk range is outstanding.
+  enum class Fill { kData, kEof, kWouldBlock };
+
+  // Character-level helpers. Peek/Get return kEofChar (-1) at EOF and
+  // kNoDataChar (-2) when the source would block. Refill compacts the
+  // bytes of the in-progress scan cycle (they may be re-scanned after a
+  // would-block rewind) to the buffer front and appends fresh bytes; it
+  // must never run while a chunk range is outstanding.
   int Peek();
   int Get();
-  bool Refill();
+  Fill Refill();
   /// Consumes buffer_[buf_pos_] (which must be < buf_end_), maintaining the
   /// byte and line counters.
   void Bump(char c);
@@ -151,7 +209,9 @@ class XmlScanner {
   /// Appends the decoded value to spill_ (`*len` receives its length).
   Status ScanAttributeValue(size_t* len);
   Status AppendEntity(std::string* out);
-  void SkipSpace();
+  /// Consumes whitespace; WouldBlockStatus() when the source stalled
+  /// before a non-space byte was seen (the skip is then incomplete).
+  Status SkipSpace();
 
   std::unique_ptr<ByteSource> source_;
   ScannerOptions options_;
@@ -167,8 +227,23 @@ class XmlScanner {
   size_t buf_pos_ = 0;
   size_t buf_end_ = 0;
   bool source_eof_ = false;
+  /// Cause of a kError read, if any: the stream ended because of an I/O
+  /// failure, not a clean EOF. Appended to the resulting parse error.
+  std::string read_error_;
   uint64_t bytes_consumed_ = 0;
   int line_ = 1;
+
+  // Checkpoint of the consumption state at the start of the current scan
+  // cycle. On would-block the cycle unwinds, Rewind() restores this state
+  // (the consumed-but-unparsed bytes are still in buffer_ — Refill keeps
+  // them), and the next Next() re-scans the token from its first byte.
+  size_t cycle_pos_ = 0;
+  uint64_t cycle_bytes_ = 0;
+  int cycle_line_ = 1;
+  bool cycle_seen_root_ = false;
+
+  /// Restores the cycle checkpoint after a would-block unwind.
+  void Rewind();
 
   /// Reusable per-scan-cycle byte storage: text that crossed a refill or
   /// contained entities, and attribute values. Cleared when a new scan

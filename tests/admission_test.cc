@@ -16,6 +16,9 @@
 #include "core/engine.h"
 #include "core/multi_engine.h"
 #include "core/query_cache.h"
+#include "xml/fd_source.h"
+
+#include <unistd.h>
 
 namespace gcx {
 namespace {
@@ -314,6 +317,176 @@ TEST(AdmissionConcurrency, ParallelSubmitsThroughOneSharedCache) {
       EXPECT_EQ(outs[t][i].str(), "<" + tag + ">2</" + tag + ">");
     }
   }
+}
+
+// --- ready-batch scheduling over stalling sources ---------------------------
+
+/// ostream whose buffer stamps a global completion sequence number the
+/// first time anything is written to it (batch results are written at
+/// evaluation time, so the stamp orders batch completions).
+class StampedStream : public std::ostream {
+ public:
+  explicit StampedStream(std::atomic<int>* counter)
+      : std::ostream(&buf_), buf_(counter) {}
+  std::string str() const { return buf_.str(); }
+  int stamp() const { return buf_.stamp; }
+
+ private:
+  struct Buf : std::stringbuf {
+    explicit Buf(std::atomic<int>* counter) : counter(counter) {}
+    std::streamsize xsputn(const char* s, std::streamsize n) override {
+      if (stamp < 0 && n > 0) stamp = (*counter)++;
+      return std::stringbuf::xsputn(s, n);
+    }
+    int_type overflow(int_type c) override {
+      if (stamp < 0 && c != traits_type::eof()) stamp = (*counter)++;
+      return std::stringbuf::overflow(c);
+    }
+    std::atomic<int>* counter;
+    int stamp = -1;
+  };
+  Buf buf_;
+};
+
+/// Registers `doc_id` as a pipe-backed async document; the returned write
+/// fd is the test's to feed (the opener hands the single read end out
+/// once).
+int RegisterPipeDocument(AdmissionController* controller,
+                         const std::string& doc_id) {
+  int fds[2];
+  EXPECT_EQ(::pipe(fds), 0);
+  auto source = std::make_shared<std::unique_ptr<ByteSource>>(
+      std::make_unique<FdSource>(fds[0]));
+  controller->RegisterDocumentAsync(
+      doc_id, [source]() -> Result<std::unique_ptr<ByteSource>> {
+        if (*source == nullptr) {
+          return IoError("pipe document supports a single batch");
+        }
+        return std::move(*source);
+      });
+  return fds[1];
+}
+
+TEST(AdmissionScheduling, ReadyGroupsFinishAheadOfAStalledOne) {
+  const std::string doc = "<a><b>1</b><b>2</b></a>";
+  QueryCache cache;
+  AdmissionController controller(&cache);
+  // The slow group is submitted FIRST: under the legacy strict order it
+  // would gate everything behind its stalled pipe.
+  int slow_fd = RegisterPipeDocument(&controller, "slow");
+  controller.RegisterDocument("fast", doc);
+
+  std::atomic<int> sequence{0};
+  StampedStream slow_out(&sequence);
+  StampedStream fast1(&sequence), fast2(&sequence);
+  ASSERT_TRUE(
+      controller.Submit("<r>{ count(/a/b) }</r>", {}, "slow", &slow_out).ok());
+  ASSERT_TRUE(
+      controller.Submit("<r>{ count(/a/b) }</r>", {}, "fast", &fast1).ok());
+  ASSERT_TRUE(
+      controller.Submit("<s>{ sum(/a/b) }</s>", {}, "fast", &fast2).ok());
+
+  // The writer feeds the slow document only after a long stall.
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    ASSERT_EQ(::write(slow_fd, doc.data(), doc.size()),
+              static_cast<ssize_t>(doc.size()));
+    ::close(slow_fd);
+  });
+  auto run = controller.Run();
+  writer.join();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  EXPECT_EQ(run->queries, 3u);
+  EXPECT_GE(run->stalls, 1u);
+  EXPECT_EQ(slow_out.str(), "<r>2</r>");
+  EXPECT_EQ(fast1.str(), "<r>2</r>");
+  EXPECT_EQ(fast2.str(), "<s>3</s>");
+  // The interleaving win: both fast results were written while the slow
+  // group was parked.
+  ASSERT_GE(slow_out.stamp(), 0);
+  ASSERT_GE(fast1.stamp(), 0);
+  EXPECT_LT(fast1.stamp(), slow_out.stamp());
+  EXPECT_LT(fast2.stamp(), slow_out.stamp());
+
+  AdmissionStats stats = controller.stats();
+  EXPECT_GE(stats.batches_parked, 1u);
+  EXPECT_GE(stats.batch_resumes, 1u);
+}
+
+TEST(AdmissionScheduling, SerialModeBlocksBehindTheStalledGroup) {
+  const std::string doc = "<a><b>1</b><b>2</b></a>";
+  AdmissionLimits limits;
+  limits.interleave = false;
+  QueryCache cache;
+  AdmissionController controller(&cache, limits);
+  int slow_fd = RegisterPipeDocument(&controller, "slow");
+  controller.RegisterDocument("fast", doc);
+
+  std::atomic<int> sequence{0};
+  StampedStream slow_out(&sequence), fast_out(&sequence);
+  ASSERT_TRUE(
+      controller.Submit("<r>{ count(/a/b) }</r>", {}, "slow", &slow_out).ok());
+  ASSERT_TRUE(
+      controller.Submit("<r>{ count(/a/b) }</r>", {}, "fast", &fast_out).ok());
+
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_EQ(::write(slow_fd, doc.data(), doc.size()),
+              static_cast<ssize_t>(doc.size()));
+    ::close(slow_fd);
+  });
+  auto run = controller.Run();
+  writer.join();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(slow_out.str(), "<r>2</r>");
+  EXPECT_EQ(fast_out.str(), "<r>2</r>");
+  // Strict first-submission order: the stalled group completed first.
+  EXPECT_LT(slow_out.stamp(), fast_out.stamp());
+}
+
+TEST(AdmissionScheduling, PollableSingletonIsParkedNotBlocking) {
+  // A single query over a pipe-backed document goes through the resumable
+  // path (not the blocking solo engine), so the scheduler can park it.
+  QueryCache cache;
+  AdmissionController controller(&cache);
+  int fd = RegisterPipeDocument(&controller, "doc");
+  std::ostringstream out;
+  ASSERT_TRUE(controller.Submit("<r>{ count(/a/b) }</r>", {}, "doc", &out).ok());
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const std::string doc = "<a><b/><b/></a>";
+    ASSERT_EQ(::write(fd, doc.data(), doc.size()),
+              static_cast<ssize_t>(doc.size()));
+    ::close(fd);
+  });
+  auto run = controller.Run();
+  writer.join();
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(out.str(), "<r>2</r>");
+  AdmissionStats stats = controller.stats();
+  EXPECT_EQ(stats.solo_runs, 0u);  // pollable → resumable path
+  EXPECT_GE(stats.batches_parked, 1u);
+}
+
+TEST(AdmissionScheduling, AsyncOpenerFailureFailsTheRunCleanly) {
+  QueryCache cache;
+  AdmissionController controller(&cache);
+  controller.RegisterDocumentAsync(
+      "doc", []() -> Result<std::unique_ptr<ByteSource>> {
+        return IoError("fifo vanished");
+      });
+  std::ostringstream out;
+  ASSERT_TRUE(controller.Submit("<r>{ count(/a) }</r>", {}, "doc", &out).ok());
+  auto run = controller.Run();
+  ASSERT_FALSE(run.ok());
+  EXPECT_NE(run.status().message().find("fifo vanished"), std::string::npos);
+  // The controller stays reusable afterwards.
+  controller.RegisterDocument("ok", std::string("<a/>"));
+  std::ostringstream out2;
+  ASSERT_TRUE(controller.Submit("<r>{ count(/a) }</r>", {}, "ok", &out2).ok());
+  ASSERT_TRUE(controller.Run().ok());
+  EXPECT_EQ(out2.str(), "<r>1</r>");
 }
 
 }  // namespace

@@ -45,6 +45,7 @@
 
 #include "core/engine.h"
 #include "core/multi_engine.h"
+#include "test_sources.h"
 
 namespace gcx {
 namespace {
@@ -171,10 +172,10 @@ TEST_P(ConformanceTest, AllConfigsMatchGolden) {
 class OneByteSource : public ByteSource {
  public:
   explicit OneByteSource(std::string data) : data_(std::move(data)) {}
-  size_t Read(char* buffer, size_t capacity) override {
-    if (capacity == 0 || pos_ >= data_.size()) return 0;
+  ReadResult Read(char* buffer, size_t capacity) override {
+    if (capacity == 0 || pos_ >= data_.size()) return ReadResult::Eof();
     buffer[0] = data_[pos_++];
-    return 1;
+    return ReadResult::Ok(1);
   }
 
  private:
@@ -204,6 +205,44 @@ TEST_P(ConformanceTest, OneByteReadsMatchGolden) {
     EXPECT_EQ(out.str(), c.expected)
         << c.name << " [" << config.name
         << "]: output diverges from golden under 1-byte reads";
+  }
+}
+
+// --- would-block injection: the async-source differential sweep -------------
+//
+// Same idea as OneByteSource, one level up: the shared
+// WouldBlockEveryNSource shim (tests/test_sources.h) reports kWouldBlock
+// between every read of N bytes (and before EOF), so every token
+// additionally suspends and resumes through the scanner's rewind
+// machinery. Outputs must stay byte-identical to the blocking path for
+// the solo engine (all four configs) and the batched engine.
+
+TEST_P(ConformanceTest, WouldBlockReadsMatchGolden) {
+  const Case& c = GetParam();
+  ASSERT_TRUE(c.complete) << c.name;
+  for (size_t n : {size_t{1}, size_t{7}}) {
+    for (const NamedEngineConfig& config : StandardEngineConfigs()) {
+      auto compiled = CompiledQuery::Compile(c.query, config.options);
+      ASSERT_TRUE(compiled.ok()) << c.name;
+      Engine engine;
+      std::ostringstream out;
+      auto stats = engine.Execute(
+          *compiled, std::make_unique<WouldBlockEveryNSource>(c.document, n),
+          &out);
+      if (c.is_error) {
+        ASSERT_FALSE(stats.ok()) << c.name << " [" << config.name << "] n=" << n;
+        EXPECT_NE(stats.status().ToString().find(c.expected_error),
+                  std::string::npos)
+            << c.name << " [" << config.name << "] n=" << n;
+        continue;
+      }
+      ASSERT_TRUE(stats.ok()) << c.name << " [" << config.name << "] n=" << n
+                              << ": " << stats.status().ToString();
+      EXPECT_EQ(out.str(), c.expected)
+          << c.name << " [" << config.name
+          << "]: output diverges from golden under would-block reads (n=" << n
+          << ")";
+    }
   }
 }
 
@@ -297,6 +336,92 @@ TEST(ConformanceMultiQuery, BatchedCorpusMatchesGoldensUnderAllConfigs) {
       }
     }
   }
+}
+
+TEST(ConformanceMultiQuery, BatchedWouldBlockReadsMatchGoldens) {
+  // The batched engine's shared scan suspends and resumes through
+  // SharedScanDemux::PumpOne; outputs must stay byte-identical to the
+  // blocking path under stall injection, for every engine configuration.
+  std::vector<DocumentGroup> groups = GroupByDocument();
+  ASSERT_FALSE(groups.empty());
+  for (size_t n : {size_t{1}, size_t{7}}) {
+    for (const NamedEngineConfig& config : StandardEngineConfigs()) {
+      for (const DocumentGroup& group : groups) {
+        if (group.cases.size() < 2) continue;  // solo covered above
+        std::vector<CompiledQuery> compiled;
+        for (const Case& c : group.cases) {
+          auto one = CompiledQuery::Compile(c.query, config.options);
+          ASSERT_TRUE(one.ok()) << c.name;
+          compiled.push_back(std::move(one).value());
+        }
+        std::vector<const CompiledQuery*> batch;
+        std::vector<std::ostringstream> buffers(compiled.size());
+        std::vector<std::ostream*> outs;
+        for (size_t i = 0; i < compiled.size(); ++i) {
+          batch.push_back(&compiled[i]);
+          outs.push_back(&buffers[i]);
+        }
+        MultiQueryEngine engine;
+        auto stats = engine.Execute(
+            batch,
+            std::make_unique<WouldBlockEveryNSource>(group.document, n), outs);
+        ASSERT_TRUE(stats.ok())
+            << group.cases.front().name << "+ [" << config.name
+            << "] n=" << n << ": " << stats.status().ToString();
+        for (size_t i = 0; i < group.cases.size(); ++i) {
+          EXPECT_EQ(buffers[i].str(), group.cases[i].expected)
+              << group.cases[i].name << " [" << config.name
+              << "]: batched output diverges under would-block reads (n=" << n
+              << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(ConformanceMultiQuery, ResumableRunMatchesGoldensUnderWouldBlock) {
+  // The same sweep through the pump-while-ready MultiQueryRun: Step must
+  // report kStalled (never block) and the final outputs must match.
+  std::vector<DocumentGroup> groups = GroupByDocument();
+  ASSERT_FALSE(groups.empty());
+  size_t stalled_steps = 0;
+  for (const DocumentGroup& group : groups) {
+    if (group.cases.size() < 2) continue;
+    std::vector<CompiledQuery> compiled;
+    for (const Case& c : group.cases) {
+      auto one = CompiledQuery::Compile(c.query, {});
+      ASSERT_TRUE(one.ok()) << c.name;
+      compiled.push_back(std::move(one).value());
+    }
+    std::vector<const CompiledQuery*> batch;
+    std::vector<std::ostringstream> buffers(compiled.size());
+    std::vector<std::ostream*> outs;
+    for (size_t i = 0; i < compiled.size(); ++i) {
+      batch.push_back(&compiled[i]);
+      outs.push_back(&buffers[i]);
+    }
+    MultiQueryRun run(batch,
+                      std::make_unique<WouldBlockEveryNSource>(group.document, 7),
+                      outs);
+    while (true) {
+      MultiQueryRun::State state = run.Step();
+      if (state == MultiQueryRun::State::kStalled) {
+        ++stalled_steps;  // shim is ready again on the next read
+        continue;
+      }
+      ASSERT_EQ(state, MultiQueryRun::State::kDone)
+          << group.cases.front().name << ": " << run.status().ToString();
+      break;
+    }
+    auto stats = run.TakeStats();
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->shared.scan_passes, 1u);
+    for (size_t i = 0; i < group.cases.size(); ++i) {
+      EXPECT_EQ(buffers[i].str(), group.cases[i].expected)
+          << group.cases[i].name << ": MultiQueryRun output diverges";
+    }
+  }
+  EXPECT_GT(stalled_steps, 0u) << "the shim should have forced stalls";
 }
 
 TEST(ConformanceMultiQuery, ErrorCasesFailTheBatchWithTheExpectedText) {

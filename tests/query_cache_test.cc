@@ -121,16 +121,174 @@ TEST(QueryCache, LruEvictionAccounting) {
   EXPECT_EQ(cache.stats().compiles, 4u);
 }
 
-TEST(QueryCache, CompileErrorsAreReturnedButNotCached) {
-  QueryCache cache;
+TEST(QueryCache, CompileErrorsAreServedFromTheNegativeCache) {
+  QueryCache cache;  // default: negative caching on, 30s TTL
   auto bad = cache.GetOrCompile("<r>{ nonsense", {});
-  EXPECT_FALSE(bad.ok());
+  ASSERT_FALSE(bad.ok());
   auto again = cache.GetOrCompile("<r>{ nonsense", {});
-  EXPECT_FALSE(again.ok());
+  ASSERT_FALSE(again.ok());
+  // The repeat got the identical error without re-paying the parse.
+  EXPECT_EQ(again.status(), bad.status());
+  QueryCacheStats s = cache.stats();
+  EXPECT_EQ(s.compile_errors, 1u);  // only the first submission parsed
+  EXPECT_EQ(s.negative_hits, 1u);
+  EXPECT_EQ(s.negative_entries, 1u);
+  EXPECT_EQ(s.entries, 0u);  // failures never become positive entries
+  EXPECT_EQ(s.compiles, 0u);
+}
+
+TEST(QueryCache, NegativeCachingDisabledRepaysTheParse) {
+  QueryCacheOptions options;
+  options.negative_capacity = 0;
+  QueryCache cache(options);
+  EXPECT_FALSE(cache.GetOrCompile("<r>{ nonsense", {}).ok());
+  EXPECT_FALSE(cache.GetOrCompile("<r>{ nonsense", {}).ok());
   QueryCacheStats s = cache.stats();
   EXPECT_EQ(s.compile_errors, 2u);
-  EXPECT_EQ(s.entries, 0u);
-  EXPECT_EQ(s.compiles, 0u);
+  EXPECT_EQ(s.negative_hits, 0u);
+  EXPECT_EQ(s.negative_entries, 0u);
+}
+
+TEST(QueryCache, NegativeEntriesExpireByTtl) {
+  QueryCacheOptions options;
+  options.negative_ttl_ms = 0;  // every entry is expired by the next probe
+  QueryCache cache(options);
+  EXPECT_FALSE(cache.GetOrCompile("<r>{ nonsense", {}).ok());
+  EXPECT_FALSE(cache.GetOrCompile("<r>{ nonsense", {}).ok());
+  QueryCacheStats s = cache.stats();
+  // The second submission found an expired entry and re-paid the parse.
+  EXPECT_EQ(s.compile_errors, 2u);
+  EXPECT_EQ(s.negative_hits, 0u);
+  EXPECT_GE(s.negative_evictions, 1u);
+}
+
+TEST(QueryCache, AnalysisErrorsNegativeCacheAcrossFormattingVariants) {
+  // Parses fine, fails analysis (descendant-or-self is outside the
+  // fragment): the failure is remembered under the canonical key, so a
+  // formatting variant pays the parse but skips the analysis.
+  QueryCache cache;
+  const std::string query = "<r>{ for $x in /a/descendant-or-self::b return $x }</r>";
+  const std::string variant_text =
+      "<r>{ for  $x  in /a/descendant-or-self::b return $x }</r>";
+  auto bad = cache.GetOrCompile(query, {});
+  ASSERT_FALSE(bad.ok());
+  ASSERT_EQ(bad.status().code(), StatusCode::kAnalysisError)
+      << bad.status().ToString();
+  auto variant = cache.GetOrCompile(variant_text, {});
+  ASSERT_FALSE(variant.ok());
+  EXPECT_EQ(variant.status(), bad.status());
+  QueryCacheStats s = cache.stats();
+  EXPECT_EQ(s.compile_errors, 1u);
+  EXPECT_EQ(s.negative_hits, 1u);
+  // The variant's exact spelling was aliased into the negative cache: a
+  // third submission of it skips even the parse.
+  auto exact_repeat = cache.GetOrCompile(variant_text, {});
+  ASSERT_FALSE(exact_repeat.ok());
+  EXPECT_EQ(cache.stats().negative_hits, 2u);
+  EXPECT_EQ(cache.stats().compile_errors, 1u);
+}
+
+TEST(QueryCache, OversizedBrokenQueriesAreNotNegativeCached) {
+  // Negative entries pin their full key text; a multi-megabyte garbage
+  // query must not occupy the negative cache (it just re-pays the parse).
+  QueryCache cache;
+  std::string huge_bad = "<r>{ " + std::string(5 * 1024 * 1024, 'x');
+  EXPECT_FALSE(cache.GetOrCompile(huge_bad, {}).ok());
+  EXPECT_FALSE(cache.GetOrCompile(huge_bad, {}).ok());
+  QueryCacheStats s = cache.stats();
+  EXPECT_EQ(s.negative_entries, 0u);
+  EXPECT_EQ(s.negative_hits, 0u);
+  EXPECT_EQ(s.compile_errors, 2u);  // both submissions parsed (and failed)
+}
+
+TEST(QueryCache, AliasBytesTriggerByteEvictions) {
+  auto probe = CompiledQuery::Compile("<q>{ count(/a0/b/c) }</q>", {});
+  ASSERT_TRUE(probe.ok());
+  QueryCacheOptions options;
+  // Budget fits the compilation with almost no headroom for alias keys.
+  options.max_bytes = probe->ApproxBytes() + 200;
+  QueryCache cache(options);
+  ASSERT_TRUE(cache.GetOrCompile("<q>{ count(/a0/b/c) }</q>", {}).ok());
+  // Formatting variants alias the resident entry, growing its byte
+  // footprint past the budget; the budget must be re-enforced (here the
+  // aliased entry is the MRU, so it survives, but the accounting and the
+  // eviction pass must both run).
+  for (int i = 0; i < 6; ++i) {
+    std::string spaces(static_cast<size_t>(i + 1), ' ');
+    ASSERT_TRUE(
+        cache.GetOrCompile("<q>{" + spaces + "count(/a0/b/c) }</q>", {}).ok());
+  }
+  QueryCacheStats s = cache.stats();
+  EXPECT_GT(s.bytes_resident, 0u);
+  // Single entry: MRU protection keeps it resident even over budget.
+  EXPECT_EQ(s.entries, 1u);
+
+  // With a second entry resident, alias growth on the MRU must evict the
+  // colder one once the combined bytes exceed the budget. Measure the
+  // two-entry resident size first so the budget leaves headroom smaller
+  // than the alias keys about to be added.
+  uint64_t two_entry_bytes = 0;
+  {
+    QueryCache probe_cache;
+    ASSERT_TRUE(probe_cache.GetOrCompile("<q>{ count(/a0/b/c) }</q>", {}).ok());
+    ASSERT_TRUE(probe_cache.GetOrCompile("<q>{ count(/a1/b/c) }</q>", {}).ok());
+    two_entry_bytes = probe_cache.stats().bytes_resident;
+  }
+  QueryCacheOptions two;
+  two.max_bytes = two_entry_bytes + 40;
+  QueryCache cache2(two);
+  ASSERT_TRUE(cache2.GetOrCompile("<q>{ count(/a0/b/c) }</q>", {}).ok());
+  ASSERT_TRUE(cache2.GetOrCompile("<q>{ count(/a1/b/c) }</q>", {}).ok());
+  EXPECT_EQ(cache2.stats().entries, 2u);
+  for (int i = 0; i < 6; ++i) {
+    std::string spaces(static_cast<size_t>(i + 1), ' ');
+    ASSERT_TRUE(
+        cache2.GetOrCompile("<q>{" + spaces + "count(/a1/b/c) }</q>", {}).ok());
+  }
+  QueryCacheStats s2 = cache2.stats();
+  EXPECT_EQ(s2.entries, 1u) << "alias bytes must re-trigger eviction";
+  EXPECT_GE(s2.byte_evictions, 1u);
+  EXPECT_FALSE(cache2.Contains("<q>{ count(/a0/b/c) }</q>", {}));
+}
+
+TEST(QueryCache, ByteBudgetEvictsLruEntries) {
+  auto query_text = [](int k) {
+    return "<q>{ count(/a" + std::to_string(k) + "/b/c) }</q>";
+  };
+  // Measure one compilation's approximate footprint, then budget for ~2.
+  auto probe = CompiledQuery::Compile(query_text(0), {});
+  ASSERT_TRUE(probe.ok());
+  size_t one = probe->ApproxBytes();
+  ASSERT_GT(one, 0u);
+
+  QueryCacheOptions options;
+  options.capacity = 64;  // count cap must not be what binds
+  options.max_bytes = static_cast<uint64_t>(one) * 5 / 2;
+  QueryCache cache(options);
+  ASSERT_TRUE(cache.GetOrCompile(query_text(0), {}).ok());
+  ASSERT_TRUE(cache.GetOrCompile(query_text(1), {}).ok());
+  ASSERT_TRUE(cache.GetOrCompile(query_text(2), {}).ok());
+  QueryCacheStats s = cache.stats();
+  EXPECT_GE(s.byte_evictions, 1u);
+  EXPECT_LE(s.bytes_resident, options.max_bytes);
+  EXPECT_LT(s.entries, 3u);
+  // LRU order: the newest entry must have survived.
+  EXPECT_TRUE(cache.Contains(query_text(2), {}));
+  EXPECT_FALSE(cache.Contains(query_text(0), {}));
+}
+
+TEST(QueryCache, OversizedEntryStillCachesAsMru) {
+  auto probe = CompiledQuery::Compile("<r>{ count(/a/b) }</r>", {});
+  ASSERT_TRUE(probe.ok());
+  QueryCacheOptions options;
+  options.max_bytes = 1;  // smaller than any compilation
+  QueryCache cache(options);
+  ASSERT_TRUE(cache.GetOrCompile("<r>{ count(/a/b) }</r>", {}).ok());
+  QueryCacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 1u);  // the MRU entry is never evicted by the budget
+  auto again = cache.GetOrCompile("<r>{ count(/a/b) }</r>", {});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(cache.stats().hits, 1u);
 }
 
 TEST(QueryCache, ClearDropsEntries) {

@@ -10,6 +10,7 @@
 #include <string_view>
 #include <vector>
 
+#include "test_sources.h"
 #include "xml/scanner.h"
 
 namespace gcx {
@@ -228,11 +229,12 @@ class ChunkedSource : public ByteSource {
  public:
   explicit ChunkedSource(std::string data, size_t chunk = 1)
       : data_(std::move(data)), chunk_(chunk) {}
-  size_t Read(char* buffer, size_t capacity) override {
+  ReadResult Read(char* buffer, size_t capacity) override {
     size_t n = std::min({chunk_, capacity, data_.size() - pos_});
+    if (n == 0) return ReadResult::Eof();
     std::memcpy(buffer, data_.data() + pos_, n);
     pos_ += n;
-    return n;
+    return ReadResult::Ok(n);
   }
 
  private:
@@ -317,6 +319,131 @@ INSTANTIATE_TEST_SUITE_P(
         "<a><b></a>",
         "<a>&unknown;</a>",
         "<a><![CDATA[x]]"));
+
+// --- would-block resumption -------------------------------------------------
+//
+// The readiness-aware source API lets Read report kWouldBlock at ANY byte
+// position; the scanner must rewind to the event boundary, surface
+// WouldBlockStatus(), and reproduce the identical event stream once
+// retried. The shared WouldBlockEveryNSource shim (tests/test_sources.h)
+// stalls before every read (and before EOF), so every token suspends
+// mid-scan at every possible offset.
+
+Result<std::string> ScanWouldBlocked(std::string_view xml, size_t n,
+                                     ScannerOptions options = {},
+                                     uint64_t* stalls_seen = nullptr) {
+  auto source = std::make_unique<WouldBlockEveryNSource>(std::string(xml), n);
+  WouldBlockEveryNSource* raw = source.get();
+  XmlScanner scanner(std::move(source), options);
+  std::string out;
+  uint64_t stalls = 0;
+  while (true) {
+    XmlEvent event;
+    Status status = scanner.Next(&event);
+    if (IsWouldBlock(status)) {
+      ++stalls;  // the source is ready again on the very next read
+      continue;
+    }
+    if (!status.ok()) return status;
+    switch (event.kind) {
+      case XmlEvent::Kind::kStartElement:
+        out += "<";
+        out.append(event.name());
+        out += " ";
+        break;
+      case XmlEvent::Kind::kEndElement:
+        out += ">";
+        out.append(event.name());
+        out += " ";
+        break;
+      case XmlEvent::Kind::kText:
+        out += "'";
+        out.append(event.text);
+        out += "' ";
+        break;
+      case XmlEvent::Kind::kEndOfDocument:
+        if (stalls_seen != nullptr) *stalls_seen = stalls;
+        EXPECT_GT(raw->stalls(), 0u);
+        return out;
+    }
+  }
+}
+
+TEST_P(ScannerChunkBoundaryTest, WouldBlockEveryReadMatchesWholeBuffer) {
+  const std::string xml = GetParam();
+  Result<std::string> whole = Scan(xml);
+  for (size_t n : {size_t{1}, size_t{7}}) {
+    Result<std::string> stalled = ScanWouldBlocked(xml, n);
+    ASSERT_EQ(whole.ok(), stalled.ok()) << "n=" << n << " " << xml;
+    if (whole.ok()) {
+      EXPECT_EQ(*stalled, *whole) << "n=" << n << " " << xml;
+    } else {
+      EXPECT_EQ(stalled.status(), whole.status()) << "n=" << n << " " << xml;
+    }
+  }
+}
+
+TEST(ScannerWouldBlock, NextActuallySuspendsAndResumes) {
+  uint64_t stalls = 0;
+  Result<std::string> out =
+      ScanWouldBlocked("<a t=\"v\"><b>x&amp;y</b></a>", 1, {}, &stalls);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "<a <t 'v' >t <b 'x&y' >b >a ");
+  // Every 1-byte read stalled once, so Next suspended many times — this is
+  // the non-blocking contract (a blocking scanner would report 0).
+  EXPECT_GT(stalls, 10u);
+}
+
+TEST(ScannerWouldBlock, CountersUnaffectedByRewinds) {
+  // bytes_consumed/line must not double-count re-scanned token prefixes.
+  const std::string xml = "<a>\n<b>text</b>\n</a>";
+  XmlScanner plain(std::make_unique<StringSource>(xml));
+  XmlEvent event;
+  while (true) {
+    ASSERT_TRUE(plain.Next(&event).ok());
+    if (event.kind == XmlEvent::Kind::kEndOfDocument) break;
+  }
+  auto source = std::make_unique<WouldBlockEveryNSource>(xml, 1);
+  XmlScanner stalled(std::move(source));
+  while (true) {
+    Status status = stalled.Next(&event);
+    if (IsWouldBlock(status)) continue;
+    ASSERT_TRUE(status.ok());
+    if (event.kind == XmlEvent::Kind::kEndOfDocument) break;
+  }
+  EXPECT_EQ(stalled.bytes_consumed(), plain.bytes_consumed());
+  EXPECT_EQ(stalled.line(), plain.line());
+}
+
+TEST(ScannerWouldBlock, GiantTokenSurvivesStallsAndReleasesTheBuffer) {
+  // A single text token several times the scanner's 64KB read buffer,
+  // stalled at every read: Refill must grow the buffer to keep the
+  // rewindable token prefix, and the stream must still be byte-identical.
+  std::string big(200 * 1000, 'x');
+  big[12345] = '&';  // force an entity decode mid-token
+  big[12346] = 'a';
+  big[12347] = 'm';
+  big[12348] = 'p';
+  big[12349] = ';';
+  const std::string xml = "<a>" + big + "</a><!-- tail -->";
+  Result<std::string> whole = Scan(xml);
+  ASSERT_TRUE(whole.ok());
+  Result<std::string> stalled = ScanWouldBlocked(xml, 4096);
+  ASSERT_TRUE(stalled.ok());
+  EXPECT_EQ(*stalled, *whole);
+}
+
+TEST(ScannerWouldBlock, EofMidTokenAfterStallsReportsTruncation) {
+  // The PR 4 spill-finalization regression, now with stalls before the
+  // truncated EOF: the unterminated-token error must be identical.
+  for (const char* xml : {"<a><b>unclosed", "<a>text<![CDATA[x", "<a att"}) {
+    Result<std::string> whole = Scan(xml);
+    ASSERT_FALSE(whole.ok()) << xml;
+    Result<std::string> stalled = ScanWouldBlocked(xml, 1);
+    ASSERT_FALSE(stalled.ok()) << xml;
+    EXPECT_EQ(stalled.status(), whole.status()) << xml;
+  }
+}
 
 TEST(ScannerChunkBoundaries, OptionsRespectedUnderChunking) {
   ScannerOptions keep_ws;

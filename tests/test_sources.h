@@ -1,0 +1,52 @@
+// Shared ByteSource shims for stall-injection tests. Kept in one header so
+// the scanner unit suite and the conformance sweep exercise the SAME stall
+// protocol — a change to when/how stalls are injected must strengthen or
+// weaken both suites together, never silently diverge.
+
+#ifndef GCX_TESTS_TEST_SOURCES_H_
+#define GCX_TESTS_TEST_SOURCES_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "xml/scanner.h"
+
+namespace gcx {
+
+/// ByteSource that reports would-block before every successful read of at
+/// most `n` bytes, and once more before reporting EOF — so every token
+/// suspends mid-scan at every n-byte offset, including right before the
+/// final EOF. The source is "ready" again on the very next Read call.
+class WouldBlockEveryNSource : public ByteSource {
+ public:
+  explicit WouldBlockEveryNSource(std::string data, size_t n = 1)
+      : data_(std::move(data)), n_(n) {}
+  ReadResult Read(char* buffer, size_t capacity) override {
+    if (!ready_) {
+      ready_ = true;
+      ++stalls_;
+      return ReadResult::WouldBlock();
+    }
+    ready_ = false;
+    size_t len = std::min({n_, capacity, data_.size() - pos_});
+    if (len == 0) return ReadResult::Eof();
+    std::memcpy(buffer, data_.data() + pos_, len);
+    pos_ += len;
+    return ReadResult::Ok(len);
+  }
+  uint64_t stalls() const { return stalls_; }
+
+ private:
+  std::string data_;
+  size_t n_;
+  size_t pos_ = 0;
+  bool ready_ = false;
+  uint64_t stalls_ = 0;
+};
+
+}  // namespace gcx
+
+#endif  // GCX_TESTS_TEST_SOURCES_H_

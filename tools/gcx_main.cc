@@ -24,6 +24,14 @@
 //                     hand-built batch
 //   --admission-batch=N    admission: max queries per batch (default 16)
 //   --admission-memory=N   admission: replay-log budget in events (0 = off)
+//   --admission-serial     admission: strict first-submission order with
+//                     blocking waits (disables ready-batch interleaving)
+//   --follow          open the input path as a non-blocking stream (FIFO,
+//                     character device): the engine consumes bytes as the
+//                     writer produces them instead of requiring a regular
+//                     file
+//   --input-fd=N      read the document from the already-open descriptor N
+//                     (non-blocking; e.g. a pipe inherited from a parent)
 //   --trace           dump the buffer after every input token (Fig. 2 style)
 //   --mode=MODE       streaming (default) | project | dom
 //   --no-gc           disable signOff execution and purging
@@ -35,6 +43,7 @@
 //                     subelements
 
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -50,6 +59,7 @@
 #include "core/engine.h"
 #include "core/multi_engine.h"
 #include "core/query_cache.h"
+#include "xml/fd_source.h"
 
 namespace {
 
@@ -83,6 +93,10 @@ void Help(const char* argv0) {
          "                    controller (grouping + batch limits)\n"
          "  --admission-batch=N   admission: max queries per batch\n"
          "  --admission-memory=N  admission: replay-log budget in events\n"
+         "  --admission-serial    admission: strict order, no interleaving\n"
+         "  --follow          stream the input path (FIFO/device) as the\n"
+         "                    writer produces it\n"
+         "  --input-fd=N      read the document from open descriptor N\n"
          "  --trace           dump the buffer after every input token\n"
          "  --mode=MODE       streaming (default) | project | dom\n"
          "  --no-gc           disable active garbage collection\n"
@@ -115,9 +129,10 @@ class OwningFileSource : public gcx::ByteSource {
  public:
   explicit OwningFileSource(const std::string& path)
       : in_(path, std::ios::binary) {}
-  size_t Read(char* buffer, size_t capacity) override {
+  ReadResult Read(char* buffer, size_t capacity) override {
     in_.read(buffer, static_cast<std::streamsize>(capacity));
-    return static_cast<size_t>(in_.gcount());
+    size_t n = static_cast<size_t>(in_.gcount());
+    return n > 0 ? ReadResult::Ok(n) : ReadResult::Eof();
   }
 
  private:
@@ -182,6 +197,9 @@ int main(int argc, char** argv) {
   bool admission_flag = false;
   size_t admission_batch = 16;
   uint64_t admission_memory = 0;
+  bool admission_serial = false;
+  bool follow = false;
+  int input_fd = -1;
   bool trace = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -238,6 +256,22 @@ int main(int argc, char** argv) {
         return 2;
       }
       admission_memory = static_cast<uint64_t>(v);
+    } else if (arg == "--admission-serial") {
+      admission_flag = true;
+      admission_serial = true;
+    } else if (arg == "--follow") {
+      follow = true;
+    } else if (arg.rfind("--input-fd=", 0) == 0) {
+      // strtol + endptr, not atol: a misparse here would silently select
+      // descriptor 0 and read the terminal instead of failing.
+      const char* value = arg.c_str() + std::strlen("--input-fd=");
+      char* end = nullptr;
+      long v = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || v < 0) {
+        std::cerr << "--input-fd needs a non-negative descriptor\n";
+        return 2;
+      }
+      input_fd = static_cast<int>(v);
     } else if (arg == "--trace") {
       trace = true;
     } else if (arg == "--no-gc") {
@@ -297,9 +331,13 @@ int main(int argc, char** argv) {
               << " canonical_hits=" << s.canonical_hits
               << " misses=" << s.misses << " compiles=" << s.compiles
               << " errors=" << s.compile_errors
+              << " negative_hits=" << s.negative_hits
+              << " negative_entries=" << s.negative_entries
               << " coalesced=" << s.coalesced
               << " evictions=" << s.evictions << " entries=" << s.entries
-              << " capacity=" << s.capacity << "\n";
+              << " capacity=" << s.capacity
+              << " bytes=" << s.bytes_resident
+              << " max_bytes=" << s.max_bytes << "\n";
   };
 
   // Compile everything before running anything: a malformed query fails the
@@ -329,10 +367,28 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // Input source: file (streamed) or stdin.
+  // Input source: open descriptor, non-blocking stream (--follow), file
+  // (streamed) or stdin.
   std::unique_ptr<gcx::ByteSource> source;
   std::ifstream input_file;
-  if (input_path.empty() || input_path == "-") {
+  if (input_fd >= 0) {
+    if (!input_path.empty() && input_path != "-") {
+      std::cerr << "--input-fd and an input file are mutually exclusive\n";
+      return 2;
+    }
+    source = std::make_unique<gcx::FdSource>(input_fd);
+  } else if (follow) {
+    if (input_path.empty() || input_path == "-") {
+      std::cerr << "--follow needs an input path (FIFO or device)\n";
+      return 2;
+    }
+    auto opened = gcx::FdSource::Open(input_path);
+    if (!opened.ok()) {
+      std::cerr << opened.status().ToString() << "\n";
+      return 1;
+    }
+    source = std::move(opened).value();
+  } else if (input_path.empty() || input_path == "-") {
     source = std::make_unique<gcx::IstreamSource>(&std::cin);
   } else {
     input_file.open(input_path, std::ios::binary);
@@ -390,22 +446,39 @@ int main(int argc, char** argv) {
     gcx::AdmissionLimits limits;
     limits.max_batch_queries = admission_batch;
     limits.max_replay_log_events = admission_memory;
+    limits.interleave = !admission_serial;
     gcx::AdmissionController controller(&cache, limits);
     std::error_code ec;
-    if (!input_path.empty() && input_path != "-" &&
-        std::filesystem::is_regular_file(input_path, ec)) {
+    if (follow || input_fd >= 0) {
+      // Streamed input: hand the single open source to the first batch (the
+      // scheduler parks it across stalls); a stream cannot be re-scanned,
+      // so a second batch over it fails cleanly.
+      auto shared = std::make_shared<std::unique_ptr<gcx::ByteSource>>(
+          std::move(source));
+      controller.RegisterDocumentAsync(
+          "doc", [shared]() -> gcx::Result<std::unique_ptr<gcx::ByteSource>> {
+            if (*shared == nullptr) {
+              return gcx::IoError(
+                  "streamed input (--follow/--input-fd) supports one batch; "
+                  "raise --admission-batch or use a regular file");
+            }
+            return std::move(*shared);
+          });
+    } else if (!input_path.empty() && input_path != "-" &&
+               std::filesystem::is_regular_file(input_path, ec)) {
       // Regular file: re-open per batch (a group may need several scans).
       std::string path = input_path;
       controller.RegisterDocument("doc", [path] {
         return std::make_unique<OwningFileSource>(path);
       });
     } else {
-      // stdin, FIFOs and other non-regular inputs cannot be re-opened per
-      // batch: materialize the already-open source once.
+      // stdin and other non-regular inputs cannot be re-opened per batch:
+      // materialize the already-open source once.
       std::string document;
-      char chunk[1 << 16];
-      while (size_t n = source->Read(chunk, sizeof(chunk))) {
-        document.append(chunk, n);
+      gcx::Status drained = gcx::ReadAll(source.get(), &document);
+      if (!drained.ok()) {
+        std::cerr << "error: " << drained.ToString() << "\n";
+        return 1;
       }
       controller.RegisterDocument("doc", std::move(document));
     }
@@ -441,11 +514,13 @@ int main(int argc, char** argv) {
                 << " splits_memory=" << a.splits_by_memory
                 << " replay_peak=" << a.replay_log_peak_observed
                 << " est_events_per_query=" << a.events_per_query_estimate
-                << "\n"
+                << " parked=" << a.batches_parked
+                << " resumes=" << a.batch_resumes << "\n"
                 << "run: queries=" << run->queries
                 << " batches=" << run->batches
                 << " scan_passes=" << run->scan_passes
-                << " bytes_scanned=" << run->bytes_scanned << "\n";
+                << " bytes_scanned=" << run->bytes_scanned
+                << " stalls=" << run->stalls << "\n";
     }
     print_cache_stats();
     return 0;
@@ -514,9 +589,10 @@ int main(int argc, char** argv) {
   if (project_only) {
     // Materialize the whole input (projection needs a string view here).
     std::string document;
-    char chunk[1 << 16];
-    while (size_t n = source->Read(chunk, sizeof(chunk))) {
-      document.append(chunk, n);
+    gcx::Status drained = gcx::ReadAll(source.get(), &document);
+    if (!drained.ok()) {
+      std::cerr << "error: " << drained.ToString() << "\n";
+      return 1;
     }
     stats = engine.Project(compiled_queries.front(), document, out);
   } else {
