@@ -134,7 +134,9 @@ int main() {
   std::vector<HitRateRow> hit_rows;
   for (auto [distinct, capacity] :
        std::vector<std::pair<size_t, size_t>>{{4, 8}, {8, 8}, {16, 8}, {16, 4}}) {
-    QueryCache cache(QueryCacheOptions{capacity});
+    QueryCacheOptions cache_options;
+    cache_options.capacity = capacity;
+    QueryCache cache(cache_options);
     const int submissions = 256;
     for (int i = 0; i < submissions; ++i) {
       auto compiled =

@@ -1,0 +1,165 @@
+// Sharded-scan scaling: MB/s and speedup of the parallel sharded executor
+// (core/shard.h) over the ordinary single scan, at 1/2/4/8 shards with one
+// worker thread per shard.
+//
+// The workload is the paper's XMark auction document with the scan-bound
+// Q6 — almost all wall time is tokenizing + DFA prefiltering, exactly the
+// part the shard pool parallelizes, so the measured speedup is the shard
+// layer's own scaling (merge + serial evaluation are the Amdahl tail).
+// Every sharded run is also checked byte-for-byte against the unsharded
+// output; a mismatch aborts the benchmark — CI asserts both the
+// `outputs_identical` flag and a >= 1.5x speedup at 4 shards.
+//
+// GCX_BENCH_SCALE=N multiplies the document size.
+// GCX_BENCH_JSON=path overrides the output path
+// (default: BENCH_shard.json in the working directory).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/multi_engine.h"
+#include "core/shard.h"
+#include "xmark/generator.h"
+#include "xmark/queries.h"
+
+namespace {
+
+struct Row {
+  size_t shards = 0;          // requested worker count (1 = single scan)
+  uint64_t planned_shards = 0;  // what the planner actually produced
+  uint64_t document_bytes = 0;
+  double seconds = 0;
+  bool outputs_identical = false;
+  double mb_per_s() const {
+    return seconds > 0
+               ? static_cast<double>(document_bytes) / (1024.0 * 1024.0) / seconds
+               : 0;
+  }
+};
+
+std::string RunOnce(const gcx::MultiQueryEngine& engine,
+                    const gcx::CompiledQuery& query, const std::string& doc,
+                    const gcx::ShardOptions& options) {
+  std::ostringstream out;
+  auto stats = engine.ExecuteSharded({&query}, doc, {&out}, options);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "sharded execute failed: %s\n",
+                 stats.status().ToString().c_str());
+    std::abort();
+  }
+  return out.str();
+}
+
+Row RunShards(const gcx::MultiQueryEngine& engine,
+              const gcx::CompiledQuery& query, const std::string& doc,
+              size_t shards, const std::string& golden, int reps) {
+  gcx::ShardOptions options;
+  options.shards = shards;
+  options.threads = shards;
+
+  Row row;
+  row.shards = shards;
+  row.document_bytes = doc.size();
+  row.outputs_identical = RunOnce(engine, query, doc, options) == golden;
+  row.seconds = 1e30;
+  for (int rep = 0; rep < reps; ++rep) {
+    gcx::bench::NullBuffer null_buffer;
+    std::ostream null_stream(&null_buffer);
+    auto start = std::chrono::steady_clock::now();
+    auto stats = engine.ExecuteSharded({&query}, doc, {&null_stream}, options);
+    double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "sharded execute failed: %s\n",
+                   stats.status().ToString().c_str());
+      std::abort();
+    }
+    row.seconds = std::min(row.seconds, seconds);
+    row.planned_shards = stats->shared.shards;
+  }
+  return row;
+}
+
+void WriteJson(const std::string& path, const std::vector<Row>& rows) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  double base = rows.empty() ? 0 : rows.front().seconds;
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "  {\"shards\": %zu, \"planned_shards\": %llu, "
+        "\"document_bytes\": %llu, \"seconds\": %.6f, \"mb_per_s\": %.2f, "
+        "\"speedup\": %.3f, \"outputs_identical\": %s}%s\n",
+        r.shards, static_cast<unsigned long long>(r.planned_shards),
+        static_cast<unsigned long long>(r.document_bytes), r.seconds,
+        r.mb_per_s(), r.seconds > 0 ? base / r.seconds : 0,
+        r.outputs_identical ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s (%zu rows)\n", path.c_str(), rows.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace gcx;
+  using namespace gcx::bench;
+
+  const int reps = 5;
+  std::string doc = GenerateXMark(XMarkOptions{8 * BenchScale(), 42});
+
+  auto compiled = CompiledQuery::Compile(XMarkQ6(), {});
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n",
+                 compiled.status().ToString().c_str());
+    std::abort();
+  }
+  MultiQueryEngine engine;
+
+  // The unsharded output is the golden every sharded run must reproduce.
+  ShardOptions single;
+  single.shards = 1;
+  std::string golden = RunOnce(engine, *compiled, doc, single);
+
+  std::vector<Row> rows;
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    rows.push_back(RunShards(engine, *compiled, doc, shards, golden, reps));
+  }
+
+  double base = rows.front().seconds;
+  std::printf("%-7s | %-8s | %-8s | %-10s | %-8s | %s\n", "shards", "planned",
+              "MB", "MB/s", "speedup", "identical");
+  for (const Row& r : rows) {
+    std::printf("%-7zu | %-8llu | %-8s | %10.1f | %7.2fx | %s\n", r.shards,
+                static_cast<unsigned long long>(r.planned_shards),
+                HumanBytes(r.document_bytes).c_str(), r.mb_per_s(),
+                r.seconds > 0 ? base / r.seconds : 0,
+                r.outputs_identical ? "yes" : "NO");
+    if (!r.outputs_identical) {
+      std::fprintf(stderr, "sharded output diverged at %zu shards\n", r.shards);
+      std::fflush(stdout);
+      std::abort();
+    }
+  }
+  std::fflush(stdout);
+
+  const char* json_path = std::getenv("GCX_BENCH_JSON");
+  WriteJson(json_path != nullptr ? json_path : "BENCH_shard.json", rows);
+  return 0;
+}

@@ -52,6 +52,12 @@ class ByteArena {
   ByteArena(const ByteArena&) = delete;
   ByteArena& operator=(const ByteArena&) = delete;
 
+  // Movable: a filled arena can be transported with its views (chunk
+  // storage is heap-allocated and never moves), e.g. a shard worker's
+  // event log handed back to the merge step.
+  ByteArena(ByteArena&&) = default;
+  ByteArena& operator=(ByteArena&&) = default;
+
   /// Copies `bytes` into the arena. The view stays valid until the owning
   /// chunk is recycled, i.e. until every payload in it has been Released.
   /// `*chunk` receives the handle to pass back to Release.

@@ -1,0 +1,92 @@
+// Minimal fixed-size worker-thread pool.
+//
+// Submit() hands a task to the pool and returns a std::future the caller
+// joins on — the futures/completion shape the sharded scan uses: fan a
+// document's shards out to the workers, then fan in by get()ing each
+// future in document order. Tasks are plain callables; exceptions
+// propagate through the future like std::async.
+//
+// Deliberately small: no work stealing, no priorities, no dynamic sizing.
+// The shard executor's tasks are long-lived and CPU-bound (one per shard),
+// so a queue + condition variable is all the scheduling it needs.
+
+#ifndef GCX_COMMON_THREAD_POOL_H_
+#define GCX_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace gcx {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(size_t threads) {
+    if (threads == 0) threads = 1;
+    workers_.reserve(threads);
+    for (size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  // The pool owns running threads; moving it would dangle their `this`.
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs every queued task, then joins the workers.
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  /// Enqueues `task`; the future resolves when it has run (or rethrows
+  /// what it threw).
+  std::future<void> Submit(std::function<void()> task) {
+    std::packaged_task<void()> packaged(std::move(task));
+    std::future<void> future = packaged.get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(packaged));
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  size_t size() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop() {
+    while (true) {
+      std::packaged_task<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ set and nothing left to drain
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace gcx
+
+#endif  // GCX_COMMON_THREAD_POOL_H_

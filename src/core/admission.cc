@@ -1,5 +1,7 @@
 #include "core/admission.h"
 
+#include <sched.h>
+
 #include <algorithm>
 #include <memory>
 #include <string>
@@ -7,6 +9,7 @@
 #include <vector>
 
 #include "core/multi_engine.h"
+#include "core/shard.h"
 #include "xml/fd_source.h"
 
 namespace gcx {
@@ -68,14 +71,22 @@ void AdmissionController::RegisterDocument(std::string doc_id,
 void AdmissionController::RegisterDocument(std::string doc_id,
                                            std::string content) {
   auto shared = std::make_shared<const std::string>(std::move(content));
+  std::string id = doc_id;
   RegisterDocument(std::move(doc_id), [shared] {
     return std::make_unique<SharedStringSource>(shared);
   });
+  // Retain the bytes AFTER the opener registration (which clears stale
+  // content): the sharded scan path needs the whole stored document.
+  std::lock_guard<std::mutex> lock(mu_);
+  contents_[std::move(id)] = std::move(shared);
 }
 
 void AdmissionController::RegisterDocumentAsync(std::string doc_id,
                                                 AsyncDocumentOpener opener) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Re-registration may change the document kind; drop any retained
+  // content so the sharded path can never serve stale bytes.
+  contents_.erase(doc_id);
   documents_[std::move(doc_id)] = std::move(opener);
 }
 
@@ -151,6 +162,43 @@ Status AdmissionController::StartNextBatch(GroupWork* work,
       ++stats_.splits_by_memory;
     } else {
       ++stats_.splits_by_size;
+    }
+  }
+
+  if (limits_.shards > 1) {
+    auto content = contents_.find(work->group.doc_id);
+    if (content != contents_.end()) {
+      // Stored document + sharding enabled: fan the scan out across the
+      // worker pool and fan back in (ExecuteSharded blocks until every
+      // shard finished — the bytes are in memory, so nothing can stall).
+      // Falls back to the single scan internally when the planner
+      // declines; either way the batch completes here.
+      std::vector<const CompiledQuery*> batch;
+      std::vector<std::ostream*> outs;
+      batch.reserve(n);
+      outs.reserve(n);
+      for (size_t j = work->next; j < work->next + n; ++j) {
+        batch.push_back(&pending[j].query);
+        outs.push_back(pending[j].out);
+      }
+      ShardOptions shard_options;
+      shard_options.shards = limits_.shards;
+      shard_options.threads = limits_.shard_threads;
+      MultiQueryEngine engine;
+      GCX_ASSIGN_OR_RETURN(
+          MultiQueryStats stats,
+          engine.ExecuteSharded(batch, *content->second, outs, shard_options));
+      ObserveBatch(n, stats.shared.replay_log_peak);
+      ++stats_.batches_formed;
+      if (stats.shared.shards > 0) ++stats_.sharded_runs;
+      ++run->batches;
+      run->queries += n;
+      run->scan_passes += stats.shared.scan_passes;
+      run->bytes_scanned += stats.shared.bytes_scanned;
+      run->replay_log_peak =
+          std::max(run->replay_log_peak, stats.shared.replay_log_peak);
+      work->next += n;
+      return Status::Ok();
     }
   }
 
@@ -305,8 +353,13 @@ Result<AdmissionRunStats> AdmissionController::Run() {
     if (all_done) break;
     if (!progressed) {
       // Everything runnable is parked. 50ms caps the sleep so an
-      // unpollable stalled source (ReadyFd < 0) still gets retried.
-      WaitAnyReadable(stalled_fds, /*timeout_ms=*/50);
+      // unpollable stalled source (ReadyFd < 0) still gets retried. A
+      // kError wait (bad descriptor) degrades to a yield: the next sweep's
+      // Step() reads surface the real failure.
+      if (WaitAnyReadable(stalled_fds, /*timeout_ms=*/50) ==
+          WaitStatus::kError) {
+        ::sched_yield();
+      }
     }
   }
   return run;

@@ -78,6 +78,14 @@ struct AdmissionLimits {
   /// strict first-submission order, blocking on every stall (legacy
   /// behavior, and the serial baseline for benchmarking).
   bool interleave = true;
+  /// Parallel scan shards (core/shard.h) for batches whose document was
+  /// registered as in-memory content (RegisterDocument(string)); <= 1
+  /// disables. Opener/async documents always use the single scan — their
+  /// bytes are not stored, and sharding needs the whole document.
+  size_t shards = 1;
+  /// Worker threads for the sharded scan (0 = one per shard, capped at
+  /// hardware concurrency).
+  size_t shard_threads = 0;
 };
 
 /// Lifetime counters of one controller.
@@ -87,6 +95,9 @@ struct AdmissionStats {
   uint64_t admitted = 0;   ///< requests that joined a pending group
   uint64_t batches_formed = 0;
   uint64_t solo_runs = 0;  ///< single-query batches executed without demux
+  /// Batches executed over the parallel sharded scan (the planner accepted
+  /// the document; fallback runs are not counted here).
+  uint64_t sharded_runs = 0;
   uint64_t splits_by_size = 0;    ///< batch cuts forced by max_batch_queries
   uint64_t splits_by_memory = 0;  ///< batch cuts forced by the event budget
   uint64_t replay_log_peak_observed = 0;  ///< max over all executed batches
@@ -183,6 +194,10 @@ class AdmissionController {
   QueryCache* cache_;
   AdmissionLimits limits_;
   std::unordered_map<std::string, AsyncDocumentOpener> documents_;
+  /// Stored bytes of documents registered via RegisterDocument(string):
+  /// the sharded scan path needs the whole document, not a stream.
+  std::unordered_map<std::string, std::shared_ptr<const std::string>>
+      contents_;
   /// Group key: doc_id + '\n' + BatchCompatibilityFingerprint.
   std::map<std::string, Group> groups_;
   size_t next_group_order_ = 0;

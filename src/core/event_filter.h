@@ -1,0 +1,128 @@
+// Merged-DFA event prefilter.
+//
+// The batch engines run ONE scan for N queries and drop, as early as
+// possible, every event no query can use: a subtree whose merged-DFA state
+// is dead for all N queries is consumed without ever reaching a per-query
+// projector, and text nodes are dropped when no query assigns roles at the
+// current state. This state machine is the decision core of that filter,
+// extracted from the shared-scan demux so the sharded executor's workers
+// apply byte-for-byte identical skip decisions: a shard reconstructs the
+// filter state at its boundary by replaying its ancestor path, and from
+// then on every Forward/Skip answer matches what the unsharded scan would
+// have decided at the same document position.
+//
+// Apply() advances state only on events the scanner actually produced, so
+// a would-block suspension (the scanner rewinds and re-delivers nothing)
+// leaves the filter exactly where it was — stall-resumability comes for
+// free.
+//
+// Thread model: a filter wraps one MergedDfa and is confined to one thread
+// (MergedDfa::Transition memoizes product states in place). Concurrent
+// scans each build their own MergedDfa + filter over the shared,
+// thread-safe SymbolTable.
+
+#ifndef GCX_CORE_EVENT_FILTER_H_
+#define GCX_CORE_EVENT_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "projection/merged_dfa.h"
+#include "xml/event.h"
+
+namespace gcx {
+
+class ProjectedEventFilter {
+ public:
+  enum class Action {
+    kForward,  ///< some query may need this event — deliver it
+    kSkip,     ///< dead for every query — consume and drop
+  };
+
+  explicit ProjectedEventFilter(MergedDfa* dfa) : dfa_(dfa) {
+    frames_.push_back(
+        {dfa_->initial(), dfa_->initial()->aggregate_entry});
+    if (frames_.back().aggregate_inc) aggregate_cover_depth_ = 1;
+  }
+
+  /// Classifies one scanner event, advancing the filter's element stack.
+  /// Every event of the stream must pass through here exactly once, in
+  /// document order — including the ones the caller already knows it will
+  /// drop (the stack must see every start/end).
+  Result<Action> Apply(const XmlEvent& event) {
+    if (skip_depth_ > 0) {
+      // Inside a subtree the prefilter rejected: consume, forward nothing.
+      ++events_skipped_;
+      switch (event.kind) {
+        case XmlEvent::Kind::kStartElement:
+          ++skip_depth_;
+          break;
+        case XmlEvent::Kind::kEndElement:
+          --skip_depth_;
+          break;
+        case XmlEvent::Kind::kText:
+          break;
+        case XmlEvent::Kind::kEndOfDocument:
+          // Unreachable: the scanner enforces tag balance.
+          return EvalError("shared scan: unbalanced subtree skip");
+      }
+      return Action::kSkip;
+    }
+    switch (event.kind) {
+      case XmlEvent::Kind::kStartElement: {
+        Frame& top = frames_.back();
+        MergedDfa::State* next = dfa_->Transition(top.state, event.tag);
+        if (next->skippable && !top.state->any_child_sensitive &&
+            aggregate_cover_depth_ == 0) {
+          // Dead for every query: skip the whole subtree.
+          ++events_skipped_;
+          ++subtrees_skipped_;
+          skip_depth_ = 1;
+          return Action::kSkip;
+        }
+        frames_.push_back({next, next->aggregate_entry});
+        if (next->aggregate_entry) ++aggregate_cover_depth_;
+        return Action::kForward;
+      }
+      case XmlEvent::Kind::kEndElement:
+        if (frames_.back().aggregate_inc) --aggregate_cover_depth_;
+        frames_.pop_back();
+        return Action::kForward;
+      case XmlEvent::Kind::kText:
+        if (!frames_.back().state->any_text_actions &&
+            aggregate_cover_depth_ == 0) {
+          ++events_skipped_;  // no query assigns roles to this text node
+          return Action::kSkip;
+        }
+        return Action::kForward;
+      case XmlEvent::Kind::kEndOfDocument:
+        return Action::kForward;
+    }
+    return EvalError("shared scan: unknown event kind");
+  }
+
+  /// Events consumed inside shared skips (subtrees and dead text).
+  uint64_t events_skipped() const { return events_skipped_; }
+  /// Whole subtrees dropped by the prefilter.
+  uint64_t subtrees_skipped() const { return subtrees_skipped_; }
+
+ private:
+  struct Frame {
+    MergedDfa::State* state = nullptr;
+    /// True when entering this element may have started an aggregate cover
+    /// for some query (everything below must then be delivered).
+    bool aggregate_inc = false;
+  };
+
+  MergedDfa* dfa_;
+  std::vector<Frame> frames_;
+  uint64_t aggregate_cover_depth_ = 0;
+  uint64_t skip_depth_ = 0;  ///< >0: inside a fast-skipped subtree
+  uint64_t events_skipped_ = 0;
+  uint64_t subtrees_skipped_ = 0;
+};
+
+}  // namespace gcx
+
+#endif  // GCX_CORE_EVENT_FILTER_H_

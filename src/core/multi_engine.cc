@@ -5,15 +5,20 @@
 #include <cstdint>
 #include <cstring>
 #include <deque>
+#include <future>
 #include <limits>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/arena.h"
 #include "common/symbol_table.h"
+#include "common/thread_pool.h"
 #include "core/dom_engine.h"
+#include "core/event_filter.h"
+#include "core/shard.h"
 #include "eval/evaluator.h"
 #include "eval/exec_context.h"
 #include "projection/merged_dfa.h"
@@ -70,12 +75,18 @@ class SharedScanDemux {
                   ScannerOptions scanner_options, SymbolTable* tags,
                   const std::vector<MergedDfaInput>& inputs)
       : scanner_(std::move(input), scanner_options, tags),
-        merged_(inputs, tags) {
-    frames_.push_back({merged_.initial(), merged_.initial()->aggregate_entry});
-    if (frames_.back().aggregate_inc) aggregate_cover_depth_ = 1;
-  }
+        merged_(inputs, tags),
+        filter_(&merged_) {}
 
   void Register(BatchQueryContext* ctx) { subscribers_.push_back(ctx); }
+
+  /// Solo-batch mode: deliver every appended event to `ctx` immediately
+  /// during the pump instead of retaining it for later replay. With one
+  /// subscriber there is no second consumer the log could serve, so eager
+  /// delivery keeps the replay log/arena at O(1) instead of O(document)
+  /// while the pump-then-evaluate control flow of MultiQueryRun buffers
+  /// the whole stream.
+  void set_solo_drain(BatchQueryContext* ctx) { solo_drain_ = ctx; }
 
   /// Marks `ctx` finished; its log position stops pinning the tail.
   void Detach(BatchQueryContext* ctx) {
@@ -96,17 +107,8 @@ class SharedScanDemux {
       GCX_ASSIGN_OR_RETURN(PumpState pumped, PumpOne());
       if (pumped == PumpState::kStalled) return WouldBlockStatus();
     }
-    const LogEvent& entry =
-        log_[static_cast<size_t>(ctx->position - log_base_)];
-    XmlEvent event;
-    event.kind = entry.kind;
-    event.tag = entry.tag;
-    event.text = entry.text;
-    // event.tags stays null: demuxed consumers work on the TagId.
     bool at_front = ctx->position == log_base_;
-    ++ctx->position;
-    ++stats_.events_demuxed;
-    Result<bool> more = projector.ProcessEvent(event);
+    Result<bool> more = DeliverNext(ctx);
     // Only the consumer of the front entry can advance the trim point;
     // checking every subscriber on every delivery would be O(N²) per scan.
     if (at_front) Trim();
@@ -115,26 +117,30 @@ class SharedScanDemux {
 
   XmlScanner& scanner() { return scanner_; }
   MergedDfa& merged() { return merged_; }
-  SharedScanStats& stats() { return stats_; }
+  SharedScanStats stats() const {
+    SharedScanStats stats = stats_;
+    stats.events_shared_skipped = filter_.events_skipped();
+    stats.shared_subtrees_skipped = filter_.subtrees_skipped();
+    return stats;
+  }
   bool scan_done() const { return scan_done_; }
 
   /// Pump-while-ready driver: advances the scan until the source stalls or
-  /// the end-of-document event enters the log. Never blocks.
+  /// the end-of-document event enters the log. Never blocks. In solo-drain
+  /// mode every surviving event is handed to the single subscriber as soon
+  /// as it is appended, so the log is trimmed continuously instead of
+  /// retaining the whole union-projected stream.
   Result<PumpState> PumpUntilStalledOrDone() {
     while (true) {
       GCX_ASSIGN_OR_RETURN(PumpState state, PumpOne());
+      if (solo_drain_ != nullptr && state != PumpState::kStalled) {
+        GCX_RETURN_IF_ERROR(DrainSolo());
+      }
       if (state != PumpState::kEvent) return state;
     }
   }
 
  private:
-  struct Frame {
-    MergedDfa::State* state = nullptr;
-    /// True when entering this element may have started an aggregate cover
-    /// for some query (everything below must then be delivered).
-    bool aggregate_inc = false;
-  };
-
   /// One replay-log entry. Text lives in `arena_` until trimmed.
   struct LogEvent {
     XmlEvent::Kind kind = XmlEvent::Kind::kEndOfDocument;
@@ -145,9 +151,9 @@ class SharedScanDemux {
 
   /// Reads scanner events until one survives the prefilter into the log
   /// (kEvent), the scan completes (kDone), or the source stalls (kStalled —
-  /// the scanner rewound to the event boundary and every piece of demux
-  /// state, including an in-progress shared skip, resumes on the next
-  /// call). Never blocks.
+  /// the scanner rewound to the event boundary and the filter state,
+  /// including an in-progress shared skip, resumes on the next call).
+  /// Never blocks.
   Result<PumpState> PumpOne() {
     while (true) {
       XmlEvent event;
@@ -155,66 +161,51 @@ class SharedScanDemux {
       if (IsWouldBlock(next)) return PumpState::kStalled;
       GCX_RETURN_IF_ERROR(next);
       ++stats_.events_scanned;
-      if (skip_depth_ > 0) {
-        // Inside a subtree the prefilter rejected: consume, log nothing.
-        // The depth is demux state (not a local) so a stall mid-skip
-        // suspends and resumes exactly where it left off.
-        ++stats_.events_shared_skipped;
-        switch (event.kind) {
-          case XmlEvent::Kind::kStartElement:
-            ++skip_depth_;
-            break;
-          case XmlEvent::Kind::kEndElement:
-            --skip_depth_;
-            break;
-          case XmlEvent::Kind::kText:
-            break;
-          case XmlEvent::Kind::kEndOfDocument:
-            // Unreachable: the scanner enforces tag balance.
-            return EvalError("shared scan: unbalanced subtree skip");
-        }
+      GCX_ASSIGN_OR_RETURN(ProjectedEventFilter::Action action,
+                           filter_.Apply(event));
+      if (action == ProjectedEventFilter::Action::kSkip) continue;
+      if (event.kind == XmlEvent::Kind::kEndOfDocument) {
+        scan_done_ = true;
+        stats_.bytes_scanned = scanner_.bytes_consumed();
+        Append(event);
+        return PumpState::kDone;
+      }
+      Append(event);
+      return PumpState::kEvent;
+    }
+  }
+
+  /// Delivers the log entry at `ctx`'s position to its projector and
+  /// advances the position. The caller is responsible for trimming.
+  Result<bool> DeliverNext(BatchQueryContext* ctx) {
+    const LogEvent& entry =
+        log_[static_cast<size_t>(ctx->position - log_base_)];
+    XmlEvent event;
+    event.kind = entry.kind;
+    event.tag = entry.tag;
+    event.text = entry.text;
+    // event.tags stays null: demuxed consumers work on the TagId.
+    ++ctx->position;
+    ++stats_.events_demuxed;
+    return ctx->projector().ProcessEvent(event);
+  }
+
+  /// Feeds the solo subscriber everything the log holds beyond its
+  /// position, then trims — with one consumer the log never needs to
+  /// retain a replayed entry. A projector that finished early (its
+  /// projection was exhausted) just skips past the remainder so the tail
+  /// still gets released.
+  Status DrainSolo() {
+    BatchQueryContext* ctx = solo_drain_;
+    while (ctx->position < log_base_ + log_.size()) {
+      if (ctx->detached || ctx->projector().done()) {
+        ++ctx->position;
         continue;
       }
-      switch (event.kind) {
-        case XmlEvent::Kind::kStartElement: {
-          Frame& top = frames_.back();
-          MergedDfa::State* next_state = merged_.Transition(top.state, event.tag);
-          if (next_state->skippable && !top.state->any_child_sensitive &&
-              aggregate_cover_depth_ == 0) {
-            // Dead for every query: skip the whole subtree.
-            ++stats_.events_shared_skipped;
-            ++stats_.shared_subtrees_skipped;
-            skip_depth_ = 1;
-            continue;
-          }
-          frames_.push_back({next_state, next_state->aggregate_entry});
-          if (next_state->aggregate_entry) ++aggregate_cover_depth_;
-          Append(event);
-          return PumpState::kEvent;
-        }
-        case XmlEvent::Kind::kEndElement: {
-          if (frames_.back().aggregate_inc) --aggregate_cover_depth_;
-          frames_.pop_back();
-          Append(event);
-          return PumpState::kEvent;
-        }
-        case XmlEvent::Kind::kText: {
-          if (!frames_.back().state->any_text_actions &&
-              aggregate_cover_depth_ == 0) {
-            ++stats_.events_shared_skipped;
-            continue;  // no query assigns roles to this text node
-          }
-          Append(event);
-          return PumpState::kEvent;
-        }
-        case XmlEvent::Kind::kEndOfDocument: {
-          scan_done_ = true;
-          stats_.bytes_scanned = scanner_.bytes_consumed();
-          Append(event);
-          return PumpState::kDone;
-        }
-      }
+      GCX_RETURN_IF_ERROR(DeliverNext(ctx).status());
     }
+    Trim();
+    return Status::Ok();
   }
 
   void Append(const XmlEvent& event) {
@@ -250,14 +241,13 @@ class SharedScanDemux {
 
   XmlScanner scanner_;
   MergedDfa merged_;
-  std::vector<Frame> frames_;
-  uint64_t aggregate_cover_depth_ = 0;
-  uint64_t skip_depth_ = 0;  ///< >0: inside a shared fast-skipped subtree
+  ProjectedEventFilter filter_;
   ByteArena arena_;
   std::deque<LogEvent> log_;
   uint64_t log_base_ = 0;  ///< global index of log_.front()
   bool scan_done_ = false;
   std::vector<BatchQueryContext*> subscribers_;
+  BatchQueryContext* solo_drain_ = nullptr;
   SharedScanStats stats_;
 };
 
@@ -273,12 +263,53 @@ Result<bool> BatchQueryContext::Pull() {
   }
 }
 
+/// One query's pipeline over the merged shard stream: same shape as
+/// BatchQueryContext, but Pull() replays a fully materialized, document-
+/// ordered event vector instead of advancing a live scan — by the time
+/// evaluation starts every shard has been scanned, merged and index-
+/// filtered, so a pull can never stall. The events view the per-shard
+/// arenas, which the sharded executor keeps alive until the batch is done.
+class ShardReplayContext final : public ExecContext {
+ public:
+  ShardReplayContext(const AnalyzedQuery* query, SymbolTable* tags,
+                     const std::vector<XmlEvent>* events)
+      : tags_(tags),
+        projector_(&query->projection, &query->roles, tags,
+                   /*scanner=*/nullptr, &buffer_),
+        events_(events) {}
+
+  BufferTree& buffer() override { return buffer_; }
+  SymbolTable& tags() override { return *tags_; }
+  Result<bool> Pull() override {
+    if (projector_.done()) return false;
+    // The merged stream always ends with end-of-document, and the
+    // projector reports done() after consuming it, so position_ cannot
+    // run past the end.
+    GCX_CHECK(position_ < events_->size());
+    return projector_.ProcessEvent((*events_)[position_++]);
+  }
+
+  StreamProjector& projector() { return projector_; }
+
+ private:
+  SymbolTable* tags_;
+  BufferTree buffer_;
+  StreamProjector projector_;
+  const std::vector<XmlEvent>* events_;
+  size_t position_ = 0;
+};
+
 /// Evaluates one batched query to completion (materialized-projection
 /// pre-pull, evaluator run, detach, per-query stats). Shared between the
-/// synchronous Execute path and the resumable MultiQueryRun.
-Result<ExecStats> EvaluateOne(const CompiledQuery& query,
-                              BatchQueryContext& ctx, SharedScanDemux& demux,
-                              std::ostream* out, EngineMode mode) {
+/// synchronous Execute path, the resumable MultiQueryRun and the sharded
+/// executor: `ctx` is a BatchQueryContext or a ShardReplayContext (same
+/// buffer()/projector()/Pull() surface) and `detach` tells the event source
+/// this query stopped consuming (demux trim; no-op for the merged shard
+/// stream, which is dropped wholesale after the batch).
+template <typename Context, typename DetachFn>
+Result<ExecStats> EvaluateOne(const CompiledQuery& query, Context& ctx,
+                              DetachFn&& detach, std::ostream* out,
+                              EngineMode mode) {
   auto start = std::chrono::steady_clock::now();
 
   if (mode == EngineMode::kMaterializedProjection) {
@@ -298,7 +329,7 @@ Result<ExecStats> EvaluateOne(const CompiledQuery& query,
   GCX_RETURN_IF_ERROR(evaluator.Run());
   // Freeze this query's pipeline exactly where a solo run would have
   // stopped pulling; later queries continue the shared scan without it.
-  demux.Detach(&ctx);
+  detach();
 
   ExecStats stats;
   stats.buffer = ctx.buffer().stats();
@@ -410,9 +441,11 @@ Result<MultiQueryStats> MultiQueryEngine::ExecuteStreamingBatch(
   MultiQueryStats result;
   result.projection = SummarizeMergedProjection(trees);
   for (size_t i = 0; i < queries.size(); ++i) {
+    BatchQueryContext* ctx = contexts[i].get();
     GCX_ASSIGN_OR_RETURN(
         ExecStats stats,
-        EvaluateOne(*queries[i], *contexts[i], demux, outs[i], mode));
+        EvaluateOne(*queries[i], *ctx, [&demux, ctx] { demux.Detach(ctx); },
+                    outs[i], mode));
     result.per_query.push_back(stats);
   }
 
@@ -420,6 +453,122 @@ Result<MultiQueryStats> MultiQueryEngine::ExecuteStreamingBatch(
   result.shared.scan_passes = 1;
   result.shared.bytes_scanned = demux.scanner().bytes_consumed();
   result.shared.merged_dfa_states = demux.merged().num_states();
+  return result;
+}
+
+Result<MultiQueryStats> MultiQueryEngine::ExecuteSharded(
+    const std::vector<const CompiledQuery*>& queries, std::string_view input,
+    const std::vector<std::ostream*>& outs,
+    const ShardOptions& shard_options) const {
+  GCX_RETURN_IF_ERROR(ValidateBatch(queries, outs));
+  if (queries.front()->options().mode == EngineMode::kNaiveDom) {
+    return Execute(queries, input, outs);  // one DOM parse; nothing to shard
+  }
+  ShardPlan plan = PlanShards(input, shard_options);
+  if (!plan.sharded) return Execute(queries, input, outs);
+
+  const EngineMode mode = queries.front()->options().mode;
+  const ScannerOptions& scanner_options = queries.front()->options().scanner;
+  std::vector<MergedDfaInput> dfa_inputs;
+  std::vector<const ProjectionTree*> trees;
+  for (const CompiledQuery* query : queries) {
+    dfa_inputs.push_back(
+        {&query->analyzed().projection, &query->analyzed().roles});
+    trees.push_back(&query->analyzed().projection);
+  }
+  // One tag table across all workers: SymbolTable interning is
+  // thread-safe, and downstream consumers need one coherent id space.
+  SymbolTable tags;
+
+  // Fan out: one scan task per slice, fan in by joining the futures in
+  // document order. The results vector is pre-sized so workers write
+  // disjoint slots without synchronization.
+  const size_t n = plan.slices.size();
+  std::vector<ShardScanResult> results(n);
+  size_t threads = shard_options.threads;
+  if (threads == 0) {
+    threads = n;
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw > 0) threads = std::min<size_t>(threads, hw);
+  }
+  {
+    ThreadPool pool(threads);
+    std::vector<std::future<void>> futures;
+    futures.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      futures.push_back(pool.Submit([&, i] {
+        ScanShard(input, plan.slices[i], scanner_options, dfa_inputs, &tags,
+                  shard_options, &results[i]);
+      }));
+    }
+    for (std::future<void>& future : futures) future.get();
+  }
+  // The unsharded scan would have stopped at the first error, so the
+  // earliest failing shard in document order owns the reported error (its
+  // line numbers are document-accurate via ScannerOptions::start_line).
+  for (const ShardScanResult& shard : results) {
+    GCX_RETURN_IF_ERROR(shard.status);
+  }
+
+  // Merge: concatenating the per-shard logs in document order yields
+  // exactly the event stream the single shared scan would have forwarded
+  // (see core/shard.h). Text views stay valid — they point into the
+  // per-shard arenas held by `results`.
+  size_t total = 0;
+  for (const ShardScanResult& shard : results) total += shard.log.size();
+  std::vector<XmlEvent> merged;
+  merged.reserve(total + 1);
+  for (const ShardScanResult& shard : results) {
+    for (const ShardEvent& entry : shard.log) {
+      XmlEvent event;
+      event.kind = entry.kind;
+      event.tag = entry.tag;
+      event.text = entry.text;
+      merged.push_back(event);
+    }
+  }
+  XmlEvent eod;
+  eod.kind = XmlEvent::Kind::kEndOfDocument;
+  merged.push_back(eod);
+
+  // Evaluate serially, exactly like the unsharded batch.
+  MultiQueryStats result;
+  result.projection = SummarizeMergedProjection(trees);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ShardReplayContext ctx(&queries[i]->analyzed(), &tags, &merged);
+    if (!queries[i]->options().enable_gc ||
+        mode == EngineMode::kMaterializedProjection) {
+      ctx.buffer().set_gc_enabled(false);
+    }
+    GCX_ASSIGN_OR_RETURN(ExecStats stats,
+                         EvaluateOne(*queries[i], ctx, [] {}, outs[i], mode));
+    result.per_query.push_back(stats);
+  }
+
+  SharedScanStats& shared = result.shared;
+  shared.scan_passes = 1;
+  shared.shards = n;
+  shared.events_forwarded = merged.size();
+  shared.replay_log_peak = merged.size();
+  // Synthetic wrapper events (entry/exit paths plus per-shard EOD) are a
+  // sharding artifact: subtract them so the counter stays comparable to
+  // the unsharded scan, then count the document's own end once.
+  shared.events_scanned = 1;
+  for (size_t i = 0; i < n; ++i) {
+    const ShardScanResult& shard = results[i];
+    const ShardSlice& slice = plan.slices[i];
+    shared.events_scanned += shard.scanner_events - slice.entry_path.size() -
+                             slice.exit_path.size() - 1;
+    shared.bytes_scanned += shard.bytes_scanned;
+    shared.events_shared_skipped += shard.events_skipped;
+    shared.shared_subtrees_skipped += shard.subtrees_skipped;
+    shared.replay_arena_peak_bytes += shard.arena_peak_bytes;
+    shared.merged_dfa_states =
+        std::max(shared.merged_dfa_states, shard.dfa_states);
+  }
+  for (const ExecStats& per_query : result.per_query) {
+    shared.events_demuxed += per_query.events_delivered;
+  }
   return result;
 }
 
@@ -530,6 +679,13 @@ MultiQueryRun::MultiQueryRun(std::vector<const CompiledQuery*> queries,
     impl_->demux->Register(ctx.get());
     impl_->contexts.push_back(std::move(ctx));
   }
+  if (impl_->contexts.size() == 1) {
+    // A parked/slow singleton would otherwise pin the replay log's tail
+    // for the whole scan (nothing trims until the lone query evaluates,
+    // which only happens after the pump completes). Eager delivery keeps
+    // the retained log O(1).
+    impl_->demux->set_solo_drain(impl_->contexts.front().get());
+  }
 }
 
 MultiQueryRun::~MultiQueryRun() = default;
@@ -584,9 +740,10 @@ MultiQueryRun::State MultiQueryRun::Step() {
   // so no evaluator can stall. Run them all.
   im.stats.projection = SummarizeMergedProjection(im.trees);
   for (size_t i = 0; i < im.queries.size(); ++i) {
-    Result<ExecStats> stats =
-        EvaluateOne(*im.queries[i], *im.contexts[i], *im.demux, im.outs[i],
-                    im.mode);
+    BatchQueryContext* ctx = im.contexts[i].get();
+    Result<ExecStats> stats = EvaluateOne(
+        *im.queries[i], *ctx, [&im, ctx] { im.demux->Detach(ctx); },
+        im.outs[i], im.mode);
     if (!stats.ok()) {
       im.Fail(stats.status());
       return im.state;

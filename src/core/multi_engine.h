@@ -42,6 +42,7 @@
 #include "analysis/merged_projection.h"
 #include "common/status.h"
 #include "core/engine.h"
+#include "core/shard.h"
 #include "xml/scanner.h"
 
 namespace gcx {
@@ -61,8 +62,11 @@ struct SharedScanStats {
   uint64_t merged_dfa_states = 0;  ///< materialized product states
   uint64_t replay_log_peak = 0;    ///< peak buffered events in the log
   /// High-water mark of the replay log's text arena (the log stores event
-  /// payloads as arena views; trimming releases whole chunks back).
+  /// payloads as arena views; trimming releases whole chunks back). For a
+  /// sharded run: the sum of the per-shard arena peaks.
   uint64_t replay_arena_peak_bytes = 0;
+  /// Parallel shards the scan ran on (0: ordinary single scan).
+  uint64_t shards = 0;
 };
 
 /// Result of one batched execution.
@@ -116,6 +120,19 @@ class MultiQueryEngine {
       std::unique_ptr<ByteSource> input,
       const std::vector<std::ostream*>& outs) const;
 
+  /// Sharded variant over a STORED document (core/shard.h): plans subtree
+  /// boundaries, scans the slices in parallel on a worker pool (each worker
+  /// owns a scanner + merged DFA over the one shared tag table), merges the
+  /// surviving events back in document order and evaluates every query
+  /// serially over the merged stream — output is byte-identical to
+  /// Execute. Falls back to the single-scan Execute when the planner
+  /// declines (small/unshardable document, shards <= 1, kNaiveDom), which
+  /// also preserves exact scanner errors for malformed input.
+  Result<MultiQueryStats> ExecuteSharded(
+      const std::vector<const CompiledQuery*>& queries, std::string_view input,
+      const std::vector<std::ostream*>& outs,
+      const ShardOptions& shard_options) const;
+
  private:
   Result<MultiQueryStats> ExecuteStreamingBatch(
       const std::vector<const CompiledQuery*>& queries,
@@ -139,12 +156,13 @@ class MultiQueryEngine {
 /// returns kDone.
 ///
 /// Compared with MultiQueryEngine::Execute (evaluator-driven pull), the
-/// replay log here always buffers the complete union-projected stream
-/// before the first evaluator runs. For batches of N >= 2 that is the same
-/// peak the pull path reaches in practice (queries behind the head pin the
-/// log tail until they evaluate); a solo batch pays the full log where the
-/// pull path trims as it goes — the scheduler only routes stall-capable
-/// sources through here, so always-ready singletons keep the cheap path.
+/// replay log here buffers the complete union-projected stream before the
+/// first evaluator runs when N >= 2 — the same peak the pull path reaches
+/// in practice (queries behind the head pin the log tail until they
+/// evaluate). A solo batch instead drains eagerly: each surviving event is
+/// delivered to the lone projector as it is appended and trimmed right
+/// away, so a parked or slow singleton retains O(1) replay log/arena
+/// rather than pinning the whole stream until its evaluator runs.
 class MultiQueryRun {
  public:
   enum class State {

@@ -117,10 +117,14 @@ CompiledQuery QueryCache::Insert(std::string canonical_key,
   return it->query;
 }
 
+std::chrono::steady_clock::time_point QueryCache::Now() const {
+  return options_.clock ? options_.clock() : std::chrono::steady_clock::now();
+}
+
 bool QueryCache::ProbeNegative(const std::string& key, Status* error) {
   auto it = negative_index_.find(key);
   if (it == negative_index_.end()) return false;
-  if (std::chrono::steady_clock::now() >= it->second->expiry) {
+  if (Now() >= it->second->expiry) {
     DropNegative(it->second);
     ++stats_.negative_evictions;
     return false;
@@ -133,29 +137,55 @@ bool QueryCache::ProbeNegative(const std::string& key, Status* error) {
 void QueryCache::InsertNegative(const std::string& key, const Status& error) {
   if (options_.negative_capacity == 0) return;
   if (key.size() > kMaxNegativeKeyBytes) return;
-  auto expiry = std::chrono::steady_clock::now() +
-                std::chrono::milliseconds(options_.negative_ttl_ms);
+  // Expired entries must not occupy capacity slots: sweep them before the
+  // LRU cut below so a stale failure never evicts a fresh one.
+  SweepExpiredNegatives();
+  auto expiry =
+      Now() + std::chrono::milliseconds(options_.negative_ttl_ms);
+  size_t bytes = sizeof(NegativeEntry) + key.size() + error.message().size();
   auto it = negative_index_.find(key);
   if (it != negative_index_.end()) {
+    bytes_resident_ -= it->second->bytes;
+    bytes_resident_ += bytes;
     it->second->error = error;
     it->second->expiry = expiry;
+    it->second->bytes = bytes;
     negative_lru_.splice(negative_lru_.begin(), negative_lru_, it->second);
+    stats_.bytes_resident = bytes_resident_;
     return;
   }
-  negative_lru_.push_front(NegativeEntry{key, error, expiry});
+  negative_lru_.push_front(NegativeEntry{key, error, expiry, bytes});
   negative_index_.emplace(key, negative_lru_.begin());
+  bytes_resident_ += bytes;
   while (negative_lru_.size() > options_.negative_capacity) {
-    negative_index_.erase(negative_lru_.back().key);
-    negative_lru_.pop_back();
+    DropNegative(std::prev(negative_lru_.end()));
     ++stats_.negative_evictions;
   }
   stats_.negative_entries = negative_lru_.size();
+  stats_.bytes_resident = bytes_resident_;
 }
 
 void QueryCache::DropNegative(NegativeList::iterator it) {
+  bytes_resident_ -= it->bytes;
   negative_index_.erase(it->key);
   negative_lru_.erase(it);
   stats_.negative_entries = negative_lru_.size();
+  stats_.bytes_resident = bytes_resident_;
+}
+
+void QueryCache::SweepExpiredNegatives() {
+  if (negative_lru_.empty()) return;
+  auto now = Now();
+  // The TTL is uniform and refreshes move entries to the front, so the
+  // back holds the earliest expiry: if it is still fresh, everything is.
+  if (now < negative_lru_.back().expiry) return;
+  for (auto it = negative_lru_.begin(); it != negative_lru_.end();) {
+    auto victim = it++;
+    if (now >= victim->expiry) {
+      DropNegative(victim);
+      ++stats_.negative_evictions;
+    }
+  }
 }
 
 Result<CompiledQuery> QueryCache::GetOrCompile(std::string_view text,
@@ -168,6 +198,7 @@ Result<CompiledQuery> QueryCache::GetOrCompile(std::string_view text,
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.lookups;
+    SweepExpiredNegatives();
     auto it = index_.find(exact_key);
     if (it != index_.end()) {
       ++stats_.hits;
@@ -286,8 +317,20 @@ QueryCacheStats QueryCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   QueryCacheStats out = stats_;
   out.entries = lru_.size();
-  out.negative_entries = negative_lru_.size();
-  out.bytes_resident = bytes_resident_;
+  // Snapshot view: expired-but-unswept negatives are reported as gone (a
+  // mutating operation will collect them and book the evictions).
+  auto now = Now();
+  size_t fresh = 0;
+  uint64_t expired_bytes = 0;
+  for (const NegativeEntry& entry : negative_lru_) {
+    if (now >= entry.expiry) {
+      expired_bytes += entry.bytes;
+    } else {
+      ++fresh;
+    }
+  }
+  out.negative_entries = fresh;
+  out.bytes_resident = bytes_resident_ - expired_bytes;
   return out;
 }
 

@@ -44,6 +44,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -76,6 +77,9 @@ struct QueryCacheOptions {
   /// How long a cached compile failure keeps answering before the text is
   /// re-tried for real. 0 = entries expire immediately (useful in tests).
   int64_t negative_ttl_ms = 30000;
+  /// Test seam: the clock negative-entry TTLs are evaluated against.
+  /// Defaults to std::chrono::steady_clock::now when unset.
+  std::function<std::chrono::steady_clock::time_point()> clock;
 };
 
 /// Counters (monotonic since construction, except the `*entries`/`bytes`
@@ -130,11 +134,15 @@ class QueryCache {
   };
   using EntryList = std::list<Entry>;
 
-  /// One remembered compile failure (negative cache).
+  /// One remembered compile failure (negative cache). `bytes` is the
+  /// entry's residency (key + error text), charged against bytes_resident_
+  /// while the entry is FRESH — an expired entry is swept eagerly so it
+  /// neither counts toward the budget nor occupies a capacity slot.
   struct NegativeEntry {
     std::string key;
     Status error;
     std::chrono::steady_clock::time_point expiry;
+    size_t bytes = 0;
   };
   using NegativeList = std::list<NegativeEntry>;
 
@@ -155,12 +163,18 @@ class QueryCache {
   void EvictToCapacity();
 
   // Negative cache helpers; caller holds mu_.
+  /// The (possibly injected) clock TTLs are evaluated against.
+  std::chrono::steady_clock::time_point Now() const;
   /// Returns true (and fills `*error`) when a fresh failure is cached
   /// under `key`; an expired entry is dropped on probe.
   bool ProbeNegative(const std::string& key, Status* error);
   /// Remembers `error` under `key` with the configured TTL.
   void InsertNegative(const std::string& key, const Status& error);
   void DropNegative(NegativeList::iterator it);
+  /// Drops every expired negative entry (counting negative_evictions), so
+  /// stale failures stop holding bytes or capacity the moment any cache
+  /// operation observes the clock.
+  void SweepExpiredNegatives();
 
   mutable std::mutex mu_;
   QueryCacheOptions options_;

@@ -1,0 +1,320 @@
+#include "core/shard.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "core/event_filter.h"
+#include "xml/fd_source.h"
+
+namespace gcx {
+
+namespace {
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+// Mirrors the scanner's NameCharTable; being stricter than the scanner is
+// fine (the planner then declines to shard and the single scan decides).
+bool IsNameStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+/// Zero-copy three-part source: synthetic entry wrapper, the document
+/// slice (viewed, not copied), synthetic exit wrapper.
+class SliceSource : public ByteSource {
+ public:
+  SliceSource(std::string prefix, std::string_view body, std::string suffix)
+      : prefix_(std::move(prefix)), body_(body), suffix_(std::move(suffix)) {}
+
+  ReadResult Read(char* buffer, size_t capacity) override {
+    while (part_ < 3) {
+      std::string_view current = part_ == 0   ? std::string_view(prefix_)
+                                 : part_ == 1 ? body_
+                                              : std::string_view(suffix_);
+      if (pos_ < current.size()) {
+        size_t n = std::min(capacity, current.size() - pos_);
+        std::memcpy(buffer, current.data() + pos_, n);
+        pos_ += n;
+        return ReadResult::Ok(n);
+      }
+      ++part_;
+      pos_ = 0;
+    }
+    return ReadResult::Eof();
+  }
+
+ private:
+  std::string prefix_;
+  std::string_view body_;
+  std::string suffix_;
+  int part_ = 0;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+ShardPlan PlanShards(std::string_view doc, const ShardOptions& options) {
+  ShardPlan plan;  // sharded == false until proven otherwise
+  const size_t want = options.shards;
+  if (want <= 1) return plan;
+  if (doc.size() < want * std::max<size_t>(options.min_shard_bytes, 1)) {
+    return plan;
+  }
+
+  struct Boundary {
+    size_t pos = 0;
+    int line = 1;
+    std::vector<std::string> path;
+  };
+  std::vector<Boundary> boundaries;
+  std::vector<std::string_view> stack;  // open element names, views into doc
+  bool seen_root = false;
+
+  size_t pos = 0;
+  int line = 1;
+  // Boundary k wants the first eligible element start at byte >= k/want of
+  // the document, so slices come out roughly even.
+  size_t next_target = 1;
+  auto target_pos = [&](size_t k) { return doc.size() / want * k; };
+
+  // All consumption goes through bump_to so the line counter stays exact.
+  auto bump_to = [&](size_t end) {
+    for (; pos < end; ++pos) {
+      if (doc[pos] == '\n') ++line;
+    }
+  };
+  // Advances past `needle` (searching from `from`); false if absent.
+  auto skip_past = [&](std::string_view needle, size_t from) {
+    size_t at = doc.find(needle, from);
+    if (at == std::string_view::npos) return false;
+    bump_to(at + needle.size());
+    return true;
+  };
+
+  while (pos < doc.size()) {
+    char c = doc[pos];
+    if (c != '<') {
+      if (c == '\n') ++line;
+      ++pos;
+      continue;
+    }
+    if (pos + 1 >= doc.size()) return plan;  // dangling '<'
+    char d = doc[pos + 1];
+    if (d == '!') {
+      if (doc.compare(pos, 4, "<!--") == 0) {
+        if (!skip_past("-->", pos + 4)) return plan;
+      } else if (doc.compare(pos, 9, "<![CDATA[") == 0) {
+        if (!skip_past("]]>", pos + 9)) return plan;
+      } else {
+        // DOCTYPE: same bracket-depth rule as the scanner ('['/'<' nest,
+        // ']' closes, '>' at depth zero ends the declaration).
+        size_t p = pos + 2;
+        int depth = 0;
+        bool closed = false;
+        for (; p < doc.size(); ++p) {
+          char e = doc[p];
+          if (e == '[' || e == '<') {
+            ++depth;
+          } else if (e == ']') {
+            --depth;
+          } else if (e == '>' && depth <= 0) {
+            closed = true;
+            ++p;
+            break;
+          }
+        }
+        if (!closed) return plan;
+        bump_to(p);
+      }
+      continue;
+    }
+    if (d == '?') {
+      if (!skip_past("?>", pos + 2)) return plan;
+      continue;
+    }
+    if (d == '/') {
+      size_t p = pos + 2;
+      size_t name_begin = p;
+      while (p < doc.size() && doc[p] != '>' && !IsSpace(doc[p])) ++p;
+      std::string_view name = doc.substr(name_begin, p - name_begin);
+      while (p < doc.size() && IsSpace(doc[p])) ++p;
+      if (p >= doc.size() || doc[p] != '>') return plan;
+      if (name.empty() || stack.empty() || stack.back() != name) {
+        return plan;  // mismatched close: the scanner owns the error
+      }
+      stack.pop_back();
+      bump_to(p + 1);
+      continue;
+    }
+    // Element start. The candidate boundary is this '<': the element and
+    // its whole subtree belong to the NEXT slice, so no token is split.
+    if (!IsNameStart(d)) return plan;
+    if (stack.empty() && seen_root) return plan;  // second root
+    if (!stack.empty() && stack.size() <= options.max_boundary_depth &&
+        boundaries.size() + 1 < want && pos >= target_pos(next_target)) {
+      Boundary boundary;
+      boundary.pos = pos;
+      boundary.line = line;
+      boundary.path.assign(stack.begin(), stack.end());
+      boundaries.push_back(std::move(boundary));
+      while (next_target < want && target_pos(next_target) <= pos) {
+        ++next_target;
+      }
+    }
+    size_t p = pos + 1;
+    size_t name_begin = p;
+    while (p < doc.size() && !IsSpace(doc[p]) && doc[p] != '>' &&
+           doc[p] != '/') {
+      ++p;
+    }
+    std::string_view name = doc.substr(name_begin, p - name_begin);
+    if (name.empty()) return plan;
+    bool empty_element = false;
+    bool closed = false;
+    while (p < doc.size()) {
+      char e = doc[p];
+      if (e == '>') {
+        closed = true;
+        ++p;
+        break;
+      }
+      if (e == '/') {
+        if (p + 1 < doc.size() && doc[p + 1] == '>') {
+          empty_element = true;
+          closed = true;
+          p += 2;
+          break;
+        }
+        return plan;  // stray '/': the scanner owns the error
+      }
+      if (e == '"' || e == '\'') {
+        size_t quote_end = doc.find(e, p + 1);
+        if (quote_end == std::string_view::npos) return plan;
+        p = quote_end + 1;
+        continue;
+      }
+      ++p;
+    }
+    if (!closed) return plan;
+    seen_root = true;
+    if (!empty_element) stack.push_back(name);
+    bump_to(p);
+  }
+
+  if (!stack.empty() || !seen_root) return plan;  // unbalanced / no root
+  if (boundaries.empty()) return plan;            // nowhere to split
+
+  plan.slices.reserve(boundaries.size() + 1);
+  for (size_t i = 0; i <= boundaries.size(); ++i) {
+    ShardSlice slice;
+    slice.begin = i == 0 ? 0 : boundaries[i - 1].pos;
+    slice.end = i == boundaries.size() ? doc.size() : boundaries[i].pos;
+    slice.start_line = i == 0 ? 1 : boundaries[i - 1].line;
+    if (i > 0) slice.entry_path = boundaries[i - 1].path;
+    if (i < boundaries.size()) slice.exit_path = boundaries[i].path;
+    plan.slices.push_back(std::move(slice));
+  }
+  plan.sharded = true;
+  return plan;
+}
+
+void ScanShard(std::string_view doc, const ShardSlice& slice,
+               const ScannerOptions& scanner_options,
+               const std::vector<MergedDfaInput>& dfa_inputs,
+               SymbolTable* tags, const ShardOptions& options,
+               ShardScanResult* result) {
+  // Synthetic wrappers: attribute-free tags, so each contributes exactly
+  // one scanner event in either attribute mode, and no newlines, so the
+  // slice's line numbers stay document-accurate.
+  std::string prefix;
+  for (const std::string& name : slice.entry_path) {
+    prefix += '<';
+    prefix += name;
+    prefix += '>';
+  }
+  std::string suffix;
+  for (auto it = slice.exit_path.rbegin(); it != slice.exit_path.rend();
+       ++it) {
+    suffix += "</";
+    suffix += *it;
+    suffix += '>';
+  }
+  std::string_view body = doc.substr(slice.begin, slice.end - slice.begin);
+
+  std::unique_ptr<ByteSource> source;
+  if (options.wrap_source) {
+    std::string composite;
+    composite.reserve(prefix.size() + body.size() + suffix.size());
+    composite += prefix;
+    composite.append(body.data(), body.size());
+    composite += suffix;
+    source = options.wrap_source(std::move(composite));
+  } else {
+    source = std::make_unique<SliceSource>(std::move(prefix), body,
+                                           std::move(suffix));
+  }
+
+  ScannerOptions scan_options = scanner_options;
+  scan_options.start_line = slice.start_line;
+  XmlScanner scanner(std::move(source), scan_options, tags);
+  // Private DFA per shard: Transition memoizes product states in place.
+  MergedDfa dfa(dfa_inputs, tags);
+  ProjectedEventFilter filter(&dfa);
+
+  const uint64_t prefix_events = slice.entry_path.size();
+  uint64_t scan_index = 0;
+  while (true) {
+    XmlEvent event;
+    Status next = scanner.Next(&event);
+    if (IsWouldBlock(next)) {
+      // A worker thread has nothing else to do: block until readable.
+      WaitReadable(scanner.ReadyFd(), /*timeout_ms=*/-1);
+      continue;
+    }
+    if (!next.ok()) {
+      result->status = next;
+      break;
+    }
+    const uint64_t index = scan_index++;
+    Result<ProjectedEventFilter::Action> action = filter.Apply(event);
+    if (!action.ok()) {
+      result->status = action.status();
+      break;
+    }
+    if (*action == ProjectedEventFilter::Action::kSkip) continue;
+    if (event.kind == XmlEvent::Kind::kEndOfDocument) break;
+    if (index < prefix_events) continue;  // synthetic entry wrapper
+    ShardEvent out;
+    out.kind = event.kind;
+    out.tag = event.tag;
+    out.scan_index = index;
+    if (!event.text.empty()) {
+      uint32_t chunk;  // shard logs are dropped wholesale: handle unused
+      out.text = result->arena.Append(event.text, &chunk);
+    }
+    result->log.push_back(out);
+  }
+
+  // Drop the synthetic exit wrapper: its end tags (plus end-of-document)
+  // are the last exit_path.size() + 1 scanner events.
+  if (result->status.ok()) {
+    const uint64_t first_synthetic =
+        scan_index - slice.exit_path.size() - 1;
+    while (!result->log.empty() &&
+           result->log.back().scan_index >= first_synthetic) {
+      result->log.pop_back();
+    }
+  }
+
+  result->scanner_events = scan_index;
+  result->events_skipped = filter.events_skipped();
+  result->subtrees_skipped = filter.subtrees_skipped();
+  result->bytes_scanned = slice.end - slice.begin;
+  result->arena_peak_bytes = result->arena.stats().bytes_peak;
+  result->dfa_states = dfa.num_states();
+}
+
+}  // namespace gcx

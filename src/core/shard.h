@@ -1,0 +1,140 @@
+// Sharded document execution: split one stored document at subtree
+// boundaries and scan the shards on parallel workers.
+//
+// The streaming engines are scan-bound on selective queries — the scanner
+// plus the merged-DFA prefilter touch every byte while the per-query
+// pipelines see only the projected remainder. For a STORED document (bytes
+// fully available, as in the admission controller's registered-content
+// path) that scan is parallelizable: a cheap structural pre-pass
+// (PlanShards) finds element-start boundaries that split the document into
+// contiguous byte slices, and each slice is scanned by its own worker with
+// a private scanner + merged DFA over one shared SymbolTable.
+//
+// Correctness model. Only the scan/prefilter/projection phase is
+// parallelized; events are merged back in document order and the per-query
+// evaluators run serially over the merged stream, so outputs are
+// byte-identical to the unsharded scan (evaluation order, buffer GC and
+// output formatting are untouched). A worker reconstructs the stream
+// context at its boundary by scanning synthetic wrappers: the slice is
+// framed as
+//
+//     <a><b>  ...slice bytes...  </c></a>
+//
+// where <a><b> re-opens the element path entering the slice and </c></a>
+// closes the path open at its end (the document is well-formed, so the
+// framed slice is too). The wrapper events re-build both the scanner's
+// balance stack and the prefilter's DFA frame stack — transitions are
+// deterministic, so every skip decision matches what the unsharded scan
+// decides at the same position — and are dropped again at merge time by
+// their scanner-event ordinals. Boundaries sit only at element starts, so
+// no text run, tag or entity is ever split.
+//
+// Failure model. PlanShards is purely lexical and never fails: a document
+// it cannot shard safely (too small, structurally dubious, no usable
+// boundaries) yields `sharded == false` and the caller falls back to the
+// ordinary single scan — which also surfaces the exact scanner error for
+// malformed input. A scan error inside a shard is reported from the
+// earliest shard in document order, with document-accurate line numbers
+// (ScannerOptions::start_line).
+
+#ifndef GCX_CORE_SHARD_H_
+#define GCX_CORE_SHARD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/status.h"
+#include "common/symbol_table.h"
+#include "projection/merged_dfa.h"
+#include "xml/event.h"
+#include "xml/scanner.h"
+
+namespace gcx {
+
+/// Knobs for sharded execution.
+struct ShardOptions {
+  /// Requested number of shards; <= 1 disables sharding.
+  size_t shards = 1;
+  /// Documents smaller than shards * min_shard_bytes are not split (the
+  /// planner pass and thread fan-out would cost more than they save).
+  size_t min_shard_bytes = 64 * 1024;
+  /// Boundaries are only placed at element starts at most this deep (the
+  /// synthetic wrapper replays one start event per ancestor).
+  size_t max_boundary_depth = 8;
+  /// Worker threads; 0 = one per shard, capped at hardware concurrency.
+  size_t threads = 0;
+  /// Test seam: wraps the exact byte sequence a shard scans (synthetic
+  /// prefix + slice + synthetic suffix) in a custom ByteSource — e.g. a
+  /// would-block stall injector. Unset: an internal zero-copy source.
+  std::function<std::unique_ptr<ByteSource>(std::string)> wrap_source;
+};
+
+/// One planned shard: the half-open byte range [begin, end) of the
+/// document plus the element paths open at its edges (outermost first).
+/// entry_path is empty only for the first shard (it starts at the document
+/// head, prolog included); exit_path is empty only for the last.
+struct ShardSlice {
+  size_t begin = 0;
+  size_t end = 0;
+  int start_line = 1;  ///< 1-based document line of `begin`
+  std::vector<std::string> entry_path;
+  std::vector<std::string> exit_path;
+};
+
+struct ShardPlan {
+  bool sharded = false;  ///< false: run the ordinary single scan instead
+  std::vector<ShardSlice> slices;
+};
+
+/// Structural pre-pass splitting `doc` into up to `options.shards` slices
+/// of roughly even size at element-start boundaries. Mirrors the scanner's
+/// lexical rules (comments, CDATA, PIs, DOCTYPE, quoted attribute values)
+/// and validates tag nesting along the way; any irregularity disables
+/// sharding rather than failing.
+ShardPlan PlanShards(std::string_view doc, const ShardOptions& options);
+
+/// One surviving event of a shard's scan. `text` views the result's arena;
+/// `scan_index` is the event's ordinal in the shard's scanner stream, used
+/// at merge time to drop the synthetic wrapper events again.
+struct ShardEvent {
+  XmlEvent::Kind kind = XmlEvent::Kind::kEndOfDocument;
+  TagId tag = kInvalidTag;
+  std::string_view text;
+  uint64_t scan_index = 0;
+};
+
+/// What one worker hands back: the projected event log of its slice (plus
+/// the arena owning the text payloads) and scan counters.
+struct ShardScanResult {
+  Status status = Status::Ok();
+  std::vector<ShardEvent> log;
+  ByteArena arena;
+  uint64_t scanner_events = 0;  ///< all events the shard's scanner produced
+  uint64_t events_skipped = 0;
+  uint64_t subtrees_skipped = 0;
+  uint64_t bytes_scanned = 0;
+  uint64_t arena_peak_bytes = 0;
+  uint64_t dfa_states = 0;
+};
+
+/// Scans one slice: synthetic wrappers + slice bytes through a private
+/// scanner and merged-DFA prefilter (one MergedDfa per call — Transition
+/// memoizes in place and is not thread-safe), appending surviving events
+/// to `result`. Safe to run concurrently for distinct results over one
+/// shared thread-safe SymbolTable. Blocks across would-block stalls (the
+/// worker thread has nothing else to do).
+void ScanShard(std::string_view doc, const ShardSlice& slice,
+               const ScannerOptions& scanner_options,
+               const std::vector<MergedDfaInput>& dfa_inputs,
+               SymbolTable* tags, const ShardOptions& options,
+               ShardScanResult* result);
+
+}  // namespace gcx
+
+#endif  // GCX_CORE_SHARD_H_

@@ -74,6 +74,8 @@ class StreamExecContext final : public ExecContext {
     while (true) {
       Result<bool> more = projector_.Advance();
       if (more.ok() || !IsWouldBlock(more.status())) return more;
+      // A kError wait (bad descriptor, poll failure) falls through to the
+      // retry: the read itself then surfaces the real failure.
       WaitReadable(scanner_.ReadyFd(), /*timeout_ms=*/-1);
     }
   }

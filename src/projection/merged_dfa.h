@@ -73,6 +73,10 @@ class MergedDfa {
 
   /// δ(state, tag), computed and memoized on demand. `tag` is the scanner's
   /// interned id — the shared scan performs no per-event hashing.
+  /// NOT thread-safe: memoization mutates the state graph in place, so a
+  /// MergedDfa is confined to one scan thread. Concurrent scans (sharded
+  /// execution, core/shard.h) each build their own MergedDfa over the one
+  /// shared, thread-safe SymbolTable.
   State* Transition(State* state, TagId tag) {
     size_t index = static_cast<size_t>(tag);
     if (index < state->transitions.size() &&

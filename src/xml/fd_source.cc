@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <ctime>
 #include <memory>
 #include <string>
 #include <utility>
@@ -65,45 +66,77 @@ Result<std::unique_ptr<FdSource>> FdSource::Open(const std::string& path) {
   return std::make_unique<FdSource>(fd);
 }
 
-bool WaitReadable(int fd, int timeout_ms) {
+namespace {
+
+int64_t MonotonicMs() {
+  struct timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+/// Shared poll loop: retries EINTR with the REMAINING deadline (not the
+/// original timeout — a signal-heavy process must still time out on
+/// schedule) and surfaces non-EINTR poll failures and POLLNVAL instead of
+/// claiming readability.
+WaitStatus PollLoop(struct pollfd* polls, size_t n, int timeout_ms) {
+  int remaining = timeout_ms;
+  while (true) {
+    int64_t start = remaining > 0 ? MonotonicMs() : 0;
+    int r = ::poll(polls, n, remaining);
+    if (r > 0) {
+      // Readable, hung up or errored all mean a Read proceeds — but an
+      // invalid descriptor means the caller is waiting on a closed fd and
+      // no amount of waiting will help.
+      for (size_t i = 0; i < n; ++i) {
+        if (polls[i].revents & POLLNVAL) {
+          errno = EBADF;
+          return WaitStatus::kError;
+        }
+      }
+      return WaitStatus::kReady;
+    }
+    if (r == 0) return WaitStatus::kTimeout;
+    if (errno != EINTR) return WaitStatus::kError;
+    if (remaining > 0) {
+      int64_t elapsed = MonotonicMs() - start;
+      remaining = elapsed >= remaining
+                      ? 0  // deadline spent: one final non-blocking check
+                      : remaining - static_cast<int>(elapsed);
+    }
+  }
+}
+
+}  // namespace
+
+WaitStatus WaitReadable(int fd, int timeout_ms) {
   if (fd < 0) {
     // Not pollable: yield so a producer thread can run, then let the caller
     // retry. This turns the wait into a polite spin.
     ::sched_yield();
-    return true;
+    return WaitStatus::kReady;
   }
   struct pollfd p;
   p.fd = fd;
   p.events = POLLIN;
   p.revents = 0;
-  while (true) {
-    int r = ::poll(&p, 1, timeout_ms);
-    if (r > 0) return true;  // readable, hung up or errored: Read proceeds
-    if (r == 0) return false;
-    if (errno != EINTR) return true;  // unexpected poll failure: just retry
-  }
+  return PollLoop(&p, 1, timeout_ms);
 }
 
-bool WaitAnyReadable(const std::vector<int>& fds, int timeout_ms) {
+WaitStatus WaitAnyReadable(const std::vector<int>& fds, int timeout_ms) {
   std::vector<struct pollfd> polls;
   polls.reserve(fds.size());
   for (int fd : fds) {
     if (fd < 0) {
       ::sched_yield();
-      return true;
+      return WaitStatus::kReady;
     }
     polls.push_back({fd, POLLIN, 0});
   }
   if (polls.empty()) {
     ::sched_yield();
-    return true;
+    return WaitStatus::kReady;
   }
-  while (true) {
-    int r = ::poll(polls.data(), polls.size(), timeout_ms);
-    if (r > 0) return true;
-    if (r == 0) return false;
-    if (errno != EINTR) return true;
-  }
+  return PollLoop(polls.data(), polls.size(), timeout_ms);
 }
 
 Status ReadAll(ByteSource* source, std::string* out) {
@@ -115,7 +148,11 @@ Status ReadAll(ByteSource* source, std::string* out) {
         out->append(chunk, r.bytes);
         break;
       case ByteSource::ReadState::kWouldBlock:
-        WaitReadable(source->ReadyFd(), /*timeout_ms=*/-1);
+        if (WaitReadable(source->ReadyFd(), /*timeout_ms=*/-1) ==
+            WaitStatus::kError) {
+          return IoError(std::string("poll failed waiting for input: ") +
+                         std::strerror(errno));
+        }
         break;
       case ByteSource::ReadState::kEof:
         return Status::Ok();

@@ -52,18 +52,28 @@ class FdSource : public ByteSource {
   bool eof_ = false;
 };
 
+/// Outcome of a readiness wait. kReady means a Read will make progress (if
+/// only to observe EOF); kTimeout means the deadline passed with no data;
+/// kError means poll() itself failed (errno is left set) or the descriptor
+/// is invalid (POLLNVAL) — waiting longer cannot help, and the caller
+/// should surface or re-check rather than assume readability.
+enum class WaitStatus { kReady, kTimeout, kError };
+
 /// Blocks until `fd` is readable (or has hung up / errored — both mean a
 /// Read will make progress, if only to observe EOF). `timeout_ms` < 0 waits
-/// indefinitely. Returns false only on timeout. An `fd` < 0 (a source
-/// without a pollable descriptor) yields the CPU briefly and returns true:
-/// the caller's retry loop stays correct, it just polls.
-bool WaitReadable(int fd, int timeout_ms);
+/// indefinitely. EINTR retries deduct the time already waited, so a
+/// signal-heavy process still observes its deadline. An `fd` < 0 (a source
+/// without a pollable descriptor) yields the CPU briefly and reports
+/// kReady: the caller's retry loop stays correct, it just polls.
+WaitStatus WaitReadable(int fd, int timeout_ms);
 
 /// Multi-source variant for schedulers parking several stalled pipelines:
-/// returns once ANY of `fds` is readable (or hung up), on timeout, or
-/// immediately when some entry is < 0 (an unpollable source must be
-/// retried, so there is nothing to sleep on). `fds` may be empty (yields).
-bool WaitAnyReadable(const std::vector<int>& fds, int timeout_ms);
+/// kReady once ANY of `fds` is readable (or hung up), kTimeout on deadline,
+/// or kReady immediately when some entry is < 0 (an unpollable source must
+/// be retried, so there is nothing to sleep on). `fds` may be empty
+/// (yields). Same EINTR deadline accounting and error surfacing as
+/// WaitReadable.
+WaitStatus WaitAnyReadable(const std::vector<int>& fds, int timeout_ms);
 
 /// Drains `source` to EOF into `*out`, waiting on readiness across stalls
 /// (the blocking convenience for consumers that need the whole document,

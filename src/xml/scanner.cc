@@ -61,6 +61,8 @@ XmlScanner::XmlScanner(std::unique_ptr<ByteSource> source,
       tags_(tags != nullptr ? tags : owned_tags_.get()),
       buffer_(kBufferSize) {
   spill_.reserve(256);
+  line_ = options_.start_line;
+  cycle_line_ = options_.start_line;
 }
 
 XmlScanner::Fill XmlScanner::Refill() {

@@ -105,6 +105,11 @@ struct ScannerOptions {
   AttributeMode attribute_mode = AttributeMode::kAsElements;
   /// Drop text events that consist solely of whitespace (indentation).
   bool skip_whitespace_text = true;
+  /// 1-based line number the input starts on. A scanner over a mid-document
+  /// slice (sharded execution) sets this to the slice's document line so
+  /// its error messages carry document-accurate positions. Does not affect
+  /// tokenization or batch compatibility.
+  int start_line = 1;
 };
 
 /// Incremental well-formedness-checking tokenizer.

@@ -14,6 +14,9 @@
 #include <thread>
 #include <vector>
 
+#include <csignal>
+
+#include <sys/time.h>
 #include <unistd.h>
 
 #include "core/engine.h"
@@ -75,11 +78,13 @@ TEST(FdSource, OpenFailsCleanlyOnMissingPath) {
 
 TEST(WaitReadable, SignalsDataAndRespectsTimeout) {
   Pipe pipe;
-  EXPECT_FALSE(WaitReadable(pipe.read_fd, /*timeout_ms=*/0));
+  EXPECT_EQ(WaitReadable(pipe.read_fd, /*timeout_ms=*/0),
+            WaitStatus::kTimeout);
   pipe.Write("x");
-  EXPECT_TRUE(WaitReadable(pipe.read_fd, /*timeout_ms=*/1000));
+  EXPECT_EQ(WaitReadable(pipe.read_fd, /*timeout_ms=*/1000),
+            WaitStatus::kReady);
   // Unpollable sources never sleep forever.
-  EXPECT_TRUE(WaitReadable(-1, /*timeout_ms=*/-1));
+  EXPECT_EQ(WaitReadable(-1, /*timeout_ms=*/-1), WaitStatus::kReady);
   ::close(pipe.read_fd);
   pipe.read_fd = -1;
 }
@@ -89,9 +94,54 @@ TEST(WaitReadable, Hangup_IsReadiness) {
   pipe.CloseWrite();
   // A hung-up pipe must report readable (the Read will observe EOF), or a
   // parked batch whose writer died would sleep forever.
-  EXPECT_TRUE(WaitReadable(pipe.read_fd, /*timeout_ms=*/1000));
+  EXPECT_EQ(WaitReadable(pipe.read_fd, /*timeout_ms=*/1000),
+            WaitStatus::kReady);
   ::close(pipe.read_fd);
   pipe.read_fd = -1;
+}
+
+TEST(WaitReadable, InvalidDescriptorIsAnErrorNotReadiness) {
+  // Waiting on a closed fd used to report "readable" — a parked batch
+  // would then spin on a Read that can never progress. POLLNVAL must
+  // surface as kError instead.
+  Pipe pipe;
+  int fd = pipe.read_fd;
+  ::close(fd);
+  pipe.read_fd = -1;
+  EXPECT_EQ(WaitReadable(fd, /*timeout_ms=*/100), WaitStatus::kError);
+  EXPECT_EQ(WaitAnyReadable({fd}, /*timeout_ms=*/100), WaitStatus::kError);
+}
+
+TEST(WaitReadable, EintrRetriesDeductElapsedTime) {
+  // A 30ms repeating interval timer interrupts every poll. The old code
+  // re-armed each retry with the FULL original timeout, so the wait never
+  // ended; the fix deducts elapsed time, so the deadline holds (modulo
+  // scheduling slack).
+  struct sigaction action {};
+  struct sigaction old_action {};
+  action.sa_handler = [](int) {};
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately no SA_RESTART: poll returns EINTR
+  ASSERT_EQ(sigaction(SIGALRM, &action, &old_action), 0);
+  struct itimerval timer {};
+  timer.it_interval.tv_usec = 30000;
+  timer.it_value.tv_usec = 30000;
+  ASSERT_EQ(setitimer(ITIMER_REAL, &timer, nullptr), 0);
+
+  Pipe pipe;  // never written: the wait can only time out
+  auto start = std::chrono::steady_clock::now();
+  WaitStatus status = WaitReadable(pipe.read_fd, /*timeout_ms=*/200);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+
+  struct itimerval stop {};
+  setitimer(ITIMER_REAL, &stop, nullptr);
+  sigaction(SIGALRM, &old_action, nullptr);
+
+  EXPECT_EQ(status, WaitStatus::kTimeout);
+  EXPECT_GE(elapsed, 150);   // the deadline was honored, not cut short
+  EXPECT_LT(elapsed, 2000);  // and not re-armed indefinitely
 }
 
 TEST(ReadAll, DrainsAcrossStallsFromAWriterThread) {

@@ -443,6 +443,125 @@ TEST(ConformanceMultiQuery, ErrorCasesFailTheBatchWithTheExpectedText) {
   }
 }
 
+// --- sharded execution over the same corpus ---------------------------------
+//
+// The parallel sharded scan (core/shard.h) must be observationally
+// indistinguishable from the single scan on every corpus case: identical
+// bytes out, identical error text for malformed documents, under every
+// engine configuration and shard count — including when every shard's
+// source additionally injects would-block stalls. Shard counts of 1
+// (planner declines, pure fallback), 2 and 8 cover the degenerate,
+// typical and over-split shapes.
+
+ShardOptions CorpusShardOptions(size_t shards) {
+  ShardOptions options;
+  options.shards = shards;
+  options.min_shard_bytes = 1;  // corpus documents are tiny
+  return options;
+}
+
+TEST(ConformanceSharded, ShardedCorpusMatchesGoldensUnderAllConfigs) {
+  std::vector<Case> corpus = LoadCorpus();
+  ASSERT_FALSE(corpus.empty());
+  size_t actually_sharded = 0;
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{8}}) {
+    for (const NamedEngineConfig& config : StandardEngineConfigs()) {
+      for (const Case& c : corpus) {
+        if (!c.complete) continue;
+        auto compiled = CompiledQuery::Compile(c.query, config.options);
+        ASSERT_TRUE(compiled.ok()) << c.name;
+        MultiQueryEngine engine;
+        std::ostringstream out;
+        auto stats = engine.ExecuteSharded({&*compiled}, c.document, {&out},
+                                           CorpusShardOptions(shards));
+        if (c.is_error) {
+          ASSERT_FALSE(stats.ok())
+              << c.name << " [" << config.name << "] shards=" << shards;
+          EXPECT_NE(stats.status().ToString().find(c.expected_error),
+                    std::string::npos)
+              << c.name << " [" << config.name << "] shards=" << shards
+              << ": error '" << stats.status().ToString()
+              << "' does not contain '" << c.expected_error << "'";
+          continue;
+        }
+        ASSERT_TRUE(stats.ok()) << c.name << " [" << config.name
+                                << "] shards=" << shards << ": "
+                                << stats.status().ToString();
+        EXPECT_EQ(out.str(), c.expected)
+            << c.name << " [" << config.name << "] shards=" << shards
+            << ": sharded output diverges from golden";
+        if (stats->shared.shards > 0) ++actually_sharded;
+      }
+    }
+  }
+  // The sweep must not be vacuous: some corpus documents have to be big
+  // enough (with the 1-byte floor) to really split.
+  EXPECT_GT(actually_sharded, 0u)
+      << "no corpus case was actually sharded — the sweep only tested the "
+         "fallback path";
+}
+
+TEST(ConformanceSharded, ShardedStallInjectedSourcesMatchGoldens) {
+  // Every shard scans its composite byte stream through a would-block
+  // injector: workers absorb the stalls via readiness waits, outputs stay
+  // byte-identical.
+  std::vector<Case> corpus = LoadCorpus();
+  ASSERT_FALSE(corpus.empty());
+  ShardOptions options = CorpusShardOptions(2);
+  options.wrap_source = [](std::string data) {
+    return std::make_unique<WouldBlockEveryNSource>(std::move(data), 7);
+  };
+  for (const Case& c : corpus) {
+    if (!c.complete || c.is_error) continue;
+    auto compiled = CompiledQuery::Compile(c.query, {});
+    ASSERT_TRUE(compiled.ok()) << c.name;
+    MultiQueryEngine engine;
+    std::ostringstream out;
+    auto stats =
+        engine.ExecuteSharded({&*compiled}, c.document, {&out}, options);
+    ASSERT_TRUE(stats.ok()) << c.name << ": " << stats.status().ToString();
+    EXPECT_EQ(out.str(), c.expected)
+        << c.name << ": sharded output diverges under would-block shards";
+  }
+}
+
+TEST(ConformanceSharded, BatchedShardedGroupsMatchGoldens) {
+  // Document groups as in the multi-query sweep, but over the sharded
+  // executor: every query of the batch must still match its golden.
+  std::vector<DocumentGroup> groups = GroupByDocument();
+  ASSERT_FALSE(groups.empty());
+  for (const NamedEngineConfig& config : StandardEngineConfigs()) {
+    for (const DocumentGroup& group : groups) {
+      if (group.cases.size() < 2) continue;
+      std::vector<CompiledQuery> compiled;
+      for (const Case& c : group.cases) {
+        auto one = CompiledQuery::Compile(c.query, config.options);
+        ASSERT_TRUE(one.ok()) << c.name;
+        compiled.push_back(std::move(one).value());
+      }
+      std::vector<const CompiledQuery*> batch;
+      std::vector<std::ostringstream> buffers(compiled.size());
+      std::vector<std::ostream*> outs;
+      for (size_t i = 0; i < compiled.size(); ++i) {
+        batch.push_back(&compiled[i]);
+        outs.push_back(&buffers[i]);
+      }
+      MultiQueryEngine engine;
+      auto stats = engine.ExecuteSharded(batch, group.document, outs,
+                                         CorpusShardOptions(4));
+      ASSERT_TRUE(stats.ok()) << group.cases.front().name << "+ ["
+                              << config.name
+                              << "]: " << stats.status().ToString();
+      EXPECT_EQ(stats->shared.scan_passes, 1u);
+      for (size_t i = 0; i < group.cases.size(); ++i) {
+        EXPECT_EQ(buffers[i].str(), group.cases[i].expected)
+            << group.cases[i].name << " [" << config.name
+            << "]: sharded batch output diverges from golden";
+      }
+    }
+  }
+}
+
 // The acceptance floor: the corpus must not silently shrink.
 TEST(ConformanceCorpus, HasAtLeast60Cases) {
   EXPECT_GE(LoadCorpus().size(), 60u)

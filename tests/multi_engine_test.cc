@@ -15,6 +15,7 @@
 #include "core/engine.h"
 #include "core/multi_engine.h"
 #include "projection/merged_dfa.h"
+#include "test_sources.h"
 
 namespace gcx {
 namespace {
@@ -182,6 +183,53 @@ TEST(MultiEngine, MalformedInputFailsTheBatch) {
   MultiQueryEngine engine;
   auto stats = engine.Execute(batch.pointers, "<a><b></a>", {&o1, &o2});
   EXPECT_FALSE(stats.ok());
+}
+
+TEST(MultiQueryRun, SoloRunKeepsReplayArenaBounded) {
+  // A solo batch routed through MultiQueryRun (how the admission scheduler
+  // executes a parked/pollable singleton) used to pump the entire
+  // union-projected stream into the replay log before its one evaluator
+  // ran — nothing trimmed, so the arena retained the whole projected
+  // document. The eager solo drain must keep both the log and its arena
+  // at O(1) regardless of document size, stalls included.
+  std::string doc = "<site><items>";
+  for (int i = 0; i < 8000; ++i) {
+    doc += "<item><price>5</price><desc>";
+    doc.append(64, 'x');
+    doc += "</desc></item>";
+  }
+  doc += "</items></site>";
+
+  Batch batch =
+      CompileBatch({"<r>{ for $i in /site/items/item return $i/desc }</r>"});
+  const std::string expected = SoloOutput(*batch.pointers.front(), doc);
+
+  for (size_t stall_every : {size_t{0}, size_t{4096}}) {
+    std::unique_ptr<ByteSource> source;
+    if (stall_every == 0) {
+      source = std::make_unique<StringSource>(doc);
+    } else {
+      source = std::make_unique<WouldBlockEveryNSource>(doc, stall_every);
+    }
+    std::ostringstream out;
+    MultiQueryRun run(batch.pointers, std::move(source), {&out});
+    while (true) {
+      MultiQueryRun::State state = run.Step();
+      if (state == MultiQueryRun::State::kDone) break;
+      ASSERT_NE(state, MultiQueryRun::State::kFailed) << run.status().message();
+      // kStalled: the stall source is ready again on the very next read.
+    }
+    auto stats = run.TakeStats();
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(out.str(), expected);
+    // The lone subscriber consumes every event as it is appended; the
+    // projected text alone is ~512 KiB, so an unbounded log would peak
+    // far beyond one 64 KiB arena chunk.
+    EXPECT_LE(stats->shared.replay_log_peak, 2u)
+        << "stall_every=" << stall_every;
+    EXPECT_LE(stats->shared.replay_arena_peak_bytes, uint64_t{64} * 1024)
+        << "stall_every=" << stall_every;
+  }
 }
 
 TEST(MergedProjection, SummarizesSharedAndPrivatePaths) {

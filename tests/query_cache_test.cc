@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -99,7 +101,9 @@ TEST(QueryCache, OptionsParticipateInTheKey) {
 }
 
 TEST(QueryCache, LruEvictionAccounting) {
-  QueryCache cache(QueryCacheOptions{2});
+  QueryCacheOptions two;
+  two.capacity = 2;
+  QueryCache cache(two);
   auto query_text = [](int k) {
     return "<q" + std::to_string(k) + ">{ count(/a) }</q" + std::to_string(k) +
            ">";
@@ -160,6 +164,60 @@ TEST(QueryCache, NegativeEntriesExpireByTtl) {
   EXPECT_EQ(s.compile_errors, 2u);
   EXPECT_EQ(s.negative_hits, 0u);
   EXPECT_GE(s.negative_evictions, 1u);
+}
+
+TEST(QueryCache, ExpiredNegativesReleaseBytesAndSlots) {
+  // Injected clock: negative entries must be charged to bytes_resident
+  // while fresh and released — bytes, capacity slot and all — the moment
+  // the TTL passes, without waiting for a probe of the same key.
+  auto now = std::make_shared<std::chrono::steady_clock::time_point>(
+      std::chrono::steady_clock::now());
+  QueryCacheOptions options;
+  options.negative_ttl_ms = 1000;
+  options.clock = [now] { return *now; };
+  QueryCache cache(options);
+
+  uint64_t baseline = cache.stats().bytes_resident;
+  EXPECT_FALSE(cache.GetOrCompile("<r>{ nonsense", {}).ok());
+  QueryCacheStats fresh = cache.stats();
+  EXPECT_EQ(fresh.negative_entries, 1u);
+  EXPECT_GT(fresh.bytes_resident, baseline);  // the failure is charged
+
+  // One millisecond short of the TTL: still resident, still answering.
+  *now += std::chrono::milliseconds(999);
+  EXPECT_FALSE(cache.GetOrCompile("<r>{ nonsense", {}).ok());
+  EXPECT_EQ(cache.stats().negative_hits, 1u);
+
+  // Past the TTL: the snapshot alone already excludes the entry...
+  *now += std::chrono::milliseconds(2);
+  QueryCacheStats expired = cache.stats();
+  EXPECT_EQ(expired.negative_entries, 0u);
+  EXPECT_EQ(expired.bytes_resident, baseline);
+
+  // ...and ANY lookup (here: an unrelated good query) collects it for
+  // real, booking exactly one negative eviction.
+  ASSERT_TRUE(cache.GetOrCompile("<q>{ count(/a) }</q>", {}).ok());
+  QueryCacheStats swept = cache.stats();
+  EXPECT_EQ(swept.negative_evictions, 1u);
+  EXPECT_EQ(swept.negative_entries, 0u);
+  // The only residency left is the good compilation itself.
+  EXPECT_GT(swept.bytes_resident, baseline);
+  cache.Clear();
+  EXPECT_EQ(cache.stats().bytes_resident, 0u);
+
+  // An expired entry must not block the LRU cut either: with capacity 1,
+  // a stale failure is swept (not the fresh insertion's victim).
+  QueryCacheOptions tight;
+  tight.negative_capacity = 1;
+  tight.negative_ttl_ms = 1000;
+  tight.clock = [now] { return *now; };
+  QueryCache small(tight);
+  EXPECT_FALSE(small.GetOrCompile("<r>{ bad1", {}).ok());
+  *now += std::chrono::milliseconds(2000);
+  EXPECT_FALSE(small.GetOrCompile("<r>{ bad2", {}).ok());
+  QueryCacheStats s = small.stats();
+  EXPECT_EQ(s.negative_entries, 1u);       // only bad2 is resident
+  EXPECT_EQ(s.negative_evictions, 1u);     // bad1 left by TTL, not LRU
 }
 
 TEST(QueryCache, AnalysisErrorsNegativeCacheAcrossFormattingVariants) {
@@ -327,7 +385,9 @@ TEST(QueryCache, CachedExecutionIsByteIdenticalToUncached) {
 TEST(QueryCache, SharedCompilationSurvivesEviction) {
   // Executing a compilation that the LRU has already dropped must be safe:
   // the caller's copy keeps the shared analysis alive.
-  QueryCache cache(QueryCacheOptions{1});
+  QueryCacheOptions one;
+  one.capacity = 1;
+  QueryCache cache(one);
   auto kept = cache.GetOrCompile("<r>{ count(/a/b) }</r>", {});
   ASSERT_TRUE(kept.ok());
   ASSERT_TRUE(cache.GetOrCompile("<s>{ count(/a/c) }</s>", {}).ok());
@@ -372,7 +432,9 @@ TEST(QueryCacheConcurrency, ExactlyOneCompilePerKeyUnderRacingLookups) {
   constexpr size_t kCapacity = 4;
   const std::string doc = "<a><b>1</b><b>2</b></a>";
 
-  QueryCache cache(QueryCacheOptions{kCapacity});
+  QueryCacheOptions opts;
+  opts.capacity = kCapacity;
+  QueryCache cache(opts);
   std::vector<std::string> queries;
   std::vector<std::string> expected;
   for (int k = 0; k < kQueries; ++k) {
@@ -430,7 +492,9 @@ TEST(QueryCacheConcurrency, MixedKeysManyThreadsProduceCorrectResults) {
   constexpr int kRounds = 40;
   const std::string doc = "<a><b>1</b><b>2</b><b>3</b></a>";
 
-  QueryCache cache(QueryCacheOptions{3});
+  QueryCacheOptions three;
+  three.capacity = 3;
+  QueryCache cache(three);
   std::vector<std::string> queries;
   std::vector<std::string> expected;
   for (int k = 0; k < kQueries; ++k) {

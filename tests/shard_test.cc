@@ -1,0 +1,336 @@
+// Sharded document execution (core/shard.h): planner unit tests, sharded
+// vs unsharded differentials, and a threaded stress for the sanitizer
+// jobs (concurrent sharded executions sharing nothing but the allocator).
+
+#include "core/shard.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/multi_engine.h"
+#include "test_sources.h"
+#include "xmark/generator.h"
+#include "xmark/queries.h"
+
+namespace gcx {
+namespace {
+
+/// A flat document with `items` equal-sized children under /site/items.
+std::string ItemDoc(size_t items, const std::string& filler = "xxxx") {
+  std::string doc = "<site><items>";
+  for (size_t i = 0; i < items; ++i) {
+    doc += "<item><price>" + std::to_string(i % 97) + "</price><desc>" +
+           filler + "</desc></item>";
+  }
+  doc += "</items></site>";
+  return doc;
+}
+
+ShardOptions SmallDocOptions(size_t shards) {
+  ShardOptions options;
+  options.shards = shards;
+  options.min_shard_bytes = 1;  // test documents are tiny
+  return options;
+}
+
+// --- planner ----------------------------------------------------------------
+
+TEST(ShardPlanner, SplitsAtContiguousSubtreeBoundaries) {
+  std::string doc = ItemDoc(200);
+  ShardPlan plan = PlanShards(doc, SmallDocOptions(4));
+  ASSERT_TRUE(plan.sharded);
+  ASSERT_GE(plan.slices.size(), 2u);
+  ASSERT_LE(plan.slices.size(), 4u);
+
+  EXPECT_EQ(plan.slices.front().begin, 0u);
+  EXPECT_EQ(plan.slices.back().end, doc.size());
+  EXPECT_TRUE(plan.slices.front().entry_path.empty());
+  EXPECT_TRUE(plan.slices.back().exit_path.empty());
+  for (size_t i = 0; i < plan.slices.size(); ++i) {
+    const ShardSlice& slice = plan.slices[i];
+    EXPECT_LT(slice.begin, slice.end);
+    if (i > 0) {
+      // Contiguous, and the handoff paths agree.
+      EXPECT_EQ(plan.slices[i - 1].end, slice.begin);
+      EXPECT_EQ(plan.slices[i - 1].exit_path, slice.entry_path);
+      // Boundaries sit at the '<' of an element start (any eligible
+      // subtree, e.g. <item> or <price>), never mid-token or at markup.
+      EXPECT_EQ(doc[slice.begin], '<');
+      EXPECT_TRUE(std::isalpha(static_cast<unsigned char>(
+          doc[slice.begin + 1])))
+          << "boundary at offset " << slice.begin << " is not a start tag";
+      ASSERT_FALSE(slice.entry_path.empty());
+      EXPECT_EQ(slice.entry_path.front(), "site");
+    }
+  }
+}
+
+TEST(ShardPlanner, TracksDocumentLines) {
+  std::string doc = "<site>\n<items>\n";
+  for (size_t i = 0; i < 100; ++i) {
+    doc += "<item>\n<price>1</price>\n</item>\n";
+  }
+  doc += "</items>\n</site>\n";
+  ShardPlan plan = PlanShards(doc, SmallDocOptions(3));
+  ASSERT_TRUE(plan.sharded);
+  EXPECT_EQ(plan.slices.front().start_line, 1);
+  for (const ShardSlice& slice : plan.slices) {
+    int expected = 1 + static_cast<int>(std::count(
+                           doc.begin(), doc.begin() + slice.begin, '\n'));
+    EXPECT_EQ(slice.start_line, expected);
+  }
+}
+
+TEST(ShardPlanner, DeclinesSmallAndUnshardableInput) {
+  // Too small for the default byte floor.
+  ShardOptions default_floor;
+  default_floor.shards = 4;
+  EXPECT_FALSE(PlanShards(ItemDoc(4), default_floor).sharded);
+  // shards <= 1 disables.
+  EXPECT_FALSE(PlanShards(ItemDoc(200), SmallDocOptions(1)).sharded);
+  // A single root child offers no boundary inside max depth 0.
+  ShardOptions no_depth = SmallDocOptions(2);
+  no_depth.max_boundary_depth = 0;
+  EXPECT_FALSE(PlanShards(ItemDoc(200), no_depth).sharded);
+}
+
+TEST(ShardPlanner, DeclinesStructuralAnomalies) {
+  // Mismatched close, unbalanced stack, content after the root: all cases
+  // where the planner must hand the document to the single scan (which
+  // owns the error message).
+  EXPECT_FALSE(PlanShards("<a><b></a></b>", SmallDocOptions(2)).sharded);
+  EXPECT_FALSE(PlanShards("<a><b></b>", SmallDocOptions(2)).sharded);
+  EXPECT_FALSE(PlanShards("<a></a><b></b>", SmallDocOptions(2)).sharded);
+  EXPECT_FALSE(PlanShards("<a><!-- never closed", SmallDocOptions(2)).sharded);
+}
+
+TEST(ShardPlanner, IgnoresMarkupInsideCommentsAndCdata) {
+  // Fake tags inside comments/CDATA must not corrupt the element stack.
+  std::string doc = "<site><items>";
+  for (size_t i = 0; i < 100; ++i) {
+    doc += "<item><!-- <fake> --><d><![CDATA[</item><x>]]></d></item>";
+  }
+  doc += "</items></site>";
+  ShardPlan plan = PlanShards(doc, SmallDocOptions(4));
+  ASSERT_TRUE(plan.sharded);
+  for (size_t i = 1; i < plan.slices.size(); ++i) {
+    // Boundaries land at the real start tags only, never inside the
+    // comment or CDATA payloads (whose fake tags would start with the
+    // same '<').
+    size_t begin = plan.slices[i].begin;
+    EXPECT_TRUE(doc.compare(begin, 6, "<item>") == 0 ||
+                doc.compare(begin, 3, "<d>") == 0)
+        << "boundary at offset " << begin << ": "
+        << doc.substr(begin, 12);
+  }
+}
+
+TEST(ShardPlanner, RespectsMaxBoundaryDepth) {
+  std::string doc = ItemDoc(200);
+  ShardOptions options = SmallDocOptions(4);
+  options.max_boundary_depth = 2;  // at most <item> level, never inside one
+  ShardPlan plan = PlanShards(doc, options);
+  ASSERT_TRUE(plan.sharded);
+  for (const ShardSlice& slice : plan.slices) {
+    EXPECT_LE(slice.entry_path.size(), 2u);
+  }
+  // Depth 1 leaves only the single <items> child eligible — no way to cut
+  // after the byte targets, so the planner declines entirely.
+  options.max_boundary_depth = 1;
+  EXPECT_FALSE(PlanShards(doc, options).sharded);
+}
+
+// --- sharded vs unsharded differential --------------------------------------
+
+void ExpectShardedMatchesUnsharded(const std::string& doc,
+                                   const std::string& query,
+                                   const ShardOptions& shard_options,
+                                   bool expect_sharded) {
+  for (const NamedEngineConfig& config : StandardEngineConfigs()) {
+    if (config.options.mode == EngineMode::kNaiveDom) continue;
+    auto compiled = CompiledQuery::Compile(query, config.options);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    MultiQueryEngine engine;
+
+    std::ostringstream plain;
+    auto plain_stats = engine.Execute({&*compiled}, doc, {&plain});
+    ASSERT_TRUE(plain_stats.ok()) << plain_stats.status().ToString();
+
+    std::ostringstream sharded;
+    auto sharded_stats =
+        engine.ExecuteSharded({&*compiled}, doc, {&sharded}, shard_options);
+    ASSERT_TRUE(sharded_stats.ok()) << sharded_stats.status().ToString();
+
+    EXPECT_EQ(sharded.str(), plain.str())
+        << config.name << ": sharded output diverges";
+    if (expect_sharded) {
+      EXPECT_GT(sharded_stats->shared.shards, 0u)
+          << config.name << ": planner unexpectedly declined";
+      EXPECT_EQ(sharded_stats->shared.bytes_scanned, doc.size());
+      EXPECT_EQ(sharded_stats->shared.scan_passes, 1u);
+      // The merged stream carries the same surviving events the single
+      // shared scan forwards.
+      EXPECT_EQ(sharded_stats->shared.events_forwarded,
+                plain_stats->shared.events_forwarded);
+    }
+  }
+}
+
+TEST(ShardedExecution, MatchesUnshardedAcrossShardCounts) {
+  std::string doc = ItemDoc(500);
+  std::string query =
+      "<r>{ for $i in /site/items/item where $i/price = \"5\" "
+      "return $i/desc }</r>";
+  for (size_t shards : {size_t{2}, size_t{3}, size_t{8}}) {
+    ExpectShardedMatchesUnsharded(doc, query, SmallDocOptions(shards),
+                                  /*expect_sharded=*/true);
+  }
+}
+
+TEST(ShardedExecution, MatchesUnshardedOnXMark) {
+  std::string doc = GenerateXMark(XMarkOptions{0.2, 42});
+  ExpectShardedMatchesUnsharded(doc, std::string(XMarkQ6()),
+                                SmallDocOptions(4),
+                                /*expect_sharded=*/true);
+}
+
+TEST(ShardedExecution, StalledShardSourcesProduceIdenticalOutput) {
+  // wrap_source turns every shard's composite byte stream into a
+  // would-block stall injector; workers must absorb the stalls without
+  // changing a byte of output.
+  std::string doc = ItemDoc(300);
+  std::string query = "<c>{ count(/site/items/item) }</c>";
+  ShardOptions options = SmallDocOptions(4);
+  options.wrap_source = [](std::string data) {
+    return std::make_unique<WouldBlockEveryNSource>(std::move(data), 7);
+  };
+  ExpectShardedMatchesUnsharded(doc, query, options, /*expect_sharded=*/true);
+}
+
+TEST(ShardedExecution, ScanErrorsKeepDocumentAccurateLines) {
+  // The entity error sits in the second half of the document: the failing
+  // shard's scanner starts mid-document but must report the original line.
+  std::string doc = "<site>\n<items>\n";
+  for (size_t i = 0; i < 200; ++i) {
+    doc += "<item>ok</item>\n";
+  }
+  doc += "<item>&bogus;</item>\n</items>\n</site>";
+  auto compiled = CompiledQuery::Compile("<c>{ /site/items/item }</c>", {});
+  ASSERT_TRUE(compiled.ok());
+  MultiQueryEngine engine;
+
+  std::ostringstream plain;
+  auto plain_stats = engine.Execute({&*compiled}, doc, {&plain});
+  ASSERT_FALSE(plain_stats.ok());
+
+  std::ostringstream sharded;
+  auto sharded_stats =
+      engine.ExecuteSharded({&*compiled}, doc, {&sharded}, SmallDocOptions(4));
+  ASSERT_FALSE(sharded_stats.ok());
+  EXPECT_EQ(sharded_stats.status().ToString(),
+            plain_stats.status().ToString());
+}
+
+TEST(ShardedExecution, FallsBackWhenPlannerDeclines) {
+  // Tiny document under the default byte floor: same outputs, shards == 0.
+  std::string doc = ItemDoc(3);
+  auto compiled = CompiledQuery::Compile("<c>{ count(//item) }</c>", {});
+  ASSERT_TRUE(compiled.ok());
+  MultiQueryEngine engine;
+  std::ostringstream plain, sharded;
+  auto plain_stats = engine.Execute({&*compiled}, doc, {&plain});
+  ASSERT_TRUE(plain_stats.ok());
+  ShardOptions options;
+  options.shards = 4;
+  auto sharded_stats =
+      engine.ExecuteSharded({&*compiled}, doc, {&sharded}, options);
+  ASSERT_TRUE(sharded_stats.ok());
+  EXPECT_EQ(sharded_stats->shared.shards, 0u);
+  EXPECT_EQ(sharded.str(), plain.str());
+}
+
+TEST(ShardedExecution, MultiQueryBatchMatchesPerQueryGoldens) {
+  std::string doc = ItemDoc(400);
+  std::vector<std::string> queries = {
+      "<c>{ count(/site/items/item) }</c>",
+      "<r>{ for $i in /site/items/item where $i/price = \"3\" "
+      "return $i/price }</r>",
+      "<s>{ sum(/site/items/item/price) }</s>",
+  };
+  std::vector<CompiledQuery> compiled;
+  for (const std::string& q : queries) {
+    auto one = CompiledQuery::Compile(q, {});
+    ASSERT_TRUE(one.ok()) << one.status().ToString();
+    compiled.push_back(std::move(one).value());
+  }
+  std::vector<const CompiledQuery*> batch;
+  std::vector<std::ostringstream> plain(queries.size()), sharded(queries.size());
+  std::vector<std::ostream*> plain_outs, sharded_outs;
+  for (size_t i = 0; i < compiled.size(); ++i) {
+    batch.push_back(&compiled[i]);
+    plain_outs.push_back(&plain[i]);
+    sharded_outs.push_back(&sharded[i]);
+  }
+  MultiQueryEngine engine;
+  auto plain_stats = engine.Execute(batch, doc, plain_outs);
+  ASSERT_TRUE(plain_stats.ok()) << plain_stats.status().ToString();
+  auto sharded_stats =
+      engine.ExecuteSharded(batch, doc, sharded_outs, SmallDocOptions(4));
+  ASSERT_TRUE(sharded_stats.ok()) << sharded_stats.status().ToString();
+  EXPECT_GT(sharded_stats->shared.shards, 0u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(sharded[i].str(), plain[i].str()) << "query " << i;
+  }
+}
+
+// --- threaded stress (sanitizer fodder) -------------------------------------
+
+TEST(ShardedExecution, ConcurrentShardedRunsAreIndependent) {
+  // Several sharded executions at once: each run owns its SymbolTable and
+  // worker pool, so the only shared state is the immutable document and
+  // the compiled queries. TSan must stay quiet and outputs exact.
+  std::string doc = ItemDoc(300);
+  std::string query = "<c>{ count(/site/items/item) }</c>";
+  auto compiled = CompiledQuery::Compile(query, {});
+  ASSERT_TRUE(compiled.ok());
+
+  std::ostringstream golden;
+  MultiQueryEngine engine;
+  ASSERT_TRUE(engine.Execute({&*compiled}, doc, {&golden}).ok());
+
+  constexpr int kRuns = 8;
+  std::vector<std::string> outputs(kRuns);
+  // char, not bool: vector<bool> packs bits, and concurrent writes to
+  // different elements would be a real data race.
+  std::vector<char> ok(kRuns, 0);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kRuns);
+    for (int i = 0; i < kRuns; ++i) {
+      threads.emplace_back([&, i] {
+        MultiQueryEngine local;
+        std::ostringstream out;
+        auto stats = local.ExecuteSharded({&*compiled}, doc, {&out},
+                                          SmallDocOptions(4));
+        ok[i] = stats.ok() && stats->shared.shards > 0;
+        outputs[i] = out.str();
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  for (int i = 0; i < kRuns; ++i) {
+    EXPECT_TRUE(ok[i]) << "run " << i;
+    EXPECT_EQ(outputs[i], golden.str()) << "run " << i;
+  }
+}
+
+}  // namespace
+}  // namespace gcx

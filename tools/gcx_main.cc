@@ -26,6 +26,13 @@
 //   --admission-memory=N   admission: replay-log budget in events (0 = off)
 //   --admission-serial     admission: strict first-submission order with
 //                     blocking waits (disables ready-batch interleaving)
+//   --shards=N        scan a stored document on N parallel shards
+//                     (core/shard.h); the input is materialized, split at
+//                     subtree boundaries and scanned on a worker pool,
+//                     with output byte-identical to the single scan.
+//                     Applies to the direct path and (for in-memory
+//                     documents) to --admission; falls back to one scan
+//                     when the document is too small to split
 //   --follow          open the input path as a non-blocking stream (FIFO,
 //                     character device): the engine consumes bytes as the
 //                     writer produces them instead of requiring a regular
@@ -59,6 +66,7 @@
 #include "core/engine.h"
 #include "core/multi_engine.h"
 #include "core/query_cache.h"
+#include "core/shard.h"
 #include "xml/fd_source.h"
 
 namespace {
@@ -94,6 +102,7 @@ void Help(const char* argv0) {
          "  --admission-batch=N   admission: max queries per batch\n"
          "  --admission-memory=N  admission: replay-log budget in events\n"
          "  --admission-serial    admission: strict order, no interleaving\n"
+         "  --shards=N        parallel sharded scan of a stored document\n"
          "  --follow          stream the input path (FIFO/device) as the\n"
          "                    writer produces it\n"
          "  --input-fd=N      read the document from open descriptor N\n"
@@ -198,6 +207,7 @@ int main(int argc, char** argv) {
   size_t admission_batch = 16;
   uint64_t admission_memory = 0;
   bool admission_serial = false;
+  size_t shards = 1;
   bool follow = false;
   int input_fd = -1;
   bool trace = false;
@@ -259,6 +269,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--admission-serial") {
       admission_flag = true;
       admission_serial = true;
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      long v = std::atol(arg.c_str() + std::strlen("--shards="));
+      if (v < 1) {
+        std::cerr << "--shards needs a positive count\n";
+        return 2;
+      }
+      shards = static_cast<size_t>(v);
     } else if (arg == "--follow") {
       follow = true;
     } else if (arg.rfind("--input-fd=", 0) == 0) {
@@ -447,6 +464,7 @@ int main(int argc, char** argv) {
     limits.max_batch_queries = admission_batch;
     limits.max_replay_log_events = admission_memory;
     limits.interleave = !admission_serial;
+    limits.shards = shards;
     gcx::AdmissionController controller(&cache, limits);
     std::error_code ec;
     if (follow || input_fd >= 0) {
@@ -464,7 +482,7 @@ int main(int argc, char** argv) {
             }
             return std::move(*shared);
           });
-    } else if (!input_path.empty() && input_path != "-" &&
+    } else if (!input_path.empty() && input_path != "-" && shards <= 1 &&
                std::filesystem::is_regular_file(input_path, ec)) {
       // Regular file: re-open per batch (a group may need several scans).
       std::string path = input_path;
@@ -473,7 +491,9 @@ int main(int argc, char** argv) {
       });
     } else {
       // stdin and other non-regular inputs cannot be re-opened per batch:
-      // materialize the already-open source once.
+      // materialize the already-open source once. With --shards a regular
+      // file is materialized too — the sharded scan path needs the stored
+      // bytes, not a re-openable stream.
       std::string document;
       gcx::Status drained = gcx::ReadAll(source.get(), &document);
       if (!drained.ok()) {
@@ -510,6 +530,7 @@ int main(int argc, char** argv) {
       std::cerr << "admission: submitted=" << a.submitted
                 << " admitted=" << a.admitted << " rejected=" << a.rejected
                 << " batches=" << a.batches_formed << " solo=" << a.solo_runs
+                << " sharded=" << a.sharded_runs
                 << " splits_size=" << a.splits_by_size
                 << " splits_memory=" << a.splits_by_memory
                 << " replay_peak=" << a.replay_log_peak_observed
@@ -526,8 +547,10 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (compiled_queries.size() > 1) {
-    // Multi-query batch: one shared document scan, N results in order.
+  if (compiled_queries.size() > 1 || shards > 1) {
+    // Multi-query batch (one shared document scan, N results in order)
+    // and/or sharded execution — --shards routes even a single query
+    // through the batch engine's sharded path.
     if (project_only || trace) {
       std::cerr << "--project-only/--trace are single-query options\n";
       return 2;
@@ -547,7 +570,25 @@ int main(int argc, char** argv) {
       streams.push_back(std::make_unique<std::ostream>(bufs.back().get()));
       outs.push_back(streams.back().get());
     }
-    auto batch_stats = multi_engine.Execute(batch, std::move(source), outs);
+    gcx::Result<gcx::MultiQueryStats> batch_stats =
+        gcx::EvalError("unreachable");
+    std::string document;
+    if (shards > 1) {
+      // Sharding needs the stored bytes: materialize, then fan the scan
+      // out (ExecuteSharded falls back to one scan if the planner declines).
+      gcx::Status drained = gcx::ReadAll(source.get(), &document);
+      if (!drained.ok()) {
+        std::cerr << "error: " << drained.ToString() << "\n";
+        print_cache_stats();
+        return 1;
+      }
+      gcx::ShardOptions shard_options;
+      shard_options.shards = shards;
+      batch_stats =
+          multi_engine.ExecuteSharded(batch, document, outs, shard_options);
+    } else {
+      batch_stats = multi_engine.Execute(batch, std::move(source), outs);
+    }
     if (!batch_stats.ok()) {
       std::cerr << "error: " << batch_stats.status().ToString() << "\n";
       print_cache_stats();
@@ -558,6 +599,7 @@ int main(int argc, char** argv) {
       const gcx::SharedScanStats& shared = batch_stats->shared;
       std::cerr << "queries:           " << batch.size() << "\n"
                 << "scan passes:       " << shared.scan_passes << "\n"
+                << "shards:            " << shared.shards << "\n"
                 << "bytes scanned:     " << shared.bytes_scanned << "\n"
                 << "events scanned:    " << shared.events_scanned << "\n"
                 << "events forwarded:  " << shared.events_forwarded << "\n"
