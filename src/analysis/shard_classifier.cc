@@ -1,0 +1,427 @@
+#include "analysis/shard_classifier.h"
+
+#include <utility>
+
+namespace gcx {
+
+namespace {
+
+// --- free-variable analysis --------------------------------------------------
+
+void UseVar(VarId var, std::vector<char>* bound, std::vector<char>* free) {
+  size_t i = static_cast<size_t>(var);
+  if (i < bound->size() && (*bound)[i]) return;
+  if (i >= free->size()) free->resize(i + 1, 0);
+  (*free)[i] = 1;
+}
+
+void ExprFreeVars(const Expr& expr, std::vector<char>* bound,
+                  std::vector<char>* free);
+
+void OperandVars(const Operand& operand, std::vector<char>* bound,
+                 std::vector<char>* free) {
+  if (!operand.is_literal) UseVar(operand.var, bound, free);
+}
+
+void CondVars(const Cond& cond, std::vector<char>* bound,
+              std::vector<char>* free) {
+  switch (cond.kind) {
+    case CondKind::kTrue:
+      return;
+    case CondKind::kExists:
+      OperandVars(cond.lhs, bound, free);
+      return;
+    case CondKind::kCompare:
+      OperandVars(cond.lhs, bound, free);
+      OperandVars(cond.rhs, bound, free);
+      return;
+    case CondKind::kAnd:
+    case CondKind::kOr:
+      CondVars(*cond.left, bound, free);
+      CondVars(*cond.right, bound, free);
+      return;
+    case CondKind::kNot:
+      CondVars(*cond.left, bound, free);
+      return;
+  }
+}
+
+void ExprFreeVars(const Expr& expr, std::vector<char>* bound,
+                  std::vector<char>* free) {
+  switch (expr.kind) {
+    case ExprKind::kEmpty:
+    case ExprKind::kOpenTag:
+    case ExprKind::kCloseTag:
+    case ExprKind::kTextLiteral:
+      return;
+    case ExprKind::kSequence:
+      for (const auto& item : expr.items) ExprFreeVars(*item, bound, free);
+      return;
+    case ExprKind::kElement:
+      ExprFreeVars(*expr.child, bound, free);
+      return;
+    case ExprKind::kVarRef:
+    case ExprKind::kPathOutput:
+    case ExprKind::kSignOff:
+    case ExprKind::kAggregate:
+      UseVar(expr.var, bound, free);
+      return;
+    case ExprKind::kFor: {
+      UseVar(expr.var, bound, free);
+      size_t i = static_cast<size_t>(expr.loop_var);
+      if (i >= bound->size()) bound->resize(i + 1, 0);
+      char saved = (*bound)[i];
+      (*bound)[i] = 1;
+      ExprFreeVars(*expr.body, bound, free);
+      (*bound)[i] = saved;
+      return;
+    }
+    case ExprKind::kIf:
+      CondVars(*expr.cond, bound, free);
+      ExprFreeVars(*expr.then_branch, bound, free);
+      ExprFreeVars(*expr.else_branch, bound, free);
+      return;
+  }
+}
+
+// --- path shape checks -------------------------------------------------------
+
+/// Longest usable scatter prefix of `path`. Distribution at ANY nonempty
+/// prefix is exact — a shorter scatter just bans more boundaries (nothing
+/// may cut inside a match subtree of the prefix), leaving all deeper steps
+/// iterating inside one contained, single-shard subtree. So instead of
+/// rejecting a path outright, cut it down:
+///   * before any `[1]` step — a per-shard first is not the global first,
+///     so the [1] must sit below the distribution level;
+///   * (order-sensitive consumers only) after the first non-child step —
+///     that step may be FINAL: matches of child-chain/descendant prefixes
+///     are enumerated in document position order, which equals the
+///     shard-order concatenation of local orders; a non-child step in an
+///     intermediate position could not anchor that argument.
+/// Empty result: even the first step is unusable → the query is ineligible.
+RelativePath ScatterPrefix(const RelativePath& path, bool any_order) {
+  RelativePath prefix;
+  for (const Step& step : path.steps) {
+    if (step.predicate == StepPredicate::kFirst) break;
+    prefix.steps.push_back(step);
+    if (!any_order && step.axis != Axis::kChild) break;
+  }
+  return prefix;
+}
+
+// --- segment variable-table compaction ---------------------------------------
+// The analyzer builds a VarInfo (and expects a binding role) for EVERY
+// var_names entry, so a wrapped segment must carry ONLY the variables its
+// expression mentions — other segments' loop variables would flow through
+// Analyze unbound, with an invalid binding role. Pre-order remapping keeps
+// $root at id 0 and numbers each segment variable at first mention.
+
+VarId RemapVar(VarId var, const Query& full, std::vector<VarId>* map,
+               std::vector<std::string>* names) {
+  size_t i = static_cast<size_t>(var);
+  if ((*map)[i] < 0) {
+    (*map)[i] = static_cast<VarId>(names->size());
+    names->push_back(full.var_names[i]);
+  }
+  return (*map)[i];
+}
+
+void RemapCond(Cond* cond, const Query& full, std::vector<VarId>* map,
+               std::vector<std::string>* names) {
+  if (cond == nullptr) return;
+  if (!cond->lhs.is_literal) cond->lhs.var = RemapVar(cond->lhs.var, full, map, names);
+  if (!cond->rhs.is_literal) cond->rhs.var = RemapVar(cond->rhs.var, full, map, names);
+  RemapCond(cond->left.get(), full, map, names);
+  RemapCond(cond->right.get(), full, map, names);
+}
+
+void RemapExpr(Expr* expr, const Query& full, std::vector<VarId>* map,
+               std::vector<std::string>* names) {
+  if (expr == nullptr) return;
+  expr->var = RemapVar(expr->var, full, map, names);
+  if (expr->kind == ExprKind::kFor) {
+    expr->loop_var = RemapVar(expr->loop_var, full, map, names);
+  }
+  for (auto& item : expr->items) RemapExpr(item.get(), full, map, names);
+  RemapExpr(expr->child.get(), full, map, names);
+  RemapExpr(expr->body.get(), full, map, names);
+  RemapCond(expr->cond.get(), full, map, names);
+  RemapExpr(expr->then_branch.get(), full, map, names);
+  RemapExpr(expr->else_branch.get(), full, map, names);
+}
+
+Query WrapSegment(const Query& full, std::unique_ptr<Expr> expr) {
+  Query wrapped;
+  std::vector<VarId> map(full.var_names.size(), -1);
+  std::vector<std::string> names;
+  map[static_cast<size_t>(kRootVar)] = kRootVar;
+  names.push_back(full.var_names[static_cast<size_t>(kRootVar)]);
+  RemapExpr(expr.get(), full, &map, &names);
+  wrapped.body = MakeElement("s", std::move(expr));
+  wrapped.var_names = std::move(names);
+  return wrapped;
+}
+
+// --- segmentation ------------------------------------------------------------
+
+/// Validates a top-level for-chain and appends its kLoop segment. The chain
+/// is the maximal nesting  for $v1 in $root/s1 … for $vm in $v(m-1)/sm
+/// whose bodies are single nested fors; the distribution level d is the
+/// outermost chain var the final body still references (everything at or
+/// below d evaluates inside one contained subtree). The scatter path is
+/// s1…sd.
+bool SegmentLoop(const Expr& expr, const Query& full,
+                 std::vector<ShardQuerySegment>* out, std::string* reason) {
+  std::vector<VarId> chain;
+  RelativePath chain_path;
+  const Expr* cur = &expr;
+  VarId source = kRootVar;
+  while (true) {
+    if (cur->var != source) {
+      // A chain for must iterate its enclosing binding; anything else
+      // (possible only through unexpected rewrites) is not provably local.
+      *reason = "for-loop source is not the enclosing chain variable";
+      return false;
+    }
+    if (cur->path.steps.size() != 1) {
+      *reason = "for-loop path is not single-step (normalization expected)";
+      return false;
+    }
+    chain_path.steps.push_back(cur->path.steps[0]);
+    chain.push_back(cur->loop_var);
+    if (cur->body->kind == ExprKind::kFor &&
+        cur->body->var == cur->loop_var) {
+      source = cur->loop_var;
+      cur = cur->body.get();
+      continue;
+    }
+    break;
+  }
+
+  const Expr& body = *cur->body;
+  std::vector<char> bound(full.var_names.size(), 0);
+  std::vector<char> free;
+  ExprFreeVars(body, &bound, &free);
+  if (static_cast<size_t>(kRootVar) < free.size() && free[kRootVar]) {
+    *reason = "loop body reads $root (outside its own item subtree)";
+    return false;
+  }
+  // Distribution level: the outermost chain var the body references. Free
+  // vars of the body are chain vars or $root only (nothing else is in
+  // scope at the top level); $root was rejected above.
+  size_t d = chain.size();
+  for (size_t i = 0; i < chain.size(); ++i) {
+    size_t v = static_cast<size_t>(chain[i]);
+    if (v < free.size() && free[v]) {
+      d = i + 1;
+      break;
+    }
+  }
+  RelativePath candidate;
+  candidate.steps.assign(chain_path.steps.begin(),
+                         chain_path.steps.begin() + d);
+  RelativePath scatter = ScatterPrefix(candidate, /*any_order=*/false);
+  if (scatter.steps.empty()) {
+    *reason = "no usable scatter prefix (loop distributes at the root)";
+    return false;
+  }
+  // Chain steps below the scatter level (including any [1] or descendant
+  // axis) iterate inside ONE contained subtree per binding — fully
+  // shard-local, so they need no further restriction.
+
+  ShardQuerySegment segment;
+  segment.kind = ShardQuerySegment::Kind::kLoop;
+  segment.query = WrapSegment(full, expr.Clone());
+  segment.scatter_path = std::move(scatter);
+  out->push_back(std::move(segment));
+  return true;
+}
+
+bool SegmentPathOutput(const Expr& expr, const Query& full,
+                       std::vector<ShardQuerySegment>* out,
+                       std::string* reason) {
+  if (expr.var != kRootVar) {
+    *reason = "path output over a non-root variable at the top level";
+    return false;
+  }
+  // Each final match's subtree is emitted, so enumeration order matters:
+  // distribute at the longest order-safe prefix.
+  RelativePath scatter = ScatterPrefix(expr.path, /*any_order=*/false);
+  if (scatter.steps.empty()) {
+    *reason = "no usable scatter prefix for the path output";
+    return false;
+  }
+  ShardQuerySegment segment;
+  segment.kind = ShardQuerySegment::Kind::kLoop;
+  segment.query = WrapSegment(full, expr.Clone());
+  segment.scatter_path = std::move(scatter);
+  out->push_back(std::move(segment));
+  return true;
+}
+
+bool SegmentAggregate(const Expr& expr, const Query& full,
+                      std::vector<ShardQuerySegment>* out,
+                      std::string* reason) {
+  if (expr.var != kRootVar) {
+    *reason = "aggregate over a non-root variable at the top level";
+    return false;
+  }
+  // count() is order-insensitive, so descendant intermediates are fine (the
+  // per-shard derivation bijection keeps partial counts exact); sum() folds
+  // floats in enumeration order and needs document-order concatenation, so
+  // its scatter stops at the first non-child step.
+  bool any_order = expr.agg == AggKind::kCount;
+  RelativePath scatter = ScatterPrefix(expr.path, any_order);
+  if (scatter.steps.empty()) {
+    *reason = "no usable scatter prefix for the aggregate path";
+    return false;
+  }
+  ShardQuerySegment segment;
+  segment.kind = ShardQuerySegment::Kind::kAggregate;
+  segment.agg = expr.agg;
+  segment.query = WrapSegment(full, expr.Clone());
+  segment.scatter_path = std::move(scatter);
+  out->push_back(std::move(segment));
+  return true;
+}
+
+/// Walks the constant spine of the body. Every node here is evaluated once
+/// by the solo engine regardless of document content, so the executor can
+/// replay it verbatim; dynamic children become kLoop/kAggregate segments.
+bool SegmentExpr(const Expr& expr, const Query& full,
+                 std::vector<ShardQuerySegment>* out, std::string* reason) {
+  switch (expr.kind) {
+    case ExprKind::kEmpty:
+      return true;
+    case ExprKind::kSequence:
+      for (const auto& item : expr.items) {
+        if (!SegmentExpr(*item, full, out, reason)) return false;
+      }
+      return true;
+    case ExprKind::kElement: {
+      ShardQuerySegment open;
+      open.kind = ShardQuerySegment::Kind::kOpenTag;
+      open.text = expr.tag;
+      out->push_back(std::move(open));
+      if (!SegmentExpr(*expr.child, full, out, reason)) return false;
+      ShardQuerySegment close;
+      close.kind = ShardQuerySegment::Kind::kCloseTag;
+      close.text = expr.tag;
+      out->push_back(std::move(close));
+      return true;
+    }
+    case ExprKind::kOpenTag: {
+      ShardQuerySegment segment;
+      segment.kind = ShardQuerySegment::Kind::kOpenTag;
+      segment.text = expr.tag;
+      out->push_back(std::move(segment));
+      return true;
+    }
+    case ExprKind::kCloseTag: {
+      ShardQuerySegment segment;
+      segment.kind = ShardQuerySegment::Kind::kCloseTag;
+      segment.text = expr.tag;
+      out->push_back(std::move(segment));
+      return true;
+    }
+    case ExprKind::kTextLiteral: {
+      ShardQuerySegment segment;
+      segment.kind = ShardQuerySegment::Kind::kText;
+      segment.text = expr.text;
+      out->push_back(std::move(segment));
+      return true;
+    }
+    case ExprKind::kFor:
+      return SegmentLoop(expr, full, out, reason);
+    case ExprKind::kPathOutput:
+      return SegmentPathOutput(expr, full, out, reason);
+    case ExprKind::kAggregate:
+      return SegmentAggregate(expr, full, out, reason);
+    case ExprKind::kVarRef:
+      *reason = "top-level variable output (emits the whole document)";
+      return false;
+    case ExprKind::kIf:
+      *reason = "top-level conditional (depends on the whole document)";
+      return false;
+    case ExprKind::kSignOff:
+      *reason = "unexpected signOff before analysis";
+      return false;
+  }
+  *reason = "unknown expression kind";
+  return false;
+}
+
+template <typename NameVector>
+bool CompletesImpl(const RelativePath& path, const NameVector& names) {
+  const std::vector<Step>& steps = path.steps;
+  const size_t n = steps.size();
+  if (n == 0) return true;  // the root itself: straddles every boundary
+  // NFA over matched-step counts: active[j] means the prefix consumed so
+  // far can end a derivation of steps [0, j). Conservative ε for
+  // descendant-or-self (assume the current node self-matches), so the check
+  // only ever over-reports.
+  std::vector<char> active(n + 1, 0);
+  active[0] = 1;
+  auto closure = [&] {
+    for (size_t j = 0; j < n; ++j) {
+      if (active[j] && steps[j].axis == Axis::kDescendantOrSelf) {
+        active[j + 1] = 1;
+      }
+    }
+  };
+  closure();
+  // Completion is only checked AFTER consuming at least one name: state
+  // active[n] at the start would refer to the virtual root, which is not an
+  // element on any boundary stack.
+  for (const auto& name : names) {
+    std::vector<char> next(n + 1, 0);
+    for (size_t j = 0; j < n; ++j) {
+      if (!active[j]) continue;
+      const Step& step = steps[j];
+      // Descendant(-or-self) steps may consume intermediate levels.
+      if (step.axis != Axis::kChild) next[j] = 1;
+      if (step.test.MatchesElement(std::string_view(name))) next[j + 1] = 1;
+    }
+    active = std::move(next);
+    closure();
+    if (active[n]) return true;
+    bool any = false;
+    for (size_t j = 0; j < n; ++j) any = any || (active[j] != 0);
+    if (!any) return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool EntryPathCompletesPath(const RelativePath& path,
+                            const std::vector<std::string_view>& names) {
+  return CompletesImpl(path, names);
+}
+
+bool EntryPathCompletesPath(const RelativePath& path,
+                            const std::vector<std::string>& names) {
+  return CompletesImpl(path, names);
+}
+
+ShardQueryPlan ClassifyForShardEval(const Query& parsed,
+                                    const NormalizeOptions& normalize) {
+  ShardQueryPlan plan;
+  Query normalized = parsed.Clone();
+  Status status = Normalize(&normalized, normalize);
+  if (!status.ok()) {
+    plan.reason = "normalization failed: " + status.ToString();
+    return plan;
+  }
+  std::vector<ShardQuerySegment> segments;
+  std::string reason;
+  if (!SegmentExpr(*normalized.body, normalized, &segments, &reason)) {
+    plan.reason = std::move(reason);
+    return plan;
+  }
+  plan.eligible = true;
+  plan.segments = std::move(segments);
+  return plan;
+}
+
+}  // namespace gcx

@@ -1,0 +1,121 @@
+// Shard-independence classification for shard-local evaluation.
+//
+// The sharded executor (core/shard.h) splits a stored document into
+// contiguous slices at element-start boundaries. PR 6 merged every shard's
+// surviving events back into ONE log and replayed it through a serial
+// evaluation tail — correct for everything, but buffer-heavy queries see
+// almost none of the shard speedup. This module decides, per query, whether
+// the ordinary projector→buffer→evaluator pipeline can instead run INSIDE
+// each shard worker, with only per-query *results* merged in document
+// order.
+//
+// Model. After normalization the query body is one element constructor
+// whose content is a sequence of
+//   * constants (nested element tags, text literals), and
+//   * dynamic parts: top-level for-chains rooted at $root (path outputs
+//     normalize into these under early updates), and root-rooted
+//     count()/sum() aggregates.
+// Each dynamic part has a "scatter path": the absolute path whose final
+// matches are distributed over shards. A shard evaluates the part against
+// its local framed slice (synthetic wrapper ancestors + slice events); the
+// executor concatenates loop outputs in shard order and combines aggregate
+// partials (count: sum of counts; sum: refold the concatenated raw values).
+//
+// Why that is exact (given the boundary-safety condition below):
+//   * Every XPath derivation chain of the fragment descends — each node of
+//     a derivation is an ancestor of the final match. A shard's framed
+//     slice contains every ancestor of every node in the slice exactly once
+//     (really, or re-opened as a synthetic wrapper with the same name), so
+//     derivations whose final match lies in shard k correspond 1:1 to local
+//     derivations in shard k. Counts are therefore exact partials for any
+//     axis mix.
+//   * Enumeration ORDER additionally matches the solo run when every
+//     non-final scatter step uses the child axis: nested iteration then
+//     enumerates final matches in document order, which equals the
+//     shard-order concatenation of the local document orders. (A descendant
+//     intermediate can interleave cousins' subtrees and is only accepted
+//     for count, where order is irrelevant.)
+//   * Distribution at ANY nonempty prefix of a dynamic part's path is
+//     exact (a shorter scatter just bans more boundaries), so a step that
+//     cannot sit on the scatter path — a `[1]` predicate (a per-shard
+//     first is not the global first) or, for order-sensitive kinds, a
+//     non-child step in a non-final position — SHORTENS the scatter to the
+//     prefix above it instead of rejecting the query. Below the scatter
+//     level everything is local to one contained subtree and unrestricted.
+//     Only a query whose very first step is unusable is ineligible.
+//
+// Boundary safety. The above needs every final scatter match's subtree
+// wholly inside one shard — equivalently, no boundary's entry path (the
+// chain of wrapper ancestors it re-opens) may COMPLETE the scatter path at
+// any prefix: a completing prefix means a match started strictly before the
+// boundary (it would be enumerated again via the wrapper, and its subtree
+// straddles the cut). EntryPathCompletesPath decides this with a
+// conservative NFA over element names; PlanShards takes the scatter paths
+// as avoid-hints so boundaries land between matches in the first place.
+
+#ifndef GCX_ANALYSIS_SHARD_CLASSIFIER_H_
+#define GCX_ANALYSIS_SHARD_CLASSIFIER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xpath/path.h"
+#include "xq/ast.h"
+#include "xq/normalize.h"
+
+namespace gcx {
+
+/// One top-level piece of the query body, in output order.
+struct ShardQuerySegment {
+  enum class Kind {
+    kOpenTag,    ///< constant `<text>` (element constructor opening)
+    kCloseTag,   ///< constant `</text>`
+    kText,       ///< constant character data (escaped by the writer)
+    kLoop,       ///< per-shard evaluation, outputs concatenated shard order
+    kAggregate,  ///< per-shard partials combined by the executor
+  };
+  Kind kind = Kind::kText;
+  /// kOpenTag/kCloseTag: tag name; kText: literal text.
+  std::string text;
+
+  // kLoop / kAggregate only:
+  /// The dynamic expression wrapped as `<s>{expr}</s>` over (a copy of) the
+  /// original variable table, in normalized form — ready for Analyze() and
+  /// standalone evaluation against a shard's framed slice.
+  Query query;
+  AggKind agg = AggKind::kCount;  ///< kAggregate
+  /// Absolute scatter path (see file comment). Nonempty for dynamic kinds.
+  RelativePath scatter_path;
+};
+
+/// Classification result for one query.
+struct ShardQueryPlan {
+  bool eligible = false;
+  /// When !eligible: the first blocking construct, for diagnostics/tests.
+  std::string reason;
+  std::vector<ShardQuerySegment> segments;
+};
+
+/// Classifies `parsed` (a query as produced by the parser, BEFORE
+/// normalization) for shard-local evaluation. Never fails: an unprovable
+/// query comes back with eligible == false and the executor keeps the
+/// merge-and-replay path for it.
+ShardQueryPlan ClassifyForShardEval(const Query& parsed,
+                                    const NormalizeOptions& normalize);
+
+/// True if re-opening the element-name chain `names` (a shard boundary's
+/// entry path, outermost first, rooted at the virtual document root) could
+/// complete every step of `path` at some nonempty prefix — i.e. a match of
+/// `path` starts strictly before the boundary and its subtree straddles the
+/// cut. Conservative: descendant-or-self steps are assumed to self-match,
+/// so the check can only over-report. An empty `path` reports true (the
+/// root always straddles every boundary).
+bool EntryPathCompletesPath(const RelativePath& path,
+                            const std::vector<std::string_view>& names);
+bool EntryPathCompletesPath(const RelativePath& path,
+                            const std::vector<std::string>& names);
+
+}  // namespace gcx
+
+#endif  // GCX_ANALYSIS_SHARD_CLASSIFIER_H_

@@ -78,6 +78,7 @@ void AdmissionController::RegisterDocument(std::string doc_id,
   // Retain the bytes AFTER the opener registration (which clears stale
   // content): the sharded scan path needs the whole stored document.
   std::lock_guard<std::mutex> lock(mu_);
+  stats_.content_bytes_resident += shared->size();
   contents_[std::move(id)] = std::move(shared);
 }
 
@@ -86,8 +87,36 @@ void AdmissionController::RegisterDocumentAsync(std::string doc_id,
   std::lock_guard<std::mutex> lock(mu_);
   // Re-registration may change the document kind; drop any retained
   // content so the sharded path can never serve stale bytes.
-  contents_.erase(doc_id);
+  auto stale = contents_.find(doc_id);
+  if (stale != contents_.end()) {
+    stats_.content_bytes_resident -= stale->second->size();
+    contents_.erase(stale);
+  }
   documents_[std::move(doc_id)] = std::move(opener);
+}
+
+bool AdmissionController::UnregisterDocument(std::string_view doc_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string id(doc_id);
+  // Pending submissions hold the registration contract (Run asserts the
+  // opener exists): refuse to pull the document out from under them.
+  for (const auto& [key, group] : groups_) {
+    if (!group.pending.empty() && group.doc_id == id) return false;
+  }
+  return ReleaseDocumentLocked(id);
+}
+
+bool AdmissionController::ReleaseDocumentLocked(const std::string& doc_id) {
+  auto content = contents_.find(doc_id);
+  if (content != contents_.end()) {
+    stats_.content_bytes_resident -= content->second->size();
+    contents_.erase(content);
+  }
+  auto doc = documents_.find(doc_id);
+  if (doc == documents_.end()) return false;
+  documents_.erase(doc);
+  ++stats_.documents_released;
+  return true;
 }
 
 Status AdmissionController::Submit(std::string_view query_text,
@@ -281,6 +310,18 @@ Result<AdmissionRunStats> AdmissionController::Run() {
 
   AdmissionRunStats run;
 
+  // Release-on-drain: once every snapshotted batch completed, the drained
+  // documents' openers and retained content are dead weight for a
+  // register-run-discard workload. Only successful runs release (a failed
+  // run leaves documents registered so the caller can retry); duplicate
+  // doc_ids across groups release once.
+  auto release_drained = [&] {
+    if (!limits_.release_documents_on_drain) return;
+    for (const GroupWork& work : works) {
+      ReleaseDocumentLocked(work.group.doc_id);
+    }
+  };
+
   if (!limits_.interleave) {
     // Legacy strict order: one batch at a time, blocking across stalls.
     for (GroupWork& work : works) {
@@ -310,6 +351,7 @@ Result<AdmissionRunStats> AdmissionController::Run() {
         }
       }
     }
+    release_drained();
     return run;
   }
 
@@ -362,6 +404,7 @@ Result<AdmissionRunStats> AdmissionController::Run() {
       }
     }
   }
+  release_drained();
   return run;
 }
 

@@ -86,6 +86,12 @@ struct AdmissionLimits {
   /// Worker threads for the sharded scan (0 = one per shard, capped at
   /// hardware concurrency).
   size_t shard_threads = 0;
+  /// Release every document a successful Run() executed batches for —
+  /// opener AND retained in-memory content — so long-lived controllers do
+  /// not accumulate document bytes across register/run cycles. Off
+  /// (default): documents stay registered until replaced or explicitly
+  /// UnregisterDocument'ed, and repeat submissions need no re-register.
+  bool release_documents_on_drain = false;
 };
 
 /// Lifetime counters of one controller.
@@ -111,6 +117,12 @@ struct AdmissionStats {
   /// stalled), not confirmed readiness events.
   uint64_t batches_parked = 0;
   uint64_t batch_resumes = 0;
+  /// Documents dropped (opener + content) via release-on-drain or explicit
+  /// UnregisterDocument.
+  uint64_t documents_released = 0;
+  /// Bytes currently retained for in-memory documents
+  /// (RegisterDocument(string)) — the sharded scan path's working set.
+  uint64_t content_bytes_resident = 0;
 };
 
 /// Totals of one Run call.
@@ -149,6 +161,12 @@ class AdmissionController {
   /// Async variant: the opener may fail and its sources may stall; the
   /// Run scheduler parks batches over them instead of blocking.
   void RegisterDocumentAsync(std::string doc_id, AsyncDocumentOpener opener);
+
+  /// Drops `doc_id` (opener and any retained in-memory content). Returns
+  /// false when the document is unknown or still referenced by pending
+  /// submissions (those must Run() or be dropped first). Subsequent
+  /// Submits against the id are rejected until it is re-registered.
+  bool UnregisterDocument(std::string_view doc_id);
 
   /// Admits one request against `doc_id`, compiling through the cache.
   /// On a compile failure the request is rejected and nothing is enqueued.
@@ -189,6 +207,9 @@ class AdmissionController {
   Status StartNextBatch(GroupWork* work, AdmissionRunStats* run);
   /// Books a finished MultiQueryRun batch into the stats. Caller holds mu_.
   Status FinishBatch(GroupWork* work, AdmissionRunStats* run);
+  /// Drops one document's opener + content, maintaining the release stats.
+  /// Caller holds mu_.
+  bool ReleaseDocumentLocked(const std::string& doc_id);
 
   mutable std::mutex mu_;
   QueryCache* cache_;

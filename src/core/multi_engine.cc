@@ -8,11 +8,13 @@
 #include <future>
 #include <limits>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "analysis/shard_classifier.h"
 #include "common/arena.h"
 #include "common/symbol_table.h"
 #include "common/thread_pool.h"
@@ -299,17 +301,22 @@ class ShardReplayContext final : public ExecContext {
   size_t position_ = 0;
 };
 
-/// Evaluates one batched query to completion (materialized-projection
+/// Evaluates one analyzed query to completion (materialized-projection
 /// pre-pull, evaluator run, detach, per-query stats). Shared between the
 /// synchronous Execute path, the resumable MultiQueryRun and the sharded
 /// executor: `ctx` is a BatchQueryContext or a ShardReplayContext (same
 /// buffer()/projector()/Pull() surface) and `detach` tells the event source
 /// this query stopped consuming (demux trim; no-op for the merged shard
-/// stream, which is dropped wholesale after the batch).
+/// stream, which is dropped wholesale after the batch). `analyzed` is a
+/// full compiled query or one shard-local query segment; `capture`, when
+/// set, diverts a root-rooted aggregate's result into partials
+/// (eval/evaluator.h) for cross-shard combination.
 template <typename Context, typename DetachFn>
-Result<ExecStats> EvaluateOne(const CompiledQuery& query, Context& ctx,
+Result<ExecStats> EvaluateOne(const AnalyzedQuery& analyzed,
+                              const EngineOptions& options, Context& ctx,
                               DetachFn&& detach, std::ostream* out,
-                              EngineMode mode) {
+                              EngineMode mode,
+                              AggregateParts* capture = nullptr) {
   auto start = std::chrono::steady_clock::now();
 
   if (mode == EngineMode::kMaterializedProjection) {
@@ -324,8 +331,9 @@ Result<ExecStats> EvaluateOne(const CompiledQuery& query, Context& ctx,
   XmlWriter writer(out);
   EvalOptions eval_options;
   eval_options.execute_signoffs =
-      query.options().enable_gc && mode == EngineMode::kStreaming;
-  Evaluator evaluator(&query.analyzed(), &ctx, &writer, eval_options);
+      options.enable_gc && mode == EngineMode::kStreaming;
+  eval_options.aggregate_capture = capture;
+  Evaluator evaluator(&analyzed, &ctx, &writer, eval_options);
   GCX_RETURN_IF_ERROR(evaluator.Run());
   // Freeze this query's pipeline exactly where a solo run would have
   // stopped pulling; later queries continue the shared scan without it.
@@ -444,8 +452,8 @@ Result<MultiQueryStats> MultiQueryEngine::ExecuteStreamingBatch(
     BatchQueryContext* ctx = contexts[i].get();
     GCX_ASSIGN_OR_RETURN(
         ExecStats stats,
-        EvaluateOne(*queries[i], *ctx, [&demux, ctx] { demux.Detach(ctx); },
-                    outs[i], mode));
+        EvaluateOne(queries[i]->analyzed(), queries[i]->options(), *ctx,
+                    [&demux, ctx] { demux.Detach(ctx); }, outs[i], mode));
     result.per_query.push_back(stats);
   }
 
@@ -456,6 +464,39 @@ Result<MultiQueryStats> MultiQueryEngine::ExecuteStreamingBatch(
   return result;
 }
 
+namespace {
+
+/// One dynamic segment of a shard-local query, analyzed and ready to run
+/// standalone inside a worker.
+struct LocalDynamic {
+  size_t segment_index = 0;  ///< index into LocalQuery::plan.segments
+  AnalyzedQuery analyzed;
+};
+
+/// One query of the batch that evaluates inside the shard workers.
+struct LocalQuery {
+  size_t query_index = 0;  ///< index into the submitted batch
+  ShardQueryPlan plan;
+  std::vector<LocalDynamic> dynamics;
+};
+
+/// What one worker produced for one (local query, dynamic segment) pair.
+struct LocalSegmentResult {
+  std::string text;     ///< kLoop: stripped per-shard output
+  AggregateParts agg;   ///< kAggregate: this shard's partial
+  ExecStats stats;
+};
+
+/// Strips the fixed `<s>`/`</s>` affixes a segment query's wrapper element
+/// contributes (XmlWriter never collapses empty elements, so both are
+/// always present).
+std::string StripSegmentWrapper(std::string text) {
+  GCX_CHECK(text.size() >= 7);
+  return text.substr(3, text.size() - 7);
+}
+
+}  // namespace
+
 Result<MultiQueryStats> MultiQueryEngine::ExecuteSharded(
     const std::vector<const CompiledQuery*>& queries, std::string_view input,
     const std::vector<std::ostream*>& outs,
@@ -464,10 +505,40 @@ Result<MultiQueryStats> MultiQueryEngine::ExecuteSharded(
   if (queries.front()->options().mode == EngineMode::kNaiveDom) {
     return Execute(queries, input, outs);  // one DOM parse; nothing to shard
   }
-  ShardPlan plan = PlanShards(input, shard_options);
+  const EngineMode mode = queries.front()->options().mode;
+
+  // Classify each query for shard-local evaluation; eligible queries donate
+  // their scatter paths as planner avoid-hints so boundaries land between
+  // their matches (a boundary inside a match subtree would demote them).
+  std::vector<ShardQueryPlan> class_plans(queries.size());
+  ShardOptions planner_options = shard_options;
+  if (shard_options.local_eval) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      NormalizeOptions normalize;
+      normalize.early_updates = queries[i]->options().early_updates;
+      class_plans[i] = ClassifyForShardEval(queries[i]->parsed(), normalize);
+      if (!class_plans[i].eligible) continue;
+      for (const ShardQuerySegment& segment : class_plans[i].segments) {
+        if (!segment.scatter_path.steps.empty()) {
+          planner_options.boundary_avoid_paths.push_back(
+              segment.scatter_path);
+        }
+      }
+    }
+  }
+
+  ShardPlan plan = PlanShards(input, planner_options);
+  // The avoid-hints can make a plannable document unplannable (every
+  // candidate boundary rejected). Re-plan without them and demote every
+  // query to merge-and-replay — the scan-parallel win is kept either way.
+  bool demote_all = false;
+  if (!plan.sharded && !planner_options.boundary_avoid_paths.empty()) {
+    planner_options.boundary_avoid_paths.clear();
+    plan = PlanShards(input, planner_options);
+    demote_all = true;
+  }
   if (!plan.sharded) return Execute(queries, input, outs);
 
-  const EngineMode mode = queries.front()->options().mode;
   const ScannerOptions& scanner_options = queries.front()->options().scanner;
   std::vector<MergedDfaInput> dfa_inputs;
   std::vector<const ProjectionTree*> trees;
@@ -479,12 +550,78 @@ Result<MultiQueryStats> MultiQueryEngine::ExecuteSharded(
   // One tag table across all workers: SymbolTable interning is
   // thread-safe, and downstream consumers need one coherent id space.
   SymbolTable tags;
-
-  // Fan out: one scan task per slice, fan in by joining the futures in
-  // document order. The results vector is pre-sized so workers write
-  // disjoint slots without synchronization.
   const size_t n = plan.slices.size();
+
+  // Final per-query decision. Belt to the planner hints' suspenders: the
+  // plan may have been produced without hints (demote_all) or with hints
+  // for OTHER queries' paths, so re-check every boundary against this
+  // query's scatter paths before committing it to worker-side evaluation.
+  std::vector<LocalQuery> locals;
+  std::vector<char> is_local(queries.size(), 0);
+  if (shard_options.local_eval && !demote_all) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (!class_plans[i].eligible) continue;
+      bool safe = true;
+      for (const ShardQuerySegment& segment : class_plans[i].segments) {
+        if (segment.scatter_path.steps.empty()) continue;
+        for (size_t s = 1; s < n && safe; ++s) {
+          if (EntryPathCompletesPath(segment.scatter_path,
+                                     plan.slices[s].entry_path)) {
+            safe = false;
+          }
+        }
+        if (!safe) break;
+      }
+      if (!safe) continue;
+      LocalQuery local;
+      local.query_index = i;
+      local.plan = std::move(class_plans[i]);
+      AnalysisOptions analysis;
+      analysis.aggregate_roles = queries[i]->options().aggregate_roles;
+      analysis.eliminate_redundant_roles =
+          queries[i]->options().eliminate_redundant_roles;
+      bool analyzed_ok = true;
+      for (size_t j = 0; j < local.plan.segments.size(); ++j) {
+        ShardQuerySegment& segment = local.plan.segments[j];
+        if (segment.kind != ShardQuerySegment::Kind::kLoop &&
+            segment.kind != ShardQuerySegment::Kind::kAggregate) {
+          continue;
+        }
+        Result<AnalyzedQuery> analyzed =
+            Analyze(std::move(segment.query), analysis);
+        if (!analyzed.ok()) {
+          analyzed_ok = false;  // unprovable segment: keep merge-and-replay
+          break;
+        }
+        LocalDynamic dynamic;
+        dynamic.segment_index = j;
+        dynamic.analyzed = std::move(analyzed).value();
+        local.dynamics.push_back(std::move(dynamic));
+      }
+      if (!analyzed_ok) continue;
+      is_local[i] = 1;
+      locals.push_back(std::move(local));
+    }
+  }
+  size_t local_evals = 0;
+  for (const LocalQuery& local : locals) local_evals += local.dynamics.size();
+
+  // Fan out: one task per slice — scan, then (when local queries exist)
+  // evaluate every local dynamic segment against the framed slice. The
+  // results vectors are pre-sized so workers write disjoint slots without
+  // synchronization; `abort` lets shards AFTER a failure stop early while
+  // shards before it always complete (exact error, document order).
   std::vector<ShardScanResult> results(n);
+  std::vector<Status> local_status(n, Status::Ok());
+  // local_results[shard][local query][dynamic segment]
+  std::vector<std::vector<std::vector<LocalSegmentResult>>> local_results(n);
+  for (size_t i = 0; i < n; ++i) {
+    local_results[i].resize(locals.size());
+    for (size_t q = 0; q < locals.size(); ++q) {
+      local_results[i][q].resize(locals[q].dynamics.size());
+    }
+  }
+  ShardAbort abort;
   size_t threads = shard_options.threads;
   if (threads == 0) {
     threads = n;
@@ -498,7 +635,63 @@ Result<MultiQueryStats> MultiQueryEngine::ExecuteSharded(
     for (size_t i = 0; i < n; ++i) {
       futures.push_back(pool.Submit([&, i] {
         ScanShard(input, plan.slices[i], scanner_options, dfa_inputs, &tags,
-                  shard_options, &results[i]);
+                  shard_options, &results[i], i, &abort);
+        if (!results[i].status.ok() || local_evals == 0 ||
+            abort.ShouldAbort(i)) {
+          return;
+        }
+        // The shard log is already the framed stream the ordinary pipelines
+        // expect: filter-surviving synthetic entry starts, the surviving
+        // slice events, filter-surviving synthetic exit ends (see
+        // core/shard.h — the filter drops whole subtrees only, so the log
+        // is balanced and correctly nested by itself). Appending
+        // end-of-document completes it. Text stays viewing this shard's
+        // arena.
+        std::vector<XmlEvent> events;
+        events.reserve(results[i].log.size() + 1);
+        for (const ShardEvent& entry : results[i].log) {
+          XmlEvent event;
+          event.kind = entry.kind;
+          event.tag = entry.tag;
+          event.text = entry.text;
+          events.push_back(event);
+        }
+        XmlEvent eod;
+        eod.kind = XmlEvent::Kind::kEndOfDocument;
+        events.push_back(eod);
+
+        for (size_t q = 0; q < locals.size(); ++q) {
+          const LocalQuery& local = locals[q];
+          const CompiledQuery& owner = *queries[local.query_index];
+          for (size_t d = 0; d < local.dynamics.size(); ++d) {
+            const LocalDynamic& dynamic = local.dynamics[d];
+            const ShardQuerySegment& segment =
+                local.plan.segments[dynamic.segment_index];
+            LocalSegmentResult& slot = local_results[i][q][d];
+            ShardReplayContext ctx(&dynamic.analyzed, &tags, &events);
+            if (!owner.options().enable_gc ||
+                mode == EngineMode::kMaterializedProjection) {
+              ctx.buffer().set_gc_enabled(false);
+            }
+            AggregateParts* capture =
+                segment.kind == ShardQuerySegment::Kind::kAggregate
+                    ? &slot.agg
+                    : nullptr;
+            std::ostringstream out;
+            Result<ExecStats> stats =
+                EvaluateOne(dynamic.analyzed, owner.options(), ctx, [] {},
+                            &out, mode, capture);
+            if (!stats.ok()) {
+              local_status[i] = stats.status();
+              abort.Fail(i);
+              return;
+            }
+            slot.stats = std::move(stats).value();
+            if (capture == nullptr) {
+              slot.text = StripSegmentWrapper(std::move(out).str());
+            }
+          }
+        }
       }));
     }
     for (std::future<void>& future : futures) future.get();
@@ -506,50 +699,157 @@ Result<MultiQueryStats> MultiQueryEngine::ExecuteSharded(
   // The unsharded scan would have stopped at the first error, so the
   // earliest failing shard in document order owns the reported error (its
   // line numbers are document-accurate via ScannerOptions::start_line).
-  for (const ShardScanResult& shard : results) {
-    GCX_RETURN_IF_ERROR(shard.status);
+  // Shards after it may carry a cancellation status — never reported,
+  // because the sweep hits the real error first.
+  for (size_t i = 0; i < n; ++i) {
+    GCX_RETURN_IF_ERROR(results[i].status);
+    GCX_RETURN_IF_ERROR(local_status[i]);
   }
 
-  // Merge: concatenating the per-shard logs in document order yields
-  // exactly the event stream the single shared scan would have forwarded
-  // (see core/shard.h). Text views stay valid — they point into the
-  // per-shard arenas held by `results`.
+  // A logged event is a synthetic wrapper event iff its scanner ordinal
+  // falls in the entry prefix or the exit suffix (exit end tags plus
+  // end-of-document are the last exit_path.size() + 1 scanner events).
+  // Replay must drop them — the concatenated logs then reproduce exactly
+  // the stream the single shared scan forwards — and the forwarded-event
+  // counters exclude them for the same comparability reason.
+  auto is_wrapper = [&](size_t shard, const ShardEvent& entry) {
+    return entry.scan_index < plan.slices[shard].entry_path.size() ||
+           entry.scan_index >= results[shard].scanner_events -
+                                   plan.slices[shard].exit_path.size() - 1;
+  };
   size_t total = 0;
-  for (const ShardScanResult& shard : results) total += shard.log.size();
-  std::vector<XmlEvent> merged;
-  merged.reserve(total + 1);
-  for (const ShardScanResult& shard : results) {
-    for (const ShardEvent& entry : shard.log) {
-      XmlEvent event;
-      event.kind = entry.kind;
-      event.tag = entry.tag;
-      event.text = entry.text;
-      merged.push_back(event);
+  for (size_t i = 0; i < n; ++i) {
+    for (const ShardEvent& entry : results[i].log) {
+      if (!is_wrapper(i, entry)) ++total;
     }
   }
-  XmlEvent eod;
-  eod.kind = XmlEvent::Kind::kEndOfDocument;
-  merged.push_back(eod);
 
-  // Evaluate serially, exactly like the unsharded batch.
   MultiQueryStats result;
   result.projection = SummarizeMergedProjection(trees);
+  result.per_query.resize(queries.size());
+
+  // Merge-and-replay path for the queries that need it: concatenating the
+  // per-shard logs in document order yields exactly the event stream the
+  // single shared scan would have forwarded (see core/shard.h). Text views
+  // stay valid — they point into the per-shard arenas held by `results`.
+  bool any_replay = false;
   for (size_t i = 0; i < queries.size(); ++i) {
-    ShardReplayContext ctx(&queries[i]->analyzed(), &tags, &merged);
-    if (!queries[i]->options().enable_gc ||
-        mode == EngineMode::kMaterializedProjection) {
-      ctx.buffer().set_gc_enabled(false);
+    if (!is_local[i]) any_replay = true;
+  }
+  std::vector<XmlEvent> merged;
+  if (any_replay) {
+    merged.reserve(total + 1);
+    for (size_t i = 0; i < n; ++i) {
+      for (const ShardEvent& entry : results[i].log) {
+        if (is_wrapper(i, entry)) continue;
+        XmlEvent event;
+        event.kind = entry.kind;
+        event.tag = entry.tag;
+        event.text = entry.text;
+        merged.push_back(event);
+      }
     }
-    GCX_ASSIGN_OR_RETURN(ExecStats stats,
-                         EvaluateOne(*queries[i], ctx, [] {}, outs[i], mode));
-    result.per_query.push_back(stats);
+    XmlEvent eod;
+    eod.kind = XmlEvent::Kind::kEndOfDocument;
+    merged.push_back(eod);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (is_local[i]) continue;
+      ShardReplayContext ctx(&queries[i]->analyzed(), &tags, &merged);
+      if (!queries[i]->options().enable_gc ||
+          mode == EngineMode::kMaterializedProjection) {
+        ctx.buffer().set_gc_enabled(false);
+      }
+      GCX_ASSIGN_OR_RETURN(
+          ExecStats stats,
+          EvaluateOne(queries[i]->analyzed(), queries[i]->options(), ctx,
+                      [] {}, outs[i], mode));
+      result.per_query[i] = stats;
+    }
+  }
+
+  // Result merge for the shard-local queries: walk the segment list in
+  // output order — constants replay through the same writer operations the
+  // solo evaluator uses, loop outputs concatenate in shard order, and
+  // aggregate partials combine (count: sum; sum: refold the concatenated
+  // raw values with the solo fold) — so the bytes match by construction.
+  for (size_t q = 0; q < locals.size(); ++q) {
+    const LocalQuery& local = locals[q];
+    const size_t qi = local.query_index;
+    auto start = std::chrono::steady_clock::now();
+    XmlWriter writer(outs[qi]);
+    ExecStats stats;
+    size_t dyn = 0;
+    for (const ShardQuerySegment& segment : local.plan.segments) {
+      switch (segment.kind) {
+        case ShardQuerySegment::Kind::kOpenTag:
+          writer.StartElement(segment.text);
+          break;
+        case ShardQuerySegment::Kind::kCloseTag:
+          writer.EndElement(segment.text);
+          break;
+        case ShardQuerySegment::Kind::kText:
+          writer.Text(segment.text);
+          break;
+        case ShardQuerySegment::Kind::kLoop: {
+          for (size_t s = 0; s < n; ++s) {
+            writer.Raw(local_results[s][q][dyn].text);
+          }
+          ++dyn;
+          break;
+        }
+        case ShardQuerySegment::Kind::kAggregate: {
+          if (segment.agg == AggKind::kCount) {
+            uint64_t count = 0;
+            for (size_t s = 0; s < n; ++s) {
+              count += local_results[s][q][dyn].agg.count;
+            }
+            writer.Text(std::to_string(count));
+          } else {
+            std::vector<std::string> values;
+            for (size_t s = 0; s < n; ++s) {
+              AggregateParts& parts = local_results[s][q][dyn].agg;
+              for (std::string& value : parts.values) {
+                values.push_back(std::move(value));
+              }
+            }
+            writer.Text(FoldSumValues(values));
+          }
+          ++dyn;
+          break;
+        }
+      }
+    }
+    for (size_t s = 0; s < n; ++s) {
+      for (const LocalSegmentResult& slot : local_results[s][q]) {
+        stats.events_delivered += slot.stats.events_delivered;
+        stats.live_roles_final += slot.stats.live_roles_final;
+        stats.buffer_nodes_final =
+            std::max(stats.buffer_nodes_final, slot.stats.buffer_nodes_final);
+        stats.peak_bytes = std::max(stats.peak_bytes, slot.stats.peak_bytes);
+        stats.dfa_states = std::max(stats.dfa_states, slot.stats.dfa_states);
+        stats.buffer.bytes_peak =
+            std::max(stats.buffer.bytes_peak, slot.stats.buffer.bytes_peak);
+        stats.projector.events_read += slot.stats.projector.events_read;
+      }
+    }
+    writer.Flush();
+    stats.output_bytes = writer.bytes_written();
+    stats.scan_passes = 0;
+    stats.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    result.per_query[qi] = std::move(stats);
   }
 
   SharedScanStats& shared = result.shared;
   shared.scan_passes = 1;
   shared.shards = n;
-  shared.events_forwarded = merged.size();
-  shared.replay_log_peak = merged.size();
+  shared.shard_local_queries = locals.size();
+  // The forwarded/peak counters describe the union-projected stream the
+  // shards produced, whether or not a merged vector was materialized — so
+  // they stay comparable with the unsharded scan and with PR 6 behavior.
+  shared.events_forwarded = total + 1;
+  shared.replay_log_peak = total + 1;
   // Synthetic wrapper events (entry/exit paths plus per-shard EOD) are a
   // sharding artifact: subtract them so the counter stays comparable to
   // the unsharded scan, then count the document's own end once.
@@ -742,8 +1042,8 @@ MultiQueryRun::State MultiQueryRun::Step() {
   for (size_t i = 0; i < im.queries.size(); ++i) {
     BatchQueryContext* ctx = im.contexts[i].get();
     Result<ExecStats> stats = EvaluateOne(
-        *im.queries[i], *ctx, [&im, ctx] { im.demux->Detach(ctx); },
-        im.outs[i], im.mode);
+        im.queries[i]->analyzed(), im.queries[i]->options(), *ctx,
+        [&im, ctx] { im.demux->Detach(ctx); }, im.outs[i], im.mode);
     if (!stats.ok()) {
       im.Fail(stats.status());
       return im.state;

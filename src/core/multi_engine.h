@@ -67,6 +67,11 @@ struct SharedScanStats {
   uint64_t replay_arena_peak_bytes = 0;
   /// Parallel shards the scan ran on (0: ordinary single scan).
   uint64_t shards = 0;
+  /// Queries of the batch the classifier proved subtree-independent and the
+  /// sharded executor therefore evaluated INSIDE the shard workers, merging
+  /// per-query results instead of replaying merged events (0 for unsharded
+  /// runs and for batches where no query qualified).
+  uint64_t shard_local_queries = 0;
 };
 
 /// Result of one batched execution.
@@ -121,13 +126,18 @@ class MultiQueryEngine {
       const std::vector<std::ostream*>& outs) const;
 
   /// Sharded variant over a STORED document (core/shard.h): plans subtree
-  /// boundaries, scans the slices in parallel on a worker pool (each worker
-  /// owns a scanner + merged DFA over the one shared tag table), merges the
-  /// surviving events back in document order and evaluates every query
-  /// serially over the merged stream — output is byte-identical to
-  /// Execute. Falls back to the single-scan Execute when the planner
-  /// declines (small/unshardable document, shards <= 1, kNaiveDom), which
-  /// also preserves exact scanner errors for malformed input.
+  /// boundaries and scans the slices in parallel on a worker pool (each
+  /// worker owns a scanner + merged DFA over the one shared tag table).
+  /// Queries the classifier (analysis/shard_classifier.h) proves
+  /// subtree-independent are evaluated INSIDE the workers — the ordinary
+  /// projector/buffer/evaluator pipeline per dynamic query part over the
+  /// shard's framed slice — and only per-query *results* are concatenated
+  /// in document order (aggregate partials combined for count/sum). The
+  /// remaining queries replay the merged event stream serially, exactly as
+  /// before; both paths are byte-identical to Execute. Falls back to the
+  /// single-scan Execute when the planner declines (small/unshardable
+  /// document, shards <= 1, kNaiveDom), which also preserves exact scanner
+  /// errors for malformed input.
   Result<MultiQueryStats> ExecuteSharded(
       const std::vector<const CompiledQuery*>& queries, std::string_view input,
       const std::vector<std::ostream*>& outs,

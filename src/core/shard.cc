@@ -1,9 +1,12 @@
 #include "core/shard.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
+#include "analysis/shard_classifier.h"
 #include "core/event_filter.h"
 #include "xml/fd_source.h"
 
@@ -78,7 +81,20 @@ ShardPlan PlanShards(std::string_view doc, const ShardOptions& options) {
   // Boundary k wants the first eligible element start at byte >= k/want of
   // the document, so slices come out roughly even.
   size_t next_target = 1;
-  auto target_pos = [&](size_t k) { return doc.size() / want * k; };
+  // Multiply before dividing: `size / want * k` truncates once per target,
+  // which systematically shifts every target down and oversizes the final
+  // slice on non-divisible sizes.
+  auto target_pos = [&](size_t k) { return doc.size() * k / want; };
+
+  // A candidate boundary is unsafe when re-opening its stack could complete
+  // one of the avoid paths at a prefix — a shard-local query's match would
+  // straddle the cut (see analysis/shard_classifier.h).
+  auto boundary_safe = [&](const std::vector<std::string_view>& open) {
+    for (const RelativePath& avoid : options.boundary_avoid_paths) {
+      if (EntryPathCompletesPath(avoid, open)) return false;
+    }
+    return true;
+  };
 
   // All consumption goes through bump_to so the line counter stays exact.
   auto bump_to = [&](size_t end) {
@@ -154,7 +170,8 @@ ShardPlan PlanShards(std::string_view doc, const ShardOptions& options) {
     if (!IsNameStart(d)) return plan;
     if (stack.empty() && seen_root) return plan;  // second root
     if (!stack.empty() && stack.size() <= options.max_boundary_depth &&
-        boundaries.size() + 1 < want && pos >= target_pos(next_target)) {
+        boundaries.size() + 1 < want && pos >= target_pos(next_target) &&
+        boundary_safe(stack)) {
       Boundary boundary;
       boundary.pos = pos;
       boundary.line = line;
@@ -225,7 +242,8 @@ void ScanShard(std::string_view doc, const ShardSlice& slice,
                const ScannerOptions& scanner_options,
                const std::vector<MergedDfaInput>& dfa_inputs,
                SymbolTable* tags, const ShardOptions& options,
-               ShardScanResult* result) {
+               ShardScanResult* result, size_t shard_index,
+               ShardAbort* abort) {
   // Synthetic wrappers: attribute-free tags, so each contributes exactly
   // one scanner event in either attribute mode, and no newlines, so the
   // slice's line numbers stay document-accurate.
@@ -264,29 +282,54 @@ void ScanShard(std::string_view doc, const ShardSlice& slice,
   MergedDfa dfa(dfa_inputs, tags);
   ProjectedEventFilter filter(&dfa);
 
-  const uint64_t prefix_events = slice.entry_path.size();
   uint64_t scan_index = 0;
+  uint64_t stall_spins = 0;
   while (true) {
+    if (abort != nullptr && abort->ShouldAbort(shard_index)) {
+      result->status =
+          IoError("shard scan cancelled after an earlier shard failed");
+      break;
+    }
     XmlEvent event;
     Status next = scanner.Next(&event);
     if (IsWouldBlock(next)) {
-      // A worker thread has nothing else to do: block until readable.
-      WaitReadable(scanner.ReadyFd(), /*timeout_ms=*/-1);
+      int fd = scanner.ReadyFd();
+      if (fd >= 0) {
+        // Bounded wait so an abort signalled meanwhile is still noticed.
+        WaitReadable(fd, /*timeout_ms=*/20);
+      } else {
+        // Non-pollable source: WaitReadable(-1, ...) has no fd to poll, so
+        // back off here — yield while the stall looks transient, then
+        // sleep so a long stall doesn't monopolize a core.
+        if (++stall_spins <= 64) {
+          std::this_thread::yield();
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      }
       continue;
     }
+    stall_spins = 0;
     if (!next.ok()) {
       result->status = next;
+      if (abort != nullptr) abort->Fail(shard_index);
       break;
     }
     const uint64_t index = scan_index++;
     Result<ProjectedEventFilter::Action> action = filter.Apply(event);
     if (!action.ok()) {
       result->status = action.status();
+      if (abort != nullptr) abort->Fail(shard_index);
       break;
     }
     if (*action == ProjectedEventFilter::Action::kSkip) continue;
     if (event.kind == XmlEvent::Kind::kEndOfDocument) break;
-    if (index < prefix_events) continue;  // synthetic entry wrapper
+    // Synthetic wrapper events that survive the filter are logged too:
+    // the log then forms a balanced, correctly nested stream on its own (a
+    // wrapper element the filter subtree-skipped disappears TOGETHER with
+    // whatever slice events sat inside its skip region, including its real
+    // close tag), which is exactly what worker-side evaluation replays.
+    // The merge path drops them again by scan_index.
     ShardEvent out;
     out.kind = event.kind;
     out.tag = event.tag;
@@ -296,17 +339,6 @@ void ScanShard(std::string_view doc, const ShardSlice& slice,
       out.text = result->arena.Append(event.text, &chunk);
     }
     result->log.push_back(out);
-  }
-
-  // Drop the synthetic exit wrapper: its end tags (plus end-of-document)
-  // are the last exit_path.size() + 1 scanner events.
-  if (result->status.ok()) {
-    const uint64_t first_synthetic =
-        scan_index - slice.exit_path.size() - 1;
-    while (!result->log.empty() &&
-           result->log.back().scan_index >= first_synthetic) {
-      result->log.pop_back();
-    }
   }
 
   result->scanner_events = scan_index;

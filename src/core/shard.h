@@ -40,9 +40,11 @@
 #ifndef GCX_CORE_SHARD_H_
 #define GCX_CORE_SHARD_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -54,6 +56,7 @@
 #include "projection/merged_dfa.h"
 #include "xml/event.h"
 #include "xml/scanner.h"
+#include "xpath/path.h"
 
 namespace gcx {
 
@@ -69,6 +72,18 @@ struct ShardOptions {
   size_t max_boundary_depth = 8;
   /// Worker threads; 0 = one per shard, capped at hardware concurrency.
   size_t threads = 0;
+  /// Evaluate provably subtree-independent queries inside the shard
+  /// workers (merging per-query results) instead of replaying a merged
+  /// event log. Queries the classifier cannot prove independent keep the
+  /// merge-and-replay path either way; false forces merge-and-replay for
+  /// everything (test/bench seam).
+  bool local_eval = true;
+  /// Planner avoid-hints: candidate boundaries whose open-element stack
+  /// could complete one of these paths at a prefix (see
+  /// analysis/shard_classifier.h) are skipped, so shard-local queries stay
+  /// eligible. Best-effort — an unplannable hint set falls back to
+  /// unhinted planning.
+  std::vector<RelativePath> boundary_avoid_paths;
   /// Test seam: wraps the exact byte sequence a shard scans (synthetic
   /// prefix + slice + synthetic suffix) in a custom ByteSource — e.g. a
   /// would-block stall injector. Unset: an internal zero-copy source.
@@ -99,9 +114,36 @@ struct ShardPlan {
 /// sharding rather than failing.
 ShardPlan PlanShards(std::string_view doc, const ShardOptions& options);
 
+/// Shared fail-fast flag for one sharded run. A failing shard records its
+/// index (CAS-min, so the EARLIEST failing shard in document order wins
+/// among those that fail); shards strictly AFTER a recorded failure abort
+/// their scan promptly. Shards before it always run to completion, so the
+/// in-order status sweep reports exactly the error the single scan would.
+struct ShardAbort {
+  std::atomic<size_t> first_failed{std::numeric_limits<size_t>::max()};
+
+  void Fail(size_t shard_index) {
+    size_t seen = first_failed.load(std::memory_order_relaxed);
+    while (shard_index < seen &&
+           !first_failed.compare_exchange_weak(seen, shard_index,
+                                               std::memory_order_relaxed)) {
+    }
+  }
+  bool ShouldAbort(size_t shard_index) const {
+    return first_failed.load(std::memory_order_relaxed) < shard_index;
+  }
+};
+
 /// One surviving event of a shard's scan. `text` views the result's arena;
-/// `scan_index` is the event's ordinal in the shard's scanner stream, used
-/// at merge time to drop the synthetic wrapper events again.
+/// `scan_index` is the event's ordinal in the shard's scanner stream.
+/// Filter-surviving synthetic wrapper events are logged like any other —
+/// the log is then a balanced, correctly nested stream by itself (the
+/// filter only drops whole subtrees, so a skipped wrapper element vanishes
+/// together with its real close tag), ready for worker-side evaluation.
+/// The merge path identifies wrapper events by ordinal — entry starts are
+/// `scan_index < entry_path.size()`, exit ends (plus end-of-document) are
+/// `scan_index >= scanner_events - exit_path.size() - 1` — and drops them
+/// when concatenating logs for replay.
 struct ShardEvent {
   XmlEvent::Kind kind = XmlEvent::Kind::kEndOfDocument;
   TagId tag = kInvalidTag;
@@ -127,13 +169,17 @@ struct ShardScanResult {
 /// scanner and merged-DFA prefilter (one MergedDfa per call — Transition
 /// memoizes in place and is not thread-safe), appending surviving events
 /// to `result`. Safe to run concurrently for distinct results over one
-/// shared thread-safe SymbolTable. Blocks across would-block stalls (the
-/// worker thread has nothing else to do).
+/// shared thread-safe SymbolTable. Waits across would-block stalls with a
+/// bounded poll/yield so a shared abort (a failure in an earlier shard,
+/// signalled via `abort`) is noticed promptly; an aborted scan returns
+/// with an error status the in-order sweep never reports (the earlier
+/// shard's own error surfaces first).
 void ScanShard(std::string_view doc, const ShardSlice& slice,
                const ScannerOptions& scanner_options,
                const std::vector<MergedDfaInput>& dfa_inputs,
                SymbolTable* tags, const ShardOptions& options,
-               ShardScanResult* result);
+               ShardScanResult* result, size_t shard_index = 0,
+               ShardAbort* abort = nullptr);
 
 }  // namespace gcx
 

@@ -86,16 +86,37 @@ Status Evaluator::EvalExpr(const Expr& expr) {
   return Status::Ok();
 }
 
+std::string FoldSumValues(const std::vector<std::string>& values) {
+  double total = 0;
+  for (const std::string& value : values) {
+    if (auto number = ParseNumber(value)) {
+      total += *number;
+    } else {
+      total = std::numeric_limits<double>::quiet_NaN();
+      break;
+    }
+  }
+  return FormatNumber(total);
+}
+
 Status Evaluator::EvalAggregate(const Expr& expr) {
   BufferNode* base = env_[static_cast<size_t>(expr.var)];
   GCX_CHECK(base != nullptr);
+  // Sharded partial capture intercepts only the final text emission; the
+  // match enumeration (and its pulls) run identically either way.
+  AggregateParts* capture =
+      expr.var == kRootVar ? options_.aggregate_capture : nullptr;
   if (expr.agg == AggKind::kCount) {
     if (expr.path.empty()) {
       writer_->Text("1");  // count($x): the binding itself
       return Status::Ok();
     }
     GCX_ASSIGN_OR_RETURN(uint64_t count, CountMatches(base, expr.path, 0));
-    writer_->Text(std::to_string(count));
+    if (capture != nullptr) {
+      capture->count = count;
+    } else {
+      writer_->Text(std::to_string(count));
+    }
     return Status::Ok();
   }
   // sum: gather string values (complete once the binding is finished) and
@@ -107,16 +128,11 @@ Status Evaluator::EvalAggregate(const Expr& expr) {
   // identical loop in core/dom_engine.cc.
   std::vector<std::string> values;
   GCX_RETURN_IF_ERROR(PathValues(expr.var, expr.path, &values));
-  double total = 0;
-  for (const std::string& value : values) {
-    if (auto number = ParseNumber(value)) {
-      total += *number;
-    } else {
-      total = std::numeric_limits<double>::quiet_NaN();
-      break;
-    }
+  if (capture != nullptr) {
+    capture->values = std::move(values);
+    return Status::Ok();
   }
-  writer_->Text(FormatNumber(total));
+  writer_->Text(FoldSumValues(values));
   return Status::Ok();
 }
 

@@ -20,12 +20,26 @@
 
 namespace gcx {
 
+/// Per-shard aggregate partials (sharded execution, core/shard.h). The
+/// executor combines partials across shards: counts add; sum keeps the RAW
+/// matched values so the combined list can be folded once, in document
+/// order, with exactly the solo fold (per-shard partial doubles would
+/// round differently).
+struct AggregateParts {
+  uint64_t count = 0;
+  std::vector<std::string> values;
+};
+
 /// Runtime toggles.
 struct EvalOptions {
   /// Execute signOff-statements (active GC). Off = the "static analysis
   /// alone" ablation: projection still limits what enters the buffer, but
   /// nothing is ever purged.
   bool execute_signoffs = true;
+  /// When set, a root-rooted aggregate records its partial here INSTEAD of
+  /// writing text. Evaluation (including signoffs) is otherwise unchanged,
+  /// so the Sec. 3 buffer invariants still hold.
+  AggregateParts* aggregate_capture = nullptr;
 };
 
 /// One evaluation of one query over one input stream.
@@ -83,6 +97,12 @@ class Evaluator {
 /// Compares two untyped values with XQuery-style general-comparison
 /// pragmatics: numerically when both parse as numbers, else bytewise.
 bool CompareValues(const std::string& lhs, RelOp op, const std::string& rhs);
+
+/// The sum() fold over matched string values (XPath 1.0 pragmatics: empty
+/// sums to "0", any non-numeric value poisons the sum to NaN). Exposed so
+/// the sharded executor can fold concatenated per-shard value lists with
+/// byte-identical formatting.
+std::string FoldSumValues(const std::vector<std::string>& values);
 
 }  // namespace gcx
 

@@ -228,6 +228,81 @@ TEST(Admission, MalformedDocumentFailsTheRunAndStaysReusable) {
   EXPECT_EQ(o3.str(), "<r>1</r>");
 }
 
+TEST(Admission, ReleaseOnDrainKeepsResidentBytesBounded) {
+  // Long-lived controller, repeated register/run cycles: with
+  // release_documents_on_drain every successful Run drops the documents it
+  // executed — resident content bytes must not accumulate across cycles.
+  const std::string doc = "<a><b>1</b><b>2</b></a>";
+  QueryCache cache;
+  AdmissionLimits limits;
+  limits.release_documents_on_drain = true;
+  AdmissionController controller(&cache, limits);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    controller.RegisterDocument("doc", doc);
+    EXPECT_EQ(controller.stats().content_bytes_resident, doc.size());
+    std::ostringstream o1, o2;
+    ASSERT_TRUE(
+        controller.Submit("<r>{ count(/a/b) }</r>", {}, "doc", &o1).ok());
+    ASSERT_TRUE(
+        controller.Submit("<s>{ sum(/a/b) }</s>", {}, "doc", &o2).ok());
+    auto run = controller.Run();
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(o1.str(), "<r>2</r>");
+    EXPECT_EQ(o2.str(), "<s>3</s>");
+    EXPECT_EQ(controller.stats().content_bytes_resident, 0u)
+        << "cycle " << cycle << " retained document bytes";
+    EXPECT_EQ(controller.stats().documents_released,
+              static_cast<uint64_t>(cycle + 1));
+    // The document is really gone: submissions need a re-register.
+    std::ostringstream o3;
+    EXPECT_FALSE(
+        controller.Submit("<r>{ count(/a/b) }</r>", {}, "doc", &o3).ok());
+  }
+}
+
+TEST(Admission, DocumentsStayResidentWithoutReleaseOnDrain) {
+  const std::string doc = "<a><b>1</b></a>";
+  QueryCache cache;
+  AdmissionController controller(&cache);  // default: no release
+  controller.RegisterDocument("doc", doc);
+  std::ostringstream out;
+  ASSERT_TRUE(
+      controller.Submit("<r>{ count(/a/b) }</r>", {}, "doc", &out).ok());
+  ASSERT_TRUE(controller.Run().ok());
+  EXPECT_EQ(controller.stats().content_bytes_resident, doc.size());
+  EXPECT_EQ(controller.stats().documents_released, 0u);
+  // Repeat submissions keep working without a re-register.
+  std::ostringstream again;
+  ASSERT_TRUE(
+      controller.Submit("<r>{ count(/a/b) }</r>", {}, "doc", &again).ok());
+  ASSERT_TRUE(controller.Run().ok());
+  EXPECT_EQ(again.str(), "<r>1</r>");
+}
+
+TEST(Admission, UnregisterDocumentRefusesWhilePendingThenReleases) {
+  const std::string doc = "<a><b>1</b></a>";
+  QueryCache cache;
+  AdmissionController controller(&cache);
+  controller.RegisterDocument("doc", doc);
+  std::ostringstream out;
+  ASSERT_TRUE(
+      controller.Submit("<r>{ count(/a/b) }</r>", {}, "doc", &out).ok());
+  // Pending submissions reference the document: refuse to pull it out from
+  // under them.
+  EXPECT_FALSE(controller.UnregisterDocument("doc"));
+  ASSERT_TRUE(controller.Run().ok());
+  EXPECT_EQ(out.str(), "<r>1</r>");
+  // Drained: the explicit unregister drops opener and content.
+  EXPECT_TRUE(controller.UnregisterDocument("doc"));
+  EXPECT_EQ(controller.stats().content_bytes_resident, 0u);
+  EXPECT_EQ(controller.stats().documents_released, 1u);
+  std::ostringstream rejected;
+  EXPECT_FALSE(
+      controller.Submit("<r>{ count(/a/b) }</r>", {}, "doc", &rejected).ok());
+  // Unknown ids report false rather than crashing.
+  EXPECT_FALSE(controller.UnregisterDocument("never-registered"));
+}
+
 TEST(Admission, MatchesHandBuiltBatchByteForByte) {
   const std::string doc =
       "<shop><item><price>3</price></item><item><price>5</price></item>"

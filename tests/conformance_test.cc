@@ -464,6 +464,7 @@ TEST(ConformanceSharded, ShardedCorpusMatchesGoldensUnderAllConfigs) {
   std::vector<Case> corpus = LoadCorpus();
   ASSERT_FALSE(corpus.empty());
   size_t actually_sharded = 0;
+  size_t locally_evaluated = 0;
   for (size_t shards : {size_t{1}, size_t{2}, size_t{8}}) {
     for (const NamedEngineConfig& config : StandardEngineConfigs()) {
       for (const Case& c : corpus) {
@@ -491,6 +492,7 @@ TEST(ConformanceSharded, ShardedCorpusMatchesGoldensUnderAllConfigs) {
             << c.name << " [" << config.name << "] shards=" << shards
             << ": sharded output diverges from golden";
         if (stats->shared.shards > 0) ++actually_sharded;
+        locally_evaluated += stats->shared.shard_local_queries;
       }
     }
   }
@@ -499,6 +501,11 @@ TEST(ConformanceSharded, ShardedCorpusMatchesGoldensUnderAllConfigs) {
   EXPECT_GT(actually_sharded, 0u)
       << "no corpus case was actually sharded — the sweep only tested the "
          "fallback path";
+  // ... and some corpus queries must be provably shard-independent, so the
+  // worker-side evaluation path is really exercised against goldens.
+  EXPECT_GT(locally_evaluated, 0u)
+      << "no corpus query took the shard-local evaluation path — the sweep "
+         "only tested merge-and-replay";
 }
 
 TEST(ConformanceSharded, ShardedStallInjectedSourcesMatchGoldens) {

@@ -1,0 +1,217 @@
+// Shard-independence classification (analysis/shard_classifier.h):
+// eligible/ineligible query shapes, scatter-path extraction, and the
+// boundary-safety NFA (EntryPathCompletesPath).
+
+#include "analysis/shard_classifier.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "xpath/path.h"
+#include "xq/parser.h"
+
+namespace gcx {
+namespace {
+
+ShardQueryPlan Classify(const std::string& text) {
+  auto parsed = ParseQuery(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  if (!parsed.ok()) return {};
+  return ClassifyForShardEval(*parsed, NormalizeOptions{});
+}
+
+RelativePath Path(const std::string& text) {
+  auto path = ParsePath(text);
+  EXPECT_TRUE(path.ok()) << path.status().ToString();
+  return path.ok() ? *path : RelativePath{};
+}
+
+size_t CountKind(const ShardQueryPlan& plan, ShardQuerySegment::Kind kind) {
+  size_t count = 0;
+  for (const ShardQuerySegment& segment : plan.segments) {
+    if (segment.kind == kind) ++count;
+  }
+  return count;
+}
+
+// --- eligible shapes ---------------------------------------------------------
+
+TEST(ShardClassifier, AcceptsRootedForChain) {
+  ShardQueryPlan plan = Classify(
+      "<r>{ for $i in /site/items/item where $i/price = \"5\" "
+      "return $i/desc }</r>");
+  ASSERT_TRUE(plan.eligible) << plan.reason;
+  ASSERT_EQ(plan.segments.size(), 3u);
+  EXPECT_EQ(plan.segments[0].kind, ShardQuerySegment::Kind::kOpenTag);
+  EXPECT_EQ(plan.segments[0].text, "r");
+  EXPECT_EQ(plan.segments[1].kind, ShardQuerySegment::Kind::kLoop);
+  EXPECT_EQ(plan.segments[1].scatter_path, Path("site/items/item"));
+  EXPECT_EQ(plan.segments[2].kind, ShardQuerySegment::Kind::kCloseTag);
+}
+
+TEST(ShardClassifier, AcceptsNestedLoopsBelowTheScatterLevel) {
+  // The inner loop iterates within one $i subtree: local to a shard.
+  ShardQueryPlan plan = Classify(
+      "<r>{ for $i in /site/items/item return "
+      "<o>{ for $p in $i/price return $p }</o> }</r>");
+  ASSERT_TRUE(plan.eligible) << plan.reason;
+  EXPECT_EQ(CountKind(plan, ShardQuerySegment::Kind::kLoop), 1u);
+}
+
+TEST(ShardClassifier, AcceptsCountWithDescendantSteps) {
+  // count is order-insensitive: descendant intermediates are fine (each
+  // derivation still lives in exactly one shard).
+  ShardQueryPlan plan = Classify("<c>{ count(//item/price) }</c>");
+  ASSERT_TRUE(plan.eligible) << plan.reason;
+  ASSERT_EQ(CountKind(plan, ShardQuerySegment::Kind::kAggregate), 1u);
+  for (const ShardQuerySegment& segment : plan.segments) {
+    if (segment.kind == ShardQuerySegment::Kind::kAggregate) {
+      EXPECT_EQ(segment.agg, AggKind::kCount);
+    }
+  }
+}
+
+TEST(ShardClassifier, AcceptsSumOverChildChain) {
+  ShardQueryPlan plan = Classify("<s>{ sum(/site/items/item/price) }</s>");
+  ASSERT_TRUE(plan.eligible) << plan.reason;
+  EXPECT_EQ(CountKind(plan, ShardQuerySegment::Kind::kAggregate), 1u);
+}
+
+TEST(ShardClassifier, AcceptsFirstPredicateBelowScatterLevel) {
+  // `[1]` inside the per-binding body picks a first within one contained
+  // subtree — identical per shard and solo.
+  ShardQueryPlan plan = Classify(
+      "<r>{ for $i in /site/items/item return $i/price[1] }</r>");
+  EXPECT_TRUE(plan.eligible) << plan.reason;
+}
+
+TEST(ShardClassifier, ScatterStopsAtDeepestReferencedChainVariable) {
+  // Only $i (the item binding) is referenced, so the whole chain down to
+  // `item` distributes over shards.
+  ShardQueryPlan plan =
+      Classify("<r>{ for $i in /site/items/item return $i }</r>");
+  ASSERT_TRUE(plan.eligible) << plan.reason;
+  ASSERT_EQ(CountKind(plan, ShardQuerySegment::Kind::kLoop), 1u);
+  for (const ShardQuerySegment& segment : plan.segments) {
+    if (segment.kind == ShardQuerySegment::Kind::kLoop) {
+      EXPECT_EQ(segment.scatter_path, Path("site/items/item"));
+    }
+  }
+}
+
+TEST(ShardClassifier, SegmentQueriesCarryCompactVariableTables) {
+  // Two independent loops: each wrapped segment query must mention ONLY
+  // its own variables ($root + its chain), not the other segment's — the
+  // analyzer builds a VarInfo (expecting a binding role) for every
+  // var_names entry, so a stowaway unbound variable reads an invalid role.
+  ShardQueryPlan plan = Classify(
+      "<r>{ (for $a in /site/items/item return $a/name, "
+      "for $b in /site/people/person return $b/age) }</r>");
+  ASSERT_TRUE(plan.eligible) << plan.reason;
+  ASSERT_EQ(CountKind(plan, ShardQuerySegment::Kind::kLoop), 2u);
+  for (const ShardQuerySegment& segment : plan.segments) {
+    if (segment.kind != ShardQuerySegment::Kind::kLoop) continue;
+    EXPECT_EQ(segment.query.var_names[0], "$root");
+    size_t own = 0;
+    for (const std::string& name : segment.query.var_names) {
+      own += (name == "$a") + (name == "$b");
+    }
+    EXPECT_EQ(own, 1u) << "segment should keep exactly its own loop var";
+  }
+}
+
+// --- ineligible shapes -------------------------------------------------------
+
+TEST(ShardClassifier, ShortensScatterAboveFirstPredicate) {
+  // A per-shard "first item" is not the document's first item, so the
+  // scatter stops above the [1]: distribution at /site/items keeps the
+  // whole items subtree in one shard and the [1] local.
+  ShardQueryPlan plan =
+      Classify("<r>{ for $i in /site/items/item[1] return $i/desc }</r>");
+  ASSERT_TRUE(plan.eligible) << plan.reason;
+  for (const ShardQuerySegment& segment : plan.segments) {
+    if (segment.kind == ShardQuerySegment::Kind::kLoop) {
+      EXPECT_EQ(segment.scatter_path, Path("site/items"));
+    }
+  }
+}
+
+TEST(ShardClassifier, RejectsFirstPredicateOnTheFirstStep) {
+  // No usable prefix remains: a global first cannot distribute at all.
+  ShardQueryPlan plan = Classify("<r>{ for $i in /site[1] return $i }</r>");
+  EXPECT_FALSE(plan.eligible);
+}
+
+TEST(ShardClassifier, RejectsRootReferenceInLoopBody) {
+  // The body re-reads the whole document per binding: not shard-local.
+  ShardQueryPlan plan = Classify(
+      "<r>{ for $i in /site/items/item return "
+      "<o>{ count(/site/items/item) }</o> }</r>");
+  EXPECT_FALSE(plan.eligible);
+}
+
+TEST(ShardClassifier, ShortensSumScatterAtDescendantStep) {
+  // sum is order-sensitive through its raw value list: the scatter stops
+  // at the first non-child step (which may be final), so the price level
+  // stays below the distribution and iterates locally.
+  ShardQueryPlan plan = Classify("<s>{ sum(//item/price) }</s>");
+  ASSERT_TRUE(plan.eligible) << plan.reason;
+  for (const ShardQuerySegment& segment : plan.segments) {
+    if (segment.kind == ShardQuerySegment::Kind::kAggregate) {
+      EXPECT_EQ(segment.scatter_path.ToString().find("price"),
+                std::string::npos)
+          << segment.scatter_path.ToString();
+    }
+  }
+}
+
+// --- boundary safety NFA -----------------------------------------------------
+
+std::vector<std::string> Names(std::vector<std::string> names) {
+  return names;
+}
+
+TEST(EntryPathCompletes, ChildChainCompletesOnlyAtFullDepth) {
+  RelativePath path = Path("site/items/item");
+  EXPECT_FALSE(EntryPathCompletesPath(path, Names({"site"})));
+  EXPECT_FALSE(EntryPathCompletesPath(path, Names({"site", "items"})));
+  EXPECT_TRUE(EntryPathCompletesPath(path, Names({"site", "items", "item"})));
+  // Deeper entries (a boundary inside a match subtree) still complete at
+  // the prefix.
+  EXPECT_TRUE(EntryPathCompletesPath(
+      path, Names({"site", "items", "item", "desc"})));
+  // A different spine never completes.
+  EXPECT_FALSE(EntryPathCompletesPath(
+      path, Names({"site", "regions", "africa"})));
+}
+
+TEST(EntryPathCompletes, DescendantStepsMatchAtAnyDepth) {
+  RelativePath path = Path("descendant::item");
+  EXPECT_FALSE(EntryPathCompletesPath(path, Names({"site", "regions"})));
+  EXPECT_TRUE(
+      EntryPathCompletesPath(path, Names({"site", "regions", "item"})));
+}
+
+TEST(EntryPathCompletes, RootLevelScatterAlwaysCompletes) {
+  // /site matches once, at the root child: every boundary's entry path
+  // starts inside it.
+  RelativePath path = Path("site");
+  EXPECT_TRUE(EntryPathCompletesPath(path, Names({"site"})));
+  EXPECT_TRUE(EntryPathCompletesPath(path, Names({"site", "items"})));
+}
+
+TEST(EntryPathCompletes, EmptyPathIsAlwaysUnsafe) {
+  EXPECT_TRUE(EntryPathCompletesPath(RelativePath{}, Names({"site"})));
+}
+
+TEST(EntryPathCompletes, StarStepsMatchAnyName) {
+  RelativePath path = Path("site/*/item");
+  EXPECT_TRUE(EntryPathCompletesPath(
+      path, Names({"site", "anything", "item"})));
+  EXPECT_FALSE(EntryPathCompletesPath(path, Names({"site", "anything"})));
+}
+
+}  // namespace
+}  // namespace gcx

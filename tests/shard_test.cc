@@ -41,6 +41,42 @@ ShardOptions SmallDocOptions(size_t shards) {
   return options;
 }
 
+/// Non-pollable source (ReadyFd() == -1) that reports `burst` consecutive
+/// would-blocks before every chunk — the shape that used to make
+/// ScanShard's stall wait spin on WaitReadable(-1, -1).
+class BurstyWouldBlockSource : public ByteSource {
+ public:
+  BurstyWouldBlockSource(std::string data, size_t burst, size_t chunk)
+      : data_(std::move(data)), burst_(burst), chunk_(chunk),
+        stalls_left_(burst) {}
+  ReadResult Read(char* buffer, size_t capacity) override {
+    if (stalls_left_ > 0) {
+      --stalls_left_;
+      return ReadResult::WouldBlock();
+    }
+    stalls_left_ = burst_;
+    size_t len = std::min({chunk_, capacity, data_.size() - pos_});
+    if (len == 0) return ReadResult::Eof();
+    std::memcpy(buffer, data_.data() + pos_, len);
+    pos_ += len;
+    return ReadResult::Ok(len);
+  }
+
+ private:
+  std::string data_;
+  size_t burst_;
+  size_t chunk_;
+  size_t pos_ = 0;
+  size_t stalls_left_;
+};
+
+/// Reports would-block forever without ever producing a byte. A shard over
+/// this source can only finish through the shared abort flag.
+class StallForeverSource : public ByteSource {
+ public:
+  ReadResult Read(char*, size_t) override { return ReadResult::WouldBlock(); }
+};
+
 // --- planner ----------------------------------------------------------------
 
 TEST(ShardPlanner, SplitsAtContiguousSubtreeBoundaries) {
@@ -148,6 +184,22 @@ TEST(ShardPlanner, RespectsMaxBoundaryDepth) {
   EXPECT_FALSE(PlanShards(doc, options).sharded);
 }
 
+TEST(ShardPlanner, KeepsSliceSizesEven) {
+  // The boundary targets must not drift: `size / want * k` truncates once
+  // and multiplies the loss, systematically oversizing the final slice.
+  std::string doc = ItemDoc(800);
+  ShardPlan plan = PlanShards(doc, SmallDocOptions(8));
+  ASSERT_TRUE(plan.sharded);
+  ASSERT_EQ(plan.slices.size(), 8u);
+  size_t smallest = doc.size(), largest = 0;
+  for (const ShardSlice& slice : plan.slices) {
+    smallest = std::min(smallest, slice.end - slice.begin);
+    largest = std::max(largest, slice.end - slice.begin);
+  }
+  EXPECT_LE(largest, smallest + smallest / 2)
+      << "slice skew: " << smallest << " .. " << largest;
+}
+
 // --- sharded vs unsharded differential --------------------------------------
 
 void ExpectShardedMatchesUnsharded(const std::string& doc,
@@ -213,6 +265,63 @@ TEST(ShardedExecution, StalledShardSourcesProduceIdenticalOutput) {
     return std::make_unique<WouldBlockEveryNSource>(std::move(data), 7);
   };
   ExpectShardedMatchesUnsharded(doc, query, options, /*expect_sharded=*/true);
+}
+
+TEST(ShardedExecution, AbsorbsWouldBlockBurstsWithoutReadyFd) {
+  // Regression: a non-pollable source reporting long would-block bursts
+  // (ReadyFd() == -1) used to send the worker into WaitReadable(-1, -1) —
+  // a busy spin. The bounded yield/sleep backoff must absorb the bursts
+  // and still produce identical bytes.
+  std::string doc = ItemDoc(300);
+  std::string query = "<c>{ count(/site/items/item) }</c>";
+  ShardOptions options = SmallDocOptions(4);
+  options.wrap_source = [](std::string data) {
+    return std::make_unique<BurstyWouldBlockSource>(std::move(data),
+                                                    /*burst=*/80,
+                                                    /*chunk=*/1024);
+  };
+  ExpectShardedMatchesUnsharded(doc, query, options, /*expect_sharded=*/true);
+}
+
+TEST(ShardedExecution, FailFastReleasesStalledShards) {
+  // Shard 1 carries a scan error; a later shard stalls forever (its source
+  // never produces a byte, and has no fd to poll). Without the shared
+  // abort flag this run would hang; with it, the stalled shard cancels and
+  // the reported error is exactly the single scan's.
+  std::string doc = "<site><items>";
+  for (size_t i = 0; i < 400; ++i) {
+    if (i == 150) {
+      doc += "<item>&bogus;</item>";
+    } else if (i == 340) {
+      doc += "<item>STALLMARKER</item>";
+    } else {
+      doc += "<item>ok</item>";
+    }
+  }
+  doc += "</items></site>";
+
+  auto compiled = CompiledQuery::Compile("<c>{ /site/items/item }</c>", {});
+  ASSERT_TRUE(compiled.ok());
+  MultiQueryEngine engine;
+
+  std::ostringstream plain;
+  auto plain_stats = engine.Execute({&*compiled}, doc, {&plain});
+  ASSERT_FALSE(plain_stats.ok());
+
+  ShardOptions options = SmallDocOptions(4);
+  options.threads = 4;  // stall and failure must coexist, even on 1 core
+  options.wrap_source = [](std::string data) -> std::unique_ptr<ByteSource> {
+    if (data.find("STALLMARKER") != std::string::npos) {
+      return std::make_unique<StallForeverSource>();
+    }
+    return std::make_unique<WouldBlockEveryNSource>(std::move(data), 512);
+  };
+  std::ostringstream sharded;
+  auto sharded_stats =
+      engine.ExecuteSharded({&*compiled}, doc, {&sharded}, options);
+  ASSERT_FALSE(sharded_stats.ok());
+  EXPECT_EQ(sharded_stats.status().ToString(),
+            plain_stats.status().ToString());
 }
 
 TEST(ShardedExecution, ScanErrorsKeepDocumentAccurateLines) {
@@ -291,23 +400,150 @@ TEST(ShardedExecution, MultiQueryBatchMatchesPerQueryGoldens) {
   }
 }
 
+// --- shard-local evaluation -------------------------------------------------
+
+TEST(ShardLocalEval, ActivatesForEligibleQueries) {
+  std::string doc = ItemDoc(500);
+  std::string eligible = "<c>{ count(/site/items/item) }</c>";
+  // $root inside the loop body reads outside the item subtree: replay-only.
+  std::string ineligible =
+      "<r>{ for $i in /site/items/item return "
+      "<o>{ count(/site/items/item) }</o> }</r>";
+  MultiQueryEngine engine;
+  for (const std::string& query : {eligible, ineligible}) {
+    auto compiled = CompiledQuery::Compile(query, {});
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    std::ostringstream plain;
+    ASSERT_TRUE(engine.Execute({&*compiled}, doc, {&plain}).ok());
+
+    std::ostringstream sharded;
+    auto stats =
+        engine.ExecuteSharded({&*compiled}, doc, {&sharded}, SmallDocOptions(4));
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_GT(stats->shared.shards, 0u);
+    EXPECT_EQ(stats->shared.shard_local_queries,
+              query == eligible ? 1u : 0u);
+    EXPECT_EQ(sharded.str(), plain.str());
+
+    // The seam forces merge-and-replay even for eligible queries.
+    ShardOptions replay_only = SmallDocOptions(4);
+    replay_only.local_eval = false;
+    std::ostringstream replayed;
+    auto replay_stats =
+        engine.ExecuteSharded({&*compiled}, doc, {&replayed}, replay_only);
+    ASSERT_TRUE(replay_stats.ok()) << replay_stats.status().ToString();
+    EXPECT_EQ(replay_stats->shared.shard_local_queries, 0u);
+    EXPECT_EQ(replayed.str(), plain.str());
+  }
+}
+
+TEST(ShardLocalEval, MixedBatchSplitsPerQuery) {
+  // Local and replay queries coexist in ONE batch over one sharded scan.
+  std::string doc = ItemDoc(400);
+  std::vector<std::string> queries = {
+      "<c>{ count(/site/items/item) }</c>",  // local: aggregate partials
+      "<r>{ for $i in /site/items/item where $i/price = \"3\" "
+      "return $i/price }</r>",  // local: loop concatenation
+      "<r>{ for $i in /site/items/item return "
+      "<o>{ count(/site/items/item) }</o> }</r>",  // replay: reads $root
+  };
+  std::vector<CompiledQuery> compiled;
+  for (const std::string& q : queries) {
+    auto one = CompiledQuery::Compile(q, {});
+    ASSERT_TRUE(one.ok()) << one.status().ToString();
+    compiled.push_back(std::move(one).value());
+  }
+  std::vector<const CompiledQuery*> batch;
+  std::vector<std::ostringstream> plain(queries.size()),
+      sharded(queries.size());
+  std::vector<std::ostream*> plain_outs, sharded_outs;
+  for (size_t i = 0; i < compiled.size(); ++i) {
+    batch.push_back(&compiled[i]);
+    plain_outs.push_back(&plain[i]);
+    sharded_outs.push_back(&sharded[i]);
+  }
+  MultiQueryEngine engine;
+  auto plain_stats = engine.Execute(batch, doc, plain_outs);
+  ASSERT_TRUE(plain_stats.ok()) << plain_stats.status().ToString();
+  auto sharded_stats =
+      engine.ExecuteSharded(batch, doc, sharded_outs, SmallDocOptions(4));
+  ASSERT_TRUE(sharded_stats.ok()) << sharded_stats.status().ToString();
+  EXPECT_GT(sharded_stats->shared.shards, 0u);
+  EXPECT_EQ(sharded_stats->shared.shard_local_queries, 2u);
+  // Forwarded-event accounting stays comparable with the plain shared scan
+  // whether or not a merged log was materialized.
+  EXPECT_EQ(sharded_stats->shared.events_forwarded,
+            plain_stats->shared.events_forwarded);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(sharded[i].str(), plain[i].str()) << "query " << i;
+  }
+}
+
+TEST(ShardLocalEval, SumPartialsRefoldExactly) {
+  // Non-numeric values poison a sum into NaN at a specific fold position;
+  // the partial-merge must refold the concatenated raw values and produce
+  // byte-identical output (including the poisoned case).
+  std::string numeric = ItemDoc(400);
+  std::string poisoned = "<site><items>";
+  for (size_t i = 0; i < 400; ++i) {
+    poisoned += "<item><price>" +
+                (i == 250 ? std::string("abc") : std::to_string(i % 97)) +
+                "</price></item>";
+  }
+  poisoned += "</items></site>";
+  std::string query = "<s>{ sum(/site/items/item/price) }</s>";
+  for (const std::string& doc : {numeric, poisoned}) {
+    for (size_t shards : {size_t{2}, size_t{8}}) {
+      ExpectShardedMatchesUnsharded(doc, query, SmallDocOptions(shards),
+                                    /*expect_sharded=*/true);
+    }
+  }
+  // And the partial path really is active for this query shape.
+  auto compiled = CompiledQuery::Compile(query, {});
+  ASSERT_TRUE(compiled.ok());
+  MultiQueryEngine engine;
+  std::ostringstream out;
+  auto stats =
+      engine.ExecuteSharded({&*compiled}, numeric, {&out}, SmallDocOptions(4));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->shared.shard_local_queries, 1u);
+}
+
 // --- threaded stress (sanitizer fodder) -------------------------------------
 
 TEST(ShardedExecution, ConcurrentShardedRunsAreIndependent) {
   // Several sharded executions at once: each run owns its SymbolTable and
   // worker pool, so the only shared state is the immutable document and
-  // the compiled queries. TSan must stay quiet and outputs exact.
+  // the compiled queries. The batch mixes a shard-local query (worker-side
+  // evaluation) with a replay-only one so both merge paths race under
+  // TSan; outputs must stay exact.
   std::string doc = ItemDoc(300);
-  std::string query = "<c>{ count(/site/items/item) }</c>";
-  auto compiled = CompiledQuery::Compile(query, {});
-  ASSERT_TRUE(compiled.ok());
+  std::vector<std::string> queries = {
+      "<c>{ count(/site/items/item) }</c>",  // shard-local
+      "<r>{ for $i in /site/items/item return "
+      "<o>{ count(/site/items/item) }</o> }</r>",  // merge-and-replay
+  };
+  std::vector<CompiledQuery> compiled;
+  std::vector<const CompiledQuery*> batch;
+  for (const std::string& q : queries) {
+    auto one = CompiledQuery::Compile(q, {});
+    ASSERT_TRUE(one.ok()) << one.status().ToString();
+    compiled.push_back(std::move(one).value());
+  }
+  for (const CompiledQuery& q : compiled) batch.push_back(&q);
 
-  std::ostringstream golden;
-  MultiQueryEngine engine;
-  ASSERT_TRUE(engine.Execute({&*compiled}, doc, {&golden}).ok());
+  std::vector<std::string> golden(queries.size());
+  {
+    std::vector<std::ostringstream> outs(queries.size());
+    std::vector<std::ostream*> ptrs;
+    for (auto& out : outs) ptrs.push_back(&out);
+    MultiQueryEngine engine;
+    ASSERT_TRUE(engine.Execute(batch, doc, ptrs).ok());
+    for (size_t i = 0; i < outs.size(); ++i) golden[i] = outs[i].str();
+  }
 
   constexpr int kRuns = 8;
-  std::vector<std::string> outputs(kRuns);
+  std::vector<std::vector<std::string>> outputs(kRuns);
   // char, not bool: vector<bool> packs bits, and concurrent writes to
   // different elements would be a real data race.
   std::vector<char> ok(kRuns, 0);
@@ -317,18 +553,21 @@ TEST(ShardedExecution, ConcurrentShardedRunsAreIndependent) {
     for (int i = 0; i < kRuns; ++i) {
       threads.emplace_back([&, i] {
         MultiQueryEngine local;
-        std::ostringstream out;
-        auto stats = local.ExecuteSharded({&*compiled}, doc, {&out},
+        std::vector<std::ostringstream> outs(batch.size());
+        std::vector<std::ostream*> ptrs;
+        for (auto& out : outs) ptrs.push_back(&out);
+        auto stats = local.ExecuteSharded(batch, doc, ptrs,
                                           SmallDocOptions(4));
-        ok[i] = stats.ok() && stats->shared.shards > 0;
-        outputs[i] = out.str();
+        ok[i] = stats.ok() && stats->shared.shards > 0 &&
+                stats->shared.shard_local_queries == 1;
+        for (auto& out : outs) outputs[i].push_back(out.str());
       });
     }
     for (std::thread& t : threads) t.join();
   }
   for (int i = 0; i < kRuns; ++i) {
     EXPECT_TRUE(ok[i]) << "run " << i;
-    EXPECT_EQ(outputs[i], golden.str()) << "run " << i;
+    EXPECT_EQ(outputs[i], golden) << "run " << i;
   }
 }
 

@@ -600,6 +600,8 @@ int main(int argc, char** argv) {
       std::cerr << "queries:           " << batch.size() << "\n"
                 << "scan passes:       " << shared.scan_passes << "\n"
                 << "shards:            " << shared.shards << "\n"
+                << "shard-local:       " << shared.shard_local_queries
+                << " of " << batch.size() << " queries\n"
                 << "bytes scanned:     " << shared.bytes_scanned << "\n"
                 << "events scanned:    " << shared.events_scanned << "\n"
                 << "events forwarded:  " << shared.events_forwarded << "\n"
