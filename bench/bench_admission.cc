@@ -252,10 +252,12 @@ int main() {
   std::fprintf(f,
                "  ],\n  \"admission\": {\"queries\": %zu, "
                "\"admission_seconds\": %.6f, \"handbuilt_seconds\": %.6f, "
-               "\"admission_batches\": %llu, \"outputs_identical\": %s}\n}\n",
+               "\"admission_batches\": %llu, \"outputs_identical\": %s}",
                adm.queries, adm.admission_seconds, adm.handbuilt_seconds,
                static_cast<unsigned long long>(adm.admission_batches),
                adm.outputs_identical ? "true" : "false");
+  gcx::bench::WriteMetricsMember(f);
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::fprintf(stderr, "wrote %s\n", path.c_str());
   return 0;

@@ -237,14 +237,15 @@ int main() {
       "\"slow_done_seconds\": %.6f, \"total_seconds\": %.6f, \"stalls\": "
       "%llu},\n"
       "  \"fast_path_speedup\": %.3f,\n"
-      "  \"outputs_identical\": true\n"
-      "}\n",
+      "  \"outputs_identical\": true",
       doc.size(), queries.size(), fast_docs.size(), kSlowChunks, kSlowStallMs,
       serial.fast_done_seconds, serial.slow_done_seconds,
       serial.total_seconds,
       static_cast<unsigned long long>(serial.stalls),
       inter.fast_done_seconds, inter.slow_done_seconds, inter.total_seconds,
       static_cast<unsigned long long>(inter.stalls), fast_speedup);
+  gcx::bench::WriteMetricsMember(f);
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::fprintf(stderr, "wrote %s\n", path.c_str());
   return 0;

@@ -1,0 +1,167 @@
+// Metrics overhead A/B: the registry must be free when you don't look at it.
+//
+// Publishing is fold-at-return (per-run stats are folded into the registry
+// once per Execute, not per event), so the expected overhead on a scan-bound
+// workload is sub-noise. This bench proves it on bench_throughput's XMark
+// workload: the same (query, document) cell runs with metrics enabled and
+// with the registry's runtime off-switch thrown, interleaved rep by rep so
+// thermal/cache drift hits both cells equally, and reports the relative
+// wall-clock delta. The acceptance budget is < 2%; the compile-time escape
+// hatch (-DGCX_METRICS_OFF, CMake option GCX_METRICS_OFF) removes even that
+// by turning every MetricsSink call into an inline no-op.
+//
+// GCX_BENCH_SCALE=N multiplies the document size.
+// GCX_BENCH_JSON=path overrides the output path
+// (default: BENCH_metrics.json in the working directory).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/multi_engine.h"
+
+namespace {
+
+double RunSoloOnce(const gcx::CompiledQuery& compiled, const std::string& doc) {
+  gcx::bench::NullBuffer null_buffer;
+  std::ostream null_stream(&null_buffer);
+  gcx::Engine engine;
+  auto start = std::chrono::steady_clock::now();
+  auto stats = engine.Execute(compiled, doc, &null_stream);
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "execute failed: %s\n",
+                 stats.status().ToString().c_str());
+    std::abort();
+  }
+  return seconds;
+}
+
+double RunBatchOnce(const std::vector<const gcx::CompiledQuery*>& batch,
+                    const std::string& doc) {
+  std::vector<gcx::bench::NullBuffer> null_buffers(batch.size());
+  std::vector<std::unique_ptr<std::ostream>> streams;
+  std::vector<std::ostream*> outs;
+  for (gcx::bench::NullBuffer& buffer : null_buffers) {
+    streams.push_back(std::make_unique<std::ostream>(&buffer));
+    outs.push_back(streams.back().get());
+  }
+  gcx::MultiQueryEngine engine;
+  auto start = std::chrono::steady_clock::now();
+  auto stats = engine.Execute(batch, doc, outs);
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "batched execute failed: %s\n",
+                 stats.status().ToString().c_str());
+    std::abort();
+  }
+  return seconds;
+}
+
+struct Cell {
+  std::string mode;  // "solo" | "batch8"
+  double on_seconds = 1e30;
+  double off_seconds = 1e30;
+  double overhead_percent() const {
+    return off_seconds > 0 ? (on_seconds / off_seconds - 1.0) * 100.0 : 0;
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace gcx;
+  using namespace gcx::bench;
+
+  const int reps = 7;
+  std::string xmark = GenerateXMark(XMarkOptions{8 * BenchScale(), 42});
+
+  auto q6 = CompiledQuery::Compile(XMarkQ6(), {});
+  if (!q6.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n",
+                 q6.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<CompiledQuery> compiled;
+  for (const NamedQuery& query : AllXMarkQueries()) {
+    if (std::string(query.name) == "Q8") continue;
+    auto one = CompiledQuery::Compile(query.text, {});
+    if (!one.ok()) {
+      std::fprintf(stderr, "compile failed: %s\n",
+                   one.status().ToString().c_str());
+      return 1;
+    }
+    compiled.push_back(std::move(one).value());
+  }
+  std::vector<const CompiledQuery*> batch;
+  for (size_t i = 0; i < 8; ++i) batch.push_back(&compiled[i % compiled.size()]);
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Cell solo{"solo"};
+  Cell batch8{"batch8"};
+  // Interleave the A/B cells so drift (CPU frequency, page cache) cannot
+  // bias one side; min-of-reps discards the noise tail.
+  for (int rep = 0; rep < reps; ++rep) {
+    registry.set_enabled(true);
+    solo.on_seconds = std::min(solo.on_seconds, RunSoloOnce(*q6, xmark));
+    batch8.on_seconds = std::min(batch8.on_seconds, RunBatchOnce(batch, xmark));
+    registry.set_enabled(false);
+    solo.off_seconds = std::min(solo.off_seconds, RunSoloOnce(*q6, xmark));
+    batch8.off_seconds =
+        std::min(batch8.off_seconds, RunBatchOnce(batch, xmark));
+  }
+  registry.set_enabled(true);
+
+#ifdef GCX_METRICS_OFF
+  const bool compiled_out = true;
+#else
+  const bool compiled_out = false;
+#endif
+
+  std::printf("%-7s | %-12s | %-12s | %-10s\n", "mode", "on (s)", "off (s)",
+              "overhead");
+  for (const Cell* cell : {&solo, &batch8}) {
+    std::printf("%-7s | %12.6f | %12.6f | %+9.2f%%\n", cell->mode.c_str(),
+                cell->on_seconds, cell->off_seconds,
+                cell->overhead_percent());
+  }
+  std::printf("metrics compiled out: %s\n", compiled_out ? "yes" : "no");
+  std::fflush(stdout);
+
+  const char* json_env = std::getenv("GCX_BENCH_JSON");
+  std::string path = json_env != nullptr ? json_env : "BENCH_metrics.json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"document_bytes\": %zu,\n  \"budget_percent\": 2.0,\n"
+               "  \"compiled_out\": %s,\n  \"rows\": [\n",
+               xmark.size(), compiled_out ? "true" : "false");
+  const Cell* cells[] = {&solo, &batch8};
+  for (size_t i = 0; i < 2; ++i) {
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"on_seconds\": %.6f, "
+                 "\"off_seconds\": %.6f, \"overhead_percent\": %.3f}%s\n",
+                 cells[i]->mode.c_str(), cells[i]->on_seconds,
+                 cells[i]->off_seconds, cells[i]->overhead_percent(),
+                 i + 1 < 2 ? "," : "");
+  }
+  std::fprintf(f, "  ]");
+  gcx::bench::WriteMetricsMember(f);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return 0;
+}

@@ -46,7 +46,7 @@ void WriteJson(const std::string& path, const std::vector<Row>& rows) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(f, "[\n");
+  std::fprintf(f, "{\n  \"rows\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(
@@ -65,7 +65,9 @@ void WriteJson(const std::string& path, const std::vector<Row>& rows) {
         static_cast<unsigned long long>(r.replay_log_peak),
         i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(f, "]\n");
+  std::fprintf(f, "  ]");
+  gcx::bench::WriteMetricsMember(f);
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::fprintf(stderr, "wrote %s (%zu rows)\n", path.c_str(), rows.size());
 }

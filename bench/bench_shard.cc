@@ -115,7 +115,7 @@ void WriteJson(const std::string& path, const std::vector<Row>& rows) {
     }
     return 0.0;
   };
-  std::fprintf(f, "[\n");
+  std::fprintf(f, "{\n  \"rows\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     double base = base_for(r.workload);
@@ -133,7 +133,9 @@ void WriteJson(const std::string& path, const std::vector<Row>& rows) {
         r.outputs_identical ? "true" : "false",
         i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(f, "]\n");
+  std::fprintf(f, "  ]");
+  gcx::bench::WriteMetricsMember(f);
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::fprintf(stderr, "wrote %s (%zu rows)\n", path.c_str(), rows.size());
 }

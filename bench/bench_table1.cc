@@ -55,7 +55,7 @@ void WriteJson(const std::string& path, const std::vector<JsonCell>& cells) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(f, "[\n");
+  std::fprintf(f, "{\n  \"rows\": [\n");
   for (size_t i = 0; i < cells.size(); ++i) {
     const JsonCell& c = cells[i];
     std::fprintf(f,
@@ -74,7 +74,9 @@ void WriteJson(const std::string& path, const std::vector<JsonCell>& cells) {
                  static_cast<unsigned long long>(c.stats.buffer.gc_runs),
                  i + 1 < cells.size() ? "," : "");
   }
-  std::fprintf(f, "]\n");
+  std::fprintf(f, "  ]");
+  gcx::bench::WriteMetricsMember(f);
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::fprintf(stderr, "wrote %s (%zu cells)\n", path.c_str(), cells.size());
 }

@@ -161,7 +161,7 @@ void WriteJson(const std::string& path, const std::vector<Row>& rows) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(f, "[\n");
+  std::fprintf(f, "{\n  \"rows\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(
@@ -176,7 +176,9 @@ void WriteJson(const std::string& path, const std::vector<Row>& rows) {
         r.events_per_s(), static_cast<unsigned long long>(r.allocs),
         r.allocs_per_event(), i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(f, "]\n");
+  std::fprintf(f, "  ]");
+  gcx::bench::WriteMetricsMember(f);
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::fprintf(stderr, "wrote %s (%zu rows)\n", path.c_str(), rows.size());
 }

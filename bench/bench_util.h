@@ -20,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/engine.h"
 #include "xmark/generator.h"
 #include "xmark/queries.h"
@@ -133,6 +134,18 @@ inline ExecStats RunCell(std::string_view query, const std::string& doc,
     std::abort();
   }
   return *stats;
+}
+
+/// Appends the process-wide metrics snapshot as a trailing `"metrics"`
+/// member of an already-open JSON object (caller has written the previous
+/// member WITHOUT a trailing comma and not yet closed the object). Every
+/// BENCH_*.json embeds the snapshot this way, so a bench artifact carries
+/// the cumulative pipeline counters (scanner/projector/buffer/cache/...)
+/// alongside its measurements.
+inline void WriteMetricsMember(FILE* f) {
+  std::string snapshot = MetricsRegistry::Global().SnapshotJson();
+  while (!snapshot.empty() && snapshot.back() == '\n') snapshot.pop_back();
+  std::fprintf(f, ",\n  \"metrics\": %s\n", snapshot.c_str());
 }
 
 /// "1.2MB" style rendering.

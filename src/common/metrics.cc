@@ -1,0 +1,294 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gcx {
+
+// --- MetricsHistogram --------------------------------------------------------
+
+MetricsHistogram::MetricsHistogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void MetricsHistogram::Observe(uint64_t v) {
+  size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+// --- MetricsSampleSet --------------------------------------------------------
+
+void MetricsSampleSet::Add(const std::string& name, uint64_t v) {
+  Sample& s = values_[name];
+  s.value += v;
+  s.kind = MetricsSample::Kind::kAdd;
+}
+
+void MetricsSampleSet::Set(const std::string& name, uint64_t v) {
+  values_[name] = Sample{v, MetricsSample::Kind::kSet};
+}
+
+void MetricsSampleSet::Max(const std::string& name, uint64_t v) {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    values_[name] = Sample{v, MetricsSample::Kind::kMax};
+  } else {
+    if (v > it->second.value) it->second.value = v;
+    it->second.kind = MetricsSample::Kind::kMax;
+  }
+}
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+MetricsCounter* MetricsRegistry::Counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = metrics_[name];
+  if (!e.counter) e.counter = std::make_unique<MetricsCounter>();
+  return e.counter.get();
+}
+
+MetricsGauge* MetricsRegistry::Gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = metrics_[name];
+  if (!e.gauge) e.gauge = std::make_unique<MetricsGauge>();
+  return e.gauge.get();
+}
+
+MetricsHistogram* MetricsRegistry::Histogram(const std::string& name,
+                                             std::vector<uint64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = metrics_[name];
+  if (!e.histogram) {
+    e.histogram = std::make_unique<MetricsHistogram>(std::move(bounds));
+  }
+  return e.histogram.get();
+}
+
+int MetricsRegistry::RegisterCollector(CollectorFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int id = next_collector_id_++;
+  collectors_[id] = std::move(fn);
+  return id;
+}
+
+void MetricsRegistry::UnregisterCollector(int id) {
+  CollectorFn fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = collectors_.find(id);
+    if (it == collectors_.end()) return;
+    fn = std::move(it->second);
+    collectors_.erase(it);
+  }
+  // Final sample outside the lock (the callback may take a module mutex).
+  // Lifetime counters and peaks of the retiring module stay part of every
+  // future snapshot; point-in-time Set samples die with it.
+  MetricsSampleSet last;
+  fn(last);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, s] : last.samples()) {
+    switch (s.kind) {
+      case MetricsSample::Kind::kAdd:
+        retired_.Add(name, s.value);
+        break;
+      case MetricsSample::Kind::kMax:
+        retired_.Max(name, s.value);
+        break;
+      case MetricsSample::Kind::kSet:
+        break;
+    }
+  }
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::Snapshot() const {
+  // Copy the collector list under the lock, run the callbacks outside it:
+  // a collector may itself take a module mutex (query cache, admission) and
+  // must never deadlock against a concurrent metric registration.
+  std::vector<CollectorFn> collectors;
+  std::map<std::string, uint64_t> out;
+  MetricsSampleSet samples;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    collectors.reserve(collectors_.size());
+    for (const auto& [id, fn] : collectors_) collectors.push_back(fn);
+    samples = retired_;  // live collectors merge onto the retired baseline
+    for (const auto& [name, entry] : metrics_) {
+      if (entry.counter) out[name] = entry.counter->value();
+      if (entry.gauge) out[name] = entry.gauge->value();
+      if (entry.histogram) {
+        const MetricsHistogram& h = *entry.histogram;
+        out[name + ".count"] = h.count();
+        out[name + ".sum"] = h.sum();
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          out[name + ".le." + std::to_string(h.bounds()[i])] =
+              h.bucket_count(i);
+        }
+        out[name + ".le.inf"] = h.bucket_count(h.bounds().size());
+      }
+    }
+  }
+  for (const auto& fn : collectors) fn(samples);
+  for (const auto& [name, s] : samples.samples()) out[name] = s.value;
+  return out;
+}
+
+namespace {
+
+void AppendJsonEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+struct JsonNode {
+  std::map<std::string, JsonNode> children;  // sorted: stable key order
+  uint64_t value = 0;
+  bool is_leaf = false;
+};
+
+void InsertDotted(JsonNode* root, const std::string& name, uint64_t v) {
+  JsonNode* node = root;
+  size_t start = 0;
+  while (true) {
+    size_t dot = name.find('.', start);
+    std::string part = name.substr(start, dot == std::string::npos
+                                              ? std::string::npos
+                                              : dot - start);
+    if (part.empty()) part = "_";
+    node = &node->children[part];
+    if (dot == std::string::npos) break;
+    start = dot + 1;
+  }
+  // A name that is both a leaf and a prefix of another name ("a" and "a.b")
+  // keeps its scalar under the reserved key "_total" inside the object.
+  if (!node->children.empty()) {
+    JsonNode& leaf = node->children["_total"];
+    leaf.is_leaf = true;
+    leaf.value = v;
+  } else {
+    node->is_leaf = true;
+    node->value = v;
+  }
+}
+
+void RenderNode(const JsonNode& node, int indent, std::string* out) {
+  if (node.is_leaf && node.children.empty()) {
+    *out += std::to_string(node.value);
+    return;
+  }
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string child_pad(static_cast<size_t>(indent + 1) * 2, ' ');
+  *out += "{";
+  bool first = true;
+  if (node.is_leaf) {
+    *out += "\n" + child_pad + "\"_total\": " + std::to_string(node.value);
+    first = false;
+  }
+  for (const auto& [key, child] : node.children) {
+    *out += first ? "\n" : ",\n";
+    first = false;
+    *out += child_pad + "\"";
+    AppendJsonEscaped(key, out);
+    *out += "\": ";
+    RenderNode(child, indent + 1, out);
+  }
+  *out += first ? "}" : "\n" + pad + "}";
+}
+
+}  // namespace
+
+std::string MetricsMapToJson(const std::map<std::string, uint64_t>& values) {
+  JsonNode root;
+  for (const auto& [name, v] : values) InsertDotted(&root, name, v);
+  std::string out;
+  RenderNode(root, 0, &out);
+  out += "\n";
+  return out;
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  return MetricsMapToJson(Snapshot());
+}
+
+void MetricsRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  retired_ = MetricsSampleSet();
+  for (auto& [name, entry] : metrics_) {
+    (void)name;
+    if (entry.counter) entry.counter = std::make_unique<MetricsCounter>();
+    if (entry.gauge) entry.gauge = std::make_unique<MetricsGauge>();
+    if (entry.histogram) {
+      entry.histogram =
+          std::make_unique<MetricsHistogram>(entry.histogram->bounds());
+    }
+  }
+}
+
+// --- MetricsSink -------------------------------------------------------------
+
+#ifndef GCX_METRICS_OFF
+
+std::string MetricsSink::Full(const char* name) const {
+  if (prefix_.empty()) return name;
+  return prefix_ + "." + name;
+}
+
+void MetricsSink::Add(const char* name, uint64_t v) const {
+  if (!active()) return;
+  registry_->Counter(Full(name))->Add(v);
+}
+
+void MetricsSink::Set(const char* name, uint64_t v) const {
+  if (!active()) return;
+  registry_->Gauge(Full(name))->Set(v);
+}
+
+void MetricsSink::Max(const char* name, uint64_t v) const {
+  if (!active()) return;
+  registry_->Gauge(Full(name))->Max(v);
+}
+
+void MetricsSink::Observe(const char* name, uint64_t v,
+                          const std::vector<uint64_t>& bounds) const {
+  if (!active()) return;
+  registry_->Histogram(Full(name), bounds)->Observe(v);
+}
+
+#endif  // !GCX_METRICS_OFF
+
+MetricsSink MetricsSink::Sub(const std::string& component) const {
+  if (registry_ == nullptr) return MetricsSink();
+  if (prefix_.empty()) return MetricsSink(registry_, component);
+  return MetricsSink(registry_, prefix_ + "." + component);
+}
+
+MetricsSink GlobalMetrics() {
+  return MetricsSink(&MetricsRegistry::Global(), "");
+}
+
+}  // namespace gcx

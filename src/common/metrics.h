@@ -1,0 +1,236 @@
+// Process-wide metrics registry: the cumulative, cross-layer counterpart to
+// the per-call stats structs (ExecStats, SharedScanStats, AdmissionStats, ...).
+//
+// Shape (after libttak's stats.c / system_usage.c): a central registry holds
+// named counters, gauges, and fixed-bucket histograms with relaxed-atomic
+// hot-path updates; modules that keep their own rolling state (the query
+// cache, the admission controller) register *collectors* that are sampled at
+// Snapshot() time instead of pushing on every mutation. Snapshot() renders
+// one stable JSON document whose nesting follows the dotted metric names
+// ("shard.3.arena_peak_bytes" -> {"shard":{"3":{"arena_peak_bytes":N}}}), so
+// the hierarchy engine/batch/query/shard is the label mechanism.
+//
+// Producers publish through MetricsSink, a thin prefix-carrying seam that is
+// null-safe and compiles to nothing under -DGCX_METRICS_OFF, keeping the
+// legacy structs as the cheap per-call returns while the registry is the
+// process-wide truth.
+
+#ifndef GCX_COMMON_METRICS_H_
+#define GCX_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gcx {
+
+// Monotone event count. Add() is a single relaxed fetch_add.
+class MetricsCounter {
+ public:
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-written (Set) or high-water (Max) level. Add() allows +/- deltas.
+class MetricsGauge {
+ public:
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(static_cast<uint64_t>(delta), std::memory_order_relaxed);
+  }
+  // Raise the gauge to v if v is larger (CAS loop; gauges are cold-path).
+  void Max(uint64_t v) {
+    uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Fixed-bucket histogram: bounds are frozen at registration; Observe() does
+// a linear probe over the (few) bounds plus three relaxed adds. Bucket i
+// counts observations <= bounds[i]; one overflow bucket past the end.
+class MetricsHistogram {
+ public:
+  explicit MetricsHistogram(std::vector<uint64_t> bounds);
+
+  void Observe(uint64_t v);
+
+  const std::vector<uint64_t>& bounds() const { return bounds_; }
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<uint64_t> bounds_;  // ascending, deduplicated
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// One sampled value delivered by a collector at snapshot time. Semantics
+// control how samples for the same name merge across collectors (two caches,
+// two controllers): kAdd accumulates, kSet last-writer-wins, kMax maxes.
+class MetricsSample {
+ public:
+  enum class Kind { kAdd, kSet, kMax };
+};
+
+// Receives samples from a collector callback during Snapshot(). Each name
+// remembers the kind it was sampled with: the kind decides both how samples
+// merge across collectors and what survives a collector's retirement
+// (kAdd/kMax persist, kSet is point-in-time state that dies with the
+// module — see MetricsRegistry::UnregisterCollector).
+class MetricsSampleSet {
+ public:
+  struct Sample {
+    uint64_t value = 0;
+    MetricsSample::Kind kind = MetricsSample::Kind::kAdd;
+  };
+
+  void Add(const std::string& name, uint64_t v);
+  void Set(const std::string& name, uint64_t v);
+  void Max(const std::string& name, uint64_t v);
+
+  const std::map<std::string, Sample>& samples() const { return values_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::map<std::string, Sample> values_;
+};
+
+// Thread-safe name -> metric registry. Metric objects, once created, live for
+// the registry's lifetime; Counter()/Gauge()/Histogram() take the registry
+// mutex only on first registration of a name and return stable pointers that
+// callers may cache for lock-free hot-path updates.
+class MetricsRegistry {
+ public:
+  using CollectorFn = std::function<void(MetricsSampleSet&)>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry used by the CLI, the engines, and the benches.
+  static MetricsRegistry& Global();
+
+  MetricsCounter* Counter(const std::string& name);
+  MetricsGauge* Gauge(const std::string& name);
+  // Bounds are fixed on first registration; a later call with different
+  // bounds returns the existing histogram unchanged.
+  MetricsHistogram* Histogram(const std::string& name,
+                              std::vector<uint64_t> bounds);
+
+  // Collectors are sampled into a fresh MetricsSampleSet on every Snapshot;
+  // use for modules with rolling internal state (query cache, admission).
+  // Returns an id for UnregisterCollector. Collector callbacks must not call
+  // back into the registry.
+  int RegisterCollector(CollectorFn fn);
+  // Takes one final sample before dropping the collector and retains its
+  // Add samples (accumulated) and Max samples (max-merged) in every future
+  // snapshot, so a module's lifetime counters survive its destruction —
+  // benches and the CLI snapshot AFTER the caches/controllers they measured
+  // are gone. Set samples describe state that no longer exists and die with
+  // the collector.
+  void UnregisterCollector(int id);
+
+  // Runtime off-switch for A/B overhead measurement: while disabled,
+  // MetricsSink publishes are dropped (direct metric pointers still work).
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Flat name -> value view: persistent counters/gauges plus collector
+  // samples (histograms appear as name.count / name.sum / name.le.<bound>).
+  std::map<std::string, uint64_t> Snapshot() const;
+
+  // Snapshot() rendered as one stable JSON document: dotted names become
+  // nested objects, keys sorted lexicographically at every level.
+  std::string SnapshotJson() const;
+
+  // Drop all metric values and samples (metrics stay registered). Intended
+  // for tests and bench A/B cells, not production paths.
+  void ResetForTesting();
+
+ private:
+  struct Entry {
+    std::unique_ptr<MetricsCounter> counter;
+    std::unique_ptr<MetricsGauge> gauge;
+    std::unique_ptr<MetricsHistogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> metrics_;
+  std::map<int, CollectorFn> collectors_;
+  MetricsSampleSet retired_;  ///< final samples of unregistered collectors
+  int next_collector_id_ = 1;
+  std::atomic<bool> enabled_{true};
+};
+
+// Renders a flat dotted-name map as nested JSON (exposed for tests).
+std::string MetricsMapToJson(const std::map<std::string, uint64_t>& values);
+
+// Thin publishing seam: a registry pointer plus a dotted prefix. All calls
+// are no-ops when the sink is null-constructed, the registry is disabled, or
+// the build defines GCX_METRICS_OFF. Producers take a MetricsSink by value;
+// Sub("shard.3") extends the prefix for a child component.
+class MetricsSink {
+ public:
+  MetricsSink() = default;
+  MetricsSink(MetricsRegistry* registry, std::string prefix)
+      : registry_(registry), prefix_(std::move(prefix)) {}
+
+  static MetricsSink Disabled() { return MetricsSink(); }
+
+#ifdef GCX_METRICS_OFF
+  void Add(const char*, uint64_t) const {}
+  void Set(const char*, uint64_t) const {}
+  void Max(const char*, uint64_t) const {}
+  void Observe(const char*, uint64_t, const std::vector<uint64_t>&) const {}
+#else
+  void Add(const char* name, uint64_t v) const;
+  void Set(const char* name, uint64_t v) const;
+  void Max(const char* name, uint64_t v) const;
+  void Observe(const char* name, uint64_t v,
+               const std::vector<uint64_t>& bounds) const;
+#endif
+
+  MetricsSink Sub(const std::string& component) const;
+
+  bool active() const {
+#ifdef GCX_METRICS_OFF
+    return false;
+#else
+    return registry_ != nullptr && registry_->enabled();
+#endif
+  }
+  MetricsRegistry* registry() const { return registry_; }
+
+ private:
+  std::string Full(const char* name) const;
+
+  MetricsRegistry* registry_ = nullptr;
+  std::string prefix_;
+};
+
+// The default sink most call sites want: the global registry, no prefix
+// (producers add their own layer prefix via Sub()).
+MetricsSink GlobalMetrics();
+
+}  // namespace gcx
+
+#endif  // GCX_COMMON_METRICS_H_

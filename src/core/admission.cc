@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/multi_engine.h"
 #include "core/shard.h"
 #include "xml/fd_source.h"
@@ -57,6 +58,55 @@ AdmissionController::AdmissionController(QueryCache* cache,
     : cache_(cache), limits_(limits) {
   GCX_CHECK(cache_ != nullptr);
   GCX_CHECK(limits_.max_batch_queries >= 1);
+  if (limits_.adaptive) {
+    GCX_CHECK(limits_.adaptive_hysteresis >= 1);
+    limits_.adaptive_min_batch_queries =
+        std::max<size_t>(1, std::min(limits_.adaptive_min_batch_queries,
+                                     limits_.max_batch_queries));
+  }
+  adaptive_batch_cap_ = limits_.max_batch_queries;
+  adaptive_shards_ = limits_.shards;
+  if (limits_.adaptive && limits_.interleave) {
+    stats_.adaptive_batch_cap = adaptive_batch_cap_;
+    stats_.adaptive_shards = adaptive_shards_;
+  }
+  metrics_collector_id_ = MetricsRegistry::Global().RegisterCollector(
+      [this](MetricsSampleSet& samples) {
+        AdmissionStats s = stats();
+        samples.Add("admission.submitted", s.submitted);
+        samples.Add("admission.rejected", s.rejected);
+        samples.Add("admission.admitted", s.admitted);
+        samples.Add("admission.batches_formed", s.batches_formed);
+        samples.Add("admission.solo_runs", s.solo_runs);
+        samples.Add("admission.sharded_runs", s.sharded_runs);
+        samples.Add("admission.splits_by_size", s.splits_by_size);
+        samples.Add("admission.splits_by_memory", s.splits_by_memory);
+        samples.Max("admission.replay_log_peak_observed",
+                    s.replay_log_peak_observed);
+        samples.Max("admission.events_per_query_estimate",
+                    s.events_per_query_estimate);
+        samples.Add("admission.batches_parked", s.batches_parked);
+        samples.Add("admission.batch_resumes", s.batch_resumes);
+        samples.Add("admission.documents_released", s.documents_released);
+        // Point-in-time state (resident bytes, effective caps): Set samples
+        // vanish with the controller; the counters above are lifetime
+        // totals and survive via the registry's retired baseline.
+        samples.Set("admission.content_bytes_resident",
+                    s.content_bytes_resident);
+        samples.Set("admission.adaptive.batch_cap", s.adaptive_batch_cap);
+        samples.Set("admission.adaptive.shards", s.adaptive_shards);
+        samples.Add("admission.adaptive.increases", s.adaptive_increases);
+        samples.Add("admission.adaptive.decreases_by_stalls",
+                    s.adaptive_decreases_by_stalls);
+        samples.Add("admission.adaptive.decreases_by_memory",
+                    s.adaptive_decreases_by_memory);
+        samples.Add("admission.adaptive.shard_decreases",
+                    s.adaptive_shard_decreases);
+      });
+}
+
+AdmissionController::~AdmissionController() {
+  MetricsRegistry::Global().UnregisterCollector(metrics_collector_id_);
 }
 
 void AdmissionController::RegisterDocument(std::string doc_id,
@@ -152,9 +202,70 @@ Status AdmissionController::Submit(std::string_view query_text,
   return Status::Ok();
 }
 
+size_t AdmissionController::EffectiveShards() const {
+  return limits_.adaptive && limits_.interleave ? adaptive_shards_
+                                                : limits_.shards;
+}
+
+void AdmissionController::AdaptAfterRun(const AdmissionRunStats& run) {
+  if (!limits_.adaptive || !limits_.interleave || run.batches == 0) return;
+  bool stall_pressure =
+      static_cast<double>(run.stalls) >=
+      limits_.adaptive_stall_threshold * static_cast<double>(run.batches);
+  bool memory_pressure =
+      limits_.adaptive_arena_budget_bytes > 0 &&
+      run.replay_arena_peak_bytes > limits_.adaptive_arena_budget_bytes;
+
+  if (stall_pressure || memory_pressure) {
+    calm_runs_ = 0;
+    ++pressured_runs_;
+    // Multiplicative decrease on the batch cap: smaller batches park fewer
+    // queries behind one stalled source and retain a smaller replay log.
+    size_t next =
+        std::max(limits_.adaptive_min_batch_queries, adaptive_batch_cap_ / 2);
+    if (next < adaptive_batch_cap_) {
+      adaptive_batch_cap_ = next;
+      if (memory_pressure) {
+        ++stats_.adaptive_decreases_by_memory;
+      } else {
+        ++stats_.adaptive_decreases_by_stalls;
+      }
+    }
+    // Sustained memory pressure also sheds shards (each holds a private
+    // replay arena) — but only after the hysteresis window, so one spiky
+    // document cannot collapse the scan parallelism.
+    if (memory_pressure && pressured_runs_ >= limits_.adaptive_hysteresis &&
+        adaptive_shards_ > 1) {
+      adaptive_shards_ = std::max<size_t>(1, adaptive_shards_ / 2);
+      ++stats_.adaptive_shard_decreases;
+      pressured_runs_ = 0;
+    }
+  } else {
+    pressured_runs_ = 0;
+    ++calm_runs_;
+    // Additive increase, one notch per hysteresis window: the cap recovers
+    // first, then the shard count.
+    if (calm_runs_ >= limits_.adaptive_hysteresis) {
+      if (adaptive_batch_cap_ < limits_.max_batch_queries) {
+        ++adaptive_batch_cap_;
+        ++stats_.adaptive_increases;
+        calm_runs_ = 0;
+      } else if (adaptive_shards_ < limits_.shards) {
+        ++adaptive_shards_;
+        ++stats_.adaptive_increases;
+        calm_runs_ = 0;
+      }
+    }
+  }
+  stats_.adaptive_batch_cap = adaptive_batch_cap_;
+  stats_.adaptive_shards = adaptive_shards_;
+}
+
 size_t AdmissionController::BatchCap(bool* memory_bound) const {
   *memory_bound = false;
-  size_t cap = limits_.max_batch_queries;
+  size_t cap = limits_.adaptive && limits_.interleave
+                   ? adaptive_batch_cap_
+                   : limits_.max_batch_queries;
   if (limits_.max_replay_log_events > 0 &&
       stats_.events_per_query_estimate > 0) {
     uint64_t by_memory = std::max<uint64_t>(
@@ -194,7 +305,7 @@ Status AdmissionController::StartNextBatch(GroupWork* work,
     }
   }
 
-  if (limits_.shards > 1) {
+  if (EffectiveShards() > 1) {
     auto content = contents_.find(work->group.doc_id);
     if (content != contents_.end()) {
       // Stored document + sharding enabled: fan the scan out across the
@@ -211,7 +322,7 @@ Status AdmissionController::StartNextBatch(GroupWork* work,
         outs.push_back(pending[j].out);
       }
       ShardOptions shard_options;
-      shard_options.shards = limits_.shards;
+      shard_options.shards = EffectiveShards();
       shard_options.threads = limits_.shard_threads;
       MultiQueryEngine engine;
       GCX_ASSIGN_OR_RETURN(
@@ -226,6 +337,8 @@ Status AdmissionController::StartNextBatch(GroupWork* work,
       run->bytes_scanned += stats.shared.bytes_scanned;
       run->replay_log_peak =
           std::max(run->replay_log_peak, stats.shared.replay_log_peak);
+      run->replay_arena_peak_bytes = std::max(
+          run->replay_arena_peak_bytes, stats.shared.replay_arena_peak_bytes);
       work->next += n;
       return Status::Ok();
     }
@@ -278,6 +391,8 @@ Status AdmissionController::FinishBatch(GroupWork* work,
   run->bytes_scanned += stats.shared.bytes_scanned;
   run->replay_log_peak =
       std::max(run->replay_log_peak, stats.shared.replay_log_peak);
+  run->replay_arena_peak_bytes = std::max(run->replay_arena_peak_bytes,
+                                          stats.shared.replay_arena_peak_bytes);
   work->next += work->batch_size;
   work->batch_size = 0;
   work->current.reset();
@@ -321,6 +436,19 @@ Result<AdmissionRunStats> AdmissionController::Run() {
       ReleaseDocumentLocked(work.group.doc_id);
     }
   };
+  // Per-run fold into the registry (the cumulative admission.* state is
+  // sampled from stats_ by the collector registered at construction).
+  auto publish_run = [&] {
+    MetricsSink admission = GlobalMetrics().Sub("admission");
+    admission.Add("runs_total", 1);
+    admission.Add("run_queries_total", run.queries);
+    admission.Add("run_batches_total", run.batches);
+    admission.Add("scan_passes_total", run.scan_passes);
+    admission.Add("bytes_scanned_total", run.bytes_scanned);
+    admission.Add("stalls_total", run.stalls);
+    admission.Max("replay_log_peak", run.replay_log_peak);
+    admission.Max("replay_arena_peak_bytes", run.replay_arena_peak_bytes);
+  };
 
   if (!limits_.interleave) {
     // Legacy strict order: one batch at a time, blocking across stalls.
@@ -352,6 +480,7 @@ Result<AdmissionRunStats> AdmissionController::Run() {
       }
     }
     release_drained();
+    publish_run();
     return run;
   }
 
@@ -405,6 +534,8 @@ Result<AdmissionRunStats> AdmissionController::Run() {
     }
   }
   release_drained();
+  AdaptAfterRun(run);
+  publish_run();
   return run;
 }
 

@@ -92,6 +92,42 @@ struct AdmissionLimits {
   /// (default): documents stay registered until replaced or explicitly
   /// UnregisterDocument'ed, and repeat submissions need no re-register.
   bool release_documents_on_drain = false;
+
+  // --- Self-tuning (closed feedback loop over the controller's own
+  // metrics). When `adaptive` is on (and interleave is — the serial
+  // baseline is never adapted), every completed Run() reviews what it
+  // observed and nudges the EFFECTIVE batch cap and shard count the next
+  // run will use. Batch formation changes only; each query's output is
+  // byte-identical regardless of how the stream was cut into batches.
+  //
+  //   * Stall pressure — parked batches per executed batch at or above
+  //     `adaptive_stall_threshold` — halves the effective cap (multiplic-
+  //     ative decrease: fewer queries pinned behind one stalled source),
+  //     bounded below by adaptive_min_batch_queries.
+  //   * Memory pressure — the run's peak replay-arena bytes above
+  //     `adaptive_arena_budget_bytes` (0 disables the signal) — also
+  //     halves the cap, and after `adaptive_hysteresis` consecutive
+  //     pressured runs halves the effective shard count too (each shard
+  //     retains a private arena, so fewer shards directly shrink the
+  //     resident working set), bounded below by 1.
+  //   * Calm runs (neither signal) grow the cap back by 1 per
+  //     `adaptive_hysteresis` consecutive calm runs (additive increase);
+  //     once the cap is fully restored, the shard count recovers the same
+  //     way. Ceilings are the configured max_batch_queries / shards.
+  //
+  // The decision trail is recorded in AdmissionStats (adaptive_* fields)
+  // and published as admission.adaptive.* metrics.
+  bool adaptive = false;
+  /// Floor the adaptive controller never cuts the batch cap below.
+  size_t adaptive_min_batch_queries = 1;
+  /// Replay-arena budget in bytes for the memory-pressure signal
+  /// (0 = stall signal only).
+  uint64_t adaptive_arena_budget_bytes = 0;
+  /// Parked-batches-per-batch ratio that counts as stall pressure.
+  double adaptive_stall_threshold = 0.5;
+  /// Consecutive calm runs before a grow step, and consecutive pressured
+  /// runs before the shard count shrinks (must be >= 1).
+  size_t adaptive_hysteresis = 2;
 };
 
 /// Lifetime counters of one controller.
@@ -123,6 +159,15 @@ struct AdmissionStats {
   /// Bytes currently retained for in-memory documents
   /// (RegisterDocument(string)) — the sharded scan path's working set.
   uint64_t content_bytes_resident = 0;
+  /// Self-tuning decision trail (AdmissionLimits::adaptive). The effective
+  /// caps the NEXT run will use (0 while adaptation is off), and how often
+  /// each adjustment fired.
+  uint64_t adaptive_batch_cap = 0;
+  uint64_t adaptive_shards = 0;
+  uint64_t adaptive_increases = 0;
+  uint64_t adaptive_decreases_by_stalls = 0;
+  uint64_t adaptive_decreases_by_memory = 0;
+  uint64_t adaptive_shard_decreases = 0;
 };
 
 /// Totals of one Run call.
@@ -132,6 +177,9 @@ struct AdmissionRunStats {
   uint64_t scan_passes = 0;   ///< document scans paid (== batches)
   uint64_t bytes_scanned = 0;
   uint64_t replay_log_peak = 0;  ///< max over this run's batches
+  /// Max replay-arena bytes over this run's batches (sharded batches: the
+  /// sum of their per-shard arena peaks) — the adaptive memory signal.
+  uint64_t replay_arena_peak_bytes = 0;
   uint64_t stalls = 0;  ///< would-block parks the scheduler absorbed
 };
 
@@ -153,6 +201,11 @@ class AdmissionController {
   /// `cache` is borrowed and shared: concurrent controllers (or direct
   /// GetOrCompile users) deduplicate compilations through it.
   explicit AdmissionController(QueryCache* cache, AdmissionLimits limits = {});
+  /// Unregisters the admission.* metrics collector.
+  ~AdmissionController();
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
 
   /// Registers (or replaces) a document under `doc_id`.
   void RegisterDocument(std::string doc_id, DocumentOpener opener);
@@ -210,6 +263,11 @@ class AdmissionController {
   /// Drops one document's opener + content, maintaining the release stats.
   /// Caller holds mu_.
   bool ReleaseDocumentLocked(const std::string& doc_id);
+  /// Effective shard count for the next batch (adaptive may have shrunk it).
+  size_t EffectiveShards() const;
+  /// Reviews a completed interleaved Run and adjusts the effective batch
+  /// cap / shard count (see AdmissionLimits). Caller holds mu_.
+  void AdaptAfterRun(const AdmissionRunStats& run);
 
   mutable std::mutex mu_;
   QueryCache* cache_;
@@ -223,6 +281,14 @@ class AdmissionController {
   std::map<std::string, Group> groups_;
   size_t next_group_order_ = 0;
   AdmissionStats stats_;
+  // Self-tuning state: the effective caps (seeded from the limits) and the
+  // consecutive calm/pressured run counters the hysteresis is keyed on.
+  size_t adaptive_batch_cap_ = 0;
+  size_t adaptive_shards_ = 0;
+  size_t calm_runs_ = 0;
+  size_t pressured_runs_ = 0;
+  /// Snapshot-time metrics sampler over stats_ (see common/metrics.h).
+  int metrics_collector_id_ = 0;
 };
 
 }  // namespace gcx

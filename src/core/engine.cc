@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/dom_engine.h"
+#include "core/stats_publish.h"
 #include "eval/evaluator.h"
 #include "eval/exec_context.h"
 #include "xml/fd_source.h"
@@ -127,9 +128,11 @@ Result<ExecStats> Engine::ExecuteStreaming(const CompiledQuery& query,
   stats.events_delivered = stats.projector.events_read;
   stats.live_roles_final = ctx.buffer().live_role_instances();
   stats.buffer_nodes_final = stats.buffer.nodes_current;
+  stats.stalls = ctx.scanner().stalls();
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  PublishExecStats(stats, GlobalMetrics());
 
   if (eval_options.execute_signoffs) {
     // Paper requirement (2): every assigned role was removed again.
@@ -181,9 +184,11 @@ Result<ExecStats> Engine::Project(const CompiledQuery& query,
   stats.events_delivered = stats.projector.events_read;
   stats.live_roles_final = ctx.buffer().live_role_instances();
   stats.buffer_nodes_final = stats.buffer.nodes_current;
+  stats.stalls = ctx.scanner().stalls();
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  PublishExecStats(stats, GlobalMetrics());
   return stats;
 }
 
@@ -209,6 +214,7 @@ Result<ExecStats> Engine::ExecuteNaiveDom(const CompiledQuery& query,
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  PublishExecStats(stats, GlobalMetrics());
   return stats;
 }
 

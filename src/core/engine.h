@@ -66,6 +66,8 @@ struct ExecStats {
   uint64_t input_bytes = 0;
   uint64_t output_bytes = 0;
   uint64_t dfa_states = 0;
+  /// Would-block suspensions the scanner took (non-blocking sources only).
+  uint64_t stalls = 0;
   double wall_seconds = 0;
   /// Raw input passes attributable to this execution: 1 for a solo run,
   /// 0 for a query inside a batch (the batch's single shared pass is

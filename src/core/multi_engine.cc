@@ -21,6 +21,7 @@
 #include "core/dom_engine.h"
 #include "core/event_filter.h"
 #include "core/shard.h"
+#include "core/stats_publish.h"
 #include "eval/evaluator.h"
 #include "eval/exec_context.h"
 #include "projection/merged_dfa.h"
@@ -160,7 +161,10 @@ class SharedScanDemux {
     while (true) {
       XmlEvent event;
       Status next = scanner_.Next(&event);
-      if (IsWouldBlock(next)) return PumpState::kStalled;
+      if (IsWouldBlock(next)) {
+        ++stats_.stalls;
+        return PumpState::kStalled;
+      }
       GCX_RETURN_IF_ERROR(next);
       ++stats_.events_scanned;
       GCX_ASSIGN_OR_RETURN(ProjectedEventFilter::Action action,
@@ -408,10 +412,12 @@ Result<MultiQueryStats> MultiQueryEngine::Execute(
     std::unique_ptr<ByteSource> input,
     const std::vector<std::ostream*>& outs) const {
   GCX_RETURN_IF_ERROR(ValidateBatch(queries, outs));
-  if (queries.front()->options().mode == EngineMode::kNaiveDom) {
-    return ExecuteDomBatch(queries, std::move(input), outs);
-  }
-  return ExecuteStreamingBatch(queries, std::move(input), outs);
+  Result<MultiQueryStats> result =
+      queries.front()->options().mode == EngineMode::kNaiveDom
+          ? ExecuteDomBatch(queries, std::move(input), outs)
+          : ExecuteStreamingBatch(queries, std::move(input), outs);
+  if (result.ok()) PublishMultiQueryStats(result.value(), GlobalMetrics());
+  return result;
 }
 
 Result<MultiQueryStats> MultiQueryEngine::ExecuteStreamingBatch(
@@ -537,7 +543,12 @@ Result<MultiQueryStats> MultiQueryEngine::ExecuteSharded(
     plan = PlanShards(input, planner_options);
     demote_all = true;
   }
-  if (!plan.sharded) return Execute(queries, input, outs);
+  if (!plan.sharded) {
+    // The fallback Execute publishes its own batch metrics; only the
+    // decline itself is sharding-specific.
+    GlobalMetrics().Sub("shard").Add("plan_declines_total", 1);
+    return Execute(queries, input, outs);
+  }
 
   const ScannerOptions& scanner_options = queries.front()->options().scanner;
   std::vector<MergedDfaInput> dfa_inputs;
@@ -702,8 +713,14 @@ Result<MultiQueryStats> MultiQueryEngine::ExecuteSharded(
   // Shards after it may carry a cancellation status — never reported,
   // because the sweep hits the real error first.
   for (size_t i = 0; i < n; ++i) {
-    GCX_RETURN_IF_ERROR(results[i].status);
-    GCX_RETURN_IF_ERROR(local_status[i]);
+    if (!results[i].status.ok()) {
+      GlobalMetrics().Sub("shard").Add("aborts_scan_total", 1);
+      return results[i].status;
+    }
+    if (!local_status[i].ok()) {
+      GlobalMetrics().Sub("shard").Add("aborts_local_eval_total", 1);
+      return local_status[i];
+    }
   }
 
   // A logged event is a synthetic wrapper event iff its scanner ordinal
@@ -863,12 +880,14 @@ Result<MultiQueryStats> MultiQueryEngine::ExecuteSharded(
     shared.events_shared_skipped += shard.events_skipped;
     shared.shared_subtrees_skipped += shard.subtrees_skipped;
     shared.replay_arena_peak_bytes += shard.arena_peak_bytes;
+    result.per_shard_arena_peak_bytes.push_back(shard.arena_peak_bytes);
     shared.merged_dfa_states =
         std::max(shared.merged_dfa_states, shard.dfa_states);
   }
   for (const ExecStats& per_query : result.per_query) {
     shared.events_demuxed += per_query.events_delivered;
   }
+  PublishMultiQueryStats(result, GlobalMetrics());
   return result;
 }
 
@@ -1054,6 +1073,9 @@ MultiQueryRun::State MultiQueryRun::Step() {
   im.stats.shared.scan_passes = 1;
   im.stats.shared.bytes_scanned = im.demux->scanner().bytes_consumed();
   im.stats.shared.merged_dfa_states = im.demux->merged().num_states();
+  // The kNaiveDom branch above published through engine.Execute already;
+  // this is the only exit for the streaming pump.
+  PublishMultiQueryStats(im.stats, GlobalMetrics());
   im.state = State::kDone;
   return im.state;
 }

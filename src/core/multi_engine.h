@@ -65,6 +65,9 @@ struct SharedScanStats {
   /// payloads as arena views; trimming releases whole chunks back). For a
   /// sharded run: the sum of the per-shard arena peaks.
   uint64_t replay_arena_peak_bytes = 0;
+  /// Would-block suspensions the shared scan took (0 for always-ready
+  /// sources: each stall is one scanner rewind-to-event-boundary).
+  uint64_t stalls = 0;
   /// Parallel shards the scan ran on (0: ordinary single scan).
   uint64_t shards = 0;
   /// Queries of the batch the classifier proved subtree-independent and the
@@ -82,6 +85,9 @@ struct MultiQueryStats {
   /// Per-query statistics, index-aligned with the submitted batch. Their
   /// scan_passes are 0: the single shared pass is accounted above.
   std::vector<ExecStats> per_query;
+  /// Replay-arena high-water mark per shard, index-aligned with the planned
+  /// shards (empty for unsharded runs). Sums to shared.replay_arena_peak_bytes.
+  std::vector<uint64_t> per_shard_arena_peak_bytes;
 };
 
 /// True when two option sets may share one batch: same EngineMode and the

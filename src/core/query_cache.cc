@@ -3,6 +3,7 @@
 #include <string>
 #include <utility>
 
+#include "common/metrics.h"
 #include "xq/parser.h"
 #include "xq/printer.h"
 
@@ -53,6 +54,33 @@ QueryCache::QueryCache(QueryCacheOptions options) : options_(options) {
   GCX_CHECK(options_.capacity >= 1);
   stats_.capacity = options_.capacity;
   stats_.max_bytes = options_.max_bytes;
+  metrics_collector_id_ = MetricsRegistry::Global().RegisterCollector(
+      [this](MetricsSampleSet& samples) {
+        QueryCacheStats s = stats();
+        samples.Add("cache.lookups", s.lookups);
+        samples.Add("cache.hits", s.hits);
+        samples.Add("cache.canonical_hits", s.canonical_hits);
+        samples.Add("cache.misses", s.misses);
+        samples.Add("cache.compiles", s.compiles);
+        samples.Add("cache.compile_errors", s.compile_errors);
+        samples.Add("cache.coalesced", s.coalesced);
+        samples.Add("cache.evictions", s.evictions);
+        samples.Add("cache.byte_evictions", s.byte_evictions);
+        samples.Add("cache.negative_hits", s.negative_hits);
+        samples.Add("cache.negative_evictions", s.negative_evictions);
+        // Point-in-time residency: Set samples vanish when the cache does
+        // (the entries are gone too); the Add counters above are lifetime
+        // totals and survive via the registry's retired baseline.
+        samples.Set("cache.entries", s.entries);
+        samples.Set("cache.capacity", s.capacity);
+        samples.Set("cache.negative_entries", s.negative_entries);
+        samples.Set("cache.bytes_resident", s.bytes_resident);
+        samples.Set("cache.max_bytes", s.max_bytes);
+      });
+}
+
+QueryCache::~QueryCache() {
+  MetricsRegistry::Global().UnregisterCollector(metrics_collector_id_);
 }
 
 CompiledQuery QueryCache::Touch(EntryList::iterator it) {

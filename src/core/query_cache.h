@@ -109,6 +109,11 @@ struct QueryCacheStats {
 class QueryCache {
  public:
   explicit QueryCache(QueryCacheOptions options = {});
+  /// Unregisters the cache.* metrics collector (see below).
+  ~QueryCache();
+
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
 
   /// Returns the cached compilation of (text, options), compiling and
   /// inserting on miss. Compile failures are returned but not cached.
@@ -185,6 +190,11 @@ class QueryCache {
   std::unordered_map<std::string, NegativeList::iterator> negative_index_;
   uint64_t bytes_resident_ = 0;
   QueryCacheStats stats_;
+  /// The cache keeps rolling internal state instead of pushing per-mutation,
+  /// so it publishes as a snapshot-time collector: construction registers a
+  /// cache.* sampler with the global registry (samples accumulate across
+  /// cache instances), destruction unregisters it.
+  int metrics_collector_id_ = 0;
 };
 
 }  // namespace gcx

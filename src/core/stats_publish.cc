@@ -1,0 +1,106 @@
+#include "core/stats_publish.h"
+
+#include <string>
+#include <vector>
+
+namespace gcx {
+
+namespace {
+
+const std::vector<uint64_t>& WallMsBounds() {
+  static const std::vector<uint64_t>* bounds = new std::vector<uint64_t>{
+      1, 5, 10, 50, 100, 500, 1000, 5000, 10000};
+  return *bounds;
+}
+
+const std::vector<uint64_t>& OutputBytesBounds() {
+  static const std::vector<uint64_t>* bounds = new std::vector<uint64_t>{
+      1u << 10, 1u << 14, 1u << 18, 1u << 22, 1u << 26, 1u << 30};
+  return *bounds;
+}
+
+}  // namespace
+
+void PublishExecStats(const ExecStats& stats, const MetricsSink& sink) {
+  if (!sink.active()) return;
+
+  MetricsSink engine = sink.Sub("engine");
+  engine.Add("runs_total", 1);
+  engine.Add("output_bytes_total", stats.output_bytes);
+  engine.Max("dfa_states", stats.dfa_states);
+  engine.Observe("run_wall_ms",
+                 static_cast<uint64_t>(stats.wall_seconds * 1000.0),
+                 WallMsBounds());
+  engine.Observe("run_output_bytes", stats.output_bytes, OutputBytesBounds());
+
+  if (stats.scan_passes > 0) {
+    // A private input pass happened (solo run). Batched per-query stats
+    // carry scan_passes == 0: their one shared pass is published from
+    // MultiQueryStats::shared instead.
+    MetricsSink scanner = sink.Sub("scanner");
+    scanner.Add("bytes_total", stats.input_bytes);
+    scanner.Add("events_total", stats.projector.events_read);
+    scanner.Add("stalls_total", stats.stalls);
+  }
+
+  MetricsSink projector = sink.Sub("projector");
+  projector.Add("events_total", stats.projector.events_read);
+  projector.Add("elements_read_total", stats.projector.elements_read);
+  projector.Add("elements_kept_total", stats.projector.elements_kept);
+  projector.Add("elements_skipped_total", stats.projector.elements_skipped);
+  projector.Add("text_kept_total", stats.projector.text_kept);
+  projector.Add("text_skipped_total", stats.projector.text_skipped);
+
+  MetricsSink buffer = sink.Sub("buffer");
+  buffer.Add("nodes_created_total", stats.buffer.nodes_created);
+  buffer.Add("nodes_purged_total", stats.buffer.nodes_purged);
+  buffer.Add("roles_assigned_total", stats.buffer.roles_assigned);
+  buffer.Add("roles_removed_total", stats.buffer.roles_removed);
+  buffer.Add("gc_runs_total", stats.buffer.gc_runs);
+  buffer.Add("gc_nodes_visited_total", stats.buffer.gc_nodes_visited);
+  buffer.Max("nodes_peak", stats.buffer.nodes_peak);
+  buffer.Max("bytes_peak", stats.buffer.bytes_peak);
+  sink.Sub("arena").Max("text_peak_bytes",
+                        stats.buffer.text_arena_peak_bytes);
+}
+
+void PublishMultiQueryStats(const MultiQueryStats& stats,
+                            const MetricsSink& sink) {
+  if (!sink.active()) return;
+
+  const SharedScanStats& shared = stats.shared;
+  MetricsSink scanner = sink.Sub("scanner");
+  scanner.Add("bytes_total", shared.bytes_scanned);
+  scanner.Add("events_total", shared.events_scanned);
+  scanner.Add("stalls_total", shared.stalls);
+
+  MetricsSink batch = sink.Sub("batch");
+  batch.Add("runs_total", 1);
+  batch.Add("queries_total", stats.per_query.size());
+  batch.Add("events_forwarded_total", shared.events_forwarded);
+  batch.Add("events_shared_skipped_total", shared.events_shared_skipped);
+  batch.Add("shared_subtrees_skipped_total", shared.shared_subtrees_skipped);
+  batch.Add("events_demuxed_total", shared.events_demuxed);
+  batch.Max("merged_dfa_states", shared.merged_dfa_states);
+  batch.Max("replay_log_peak", shared.replay_log_peak);
+  batch.Max("replay_arena_peak_bytes", shared.replay_arena_peak_bytes);
+
+  if (shared.shards > 0) {
+    MetricsSink shard = sink.Sub("shard");
+    shard.Add("runs_total", 1);
+    shard.Max("shards", shared.shards);
+    shard.Add("local_queries_total", shared.shard_local_queries);
+    shard.Add("replay_queries_total",
+              stats.per_query.size() - shared.shard_local_queries);
+    for (size_t i = 0; i < stats.per_shard_arena_peak_bytes.size(); ++i) {
+      shard.Sub(std::to_string(i))
+          .Max("arena_peak_bytes", stats.per_shard_arena_peak_bytes[i]);
+    }
+  }
+
+  for (const ExecStats& per_query : stats.per_query) {
+    PublishExecStats(per_query, sink);
+  }
+}
+
+}  // namespace gcx

@@ -1,0 +1,48 @@
+// Folds the per-call stats structs (ExecStats, MultiQueryStats) into the
+// process-wide metrics registry (common/metrics.h).
+//
+// The legacy structs stay the cheap per-call return values; these folds run
+// once per completed run — a few dozen relaxed atomic adds — so the hot
+// event loop never touches the registry. Every engine path (solo, batched,
+// sharded, resumable) funnels through one of these two functions, which is
+// what keeps the metric name families consistent across layers:
+//
+//   engine.*     per-evaluation counters (runs, output bytes, wall-time and
+//                output-size histograms, peak DFA size)
+//   scanner.*    raw input-side counters (bytes, events, would-block stalls)
+//                — published only for stats that carry a real input pass
+//                (scan_passes > 0 / the batch's shared scan), so per-query
+//                rows inside a batch never double-count the one shared scan
+//   projector.*  merged view of every projector that ran
+//   buffer.*     buffer-tree counters and peaks, arena.text_peak_bytes
+//   batch.*      shared-scan counters of batched runs (forwarded, demuxed,
+//                replay log/arena peaks, merged-DFA size)
+//   shard.*      sharded-execution counters (local vs replay queries,
+//                per-shard arena peaks); plan declines and abort causes are
+//                published at the decision sites in multi_engine.cc
+
+#ifndef GCX_CORE_STATS_PUBLISH_H_
+#define GCX_CORE_STATS_PUBLISH_H_
+
+#include "common/metrics.h"
+#include "core/engine.h"
+#include "core/multi_engine.h"
+
+namespace gcx {
+
+/// Publishes one evaluation's ExecStats under `sink` (typically
+/// GlobalMetrics()). Solo runs carry scan_passes > 0 and contribute to
+/// scanner.*; per-query stats inside a batch have scan_passes == 0 and
+/// contribute only the evaluation-side families.
+void PublishExecStats(const ExecStats& stats, const MetricsSink& sink);
+
+/// Publishes a batched run: the shared scan under scanner.* / batch.*, the
+/// sharded-scan counters under shard.* (when stats.shared.shards > 0,
+/// including per-shard arena peaks as shard.<i>.arena_peak_bytes), then
+/// folds every per-query ExecStats via PublishExecStats.
+void PublishMultiQueryStats(const MultiQueryStats& stats,
+                            const MetricsSink& sink);
+
+}  // namespace gcx
+
+#endif  // GCX_CORE_STATS_PUBLISH_H_

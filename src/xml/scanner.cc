@@ -139,6 +139,7 @@ void XmlScanner::Bump(char c) {
 }
 
 void XmlScanner::Rewind() {
+  ++stalls_;
   buf_pos_ = cycle_pos_;
   bytes_consumed_ = cycle_bytes_;
   line_ = cycle_line_;

@@ -158,6 +158,8 @@ class XmlScanner {
 
   /// Total bytes consumed from the source so far.
   uint64_t bytes_consumed() const { return bytes_consumed_; }
+  /// Would-block suspensions taken so far (one per rewind-to-boundary).
+  uint64_t stalls() const { return stalls_; }
   /// 1-based line of the current read position (for error messages).
   int line() const { return line_; }
 
@@ -236,6 +238,7 @@ class XmlScanner {
   /// failure, not a clean EOF. Appended to the resulting parse error.
   std::string read_error_;
   uint64_t bytes_consumed_ = 0;
+  uint64_t stalls_ = 0;
   int line_ = 1;
 
   // Checkpoint of the consumption state at the start of the current scan

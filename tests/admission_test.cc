@@ -350,6 +350,136 @@ TEST(Admission, MatchesHandBuiltBatchByteForByte) {
   }
 }
 
+TEST(Admission, BackToBackRunsReportFreshRunStats) {
+  // AdmissionRunStats are per-Run totals, not lifetime accumulators: a
+  // reused controller must report the second run from zero, not fold the
+  // first run's counters in.
+  const std::string doc = "<a><b>1</b><b>2</b></a>";
+  const std::vector<std::string> queries = {
+      "<r>{ count(/a/b) }</r>",
+      "<s>{ for $x in /a/b return $x }</s>",
+  };
+  QueryCache cache;
+  AdmissionController controller(&cache);
+  controller.RegisterDocument("doc", doc);
+
+  auto run_once = [&]() -> AdmissionRunStats {
+    std::vector<std::ostringstream> outs(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_TRUE(controller.Submit(queries[i], {}, "doc", &outs[i]).ok());
+    }
+    auto run = controller.Run();
+    EXPECT_TRUE(run.ok()) << run.status().ToString();
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(outs[i].str(), SoloRun(queries[i], doc)) << i;
+    }
+    return run.ok() ? run.value() : AdmissionRunStats{};
+  };
+
+  AdmissionRunStats first = run_once();
+  AdmissionRunStats second = run_once();
+  EXPECT_EQ(second.queries, first.queries);
+  EXPECT_EQ(second.batches, first.batches);
+  EXPECT_EQ(second.scan_passes, first.scan_passes);
+  EXPECT_EQ(second.bytes_scanned, first.bytes_scanned);
+  EXPECT_EQ(second.replay_log_peak, first.replay_log_peak);
+  EXPECT_EQ(second.replay_arena_peak_bytes, first.replay_arena_peak_bytes);
+
+  // Lifetime stats, by contrast, do accumulate across the two runs.
+  EXPECT_EQ(controller.stats().submitted, 2 * queries.size());
+  EXPECT_EQ(controller.stats().batches_formed, first.batches + second.batches);
+}
+
+TEST(AdmissionAdaptive, MemoryPressureShrinksCapAndShardsCalmRecovers) {
+  // Closed-loop self-tuning: a run whose replay-arena peak exceeds the
+  // budget halves the effective batch cap (and, past the hysteresis
+  // window, the shard count); calm runs grow the cap back one notch at a
+  // time. Outputs stay byte-identical to solo runs throughout — adaptation
+  // only changes how the stream is cut into batches.
+  const std::string hot_doc = "<a><b>1</b><b>2</b></a>";   // kept text > 1 B
+  const std::string calm_doc = "<a><b/><b/></a>";          // no arena use
+  const std::vector<std::string> queries = {
+      "<r>{ count(/a/b) }</r>",
+      "<s>{ for $x in /a/b return $x }</s>",
+  };
+  AdmissionLimits limits;
+  limits.max_batch_queries = 4;
+  limits.shards = 2;
+  limits.adaptive = true;
+  limits.adaptive_arena_budget_bytes = 1;
+  limits.adaptive_hysteresis = 1;
+  QueryCache cache;
+  AdmissionController controller(&cache, limits);
+
+  auto run_against = [&](const std::string& doc) {
+    controller.RegisterDocument("doc", doc);
+    std::vector<std::ostringstream> outs(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_TRUE(controller.Submit(queries[i], {}, "doc", &outs[i]).ok());
+    }
+    auto run = controller.Run();
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(outs[i].str(), SoloRun(queries[i], doc)) << i;
+    }
+  };
+
+  // Effective caps start at the configured ceilings.
+  EXPECT_EQ(controller.stats().adaptive_batch_cap, 4u);
+  EXPECT_EQ(controller.stats().adaptive_shards, 2u);
+
+  // Pressured run: the batch retains "1","2" in the replay arena (> 1 B
+  // budget) — multiplicative decrease, and with hysteresis 1 the shard
+  // count sheds in the same review.
+  run_against(hot_doc);
+  EXPECT_EQ(controller.stats().adaptive_batch_cap, 2u);
+  EXPECT_EQ(controller.stats().adaptive_shards, 1u);
+  EXPECT_EQ(controller.stats().adaptive_decreases_by_memory, 1u);
+  EXPECT_EQ(controller.stats().adaptive_shard_decreases, 1u);
+
+  // Still pressured: cap halves again; shards are already at the floor.
+  run_against(hot_doc);
+  EXPECT_EQ(controller.stats().adaptive_batch_cap, 1u);
+  EXPECT_EQ(controller.stats().adaptive_shards, 1u);
+  EXPECT_EQ(controller.stats().adaptive_decreases_by_memory, 2u);
+  EXPECT_EQ(controller.stats().adaptive_shard_decreases, 1u);
+
+  // Calm runs (no text => empty replay arena): additive increase, one
+  // notch per run at hysteresis 1.
+  run_against(calm_doc);
+  EXPECT_EQ(controller.stats().adaptive_batch_cap, 2u);
+  EXPECT_EQ(controller.stats().adaptive_increases, 1u);
+  run_against(calm_doc);
+  EXPECT_EQ(controller.stats().adaptive_batch_cap, 3u);
+  EXPECT_EQ(controller.stats().adaptive_increases, 2u);
+}
+
+TEST(AdmissionAdaptive, SerialModeIsNeverAdapted) {
+  // interleave = false is the benchmarking baseline; adaptation must not
+  // touch it even when requested and pressured.
+  const std::string doc = "<a><b>1</b><b>2</b></a>";
+  AdmissionLimits limits;
+  limits.interleave = false;
+  limits.adaptive = true;
+  limits.adaptive_arena_budget_bytes = 1;
+  limits.adaptive_hysteresis = 1;
+  QueryCache cache;
+  AdmissionController controller(&cache, limits);
+  controller.RegisterDocument("doc", doc);
+  std::ostringstream o1, o2;
+  ASSERT_TRUE(controller.Submit("<r>{ count(/a/b) }</r>", {}, "doc", &o1).ok());
+  ASSERT_TRUE(controller.Submit("<s>{ for $x in /a/b return $x }</s>", {},
+                                "doc", &o2)
+                  .ok());
+  ASSERT_TRUE(controller.Run().ok());
+  EXPECT_EQ(o1.str(), "<r>2</r>");
+  EXPECT_EQ(controller.stats().adaptive_batch_cap, 0u);
+  EXPECT_EQ(controller.stats().adaptive_increases, 0u);
+  EXPECT_EQ(controller.stats().adaptive_decreases_by_memory, 0u);
+  EXPECT_EQ(controller.stats().adaptive_decreases_by_stalls, 0u);
+  EXPECT_EQ(controller.stats().adaptive_shard_decreases, 0u);
+}
+
 TEST(AdmissionConcurrency, ParallelSubmitsThroughOneSharedCache) {
   constexpr int kThreads = 8;
   constexpr int kPerThread = 16;

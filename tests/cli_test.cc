@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 namespace gcx {
@@ -113,6 +114,17 @@ TEST_F(CliTest, StatsGoToStderr) {
   EXPECT_EQ(r.exit_code, 0);
   EXPECT_NE(r.output.find("peak buffer bytes:"), std::string::npos);
   EXPECT_NE(r.output.find("GC runs:"), std::string::npos);
+}
+
+TEST_F(CliTest, SoloStatsReportProjectorCounters) {
+  RunResult r = Shell("echo '<a><b>hi</b><c>zz</c></a>' | " + BinaryPath() +
+                      " -q '<r>{ for $x in /a/b return $x }</r>' --stats - "
+                      "2>&1");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("events read:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("elements kept:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("text kept:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("scanner stalls:"), std::string::npos) << r.output;
 }
 
 TEST_F(CliTest, ModeFlagsProduceSameResult) {
@@ -517,6 +529,75 @@ TEST_F(CliTest, AdmissionBatchLimitSplitsAndStaysCorrect) {
       << r.output;
   EXPECT_NE(r.output.find("batches=3"), std::string::npos) << r.output;
   EXPECT_NE(r.output.find("solo=3"), std::string::npos) << r.output;
+}
+
+// --- metrics export ---------------------------------------------------------
+
+/// Writes a document big enough for the shard planner to accept a 2-way
+/// split (>= 2 * 64 KiB) to `path`; every item matches /site/item.
+void WriteShardableDoc(const std::string& path) {
+  std::ofstream d(path);
+  d << "<site>";
+  for (int i = 0; i < 4000; ++i) {
+    d << "<item><name>n" << i << "</name><price>" << (i % 9) << "</price>"
+      << "</item>";
+  }
+  d << "</site>";
+}
+
+TEST_F(CliTest, MetricsJsonToStdout) {
+#ifdef GCX_METRICS_OFF
+  GTEST_SKIP() << "MetricsSink publishes are compiled out";
+#endif
+  RunResult r = Shell("echo '<a><b>1</b></a>' | " + BinaryPath() +
+                      " -q '<r>{ count(/a/b) }</r>' --metrics-json=- -");
+  EXPECT_EQ(r.exit_code, 0);
+  // Query result first, then one JSON snapshot on stdout.
+  EXPECT_NE(r.output.find("<r>1</r>"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"engine\""), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"scanner\""), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"projector\""), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"buffer\""), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"runs_total\": 1"), std::string::npos) << r.output;
+}
+
+TEST_F(CliTest, MetricsJsonFileCoversAllLayersForShardedAdmissionRun) {
+#ifdef GCX_METRICS_OFF
+  GTEST_SKIP() << "MetricsSink publishes are compiled out";
+#endif
+  std::string dir = ::testing::TempDir();
+  WriteShardableDoc(dir + "/shardable.xml");
+  RunResult r = Shell(BinaryPath() +
+                      " -q '<r>{ count(/site/item) }</r>'"
+                      " -q '<s>{ sum(/site/item/price) }</s>'"
+                      " --admission --admission-adaptive --shards=2"
+                      " --metrics-json=" + dir + "/metrics.json " +
+                      dir + "/shardable.xml");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  // 4000 items, prices cycle 0..8: 444 full cycles (36 each) + 0+1+2+3.
+  EXPECT_EQ(r.output, "<r>4000</r>\n<s>15990</s>\n");
+
+  std::ifstream in(dir + "/metrics.json");
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  // One snapshot covering every layer of the sharded admission run.
+  for (const char* family : {"\"scanner\"", "\"projector\"", "\"buffer\"",
+                             "\"cache\"", "\"admission\"", "\"batch\"",
+                             "\"shard\"", "\"adaptive\""}) {
+    EXPECT_NE(json.find(family), std::string::npos) << family << "\n" << json;
+  }
+}
+
+TEST_F(CliTest, ShardedBatchStatsReportPerShardArenaPeaks) {
+  std::string dir = ::testing::TempDir();
+  WriteShardableDoc(dir + "/shardstats.xml");
+  RunResult r = Shell(BinaryPath() +
+                      " -q '<r>{ for $i in /site/item return $i/name }</r>'"
+                      " --shards=2 --stats " + dir + "/shardstats.xml "
+                      "2>&1 >/dev/null");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("shard arena peaks:"), std::string::npos)
+      << r.output;
 }
 
 }  // namespace

@@ -1,0 +1,234 @@
+// Unit tests for the process-wide metrics registry (common/metrics):
+// counter/gauge/histogram semantics, collector sampling with merge
+// semantics, dotted-name -> nested-JSON rendering (schema stability), the
+// MetricsSink seam, and multi-threaded publishing.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace gcx {
+namespace {
+
+TEST(Metrics, CounterAccumulates) {
+  MetricsRegistry registry;
+  MetricsCounter* c = registry.Counter("scanner.events_total");
+  c->Add(3);
+  c->Increment();
+  EXPECT_EQ(c->value(), 4u);
+  // The same name resolves to the same object — pointers are stable and
+  // cacheable for lock-free updates.
+  EXPECT_EQ(registry.Counter("scanner.events_total"), c);
+  EXPECT_EQ(registry.Snapshot().at("scanner.events_total"), 4u);
+}
+
+TEST(Metrics, GaugeSetAddMax) {
+  MetricsRegistry registry;
+  MetricsGauge* g = registry.Gauge("buffer.nodes_peak");
+  g->Set(10);
+  g->Add(5);
+  EXPECT_EQ(g->value(), 15u);
+  g->Add(-5);
+  EXPECT_EQ(g->value(), 10u);
+  g->Max(7);  // below current: no change
+  EXPECT_EQ(g->value(), 10u);
+  g->Max(42);
+  EXPECT_EQ(g->value(), 42u);
+}
+
+TEST(Metrics, HistogramBucketsAndOverflow) {
+  MetricsRegistry registry;
+  MetricsHistogram* h =
+      registry.Histogram("engine.run_wall_ms", {10, 100, 1000});
+  h->Observe(5);     // <= 10
+  h->Observe(10);    // <= 10 (bounds are inclusive)
+  h->Observe(50);    // <= 100
+  h->Observe(5000);  // overflow
+  EXPECT_EQ(h->count(), 4u);
+  EXPECT_EQ(h->sum(), 5065u);
+  EXPECT_EQ(h->bucket_count(0), 2u);
+  EXPECT_EQ(h->bucket_count(1), 1u);
+  EXPECT_EQ(h->bucket_count(2), 0u);
+  EXPECT_EQ(h->bucket_count(3), 1u);  // overflow bucket
+
+  std::map<std::string, uint64_t> snap = registry.Snapshot();
+  EXPECT_EQ(snap.at("engine.run_wall_ms.count"), 4u);
+  EXPECT_EQ(snap.at("engine.run_wall_ms.sum"), 5065u);
+  EXPECT_EQ(snap.at("engine.run_wall_ms.le.10"), 2u);
+  EXPECT_EQ(snap.at("engine.run_wall_ms.le.inf"), 1u);
+}
+
+TEST(Metrics, HistogramBoundsAreSortedAndDeduplicated) {
+  MetricsRegistry registry;
+  MetricsHistogram* h = registry.Histogram("h", {100, 10, 100, 10});
+  ASSERT_EQ(h->bounds().size(), 2u);
+  EXPECT_EQ(h->bounds()[0], 10u);
+  EXPECT_EQ(h->bounds()[1], 100u);
+  // Re-registration with different bounds returns the existing histogram.
+  EXPECT_EQ(registry.Histogram("h", {1, 2, 3}), h);
+  EXPECT_EQ(h->bounds().size(), 2u);
+}
+
+TEST(Metrics, CollectorsSampleAtSnapshotWithMergeSemantics) {
+  MetricsRegistry registry;
+  // Two instances of the same module (e.g. two query caches) publish the
+  // same names: Add accumulates, Max maxes, Set last-writer-wins.
+  int id1 = registry.RegisterCollector([](MetricsSampleSet& s) {
+    s.Add("cache.hits", 3);
+    s.Max("cache.peak", 10);
+    s.Set("cache.capacity", 64);
+  });
+  int id2 = registry.RegisterCollector([](MetricsSampleSet& s) {
+    s.Add("cache.hits", 4);
+    s.Max("cache.peak", 7);
+    s.Set("cache.capacity", 64);
+  });
+  std::map<std::string, uint64_t> snap = registry.Snapshot();
+  EXPECT_EQ(snap.at("cache.hits"), 7u);
+  EXPECT_EQ(snap.at("cache.peak"), 10u);
+  EXPECT_EQ(snap.at("cache.capacity"), 64u);
+
+  // Retirement: an unregistered collector's Add/Max samples stay part of
+  // the snapshot (lifetime truth outlives the module); its Set samples
+  // describe state that no longer exists and are dropped.
+  registry.UnregisterCollector(id1);
+  snap = registry.Snapshot();
+  EXPECT_EQ(snap.at("cache.hits"), 7u);
+  EXPECT_EQ(snap.at("cache.peak"), 10u);
+  EXPECT_EQ(snap.at("cache.capacity"), 64u);  // id2 still sets it
+  registry.UnregisterCollector(id2);
+  snap = registry.Snapshot();
+  EXPECT_EQ(snap.at("cache.hits"), 7u);
+  EXPECT_EQ(snap.at("cache.peak"), 10u);
+  EXPECT_EQ(snap.count("cache.capacity"), 0u);
+
+  registry.ResetForTesting();
+  EXPECT_EQ(registry.Snapshot().count("cache.hits"), 0u);
+}
+
+TEST(Metrics, JsonNestsDottedNamesWithSortedKeys) {
+  std::map<std::string, uint64_t> values;
+  values["shard.3.arena_peak_bytes"] = 11;
+  values["shard.10.arena_peak_bytes"] = 7;
+  values["shard.runs_total"] = 2;
+  values["scanner.bytes_total"] = 99;
+  // Dotted names become nested objects; keys sort lexicographically at
+  // every level ("10" < "3" < "runs_total"). This shape is the stable
+  // export schema the CI asserts parse.
+  EXPECT_EQ(MetricsMapToJson(values),
+            "{\n"
+            "  \"scanner\": {\n"
+            "    \"bytes_total\": 99\n"
+            "  },\n"
+            "  \"shard\": {\n"
+            "    \"10\": {\n"
+            "      \"arena_peak_bytes\": 7\n"
+            "    },\n"
+            "    \"3\": {\n"
+            "      \"arena_peak_bytes\": 11\n"
+            "    },\n"
+            "    \"runs_total\": 2\n"
+            "  }\n"
+            "}\n");
+}
+
+TEST(Metrics, JsonLeafAndPrefixCollisionUsesReservedTotalKey) {
+  // "a" is both a leaf ("a" = 1) and a prefix ("a.b" = 2): the leaf value
+  // moves under the reserved "_total" key instead of being dropped.
+  std::map<std::string, uint64_t> values;
+  values["a"] = 1;
+  values["a.b"] = 2;
+  EXPECT_EQ(MetricsMapToJson(values),
+            "{\n"
+            "  \"a\": {\n"
+            "    \"_total\": 1,\n"
+            "    \"b\": 2\n"
+            "  }\n"
+            "}\n");
+}
+
+TEST(Metrics, SinkPublishesThroughPrefixes) {
+  MetricsRegistry registry;
+  MetricsSink root(&registry, "");
+  MetricsSink shard = root.Sub("shard").Sub("3");
+  shard.Add("events_total", 5);
+  shard.Max("arena_peak_bytes", 100);
+  shard.Max("arena_peak_bytes", 40);
+  root.Sub("engine").Observe("run_wall_ms", 7, {10, 100});
+#ifndef GCX_METRICS_OFF
+  std::map<std::string, uint64_t> snap = registry.Snapshot();
+  EXPECT_EQ(snap.at("shard.3.events_total"), 5u);
+  EXPECT_EQ(snap.at("shard.3.arena_peak_bytes"), 100u);
+  EXPECT_EQ(snap.at("engine.run_wall_ms.count"), 1u);
+#endif
+}
+
+TEST(Metrics, DisabledSinksDropPublishes) {
+  // Null sink: all calls are no-ops.
+  MetricsSink::Disabled().Add("x", 1);
+  EXPECT_FALSE(MetricsSink::Disabled().active());
+
+  // Runtime off-switch: publishes through sinks are dropped while disabled
+  // (the A/B cell bench_metrics measures).
+  MetricsRegistry registry;
+  MetricsSink sink(&registry, "test");
+  registry.set_enabled(false);
+  EXPECT_FALSE(sink.active());
+  sink.Add("dropped", 1);
+  registry.set_enabled(true);
+  sink.Add("kept", 1);
+#ifndef GCX_METRICS_OFF
+  std::map<std::string, uint64_t> snap = registry.Snapshot();
+  EXPECT_EQ(snap.count("test.dropped"), 0u);
+  EXPECT_EQ(snap.at("test.kept"), 1u);
+#endif
+}
+
+TEST(Metrics, ResetForTestingClearsValuesKeepsRegistrations) {
+  MetricsRegistry registry;
+  MetricsCounter* c = registry.Counter("c");
+  c->Add(9);
+  registry.ResetForTesting();
+  EXPECT_EQ(registry.Counter("c")->value(), 0u);
+}
+
+TEST(MetricsStress, ConcurrentPublishersAndSnapshots) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  MetricsRegistry registry;
+  int collector = registry.RegisterCollector(
+      [](MetricsSampleSet& s) { s.Add("rolling.state", 1); });
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t]() {
+      MetricsSink sink(&registry, "stress");
+      MetricsSink shard = sink.Sub(std::to_string(t % 2));
+      for (int i = 0; i < kIters; ++i) {
+        sink.Add("events_total", 1);
+        shard.Max("peak", static_cast<uint64_t>(i));
+        sink.Observe("lat", static_cast<uint64_t>(i % 128), {16, 64});
+        if (i % 1024 == 0) registry.Snapshot();  // readers race writers
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  registry.UnregisterCollector(collector);
+#ifndef GCX_METRICS_OFF
+  std::map<std::string, uint64_t> snap = registry.Snapshot();
+  EXPECT_EQ(snap.at("stress.events_total"),
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(snap.at("stress.lat.count"),
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(snap.at("stress.0.peak"), static_cast<uint64_t>(kIters - 1));
+  EXPECT_EQ(snap.at("stress.1.peak"), static_cast<uint64_t>(kIters - 1));
+#endif
+}
+
+}  // namespace
+}  // namespace gcx

@@ -97,6 +97,45 @@ TEST(MultiEngine, BatchMatchesSoloOutputs) {
   }
 }
 
+TEST(MultiEngine, ReusedEngineReportsPerRunStats) {
+  // SharedScanStats/MultiQueryStats are per-Execute returns: a second
+  // Execute on the same engine must report the run from zero rather than
+  // accumulate the first run's counters.
+  Batch batch = CompileBatch({
+      "<r>{ count(/site/items/item) }</r>",
+      "<r>{ for $p in /site/people/person return $p/name }</r>",
+  });
+  MultiQueryEngine engine;
+  auto run_once = [&]() -> MultiQueryStats {
+    std::vector<std::ostringstream> streams(batch.pointers.size());
+    std::vector<std::ostream*> outs;
+    for (std::ostringstream& s : streams) outs.push_back(&s);
+    auto stats = engine.Execute(batch.pointers, kDoc, outs);
+    GCX_CHECK(stats.ok());
+    for (size_t i = 0; i < batch.pointers.size(); ++i) {
+      EXPECT_EQ(streams[i].str(), SoloOutput(*batch.pointers[i], kDoc)) << i;
+    }
+    return std::move(stats).value();
+  };
+  MultiQueryStats first = run_once();
+  MultiQueryStats second = run_once();
+  EXPECT_EQ(second.shared.scan_passes, 1u);
+  EXPECT_EQ(second.shared.scan_passes, first.shared.scan_passes);
+  EXPECT_EQ(second.shared.bytes_scanned, first.shared.bytes_scanned);
+  EXPECT_EQ(second.shared.events_scanned, first.shared.events_scanned);
+  EXPECT_EQ(second.shared.events_forwarded, first.shared.events_forwarded);
+  EXPECT_EQ(second.shared.events_demuxed, first.shared.events_demuxed);
+  EXPECT_EQ(second.shared.replay_log_peak, first.shared.replay_log_peak);
+  ASSERT_EQ(second.per_query.size(), first.per_query.size());
+  for (size_t i = 0; i < second.per_query.size(); ++i) {
+    EXPECT_EQ(second.per_query[i].events_delivered,
+              first.per_query[i].events_delivered)
+        << i;
+    EXPECT_EQ(second.per_query[i].output_bytes, first.per_query[i].output_bytes)
+        << i;
+  }
+}
+
 TEST(MultiEngine, PrefilterSkipsSubtreesNoQueryNeeds) {
   Batch batch = CompileBatch({
       "<r>{ for $p in /site/people/person return $p/name }</r>",

@@ -26,6 +26,10 @@
 //   --admission-memory=N   admission: replay-log budget in events (0 = off)
 //   --admission-serial     admission: strict first-submission order with
 //                     blocking waits (disables ready-batch interleaving)
+//   --admission-adaptive   admission: self-tune the effective batch cap
+//                     (and shard count) from observed stall/memory pressure
+//   --admission-arena-budget=N  admission: replay-arena byte budget for the
+//                     adaptive memory-pressure signal (implies adaptive)
 //   --shards=N        scan a stored document on N parallel shards
 //                     (core/shard.h); the input is materialized, split at
 //                     subtree boundaries and scanned on a worker pool,
@@ -39,6 +43,9 @@
 //                     file
 //   --input-fd=N      read the document from the already-open descriptor N
 //                     (non-blocking; e.g. a pipe inherited from a parent)
+//   --metrics-json=FILE  dump one JSON snapshot of the process-wide metrics
+//                     registry (scanner/projector/buffer/cache/admission/
+//                     shard families) after the run; FILE '-' = stdout
 //   --trace           dump the buffer after every input token (Fig. 2 style)
 //   --mode=MODE       streaming (default) | project | dom
 //   --no-gc           disable signOff execution and purging
@@ -62,6 +69,7 @@
 
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/admission.h"
 #include "core/engine.h"
 #include "core/multi_engine.h"
@@ -102,6 +110,10 @@ void Help(const char* argv0) {
          "  --admission-batch=N   admission: max queries per batch\n"
          "  --admission-memory=N  admission: replay-log budget in events\n"
          "  --admission-serial    admission: strict order, no interleaving\n"
+         "  --admission-adaptive  admission: self-tune batch cap / shards\n"
+         "  --admission-arena-budget=N  adaptive replay-arena byte budget\n"
+         "  --metrics-json=FILE   dump a metrics snapshot (JSON) after the\n"
+         "                    run; '-' writes it to stdout\n"
          "  --shards=N        parallel sharded scan of a stored document\n"
          "  --follow          stream the input path (FIFO/device) as the\n"
          "                    writer produces it\n"
@@ -207,6 +219,9 @@ int main(int argc, char** argv) {
   size_t admission_batch = 16;
   uint64_t admission_memory = 0;
   bool admission_serial = false;
+  bool admission_adaptive = false;
+  uint64_t admission_arena_budget = 0;
+  std::string metrics_json_path;
   size_t shards = 1;
   bool follow = false;
   int input_fd = -1;
@@ -269,6 +284,26 @@ int main(int argc, char** argv) {
     } else if (arg == "--admission-serial") {
       admission_flag = true;
       admission_serial = true;
+    } else if (arg == "--admission-adaptive") {
+      admission_flag = true;
+      admission_adaptive = true;
+    } else if (arg.rfind("--admission-arena-budget=", 0) == 0) {
+      admission_flag = true;
+      admission_adaptive = true;
+      long long v =
+          std::atoll(arg.c_str() + std::strlen("--admission-arena-budget="));
+      if (v < 0) {
+        std::cerr << "--admission-arena-budget needs a non-negative byte "
+                     "count\n";
+        return 2;
+      }
+      admission_arena_budget = static_cast<uint64_t>(v);
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      metrics_json_path = arg.substr(std::strlen("--metrics-json="));
+      if (metrics_json_path.empty()) {
+        std::cerr << "--metrics-json needs a file path or '-'\n";
+        return 2;
+      }
     } else if (arg.rfind("--shards=", 0) == 0) {
       long v = std::atol(arg.c_str() + std::strlen("--shards="));
       if (v < 1) {
@@ -355,6 +390,26 @@ int main(int argc, char** argv) {
               << " capacity=" << s.capacity
               << " bytes=" << s.bytes_resident
               << " max_bytes=" << s.max_bytes << "\n";
+  };
+  // One cumulative snapshot of the process-wide registry, written after the
+  // run (every engine path and the cache/admission collectors publish into
+  // it). Returns false on an unwritable target.
+  auto dump_metrics = [&]() -> bool {
+    if (metrics_json_path.empty()) return true;
+    std::string json = gcx::MetricsRegistry::Global().SnapshotJson();
+    if (metrics_json_path == "-") {
+      std::cout << json;
+      return true;
+    }
+    std::ofstream file(metrics_json_path,
+                       std::ios::binary | std::ios::trunc);
+    if (!file) {
+      std::cerr << "cannot write metrics file '" << metrics_json_path
+                << "'\n";
+      return false;
+    }
+    file << json;
+    return true;
   };
 
   // Compile everything before running anything: a malformed query fails the
@@ -465,6 +520,8 @@ int main(int argc, char** argv) {
     limits.max_replay_log_events = admission_memory;
     limits.interleave = !admission_serial;
     limits.shards = shards;
+    limits.adaptive = admission_adaptive;
+    limits.adaptive_arena_budget_bytes = admission_arena_budget;
     gcx::AdmissionController controller(&cache, limits);
     std::error_code ec;
     if (follow || input_fd >= 0) {
@@ -541,9 +598,20 @@ int main(int argc, char** argv) {
                 << " batches=" << run->batches
                 << " scan_passes=" << run->scan_passes
                 << " bytes_scanned=" << run->bytes_scanned
+                << " replay_arena_peak=" << run->replay_arena_peak_bytes
                 << " stalls=" << run->stalls << "\n";
+      if (admission_adaptive) {
+        std::cerr << "adaptive: batch_cap=" << a.adaptive_batch_cap
+                  << " shards=" << a.adaptive_shards
+                  << " increases=" << a.adaptive_increases
+                  << " decreases_stalls=" << a.adaptive_decreases_by_stalls
+                  << " decreases_memory=" << a.adaptive_decreases_by_memory
+                  << " shard_decreases=" << a.adaptive_shard_decreases
+                  << "\n";
+      }
     }
     print_cache_stats();
+    if (!dump_metrics()) return 1;
     return 0;
   }
 
@@ -617,15 +685,27 @@ int main(int argc, char** argv) {
                 << " union / " << batch_stats->projection.shared_paths
                 << " shared / " << batch_stats->projection.private_paths
                 << " private\n";
+      if (!batch_stats->per_shard_arena_peak_bytes.empty()) {
+        std::cerr << "shard arena peaks:";
+        for (uint64_t peak : batch_stats->per_shard_arena_peak_bytes) {
+          std::cerr << " " << peak;
+        }
+        std::cerr << " bytes\n";
+      }
       for (size_t i = 0; i < batch_stats->per_query.size(); ++i) {
         const gcx::ExecStats& q = batch_stats->per_query[i];
         std::cerr << "query " << i << ": events "
                   << q.events_delivered << ", peak buffer bytes "
                   << q.peak_bytes << ", output bytes " << q.output_bytes
-                  << ", wall " << q.wall_seconds << " s\n";
+                  << ", projected "
+                  << (q.projector.elements_kept + q.projector.text_kept)
+                  << " kept / "
+                  << (q.projector.elements_skipped + q.projector.text_skipped)
+                  << " skipped, wall " << q.wall_seconds << " s\n";
       }
     }
     print_cache_stats();
+    if (!dump_metrics()) return 1;
     return 0;
   }
 
@@ -650,9 +730,16 @@ int main(int argc, char** argv) {
   *out << "\n";
 
   if (stats_flag) {
+    const gcx::ProjectorStats& p = stats->projector;
     std::cerr << "input bytes:       " << stats->input_bytes << "\n"
               << "output bytes:      " << stats->output_bytes << "\n"
               << "wall time:         " << stats->wall_seconds << " s\n"
+              << "events read:       " << p.events_read << "\n"
+              << "elements kept:     " << p.elements_kept << " of "
+              << p.elements_read << " (" << p.elements_skipped
+              << " skipped)\n"
+              << "text kept:         " << p.text_kept << " (" << p.text_skipped
+              << " skipped)\n"
               << "peak buffer bytes: " << stats->peak_bytes << "\n"
               << "peak buffer nodes: " << stats->buffer.nodes_peak << "\n"
               << "nodes buffered:    " << stats->buffer.nodes_created << "\n"
@@ -662,8 +749,10 @@ int main(int argc, char** argv) {
               << "GC runs:           " << stats->buffer.gc_runs << "\n"
               << "text arena peak:   " << stats->buffer.text_arena_peak_bytes
               << " bytes\n"
+              << "scanner stalls:    " << stats->stalls << "\n"
               << "DFA states:        " << stats->dfa_states << "\n";
   }
   print_cache_stats();
+  if (!dump_metrics()) return 1;
   return 0;
 }
