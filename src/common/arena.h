@@ -19,6 +19,7 @@
 #ifndef GCX_COMMON_ARENA_H_
 #define GCX_COMMON_ARENA_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -28,6 +29,51 @@
 #include "common/status.h"
 
 namespace gcx {
+
+/// Opt-in, process-global allocation-failure injection for the fault
+/// harness. While armed, the next `allocations_before_failure` fresh-chunk
+/// allocations observed through ByteArena::AppendChecked succeed and every
+/// one after that fails (chunk reuse is not an allocation and never
+/// fails). Plain Append ignores the injector entirely, so only paths that
+/// opted into fallible appends — the governed replay/shard logs — ever see
+/// a failure. Not armed in production; tests must Disarm() on exit.
+class ArenaFaultInjector {
+ public:
+  static void Arm(int64_t allocations_before_failure) {
+    failures().store(0, std::memory_order_relaxed);
+    countdown().store(allocations_before_failure, std::memory_order_relaxed);
+    armed().store(true, std::memory_order_release);
+  }
+  static void Disarm() { armed().store(false, std::memory_order_release); }
+  static bool IsArmed() { return armed().load(std::memory_order_acquire); }
+  static uint64_t injected_failures() {
+    return failures().load(std::memory_order_relaxed);
+  }
+
+  /// Consumes one countdown slot; true when this allocation must fail.
+  static bool ShouldFail() {
+    if (!armed().load(std::memory_order_acquire)) return false;
+    if (countdown().fetch_sub(1, std::memory_order_relaxed) <= 0) {
+      failures().fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  static std::atomic<bool>& armed() {
+    static std::atomic<bool> v{false};
+    return v;
+  }
+  static std::atomic<int64_t>& countdown() {
+    static std::atomic<int64_t> v{0};
+    return v;
+  }
+  static std::atomic<uint64_t>& failures() {
+    static std::atomic<uint64_t> v{0};
+    return v;
+  }
+};
 
 /// Arena counters. `bytes_peak` is the high-water mark of live (appended
 /// minus released) bytes; `bytes_reserved` is the backing storage held.
@@ -84,6 +130,41 @@ class ByteArena {
     return std::string_view(dst, bytes.size());
   }
 
+  /// Fallible Append for governed paths: identical to Append except that
+  /// an armed ArenaFaultInjector can fail the fresh-chunk allocation, in
+  /// which case nothing is appended, `*view` is empty, `*chunk` is
+  /// kNullChunk, and false is returned. With the injector disarmed this
+  /// is exactly Append.
+  bool AppendChecked(std::string_view bytes, std::string_view* view,
+                     uint32_t* chunk) {
+    if (bytes.empty()) {
+      *chunk = kNullChunk;
+      *view = {};
+      return true;
+    }
+    if (current_ == kNullChunk ||
+        chunks_[current_].used + bytes.size() > chunks_[current_].capacity) {
+      if (!AcquireImpl(bytes.size(), /*fallible=*/true)) {
+        *chunk = kNullChunk;
+        *view = {};
+        return false;
+      }
+    }
+    Chunk& c = chunks_[current_];
+    char* dst = c.data.get() + c.used;
+    std::memcpy(dst, bytes.data(), bytes.size());
+    c.used += bytes.size();
+    c.live += bytes.size();
+    stats_.bytes_live += bytes.size();
+    stats_.bytes_appended += bytes.size();
+    if (stats_.bytes_live > stats_.bytes_peak) {
+      stats_.bytes_peak = stats_.bytes_live;
+    }
+    *chunk = current_;
+    *view = std::string_view(dst, bytes.size());
+    return true;
+  }
+
   /// Returns `view`'s bytes to the arena. The view must come from Append on
   /// this arena with handle `chunk` (empty views carry kNullChunk: no-op).
   void Release(uint32_t chunk, size_t size) {
@@ -107,7 +188,12 @@ class ByteArena {
   };
 
   /// Makes `current_` a chunk with at least `need` free bytes.
-  void Acquire(size_t need) {
+  void Acquire(size_t need) { AcquireImpl(need, /*fallible=*/false); }
+
+  /// Acquire with an opt-in failure point at the fresh-chunk allocation:
+  /// reuse (in-place or free-list) always succeeds, but a fallible call
+  /// consults the ArenaFaultInjector before touching the allocator.
+  bool AcquireImpl(size_t need, bool fallible) {
     if (current_ != kNullChunk) {
       Chunk& old = chunks_[current_];
       if (old.live == 0) {
@@ -115,7 +201,7 @@ class ByteArena {
         old.used = 0;
         if (need <= old.capacity) {
           ++stats_.chunks_recycled;
-          return;
+          return true;
         }
         free_.push_back(current_);
       }
@@ -127,9 +213,10 @@ class ByteArena {
         free_[i] = free_.back();
         free_.pop_back();
         ++stats_.chunks_recycled;
-        return;
+        return true;
       }
     }
+    if (fallible && ArenaFaultInjector::ShouldFail()) return false;
     Chunk fresh;
     fresh.capacity = need > chunk_bytes_ ? need : chunk_bytes_;
     fresh.data = std::make_unique<char[]>(fresh.capacity);
@@ -137,6 +224,7 @@ class ByteArena {
     current_ = static_cast<uint32_t>(chunks_.size() - 1);
     ++stats_.chunks_allocated;
     stats_.bytes_reserved += chunks_.back().capacity;
+    return true;
   }
 
   // chunks_recycled counts *reuses* (in-place or free-list pop), not

@@ -1,0 +1,299 @@
+// Resource governance for one engine run: deadlines, byte/event budgets,
+// and cooperative cancellation.
+//
+// The paper's bounded-buffer promise is a *property* of well-behaved
+// queries; this header makes it an *enforced contract*. A `RunBudget`
+// declares the caps (wall-clock deadline, live arena bytes, buffered
+// replay-log events, emitted output bytes); a `RunGovernor` carries them
+// through a run and is consulted at the pipeline's existing cooperative
+// checkpoints (scanner pulls, demux pumps, shard-scan loops, evaluator
+// emits). A trip produces a typed status (kDeadlineExceeded /
+// kResourceExhausted) with deterministic, path-independent text, pulses
+// the run's `CancelToken` so every worker stops promptly, and publishes
+// through the `robustness.*` metrics family.
+//
+// Scoping: deadlines and the output-byte ledger belong to the whole Run()
+// (one client-visible operation), while arena/replay ledgers and the
+// cancel token are scoped to one *batch attempt* — admission's graceful
+// degradation retries a tripped batch at half size, and the retry must not
+// inherit the poisoned token. `RunGovernor(parent)` builds exactly that
+// child scope.
+//
+// Everything here is optional: a null `RunGovernor*` (the default
+// everywhere) leaves every code path byte-identical to ungoverned
+// execution.
+
+#ifndef GCX_COMMON_BUDGET_H_
+#define GCX_COMMON_BUDGET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace gcx {
+
+/// Declarative per-run resource caps. Zero means "unlimited" for every
+/// field; a default-constructed budget governs nothing.
+struct RunBudget {
+  uint64_t deadline_ms = 0;           ///< wall-clock cap for the whole run
+  uint64_t max_arena_bytes = 0;       ///< live replay/shard arena bytes
+  uint64_t max_replay_log_events = 0; ///< buffered replay-log events
+  uint64_t max_output_bytes = 0;      ///< total result bytes, all queries
+  bool any() const {
+    return deadline_ms != 0 || max_arena_bytes != 0 ||
+           max_replay_log_events != 0 || max_output_bytes != 0;
+  }
+};
+
+/// First-wins cancellation pulse shared by every worker of one batch
+/// attempt. Deadlines, budget trips, and admission shedding all Cancel();
+/// workers poll cancelled() (one relaxed load) at their checkpoints and
+/// surface reason() — every path of the run reports the same first error.
+class CancelToken {
+ public:
+  /// Requests cancellation with `reason`. The first caller wins and gets
+  /// true; later reasons are dropped so the run's error is deterministic.
+  bool Cancel(Status reason) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cancelled_.load(std::memory_order_relaxed)) return false;
+    reason_ = std::move(reason);
+    cancelled_.store(true, std::memory_order_release);
+    return true;
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// The winning cancellation reason (OK if not cancelled).
+  Status reason() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reason_;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  mutable std::mutex mu_;
+  Status reason_;
+};
+
+/// Enforces one RunBudget over one run (or one batch attempt of a run).
+/// Thread-compatible with shard workers: ledgers are atomics, the cancel
+/// token serializes the first trip.
+class RunGovernor {
+ public:
+  /// Root governor: arms the deadline now, owns the output ledger.
+  explicit RunGovernor(const RunBudget& budget)
+      : budget_(budget),
+        start_(std::chrono::steady_clock::now()),
+        output_total_(&output_storage_) {}
+
+  /// Child governor for one batch attempt: shares the parent's absolute
+  /// deadline and output-byte ledger, but gets a fresh cancel token and
+  /// fresh arena/replay ledgers so a tripped attempt does not poison the
+  /// split-retry that follows it.
+  explicit RunGovernor(RunGovernor* parent)
+      : budget_(parent->budget_),
+        start_(parent->start_),
+        parent_(parent),
+        output_total_(parent->output_total_) {}
+
+  RunGovernor(const RunGovernor&) = delete;
+  RunGovernor& operator=(const RunGovernor&) = delete;
+
+  const RunBudget& budget() const { return budget_; }
+  CancelToken& cancel_token() { return cancel_; }
+
+  // -- Deadline ----------------------------------------------------------
+
+  bool has_deadline() const { return budget_.deadline_ms != 0; }
+
+  /// Milliseconds until the deadline (clamped at 0); a very large value
+  /// when no deadline is set.
+  int64_t RemainingMs() const {
+    if (!has_deadline()) return INT64_MAX;
+    if (ForcedExpired()) return 0;
+    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count();
+    int64_t remaining = static_cast<int64_t>(budget_.deadline_ms) - elapsed;
+    return remaining > 0 ? remaining : 0;
+  }
+
+  /// Caps a readiness-wait timeout by the remaining deadline so no wait
+  /// can outlive the run. `want_ms < 0` means "wait forever", which an
+  /// armed deadline turns into "wait until the deadline".
+  int BoundedWaitMs(int want_ms) const {
+    if (!has_deadline()) return want_ms;
+    int64_t remaining = RemainingMs();
+    if (remaining > INT32_MAX) remaining = INT32_MAX;
+    if (want_ms < 0) return static_cast<int>(remaining);
+    return want_ms < remaining ? want_ms : static_cast<int>(remaining);
+  }
+
+  /// The cheap per-checkpoint call: cancelled? deadline expired? The
+  /// cancel probe is one relaxed load; the clock is read only every
+  /// `kDeadlineStride` calls (or when `force_clock` is set, e.g. right
+  /// after a readiness wait returned).
+  Status Check(bool force_clock = false) {
+    if (cancel_.cancelled()) return cancel_.reason();
+    if (!has_deadline()) return Status::Ok();
+    if (!force_clock && !ForcedExpired() &&
+        ((checks_since_clock_.fetch_add(1, std::memory_order_relaxed) + 1) &
+         (kDeadlineStride - 1)) != 0) {
+      return Status::Ok();
+    }
+    if (RemainingMs() == 0) return Trip(DeadlineError());
+    return Status::Ok();
+  }
+
+  /// Test seam: makes the deadline report expired on the next clocked
+  /// check without waiting out the wall clock. Requires an armed deadline.
+  void ForceExpireForTesting() {
+    forced_expired_.store(true, std::memory_order_release);
+  }
+
+  // -- Arena-byte / replay-event ledgers ---------------------------------
+  // Contributors (the demux, each shard worker) hold a per-contributor
+  // `last` cursor and replace their contribution with the current level;
+  // the governor sums contributions atomically and trips when the total
+  // exceeds the cap. "Exactly met" passes; "exceeded by one" trips.
+
+  Status UpdateArenaBytes(uint64_t* last, uint64_t now_live) {
+    return UpdateLedger(&arena_live_, budget_.max_arena_bytes, last, now_live,
+                        [this] { return ArenaError(); });
+  }
+  Status UpdateReplayEvents(uint64_t* last, uint64_t now_events) {
+    return UpdateLedger(&replay_events_, budget_.max_replay_log_events, last,
+                        now_events, [this] { return ReplayError(); });
+  }
+  void ReleaseArenaBytes(uint64_t* last) { ReleaseLedger(&arena_live_, last); }
+  void ReleaseReplayEvents(uint64_t* last) {
+    ReleaseLedger(&replay_events_, last);
+  }
+
+  // -- Output-byte ledger ------------------------------------------------
+  // The XmlWriter reports every buffered byte; the cap is checked at the
+  // cooperative checkpoints (and once more after each query finishes), so
+  // an output exactly at the cap completes and one byte past it trips.
+
+  void AddOutputBytes(uint64_t delta) {
+    if (budget_.max_output_bytes == 0) return;
+    output_total_->fetch_add(delta, std::memory_order_relaxed);
+  }
+  Status CheckOutputBytes() {
+    if (budget_.max_output_bytes == 0) return Status::Ok();
+    if (output_total_->load(std::memory_order_relaxed) >
+        budget_.max_output_bytes) {
+      return Trip(OutputError());
+    }
+    return Status::Ok();
+  }
+
+  /// Combined checkpoint for evaluation loops: cancellation, deadline,
+  /// and the output ledger.
+  Status CheckAll(bool force_clock = false) {
+    GCX_RETURN_IF_ERROR(Check(force_clock));
+    return CheckOutputBytes();
+  }
+
+  /// Trips this governor with an externally produced budget error (e.g. an
+  /// injected arena allocation failure surfacing from a worker): cancels
+  /// the attempt and publishes the robustness metric. Returns the token's
+  /// winning reason, which callers should surface.
+  Status TripExternal(Status error) { return Trip(std::move(error)); }
+
+  // Deterministic, path-independent error texts: identical whether the
+  // trip fired in the demux, a shard worker, or the solo pull loop — the
+  // shard-local and merge-and-replay paths must agree byte-for-byte.
+  Status DeadlineError() const {
+    return DeadlineExceededError("run deadline of " +
+                                 std::to_string(budget_.deadline_ms) +
+                                 " ms exceeded");
+  }
+  Status ArenaError() const {
+    return ResourceExhaustedError("arena byte budget of " +
+                                  std::to_string(budget_.max_arena_bytes) +
+                                  " bytes exceeded");
+  }
+  Status ReplayError() const {
+    return ResourceExhaustedError(
+        "replay log budget of " +
+        std::to_string(budget_.max_replay_log_events) + " events exceeded");
+  }
+  Status OutputError() const {
+    return ResourceExhaustedError("output byte budget of " +
+                                  std::to_string(budget_.max_output_bytes) +
+                                  " bytes exceeded");
+  }
+
+ private:
+  static constexpr uint32_t kDeadlineStride = 64;  // power of two
+
+  bool ForcedExpired() const {
+    if (forced_expired_.load(std::memory_order_acquire)) return true;
+    return parent_ != nullptr && parent_->ForcedExpired();
+  }
+
+  /// First trip wins: cancels the attempt with `error` and publishes one
+  /// robustness.* sample. Every caller gets the winning reason so a
+  /// losing concurrent trip still surfaces the run's canonical error.
+  Status Trip(Status error) {
+    if (cancel_.Cancel(error)) {
+      MetricsSink robustness = GlobalMetrics().Sub("robustness");
+      if (IsDeadlineExceeded(error)) {
+        robustness.Add("deadline_trips_total", 1);
+      } else {
+        robustness.Add("resource_trips_total", 1);
+      }
+      robustness.Add("cancellations_total", 1);
+      return error;
+    }
+    return cancel_.reason();
+  }
+
+  template <typename ErrorFn>
+  Status UpdateLedger(std::atomic<uint64_t>* total, uint64_t cap,
+                      uint64_t* last, uint64_t now, ErrorFn error) {
+    if (cap == 0) return Status::Ok();
+    uint64_t prev = *last;
+    *last = now;
+    uint64_t level;
+    if (now >= prev) {
+      level = total->fetch_add(now - prev, std::memory_order_relaxed) +
+              (now - prev);
+    } else {
+      level = total->fetch_sub(prev - now, std::memory_order_relaxed) -
+              (prev - now);
+    }
+    if (level > cap) return Trip(error());
+    return Status::Ok();
+  }
+
+  void ReleaseLedger(std::atomic<uint64_t>* total, uint64_t* last) {
+    if (*last == 0) return;
+    total->fetch_sub(*last, std::memory_order_relaxed);
+    *last = 0;
+  }
+
+  RunBudget budget_;
+  std::chrono::steady_clock::time_point start_;
+  RunGovernor* parent_ = nullptr;
+  std::atomic<bool> forced_expired_{false};
+  std::atomic<uint32_t> checks_since_clock_{0};
+  CancelToken cancel_;
+  std::atomic<uint64_t> arena_live_{0};
+  std::atomic<uint64_t> replay_events_{0};
+  std::atomic<uint64_t> output_storage_{0};
+  std::atomic<uint64_t>* output_total_;
+};
+
+}  // namespace gcx
+
+#endif  // GCX_COMMON_BUDGET_H_

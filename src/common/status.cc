@@ -23,6 +23,10 @@ const char* StatusCodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kWouldBlock:
       return "WouldBlock";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }
@@ -52,6 +56,12 @@ Status EvalError(std::string message) {
 }
 Status IoError(std::string message) {
   return Status(StatusCode::kIoError, std::move(message));
+}
+Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
 }
 Status WouldBlockStatus() {
   return Status(StatusCode::kWouldBlock, "source would block");

@@ -24,8 +24,10 @@ enum class StatusCode {
   kUnsupported,      ///< outside the implemented XQ fragment
   kAnalysisError,    ///< static analysis rejected the query
   kEvalError,        ///< runtime evaluation failure
-  kIoError,          ///< stream / file failure
-  kWouldBlock,       ///< source not ready — not an error, retry when readable
+  kIoError,           ///< stream / file failure
+  kWouldBlock,        ///< source not ready — not an error, retry when readable
+  kDeadlineExceeded,  ///< wall-clock deadline expired before completion
+  kResourceExhausted, ///< a RunBudget cap (arena/replay/output) was tripped
 };
 
 /// Returns a short human-readable name for `code` (e.g. "ParseError").
@@ -69,6 +71,20 @@ Status UnsupportedError(std::string message);
 Status AnalysisError(std::string message);
 Status EvalError(std::string message);
 Status IoError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status ResourceExhaustedError(std::string message);
+
+inline bool IsDeadlineExceeded(const Status& status) {
+  return status.code() == StatusCode::kDeadlineExceeded;
+}
+inline bool IsResourceExhausted(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted;
+}
+/// True for the two budget-trip codes a governed run can surface; these are
+/// the statuses admission's graceful-degradation machinery reacts to.
+inline bool IsBudgetError(const Status& status) {
+  return IsDeadlineExceeded(status) || IsResourceExhausted(status);
+}
 
 /// Flow-control status, not an error: the operation consumed no observable
 /// input because the underlying source reported would-block. The operation

@@ -47,6 +47,14 @@ struct AdmissionController::GroupWork {
   size_t batch_size = 0;
   std::unique_ptr<MultiQueryRun> current;
   bool parked = false;
+  /// Attempt-scoped child governor of the run's root (null when the run is
+  /// unbudgeted). Fresh per batch: a tripped attempt's cancel token must
+  /// not poison the split-retry that follows it.
+  std::unique_ptr<RunGovernor> governor;
+  /// Split-retry cap: after a memory trip the next batch from this group
+  /// is at most this many queries (0 = no retry pending). Halved again on
+  /// every successive trip — bounded exponential backoff down to 1.
+  size_t retry_cap = 0;
 
   bool finished() const {
     return next >= group.pending.size() && current == nullptr;
@@ -102,6 +110,9 @@ AdmissionController::AdmissionController(QueryCache* cache,
                     s.adaptive_decreases_by_memory);
         samples.Add("admission.adaptive.shard_decreases",
                     s.adaptive_shard_decreases);
+        samples.Add("admission.budget_splits", s.budget_splits);
+        samples.Add("admission.budget_sheds", s.budget_sheds);
+        samples.Add("admission.watchdog_reaps", s.watchdog_reaps);
       });
 }
 
@@ -290,12 +301,16 @@ void AdmissionController::ObserveBatch(size_t batch_queries,
 }
 
 Status AdmissionController::StartNextBatch(GroupWork* work,
-                                           AdmissionRunStats* run) {
+                                           AdmissionRunStats* run,
+                                           RunGovernor* root) {
   std::vector<Request>& pending = work->group.pending;
   GCX_CHECK(work->current == nullptr && work->next < pending.size());
 
   bool memory_bound = false;
   size_t cap = BatchCap(&memory_bound);
+  // A pending split-retry shrinks this one batch; the cap recovers once a
+  // batch completes (FinishBatch) or the backoff bottoms out in a shed.
+  if (work->retry_cap > 0) cap = std::min(cap, work->retry_cap);
   size_t n = std::min(cap, pending.size() - work->next);
   if (work->next + n < pending.size()) {
     if (memory_bound) {
@@ -325,9 +340,28 @@ Status AdmissionController::StartNextBatch(GroupWork* work,
       shard_options.shards = EffectiveShards();
       shard_options.threads = limits_.shard_threads;
       MultiQueryEngine engine;
-      GCX_ASSIGN_OR_RETURN(
-          MultiQueryStats stats,
-          engine.ExecuteSharded(batch, *content->second, outs, shard_options));
+      std::unique_ptr<RunGovernor> attempt;
+      if (root != nullptr) {
+        attempt = std::make_unique<RunGovernor>(root);
+        engine.set_governor(attempt.get());
+      }
+      Result<MultiQueryStats> sharded =
+          engine.ExecuteSharded(batch, *content->second, outs, shard_options);
+      if (!sharded.ok()) {
+        // ExecuteSharded already degraded internally (resource trips during
+        // the parallel scan retried on the serial path); what surfaces here
+        // is final for this batch. A resource-tripping singleton is shed —
+        // a larger batch is NOT split: the internal serial attempt may have
+        // emitted output, and a re-run would duplicate it.
+        if (root != nullptr && n == 1 &&
+            AbsorbBudgetFailure(work, sharded.status(), n,
+                                /*evaluation_started=*/true, run)) {
+          return Status::Ok();
+        }
+        return sharded.status();
+      }
+      MultiQueryStats stats = std::move(sharded).value();
+      work->retry_cap = 0;
       ObserveBatch(n, stats.shared.replay_log_peak);
       ++stats_.batches_formed;
       if (stats.shared.shards > 0) ++stats_.sharded_runs;
@@ -353,8 +387,21 @@ Status AdmissionController::StartNextBatch(GroupWork* work,
     // instead so the scheduler can park it.)
     Request& request = pending[work->next];
     Engine solo;
+    std::unique_ptr<RunGovernor> attempt;
+    if (root != nullptr) {
+      attempt = std::make_unique<RunGovernor>(root);
+      solo.set_governor(attempt.get());
+    }
     auto stats = solo.Execute(request.query, std::move(source), request.out);
-    GCX_RETURN_IF_ERROR(stats.status());
+    if (!stats.ok()) {
+      if (root != nullptr &&
+          AbsorbBudgetFailure(work, stats.status(), /*batch_queries=*/1,
+                              /*evaluation_started=*/true, run)) {
+        return Status::Ok();
+      }
+      return stats.status();
+    }
+    work->retry_cap = 0;
     ++stats_.batches_formed;
     ++stats_.solo_runs;
     ++run->batches;
@@ -373,11 +420,52 @@ Status AdmissionController::StartNextBatch(GroupWork* work,
     batch.push_back(&pending[j].query);
     outs.push_back(pending[j].out);
   }
+  if (root != nullptr) {
+    work->governor = std::make_unique<RunGovernor>(root);
+  }
   work->current = std::make_unique<MultiQueryRun>(
-      std::move(batch), std::move(source), std::move(outs));
+      std::move(batch), std::move(source), std::move(outs),
+      work->governor.get());
   work->batch_size = n;
   work->parked = false;
   return Status::Ok();
+}
+
+bool AdmissionController::AbsorbBudgetFailure(GroupWork* work,
+                                              const Status& failure,
+                                              size_t batch_queries,
+                                              bool evaluation_started,
+                                              AdmissionRunStats* run) {
+  if (!IsResourceExhausted(failure)) return false;
+  // Tear down the failed attempt first: a retry or the next batch must
+  // start from the same cursor with a fresh child governor.
+  work->current.reset();
+  work->governor.reset();
+  work->parked = false;
+  work->batch_size = 0;
+  if (batch_queries > 1 && !evaluation_started) {
+    // Memory trip during the scan phase: nothing was emitted, so the batch
+    // can be re-formed at half size from the same cursor.
+    work->retry_cap = std::max<size_t>(1, batch_queries / 2);
+    ++stats_.budget_splits;
+    GlobalMetrics().Sub("robustness").Add("batch_splits_total", 1);
+    return true;
+  }
+  if (batch_queries == 1) {
+    // Backoff bottomed out: shed this one request with its typed rejection
+    // and let the rest of the run proceed.
+    work->next += 1;
+    work->retry_cap = 0;
+    ++stats_.budget_sheds;
+    GlobalMetrics().Sub("robustness").Add("sheds_total", 1);
+    ++run->queries_shed;
+    if (run->first_shed_error.ok()) run->first_shed_error = failure;
+    return true;
+  }
+  // A multi-query batch that tripped after evaluation began cannot be
+  // retried (output may have been emitted): the run fails with the typed
+  // error.
+  return false;
 }
 
 Status AdmissionController::FinishBatch(GroupWork* work,
@@ -395,7 +483,9 @@ Status AdmissionController::FinishBatch(GroupWork* work,
                                           stats.shared.replay_arena_peak_bytes);
   work->next += work->batch_size;
   work->batch_size = 0;
+  work->retry_cap = 0;
   work->current.reset();
+  work->governor.reset();
   work->parked = false;
   return Status::Ok();
 }
@@ -424,6 +514,16 @@ Result<AdmissionRunStats> AdmissionController::Run() {
   }
 
   AdmissionRunStats run;
+
+  // Root governor for the whole run. Null when the budget is empty so an
+  // unbudgeted run takes exactly the pre-governor code paths. Children
+  // (one per batch attempt) pulse their own cancel tokens; the root's
+  // token stays untouched, so a root Check() failing means the run
+  // deadline itself expired — the watchdog signal.
+  std::unique_ptr<RunGovernor> root;
+  if (limits_.budget.any()) {
+    root = std::make_unique<RunGovernor>(limits_.budget);
+  }
 
   // Release-on-drain: once every snapshotted batch completed, the drained
   // documents' openers and retained content are dead weight for a
@@ -455,7 +555,7 @@ Result<AdmissionRunStats> AdmissionController::Run() {
     for (GroupWork& work : works) {
       while (!work.finished()) {
         if (work.current == nullptr) {
-          GCX_RETURN_IF_ERROR(StartNextBatch(&work, &run));
+          GCX_RETURN_IF_ERROR(StartNextBatch(&work, &run, root.get()));
           if (work.current == nullptr) continue;  // solo fast path ran
         }
         MultiQueryRun::State state = work.current->Step();
@@ -466,14 +566,30 @@ Result<AdmissionRunStats> AdmissionController::Run() {
               ++run.stalls;
               ++stats_.batches_parked;
             }
-            WaitReadable(work.current->ReadyFd(), /*timeout_ms=*/-1);
+            WaitReadable(work.current->ReadyFd(),
+                         root != nullptr ? root->BoundedWaitMs(-1) : -1);
+            if (root != nullptr) {
+              GCX_RETURN_IF_ERROR(root->Check(/*force_clock=*/true));
+            }
             ++stats_.batch_resumes;
             break;
           case MultiQueryRun::State::kDone:
             GCX_RETURN_IF_ERROR(FinishBatch(&work, &run));
             break;
-          case MultiQueryRun::State::kFailed:
-            return work.current->status();
+          case MultiQueryRun::State::kFailed: {
+            // Split/shed degradation lives in the interleaved scheduler;
+            // the legacy strict-order path only absorbs singleton sheds so
+            // a budget-tripped query cannot wedge the whole queue.
+            Status failure = work.current->status();
+            size_t batch_queries = work.batch_size;
+            bool evaluation_started = work.current->evaluation_started();
+            if (root != nullptr &&
+                AbsorbBudgetFailure(&work, failure, batch_queries,
+                                    evaluation_started, &run)) {
+              break;
+            }
+            return failure;
+          }
           case MultiQueryRun::State::kRunnable:
             break;
         }
@@ -489,6 +605,26 @@ Result<AdmissionRunStats> AdmissionController::Run() {
   // would-block. When a whole sweep makes no progress, every remaining
   // batch is stalled — sleep until some source signals readiness.
   while (true) {
+    // Deadline watchdog. Children pulse only their own tokens, so a root
+    // Check() failure here means the run deadline expired — including the
+    // case where every remaining batch is parked on an fd that never
+    // becomes readable (previously an unbounded stall). Reap the parked
+    // batches and fail the run with the typed deadline error.
+    if (root != nullptr) {
+      Status check = root->Check(/*force_clock=*/true);
+      if (!check.ok()) {
+        uint64_t reaped = 0;
+        for (GroupWork& work : works) {
+          if (work.current != nullptr) ++reaped;
+        }
+        stats_.watchdog_reaps += reaped;
+        if (reaped > 0) {
+          GlobalMetrics().Sub("robustness").Add("watchdog_reaps_total",
+                                                reaped);
+        }
+        return check;
+      }
+    }
     bool progressed = false;
     bool all_done = true;
     std::vector<int> stalled_fds;
@@ -496,7 +632,7 @@ Result<AdmissionRunStats> AdmissionController::Run() {
       if (work.finished()) continue;
       all_done = false;
       if (work.current == nullptr) {
-        GCX_RETURN_IF_ERROR(StartNextBatch(&work, &run));
+        GCX_RETURN_IF_ERROR(StartNextBatch(&work, &run, root.get()));
         progressed = true;  // formed a batch (or the solo fast path ran)
         if (work.current == nullptr) continue;
       }
@@ -515,8 +651,23 @@ Result<AdmissionRunStats> AdmissionController::Run() {
           GCX_RETURN_IF_ERROR(FinishBatch(&work, &run));
           progressed = true;
           break;
-        case MultiQueryRun::State::kFailed:
-          return work.current->status();
+        case MultiQueryRun::State::kFailed: {
+          // Graceful degradation: a scan-phase memory trip re-forms the
+          // batch at half size (same cursor — FinishBatch never ran, so
+          // work.next is unmoved); backoff bottoms out in a singleton
+          // shed. Anything else fails the run. Capture batch facts before
+          // AbsorbBudgetFailure resets work.current.
+          Status failure = work.current->status();
+          size_t batch_queries = work.batch_size;
+          bool evaluation_started = work.current->evaluation_started();
+          if (root != nullptr &&
+              AbsorbBudgetFailure(&work, failure, batch_queries,
+                                  evaluation_started, &run)) {
+            progressed = true;
+            break;
+          }
+          return failure;
+        }
         case MultiQueryRun::State::kRunnable:
           break;
       }
@@ -524,11 +675,13 @@ Result<AdmissionRunStats> AdmissionController::Run() {
     if (all_done) break;
     if (!progressed) {
       // Everything runnable is parked. 50ms caps the sleep so an
-      // unpollable stalled source (ReadyFd < 0) still gets retried. A
-      // kError wait (bad descriptor) degrades to a yield: the next sweep's
-      // Step() reads surface the real failure.
-      if (WaitAnyReadable(stalled_fds, /*timeout_ms=*/50) ==
-          WaitStatus::kError) {
+      // unpollable stalled source (ReadyFd < 0) still gets retried, and
+      // the run deadline (when set) caps it further so the watchdog at
+      // the sweep top fires on time. A kError wait (bad descriptor)
+      // degrades to a yield: the next sweep's Step() reads surface the
+      // real failure.
+      int wait_ms = root != nullptr ? root->BoundedWaitMs(50) : 50;
+      if (WaitAnyReadable(stalled_fds, wait_ms) == WaitStatus::kError) {
         ::sched_yield();
       }
     }

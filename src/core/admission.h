@@ -59,6 +59,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/status.h"
 #include "core/engine.h"
 #include "core/query_cache.h"
@@ -128,6 +129,23 @@ struct AdmissionLimits {
   /// Consecutive calm runs before a grow step, and consecutive pressured
   /// runs before the shard count shrinks (must be >= 1).
   size_t adaptive_hysteresis = 2;
+
+  // --- Resource governance (common/budget.h). A non-empty budget arms a
+  // root RunGovernor per Run(): the wall-clock deadline and the output-byte
+  // ledger span the whole run, while each batch executes under a child
+  // attempt with its own cancel token and arena/replay ledgers.
+  //
+  // Degradation policy (interleaved scheduling): a batch whose *scan phase*
+  // trips a memory budget (kResourceExhausted before any evaluator ran) is
+  // re-formed at half size from the same cursor — bounded exponential
+  // backoff down to singletons. A tripping singleton is SHED: its typed
+  // rejection is recorded in AdmissionRunStats (first_shed_error /
+  // queries_shed) and the run continues — never a stall, never a crash. A
+  // deadline trip fails the whole run with kDeadlineExceeded: the deadline
+  // watchdog also reaps parked batches whose source never becomes
+  // readable, so a dead FIFO can no longer pin Run() forever. Every
+  // split/shed/reap publishes through the robustness.* metrics family.
+  RunBudget budget;
 };
 
 /// Lifetime counters of one controller.
@@ -168,6 +186,10 @@ struct AdmissionStats {
   uint64_t adaptive_decreases_by_stalls = 0;
   uint64_t adaptive_decreases_by_memory = 0;
   uint64_t adaptive_shard_decreases = 0;
+  /// Resource-governance decision trail (AdmissionLimits::budget).
+  uint64_t budget_splits = 0;   ///< batches re-formed at half size
+  uint64_t budget_sheds = 0;    ///< singletons rejected with a typed error
+  uint64_t watchdog_reaps = 0;  ///< parked batches reaped at the deadline
 };
 
 /// Totals of one Run call.
@@ -181,6 +203,11 @@ struct AdmissionRunStats {
   /// sum of their per-shard arena peaks) — the adaptive memory signal.
   uint64_t replay_arena_peak_bytes = 0;
   uint64_t stalls = 0;  ///< would-block parks the scheduler absorbed
+  /// Queries rejected by the degradation policy (memory-tripping
+  /// singletons). The run itself still succeeds; the first typed rejection
+  /// is preserved so callers can surface it.
+  uint64_t queries_shed = 0;
+  Status first_shed_error = Status::Ok();
 };
 
 /// Groups arriving requests into MultiQueryEngine batches. Thread-safe:
@@ -256,8 +283,17 @@ class AdmissionController {
   void ObserveBatch(size_t batch_queries, uint64_t replay_log_peak);
   /// Forms the next batch of `work` and either executes it inline (solo
   /// fast path) or leaves it as `work.current` for the scheduler to pump.
-  /// Caller holds mu_.
-  Status StartNextBatch(GroupWork* work, AdmissionRunStats* run);
+  /// `root`, when non-null, is the run's root governor; the batch executes
+  /// under a child attempt derived from it. Caller holds mu_.
+  Status StartNextBatch(GroupWork* work, AdmissionRunStats* run,
+                        RunGovernor* root);
+  /// Degradation decision for a batch that failed under a governor: true
+  /// when the failure was absorbed (split scheduled or singleton shed) and
+  /// the run should continue; false when it must fail the run. Caller
+  /// holds mu_.
+  bool AbsorbBudgetFailure(GroupWork* work, const Status& failure,
+                           size_t batch_queries, bool evaluation_started,
+                           AdmissionRunStats* run);
   /// Books a finished MultiQueryRun batch into the stats. Caller holds mu_.
   Status FinishBatch(GroupWork* work, AdmissionRunStats* run);
   /// Drops one document's opener + content, maintaining the release stats.

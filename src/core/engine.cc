@@ -91,6 +91,7 @@ Result<ExecStats> Engine::ExecuteStreaming(const CompiledQuery& query,
 
   StreamExecContext ctx(&query.analyzed().projection, &query.analyzed().roles,
                         std::move(input), options.scanner);
+  ctx.set_governor(governor_);
   if (!options.enable_gc ||
       options.mode == EngineMode::kMaterializedProjection) {
     ctx.buffer().set_gc_enabled(false);
@@ -111,11 +112,18 @@ Result<ExecStats> Engine::ExecuteStreaming(const CompiledQuery& query,
   }
 
   XmlWriter writer(out);
+  writer.set_governor(governor_);
   EvalOptions eval_options;
   eval_options.execute_signoffs =
       options.enable_gc && options.mode == EngineMode::kStreaming;
   Evaluator evaluator(&query.analyzed(), &ctx, &writer, eval_options);
   GCX_RETURN_IF_ERROR(evaluator.Run());
+  if (governor_ != nullptr) {
+    // Final checkpoint: an output that landed exactly on the cap passes,
+    // one byte past it trips — even when the overrun happened after the
+    // last input pull.
+    GCX_RETURN_IF_ERROR(governor_->CheckAll(/*force_clock=*/true));
+  }
 
   ExecStats stats;
   stats.buffer = ctx.buffer().stats();
@@ -197,14 +205,19 @@ Result<ExecStats> Engine::ExecuteNaiveDom(const CompiledQuery& query,
                                           std::ostream* out) const {
   auto start = std::chrono::steady_clock::now();
   // Read the entire input (Galax-like engines buffer everything), waiting
-  // out any would-block stalls.
+  // out any would-block stalls — bounded by the governor's deadline and
+  // arena budget when one is installed.
   std::string document;
-  GCX_RETURN_IF_ERROR(ReadAll(input.get(), &document));
+  GCX_RETURN_IF_ERROR(ReadAll(input.get(), &document, governor_));
   uint64_t input_bytes = document.size();
   GCX_ASSIGN_OR_RETURN(std::unique_ptr<DomDocument> doc,
                        ParseDom(document, query.options().scanner));
   XmlWriter writer(out);
+  writer.set_governor(governor_);
   GCX_RETURN_IF_ERROR(EvalQueryOnDom(query.parsed(), doc.get(), &writer));
+  if (governor_ != nullptr) {
+    GCX_RETURN_IF_ERROR(governor_->CheckAll(/*force_clock=*/true));
+  }
 
   ExecStats stats;
   stats.scan_passes = 1;

@@ -30,6 +30,7 @@
 
 #include "analysis/analyzer.h"
 #include "buffer/buffer_tree.h"
+#include "common/budget.h"
 #include "common/status.h"
 #include "projection/projector.h"
 #include "xml/scanner.h"
@@ -178,6 +179,12 @@ class Engine {
   /// Installs a per-input-token trace (streaming modes only).
   void set_trace(TraceFn trace) { trace_ = std::move(trace); }
 
+  /// Installs a resource governor for subsequent Execute calls: deadline,
+  /// buffer-byte and output-byte budgets are enforced at the pull
+  /// checkpoints with typed kDeadlineExceeded/kResourceExhausted errors.
+  /// Null (the default) governs nothing. Not owned; must outlive the runs.
+  void set_governor(RunGovernor* governor) { governor_ = governor; }
+
  private:
   Result<ExecStats> ExecuteStreaming(const CompiledQuery& query,
                                      std::unique_ptr<ByteSource> input,
@@ -187,6 +194,7 @@ class Engine {
                                     std::ostream* out) const;
 
   TraceFn trace_;
+  RunGovernor* governor_ = nullptr;
 };
 
 }  // namespace gcx

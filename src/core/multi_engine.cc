@@ -16,6 +16,7 @@
 
 #include "analysis/shard_classifier.h"
 #include "common/arena.h"
+#include "common/budget.h"
 #include "common/symbol_table.h"
 #include "common/thread_pool.h"
 #include "core/dom_engine.h"
@@ -48,6 +49,8 @@ class BatchQueryContext final : public ExecContext {
                    /*scanner=*/nullptr, &buffer_),
         demux_(demux) {}
 
+  ~BatchQueryContext() override;
+
   BufferTree& buffer() override { return buffer_; }
   SymbolTable& tags() override { return *tags_; }
   Result<bool> Pull() override;
@@ -65,6 +68,9 @@ class BatchQueryContext final : public ExecContext {
   BufferTree buffer_;
   StreamProjector projector_;
   SharedScanDemux* demux_;
+  /// This context's contribution to the governor's arena ledger (the
+  /// query's buffered tree bytes). Released on destruction.
+  uint64_t arena_lease_ = 0;
 };
 
 /// Owns the single scanner, the merged-DFA prefilter and the replay log.
@@ -81,7 +87,19 @@ class SharedScanDemux {
         merged_(inputs, tags),
         filter_(&merged_) {}
 
+  ~SharedScanDemux() {
+    if (governor_ != nullptr) {
+      governor_->ReleaseArenaBytes(&arena_lease_);
+      governor_->ReleaseReplayEvents(&replay_lease_);
+    }
+  }
+
   void Register(BatchQueryContext* ctx) { subscribers_.push_back(ctx); }
+
+  /// Installs the run's resource governor: every pumped event becomes a
+  /// cooperative checkpoint, and the replay log/arena charge its ledgers.
+  void set_governor(RunGovernor* governor) { governor_ = governor; }
+  RunGovernor* governor() const { return governor_; }
 
   /// Solo-batch mode: deliver every appended event to `ctx` immediately
   /// during the pump instead of retaining it for later replay. With one
@@ -159,6 +177,9 @@ class SharedScanDemux {
   /// Never blocks.
   Result<PumpState> PumpOne() {
     while (true) {
+      if (governor_ != nullptr) {
+        GCX_RETURN_IF_ERROR(governor_->Check());
+      }
       XmlEvent event;
       Status next = scanner_.Next(&event);
       if (IsWouldBlock(next)) {
@@ -173,10 +194,10 @@ class SharedScanDemux {
       if (event.kind == XmlEvent::Kind::kEndOfDocument) {
         scan_done_ = true;
         stats_.bytes_scanned = scanner_.bytes_consumed();
-        Append(event);
+        GCX_RETURN_IF_ERROR(Append(event));
         return PumpState::kDone;
       }
-      Append(event);
+      GCX_RETURN_IF_ERROR(Append(event));
       return PumpState::kEvent;
     }
   }
@@ -214,18 +235,34 @@ class SharedScanDemux {
     return Status::Ok();
   }
 
-  void Append(const XmlEvent& event) {
+  Status Append(const XmlEvent& event) {
     LogEvent entry;
     entry.kind = event.kind;
     entry.tag = event.tag;
     if (!event.text.empty()) {
-      entry.text = arena_.Append(event.text, &entry.chunk);
+      // The checked append is byte-identical to Append unless the fault
+      // harness armed the ArenaFaultInjector, in which case the injected
+      // allocation failure surfaces as a typed resource error (first-wins
+      // through the governor so every worker reports the same status).
+      if (!arena_.AppendChecked(event.text, &entry.text, &entry.chunk)) {
+        Status failed = ResourceExhaustedError(
+            "replay arena allocation failed (injected fault)");
+        return governor_ != nullptr ? governor_->TripExternal(std::move(failed))
+                                    : failed;
+      }
     }
     log_.push_back(entry);
     ++stats_.events_forwarded;
     stats_.replay_log_peak =
         std::max<uint64_t>(stats_.replay_log_peak, log_.size());
     stats_.replay_arena_peak_bytes = arena_.stats().bytes_peak;
+    if (governor_ != nullptr) {
+      GCX_RETURN_IF_ERROR(
+          governor_->UpdateArenaBytes(&arena_lease_, arena_.stats().bytes_live));
+      GCX_RETURN_IF_ERROR(
+          governor_->UpdateReplayEvents(&replay_lease_, log_.size()));
+    }
+    return Status::Ok();
   }
 
   /// Drops log entries every still-active query has already replayed.
@@ -243,6 +280,13 @@ class SharedScanDemux {
       log_.pop_front();
       ++log_base_;
     }
+    if (governor_ != nullptr) {
+      // Shrinking contributions can never newly trip a ledger; the statuses
+      // are discarded so Trim stays infallible for its callers.
+      (void)governor_->UpdateArenaBytes(&arena_lease_,
+                                        arena_.stats().bytes_live);
+      (void)governor_->UpdateReplayEvents(&replay_lease_, log_.size());
+    }
   }
 
   XmlScanner scanner_;
@@ -255,17 +299,39 @@ class SharedScanDemux {
   std::vector<BatchQueryContext*> subscribers_;
   BatchQueryContext* solo_drain_ = nullptr;
   SharedScanStats stats_;
+  RunGovernor* governor_ = nullptr;
+  uint64_t arena_lease_ = 0;    ///< ledger cursor: live replay-arena bytes
+  uint64_t replay_lease_ = 0;   ///< ledger cursor: buffered log events
 };
+
+BatchQueryContext::~BatchQueryContext() {
+  if (demux_->governor() != nullptr) {
+    demux_->governor()->ReleaseArenaBytes(&arena_lease_);
+  }
+}
 
 Result<bool> BatchQueryContext::Pull() {
   // The synchronous Execute path cannot suspend its evaluator, so a stall
   // becomes a readiness wait + retry (PullFor delivered nothing and the
   // scanner rewound, so the retry is exact). The resumable MultiQueryRun
-  // never reaches this: it evaluates only once the log is complete.
+  // reaches this only after the scan completed, when PullFor can never
+  // stall.
+  RunGovernor* governor = demux_->governor();
   while (true) {
+    if (governor != nullptr) {
+      GCX_RETURN_IF_ERROR(governor->CheckAll());
+      GCX_RETURN_IF_ERROR(governor->UpdateArenaBytes(
+          &arena_lease_, buffer_.stats().bytes_current));
+    }
     Result<bool> more = demux_->PullFor(this);
     if (more.ok() || !IsWouldBlock(more.status())) return more;
-    WaitReadable(demux_->scanner().ReadyFd(), /*timeout_ms=*/-1);
+    WaitReadable(demux_->scanner().ReadyFd(),
+                 governor != nullptr ? governor->BoundedWaitMs(-1) : -1);
+    if (governor != nullptr) {
+      // The wait may have ended on the deadline, not on data: force a
+      // clocked check so a stalled source cannot spin past the deadline.
+      GCX_RETURN_IF_ERROR(governor->CheckAll(/*force_clock=*/true));
+    }
   }
 }
 
@@ -278,15 +344,26 @@ Result<bool> BatchQueryContext::Pull() {
 class ShardReplayContext final : public ExecContext {
  public:
   ShardReplayContext(const AnalyzedQuery* query, SymbolTable* tags,
-                     const std::vector<XmlEvent>* events)
+                     const std::vector<XmlEvent>* events,
+                     RunGovernor* governor = nullptr)
       : tags_(tags),
         projector_(&query->projection, &query->roles, tags,
                    /*scanner=*/nullptr, &buffer_),
-        events_(events) {}
+        events_(events),
+        governor_(governor) {}
+
+  ~ShardReplayContext() override {
+    if (governor_ != nullptr) governor_->ReleaseArenaBytes(&arena_lease_);
+  }
 
   BufferTree& buffer() override { return buffer_; }
   SymbolTable& tags() override { return *tags_; }
   Result<bool> Pull() override {
+    if (governor_ != nullptr) {
+      GCX_RETURN_IF_ERROR(governor_->CheckAll());
+      GCX_RETURN_IF_ERROR(governor_->UpdateArenaBytes(
+          &arena_lease_, buffer_.stats().bytes_current));
+    }
     if (projector_.done()) return false;
     // The merged stream always ends with end-of-document, and the
     // projector reports done() after consuming it, so position_ cannot
@@ -303,6 +380,8 @@ class ShardReplayContext final : public ExecContext {
   StreamProjector projector_;
   const std::vector<XmlEvent>* events_;
   size_t position_ = 0;
+  RunGovernor* governor_ = nullptr;
+  uint64_t arena_lease_ = 0;
 };
 
 /// Evaluates one analyzed query to completion (materialized-projection
@@ -320,7 +399,9 @@ Result<ExecStats> EvaluateOne(const AnalyzedQuery& analyzed,
                               const EngineOptions& options, Context& ctx,
                               DetachFn&& detach, std::ostream* out,
                               EngineMode mode,
-                              AggregateParts* capture = nullptr) {
+                              AggregateParts* capture = nullptr,
+                              RunGovernor* governor = nullptr,
+                              bool charge_output = true) {
   auto start = std::chrono::steady_clock::now();
 
   if (mode == EngineMode::kMaterializedProjection) {
@@ -333,12 +414,22 @@ Result<ExecStats> EvaluateOne(const AnalyzedQuery& analyzed,
   }
 
   XmlWriter writer(out);
+  // charge_output is false for worker-local segment evaluation: those
+  // bytes reach the client through the final merge writer, which charges
+  // them — charging both would double-count the output ledger.
+  if (charge_output && governor != nullptr) writer.set_governor(governor);
   EvalOptions eval_options;
   eval_options.execute_signoffs =
       options.enable_gc && mode == EngineMode::kStreaming;
   eval_options.aggregate_capture = capture;
   Evaluator evaluator(&analyzed, &ctx, &writer, eval_options);
   GCX_RETURN_IF_ERROR(evaluator.Run());
+  if (governor != nullptr) {
+    // Final checkpoint: an output landing exactly on the cap passes, one
+    // byte past it trips — even when the overrun happened after the last
+    // pull checkpoint.
+    GCX_RETURN_IF_ERROR(governor->CheckAll(/*force_clock=*/true));
+  }
   // Freeze this query's pipeline exactly where a solo run would have
   // stopped pulling; later queries continue the shared scan without it.
   detach();
@@ -390,7 +481,8 @@ Status ValidateBatch(const std::vector<const CompiledQuery*>& queries,
 bool BatchCompatibleOptions(const EngineOptions& a, const EngineOptions& b) {
   return a.mode == b.mode &&
          a.scanner.attribute_mode == b.scanner.attribute_mode &&
-         a.scanner.skip_whitespace_text == b.scanner.skip_whitespace_text;
+         a.scanner.skip_whitespace_text == b.scanner.skip_whitespace_text &&
+         a.scanner.max_token_bytes == b.scanner.max_token_bytes;
 }
 
 std::string BatchCompatibilityFingerprint(const EngineOptions& options) {
@@ -398,6 +490,10 @@ std::string BatchCompatibilityFingerprint(const EngineOptions& options) {
   out += static_cast<char>('0' + static_cast<int>(options.mode));
   out += static_cast<char>('0' + static_cast<int>(options.scanner.attribute_mode));
   out += options.scanner.skip_whitespace_text ? '1' : '0';
+  // The token cap decides which documents tokenize at all, so two caps
+  // must never share a scan.
+  out += ':';
+  out += std::to_string(options.scanner.max_token_bytes);
   return out;
 }
 
@@ -438,6 +534,7 @@ Result<MultiQueryStats> MultiQueryEngine::ExecuteStreamingBatch(
   SymbolTable tags;
   SharedScanDemux demux(std::move(input), queries.front()->options().scanner,
                         &tags, dfa_inputs);
+  demux.set_governor(governor_);
 
   std::vector<std::unique_ptr<BatchQueryContext>> contexts;
   contexts.reserve(queries.size());
@@ -459,7 +556,8 @@ Result<MultiQueryStats> MultiQueryEngine::ExecuteStreamingBatch(
     GCX_ASSIGN_OR_RETURN(
         ExecStats stats,
         EvaluateOne(queries[i]->analyzed(), queries[i]->options(), *ctx,
-                    [&demux, ctx] { demux.Detach(ctx); }, outs[i], mode));
+                    [&demux, ctx] { demux.Detach(ctx); }, outs[i], mode,
+                    /*capture=*/nullptr, governor_));
     result.per_query.push_back(stats);
   }
 
@@ -646,7 +744,7 @@ Result<MultiQueryStats> MultiQueryEngine::ExecuteSharded(
     for (size_t i = 0; i < n; ++i) {
       futures.push_back(pool.Submit([&, i] {
         ScanShard(input, plan.slices[i], scanner_options, dfa_inputs, &tags,
-                  shard_options, &results[i], i, &abort);
+                  shard_options, &results[i], i, &abort, governor_);
         if (!results[i].status.ok() || local_evals == 0 ||
             abort.ShouldAbort(i)) {
           return;
@@ -679,7 +777,8 @@ Result<MultiQueryStats> MultiQueryEngine::ExecuteSharded(
             const ShardQuerySegment& segment =
                 local.plan.segments[dynamic.segment_index];
             LocalSegmentResult& slot = local_results[i][q][d];
-            ShardReplayContext ctx(&dynamic.analyzed, &tags, &events);
+            ShardReplayContext ctx(&dynamic.analyzed, &tags, &events,
+                                   governor_);
             if (!owner.options().enable_gc ||
                 mode == EngineMode::kMaterializedProjection) {
               ctx.buffer().set_gc_enabled(false);
@@ -691,7 +790,8 @@ Result<MultiQueryStats> MultiQueryEngine::ExecuteSharded(
             std::ostringstream out;
             Result<ExecStats> stats =
                 EvaluateOne(dynamic.analyzed, owner.options(), ctx, [] {},
-                            &out, mode, capture);
+                            &out, mode, capture, governor_,
+                            /*charge_output=*/false);
             if (!stats.ok()) {
               local_status[i] = stats.status();
               abort.Fail(i);
@@ -715,6 +815,21 @@ Result<MultiQueryStats> MultiQueryEngine::ExecuteSharded(
   for (size_t i = 0; i < n; ++i) {
     if (!results[i].status.ok()) {
       GlobalMetrics().Sub("shard").Add("aborts_scan_total", 1);
+      if (IsResourceExhausted(results[i].status) && governor_ != nullptr) {
+        // Graceful degradation: N simultaneous shard arenas tripped a
+        // resource budget during the scan phase — before any output — so
+        // retry on the serial single-scan path, whose replay log trims as
+        // the lone stream advances. The retry runs under a fresh child
+        // attempt: the tripped token must not poison it, while the
+        // deadline and output ledger keep their run-wide scope.
+        local_results.clear();
+        results.clear();
+        GlobalMetrics().Sub("robustness").Add("serial_fallbacks_total", 1);
+        RunGovernor serial_attempt(governor_);
+        MultiQueryEngine serial;
+        serial.set_governor(&serial_attempt);
+        return serial.Execute(queries, input, outs);
+      }
       return results[i].status;
     }
     if (!local_status[i].ok()) {
@@ -771,7 +886,8 @@ Result<MultiQueryStats> MultiQueryEngine::ExecuteSharded(
     merged.push_back(eod);
     for (size_t i = 0; i < queries.size(); ++i) {
       if (is_local[i]) continue;
-      ShardReplayContext ctx(&queries[i]->analyzed(), &tags, &merged);
+      ShardReplayContext ctx(&queries[i]->analyzed(), &tags, &merged,
+                             governor_);
       if (!queries[i]->options().enable_gc ||
           mode == EngineMode::kMaterializedProjection) {
         ctx.buffer().set_gc_enabled(false);
@@ -779,7 +895,7 @@ Result<MultiQueryStats> MultiQueryEngine::ExecuteSharded(
       GCX_ASSIGN_OR_RETURN(
           ExecStats stats,
           EvaluateOne(queries[i]->analyzed(), queries[i]->options(), ctx,
-                      [] {}, outs[i], mode));
+                      [] {}, outs[i], mode, /*capture=*/nullptr, governor_));
       result.per_query[i] = stats;
     }
   }
@@ -794,6 +910,7 @@ Result<MultiQueryStats> MultiQueryEngine::ExecuteSharded(
     const size_t qi = local.query_index;
     auto start = std::chrono::steady_clock::now();
     XmlWriter writer(outs[qi]);
+    if (governor_ != nullptr) writer.set_governor(governor_);
     ExecStats stats;
     size_t dyn = 0;
     for (const ShardQuerySegment& segment : local.plan.segments) {
@@ -850,6 +967,9 @@ Result<MultiQueryStats> MultiQueryEngine::ExecuteSharded(
       }
     }
     writer.Flush();
+    if (governor_ != nullptr) {
+      GCX_RETURN_IF_ERROR(governor_->CheckAll(/*force_clock=*/true));
+    }
     stats.output_bytes = writer.bytes_written();
     stats.scan_passes = 0;
     stats.wall_seconds =
@@ -897,7 +1017,7 @@ Result<MultiQueryStats> MultiQueryEngine::ExecuteDomBatch(
     const std::vector<std::ostream*>& outs) const {
   // Read the input and build the DOM once; every query shares it.
   std::string document;
-  GCX_RETURN_IF_ERROR(ReadAll(input.get(), &document));
+  GCX_RETURN_IF_ERROR(ReadAll(input.get(), &document, governor_));
   uint64_t input_bytes = document.size();
   GCX_ASSIGN_OR_RETURN(
       std::unique_ptr<DomDocument> doc,
@@ -913,8 +1033,12 @@ Result<MultiQueryStats> MultiQueryEngine::ExecuteDomBatch(
   for (size_t i = 0; i < queries.size(); ++i) {
     auto start = std::chrono::steady_clock::now();
     XmlWriter writer(outs[i]);
+    if (governor_ != nullptr) writer.set_governor(governor_);
     GCX_RETURN_IF_ERROR(
         EvalQueryOnDom(queries[i]->parsed(), doc.get(), &writer));
+    if (governor_ != nullptr) {
+      GCX_RETURN_IF_ERROR(governor_->CheckAll(/*force_clock=*/true));
+    }
     ExecStats stats;
     stats.peak_bytes = dom_bytes;
     stats.output_bytes = writer.bytes_written();
@@ -955,18 +1079,28 @@ struct MultiQueryRun::Impl {
   MultiQueryStats stats;
   bool stats_taken = false;
 
+  RunGovernor* governor = nullptr;
+  uint64_t dom_lease = 0;  ///< arena-ledger cursor for dom_buffer bytes
+  bool evaluation_started = false;
+
   void Fail(Status status) {
     error = std::move(status);
     state = State::kFailed;
+  }
+
+  ~Impl() {
+    if (governor != nullptr) governor->ReleaseArenaBytes(&dom_lease);
   }
 };
 
 MultiQueryRun::MultiQueryRun(std::vector<const CompiledQuery*> queries,
                              std::unique_ptr<ByteSource> input,
-                             std::vector<std::ostream*> outs)
+                             std::vector<std::ostream*> outs,
+                             RunGovernor* governor)
     : impl_(std::make_unique<Impl>()) {
   impl_->queries = std::move(queries);
   impl_->outs = std::move(outs);
+  impl_->governor = governor;
   Status valid = ValidateBatch(impl_->queries, impl_->outs);
   if (!valid.ok()) {
     impl_->Fail(std::move(valid));
@@ -987,6 +1121,7 @@ MultiQueryRun::MultiQueryRun(std::vector<const CompiledQuery*> queries,
   impl_->demux = std::make_unique<SharedScanDemux>(
       std::move(input), impl_->queries.front()->options().scanner,
       &impl_->tags, dfa_inputs);
+  impl_->demux->set_governor(governor);
   for (const CompiledQuery* query : impl_->queries) {
     auto ctx = std::make_unique<BatchQueryContext>(&query->analyzed(),
                                                    &impl_->tags,
@@ -1016,6 +1151,17 @@ MultiQueryRun::State MultiQueryRun::Step() {
   if (im.mode == EngineMode::kNaiveDom) {
     char chunk[1 << 16];
     while (true) {
+      if (im.governor != nullptr) {
+        Status check = im.governor->Check();
+        if (check.ok()) {
+          check = im.governor->UpdateArenaBytes(&im.dom_lease,
+                                                im.dom_buffer.size());
+        }
+        if (!check.ok()) {
+          im.Fail(std::move(check));
+          return im.state;
+        }
+      }
       ByteSource::ReadResult r = im.dom_source->Read(chunk, sizeof(chunk));
       if (r.state == ByteSource::ReadState::kWouldBlock) {
         im.state = State::kStalled;
@@ -1032,7 +1178,9 @@ MultiQueryRun::State MultiQueryRun::Step() {
       }
       break;  // EOF: the document is complete
     }
+    im.evaluation_started = true;
     MultiQueryEngine engine;
+    engine.set_governor(im.governor);
     Result<MultiQueryStats> stats =
         engine.Execute(im.queries, std::string_view(im.dom_buffer), im.outs);
     if (!stats.ok()) {
@@ -1057,12 +1205,14 @@ MultiQueryRun::State MultiQueryRun::Step() {
 
   // Scan complete: the replay log holds the full union-projected stream,
   // so no evaluator can stall. Run them all.
+  im.evaluation_started = true;
   im.stats.projection = SummarizeMergedProjection(im.trees);
   for (size_t i = 0; i < im.queries.size(); ++i) {
     BatchQueryContext* ctx = im.contexts[i].get();
     Result<ExecStats> stats = EvaluateOne(
         im.queries[i]->analyzed(), im.queries[i]->options(), *ctx,
-        [&im, ctx] { im.demux->Detach(ctx); }, im.outs[i], im.mode);
+        [&im, ctx] { im.demux->Detach(ctx); }, im.outs[i], im.mode,
+        /*capture=*/nullptr, im.governor);
     if (!stats.ok()) {
       im.Fail(stats.status());
       return im.state;
@@ -1081,6 +1231,10 @@ MultiQueryRun::State MultiQueryRun::Step() {
 }
 
 MultiQueryRun::State MultiQueryRun::state() const { return impl_->state; }
+
+bool MultiQueryRun::evaluation_started() const {
+  return impl_->evaluation_started;
+}
 
 Status MultiQueryRun::status() const {
   return impl_->state == State::kFailed ? impl_->error : Status::Ok();

@@ -149,6 +149,16 @@ class MultiQueryEngine {
       const std::vector<std::ostream*>& outs,
       const ShardOptions& shard_options) const;
 
+  /// Installs a resource governor for subsequent executions: the shared
+  /// scan, the shard workers and every evaluator then check the deadline,
+  /// cancellation and the arena/replay/output budgets at their existing
+  /// checkpoints. A sharded run whose scan trips a *resource* budget falls
+  /// back to the serial single-scan path under a fresh child attempt (the
+  /// serial replay log trims as the lone stream advances, so it can fit
+  /// where N simultaneous shard arenas did not). Null (the default)
+  /// governs nothing. Not owned; must outlive the runs.
+  void set_governor(RunGovernor* governor) { governor_ = governor; }
+
  private:
   Result<MultiQueryStats> ExecuteStreamingBatch(
       const std::vector<const CompiledQuery*>& queries,
@@ -158,6 +168,8 @@ class MultiQueryEngine {
       const std::vector<const CompiledQuery*>& queries,
       std::unique_ptr<ByteSource> input,
       const std::vector<std::ostream*>& outs) const;
+
+  RunGovernor* governor_ = nullptr;
 };
 
 /// Resumable batched execution over a readiness-aware source: the control
@@ -191,10 +203,13 @@ class MultiQueryRun {
   /// Validates like MultiQueryEngine::Execute; on a validation error the
   /// run starts in kFailed with status() set. All three engine modes are
   /// supported (kNaiveDom drains the source incrementally and parses once
-  /// at EOF).
+  /// at EOF). `governor`, when non-null, bounds the run: every pump and
+  /// evaluator checkpoint consults it, and a trip fails the run with its
+  /// typed status. Not owned; must outlive the run.
   MultiQueryRun(std::vector<const CompiledQuery*> queries,
                 std::unique_ptr<ByteSource> input,
-                std::vector<std::ostream*> outs);
+                std::vector<std::ostream*> outs,
+                RunGovernor* governor = nullptr);
   ~MultiQueryRun();
 
   MultiQueryRun(const MultiQueryRun&) = delete;
@@ -208,6 +223,11 @@ class MultiQueryRun {
   State state() const;
   /// The execution error when state() == kFailed.
   Status status() const;
+  /// True once any evaluator has started (output may have been written).
+  /// The admission layer's split-retry consults this: a resource trip
+  /// during the scan phase is retryable (nothing was emitted yet), one
+  /// after evaluation began is not.
+  bool evaluation_started() const;
   /// The source's readiness descriptor (-1: not pollable, just retry).
   int ReadyFd() const;
   /// Moves the collected statistics out; valid exactly once, after kDone.

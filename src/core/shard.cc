@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "analysis/shard_classifier.h"
+#include "common/budget.h"
 #include "core/event_filter.h"
 #include "xml/fd_source.h"
 
@@ -243,7 +244,7 @@ void ScanShard(std::string_view doc, const ShardSlice& slice,
                const std::vector<MergedDfaInput>& dfa_inputs,
                SymbolTable* tags, const ShardOptions& options,
                ShardScanResult* result, size_t shard_index,
-               ShardAbort* abort) {
+               ShardAbort* abort, RunGovernor* governor) {
   // Synthetic wrappers: attribute-free tags, so each contributes exactly
   // one scanner event in either attribute mode, and no newlines, so the
   // slice's line numbers stay document-accurate.
@@ -284,19 +285,37 @@ void ScanShard(std::string_view doc, const ShardSlice& slice,
 
   uint64_t scan_index = 0;
   uint64_t stall_spins = 0;
+  uint64_t arena_lease = 0;
+  uint64_t replay_lease = 0;
+  // A governor trip here fails this shard AND pulses the shared cancel
+  // token, so every sibling's next checkpoint observes the same canonical
+  // reason — the in-order sweep then reports one deterministic error.
+  auto fail = [&](Status status) {
+    result->status = std::move(status);
+    if (abort != nullptr) abort->Fail(shard_index);
+  };
   while (true) {
     if (abort != nullptr && abort->ShouldAbort(shard_index)) {
       result->status =
           IoError("shard scan cancelled after an earlier shard failed");
       break;
     }
+    if (governor != nullptr) {
+      Status check = governor->Check();
+      if (!check.ok()) {
+        fail(std::move(check));
+        break;
+      }
+    }
     XmlEvent event;
     Status next = scanner.Next(&event);
     if (IsWouldBlock(next)) {
       int fd = scanner.ReadyFd();
       if (fd >= 0) {
-        // Bounded wait so an abort signalled meanwhile is still noticed.
-        WaitReadable(fd, /*timeout_ms=*/20);
+        // Bounded wait so an abort (or a deadline armed on the governor)
+        // signalled meanwhile is still noticed.
+        WaitReadable(fd, governor != nullptr ? governor->BoundedWaitMs(20)
+                                             : 20);
       } else {
         // Non-pollable source: WaitReadable(-1, ...) has no fd to poll, so
         // back off here — yield while the stall looks transient, then
@@ -307,19 +326,25 @@ void ScanShard(std::string_view doc, const ShardSlice& slice,
           std::this_thread::sleep_for(std::chrono::microseconds(200));
         }
       }
+      if (governor != nullptr) {
+        // The wait may have ended on the deadline, not on data.
+        Status check = governor->Check(/*force_clock=*/true);
+        if (!check.ok()) {
+          fail(std::move(check));
+          break;
+        }
+      }
       continue;
     }
     stall_spins = 0;
     if (!next.ok()) {
-      result->status = next;
-      if (abort != nullptr) abort->Fail(shard_index);
+      fail(std::move(next));
       break;
     }
     const uint64_t index = scan_index++;
     Result<ProjectedEventFilter::Action> action = filter.Apply(event);
     if (!action.ok()) {
-      result->status = action.status();
-      if (abort != nullptr) abort->Fail(shard_index);
+      fail(action.status());
       break;
     }
     if (*action == ProjectedEventFilter::Action::kSkip) continue;
@@ -336,9 +361,30 @@ void ScanShard(std::string_view doc, const ShardSlice& slice,
     out.scan_index = index;
     if (!event.text.empty()) {
       uint32_t chunk;  // shard logs are dropped wholesale: handle unused
-      out.text = result->arena.Append(event.text, &chunk);
+      // Checked append: identical to Append unless the fault harness armed
+      // the ArenaFaultInjector, whose injected failure surfaces as the
+      // run's typed resource error.
+      if (!result->arena.AppendChecked(event.text, &out.text, &chunk)) {
+        Status failed = ResourceExhaustedError(
+            "replay arena allocation failed (injected fault)");
+        fail(governor != nullptr ? governor->TripExternal(std::move(failed))
+                                 : std::move(failed));
+        break;
+      }
     }
     result->log.push_back(out);
+    if (governor != nullptr) {
+      Status charged = governor->UpdateArenaBytes(
+          &arena_lease, result->arena.stats().bytes_live);
+      if (charged.ok()) {
+        charged =
+            governor->UpdateReplayEvents(&replay_lease, result->log.size());
+      }
+      if (!charged.ok()) {
+        fail(std::move(charged));
+        break;
+      }
+    }
   }
 
   result->scanner_events = scan_index;

@@ -165,6 +165,8 @@ struct ShardScanResult {
   uint64_t dfa_states = 0;
 };
 
+class RunGovernor;
+
 /// Scans one slice: synthetic wrappers + slice bytes through a private
 /// scanner and merged-DFA prefilter (one MergedDfa per call — Transition
 /// memoizes in place and is not thread-safe), appending surviving events
@@ -173,13 +175,16 @@ struct ShardScanResult {
 /// bounded poll/yield so a shared abort (a failure in an earlier shard,
 /// signalled via `abort`) is noticed promptly; an aborted scan returns
 /// with an error status the in-order sweep never reports (the earlier
-/// shard's own error surfaces first).
+/// shard's own error surfaces first). `governor`, when non-null, turns
+/// every event into a cooperative checkpoint (deadline, cross-worker
+/// cancellation) and charges this shard's log/arena against the shared
+/// replay/arena ledgers — a trip cancels every sibling worker promptly.
 void ScanShard(std::string_view doc, const ShardSlice& slice,
                const ScannerOptions& scanner_options,
                const std::vector<MergedDfaInput>& dfa_inputs,
                SymbolTable* tags, const ShardOptions& options,
                ShardScanResult* result, size_t shard_index = 0,
-               ShardAbort* abort = nullptr);
+               ShardAbort* abort = nullptr, RunGovernor* governor = nullptr);
 
 }  // namespace gcx
 

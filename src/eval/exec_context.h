@@ -18,6 +18,7 @@
 #include <utility>
 
 #include "buffer/buffer_tree.h"
+#include "common/budget.h"
 #include "common/status.h"
 #include "common/symbol_table.h"
 #include "projection/projector.h"
@@ -64,6 +65,17 @@ class StreamExecContext final : public ExecContext {
   StreamProjector& projector() { return projector_; }
   XmlScanner& scanner() { return scanner_; }
 
+  ~StreamExecContext() override {
+    if (governor_ != nullptr) governor_->ReleaseArenaBytes(&arena_lease_);
+  }
+
+  /// Installs the run's resource governor: every Pull becomes a
+  /// cooperative checkpoint (deadline, cancellation, output cap, buffer
+  /// bytes against the arena budget) and readiness waits are bounded by
+  /// the remaining deadline. Null (the default) leaves the pull loop
+  /// byte-identical to ungoverned execution.
+  void set_governor(RunGovernor* governor) { governor_ = governor; }
+
   /// The evaluator cannot suspend mid-expression, so the solo loop turns a
   /// would-block from the (resumable) scanner into a readiness wait and
   /// retries: the scanner rewound to the event boundary, Advance() is
@@ -72,11 +84,23 @@ class StreamExecContext final : public ExecContext {
   /// happens one level up, in the admission scheduler (core/admission.h).
   Result<bool> Pull() override {
     while (true) {
+      if (governor_ != nullptr) {
+        GCX_RETURN_IF_ERROR(governor_->CheckAll());
+        GCX_RETURN_IF_ERROR(governor_->UpdateArenaBytes(
+            &arena_lease_, buffer_.stats().bytes_current));
+      }
       Result<bool> more = projector_.Advance();
       if (more.ok() || !IsWouldBlock(more.status())) return more;
       // A kError wait (bad descriptor, poll failure) falls through to the
       // retry: the read itself then surfaces the real failure.
-      WaitReadable(scanner_.ReadyFd(), /*timeout_ms=*/-1);
+      WaitReadable(scanner_.ReadyFd(),
+                   governor_ != nullptr ? governor_->BoundedWaitMs(-1) : -1);
+      if (governor_ != nullptr) {
+        // The wait may have ended because the deadline ran out, not
+        // because data arrived: force a clocked check so a stalled source
+        // cannot spin pull/wait past the deadline.
+        GCX_RETURN_IF_ERROR(governor_->CheckAll(/*force_clock=*/true));
+      }
     }
   }
 
@@ -85,6 +109,8 @@ class StreamExecContext final : public ExecContext {
   BufferTree buffer_;
   XmlScanner scanner_;
   StreamProjector projector_;
+  RunGovernor* governor_ = nullptr;
+  uint64_t arena_lease_ = 0;
 };
 
 }  // namespace gcx

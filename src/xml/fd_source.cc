@@ -1,5 +1,7 @@
 #include "xml/fd_source.h"
 
+#include "common/budget.h"
+
 #include <cerrno>
 #include <cstring>
 #include <ctime>
@@ -139,24 +141,51 @@ WaitStatus WaitAnyReadable(const std::vector<int>& fds, int timeout_ms) {
   return PollLoop(polls.data(), polls.size(), timeout_ms);
 }
 
-Status ReadAll(ByteSource* source, std::string* out) {
+Status ReadAll(ByteSource* source, std::string* out,
+               RunGovernor* governor) {
   char chunk[1 << 16];
+  uint64_t arena_lease = 0;
   while (true) {
+    if (governor != nullptr) {
+      Status checked = governor->Check();
+      if (!checked.ok()) {
+        governor->ReleaseArenaBytes(&arena_lease);
+        return checked;
+      }
+      checked = governor->UpdateArenaBytes(&arena_lease, out->size());
+      if (!checked.ok()) {
+        governor->ReleaseArenaBytes(&arena_lease);
+        return checked;
+      }
+    }
     ByteSource::ReadResult r = source->Read(chunk, sizeof(chunk));
     switch (r.state) {
       case ByteSource::ReadState::kOk:
         out->append(chunk, r.bytes);
         break;
-      case ByteSource::ReadState::kWouldBlock:
-        if (WaitReadable(source->ReadyFd(), /*timeout_ms=*/-1) ==
+      case ByteSource::ReadState::kWouldBlock: {
+        int timeout_ms =
+            governor != nullptr ? governor->BoundedWaitMs(-1) : -1;
+        if (WaitReadable(source->ReadyFd(), timeout_ms) ==
             WaitStatus::kError) {
+          if (governor != nullptr) governor->ReleaseArenaBytes(&arena_lease);
           return IoError(std::string("poll failed waiting for input: ") +
                          std::strerror(errno));
         }
+        if (governor != nullptr) {
+          Status checked = governor->Check(/*force_clock=*/true);
+          if (!checked.ok()) {
+            governor->ReleaseArenaBytes(&arena_lease);
+            return checked;
+          }
+        }
         break;
+      }
       case ByteSource::ReadState::kEof:
+        if (governor != nullptr) governor->ReleaseArenaBytes(&arena_lease);
         return Status::Ok();
       case ByteSource::ReadState::kError:
+        if (governor != nullptr) governor->ReleaseArenaBytes(&arena_lease);
         return IoError(std::string("source read error: ") +
                        std::strerror(r.error));
     }

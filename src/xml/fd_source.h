@@ -75,10 +75,16 @@ WaitStatus WaitReadable(int fd, int timeout_ms);
 /// WaitReadable.
 WaitStatus WaitAnyReadable(const std::vector<int>& fds, int timeout_ms);
 
+class RunGovernor;
+
 /// Drains `source` to EOF into `*out`, waiting on readiness across stalls
 /// (the blocking convenience for consumers that need the whole document,
-/// e.g. the DOM engines).
-Status ReadAll(ByteSource* source, std::string* out);
+/// e.g. the DOM engines). With a governor, waits are bounded by the
+/// remaining deadline and the materialized bytes are charged against the
+/// arena budget, so a stalled or oversized source surfaces a typed error
+/// instead of hanging or growing without limit.
+Status ReadAll(ByteSource* source, std::string* out,
+               RunGovernor* governor = nullptr);
 
 }  // namespace gcx
 

@@ -158,6 +158,11 @@ Status XmlScanner::Fail(const std::string& message) {
   return ParseError(full);
 }
 
+Status XmlScanner::FailTokenTooLong(const char* what) {
+  return Fail(std::string(what) + " exceeds the token size limit of " +
+              std::to_string(options_.max_token_bytes) + " bytes");
+}
+
 Status XmlScanner::SkipSpace() {
   while (true) {
     int c = Peek();
@@ -330,6 +335,9 @@ Status XmlScanner::ScanName(std::string_view* name) {
   } else {
     *name = std::string_view(buffer_.data() + start, buf_pos_ - start);
   }
+  if (options_.max_token_bytes > 0 && name->size() > options_.max_token_bytes) {
+    return FailTokenTooLong("name");
+  }
   return Status::Ok();
 }
 
@@ -414,6 +422,10 @@ Status XmlScanner::ScanAttributeValue(size_t* len) {
       GCX_RETURN_IF_ERROR(AppendEntity(&spill_));
     } else {
       spill_.push_back(static_cast<char>(c));
+    }
+    if (options_.max_token_bytes > 0 &&
+        spill_.size() - off > options_.max_token_bytes) {
+      return FailTokenTooLong("attribute value");
     }
   }
   *len = spill_.size() - off;
@@ -557,6 +569,15 @@ Status XmlScanner::ScanCdata() {
     } else {
       brackets = 0;
     }
+    // Cap check past the terminator allowance: once the accumulated bytes
+    // exceed cap + 3, the section's text exceeds the cap even if "]]>"
+    // completes on the very next byte — a section of exactly cap bytes
+    // still passes.
+    if (options_.max_token_bytes > 0 &&
+        (spill_.size() - spill_off) + (buf_pos_ - start) >
+            options_.max_token_bytes + 3) {
+      return FailTokenTooLong("CDATA section");
+    }
   }
   size_t len;
   if (spilled) {
@@ -633,11 +654,21 @@ Status XmlScanner::ScanText() {
       continue;
     }
     // Tight chunk loop: stop bytes are '<' (token end) and '&' (entity).
+    // With a token cap the segment is clamped to one byte past the cap, so
+    // an oversized node fails at the same byte (and line) no matter how
+    // refills or stalls sliced the input.
     const char* base = buffer_.data();
     size_t pos = buf_pos_;
+    size_t scan_end = buf_end_;
+    const uint64_t cap = options_.max_token_bytes;
+    if (cap > 0) {
+      uint64_t so_far = (spill_.size() - spill_off) + (pos - start);
+      uint64_t allow = so_far > cap ? 0 : cap + 1 - so_far;
+      if (allow < scan_end - pos) scan_end = pos + static_cast<size_t>(allow);
+    }
     uint64_t bytes = 0;
     int newlines = 0;
-    while (pos < buf_end_) {
+    while (pos < scan_end) {
       char c = base[pos];
       if (c == '<' || c == '&') break;
       newlines += c == '\n' ? 1 : 0;
@@ -647,6 +678,9 @@ Status XmlScanner::ScanText() {
     buf_pos_ = pos;
     bytes_consumed_ += bytes;
     line_ += newlines;
+    if (cap > 0 && (spill_.size() - spill_off) + (pos - start) > cap) {
+      return FailTokenTooLong("text node");
+    }
     if (pos >= buf_end_) continue;  // chunk exhausted: spill + refill above
     if (base[pos] == '<') break;
     // Entity: everything so far moves to the spill, the entity decodes
@@ -663,6 +697,12 @@ Status XmlScanner::ScanText() {
     text = std::string_view(spill_).substr(spill_off);
   } else {
     text = std::string_view(buffer_.data() + start, buf_pos_ - start);
+  }
+  if (options_.max_token_bytes > 0 &&
+      text.size() > options_.max_token_bytes) {
+    // Entity decoding can overshoot the cap right before EOF or a stop
+    // byte; the in-loop clamp cannot see those bytes.
+    return FailTokenTooLong("text node");
   }
   if (text.empty()) return Status::Ok();
   if (options_.skip_whitespace_text && IsAllWhitespace(text)) {

@@ -110,6 +110,13 @@ struct ScannerOptions {
   /// its error messages carry document-accurate positions. Does not affect
   /// tokenization or batch compatibility.
   int start_line = 1;
+  /// Maximum decoded size in bytes of one token (text node, CDATA section,
+  /// name, attribute value); 0 = unlimited. A token past the cap fails the
+  /// scan with a ParseError naming the cap — the defense against
+  /// pathological single-token documents, and the bound that keeps the
+  /// would-block re-scan cost O(cap) per stall. Affects which documents
+  /// tokenize, so it participates in batch compatibility.
+  uint64_t max_token_bytes = 0;
 };
 
 /// Incremental well-formedness-checking tokenizer.
@@ -191,6 +198,8 @@ class XmlScanner {
   void Bump(char c);
 
   Status Fail(const std::string& message);
+  /// ParseError for a token past options_.max_token_bytes.
+  Status FailTokenTooLong(const char* what);
 
   /// Interns through the scanner-local cache (no lock on a hit).
   TagId InternTag(std::string_view name);

@@ -1,5 +1,7 @@
 #include "xml/writer.h"
 
+#include "common/budget.h"
+
 #include <string>
 #include <string_view>
 
@@ -53,9 +55,14 @@ void XmlWriter::MaybeFlush() {
   if (buffer_.size() >= kFlushBytes) Flush();
 }
 
+void XmlWriter::Account(size_t n) {
+  bytes_written_ += n;
+  if (governor_ != nullptr) governor_->AddOutputBytes(n);
+}
+
 void XmlWriter::Write(std::string_view bytes) {
   buffer_.append(bytes);
-  bytes_written_ += bytes.size();
+  Account(bytes.size());
   MaybeFlush();
 }
 
@@ -63,7 +70,7 @@ void XmlWriter::StartElement(std::string_view name) {
   buffer_ += '<';
   buffer_.append(name);
   buffer_ += '>';
-  bytes_written_ += name.size() + 2;
+  Account(name.size() + 2);
   open_offsets_.push_back(open_names_.size());
   open_names_.append(name);
   MaybeFlush();
@@ -81,14 +88,14 @@ void XmlWriter::EndElement(std::string_view name) {
   buffer_ += '/';
   buffer_.append(name);
   buffer_ += '>';
-  bytes_written_ += name.size() + 3;
+  Account(name.size() + 3);
   MaybeFlush();
 }
 
 void XmlWriter::Text(std::string_view text) {
   size_t before = buffer_.size();
   AppendEscaped(text, &buffer_);
-  bytes_written_ += buffer_.size() - before;
+  Account(buffer_.size() - before);
   MaybeFlush();
 }
 

@@ -13,6 +13,8 @@
 
 namespace gcx {
 
+class RunGovernor;
+
 /// Escapes `text` for use as XML character data (&, <, >).
 std::string EscapeText(std::string_view text);
 
@@ -53,9 +55,15 @@ class XmlWriter {
   /// Total bytes written (buffered bytes included).
   uint64_t bytes_written() const { return bytes_written_; }
 
+  /// Mirrors every written byte into `governor`'s output ledger so the
+  /// run's cooperative checkpoints see an up-to-date total (enforcement
+  /// happens at the checkpoints, not here — the writer stays infallible).
+  void set_governor(RunGovernor* governor) { governor_ = governor; }
+
  private:
   void Write(std::string_view bytes);
   void MaybeFlush();
+  void Account(size_t n);
 
   std::ostream* out_;
   std::string buffer_;
@@ -64,6 +72,7 @@ class XmlWriter {
   std::string open_names_;
   std::vector<size_t> open_offsets_;
   uint64_t bytes_written_ = 0;
+  RunGovernor* governor_ = nullptr;
 };
 
 }  // namespace gcx

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -692,6 +693,122 @@ TEST(AdmissionScheduling, AsyncOpenerFailureFailsTheRunCleanly) {
   ASSERT_TRUE(controller.Submit("<r>{ count(/a) }</r>", {}, "ok", &out2).ok());
   ASSERT_TRUE(controller.Run().ok());
   EXPECT_EQ(out2.str(), "<r>1</r>");
+}
+
+// --- resource governance: deadline watchdog & graceful degradation -----------
+
+TEST(AdmissionGovernance, DeadlineWatchdogReapsANeverReadyBatch) {
+  // Liveness regression: a batch parked on a pipe whose writer never sends
+  // a byte used to park the scheduler forever (WaitAnyReadable with no
+  // deadline). With a run deadline the watchdog must reap the parked batch
+  // and fail the run with the typed error, within deadline + grace.
+  QueryCache cache;
+  AdmissionLimits limits;
+  limits.budget.deadline_ms = 250;
+  AdmissionController controller(&cache, limits);
+  int feed_fd = RegisterPipeDocument(&controller, "never");
+  std::ostringstream out;
+  ASSERT_TRUE(
+      controller.Submit("<r>{ count(/a/b) }</r>", {}, "never", &out).ok());
+
+  auto start = std::chrono::steady_clock::now();
+  auto run = controller.Run();
+  auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  ASSERT_FALSE(run.ok());
+  EXPECT_TRUE(IsDeadlineExceeded(run.status()));
+  EXPECT_EQ(run.status().ToString(),
+            "DeadlineExceeded: run deadline of 250 ms exceeded");
+  EXPECT_LT(elapsed_ms, 250 + 100)
+      << "parked run overshot the deadline by more than the grace period";
+  EXPECT_GE(controller.stats().watchdog_reaps, 1u);
+  ::close(feed_fd);
+}
+
+TEST(AdmissionGovernance, ReplayTrippedBatchSplitsDownToSingletonsAndFinishes) {
+  // Graceful degradation: a stored-document batch whose shared replay log
+  // trips the memory budget during the pump phase (no output yet) is
+  // re-formed at half size from the same cursor, bottoming out in solo
+  // singleton runs that carry no replay log at all — the run completes
+  // with correct output and never stalls or crashes.
+  std::string doc = "<a>";
+  for (int i = 0; i < 300; ++i) {
+    doc += "<b><c>payload-" + std::to_string(i) + "</c></b>";
+  }
+  doc += "</a>";
+  const std::vector<std::string> queries = {
+      "<r>{ count(//c) }</r>",
+      "<r>{ for $x in /a/b return $x }</r>",
+      "<r>{ sum(/a/b/c) }</r>",
+      "<r>{ count(/a/b) }</r>",
+  };
+  QueryCache cache;
+  AdmissionLimits limits;
+  limits.budget.max_replay_log_events = 5;  // any real batch trips this
+  AdmissionController controller(&cache, limits);
+  controller.RegisterDocument("doc", doc);
+  std::vector<std::ostringstream> outs(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(controller.Submit(queries[i], {}, "doc", &outs[i]).ok());
+  }
+  auto run = controller.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->queries, queries.size());
+  EXPECT_EQ(run->queries_shed, 0u);
+  EXPECT_GE(controller.stats().budget_splits, 1u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(outs[i].str(), SoloRun(queries[i], doc)) << i;
+  }
+}
+
+TEST(AdmissionGovernance, OutputCappedSingletonsAreShedWithATypedRejection) {
+  // Backoff bottoming out: with singleton batches and an output budget no
+  // result fits in, every query is shed with the typed rejection — the run
+  // itself still completes (never a stall, never a crash) and reports the
+  // first shed error.
+  const std::string doc = "<a><b>payload</b><b>payload</b></a>";
+  QueryCache cache;
+  AdmissionLimits limits;
+  limits.max_batch_queries = 1;
+  limits.budget.max_output_bytes = 2;
+  AdmissionController controller(&cache, limits);
+  controller.RegisterDocument("doc", doc);
+  std::ostringstream o1, o2;
+  ASSERT_TRUE(
+      controller.Submit("<r>{ for $x in /a/b return $x }</r>", {}, "doc", &o1)
+          .ok());
+  ASSERT_TRUE(controller.Submit("<s>{ count(/a/b) }</s>", {}, "doc", &o2).ok());
+  auto run = controller.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->queries_shed, 2u);
+  ASSERT_FALSE(run->first_shed_error.ok());
+  EXPECT_TRUE(IsResourceExhausted(run->first_shed_error));
+  EXPECT_EQ(run->first_shed_error.ToString(),
+            "ResourceExhausted: output byte budget of 2 bytes exceeded");
+  EXPECT_GE(controller.stats().budget_sheds, 2u);
+}
+
+TEST(AdmissionGovernance, UnbudgetedRunsAreUnaffectedByGovernancePlumbing) {
+  // A default (empty) budget must leave the admission path byte-identical
+  // to the pre-governor behavior.
+  const std::string doc = "<a><b>1</b><b>2</b></a>";
+  QueryCache cache;
+  AdmissionController controller(&cache);
+  controller.RegisterDocument("doc", doc);
+  std::ostringstream o1, o2;
+  ASSERT_TRUE(
+      controller.Submit("<r>{ for $x in /a/b return $x }</r>", {}, "doc", &o1)
+          .ok());
+  ASSERT_TRUE(controller.Submit("<s>{ count(/a/b) }</s>", {}, "doc", &o2).ok());
+  auto run = controller.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->queries_shed, 0u);
+  EXPECT_EQ(o1.str(), SoloRun("<r>{ for $x in /a/b return $x }</r>", doc));
+  EXPECT_EQ(o2.str(), SoloRun("<s>{ count(/a/b) }</s>", doc));
+  EXPECT_EQ(controller.stats().budget_splits, 0u);
+  EXPECT_EQ(controller.stats().budget_sheds, 0u);
+  EXPECT_EQ(controller.stats().watchdog_reaps, 0u);
 }
 
 }  // namespace

@@ -296,7 +296,7 @@ TEST_F(CliTest, MalformedQueryInBatchFailsCleanlyAndNamesTheQuery) {
   RunResult r = Shell("echo '<a><b/></a>' | " + BinaryPath() +
                       " -q '<r>{ count(/a/b) }</r>'"
                       " -q '<r>{ broken' -q '<r/>' - 2>&1");
-  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.exit_code, 3);
   EXPECT_NE(r.output.find("compile error in query 2 of 3"), std::string::npos)
       << r.output;
   // The well-formed first query must not have produced output.
@@ -312,7 +312,7 @@ TEST_F(CliTest, MalformedQueryFileInBatchNamesThePath) {
   RunResult r = Shell("echo '<a/>' | " + BinaryPath() +
                       " -q '<r>{ count(/a) }</r>' -q " + dir +
                       "/bad.xq - 2>&1");
-  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.exit_code, 3);
   EXPECT_NE(r.output.find("bad.xq"), std::string::npos) << r.output;
 }
 
@@ -598,6 +598,95 @@ TEST_F(CliTest, ShardedBatchStatsReportPerShardArenaPeaks) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
   EXPECT_NE(r.output.find("shard arena peaks:"), std::string::npos)
       << r.output;
+}
+
+// --- resource governance: budget flags & the exit-code contract --------------
+//
+// Exit codes: 0 success, 1 runtime error, 2 usage error, 3 compile error,
+// 4 deadline/resource rejection (including queries shed by admission).
+
+TEST_F(CliTest, CompileErrorExitsThree) {
+  RunResult r = Shell("echo '<a/>' | " + BinaryPath() +
+                      " -q '<r>{ for $x in }</r>' - 2>&1");
+  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_NE(r.output.find("compile error"), std::string::npos) << r.output;
+}
+
+TEST_F(CliTest, RuntimeErrorStaysExitOne) {
+  RunResult r = Shell("echo '<a><b></a>' | " + BinaryPath() +
+                      " -q '<r>{ count(/a/b) }</r>' - 2>/dev/null");
+  EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST_F(CliTest, OutputBudgetTripExitsFour) {
+  RunResult r = Shell("echo '<a><b>payload</b><b>payload</b></a>' | " +
+                      BinaryPath() +
+                      " -q '<r>{ for $x in /a/b return $x }</r>'"
+                      " --max-output-bytes=2 - 2>&1 >/dev/null");
+  EXPECT_EQ(r.exit_code, 4);
+  EXPECT_NE(r.output.find("output byte budget of 2 bytes exceeded"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST_F(CliTest, GenerousBudgetLeavesOutputAndExitUntouched) {
+  RunResult r = Shell("echo '<a><b>hi</b></a>' | " + BinaryPath() +
+                      " -q '<r>{ for $x in /a/b return $x }</r>'"
+                      " --deadline-ms=60000 --max-arena-bytes=100000000"
+                      " --max-output-bytes=100000000 -");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output, "<r><b>hi</b></r>\n");
+}
+
+TEST_F(CliTest, DeadlineOnStalledFifoExitsFourPromptly) {
+  // A FIFO whose writer holds the stream open but never sends a byte: the
+  // run must terminate with the typed deadline error shortly after the
+  // deadline instead of hanging. The shell holds the write end open for
+  // longer than the deadline, then gives up.
+  std::string dir = ::testing::TempDir();
+  std::string fifo = dir + "/gcx_stall_fifo";
+  std::string cmd = "rm -f " + fifo + " && mkfifo " + fifo +
+                    " && (sleep 3 > " + fifo + " &) && " + BinaryPath() +
+                    " -q '<r>{ count(/a) }</r>' --follow --deadline-ms=300 " +
+                    fifo + " 2>&1 >/dev/null";
+  RunResult r = Shell(cmd);
+  EXPECT_EQ(r.exit_code, 4);
+  EXPECT_NE(r.output.find("run deadline of 300 ms exceeded"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST_F(CliTest, AdmissionShedReportsTypedErrorAndExitsFour) {
+  RunResult r = Shell("echo '<a><b>payload</b></a>' | " + BinaryPath() +
+                      " -q '<r>{ for $x in /a/b return $x }</r>'"
+                      " --admission --max-output-bytes=2 - 2>&1 >/dev/null");
+  EXPECT_EQ(r.exit_code, 4);
+  EXPECT_NE(r.output.find("queries shed"), std::string::npos) << r.output;
+}
+
+TEST_F(CliTest, BudgetFlagsRejectNegativeValues) {
+  for (const char* flag :
+       {"--deadline-ms=-1", "--max-arena-bytes=-5", "--max-output-bytes=-2"}) {
+    RunResult r = Shell("echo '<a/>' | " + BinaryPath() + " -q '<r/>' " +
+                        flag + " - 2>/dev/null");
+    EXPECT_EQ(r.exit_code, 2) << flag;
+  }
+}
+
+TEST_F(CliTest, BudgetTripStillDumpsMetricsWithRobustnessCounters) {
+  std::string dir = ::testing::TempDir();
+  std::string metrics = dir + "/robustness_metrics.json";
+  RunResult r = Shell("echo '<a><b>payload</b></a>' | " + BinaryPath() +
+                      " -q '<r>{ for $x in /a/b return $x }</r>'"
+                      " --max-output-bytes=2 --metrics-json=" + metrics +
+                      " - 2>/dev/null >/dev/null");
+  EXPECT_EQ(r.exit_code, 4);
+  std::ifstream in(metrics);
+  ASSERT_TRUE(in.good()) << "metrics file missing after a budget trip";
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"robustness\""), std::string::npos) << json;
+  EXPECT_NE(json.find("resource_trips_total"), std::string::npos) << json;
 }
 
 }  // namespace

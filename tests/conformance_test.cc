@@ -117,6 +117,18 @@ std::vector<Case> LoadCorpus() {
   return cases;
 }
 
+/// Per-case option overrides. The err_oversized_token_* family exists to
+/// pin the scanner's token-cap error text, so those cases run with a
+/// 16 KiB cap (their fixtures hold ~20 KB tokens); everything else keeps
+/// the engine defaults (cap off).
+EngineOptions CaseOptions(const Case& c, const EngineOptions& base) {
+  EngineOptions options = base;
+  if (c.name.rfind("err_oversized_token", 0) == 0) {
+    options.scanner.max_token_bytes = 16384;
+  }
+  return options;
+}
+
 class ConformanceTest : public ::testing::TestWithParam<Case> {};
 
 TEST_P(ConformanceTest, AllConfigsMatchGolden) {
@@ -127,7 +139,8 @@ TEST_P(ConformanceTest, AllConfigsMatchGolden) {
   // The four configurations of the paper's Table 1 column set, shared with
   // the benchmark harness.
   for (const NamedEngineConfig& config : StandardEngineConfigs()) {
-    auto compiled = CompiledQuery::Compile(c.query, config.options);
+    auto compiled =
+        CompiledQuery::Compile(c.query, CaseOptions(c, config.options));
     ASSERT_TRUE(compiled.ok())
         << c.name << " [" << config.name
         << "]: " << compiled.status().ToString();
@@ -187,7 +200,8 @@ TEST_P(ConformanceTest, OneByteReadsMatchGolden) {
   const Case& c = GetParam();
   ASSERT_TRUE(c.complete) << c.name;
   for (const NamedEngineConfig& config : StandardEngineConfigs()) {
-    auto compiled = CompiledQuery::Compile(c.query, config.options);
+    auto compiled =
+        CompiledQuery::Compile(c.query, CaseOptions(c, config.options));
     ASSERT_TRUE(compiled.ok()) << c.name;
     Engine engine;
     std::ostringstream out;
@@ -222,7 +236,8 @@ TEST_P(ConformanceTest, WouldBlockReadsMatchGolden) {
   ASSERT_TRUE(c.complete) << c.name;
   for (size_t n : {size_t{1}, size_t{7}}) {
     for (const NamedEngineConfig& config : StandardEngineConfigs()) {
-      auto compiled = CompiledQuery::Compile(c.query, config.options);
+      auto compiled =
+        CompiledQuery::Compile(c.query, CaseOptions(c, config.options));
       ASSERT_TRUE(compiled.ok()) << c.name;
       Engine engine;
       std::ostringstream out;
@@ -429,7 +444,7 @@ TEST(ConformanceMultiQuery, ErrorCasesFailTheBatchWithTheExpectedText) {
     if (!c.is_error || !c.complete) continue;
     // Batch the case with itself: the shared scan must surface the same
     // error text the solo run produces.
-    auto compiled = CompiledQuery::Compile(c.query, {});
+    auto compiled = CompiledQuery::Compile(c.query, CaseOptions(c, {}));
     ASSERT_TRUE(compiled.ok()) << c.name;
     std::ostringstream o1, o2;
     MultiQueryEngine engine;
@@ -469,7 +484,8 @@ TEST(ConformanceSharded, ShardedCorpusMatchesGoldensUnderAllConfigs) {
     for (const NamedEngineConfig& config : StandardEngineConfigs()) {
       for (const Case& c : corpus) {
         if (!c.complete) continue;
-        auto compiled = CompiledQuery::Compile(c.query, config.options);
+        auto compiled =
+        CompiledQuery::Compile(c.query, CaseOptions(c, config.options));
         ASSERT_TRUE(compiled.ok()) << c.name;
         MultiQueryEngine engine;
         std::ostringstream out;
@@ -570,9 +586,20 @@ TEST(ConformanceSharded, BatchedShardedGroupsMatchGoldens) {
 }
 
 // The acceptance floor: the corpus must not silently shrink.
-TEST(ConformanceCorpus, HasAtLeast60Cases) {
-  EXPECT_GE(LoadCorpus().size(), 60u)
+TEST(ConformanceCorpus, HasAtLeast65Cases) {
+  EXPECT_GE(LoadCorpus().size(), 65u)
       << "conformance corpus in " << CorpusDir() << " is too small";
+}
+
+TEST(ConformanceCorpus, HasTruncationAndOversizedTokenFamilies) {
+  size_t truncated = 0;
+  size_t oversized = 0;
+  for (const Case& c : LoadCorpus()) {
+    if (c.name.rfind("err_truncated_", 0) == 0) ++truncated;
+    if (c.name.rfind("err_oversized_token_", 0) == 0) ++oversized;
+  }
+  EXPECT_GE(truncated, 3u) << "truncated-input error cases must stay";
+  EXPECT_GE(oversized, 2u) << "token-cap error cases must stay";
 }
 
 TEST(ConformanceCorpus, HasErrorPathCases) {

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "xml/scanner.h"
 
@@ -45,6 +46,88 @@ class WouldBlockEveryNSource : public ByteSource {
   size_t pos_ = 0;
   bool ready_ = false;
   uint64_t stalls_ = 0;
+};
+
+/// One scripted step of a FaultInjectingSource.
+struct FaultOp {
+  enum class Kind {
+    kRead,   ///< deliver at most `bytes` bytes (a short read)
+    kStall,  ///< report would-block `count` times (a stall burst)
+    kError,  ///< report a read error with `error_errno`
+    kEof,    ///< report EOF now, even with bytes remaining (premature EOF)
+  };
+  Kind kind = Kind::kRead;
+  size_t bytes = 0;
+  size_t count = 1;
+  int error_errno = 0;
+
+  static FaultOp Read(size_t bytes) {
+    return {Kind::kRead, bytes, 1, 0};
+  }
+  static FaultOp Stall(size_t count = 1) {
+    return {Kind::kStall, 0, count, 0};
+  }
+  static FaultOp Error(int error_errno) {
+    return {Kind::kError, 0, 1, error_errno};
+  }
+  static FaultOp Eof() { return {Kind::kEof, 0, 1, 0}; }
+};
+
+/// ByteSource driven by a fault script: each Read() consumes the next step
+/// — short reads, stall bursts, scripted mid-stream read errors, premature
+/// EOF. Once the script is exhausted the source delivers the remaining
+/// bytes normally and then a clean EOF, so a script can corrupt any prefix
+/// of the stream and leave the tail honest. Deterministic by construction:
+/// the same (data, script) pair always produces the same Read() sequence,
+/// which is what lets the robustness sweep assert error-text stability by
+/// running every scripted case twice.
+class FaultInjectingSource : public ByteSource {
+ public:
+  FaultInjectingSource(std::string data, std::vector<FaultOp> script)
+      : data_(std::move(data)), script_(std::move(script)) {}
+
+  ReadResult Read(char* buffer, size_t capacity) override {
+    while (next_op_ < script_.size()) {
+      FaultOp& op = script_[next_op_];
+      switch (op.kind) {
+        case FaultOp::Kind::kRead: {
+          ++next_op_;
+          size_t len = std::min({op.bytes, capacity, data_.size() - pos_});
+          if (len == 0) continue;  // nothing left: fall through to the next op
+          std::memcpy(buffer, data_.data() + pos_, len);
+          pos_ += len;
+          return ReadResult::Ok(len);
+        }
+        case FaultOp::Kind::kStall:
+          ++stalls_;
+          if (--op.count == 0) ++next_op_;
+          return ReadResult::WouldBlock();
+        case FaultOp::Kind::kError:
+          ++next_op_;
+          ++errors_;
+          return ReadResult::Error(op.error_errno);
+        case FaultOp::Kind::kEof:
+          // Sticky: a premature EOF ends the stream for good.
+          return ReadResult::Eof();
+      }
+    }
+    size_t len = std::min(capacity, data_.size() - pos_);
+    if (len == 0) return ReadResult::Eof();
+    std::memcpy(buffer, data_.data() + pos_, len);
+    pos_ += len;
+    return ReadResult::Ok(len);
+  }
+
+  uint64_t stalls() const { return stalls_; }
+  uint64_t errors() const { return errors_; }
+
+ private:
+  std::string data_;
+  std::vector<FaultOp> script_;
+  size_t next_op_ = 0;
+  size_t pos_ = 0;
+  uint64_t stalls_ = 0;
+  uint64_t errors_ = 0;
 };
 
 }  // namespace gcx

@@ -46,6 +46,16 @@
 //   --metrics-json=FILE  dump one JSON snapshot of the process-wide metrics
 //                     registry (scanner/projector/buffer/cache/admission/
 //                     shard families) after the run; FILE '-' = stdout
+//   --deadline-ms=N   wall-clock deadline for the whole run; a run (even
+//                     one parked on a stalled stream) terminates with a
+//                     typed deadline error shortly after N ms
+//   --max-arena-bytes=N   cap on live replay/buffer arena bytes; exceeding
+//                     it fails (or, under --admission, degrades) the run
+//   --max-output-bytes=N  cap on total result bytes written
+//
+// Exit codes: 0 success; 1 runtime error; 2 usage error; 3 compile error;
+// 4 deadline exceeded or a resource budget tripped (including queries shed
+// by admission degradation).
 //   --trace           dump the buffer after every input token (Fig. 2 style)
 //   --mode=MODE       streaming (default) | project | dom
 //   --no-gc           disable signOff execution and purging
@@ -69,6 +79,7 @@
 
 #include <vector>
 
+#include "common/budget.h"
 #include "common/metrics.h"
 #include "core/admission.h"
 #include "core/engine.h"
@@ -114,6 +125,9 @@ void Help(const char* argv0) {
          "  --admission-arena-budget=N  adaptive replay-arena byte budget\n"
          "  --metrics-json=FILE   dump a metrics snapshot (JSON) after the\n"
          "                    run; '-' writes it to stdout\n"
+         "  --deadline-ms=N   wall-clock deadline for the run (exit 4)\n"
+         "  --max-arena-bytes=N   cap live replay/buffer arena bytes\n"
+         "  --max-output-bytes=N  cap total result bytes written\n"
          "  --shards=N        parallel sharded scan of a stored document\n"
          "  --follow          stream the input path (FIFO/device) as the\n"
          "                    writer produces it\n"
@@ -222,6 +236,7 @@ int main(int argc, char** argv) {
   bool admission_adaptive = false;
   uint64_t admission_arena_budget = 0;
   std::string metrics_json_path;
+  gcx::RunBudget budget;
   size_t shards = 1;
   bool follow = false;
   int input_fd = -1;
@@ -304,6 +319,28 @@ int main(int argc, char** argv) {
         std::cerr << "--metrics-json needs a file path or '-'\n";
         return 2;
       }
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      long long v = std::atoll(arg.c_str() + std::strlen("--deadline-ms="));
+      if (v < 0) {
+        std::cerr << "--deadline-ms needs a non-negative millisecond count\n";
+        return 2;
+      }
+      budget.deadline_ms = static_cast<uint64_t>(v);
+    } else if (arg.rfind("--max-arena-bytes=", 0) == 0) {
+      long long v = std::atoll(arg.c_str() + std::strlen("--max-arena-bytes="));
+      if (v < 0) {
+        std::cerr << "--max-arena-bytes needs a non-negative byte count\n";
+        return 2;
+      }
+      budget.max_arena_bytes = static_cast<uint64_t>(v);
+    } else if (arg.rfind("--max-output-bytes=", 0) == 0) {
+      long long v =
+          std::atoll(arg.c_str() + std::strlen("--max-output-bytes="));
+      if (v < 0) {
+        std::cerr << "--max-output-bytes needs a non-negative byte count\n";
+        return 2;
+      }
+      budget.max_output_bytes = static_cast<uint64_t>(v);
     } else if (arg.rfind("--shards=", 0) == 0) {
       long v = std::atol(arg.c_str() + std::strlen("--shards="));
       if (v < 1) {
@@ -411,6 +448,16 @@ int main(int argc, char** argv) {
     file << json;
     return true;
   };
+  // Runtime-failure exit: budget trips (deadline/resource) get their own
+  // exit code so callers can tell a shed/timed-out run from a hard error.
+  // Metrics are still dumped — a tripped run's robustness.* counters are
+  // exactly what a monitoring caller wants to see.
+  auto fail_exit = [&](const gcx::Status& status) -> int {
+    std::cerr << "error: " << status.ToString() << "\n";
+    print_cache_stats();
+    dump_metrics();
+    return gcx::IsBudgetError(status) ? 4 : 1;
+  };
 
   // Compile everything before running anything: a malformed query fails the
   // whole invocation cleanly — no query of the batch has produced output
@@ -427,7 +474,7 @@ int main(int argc, char** argv) {
                   << query_specs.size() << " (" << query_specs[i].label
                   << "): " << compiled.status().ToString() << "\n";
         print_cache_stats();
-        return 1;
+        return 3;
       }
       compiled_queries.push_back(std::move(compiled).value());
     }
@@ -522,6 +569,7 @@ int main(int argc, char** argv) {
     limits.shards = shards;
     limits.adaptive = admission_adaptive;
     limits.adaptive_arena_budget_bytes = admission_arena_budget;
+    limits.budget = budget;
     gcx::AdmissionController controller(&cache, limits);
     std::error_code ec;
     if (follow || input_fd >= 0) {
@@ -576,11 +624,7 @@ int main(int argc, char** argv) {
       }
     }
     auto run = controller.Run();
-    if (!run.ok()) {
-      std::cerr << "error: " << run.status().ToString() << "\n";
-      print_cache_stats();
-      return 1;
-    }
+    if (!run.ok()) return fail_exit(run.status());
     *out << "\n";
     if (stats_flag) {
       gcx::AdmissionStats a = controller.stats();
@@ -612,6 +656,15 @@ int main(int argc, char** argv) {
     }
     print_cache_stats();
     if (!dump_metrics()) return 1;
+    if (run->queries_shed > 0) {
+      // Degradation shed some queries rather than failing the run: the
+      // surviving results were emitted, but the invocation as a whole did
+      // not complete — report the first typed rejection and exit 4.
+      std::cerr << "error: " << run->first_shed_error.ToString() << " ("
+                << run->queries_shed << " of " << query_specs.size()
+                << " queries shed)\n";
+      return 4;
+    }
     return 0;
   }
 
@@ -628,6 +681,11 @@ int main(int argc, char** argv) {
       batch.push_back(&compiled);
     }
     gcx::MultiQueryEngine multi_engine;
+    std::unique_ptr<gcx::RunGovernor> governor;
+    if (budget.any()) {
+      governor = std::make_unique<gcx::RunGovernor>(budget);
+      multi_engine.set_governor(governor.get());
+    }
     // Stream each result straight to `out`: query i>0's wrapper inserts the
     // newline separator before its first byte.
     std::vector<std::unique_ptr<SeparatedBuf>> bufs;
@@ -657,11 +715,7 @@ int main(int argc, char** argv) {
     } else {
       batch_stats = multi_engine.Execute(batch, std::move(source), outs);
     }
-    if (!batch_stats.ok()) {
-      std::cerr << "error: " << batch_stats.status().ToString() << "\n";
-      print_cache_stats();
-      return 1;
-    }
+    if (!batch_stats.ok()) return fail_exit(batch_stats.status());
     *out << "\n";
     if (stats_flag) {
       const gcx::SharedScanStats& shared = batch_stats->shared;
@@ -709,6 +763,11 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  std::unique_ptr<gcx::RunGovernor> governor;
+  if (budget.any()) {
+    governor = std::make_unique<gcx::RunGovernor>(budget);
+    engine.set_governor(governor.get());
+  }
   gcx::Result<gcx::ExecStats> stats = gcx::EvalError("unreachable");
   if (project_only) {
     // Materialize the whole input (projection needs a string view here).
@@ -722,11 +781,7 @@ int main(int argc, char** argv) {
   } else {
     stats = engine.Execute(compiled_queries.front(), std::move(source), out);
   }
-  if (!stats.ok()) {
-    std::cerr << "error: " << stats.status().ToString() << "\n";
-    print_cache_stats();
-    return 1;
-  }
+  if (!stats.ok()) return fail_exit(stats.status());
   *out << "\n";
 
   if (stats_flag) {
