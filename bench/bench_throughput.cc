@@ -1,14 +1,21 @@
 // Event-pipeline throughput: MB/s, events/s and allocations/event.
 //
-// Two documents stress the two ends of the scan hot path:
-//   * xmark    — the paper's auction document (text-heavy, deep structure);
-//   * tagdense — synthetic markup that is almost all tags (64 distinct
-//                element names cycling at high frequency, tiny payloads),
-//                the worst case for per-event tag interning and DFA
-//                transition lookup.
+// Three documents stress the ends of the scan hot path:
+//   * xmark     — the paper's auction document (text-heavy, deep structure);
+//   * tagdense  — synthetic markup that is almost all tags (64 distinct
+//                 element names cycling at high frequency, tiny payloads),
+//                 the worst case for per-event tag interning and DFA
+//                 transition lookup;
+//   * textdense — ~2 KB prose runs between sparse tags, the best case for
+//                 the block-wise scan kernels.
 // Each document runs a single scan-bound query solo, and the XMark document
 // additionally runs an 8-query batch through the MultiQueryEngine (one
-// shared scan). Allocations are counted with the opt-in operator-new hook
+// shared scan). The textdense document and an attribute-rich tagdense
+// variant additionally run as scalar-vs-dispatched A/B pairs (see
+// RunBackendAb): same build and document, only the scan-kernel table
+// differs, outputs asserted byte-identical — the MB/s ratio within a pair
+// is the SIMD speedup CI gates on (>= 1.4x text-dense, >= 1.2x tag-dense).
+// Allocations are counted with the opt-in operator-new hook
 // from bench_util.h, over the Execute call only — steady-state
 // allocations/event is the pipeline's zero-copy health metric, asserted in
 // CI against a fixed ceiling (wall-clock gates would flake; alloc counts
@@ -25,19 +32,22 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/multi_engine.h"
+#include "xml/simd_scan.h"
 
 namespace {
 
 using gcx::bench::AllocCounterScope;
 
 struct Row {
-  std::string workload;  // "xmark" | "tagdense"
+  std::string workload;  // "xmark" | "tagdense" | "textdense"
   std::string mode;      // "solo" | "batch8"
+  std::string backend;   // scan-kernel family classifying the bytes
   uint64_t document_bytes = 0;
   uint64_t events = 0;
   uint64_t allocs = 0;
@@ -69,9 +79,51 @@ std::string GenerateTagDense(uint64_t records) {
   return out;
 }
 
-Row RunSolo(const std::string& workload, std::string_view query_text,
-            const std::string& doc, int reps) {
-  auto compiled = gcx::CompiledQuery::Compile(query_text, {});
+/// Attribute-rich tag-dense markup: the SVG/OOXML shape, where most bytes
+/// are attribute values (ids, class lists, content hashes) but the document
+/// is still all markup — no prose. Attribute values are consumed whole by
+/// the block-wise attribute scan, so this is the markup-dominated end of
+/// the kernel A/B.
+std::string GenerateTagDenseAttrs(uint64_t records) {
+  // Realistic vector-graphics path data: one multi-segment curve per record,
+  // the kind of attribute value SVG exports emit by the thousand.
+  static const char* kPathData =
+      "M10.5 20.25 L33.1 40.7 C45.2 51.9 60.4 63.0 72.8 55.5 "
+      "S88.1 42.3 95.6 30.2 L103.4 18.9 "
+      "C110.0 12.4 121.7 9.8 133.5 14.2 S150.9 28.6 158.3 41.0 "
+      "L166.1 53.8 C172.8 64.9 184.2 71.3 196.0 66.7 "
+      "S211.4 50.1 218.8 37.7 L226.6 25.3 Z";
+  std::string out = "<db>";
+  out.reserve(records * 480);
+  for (uint64_t i = 0; i < records; ++i) {
+    std::string tag = "t" + std::to_string(i % 64);
+    out += "<" + tag + " id=\"rec-" + std::to_string(i) +
+           "\" class=\"row published inventory-item region-east\""
+           " style=\"fill:none;stroke:#1a7f37;stroke-width:2.5;"
+           "stroke-linejoin:round;stroke-dasharray:4 2 1 2;"
+           "opacity:0.85;mix-blend-mode:multiply\" d=\"" +
+           kPathData +
+           "\" transform=\"matrix(0.9848,-0.1736,0.1736,0.9848,12.25,-4.5)\""
+           " checksum=\"9f86d081884c7d659a2feaa0c55ad015"
+           "a3bf4f1b2b0b822cd15d6c15b0f00a08\"><id>" +
+           std::to_string(i) + "</id></" + tag + ">";
+  }
+  out += "</db>";
+  return out;
+}
+
+/// The backend label for rows run with `options`: what DispatchedScanOps()
+/// resolved to, or "scalar" when the options force the reference kernels.
+std::string BackendLabel(const gcx::EngineOptions& options) {
+  if (options.scanner.force_scalar) return "scalar";
+  return gcx::SimdBackendName(gcx::DispatchedScanOps().backend);
+}
+
+Row RunSoloOpts(const std::string& workload, std::string_view query_text,
+                const std::string& doc, int reps,
+                const gcx::EngineOptions& options,
+                std::string* output = nullptr) {
+  auto compiled = gcx::CompiledQuery::Compile(query_text, options);
   if (!compiled.ok()) {
     std::fprintf(stderr, "compile failed: %s\n",
                  compiled.status().ToString().c_str());
@@ -80,15 +132,20 @@ Row RunSolo(const std::string& workload, std::string_view query_text,
   Row row;
   row.workload = workload;
   row.mode = "solo";
+  row.backend = BackendLabel(options);
   row.document_bytes = doc.size();
   row.seconds = 1e30;
   gcx::Engine engine;
   for (int rep = 0; rep < reps; ++rep) {
+    std::ostringstream captured;
     gcx::bench::NullBuffer null_buffer;
     std::ostream null_stream(&null_buffer);
+    std::ostream* out = output != nullptr
+                            ? static_cast<std::ostream*>(&captured)
+                            : &null_stream;
     AllocCounterScope allocs;
     auto start = std::chrono::steady_clock::now();
-    auto stats = engine.Execute(*compiled, doc, &null_stream);
+    auto stats = engine.Execute(*compiled, doc, out);
     double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
@@ -100,8 +157,61 @@ Row RunSolo(const std::string& workload, std::string_view query_text,
     row.seconds = std::min(row.seconds, seconds);
     row.events = stats->projector.events_read;
     row.allocs = allocs.count();
+    if (output != nullptr) *output = captured.str();
   }
   return row;
+}
+
+Row RunSolo(const std::string& workload, std::string_view query_text,
+            const std::string& doc, int reps) {
+  return RunSoloOpts(workload, query_text, doc, reps, {});
+}
+
+/// One scalar-vs-dispatched A/B pair on the same document, query, build and
+/// process: only the scan-kernel table differs. Aborts unless both runs
+/// produced byte-identical output (observational equivalence is the
+/// precondition for comparing their speeds at all).
+void RunBackendAb(const std::string& workload, std::string_view query_text,
+                  const std::string& doc, int reps, std::vector<Row>* rows) {
+  gcx::EngineOptions scalar_options;
+  scalar_options.scanner.force_scalar = true;
+  std::string scalar_output, dispatched_output;
+  rows->push_back(RunSoloOpts(workload, query_text, doc, reps, scalar_options,
+                              &scalar_output));
+  rows->push_back(
+      RunSoloOpts(workload, query_text, doc, reps, {}, &dispatched_output));
+  if (scalar_output != dispatched_output) {
+    std::fprintf(stderr,
+                 "%s: scalar and dispatched outputs differ — kernel bug\n",
+                 workload.c_str());
+    std::abort();
+  }
+}
+
+/// Text-dominated document: ~2 KB of prose per record between sparse tags —
+/// long uninterrupted runs for the block-wise text scan, the best case the
+/// SIMD kernels are built for (and the honest worst case for the scalar
+/// reference).
+std::string GenerateTextDense(uint64_t records) {
+  static const char* kSentences[] = {
+      "The auction closed before the reserve price was met, ",
+      "so the seller relisted the item with a lower opening bid.\n",
+      "Watchers received a digest of outbid notifications, ",
+      "most of which arrived long after the hammer had fallen.\n",
+  };
+  std::string out = "<library>";
+  out.reserve(records * 2200);
+  for (uint64_t i = 0; i < records; ++i) {
+    out += "<doc><title>doc";
+    out += std::to_string(i);
+    out += "</title><body>";
+    for (int s = 0; s < 40; ++s) {
+      out += kSentences[(i + static_cast<uint64_t>(s)) % 4];
+    }
+    out += "</body></doc>";
+  }
+  out += "</library>";
+  return out;
 }
 
 Row RunBatch8(const std::string& doc, int reps) {
@@ -124,6 +234,7 @@ Row RunBatch8(const std::string& doc, int reps) {
   Row row;
   row.workload = "xmark";
   row.mode = "batch8";
+  row.backend = BackendLabel({});
   row.document_bytes = doc.size();
   row.seconds = 1e30;
   gcx::MultiQueryEngine engine;
@@ -166,11 +277,12 @@ void WriteJson(const std::string& path, const std::vector<Row>& rows) {
     const Row& r = rows[i];
     std::fprintf(
         f,
-        "  {\"workload\": \"%s\", \"mode\": \"%s\", \"document_bytes\": %llu, "
+        "  {\"workload\": \"%s\", \"mode\": \"%s\", \"backend\": \"%s\", "
+        "\"document_bytes\": %llu, "
         "\"seconds\": %.6f, \"mb_per_s\": %.2f, \"events\": %llu, "
         "\"events_per_s\": %.0f, \"allocs\": %llu, "
         "\"allocs_per_event\": %.4f}%s\n",
-        r.workload.c_str(), r.mode.c_str(),
+        r.workload.c_str(), r.mode.c_str(), r.backend.c_str(),
         static_cast<unsigned long long>(r.document_bytes), r.seconds,
         r.mb_per_s(), static_cast<unsigned long long>(r.events),
         r.events_per_s(), static_cast<unsigned long long>(r.allocs),
@@ -190,9 +302,15 @@ int main() {
   using namespace gcx::bench;
 
   const int reps = 3;
+  // The A/B pairs gate CI on a ratio of two min-of-N timings, so a single
+  // noisy rep on a loaded runner can sink the whole gate; take more samples
+  // there than for the informational rows.
+  const int ab_reps = 7;
   std::string xmark = GenerateXMark(XMarkOptions{8 * BenchScale(), 42});
   std::string tagdense =
       GenerateTagDense(static_cast<uint64_t>(200000 * BenchScale()));
+  std::string textdense =
+      GenerateTextDense(static_cast<uint64_t>(4000 * BenchScale()));
 
   std::vector<Row> rows;
   rows.push_back(RunSolo("xmark", XMarkQ6(), xmark, reps));
@@ -201,12 +319,27 @@ int main() {
   // fast-skipped — raw tokenizer + DFA-transition speed.
   rows.push_back(
       RunSolo("tagdense", "<out>{ count(/db/t0/id) }</out>", tagdense, reps));
+  // Scalar-vs-dispatched A/B: same build, same document, outputs asserted
+  // byte-identical; the MB/s ratio between the two rows of a pair is the
+  // SIMD speedup CI gates on.
+  RunBackendAb("textdense", "<out>{ count(/library/doc/title) }</out>",
+               textdense, ab_reps, &rows);
+  // The A/B pair runs the attribute-rich shape of tag-dense markup (ids,
+  // class lists, content hashes — the SVG/OOXML-style worst case): still
+  // markup-dominated, but the attribute values are runs the block-wise
+  // attribute scan consumes whole, which is where the kernels can win on
+  // this end of the spectrum.
+  std::string tagdense_attrs =
+      GenerateTagDenseAttrs(static_cast<uint64_t>(60000 * BenchScale()));
+  RunBackendAb("tagdense", "<out>{ count(/db/t0/id) }</out>", tagdense_attrs,
+               ab_reps, &rows);
 
-  std::printf("%-10s | %-7s | %-8s | %-10s | %-12s | %-10s\n", "workload",
-              "mode", "MB", "MB/s", "events/s", "allocs/ev");
+  std::printf("%-10s | %-7s | %-7s | %-8s | %-10s | %-12s | %-10s\n",
+              "workload", "mode", "backend", "MB", "MB/s", "events/s",
+              "allocs/ev");
   for (const Row& r : rows) {
-    std::printf("%-10s | %-7s | %-8s | %10.1f | %12.0f | %10.4f\n",
-                r.workload.c_str(), r.mode.c_str(),
+    std::printf("%-10s | %-7s | %-7s | %-8s | %10.1f | %12.0f | %10.4f\n",
+                r.workload.c_str(), r.mode.c_str(), r.backend.c_str(),
                 HumanBytes(r.document_bytes).c_str(), r.mb_per_s(),
                 r.events_per_s(), r.allocs_per_event());
   }

@@ -1,0 +1,47 @@
+// Runtime CPU-feature detection for kernel dispatch (xml/simd_scan.h).
+//
+// One tiny, header-only surface so every future accelerated kernel family
+// (scan classification today; string compare, checksum, … tomorrow) asks
+// the same questions. Answers are what the *running* CPU supports, not what
+// the compiler targeted: backends compiled with function-level target
+// attributes are only entered when the matching probe returns true, so one
+// binary runs correctly from a baseline x86-64 VM to an AVX2 server.
+
+#ifndef GCX_COMMON_CPU_FEATURES_H_
+#define GCX_COMMON_CPU_FEATURES_H_
+
+namespace gcx {
+
+/// SSE2 is architectural baseline on x86-64 (every AMD64 CPU has it);
+/// false on every other architecture.
+inline bool CpuHasSse2() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// AVX2 requires a runtime probe even on x86-64 (Haswell/Excavator and
+/// later). __builtin_cpu_supports consults cpuid once and caches.
+inline bool CpuHasAvx2() {
+#if (defined(__x86_64__) || defined(_M_X64)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") > 0;
+#else
+  return false;
+#endif
+}
+
+/// Advanced SIMD (NEON) is architectural baseline on AArch64.
+inline bool CpuHasNeon() {
+#if defined(__aarch64__) || defined(_M_ARM64)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace gcx
+
+#endif  // GCX_COMMON_CPU_FEATURES_H_

@@ -7,6 +7,8 @@
 #include <string_view>
 #include <vector>
 
+#include "xml/simd_scan.h"
+
 namespace gcx {
 
 namespace {
@@ -24,10 +26,8 @@ std::string_view TrimWhitespace(std::string_view text) {
 }
 
 bool IsAllWhitespace(std::string_view text) {
-  for (char c : text) {
-    if (!IsXmlSpace(c)) return false;
-  }
-  return true;
+  const SimdScanOps& ops = DispatchedScanOps();
+  return ops.find_non_space(text.data(), text.size()) == text.size();
 }
 
 std::optional<double> ParseNumber(std::string_view text) {

@@ -140,7 +140,7 @@ Result<ExecStats> Engine::ExecuteStreaming(const CompiledQuery& query,
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  PublishExecStats(stats, GlobalMetrics());
+  PublishExecStats(stats, GlobalMetrics(), query.canonical_text());
 
   if (eval_options.execute_signoffs) {
     // Paper requirement (2): every assigned role was removed again.
@@ -196,7 +196,7 @@ Result<ExecStats> Engine::Project(const CompiledQuery& query,
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  PublishExecStats(stats, GlobalMetrics());
+  PublishExecStats(stats, GlobalMetrics(), query.canonical_text());
   return stats;
 }
 
@@ -227,7 +227,7 @@ Result<ExecStats> Engine::ExecuteNaiveDom(const CompiledQuery& query,
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  PublishExecStats(stats, GlobalMetrics());
+  PublishExecStats(stats, GlobalMetrics(), query.canonical_text());
   return stats;
 }
 

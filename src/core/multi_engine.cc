@@ -512,7 +512,9 @@ Result<MultiQueryStats> MultiQueryEngine::Execute(
       queries.front()->options().mode == EngineMode::kNaiveDom
           ? ExecuteDomBatch(queries, std::move(input), outs)
           : ExecuteStreamingBatch(queries, std::move(input), outs);
-  if (result.ok()) PublishMultiQueryStats(result.value(), GlobalMetrics());
+  if (result.ok()) {
+    PublishMultiQueryStats(result.value(), GlobalMetrics(), &queries);
+  }
   return result;
 }
 
@@ -1007,7 +1009,7 @@ Result<MultiQueryStats> MultiQueryEngine::ExecuteSharded(
   for (const ExecStats& per_query : result.per_query) {
     shared.events_demuxed += per_query.events_delivered;
   }
-  PublishMultiQueryStats(result, GlobalMetrics());
+  PublishMultiQueryStats(result, GlobalMetrics(), &queries);
   return result;
 }
 
@@ -1225,7 +1227,7 @@ MultiQueryRun::State MultiQueryRun::Step() {
   im.stats.shared.merged_dfa_states = im.demux->merged().num_states();
   // The kNaiveDom branch above published through engine.Execute already;
   // this is the only exit for the streaming pump.
-  PublishMultiQueryStats(im.stats, GlobalMetrics());
+  PublishMultiQueryStats(im.stats, GlobalMetrics(), &im.queries);
   im.state = State::kDone;
   return im.state;
 }

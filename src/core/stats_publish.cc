@@ -1,5 +1,9 @@
 #include "core/stats_publish.h"
 
+#include <cctype>
+#include <cstdio>
+#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -19,9 +23,53 @@ const std::vector<uint64_t>& OutputBytesBounds() {
   return *bounds;
 }
 
+/// Canonical query text → metric-name slug: a readable alphanumeric prefix
+/// plus an FNV-1a hash suffix, so two queries sharing a 40-char prefix
+/// still get distinct series and the name stays dot-free (dots would split
+/// the nested-JSON export).
+std::string QueryMetricSlug(std::string_view canonical) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : canonical) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  std::string slug;
+  slug.reserve(50);
+  bool last_was_sep = true;  // also swallows a leading separator run
+  for (char c : canonical.substr(0, 40)) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug += c;
+      last_was_sep = false;
+    } else if (!last_was_sep) {
+      slug += '_';
+      last_was_sep = true;
+    }
+  }
+  char suffix[12];
+  std::snprintf(suffix, sizeof(suffix), "_%08x",
+                static_cast<unsigned>(h ^ (h >> 32)));
+  return slug + suffix;
+}
+
+/// Cardinality guard for the query.* family: the first 64 distinct slugs
+/// get their own series, everything after folds into `_other`. Admission is
+/// process-wide and sticky — a registry reset (tests) does not revoke
+/// already-admitted slugs, which only errs on the generous side.
+bool AdmitQuerySlug(const std::string& slug) {
+  static constexpr size_t kMaxQuerySeries = 64;
+  static std::mutex* mu = new std::mutex;
+  static std::set<std::string>* admitted = new std::set<std::string>;
+  std::lock_guard<std::mutex> lock(*mu);
+  if (admitted->count(slug) > 0) return true;
+  if (admitted->size() >= kMaxQuerySeries) return false;
+  admitted->insert(slug);
+  return true;
+}
+
 }  // namespace
 
-void PublishExecStats(const ExecStats& stats, const MetricsSink& sink) {
+void PublishExecStats(const ExecStats& stats, const MetricsSink& sink,
+                      std::string_view query_text) {
   if (!sink.active()) return;
 
   MetricsSink engine = sink.Sub("engine");
@@ -32,6 +80,14 @@ void PublishExecStats(const ExecStats& stats, const MetricsSink& sink) {
                  static_cast<uint64_t>(stats.wall_seconds * 1000.0),
                  WallMsBounds());
   engine.Observe("run_output_bytes", stats.output_bytes, OutputBytesBounds());
+
+  if (!query_text.empty()) {
+    std::string slug = QueryMetricSlug(query_text);
+    if (!AdmitQuerySlug(slug)) slug = "_other";
+    sink.Sub("query").Sub(slug).Observe(
+        "wall_ms", static_cast<uint64_t>(stats.wall_seconds * 1000.0),
+        WallMsBounds());
+  }
 
   if (stats.scan_passes > 0) {
     // A private input pass happened (solo run). Batched per-query stats
@@ -65,7 +121,8 @@ void PublishExecStats(const ExecStats& stats, const MetricsSink& sink) {
 }
 
 void PublishMultiQueryStats(const MultiQueryStats& stats,
-                            const MetricsSink& sink) {
+                            const MetricsSink& sink,
+                            const std::vector<const CompiledQuery*>* queries) {
   if (!sink.active()) return;
 
   const SharedScanStats& shared = stats.shared;
@@ -98,8 +155,12 @@ void PublishMultiQueryStats(const MultiQueryStats& stats,
     }
   }
 
-  for (const ExecStats& per_query : stats.per_query) {
-    PublishExecStats(per_query, sink);
+  for (size_t i = 0; i < stats.per_query.size(); ++i) {
+    std::string_view query_text;
+    if (queries != nullptr && i < queries->size()) {
+      query_text = (*queries)[i]->canonical_text();
+    }
+    PublishExecStats(stats.per_query[i], sink, query_text);
   }
 }
 

@@ -34,14 +34,28 @@ namespace gcx {
 /// GlobalMetrics()). Solo runs carry scan_passes > 0 and contribute to
 /// scanner.*; per-query stats inside a batch have scan_passes == 0 and
 /// contribute only the evaluation-side families.
-void PublishExecStats(const ExecStats& stats, const MetricsSink& sink);
+///
+/// A non-empty `query_text` (the query's canonical text — see
+/// CompiledQuery::canonical_text(), so textual variants of the same query
+/// share one series) additionally records the run's wall time under
+/// `query.<slug>.wall_ms`, a per-query latency histogram. The slug is the
+/// sanitized text prefix plus a hash suffix; to keep the registry bounded,
+/// at most 64 distinct slugs are admitted per process and later arrivals
+/// fold into `query._other.wall_ms`.
+void PublishExecStats(const ExecStats& stats, const MetricsSink& sink,
+                      std::string_view query_text = {});
 
 /// Publishes a batched run: the shared scan under scanner.* / batch.*, the
 /// sharded-scan counters under shard.* (when stats.shared.shards > 0,
 /// including per-shard arena peaks as shard.<i>.arena_peak_bytes), then
-/// folds every per-query ExecStats via PublishExecStats.
+/// folds every per-query ExecStats via PublishExecStats. When `queries`
+/// (index-aligned with stats.per_query) is given, each fold carries its
+/// query's canonical text so the per-query latency histograms cover batched
+/// runs too.
 void PublishMultiQueryStats(const MultiQueryStats& stats,
-                            const MetricsSink& sink);
+                            const MetricsSink& sink,
+                            const std::vector<const CompiledQuery*>* queries =
+                                nullptr);
 
 }  // namespace gcx
 

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/strings.h"
 
 namespace gcx {
@@ -57,12 +58,19 @@ XmlScanner::XmlScanner(std::unique_ptr<ByteSource> source,
                        ScannerOptions options, SymbolTable* tags)
     : source_(std::move(source)),
       options_(options),
+      simd_(options.force_scalar ? &ScalarScanOps() : &DispatchedScanOps()),
       owned_tags_(tags == nullptr ? std::make_unique<SymbolTable>() : nullptr),
       tags_(tags != nullptr ? tags : owned_tags_.get()),
       buffer_(kBufferSize) {
   spill_.reserve(256);
   line_ = options_.start_line;
   cycle_line_ = options_.start_line;
+  // Record which backend scans are running on (last scanner constructed
+  // wins, which is the right answer for the homogeneous common case: all
+  // scanners of a process dispatch identically unless a caller forces
+  // scalar per-options).
+  GlobalMetrics().Sub("scanner").Set("simd_backend",
+                                     static_cast<uint64_t>(simd_->backend));
 }
 
 XmlScanner::Fill XmlScanner::Refill() {
@@ -165,16 +173,28 @@ Status XmlScanner::FailTokenTooLong(const char* what) {
 
 Status XmlScanner::SkipSpace() {
   while (true) {
-    int c = Peek();
-    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
-      Get();
-      continue;
+    if (buf_pos_ >= buf_end_) {
+      switch (Refill()) {
+        case Fill::kData:
+          break;
+        case Fill::kEof:
+          return Status::Ok();
+        case Fill::kWouldBlock:
+          // A stall mid-whitespace must propagate: simply returning would
+          // make the caller classify the NEXT byte (possibly more
+          // whitespace, once data arrives) as if the skip had completed.
+          return WouldBlockStatus();
+      }
     }
-    // A stall mid-whitespace must propagate: simply returning would make
-    // the caller classify the NEXT byte (possibly more whitespace, once
-    // data arrives) as if the skip had completed.
-    if (c == kNoDataChar) return WouldBlockStatus();
-    return Status::Ok();
+    // Bulk-skip the whitespace run block-wise, accounting lines after the
+    // fact instead of per byte.
+    const char* p = buffer_.data() + buf_pos_;
+    size_t n = buf_end_ - buf_pos_;
+    size_t run = simd_->find_non_space(p, n);
+    line_ += static_cast<int>(simd_->count_newlines(p, run));
+    buf_pos_ += run;
+    bytes_consumed_ += run;
+    if (run < n) return Status::Ok();
   }
 }
 
@@ -413,18 +433,43 @@ Status XmlScanner::ScanAttributeValue(size_t* len) {
   int quote = Get();
   if (quote == kNoDataChar) return WouldBlockStatus();
   if (quote != '"' && quote != '\'') return Fail("expected quoted value");
+  const uint64_t cap = options_.max_token_bytes;
   while (true) {
-    int c = Get();
-    if (c == kNoDataChar) return WouldBlockStatus();
-    if (c < 0) return Fail("unterminated attribute value");
-    if (c == quote) break;
-    if (c == '&') {
-      GCX_RETURN_IF_ERROR(AppendEntity(&spill_));
-    } else {
-      spill_.push_back(static_cast<char>(c));
+    if (buf_pos_ >= buf_end_) {
+      switch (Refill()) {
+        case Fill::kData:
+          break;
+        case Fill::kEof:
+          return Fail("unterminated attribute value");
+        case Fill::kWouldBlock:
+          return WouldBlockStatus();
+      }
     }
-    if (options_.max_token_bytes > 0 &&
-        spill_.size() - off > options_.max_token_bytes) {
+    // Bulk-copy the run up to the closing quote or the next entity. With a
+    // token cap the scan is clamped to one byte past the cap so an
+    // oversized value fails at the same byte (and line) no matter how
+    // refills or stalls sliced the input.
+    const char* p = buffer_.data() + buf_pos_;
+    size_t n = buf_end_ - buf_pos_;
+    if (cap > 0) {
+      uint64_t so_far = spill_.size() - off;
+      uint64_t allow = so_far > cap ? 0 : cap + 1 - so_far;
+      if (allow < n) n = static_cast<size_t>(allow);
+    }
+    size_t run = simd_->find_either(p, n, static_cast<char>(quote), '&');
+    spill_.append(p, run);
+    line_ += static_cast<int>(simd_->count_newlines(p, run));
+    buf_pos_ += run;
+    bytes_consumed_ += run;
+    if (cap > 0 && spill_.size() - off > cap) {
+      return FailTokenTooLong("attribute value");
+    }
+    if (run == n) continue;  // chunk (or cap clamp) exhausted
+    char c = p[run];
+    Bump(c);
+    if (c == static_cast<char>(quote)) break;
+    GCX_RETURN_IF_ERROR(AppendEntity(&spill_));
+    if (cap > 0 && spill_.size() - off > cap) {
       return FailTokenTooLong("attribute value");
     }
   }
@@ -522,15 +567,38 @@ Status XmlScanner::ScanComment() {
   if (d1 != '-' || d2 != '-') return Fail("malformed comment");
   int dashes = 0;
   while (true) {
-    int c = Get();
-    if (c == kNoDataChar) return WouldBlockStatus();
-    if (c < 0) return Fail("unterminated comment");
-    if (c == '-') {
-      ++dashes;
-    } else if (c == '>' && dashes >= 2) {
-      return Status::Ok();
-    } else {
-      dashes = 0;
+    if (buf_pos_ >= buf_end_) {
+      switch (Refill()) {
+        case Fill::kData:
+          break;
+        case Fill::kEof:
+          return Fail("unterminated comment");
+        case Fill::kWouldBlock:
+          return WouldBlockStatus();
+      }
+    }
+    // Block-skim to the next '-' (the terminator lead); the dash state
+    // machine only runs on the bytes at and after it. `dashes` carries
+    // across refills so a "--" / ">" split by a chunk boundary still
+    // terminates.
+    if (dashes == 0) {
+      const char* p = buffer_.data() + buf_pos_;
+      size_t run = simd_->find_byte(p, buf_end_ - buf_pos_, '-');
+      line_ += static_cast<int>(simd_->count_newlines(p, run));
+      buf_pos_ += run;
+      bytes_consumed_ += run;
+    }
+    while (buf_pos_ < buf_end_) {
+      char c = buffer_[buf_pos_];
+      Bump(c);
+      if (c == '-') {
+        ++dashes;
+      } else if (c == '>' && dashes >= 2) {
+        return Status::Ok();
+      } else {
+        dashes = 0;
+        break;  // back to block skimming
+      }
     }
   }
 }
@@ -550,7 +618,9 @@ Status XmlScanner::ScanCdata() {
   size_t spill_off = spill_.size();
   bool spilled = false;
   int brackets = 0;
-  while (true) {
+  const uint64_t cap = options_.max_token_bytes;
+  bool done = false;
+  while (!done) {
     if (buf_pos_ >= buf_end_) {
       spill_.append(buffer_.data() + start, buf_pos_ - start);
       spilled = true;
@@ -560,22 +630,44 @@ Status XmlScanner::ScanCdata() {
       start = buf_pos_;  // re-based by Refill
       continue;
     }
-    char c = buffer_[buf_pos_];
-    Bump(c);
-    if (c == ']') {
-      ++brackets;
-    } else if (c == '>' && brackets >= 2) {
-      break;
-    } else {
-      brackets = 0;
-    }
-    // Cap check past the terminator allowance: once the accumulated bytes
+    // Cap clamp past the terminator allowance: once the accumulated bytes
     // exceed cap + 3, the section's text exceeds the cap even if "]]>"
     // completes on the very next byte — a section of exactly cap bytes
-    // still passes.
-    if (options_.max_token_bytes > 0 &&
-        (spill_.size() - spill_off) + (buf_pos_ - start) >
-            options_.max_token_bytes + 3) {
+    // still passes. Clamping the block scan to that boundary keeps the
+    // failure byte (and line) identical to the per-byte reference.
+    size_t scan_end = buf_end_;
+    if (cap > 0) {
+      uint64_t so_far = (spill_.size() - spill_off) + (buf_pos_ - start);
+      uint64_t allow = so_far > cap + 3 ? 0 : cap + 4 - so_far;
+      if (allow < scan_end - buf_pos_) {
+        scan_end = buf_pos_ + static_cast<size_t>(allow);
+      }
+    }
+    // Block-skim to the next ']' (the terminator lead); the bracket state
+    // machine only runs on the bytes at and after it. `brackets` carries
+    // across refills so a "]]>" split by a chunk boundary still terminates.
+    if (brackets == 0) {
+      const char* p = buffer_.data() + buf_pos_;
+      size_t run = simd_->find_byte(p, scan_end - buf_pos_, ']');
+      line_ += static_cast<int>(simd_->count_newlines(p, run));
+      buf_pos_ += run;
+      bytes_consumed_ += run;
+    }
+    while (buf_pos_ < scan_end) {
+      char c = buffer_[buf_pos_];
+      Bump(c);
+      if (c == ']') {
+        ++brackets;
+      } else if (c == '>' && brackets >= 2) {
+        done = true;
+        break;
+      } else {
+        brackets = 0;
+        break;  // back to block skimming
+      }
+    }
+    if (done) break;
+    if (cap > 0 && (spill_.size() - spill_off) + (buf_pos_ - start) > cap + 3) {
       return FailTokenTooLong("CDATA section");
     }
   }
@@ -653,10 +745,12 @@ Status XmlScanner::ScanText() {
       if (fill == Fill::kEof) break;
       continue;
     }
-    // Tight chunk loop: stop bytes are '<' (token end) and '&' (entity).
-    // With a token cap the segment is clamped to one byte past the cap, so
-    // an oversized node fails at the same byte (and line) no matter how
-    // refills or stalls sliced the input.
+    // Block-wise chunk scan: stop bytes are '<' (token end) and '&'
+    // (entity); everything before the stop is bulk-consumed with its
+    // newlines counted after the fact. With a token cap the segment is
+    // clamped to one byte past the cap, so an oversized node fails at the
+    // same byte (and line) no matter how refills or stalls sliced the
+    // input.
     const char* base = buffer_.data();
     size_t pos = buf_pos_;
     size_t scan_end = buf_end_;
@@ -666,18 +760,11 @@ Status XmlScanner::ScanText() {
       uint64_t allow = so_far > cap ? 0 : cap + 1 - so_far;
       if (allow < scan_end - pos) scan_end = pos + static_cast<size_t>(allow);
     }
-    uint64_t bytes = 0;
-    int newlines = 0;
-    while (pos < scan_end) {
-      char c = base[pos];
-      if (c == '<' || c == '&') break;
-      newlines += c == '\n' ? 1 : 0;
-      ++pos;
-      ++bytes;
-    }
+    size_t run = simd_->find_either(base + pos, scan_end - pos, '<', '&');
+    line_ += static_cast<int>(simd_->count_newlines(base + pos, run));
+    pos += run;
     buf_pos_ = pos;
-    bytes_consumed_ += bytes;
-    line_ += newlines;
+    bytes_consumed_ += run;
     if (cap > 0 && (spill_.size() - spill_off) + (pos - start) > cap) {
       return FailTokenTooLong("text node");
     }

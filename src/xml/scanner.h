@@ -38,6 +38,7 @@
 #include "common/status.h"
 #include "common/symbol_table.h"
 #include "xml/event.h"
+#include "xml/simd_scan.h"
 
 namespace gcx {
 
@@ -117,6 +118,12 @@ struct ScannerOptions {
   /// would-block re-scan cost O(cap) per stall. Affects which documents
   /// tokenize, so it participates in batch compatibility.
   uint64_t max_token_bytes = 0;
+  /// Use the scalar scan kernels instead of the CPU-dispatched SIMD backend
+  /// (xml/simd_scan.h). The GCX_FORCE_SCALAR environment variable forces
+  /// the same process-wide. Every backend emits a byte-identical event
+  /// stream — this is purely a speed/debug knob and does not participate in
+  /// batch compatibility.
+  bool force_scalar = false;
 };
 
 /// Incremental well-formedness-checking tokenizer.
@@ -162,6 +169,10 @@ class XmlScanner {
 
   /// The table element names are interned into.
   SymbolTable& tags() { return *tags_; }
+
+  /// The scan-kernel backend this scanner classifies bytes with (scalar
+  /// when options.force_scalar or GCX_FORCE_SCALAR asked for it).
+  SimdBackend simd_backend() const { return simd_->backend; }
 
   /// Total bytes consumed from the source so far.
   uint64_t bytes_consumed() const { return bytes_consumed_; }
@@ -231,6 +242,8 @@ class XmlScanner {
 
   std::unique_ptr<ByteSource> source_;
   ScannerOptions options_;
+  /// Block-wise classification kernels (never null; see simd_backend()).
+  const SimdScanOps* simd_;
   std::unique_ptr<SymbolTable> owned_tags_;
   SymbolTable* tags_;
 

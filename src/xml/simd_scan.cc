@@ -1,0 +1,341 @@
+#include "xml/simd_scan.h"
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "common/cpu_features.h"
+
+// Vector backends compile per-function with target attributes (AVX2), so
+// the TU itself needs no special flags and the binary stays runnable on
+// baseline CPUs — only the dispatched pointers ever enter accelerated code.
+#if !defined(GCX_SIMD_OFF)
+#if defined(__x86_64__) || defined(_M_X64)
+#define GCX_SIMD_X86 1
+#include <emmintrin.h>
+#include <immintrin.h>
+#elif defined(__aarch64__) || defined(_M_ARM64)
+#define GCX_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+#endif
+
+namespace gcx {
+
+namespace {
+
+// --- scalar reference --------------------------------------------------------
+
+size_t ScalarFindByte(const char* p, size_t n, char c) {
+  for (size_t i = 0; i < n; ++i) {
+    if (p[i] == c) return i;
+  }
+  return n;
+}
+
+size_t ScalarFindEither(const char* p, size_t n, char a, char b) {
+  for (size_t i = 0; i < n; ++i) {
+    if (p[i] == a || p[i] == b) return i;
+  }
+  return n;
+}
+
+size_t ScalarFindNonSpace(const char* p, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    char c = p[i];
+    if (c != ' ' && c != '\t' && c != '\r' && c != '\n') return i;
+  }
+  return n;
+}
+
+size_t ScalarCountNewlines(const char* p, size_t n) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    count += p[i] == '\n' ? 1 : 0;
+  }
+  return count;
+}
+
+constexpr SimdScanOps kScalarOps = {
+    SimdBackend::kScalar,
+    ScalarFindByte,
+    ScalarFindEither,
+    ScalarFindNonSpace,
+    ScalarCountNewlines,
+};
+
+#if defined(GCX_SIMD_X86)
+
+// --- SSE2 (x86-64 architectural baseline) ------------------------------------
+
+inline uint32_t Eq16(__m128i v, char c) {
+  return static_cast<uint32_t>(
+      _mm_movemask_epi8(_mm_cmpeq_epi8(v, _mm_set1_epi8(c))));
+}
+
+size_t Sse2FindByte(const char* p, size_t n, char c) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+    uint32_t m = Eq16(v, c);
+    if (m != 0) return i + static_cast<size_t>(__builtin_ctz(m));
+  }
+  for (; i < n; ++i) {
+    if (p[i] == c) return i;
+  }
+  return n;
+}
+
+size_t Sse2FindEither(const char* p, size_t n, char a, char b) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+    uint32_t m = Eq16(v, a) | Eq16(v, b);
+    if (m != 0) return i + static_cast<size_t>(__builtin_ctz(m));
+  }
+  for (; i < n; ++i) {
+    if (p[i] == a || p[i] == b) return i;
+  }
+  return n;
+}
+
+size_t Sse2FindNonSpace(const char* p, size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+    uint32_t ws = Eq16(v, ' ') | Eq16(v, '\t') | Eq16(v, '\r') | Eq16(v, '\n');
+    uint32_t m = ~ws & 0xFFFFu;
+    if (m != 0) return i + static_cast<size_t>(__builtin_ctz(m));
+  }
+  for (; i < n; ++i) {
+    char c = p[i];
+    if (c != ' ' && c != '\t' && c != '\r' && c != '\n') return i;
+  }
+  return n;
+}
+
+size_t Sse2CountNewlines(const char* p, size_t n) {
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+    count += static_cast<size_t>(__builtin_popcount(Eq16(v, '\n')));
+  }
+  for (; i < n; ++i) {
+    count += p[i] == '\n' ? 1 : 0;
+  }
+  return count;
+}
+
+constexpr SimdScanOps kSse2Ops = {
+    SimdBackend::kSse2,
+    Sse2FindByte,
+    Sse2FindEither,
+    Sse2FindNonSpace,
+    Sse2CountNewlines,
+};
+
+// --- AVX2 (runtime-probed; functions carry their own target attribute) -------
+
+__attribute__((target("avx2"))) inline uint32_t Eq32(__m256i v, char c) {
+  return static_cast<uint32_t>(
+      _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, _mm256_set1_epi8(c))));
+}
+
+__attribute__((target("avx2"))) size_t Avx2FindByte(const char* p, size_t n,
+                                                    char c) {
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    uint32_t m = Eq32(v, c);
+    if (m != 0) return i + static_cast<size_t>(__builtin_ctz(m));
+  }
+  for (; i < n; ++i) {
+    if (p[i] == c) return i;
+  }
+  return n;
+}
+
+__attribute__((target("avx2"))) size_t Avx2FindEither(const char* p, size_t n,
+                                                      char a, char b) {
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    uint32_t m = Eq32(v, a) | Eq32(v, b);
+    if (m != 0) return i + static_cast<size_t>(__builtin_ctz(m));
+  }
+  for (; i < n; ++i) {
+    if (p[i] == a || p[i] == b) return i;
+  }
+  return n;
+}
+
+__attribute__((target("avx2"))) size_t Avx2FindNonSpace(const char* p,
+                                                        size_t n) {
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    uint32_t ws = Eq32(v, ' ') | Eq32(v, '\t') | Eq32(v, '\r') | Eq32(v, '\n');
+    uint32_t m = ~ws;
+    if (m != 0) return i + static_cast<size_t>(__builtin_ctz(m));
+  }
+  for (; i < n; ++i) {
+    char c = p[i];
+    if (c != ' ' && c != '\t' && c != '\r' && c != '\n') return i;
+  }
+  return n;
+}
+
+__attribute__((target("avx2"))) size_t Avx2CountNewlines(const char* p,
+                                                         size_t n) {
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    count += static_cast<size_t>(__builtin_popcount(Eq32(v, '\n')));
+  }
+  for (; i < n; ++i) {
+    count += p[i] == '\n' ? 1 : 0;
+  }
+  return count;
+}
+
+constexpr SimdScanOps kAvx2Ops = {
+    SimdBackend::kAvx2,
+    Avx2FindByte,
+    Avx2FindEither,
+    Avx2FindNonSpace,
+    Avx2CountNewlines,
+};
+
+#endif  // GCX_SIMD_X86
+
+#if defined(GCX_SIMD_NEON)
+
+// --- NEON (AArch64 architectural baseline) -----------------------------------
+//
+// AArch64 has no movemask; the standard substitute narrows each 16-byte
+// compare result to a 64-bit mask with 4 bits per lane (vshrn), so ctz/4
+// yields the first matching lane and popcount/4 the match count.
+
+inline uint64_t NibbleMask16(uint8x16_t eq) {
+  return vget_lane_u64(
+      vreinterpret_u64_u8(vshrn_n_u16(vreinterpretq_u16_u8(eq), 4)), 0);
+}
+
+size_t NeonFindByte(const char* p, size_t n, char c) {
+  const uint8x16_t needle = vdupq_n_u8(static_cast<uint8_t>(c));
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    uint8x16_t v = vld1q_u8(reinterpret_cast<const uint8_t*>(p + i));
+    uint64_t m = NibbleMask16(vceqq_u8(v, needle));
+    if (m != 0) return i + static_cast<size_t>(__builtin_ctzll(m)) / 4;
+  }
+  for (; i < n; ++i) {
+    if (p[i] == c) return i;
+  }
+  return n;
+}
+
+size_t NeonFindEither(const char* p, size_t n, char a, char b) {
+  const uint8x16_t na = vdupq_n_u8(static_cast<uint8_t>(a));
+  const uint8x16_t nb = vdupq_n_u8(static_cast<uint8_t>(b));
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    uint8x16_t v = vld1q_u8(reinterpret_cast<const uint8_t*>(p + i));
+    uint64_t m = NibbleMask16(vorrq_u8(vceqq_u8(v, na), vceqq_u8(v, nb)));
+    if (m != 0) return i + static_cast<size_t>(__builtin_ctzll(m)) / 4;
+  }
+  for (; i < n; ++i) {
+    if (p[i] == a || p[i] == b) return i;
+  }
+  return n;
+}
+
+size_t NeonFindNonSpace(const char* p, size_t n) {
+  const uint8x16_t sp = vdupq_n_u8(' ');
+  const uint8x16_t tab = vdupq_n_u8('\t');
+  const uint8x16_t cr = vdupq_n_u8('\r');
+  const uint8x16_t lf = vdupq_n_u8('\n');
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    uint8x16_t v = vld1q_u8(reinterpret_cast<const uint8_t*>(p + i));
+    uint8x16_t ws = vorrq_u8(vorrq_u8(vceqq_u8(v, sp), vceqq_u8(v, tab)),
+                             vorrq_u8(vceqq_u8(v, cr), vceqq_u8(v, lf)));
+    uint64_t m = ~NibbleMask16(ws);
+    if (m != 0) return i + static_cast<size_t>(__builtin_ctzll(m)) / 4;
+  }
+  for (; i < n; ++i) {
+    char c = p[i];
+    if (c != ' ' && c != '\t' && c != '\r' && c != '\n') return i;
+  }
+  return n;
+}
+
+size_t NeonCountNewlines(const char* p, size_t n) {
+  const uint8x16_t lf = vdupq_n_u8('\n');
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    uint8x16_t v = vld1q_u8(reinterpret_cast<const uint8_t*>(p + i));
+    // vceqq yields 0xFF per match; accumulating -(int8)0xFF == 1 per lane.
+    count += static_cast<size_t>(
+        vaddvq_u8(vandq_u8(vceqq_u8(v, lf), vdupq_n_u8(1))));
+  }
+  for (; i < n; ++i) {
+    count += p[i] == '\n' ? 1 : 0;
+  }
+  return count;
+}
+
+constexpr SimdScanOps kNeonOps = {
+    SimdBackend::kNeon,
+    NeonFindByte,
+    NeonFindEither,
+    NeonFindNonSpace,
+    NeonCountNewlines,
+};
+
+#endif  // GCX_SIMD_NEON
+
+}  // namespace
+
+const char* SimdBackendName(SimdBackend backend) {
+  switch (backend) {
+    case SimdBackend::kScalar:
+      return "scalar";
+    case SimdBackend::kSse2:
+      return "sse2";
+    case SimdBackend::kAvx2:
+      return "avx2";
+    case SimdBackend::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+const SimdScanOps& ScalarScanOps() { return kScalarOps; }
+
+bool SimdScalarForced() {
+  static const bool forced = [] {
+    const char* env = std::getenv("GCX_FORCE_SCALAR");
+    if (env == nullptr || env[0] == '\0') return false;
+    return !(env[0] == '0' && env[1] == '\0');
+  }();
+  return forced;
+}
+
+const SimdScanOps& DispatchedScanOps() {
+  static const SimdScanOps* const ops = []() -> const SimdScanOps* {
+    if (SimdScalarForced()) return &kScalarOps;
+#if defined(GCX_SIMD_X86)
+    if (CpuHasAvx2()) return &kAvx2Ops;
+    if (CpuHasSse2()) return &kSse2Ops;
+#elif defined(GCX_SIMD_NEON)
+    if (CpuHasNeon()) return &kNeonOps;
+#endif
+    return &kScalarOps;
+  }();
+  return *ops;
+}
+
+}  // namespace gcx

@@ -1,0 +1,70 @@
+// Block-wise byte-classification primitives for the scan hot loop.
+//
+// The scanner's inner loops (text runs, attribute values, CDATA, comments,
+// whitespace skipping) all reduce to "find the next structural byte in this
+// chunk, then bulk-account everything before it". This module provides that
+// primitive family behind one function-pointer table with SSE2/AVX2/NEON
+// backends selected by runtime CPU-feature dispatch (common/cpu_features.h)
+// and a scalar backend that doubles as the reference implementation — every
+// backend is observationally identical, byte for byte, so backend choice is
+// purely a speed knob and never participates in batch compatibility.
+//
+// Dispatch is resolved once per process. The GCX_FORCE_SCALAR environment
+// variable (any value except "0") pins DispatchedScanOps() to the scalar
+// table — the switch CI uses to prove both paths corpus-identical — and
+// ScannerOptions::force_scalar selects it per scanner without touching the
+// environment.
+
+#ifndef GCX_XML_SIMD_SCAN_H_
+#define GCX_XML_SIMD_SCAN_H_
+
+#include <cstddef>
+
+namespace gcx {
+
+/// Which kernel family a SimdScanOps table is built from. Numeric values
+/// are stable: the scanner publishes the active backend through the
+/// `scanner.simd_backend` metrics gauge.
+enum class SimdBackend : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+  kNeon = 3,
+};
+
+/// Human-readable backend name ("scalar", "sse2", "avx2", "neon").
+const char* SimdBackendName(SimdBackend backend);
+
+/// One backend's kernel table. The find_* kernels return the offset of the
+/// first matching byte in [p, p+n), or n when no byte matches; all kernels
+/// accept n == 0 (and then never dereference p).
+struct SimdScanOps {
+  SimdBackend backend;
+  /// First occurrence of `c`.
+  size_t (*find_byte)(const char* p, size_t n, char c);
+  /// First occurrence of `a` or `b`.
+  size_t (*find_either)(const char* p, size_t n, char a, char b);
+  /// First byte that is NOT XML whitespace (space, tab, CR, LF).
+  size_t (*find_non_space)(const char* p, size_t n);
+  /// Number of '\n' bytes in [p, p+n) — bulk line accounting for spans the
+  /// find kernels skimmed over.
+  size_t (*count_newlines)(const char* p, size_t n);
+};
+
+/// The scalar reference table (plain byte loops). Always available; the
+/// differential tests compare every other backend against it.
+const SimdScanOps& ScalarScanOps();
+
+/// True when GCX_FORCE_SCALAR is set in the environment (any value but
+/// "0"). Read once and cached for the process lifetime.
+bool SimdScalarForced();
+
+/// The best table the running CPU supports — AVX2 > SSE2 on x86-64, NEON
+/// on AArch64, scalar elsewhere — or the scalar table when SimdScalarForced()
+/// or the build compiled the vector backends out (GCX_SIMD_OFF). Resolved
+/// once; the returned reference is valid for the process lifetime.
+const SimdScanOps& DispatchedScanOps();
+
+}  // namespace gcx
+
+#endif  // GCX_XML_SIMD_SCAN_H_

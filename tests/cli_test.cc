@@ -559,6 +559,11 @@ TEST_F(CliTest, MetricsJsonToStdout) {
   EXPECT_NE(r.output.find("\"projector\""), std::string::npos) << r.output;
   EXPECT_NE(r.output.find("\"buffer\""), std::string::npos) << r.output;
   EXPECT_NE(r.output.find("\"runs_total\": 1"), std::string::npos) << r.output;
+  // The scan-kernel backend gauge (xml/simd_scan.h numeric values) and the
+  // per-query latency histogram keyed by canonical query text.
+  EXPECT_NE(r.output.find("\"simd_backend\""), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"query\""), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"wall_ms\""), std::string::npos) << r.output;
 }
 
 TEST_F(CliTest, MetricsJsonFileCoversAllLayersForShardedAdmissionRun) {

@@ -46,6 +46,7 @@
 #include "core/engine.h"
 #include "core/multi_engine.h"
 #include "test_sources.h"
+#include "xml/scanner.h"
 
 namespace gcx {
 namespace {
@@ -234,7 +235,11 @@ TEST_P(ConformanceTest, OneByteReadsMatchGolden) {
 TEST_P(ConformanceTest, WouldBlockReadsMatchGolden) {
   const Case& c = GetParam();
   ASSERT_TRUE(c.complete) << c.name;
-  for (size_t n : {size_t{1}, size_t{7}}) {
+  // 1 and 7 split every token; 15/16/17 and 63/64/65 straddle the SIMD
+  // kernels' 16-byte (SSE2/NEON) and 32/64-byte (AVX2, unrolled) block
+  // edges, so a resume landing mid-block is exercised at every alignment.
+  for (size_t n : {size_t{1}, size_t{7}, size_t{15}, size_t{16}, size_t{17},
+                   size_t{63}, size_t{64}, size_t{65}}) {
     for (const NamedEngineConfig& config : StandardEngineConfigs()) {
       auto compiled =
         CompiledQuery::Compile(c.query, CaseOptions(c, config.options));
@@ -258,6 +263,107 @@ TEST_P(ConformanceTest, WouldBlockReadsMatchGolden) {
           << "]: output diverges from golden under would-block reads (n=" << n
           << ")";
     }
+  }
+}
+
+// --- backend differential: forced-scalar vs CPU-dispatched kernels ----------
+//
+// The SIMD scan backends (xml/simd_scan.h) promise observational equivalence
+// with the scalar reference: byte-identical events, identical stats, and
+// identical error text (including the err_oversized_token_* and
+// err_truncated_* families, whose failing byte and line must not move when
+// blocks replace per-byte scanning). These tests drive the whole corpus
+// through both and compare everything.
+
+/// Serializes one full scan — event kinds, names, text payloads, line
+/// numbers, final counters, and the terminating status — into a single
+/// comparable string. Stalls (would-block) are retried transparently but
+/// counted, so the suspension pattern itself is part of the trace.
+std::string ScanTrace(const std::string& document, ScannerOptions options,
+                      bool force_scalar, size_t stall_every = 0) {
+  options.force_scalar = force_scalar;
+  std::unique_ptr<ByteSource> source =
+      stall_every == 0
+          ? std::unique_ptr<ByteSource>(std::make_unique<StringSource>(document))
+          : std::make_unique<WouldBlockEveryNSource>(document, stall_every);
+  XmlScanner scanner(std::move(source), options);
+  std::ostringstream trace;
+  while (true) {
+    XmlEvent event;
+    Status s = scanner.Next(&event);
+    if (IsWouldBlock(s)) continue;  // shim is ready again immediately
+    if (!s.ok()) {
+      trace << "!" << s.ToString();
+      break;
+    }
+    trace << "@" << scanner.line() << " ";
+    switch (event.kind) {
+      case XmlEvent::Kind::kStartElement:
+        trace << "<" << event.name() << " ";
+        break;
+      case XmlEvent::Kind::kEndElement:
+        trace << ">" << event.name() << " ";
+        break;
+      case XmlEvent::Kind::kText:
+        trace << "'" << event.text << "' ";
+        break;
+      case XmlEvent::Kind::kEndOfDocument:
+        break;
+    }
+    if (event.kind == XmlEvent::Kind::kEndOfDocument) break;
+  }
+  trace << "|bytes=" << scanner.bytes_consumed()
+        << "|stalls=" << scanner.stalls() << "|line=" << scanner.line();
+  return trace.str();
+}
+
+TEST_P(ConformanceTest, ForcedScalarScanTraceMatchesDispatched) {
+  const Case& c = GetParam();
+  ASSERT_TRUE(c.complete) << c.name;
+  ScannerOptions options = CaseOptions(c, {}).scanner;
+  // Blocking reads, plus stall injection at the SSE2 and AVX2 block widths:
+  // every mid-block checkpoint/rewind must replay to the same trace.
+  for (size_t stall : {size_t{0}, size_t{16}, size_t{32}}) {
+    EXPECT_EQ(ScanTrace(c.document, options, /*force_scalar=*/true, stall),
+              ScanTrace(c.document, options, /*force_scalar=*/false, stall))
+        << c.name << ": scan trace diverges between backends (stall_every="
+        << stall << ")";
+  }
+}
+
+TEST_P(ConformanceTest, ForcedScalarEngineRunMatchesDispatched) {
+  const Case& c = GetParam();
+  ASSERT_TRUE(c.complete) << c.name;
+  for (const NamedEngineConfig& config : StandardEngineConfigs()) {
+    EngineOptions scalar_options = CaseOptions(c, config.options);
+    scalar_options.scanner.force_scalar = true;
+    auto compiled_simd =
+        CompiledQuery::Compile(c.query, CaseOptions(c, config.options));
+    auto compiled_scalar = CompiledQuery::Compile(c.query, scalar_options);
+    ASSERT_TRUE(compiled_simd.ok() && compiled_scalar.ok()) << c.name;
+    Engine engine;
+    std::ostringstream out_simd, out_scalar;
+    auto stats_simd = engine.Execute(*compiled_simd, c.document, &out_simd);
+    auto stats_scalar =
+        engine.Execute(*compiled_scalar, c.document, &out_scalar);
+    ASSERT_EQ(stats_simd.ok(), stats_scalar.ok())
+        << c.name << " [" << config.name << "]";
+    if (!stats_simd.ok()) {
+      EXPECT_EQ(stats_simd.status().ToString(),
+                stats_scalar.status().ToString())
+          << c.name << " [" << config.name
+          << "]: error text diverges between backends";
+      continue;
+    }
+    EXPECT_EQ(out_simd.str(), out_scalar.str())
+        << c.name << " [" << config.name
+        << "]: output diverges between backends";
+    EXPECT_EQ(stats_simd->input_bytes, stats_scalar->input_bytes) << c.name;
+    EXPECT_EQ(stats_simd->output_bytes, stats_scalar->output_bytes) << c.name;
+    EXPECT_EQ(stats_simd->events_delivered, stats_scalar->events_delivered)
+        << c.name << " [" << config.name << "]";
+    EXPECT_EQ(stats_simd->peak_bytes, stats_scalar->peak_bytes)
+        << c.name << " [" << config.name << "]";
   }
 }
 
@@ -359,7 +465,7 @@ TEST(ConformanceMultiQuery, BatchedWouldBlockReadsMatchGoldens) {
   // blocking path under stall injection, for every engine configuration.
   std::vector<DocumentGroup> groups = GroupByDocument();
   ASSERT_FALSE(groups.empty());
-  for (size_t n : {size_t{1}, size_t{7}}) {
+  for (size_t n : {size_t{1}, size_t{7}, size_t{16}, size_t{64}}) {
     for (const NamedEngineConfig& config : StandardEngineConfigs()) {
       for (const DocumentGroup& group : groups) {
         if (group.cases.size() < 2) continue;  // solo covered above

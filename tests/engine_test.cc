@@ -8,6 +8,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/metrics.h"
 #include "core/engine.h"
 
 namespace gcx {
@@ -257,6 +258,33 @@ TEST(EngineInvariants, StatsArePopulated) {
   EXPECT_GT(stats->dfa_states, 0u);
   EXPECT_GT(stats->peak_bytes, 0u);
   EXPECT_GE(stats->wall_seconds, 0.0);
+}
+
+TEST(EngineInvariants, PerQueryLatencyHistogramAndBackendGaugePublished) {
+#ifdef GCX_METRICS_OFF
+  GTEST_SKIP() << "MetricsSink publishes are compiled out";
+#endif
+  auto compiled =
+      CompiledQuery::Compile("<r>{ count(/a/b) }</r>");
+  ASSERT_TRUE(compiled.ok());
+  Engine engine;
+  std::ostringstream out;
+  ASSERT_TRUE(engine.Execute(*compiled, "<a><b>x</b></a>", &out).ok());
+  auto snap = MetricsRegistry::Global().Snapshot();
+  // One latency series keyed by this query's canonical text: the slug is a
+  // sanitized prefix plus a hash, so probe by prefix instead of exact name.
+  bool found = false;
+  for (const auto& [name, value] : snap) {
+    if (name.rfind("query.", 0) == 0 &&
+        name.find(".wall_ms.count") != std::string::npos && value >= 1) {
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found) << "no query.<slug>.wall_ms series in the snapshot";
+  // The scanner published which scan-kernel backend classified its bytes.
+  ASSERT_EQ(snap.count("scanner.simd_backend"), 1u);
+  EXPECT_LE(snap.at("scanner.simd_backend"), 3u);
 }
 
 TEST(EngineInvariants, MalformedInputReportsError) {

@@ -1,0 +1,230 @@
+// Unit tests for the block-wise scan kernels (src/xml/simd_scan).
+//
+// The scalar table is the reference implementation; the differential tests
+// here drive the dispatched table against it over adversarial buffers —
+// matches at every offset around the 16/32-byte block boundaries, unaligned
+// starts, empty inputs — so a kernel bug shows up as a one-byte offset
+// mismatch long before it could corrupt a corpus run.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <random>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/cpu_features.h"
+#include "test_sources.h"
+#include "xml/scanner.h"
+#include "xml/simd_scan.h"
+
+namespace gcx {
+namespace {
+
+size_t RefFindByte(const std::string& s, size_t off, char c) {
+  for (size_t i = off; i < s.size(); ++i) {
+    if (s[i] == c) return i - off;
+  }
+  return s.size() - off;
+}
+
+TEST(SimdScan, BackendNames) {
+  EXPECT_STREQ(SimdBackendName(SimdBackend::kScalar), "scalar");
+  EXPECT_STREQ(SimdBackendName(SimdBackend::kSse2), "sse2");
+  EXPECT_STREQ(SimdBackendName(SimdBackend::kAvx2), "avx2");
+  EXPECT_STREQ(SimdBackendName(SimdBackend::kNeon), "neon");
+}
+
+TEST(SimdScan, ScalarTableIsScalar) {
+  EXPECT_EQ(ScalarScanOps().backend, SimdBackend::kScalar);
+}
+
+TEST(SimdScan, DispatchMatchesCpuFeatures) {
+  const SimdScanOps& ops = DispatchedScanOps();
+  if (SimdScalarForced()) {
+    EXPECT_EQ(ops.backend, SimdBackend::kScalar);
+    return;
+  }
+#if defined(GCX_SIMD_OFF)
+  EXPECT_EQ(ops.backend, SimdBackend::kScalar);
+#else
+  if (CpuHasAvx2()) {
+    EXPECT_EQ(ops.backend, SimdBackend::kAvx2);
+  } else if (CpuHasSse2()) {
+    EXPECT_EQ(ops.backend, SimdBackend::kSse2);
+  } else if (CpuHasNeon()) {
+    EXPECT_EQ(ops.backend, SimdBackend::kNeon);
+  } else {
+    EXPECT_EQ(ops.backend, SimdBackend::kScalar);
+  }
+#endif
+}
+
+TEST(SimdScan, EmptyInput) {
+  for (const SimdScanOps* ops : {&ScalarScanOps(), &DispatchedScanOps()}) {
+    EXPECT_EQ(ops->find_byte(nullptr, 0, '<'), 0u);
+    EXPECT_EQ(ops->find_either(nullptr, 0, '<', '&'), 0u);
+    EXPECT_EQ(ops->find_non_space(nullptr, 0), 0u);
+    EXPECT_EQ(ops->count_newlines(nullptr, 0), 0u);
+  }
+}
+
+// A single stop byte planted at every position of buffers sized around the
+// 16- and 32-byte block boundaries, scanned from every unaligned offset.
+TEST(SimdScan, FindByteEveryPositionAroundBlockEdges) {
+  const SimdScanOps& ops = DispatchedScanOps();
+  for (size_t len : {size_t{1}, size_t{15}, size_t{16}, size_t{17},
+                     size_t{31}, size_t{32}, size_t{33}, size_t{63},
+                     size_t{64}, size_t{65}, size_t{100}}) {
+    for (size_t hit = 0; hit <= len; ++hit) {  // hit == len: no match
+      std::string s(len, 'x');
+      if (hit < len) s[hit] = '<';
+      for (size_t off = 0; off < std::min<size_t>(len, 3); ++off) {
+        size_t expect = RefFindByte(s, off, '<');
+        EXPECT_EQ(ops.find_byte(s.data() + off, len - off, '<'), expect)
+            << "len=" << len << " hit=" << hit << " off=" << off;
+        EXPECT_EQ(ScalarScanOps().find_byte(s.data() + off, len - off, '<'),
+                  expect);
+      }
+    }
+  }
+}
+
+TEST(SimdScan, FindEitherReportsEarliestOfBoth) {
+  const SimdScanOps& ops = DispatchedScanOps();
+  std::string s(80, 't');
+  s[37] = '&';
+  s[53] = '<';
+  EXPECT_EQ(ops.find_either(s.data(), s.size(), '<', '&'), 37u);
+  s[37] = 't';
+  EXPECT_EQ(ops.find_either(s.data(), s.size(), '<', '&'), 53u);
+  s[53] = 't';
+  EXPECT_EQ(ops.find_either(s.data(), s.size(), '<', '&'), 80u);
+}
+
+TEST(SimdScan, FindNonSpaceSkipsExactlyXmlWhitespace) {
+  const SimdScanOps& ops = DispatchedScanOps();
+  std::string ws = " \t\r\n \t\r\n";
+  EXPECT_EQ(ops.find_non_space(ws.data(), ws.size()), ws.size());
+  for (size_t pos = 0; pos < 70; ++pos) {
+    std::string s(70, ' ');
+    s[1] = '\t';
+    s[2] = '\r';
+    s[3] = '\n';
+    s[pos] = 'x';
+    EXPECT_EQ(ops.find_non_space(s.data(), s.size()),
+              ScalarScanOps().find_non_space(s.data(), s.size()));
+    EXPECT_EQ(ops.find_non_space(s.data(), s.size()), pos == 0 ? 0u : pos);
+  }
+  // Vertical tab and form feed are NOT XML whitespace.
+  std::string vt = "  \v  ";
+  EXPECT_EQ(ops.find_non_space(vt.data(), vt.size()), 2u);
+  std::string ff = "\f";
+  EXPECT_EQ(ops.find_non_space(ff.data(), ff.size()), 0u);
+}
+
+TEST(SimdScan, CountNewlines) {
+  const SimdScanOps& ops = DispatchedScanOps();
+  std::string s = "a\nbb\n\nccc\n";
+  EXPECT_EQ(ops.count_newlines(s.data(), s.size()), 4u);
+  std::string dense(129, '\n');
+  EXPECT_EQ(ops.count_newlines(dense.data(), dense.size()), 129u);
+  std::string none(129, 'x');
+  EXPECT_EQ(ops.count_newlines(none.data(), none.size()), 0u);
+}
+
+// Randomized differential: dispatched vs scalar over buffers with a skewed
+// alphabet (mostly filler, occasional stop bytes), every call at a random
+// unaligned offset. Any disagreement is a kernel bug by definition.
+TEST(SimdScan, RandomizedDifferentialAgainstScalar) {
+  const SimdScanOps& simd = DispatchedScanOps();
+  const SimdScanOps& ref = ScalarScanOps();
+  std::mt19937 rng(20260808);
+  const char alphabet[] = {'t', 't', 't', 't', 't', ' ', '\n',
+                           '<', '&', '"', '\'', ']', '-', '>'};
+  std::uniform_int_distribution<size_t> pick(0, sizeof(alphabet) - 1);
+  for (int round = 0; round < 500; ++round) {
+    std::uniform_int_distribution<size_t> len_dist(0, 200);
+    size_t len = len_dist(rng);
+    std::string s(len, '\0');
+    for (size_t i = 0; i < len; ++i) s[i] = alphabet[pick(rng)];
+    size_t off = len == 0 ? 0 : std::uniform_int_distribution<size_t>(
+                                    0, len - 1)(rng);
+    const char* p = s.data() + off;
+    size_t n = len - off;
+    EXPECT_EQ(simd.find_byte(p, n, '<'), ref.find_byte(p, n, '<'));
+    EXPECT_EQ(simd.find_byte(p, n, ']'), ref.find_byte(p, n, ']'));
+    EXPECT_EQ(simd.find_byte(p, n, '-'), ref.find_byte(p, n, '-'));
+    EXPECT_EQ(simd.find_either(p, n, '<', '&'), ref.find_either(p, n, '<', '&'));
+    EXPECT_EQ(simd.find_either(p, n, '"', '&'), ref.find_either(p, n, '"', '&'));
+    EXPECT_EQ(simd.find_either(p, n, '\'', '&'),
+              ref.find_either(p, n, '\'', '&'));
+    EXPECT_EQ(simd.find_non_space(p, n), ref.find_non_space(p, n));
+    EXPECT_EQ(simd.count_newlines(p, n), ref.count_newlines(p, n));
+  }
+}
+
+// High-bit bytes (UTF-8 continuation range) must never be mistaken for stop
+// bytes — movemask-based kernels read the sign bit, so this is the classic
+// signedness trap.
+TEST(SimdScan, HighBitBytesAreNotStopBytes) {
+  const SimdScanOps& ops = DispatchedScanOps();
+  std::string s(64, '\0');
+  for (size_t i = 0; i < s.size(); ++i) {
+    s[i] = static_cast<char>(0x80 + (i % 0x7f));
+  }
+  EXPECT_EQ(ops.find_byte(s.data(), s.size(), '<'), s.size());
+  EXPECT_EQ(ops.find_either(s.data(), s.size(), '<', '&'), s.size());
+  EXPECT_EQ(ops.find_non_space(s.data(), s.size()), 0u);
+  EXPECT_EQ(ops.count_newlines(s.data(), s.size()), 0u);
+}
+
+// Scanner-level: force_scalar must yield the exact event stream the
+// dispatched backend yields (the corpus-wide version lives in
+// conformance_test; this is the fast inline check).
+std::string ScanAll(std::string_view xml, bool force_scalar) {
+  ScannerOptions options;
+  options.force_scalar = force_scalar;
+  XmlScanner scanner(std::make_unique<StringSource>(xml), options);
+  std::string out;
+  while (true) {
+    XmlEvent event;
+    Status s = scanner.Next(&event);
+    if (!s.ok()) return "error: " + s.message();
+    switch (event.kind) {
+      case XmlEvent::Kind::kStartElement:
+        out += "<" + std::string(event.name()) + " ";
+        break;
+      case XmlEvent::Kind::kEndElement:
+        out += ">" + std::string(event.name()) + " ";
+        break;
+      case XmlEvent::Kind::kText:
+        out += "'" + std::string(event.text) + "' ";
+        break;
+      case XmlEvent::Kind::kEndOfDocument:
+        return out;
+    }
+  }
+}
+
+TEST(SimdScan, ScannerForceScalarIsByteIdentical) {
+  const std::string doc =
+      "<root attr=\"value &amp; more\">\n"
+      "  text run with some length to cross a block boundary............\n"
+      "  <!-- comment - with -- dashes --><child>x</child>\n"
+      "  <![CDATA[raw ] ]] ]]x bytes]]>\n"
+      "</root>";
+  EXPECT_EQ(ScanAll(doc, true), ScanAll(doc, false));
+  XmlScanner forced(std::make_unique<StringSource>(doc),
+                    [] {
+                      ScannerOptions o;
+                      o.force_scalar = true;
+                      return o;
+                    }());
+  EXPECT_EQ(forced.simd_backend(), SimdBackend::kScalar);
+}
+
+}  // namespace
+}  // namespace gcx
